@@ -1,0 +1,73 @@
+//! Ablation benches for the design choices DESIGN.md calls out: what
+//! happens to the key contention signals when a modelled mechanism is
+//! switched off or resized. Each benchmark returns the metric being
+//! ablated (via `iter`'s return value) so `--verbose` runs double as a
+//! mini ablation study.
+
+use a4_bench::bench_opts;
+use a4_core::Harness;
+use a4_experiments::scenario;
+use a4_model::{ClosId, Priority, WayMask};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// X-Mem miss rate at the inclusive ways with DPDK-T running — the
+/// directory-contention signal — under different DDIO way counts
+/// (the IIO `IIO_LLC_WAYS` knob; the paper uses the default 2).
+fn directory_contention(ddio_ways: usize) -> f64 {
+    let opts = bench_opts();
+    let mut sys = scenario::base_system(&opts);
+    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
+        .expect("cores free");
+    let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores free");
+    sys.hierarchy_mut()
+        .llc_mut()
+        .set_dca_mask(WayMask::from_range(0, ddio_ways).expect("within 11 ways"));
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static")).unwrap();
+    sys.cat_assign_workload(dpdk, ClosId(1)).unwrap();
+    sys.cat_set_mask(ClosId(2), WayMask::INCLUSIVE).unwrap();
+    sys.cat_assign_workload(xmem, ClosId(2)).unwrap();
+    let mut harness = Harness::new(sys);
+    let report = harness.run(opts.warmup, opts.measure);
+    report.llc_miss_rate(xmem)
+}
+
+fn bench_ddio_way_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ddio_ways");
+    g.sample_size(10);
+    for ways in [1usize, 2, 4] {
+        g.bench_function(format!("ddio_ways_{ways}"), |b| {
+            b.iter(|| directory_contention(ways))
+        });
+    }
+    g.finish();
+}
+
+/// The same signal with the NIC's microbursting disabled — quantifies how
+/// much of the contention depends on traffic burstiness (DESIGN.md's
+/// NIC-model substitution note).
+fn bench_burstiness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bursts");
+    g.sample_size(10);
+    for (label, amplitude) in [("bursty", 0.5f64), ("smooth", 0.0)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = bench_opts();
+                let mut sys = scenario::base_system(&opts);
+                let mut cfg = a4_pcie::NicConfig::connectx6_100g(4, 64, 1024);
+                cfg.burst_amplitude = amplitude;
+                let nic = sys.attach_nic(a4_model::PortId(0), cfg).expect("port free");
+                let dpdk =
+                    scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
+                        .expect("cores free");
+                let mut harness = Harness::new(sys);
+                let report = harness.run(opts.warmup, opts.measure);
+                report.llc_miss_rate(dpdk)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablation, bench_ddio_way_count, bench_burstiness);
+criterion_main!(ablation);

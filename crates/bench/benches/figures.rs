@@ -1,0 +1,133 @@
+//! One Criterion group per paper figure. Each benchmark times one
+//! representative configuration of the figure's experiment — enough to
+//! track the cost of regenerating it and to catch performance
+//! regressions in the simulation pipeline. The complete sweeps (all
+//! rows/series of every figure) come from `cargo run --release -p
+//! a4-experiments --bin a4-repro`.
+
+use a4_bench::bench_opts;
+use a4_core::FeatureLevel;
+use a4_experiments::scenario::Scheme;
+use a4_experiments::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8};
+use a4_model::WayMask;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig3(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("dpdk_t_vs_xmem_at_dca_ways", |b| {
+        b.iter(|| fig3::run(&opts, true).get("[0:1]", "xmem_miss"))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("dca_off_inclusive_ways", |b| {
+        b.iter(|| fig4::run_point(&opts, false, Some(WayMask::INCLUSIVE)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("fio_512k_dca_on", |b| b.iter(|| fig5::run_point(&opts, 512, true)));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("dpdk_plus_fio_128k", |b| b.iter(|| fig6::run_point(&opts, Some(128), true)));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("overlap4", |b| b.iter(|| fig7::run_point(&opts, fig7::Strategy::Overlap(4))));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("ssd_dca_off_128k", |b| b.iter(|| fig8::run_point_8a(&opts, 128, false)));
+    g.bench_function("trash_ways_2_2", |b| b.iter(|| fig8::run_point_8b(&opts, 2)));
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("mix_1024b_a4", |b| {
+        b.iter(|| fig11::run_mix(&opts, Scheme::A4(FeatureLevel::D), 1024, 2048))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("mix_1514b_default", |b| {
+        b.iter(|| fig11::run_mix(&opts, Scheme::Default, 1514, 512))
+    });
+    let _ = fig12::BLOCK_KIB; // the sweep axis the full figure covers
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("hpw_heavy_a4d", |b| {
+        b.iter(|| fig13::run_mix(&opts, Scheme::A4(FeatureLevel::D), true))
+    });
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("fastclick_ffsb_a4d", |b| {
+        b.iter(|| fig14::run_mix(&opts, Scheme::A4(FeatureLevel::D)))
+    });
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("thresholds_default", |b| {
+        b.iter(|| fig15::run_point(&opts, a4_core::Thresholds::scaled_sim()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15
+);
+criterion_main!(figures);

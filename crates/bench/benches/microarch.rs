@@ -1,0 +1,91 @@
+//! Raw throughput of the cache substrate: the line-level operations every
+//! experiment is built from. These benchmarks bound how much simulated
+//! traffic the reproduction can push per wall-clock second.
+
+use a4_cache::{CacheHierarchy, HierarchyConfig};
+use a4_model::{CoreId, DeviceId, LineAddr, WorkloadId};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn full_size() -> CacheHierarchy {
+    CacheHierarchy::new(HierarchyConfig::scaled_xeon_6140(18))
+}
+
+const N: u64 = 10_000;
+
+fn bench_core_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("core_read_mlc_hit", |b| {
+        let mut h = full_size();
+        h.core_read(CoreId(0), LineAddr(1), WorkloadId(0));
+        b.iter(|| {
+            for _ in 0..N {
+                h.core_read(CoreId(0), LineAddr(1), WorkloadId(0));
+            }
+        })
+    });
+
+    g.bench_function("core_read_streaming_miss", |b| {
+        let mut h = full_size();
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..N {
+                h.core_read(CoreId(0), LineAddr(addr), WorkloadId(0));
+                addr += 1;
+            }
+        })
+    });
+
+    g.bench_function("dma_write_allocate", |b| {
+        let mut h = full_size();
+        let mut addr = 1 << 32;
+        b.iter(|| {
+            for _ in 0..N {
+                h.dma_write(DeviceId(0), LineAddr(addr), WorkloadId(0), true);
+                addr += 1;
+            }
+        })
+    });
+
+    g.bench_function("dca_consume_with_migration", |b| {
+        // DMA write + consuming read: exercises write-allocate plus the
+        // C1 migration into the inclusive ways.
+        let mut h = full_size();
+        let mut addr = 1 << 33;
+        b.iter(|| {
+            for _ in 0..N {
+                h.dma_write(DeviceId(0), LineAddr(addr), WorkloadId(0), true);
+                h.core_read_io(CoreId(0), LineAddr(addr), WorkloadId(0));
+                addr += 1;
+            }
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_system_quantum(c: &mut Criterion) {
+    use a4_model::{PortId, Priority};
+    use a4_sim::{System, SystemConfig};
+
+    let mut g = c.benchmark_group("system");
+    g.sample_size(20);
+    g.bench_function("loaded_quantum", |b| {
+        let mut sys = System::new(SystemConfig::xeon_gold_6140());
+        let nic = sys
+            .attach_nic(PortId(0), a4_pcie::NicConfig::connectx6_100g(4, 64, 1024))
+            .expect("port free");
+        sys.add_workload(
+            Box::new(a4_workloads::Dpdk::touching(nic)),
+            (0..4).map(CoreId).collect(),
+            Priority::High,
+        )
+        .expect("cores free");
+        b.iter(|| sys.run_quantum())
+    });
+    g.finish();
+}
+
+criterion_group!(microarch, bench_core_reads, bench_system_quantum);
+criterion_main!(microarch);

@@ -1,0 +1,169 @@
+//! Intel Cache Allocation Technology (CAT) class-of-service table.
+//!
+//! CAT attaches a *capacity bitmask* to each class of service (CLOS) and a
+//! CLOS to each core. The mask constrains which LLC ways fills on behalf
+//! of that core may victimize; it does **not** restrict lookups — a core
+//! hits lines in any way. Skylake-SP exposes 16 CLOSes and requires masks
+//! to be contiguous (enforced by [`WayMask`]'s constructors).
+
+use a4_model::{A4Error, ClosId, CoreId, Result, WayMask};
+use serde::{Deserialize, Serialize};
+
+/// Number of classes of service on Skylake-SP.
+pub const NUM_CLOS: usize = 16;
+
+/// The CAT state: per-CLOS way masks plus the core→CLOS association.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::ClosTable;
+/// use a4_model::{ClosId, CoreId, WayMask};
+///
+/// let mut cat = ClosTable::new(4);
+/// cat.set_mask(ClosId(1), WayMask::from_paper_range(5, 6)?)?;
+/// cat.assign_core(CoreId(2), ClosId(1))?;
+/// assert_eq!(cat.mask_for_core(CoreId(2)), WayMask::from_paper_range(5, 6)?);
+/// // Unassigned cores use CLOS 0, which defaults to all ways.
+/// assert_eq!(cat.mask_for_core(CoreId(0)), WayMask::ALL);
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosTable {
+    masks: [WayMask; NUM_CLOS],
+    core_clos: Vec<ClosId>,
+}
+
+impl ClosTable {
+    /// Creates the power-on state: every CLOS maps to all ways and every
+    /// core sits in CLOS 0.
+    pub fn new(cores: usize) -> Self {
+        ClosTable {
+            masks: [WayMask::ALL; NUM_CLOS],
+            core_clos: vec![ClosId::DEFAULT; cores],
+        }
+    }
+
+    /// Number of cores the table covers.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.core_clos.len()
+    }
+
+    /// Programs the capacity bitmask of a CLOS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidClos`] for CLOS ids ≥ 16 and
+    /// [`A4Error::EmptyMask`] for an empty mask. (Contiguity is enforced
+    /// when the [`WayMask`] is constructed.)
+    pub fn set_mask(&mut self, clos: ClosId, mask: WayMask) -> Result<()> {
+        if clos.index() >= NUM_CLOS {
+            return Err(A4Error::InvalidClos { clos: clos.0, max: NUM_CLOS as u8 });
+        }
+        if mask.is_empty() {
+            return Err(A4Error::EmptyMask);
+        }
+        self.masks[clos.index()] = mask;
+        Ok(())
+    }
+
+    /// Reads the capacity bitmask of a CLOS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidClos`] for CLOS ids ≥ 16.
+    pub fn mask(&self, clos: ClosId) -> Result<WayMask> {
+        if clos.index() >= NUM_CLOS {
+            return Err(A4Error::InvalidClos { clos: clos.0, max: NUM_CLOS as u8 });
+        }
+        Ok(self.masks[clos.index()])
+    }
+
+    /// Associates a core with a CLOS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidCore`] or [`A4Error::InvalidClos`] for
+    /// out-of-range ids.
+    pub fn assign_core(&mut self, core: CoreId, clos: ClosId) -> Result<()> {
+        if core.index() >= self.core_clos.len() {
+            return Err(A4Error::InvalidCore { core: core.0, max: self.core_clos.len() as u8 });
+        }
+        if clos.index() >= NUM_CLOS {
+            return Err(A4Error::InvalidClos { clos: clos.0, max: NUM_CLOS as u8 });
+        }
+        self.core_clos[core.index()] = clos;
+        Ok(())
+    }
+
+    /// The CLOS a core currently runs in (CLOS 0 for out-of-range cores,
+    /// mirroring hardware's default behaviour).
+    pub fn clos_of(&self, core: CoreId) -> ClosId {
+        self.core_clos.get(core.index()).copied().unwrap_or(ClosId::DEFAULT)
+    }
+
+    /// The effective allocation mask of a core.
+    pub fn mask_for_core(&self, core: CoreId) -> WayMask {
+        self.masks[self.clos_of(core).index()]
+    }
+
+    /// Resets every CLOS to all ways and every core to CLOS 0 (the
+    /// *Default* baseline model of the paper's §6).
+    pub fn reset(&mut self) {
+        self.masks = [WayMask::ALL; NUM_CLOS];
+        self.core_clos.iter_mut().for_each(|c| *c = ClosId::DEFAULT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_on_state_is_permissive() {
+        let cat = ClosTable::new(8);
+        assert_eq!(cat.cores(), 8);
+        for c in 0..8 {
+            assert_eq!(cat.mask_for_core(CoreId(c)), WayMask::ALL);
+        }
+    }
+
+    #[test]
+    fn set_and_assign() {
+        let mut cat = ClosTable::new(4);
+        let mask = WayMask::from_paper_range(2, 3).unwrap();
+        cat.set_mask(ClosId(3), mask).unwrap();
+        cat.assign_core(CoreId(1), ClosId(3)).unwrap();
+        assert_eq!(cat.mask_for_core(CoreId(1)), mask);
+        assert_eq!(cat.mask_for_core(CoreId(0)), WayMask::ALL);
+        assert_eq!(cat.clos_of(CoreId(1)), ClosId(3));
+        assert_eq!(cat.mask(ClosId(3)).unwrap(), mask);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut cat = ClosTable::new(2);
+        assert!(cat.set_mask(ClosId(16), WayMask::ALL).is_err());
+        assert!(cat.assign_core(CoreId(2), ClosId(0)).is_err());
+        assert!(cat.assign_core(CoreId(0), ClosId(16)).is_err());
+        assert!(cat.mask(ClosId(16)).is_err());
+        assert!(cat.set_mask(ClosId(0), WayMask::EMPTY).is_err());
+    }
+
+    #[test]
+    fn unknown_core_defaults_to_clos0() {
+        let cat = ClosTable::new(2);
+        assert_eq!(cat.clos_of(CoreId(99)), ClosId::DEFAULT);
+    }
+
+    #[test]
+    fn reset_restores_default_model() {
+        let mut cat = ClosTable::new(2);
+        cat.set_mask(ClosId(1), WayMask::DCA).unwrap();
+        cat.assign_core(CoreId(0), ClosId(1)).unwrap();
+        cat.reset();
+        assert_eq!(cat.mask_for_core(CoreId(0)), WayMask::ALL);
+        assert_eq!(cat.clos_of(CoreId(0)), ClosId::DEFAULT);
+    }
+}

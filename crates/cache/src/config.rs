@@ -1,0 +1,212 @@
+//! Geometry and sizing configuration for the cache hierarchy.
+
+use a4_model::{A4Error, Result, LLC_WAYS};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on simultaneously registered workloads (stat table size).
+pub const MAX_WORKLOADS: usize = 64;
+
+/// Upper bound on PCIe devices (stat table size).
+pub const MAX_DEVICES: usize = 8;
+
+/// Geometry of the (aggregate) last-level cache.
+///
+/// The way count is fixed at [`a4_model::LLC_WAYS`] = 11 to match the
+/// Xeon Gold 6140; capacity is scaled through the set count. The real
+/// machine has 18 slices × 2048 sets; the default simulation uses a single
+/// aggregate array of 1024 sets (2.75 MiB of data), with all workload
+/// working sets scaled by the same factor (see DESIGN.md §1).
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::LlcGeometry;
+///
+/// let g = LlcGeometry::new(1024).unwrap();
+/// assert_eq!(g.sets(), 1024);
+/// assert_eq!(g.capacity_bytes(), 1024 * 11 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcGeometry {
+    sets: usize,
+}
+
+impl LlcGeometry {
+    /// Creates a geometry with `sets` sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidConfig`] unless `sets` is a power of two
+    /// of at least 16.
+    pub fn new(sets: usize) -> Result<Self> {
+        if !sets.is_power_of_two() || sets < 16 {
+            return Err(A4Error::InvalidConfig { what: "llc sets must be a power of two >= 16" });
+        }
+        Ok(LlcGeometry { sets })
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(self) -> usize {
+        self.sets
+    }
+
+    /// Total data capacity in bytes (sets × 11 ways × 64 B).
+    #[inline]
+    pub fn capacity_bytes(self) -> u64 {
+        (self.sets * LLC_WAYS) as u64 * a4_model::LINE_BYTES
+    }
+}
+
+/// Geometry of one private mid-level cache (L2).
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::MlcGeometry;
+///
+/// let g = MlcGeometry::new(64, 16).unwrap();
+/// assert_eq!(g.capacity_bytes(), 64 * 16 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlcGeometry {
+    sets: usize,
+    ways: usize,
+}
+
+impl MlcGeometry {
+    /// Creates a geometry with `sets` sets of `ways` ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidConfig`] unless `sets` is a power of two
+    /// and `ways` is in `1..=32`.
+    pub fn new(sets: usize, ways: usize) -> Result<Self> {
+        if !sets.is_power_of_two() {
+            return Err(A4Error::InvalidConfig { what: "mlc sets must be a power of two" });
+        }
+        if ways == 0 || ways > 32 {
+            return Err(A4Error::InvalidConfig { what: "mlc ways must be in 1..=32" });
+        }
+        Ok(MlcGeometry { sets, ways })
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(self) -> u64 {
+        (self.sets * self.ways) as u64 * a4_model::LINE_BYTES
+    }
+}
+
+/// Configuration of the whole hierarchy: one MLC per core plus the LLC.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::HierarchyConfig;
+///
+/// let cfg = HierarchyConfig::scaled_xeon_6140(8);
+/// assert_eq!(cfg.cores, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (= number of MLCs).
+    pub cores: usize,
+    /// Geometry of each private MLC.
+    pub mlc: MlcGeometry,
+    /// Geometry of the shared LLC.
+    pub llc: LlcGeometry,
+}
+
+impl HierarchyConfig {
+    /// A capacity-scaled stand-in for the Xeon Gold 6140 used in the
+    /// paper's Table 1: 11-way LLC, 16-way MLCs, with the MLC:LLC capacity
+    /// ratio of the real part (1 MiB MLC per core vs 25 MiB LLC ⇒ each
+    /// scaled MLC is ~1/16 of the scaled LLC).
+    pub fn scaled_xeon_6140(cores: usize) -> Self {
+        let llc = LlcGeometry::new(1024).expect("static geometry is valid");
+        // 1024 sets × 11 ways × 64 B = 704 KiB, i.e. the real 25 MiB LLC
+        // scaled by ≈36×. One LLC way is 64 KiB. Each MLC is 64 sets ×
+        // 8 ways = 32 KiB = 0.5 LLC ways, matching the real part's 1 MiB
+        // MLC ≈ 0.44 × (25 MiB / 11) ratio; 18 cores give an aggregate MLC
+        // of 576 KiB ≈ 0.82 × LLC (real: 0.72), preserving the
+        // extended-directory pressure.
+        let mlc = MlcGeometry::new(64, 8).expect("static geometry is valid");
+        HierarchyConfig { cores, mlc, llc }
+    }
+
+    /// A deliberately tiny hierarchy for unit tests: 16-set LLC, 8-set
+    /// 4-way MLCs, 4 cores.
+    pub fn small_test() -> Self {
+        HierarchyConfig {
+            cores: 4,
+            mlc: MlcGeometry::new(8, 4).expect("static geometry is valid"),
+            llc: LlcGeometry::new(16).expect("static geometry is valid"),
+        }
+    }
+
+    /// Validates cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidConfig`] if there are no cores or more
+    /// cores than presence bits (32).
+    pub fn validate(&self) -> Result<()> {
+        if self.cores == 0 || self.cores > 32 {
+            return Err(A4Error::InvalidConfig { what: "cores must be in 1..=32" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llc_geometry_validates() {
+        assert!(LlcGeometry::new(0).is_err());
+        assert!(LlcGeometry::new(100).is_err());
+        assert!(LlcGeometry::new(8).is_err());
+        assert!(LlcGeometry::new(16).is_ok());
+    }
+
+    #[test]
+    fn mlc_geometry_validates() {
+        assert!(MlcGeometry::new(3, 4).is_err());
+        assert!(MlcGeometry::new(8, 0).is_err());
+        assert!(MlcGeometry::new(8, 64).is_err());
+        assert!(MlcGeometry::new(8, 16).is_ok());
+    }
+
+    #[test]
+    fn scaled_config_preserves_capacity_ratio() {
+        let cfg = HierarchyConfig::scaled_xeon_6140(8);
+        let llc = cfg.llc.capacity_bytes() as f64;
+        let aggregate_mlc = (cfg.mlc.capacity_bytes() * cfg.cores as u64) as f64;
+        // Real machine: 18 MiB aggregate MLC vs 25 MiB LLC => ratio < 1.
+        assert!(aggregate_mlc < llc);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zero_cores() {
+        let mut cfg = HierarchyConfig::small_test();
+        cfg.cores = 0;
+        assert!(cfg.validate().is_err());
+        cfg.cores = 33;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,535 @@
+//! The wired-up cache hierarchy: per-core MLCs + shared LLC + CAT table.
+//!
+//! This is the façade the simulator drives. It owns the coherence
+//! orchestration the real chip does in hardware: MLC fills on LLC hits,
+//! victim-cache inserts on MLC evictions, back-invalidations on directory
+//! evictions and DMA snoops, and write-back accounting — all while
+//! updating the PCM-style [`HierarchyStats`].
+
+use crate::clos::ClosTable;
+use crate::config::HierarchyConfig;
+use crate::llc::{
+    DmaReadResult, DmaWriteResult, EvictedLlcLine, Llc, LlcReadResult, MlcEvictionOutcome,
+};
+use crate::meta::LineMeta;
+use crate::mlc::{EvictedMlcLine, Mlc};
+use crate::stats::HierarchyStats;
+use a4_model::{CoreId, DeviceId, LineAddr, WorkloadId};
+
+/// Where a core access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreAccessLevel {
+    /// Hit in the core's private MLC.
+    MlcHit,
+    /// Hit in the shared LLC (including the DCA fast path).
+    LlcHit,
+    /// Missed on-chip and was served from memory.
+    Memory,
+}
+
+/// Where a DMA write landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaWriteDest {
+    /// Write-updated an already-cached line in place.
+    LlcUpdate,
+    /// Write-allocated into a DCA way.
+    DcaAllocate,
+    /// DCA disabled for the device: the line went to memory.
+    Memory,
+}
+
+/// Where a DMA (egress) read was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaReadSource {
+    /// Served from the LLC.
+    Llc,
+    /// Forwarded from an MLC, read-allocating an inclusive-way copy.
+    Mlc,
+    /// Served from memory without allocation.
+    Memory,
+}
+
+/// The complete modelled hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::{CacheHierarchy, CoreAccessLevel, HierarchyConfig};
+/// use a4_model::{CoreId, LineAddr, WorkloadId};
+///
+/// let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+/// let wl = WorkloadId(0);
+/// // First touch goes to memory, the repeat hits the MLC.
+/// assert_eq!(hier.core_read(CoreId(0), LineAddr(9), wl), CoreAccessLevel::Memory);
+/// assert_eq!(hier.core_read(CoreId(0), LineAddr(9), wl), CoreAccessLevel::MlcHit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    mlcs: Vec<Mlc>,
+    llc: Llc,
+    clos: ClosTable,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Builds an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`HierarchyConfig::validate`].
+    pub fn new(config: HierarchyConfig) -> Self {
+        config.validate().expect("invalid hierarchy configuration");
+        CacheHierarchy {
+            config,
+            mlcs: (0..config.cores).map(|_| Mlc::new(config.mlc)).collect(),
+            llc: Llc::new(config.llc),
+            clos: ClosTable::new(config.cores),
+            stats: HierarchyStats::new(),
+        }
+    }
+
+    /// The configuration the hierarchy was built with.
+    #[inline]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Shared LLC (read-only).
+    #[inline]
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Mutable LLC access (ablation knobs such as the DDIO way mask).
+    #[inline]
+    pub fn llc_mut(&mut self) -> &mut Llc {
+        &mut self.llc
+    }
+
+    /// One core's MLC (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn mlc(&self, core: CoreId) -> &Mlc {
+        &self.mlcs[core.index()]
+    }
+
+    /// The CAT state.
+    #[inline]
+    pub fn clos(&self) -> &ClosTable {
+        &self.clos
+    }
+
+    /// Mutable CAT state (the control plane A4 programs).
+    #[inline]
+    pub fn clos_mut(&mut self) -> &mut ClosTable {
+        &mut self.clos
+    }
+
+    /// Accumulated counters.
+    #[inline]
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Core load. `io_hint` marks reads of I/O buffers so lines refetched
+    /// after a DMA leak keep their I/O attribution.
+    pub fn core_read(&mut self, core: CoreId, addr: LineAddr, owner: WorkloadId) -> CoreAccessLevel {
+        self.core_access(core, addr, owner, false, false)
+    }
+
+    /// Core store (write-allocates in the MLC, marks the line dirty).
+    pub fn core_write(
+        &mut self,
+        core: CoreId,
+        addr: LineAddr,
+        owner: WorkloadId,
+    ) -> CoreAccessLevel {
+        self.core_access(core, addr, owner, true, false)
+    }
+
+    /// Core load of an I/O buffer (see [`CacheHierarchy::core_read`]).
+    pub fn core_read_io(
+        &mut self,
+        core: CoreId,
+        addr: LineAddr,
+        owner: WorkloadId,
+    ) -> CoreAccessLevel {
+        self.core_access(core, addr, owner, false, true)
+    }
+
+    fn core_access(
+        &mut self,
+        core: CoreId,
+        addr: LineAddr,
+        owner: WorkloadId,
+        write: bool,
+        io_hint: bool,
+    ) -> CoreAccessLevel {
+        debug_assert!(core.index() < self.mlcs.len(), "core out of range");
+
+        if self.mlcs[core.index()].lookup(addr, write) {
+            self.stats.bump(owner, |c| c.mlc_hits += 1);
+            return CoreAccessLevel::MlcHit;
+        }
+
+        match self.llc.core_read(core, addr) {
+            LlcReadResult::Hit { migrated, from_dca_way, io_first_consume, evicted, meta } => {
+                self.stats.bump(owner, |c| c.llc_hits += 1);
+                if migrated {
+                    self.stats.bump(meta.owner, |c| c.migrations += 1);
+                }
+                if io_first_consume && from_dca_way {
+                    self.stats.bump(meta.owner, |c| c.dca_consumed += 1);
+                }
+                if let Some(ev) = evicted {
+                    self.handle_llc_eviction(ev);
+                }
+                let mut mlc_meta = meta;
+                mlc_meta.consumed = true;
+                if let Some(victim) = self.mlcs[core.index()].fill(addr, mlc_meta, write) {
+                    self.handle_mlc_eviction(core, victim);
+                }
+                CoreAccessLevel::LlcHit
+            }
+            LlcReadResult::Miss => {
+                self.stats.bump(owner, |c| {
+                    c.llc_misses += 1;
+                    c.mem_read_lines += 1;
+                });
+                // Track the new MLC-resident line in the extended directory.
+                if let Some(forced) = self.llc.register_mlc_fill(core, addr) {
+                    self.back_invalidate(forced.addr, forced.presence, true);
+                }
+                let meta = LineMeta { owner, io: io_hint, consumed: true, device: None };
+                if let Some(victim) = self.mlcs[core.index()].fill(addr, meta, write) {
+                    self.handle_mlc_eviction(core, victim);
+                }
+                CoreAccessLevel::Memory
+            }
+        }
+    }
+
+    /// Ingress DMA write of one line by `device` on behalf of consumer
+    /// workload `owner`. `dca_enabled` reflects the device's per-port
+    /// `perfctrlsts_0` state.
+    pub fn dma_write(
+        &mut self,
+        device: DeviceId,
+        addr: LineAddr,
+        owner: WorkloadId,
+        dca_enabled: bool,
+    ) -> DmaWriteDest {
+        self.stats.device_mut(device).dma_write_lines += 1;
+
+        if !dca_enabled {
+            // Stale cached copies are snooped out; data lands in memory.
+            let presence = self.llc.snoop_invalidate(addr);
+            self.back_invalidate(addr, presence, false);
+            self.stats.device_mut(device).dma_to_memory_lines += 1;
+            self.stats.bump(owner, |c| c.mem_write_lines += 1);
+            return DmaWriteDest::Memory;
+        }
+
+        match self.llc.dma_write(addr, owner, device) {
+            DmaWriteResult::Updated { invalidate_presence } => {
+                self.back_invalidate(addr, invalidate_presence, false);
+                self.stats.device_mut(device).dca_updates += 1;
+                self.stats.bump(owner, |c| c.dca_updates += 1);
+                DmaWriteDest::LlcUpdate
+            }
+            DmaWriteResult::Allocated { invalidate_presence, evicted } => {
+                self.back_invalidate(addr, invalidate_presence, false);
+                self.stats.device_mut(device).dca_allocs += 1;
+                self.stats.bump(owner, |c| c.dca_allocs += 1);
+                if let Some(ev) = evicted {
+                    self.handle_llc_eviction(ev);
+                }
+                DmaWriteDest::DcaAllocate
+            }
+        }
+    }
+
+    /// Egress DMA read of one line by `device`.
+    pub fn dma_read(&mut self, device: DeviceId, addr: LineAddr) -> DmaReadSource {
+        self.stats.device_mut(device).dma_read_lines += 1;
+        match self.llc.dma_read(addr) {
+            DmaReadResult::LlcHit => DmaReadSource::Llc,
+            DmaReadResult::MlcOnly { presence } => {
+                // Copy the MLC line into an inclusive way, then serve it.
+                let meta = (0..self.config.cores)
+                    .filter(|&c| presence & (1 << c) != 0)
+                    .find_map(|c| self.mlcs[c].meta(addr))
+                    .unwrap_or(LineMeta::cpu(WorkloadId(0)));
+                if let Some(ev) = self.llc.egress_allocate(addr, meta, presence) {
+                    self.handle_llc_eviction(ev);
+                }
+                DmaReadSource::Mlc
+            }
+            DmaReadResult::Miss => {
+                self.stats.bump(WorkloadId(0), |c| c.mem_read_lines += 1);
+                DmaReadSource::Memory
+            }
+        }
+    }
+
+    fn handle_mlc_eviction(&mut self, core: CoreId, victim: EvictedMlcLine) {
+        let mask = self.clos.mask_for_core(core);
+        match self.llc.mlc_eviction(core, victim.addr, victim.dirty, victim.meta, mask) {
+            MlcEvictionOutcome::StillShared | MlcEvictionOutcome::MergedIntoLlc => {}
+            MlcEvictionOutcome::Inserted { bloat, evicted } => {
+                if bloat {
+                    self.stats.bump(victim.meta.owner, |c| c.dma_bloats += 1);
+                }
+                if let Some(ev) = evicted {
+                    self.handle_llc_eviction(ev);
+                }
+            }
+        }
+    }
+
+    fn handle_llc_eviction(&mut self, ev: EvictedLlcLine) {
+        if ev.was_in_mlc {
+            // Non-inclusive hierarchy: the MLC copies survive the LLC data
+            // eviction; their tracking demotes to the extended directory.
+            if let Some(forced) = self.llc.demote_to_ext_dir(ev.addr, ev.presence) {
+                self.back_invalidate(forced.addr, forced.presence, true);
+            }
+        }
+        if ev.dirty {
+            self.stats.bump(ev.meta.owner, |c| c.mem_write_lines += 1);
+        }
+        if ev.is_dma_leak() {
+            self.stats.bump(ev.meta.owner, |c| c.dma_leaks += 1);
+            if let Some(dev) = ev.meta.device {
+                self.stats.device_mut(dev).dma_leaks += 1;
+            }
+        }
+        self.stats.bump(ev.meta.owner, |c| c.evictions_suffered += 1);
+    }
+
+    /// Invalidates MLC copies named by `presence`. When `writeback` is
+    /// true (directory evictions, LLC evictions of inclusive lines) dirty
+    /// copies are written back to memory; DMA snoops overwrite the data so
+    /// they skip the write-back.
+    fn back_invalidate(&mut self, addr: LineAddr, presence: u32, writeback: bool) {
+        if presence == 0 {
+            return;
+        }
+        for c in 0..self.config.cores {
+            if presence & (1 << c) != 0 {
+                if let Some((dirty, meta)) = self.mlcs[c].invalidate(addr) {
+                    self.stats.bump(meta.owner, |s| s.back_invalidations += 1);
+                    if dirty && writeback {
+                        self.stats.bump(meta.owner, |s| s.mem_write_lines += 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_model::WayMask;
+
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+    const DEV: DeviceId = DeviceId(0);
+
+    fn hier() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig::small_test())
+    }
+
+    fn wl(n: u16) -> WorkloadId {
+        WorkloadId(n)
+    }
+
+    #[test]
+    fn miss_fill_hit_sequence() {
+        let mut h = hier();
+        assert_eq!(h.core_read(C0, LineAddr(1), wl(0)), CoreAccessLevel::Memory);
+        assert_eq!(h.core_read(C0, LineAddr(1), wl(0)), CoreAccessLevel::MlcHit);
+        let c = h.stats().workload(wl(0));
+        assert_eq!(c.mlc_hits, 1);
+        assert_eq!(c.llc_misses, 1);
+        assert_eq!(c.mem_read_lines, 1);
+        // Non-inclusive: the miss filled the MLC, not the LLC.
+        assert!(h.llc().probe(LineAddr(1)).is_none());
+        assert!(h.llc().ext_dir_tracks(LineAddr(1)));
+    }
+
+    #[test]
+    fn dca_fast_path_counts_consumption() {
+        let mut h = hier();
+        assert_eq!(h.dma_write(DEV, LineAddr(2), wl(1), true), DmaWriteDest::DcaAllocate);
+        assert_eq!(h.core_read_io(C0, LineAddr(2), wl(1)), CoreAccessLevel::LlcHit);
+        let c = h.stats().workload(wl(1));
+        assert_eq!(c.dca_allocs, 1);
+        assert_eq!(c.dca_consumed, 1);
+        assert_eq!(c.migrations, 1, "consumption migrated the line (C1)");
+        // Line is now inclusive and in the MLC.
+        assert!(h.mlc(C0).contains(LineAddr(2)));
+        h.llc().assert_inclusive_invariant();
+    }
+
+    #[test]
+    fn dca_disabled_goes_to_memory() {
+        let mut h = hier();
+        assert_eq!(h.dma_write(DEV, LineAddr(3), wl(1), false), DmaWriteDest::Memory);
+        assert!(h.llc().probe(LineAddr(3)).is_none());
+        assert_eq!(h.stats().device(DEV).dma_to_memory_lines, 1);
+        assert_eq!(h.stats().total.mem_write_lines, 1);
+        // The consumer now pays a memory read.
+        assert_eq!(h.core_read_io(C0, LineAddr(3), wl(1)), CoreAccessLevel::Memory);
+    }
+
+    #[test]
+    fn dma_write_snoops_stale_mlc_copy() {
+        let mut h = hier();
+        // Core owns the line in its MLC.
+        h.core_read(C0, LineAddr(4), wl(0));
+        assert!(h.mlc(C0).contains(LineAddr(4)));
+        // DMA write invalidates the stale copy and allocates in DCA ways.
+        assert_eq!(h.dma_write(DEV, LineAddr(4), wl(0), true), DmaWriteDest::DcaAllocate);
+        assert!(!h.mlc(C0).contains(LineAddr(4)));
+        assert!(!h.llc().ext_dir_tracks(LineAddr(4)));
+        assert_eq!(h.stats().workload(wl(0)).back_invalidations, 1);
+    }
+
+    #[test]
+    fn dma_leak_counted_when_ring_overflows() {
+        let mut h = hier();
+        // 3 lines in the same LLC set (16 sets): only 2 DCA ways.
+        for i in 0..3u64 {
+            h.dma_write(DEV, LineAddr(i * 16), wl(1), true);
+        }
+        assert_eq!(h.stats().workload(wl(1)).dma_leaks, 1);
+        assert_eq!(h.stats().device(DEV).dma_leaks, 1);
+        // The leaked line's write-back hit memory.
+        assert_eq!(h.stats().total.mem_write_lines, 1);
+    }
+
+    #[test]
+    fn consumed_line_evicted_from_mlc_is_bloat() {
+        let mut h = hier();
+        h.clos_mut().set_mask(a4_model::ClosId(1), WayMask::from_paper_range(5, 6).unwrap()).unwrap();
+        h.clos_mut().assign_core(C0, a4_model::ClosId(1)).unwrap();
+        // Consume an I/O line, displace its LLC-inclusive copy with two
+        // further migrations (inclusive ways churn under load), then
+        // thrash the MLC set until the consumed line spills back.
+        for i in 0..3u64 {
+            h.dma_write(DEV, LineAddr(i * 16), wl(1), true);
+            h.core_read_io(C0, LineAddr(i * 16), wl(1));
+        }
+        // One of the two earlier lines lost its LLC copy to the third
+        // migration (random victim) and is tracked by the extended dir.
+        let displaced = [LineAddr(0), LineAddr(16)]
+            .into_iter()
+            .find(|&l| h.llc().probe(l).is_none())
+            .expect("one inclusive-way line was displaced");
+        assert!(h.llc().ext_dir_tracks(displaced), "tracking demoted, MLC copy alive");
+        // MLC small_test geometry: 8 sets, 4 ways; lines 0/16/32 sit in MLC
+        // set 0. Four fresh set-0 lines evict them.
+        for i in 1..=4u64 {
+            h.core_read(C0, LineAddr(i * 8 + 256), wl(2));
+        }
+        let c = h.stats().workload(wl(1));
+        // All three consumed I/O lines re-enter the LLC's standard ways:
+        // the displaced one via the extended-directory path, the others by
+        // relocation out of the inclusive ways.
+        assert_eq!(c.dma_bloats, 3, "every consumed I/O line re-entered the LLC");
+        // Bloat lands in the core's CLOS ways: the two [5:6] slots of the
+        // set hold two of the three lines (the third was evicted again).
+        let clos = WayMask::from_paper_range(5, 6).unwrap();
+        let resident = [LineAddr(0), LineAddr(16), LineAddr(32)]
+            .into_iter()
+            .filter_map(|l| h.llc().probe(l))
+            .inspect(|p| assert!(clos.contains_way(p.way), "bloat confined to CLOS ways"))
+            .count();
+        assert_eq!(resident, 2);
+    }
+
+    #[test]
+    fn egress_read_from_mlc_allocates_inclusive_copy() {
+        let mut h = hier();
+        h.core_write(C0, LineAddr(7), wl(0));
+        assert_eq!(h.dma_read(DEV, LineAddr(7)), DmaReadSource::Mlc);
+        let p = h.llc().probe(LineAddr(7)).unwrap();
+        assert!(WayMask::INCLUSIVE.contains_way(p.way));
+        assert!(p.in_mlc);
+        h.llc().assert_inclusive_invariant();
+        // Second read is served straight from the LLC.
+        assert_eq!(h.dma_read(DEV, LineAddr(7)), DmaReadSource::Llc);
+        // Uncached egress reads come from memory without allocation.
+        assert_eq!(h.dma_read(DEV, LineAddr(1000)), DmaReadSource::Memory);
+    }
+
+    #[test]
+    fn inclusive_eviction_demotes_mlc_tracking() {
+        let mut h = hier();
+        // Two inclusive lines in set 0 held by core 1.
+        h.dma_write(DEV, LineAddr(0), wl(1), true);
+        h.core_read_io(C1, LineAddr(0), wl(1));
+        h.dma_write(DEV, LineAddr(16), wl(1), true);
+        h.core_read_io(C1, LineAddr(16), wl(1));
+        assert!(h.mlc(C1).contains(LineAddr(0)));
+        // A third migration evicts the LRU inclusive line's data copy; in
+        // the non-inclusive hierarchy the MLC copy survives, tracked by the
+        // extended directory.
+        h.dma_write(DEV, LineAddr(32), wl(1), true);
+        h.core_read_io(C1, LineAddr(32), wl(1));
+        // The third migration displaced one of the first two lines
+        // (random victim): its MLC copy survives and the extended
+        // directory picked up the tracking.
+        let displaced = [LineAddr(0), LineAddr(16)]
+            .into_iter()
+            .find(|&l| h.llc().probe(l).is_none())
+            .expect("an inclusive line was displaced");
+        assert!(h.mlc(C1).contains(displaced), "MLC copy survives the LLC eviction");
+        assert!(h.llc().ext_dir_tracks(displaced), "tracking demoted to the extended dir");
+        h.llc().assert_inclusive_invariant();
+    }
+
+    #[test]
+    fn writeback_attribution_on_dirty_eviction() {
+        let mut h = hier();
+        h.clos_mut().set_mask(a4_model::ClosId(1), WayMask::from_paper_range(2, 2).unwrap()).unwrap();
+        h.clos_mut().assign_core(C0, a4_model::ClosId(1)).unwrap();
+        // Dirty a line, spill it to the LLC (1-way mask), then displace it.
+        h.core_write(C0, LineAddr(0), wl(3));
+        for i in 1..=4u64 {
+            h.core_read(C0, LineAddr(i * 8), wl(3)); // thrash MLC set 0
+        }
+        // Line 0 now dirty in LLC way 2; displace with more spills to way 2.
+        let before = h.stats().workload(wl(3)).mem_write_lines;
+        for i in 5..=40u64 {
+            h.core_read(C0, LineAddr(i * 16), wl(3)); // same LLC set 0
+        }
+        let after = h.stats().workload(wl(3)).mem_write_lines;
+        assert!(after > before, "dirty victim write-backs must be counted");
+    }
+
+    #[test]
+    fn second_dma_write_is_update_in_place() {
+        let mut h = hier();
+        h.dma_write(DEV, LineAddr(6), wl(1), true);
+        assert_eq!(h.dma_write(DEV, LineAddr(6), wl(1), true), DmaWriteDest::LlcUpdate);
+        assert_eq!(h.stats().device(DEV).dca_updates, 1);
+        assert_eq!(h.stats().device(DEV).dca_allocs, 1);
+    }
+
+    #[test]
+    fn stats_delta_tracks_interval() {
+        let mut h = hier();
+        h.core_read(C0, LineAddr(1), wl(0));
+        let snap = h.stats().clone();
+        h.core_read(C0, LineAddr(1), wl(0));
+        let d = h.stats().delta_since(&snap);
+        assert_eq!(d.workload(wl(0)).mlc_hits, 1);
+        assert_eq!(d.workload(wl(0)).llc_misses, 0);
+    }
+}

@@ -1,0 +1,971 @@
+//! The non-inclusive last-level cache with its inclusive directory.
+//!
+//! Structure (paper Fig. 1, after Yan et al. [65]):
+//!
+//! * 11 **data ways** per set, coupled 1:1 with 11 *traditional directory*
+//!   ways that track LLC-resident lines;
+//! * 12 **extended directory** ways per set that track MLC-resident lines;
+//! * **two ways are shared** between the groups. A line resident in both
+//!   the LLC and an MLC needs a directory entry in both groups at once,
+//!   which is only possible in the shared ways — therefore such
+//!   *LLC-inclusive* lines can only occupy data ways 9–10, the **inclusive
+//!   ways**. LLC-exclusive lines may occupy any of the 11 ways.
+//!
+//! This module models the shared ways implicitly: a [`Llc`] data line in
+//! ways 9–10 may carry `in_mlc` state with a core-presence bitmap, and the
+//! explicit extended-directory array holds the remaining
+//! [`EXT_DIR_EXCLUSIVE_WAYS`] = 10 entries per set for MLC-only lines.
+//!
+//! The consequence the paper builds on — observation **O1** — falls out of
+//! the structure: when a core reads an LLC-exclusive line (wherever it is,
+//! including the DCA ways) the line is filled into the core's MLC, becomes
+//! LLC-inclusive, and must therefore **migrate to an inclusive way**,
+//! evicting the victim there. That is the hidden *directory contention*.
+
+use crate::meta::LineMeta;
+use crate::LlcGeometry;
+use a4_model::{CoreId, DeviceId, LineAddr, WayMask, WorkloadId, LLC_WAYS};
+
+/// Extended-directory ways *exclusive* to MLC tracking (12 total minus the
+/// 2 shared with the traditional directory).
+pub const EXT_DIR_EXCLUSIVE_WAYS: usize = 10;
+
+/// A line evicted from the LLC data array, with everything the caller
+/// needs for write-back, leak accounting and MLC back-invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLlcLine {
+    /// Address of the evicted line.
+    pub addr: LineAddr,
+    /// True if the line must be written back to memory.
+    pub dirty: bool,
+    /// Metadata of the evicted line.
+    pub meta: LineMeta,
+    /// True if the line was LLC-inclusive (also resident in MLCs).
+    pub was_in_mlc: bool,
+    /// Core-presence bitmap of MLC copies to back-invalidate.
+    pub presence: u32,
+}
+
+impl EvictedLlcLine {
+    /// True if this eviction is a *DMA leak*: an I/O line evicted before
+    /// any core consumed it.
+    #[inline]
+    pub fn is_dma_leak(&self) -> bool {
+        self.meta.io && !self.meta.consumed
+    }
+}
+
+/// Outcome of an extended-directory registration that ran out of ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtDirEviction {
+    /// Address whose MLC copies must be back-invalidated.
+    pub addr: LineAddr,
+    /// Core-presence bitmap of those copies.
+    pub presence: u32,
+}
+
+/// Result of a core-side LLC lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcReadResult {
+    /// The line was found and will be filled into the reading core's MLC.
+    Hit {
+        /// True if the line had to migrate to an inclusive way (the C1
+        /// directory-contention mechanism).
+        migrated: bool,
+        /// True if the line was found in a DCA way.
+        from_dca_way: bool,
+        /// True if this access consumed a fresh I/O line for the first
+        /// time since its DMA write.
+        io_first_consume: bool,
+        /// Victim displaced from the inclusive ways by a migration.
+        evicted: Option<EvictedLlcLine>,
+        /// Metadata of the hit line (for the caller's MLC fill).
+        meta: LineMeta,
+    },
+    /// The line is not in the LLC; the caller fetches it from memory.
+    Miss,
+}
+
+/// Result of a DMA write that goes through DCA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaWriteResult {
+    /// The line was already cached and was write-updated in place.
+    Updated {
+        /// MLC copies to back-invalidate (stale after the DMA write).
+        invalidate_presence: u32,
+    },
+    /// The line was write-allocated into a DCA way.
+    Allocated {
+        /// MLC copies to back-invalidate (the line was MLC-only before).
+        invalidate_presence: u32,
+        /// Victim displaced from the DCA ways.
+        evicted: Option<EvictedLlcLine>,
+    },
+}
+
+/// Result of the outcome of an MLC eviction offered to the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlcEvictionOutcome {
+    /// Other cores still hold the line; nothing moved.
+    StillShared,
+    /// The line was LLC-inclusive and simply lost its MLC residency,
+    /// staying in its inclusive way as an LLC-exclusive line.
+    MergedIntoLlc,
+    /// The line was inserted into the data array as a victim-cache fill.
+    Inserted {
+        /// True if this insertion is *DMA bloat* (a consumed I/O line
+        /// returning to the LLC's standard ways).
+        bloat: bool,
+        /// Victim displaced by the insertion.
+        evicted: Option<EvictedLlcLine>,
+    },
+}
+
+/// Result of a device-initiated (egress) read probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaReadResult {
+    /// Served directly from the LLC.
+    LlcHit,
+    /// Only MLC copies exist; the caller must invoke
+    /// [`Llc::egress_allocate`] to model the copy into an inclusive way.
+    MlcOnly {
+        /// Cores holding the line.
+        presence: u32,
+    },
+    /// Not cached anywhere; served from memory without allocation.
+    Miss,
+}
+
+/// Read-only view of a resident line, for tests and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeInfo {
+    /// Way the line occupies.
+    pub way: usize,
+    /// True if the line is LLC-inclusive.
+    pub in_mlc: bool,
+    /// True if the copy is dirty.
+    pub dirty: bool,
+    /// The line's metadata.
+    pub meta: LineMeta,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DataLine {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    in_mlc: bool,
+    presence: u32,
+    lru: u64,
+    meta: LineMeta,
+}
+
+const INVALID_DATA: DataLine = DataLine {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    in_mlc: false,
+    presence: 0,
+    lru: 0,
+    meta: LineMeta { owner: WorkloadId(0), io: false, consumed: true, device: None },
+};
+
+#[derive(Debug, Clone, Copy)]
+struct ExtEntry {
+    tag: u64,
+    valid: bool,
+    presence: u32,
+    lru: u64,
+}
+
+const INVALID_EXT: ExtEntry = ExtEntry { tag: 0, valid: false, presence: 0, lru: 0 };
+
+/// The shared last-level cache.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::{LineMeta, Llc, LlcGeometry, LlcReadResult};
+/// use a4_model::{CoreId, DeviceId, LineAddr, WayMask, WorkloadId};
+///
+/// let mut llc = Llc::new(LlcGeometry::new(16)?);
+/// let wl = WorkloadId(0);
+///
+/// // DMA write-allocates into a DCA way (way 0 or 1)...
+/// llc.dma_write(LineAddr(3), wl, DeviceId(0));
+/// let probe = llc.probe(LineAddr(3)).unwrap();
+/// assert!(WayMask::DCA.contains_way(probe.way));
+///
+/// // ...and a core read migrates the line to an inclusive way (C1).
+/// match llc.core_read(CoreId(0), LineAddr(3)) {
+///     LlcReadResult::Hit { migrated, .. } => assert!(migrated),
+///     LlcReadResult::Miss => unreachable!(),
+/// }
+/// let probe = llc.probe(LineAddr(3)).unwrap();
+/// assert!(WayMask::INCLUSIVE.contains_way(probe.way));
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Llc {
+    geometry: LlcGeometry,
+    data: Vec<DataLine>,
+    ext: Vec<ExtEntry>,
+    tick: u64,
+    dca_mask: WayMask,
+    inclusive_mask: WayMask,
+    rand_state: u64,
+}
+
+impl Llc {
+    /// Creates an empty LLC with the standard Skylake way roles (DCA ways
+    /// 0–1, inclusive ways 9–10).
+    pub fn new(geometry: LlcGeometry) -> Self {
+        Llc {
+            geometry,
+            data: vec![INVALID_DATA; geometry.sets() * LLC_WAYS],
+            ext: vec![INVALID_EXT; geometry.sets() * EXT_DIR_EXCLUSIVE_WAYS],
+            tick: 0,
+            dca_mask: WayMask::DCA,
+            inclusive_mask: WayMask::INCLUSIVE,
+            rand_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The LLC's geometry.
+    #[inline]
+    pub fn geometry(&self) -> LlcGeometry {
+        self.geometry
+    }
+
+    /// Ways DDIO write-allocates into.
+    #[inline]
+    pub fn dca_mask(&self) -> WayMask {
+        self.dca_mask
+    }
+
+    /// Overrides the DDIO way mask (the IIO `IIO_LLC_WAYS` register on real
+    /// hardware; exposed here mainly for ablation studies).
+    pub fn set_dca_mask(&mut self, mask: WayMask) {
+        self.dca_mask = mask;
+    }
+
+    /// The inclusive-way mask (fixed by the directory structure).
+    #[inline]
+    pub fn inclusive_mask(&self) -> WayMask {
+        self.inclusive_mask
+    }
+
+    #[inline]
+    fn split(&self, addr: LineAddr) -> (usize, u64) {
+        (addr.set_index(self.geometry.sets()), addr.tag(self.geometry.sets()))
+    }
+
+    #[inline]
+    fn addr_of(&self, set: usize, tag: u64) -> LineAddr {
+        LineAddr((tag << self.geometry.sets().trailing_zeros()) | set as u64)
+    }
+
+    #[inline]
+    fn line(&self, set: usize, way: usize) -> &DataLine {
+        &self.data[set * LLC_WAYS + way]
+    }
+
+    #[inline]
+    fn line_mut(&mut self, set: usize, way: usize) -> &mut DataLine {
+        &mut self.data[set * LLC_WAYS + way]
+    }
+
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        (0..LLC_WAYS).find(|&w| {
+            let l = self.line(set, w);
+            l.valid && l.tag == tag
+        })
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: deterministic, cheap, good enough for victim picks.
+        let mut x = self.rand_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rand_state = x;
+        x
+    }
+
+    /// Picks the allocation victim way within `mask`: an invalid way if
+    /// one exists, otherwise a (deterministic-)random valid way. Real
+    /// Skylake LLCs run quad-age/NRU *approximations* of LRU; modelling
+    /// them as exact LRU would give live lines unrealistic immunity
+    /// against streams of dead lines (and make DDIO allocation bursts
+    /// leak-free), so the random choice is the more faithful abstraction.
+    fn victim_way(&mut self, set: usize, mask: WayMask) -> usize {
+        debug_assert!(!mask.is_empty(), "allocation mask must be non-empty");
+        for w in mask.iter_ways() {
+            if !self.line(set, w).valid {
+                return w;
+            }
+        }
+        let n = mask.count();
+        let pick = (self.next_rand() % n as u64) as usize;
+        mask.iter_ways().nth(pick).expect("pick < mask.count()")
+    }
+
+    fn evict_way(&mut self, set: usize, way: usize) -> Option<EvictedLlcLine> {
+        let line = *self.line(set, way);
+        if !line.valid {
+            return None;
+        }
+        let addr = self.addr_of(set, line.tag);
+        self.line_mut(set, way).valid = false;
+        Some(EvictedLlcLine {
+            addr,
+            dirty: line.dirty,
+            meta: line.meta,
+            was_in_mlc: line.in_mlc,
+            presence: line.presence,
+        })
+    }
+
+    /// Core-side lookup (on an MLC miss). On a hit the line is brought
+    /// into the reading core's MLC by the caller, so the LLC copy becomes
+    /// LLC-inclusive and — if it is not already in an inclusive way —
+    /// migrates there (observation **O1**).
+    pub fn core_read(&mut self, core: CoreId, addr: LineAddr) -> LlcReadResult {
+        let (set, tag) = self.split(addr);
+        let Some(way) = self.find_way(set, tag) else {
+            return LlcReadResult::Miss;
+        };
+        self.tick += 1;
+        let tick = self.tick;
+        let core_bit = 1u32 << core.index();
+        let from_dca_way = self.dca_mask.contains_way(way);
+        let inclusive_mask = self.inclusive_mask;
+
+        let line = self.line_mut(set, way);
+        let io_first_consume = line.meta.io && !line.meta.consumed;
+        line.meta.consumed = true;
+        line.lru = tick;
+
+        if inclusive_mask.contains_way(way) {
+            // Already in an inclusive way: just gain MLC residency.
+            line.in_mlc = true;
+            line.presence |= core_bit;
+            let meta = line.meta;
+            return LlcReadResult::Hit {
+                migrated: false,
+                from_dca_way,
+                io_first_consume,
+                evicted: None,
+                meta,
+            };
+        }
+
+        // Migrate to an inclusive way (C1). Copy out, free the old way,
+        // evict the inclusive-way victim, install.
+        let moved = *self.line(set, way);
+        self.line_mut(set, way).valid = false;
+        let target = self.victim_way(set, inclusive_mask);
+        let evicted = self.evict_way(set, target);
+        *self.line_mut(set, target) = DataLine {
+            tag: moved.tag,
+            valid: true,
+            dirty: moved.dirty,
+            in_mlc: true,
+            presence: core_bit,
+            lru: tick,
+            meta: moved.meta,
+        };
+        LlcReadResult::Hit {
+            migrated: true,
+            from_dca_way,
+            io_first_consume,
+            evicted,
+            meta: moved.meta,
+        }
+    }
+
+    /// Registers an MLC fill that missed the LLC in the extended
+    /// directory. Returns a forced back-invalidation if the directory set
+    /// was full.
+    pub fn register_mlc_fill(&mut self, core: CoreId, addr: LineAddr) -> Option<ExtDirEviction> {
+        let presence = 1u32 << core.index();
+        self.ext_dir_insert(addr, presence)
+    }
+
+    /// Moves MLC-residency tracking of `addr` into the extended directory.
+    /// Used when an LLC-inclusive line's *data* copy is evicted: in a
+    /// non-inclusive hierarchy the MLC copies survive, so the shared
+    /// directory entry is demoted to an extended-directory entry.
+    pub fn demote_to_ext_dir(&mut self, addr: LineAddr, presence: u32) -> Option<ExtDirEviction> {
+        debug_assert!(presence != 0, "demotion requires MLC residents");
+        self.ext_dir_insert(addr, presence)
+    }
+
+    fn ext_dir_insert(&mut self, addr: LineAddr, presence: u32) -> Option<ExtDirEviction> {
+        let (set, tag) = self.split(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
+
+        // Existing entry: add presence.
+        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
+            if e.valid && e.tag == tag {
+                e.presence |= presence;
+                e.lru = tick;
+                return None;
+            }
+        }
+        // Free entry.
+        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
+            if !e.valid {
+                *e = ExtEntry { tag, valid: true, presence, lru: tick };
+                return None;
+            }
+        }
+        // Evict the LRU extended-directory entry: its MLC copies must be
+        // back-invalidated (the directory-conflict behaviour of Yan et al.).
+        let victim_idx = (0..EXT_DIR_EXCLUSIVE_WAYS)
+            .min_by_key(|&i| self.ext[base + i].lru)
+            .expect("extended directory has ways");
+        let victim = self.ext[base + victim_idx];
+        self.ext[base + victim_idx] = ExtEntry { tag, valid: true, presence, lru: tick };
+        Some(ExtDirEviction { addr: self.addr_of(set, victim.tag), presence: victim.presence })
+    }
+
+    /// Offers an MLC-evicted line to the LLC (the victim-cache fill path).
+    ///
+    /// `alloc_mask` is the evicting core's CLOS mask: CAT constrains which
+    /// ways the victim may be allocated into.
+    pub fn mlc_eviction(
+        &mut self,
+        core: CoreId,
+        addr: LineAddr,
+        dirty: bool,
+        meta: LineMeta,
+        alloc_mask: WayMask,
+    ) -> MlcEvictionOutcome {
+        let (set, tag) = self.split(addr);
+        let core_bit = 1u32 << core.index();
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Case 1: the line is LLC-resident (inclusive ways if in_mlc).
+        if let Some(way) = self.find_way(set, tag) {
+            let inclusive_way = self.inclusive_mask.contains_way(way);
+            let line = self.line_mut(set, way);
+            line.presence &= !core_bit;
+            line.dirty |= dirty;
+            if line.presence != 0 {
+                return MlcEvictionOutcome::StillShared;
+            }
+            line.in_mlc = false;
+            // The inclusive ways only hold lines that are *currently*
+            // MLC-resident (their shared directory entries are scarce);
+            // once the last MLC copy leaves, the line relocates into the
+            // evicting core's CLOS ways — which is exactly where DMA
+            // bloat lands for consumed I/O lines.
+            if !inclusive_way || alloc_mask.contains_way(way) {
+                return MlcEvictionOutcome::MergedIntoLlc;
+            }
+            let moved = *self.line(set, way);
+            self.line_mut(set, way).valid = false;
+            let bloat = moved.meta.io && moved.meta.consumed;
+            let target = self.victim_way(set, alloc_mask);
+            let evicted = self.evict_way(set, target);
+            *self.line_mut(set, target) = DataLine {
+                tag: moved.tag,
+                valid: true,
+                dirty: moved.dirty,
+                in_mlc: false,
+                presence: 0,
+                lru: tick,
+                meta: moved.meta,
+            };
+            return MlcEvictionOutcome::Inserted { bloat, evicted };
+        }
+
+        // Case 2: tracked in the extended directory.
+        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
+        let mut tracked_shared = false;
+        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
+            if e.valid && e.tag == tag {
+                e.presence &= !core_bit;
+                if e.presence != 0 {
+                    tracked_shared = true;
+                } else {
+                    e.valid = false;
+                }
+                break;
+            }
+        }
+        if tracked_shared {
+            return MlcEvictionOutcome::StillShared;
+        }
+
+        // Case 3: last copy leaves the MLCs — insert as a victim.
+        let bloat = meta.io && meta.consumed;
+        let way = self.victim_way(set, alloc_mask);
+        let evicted = self.evict_way(set, way);
+        *self.line_mut(set, way) = DataLine {
+            tag,
+            valid: true,
+            dirty,
+            in_mlc: false,
+            presence: 0,
+            lru: tick,
+            meta,
+        };
+        MlcEvictionOutcome::Inserted { bloat, evicted }
+    }
+
+    /// DCA-enabled DMA write: write-update in place if cached, otherwise
+    /// write-allocate into the DCA ways (CLOS masks do not apply).
+    pub fn dma_write(
+        &mut self,
+        addr: LineAddr,
+        owner: WorkloadId,
+        device: DeviceId,
+    ) -> DmaWriteResult {
+        let (set, tag) = self.split(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let fresh = LineMeta { owner, io: true, consumed: false, device: Some(device) };
+
+        if let Some(way) = self.find_way(set, tag) {
+            // Write update: the line stays where it is.
+            let line = self.line_mut(set, way);
+            let invalidate_presence = if line.in_mlc { line.presence } else { 0 };
+            line.in_mlc = false;
+            line.presence = 0;
+            line.dirty = true;
+            line.meta = fresh;
+            line.lru = tick;
+            return DmaWriteResult::Updated { invalidate_presence };
+        }
+
+        // MLC-only copies are snooped out before the allocate.
+        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
+        let mut invalidate_presence = 0;
+        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
+            if e.valid && e.tag == tag {
+                invalidate_presence = e.presence;
+                e.valid = false;
+                break;
+            }
+        }
+
+        let way = self.victim_way(set, self.dca_mask);
+        let evicted = self.evict_way(set, way);
+        *self.line_mut(set, way) = DataLine {
+            tag,
+            valid: true,
+            dirty: true,
+            in_mlc: false,
+            presence: 0,
+            lru: tick,
+            meta: fresh,
+        };
+        DmaWriteResult::Allocated { invalidate_presence, evicted }
+    }
+
+    /// Snoop-invalidates every cached copy of `addr` (the DCA-disabled DMA
+    /// write path: data goes to memory and stale copies are dropped).
+    ///
+    /// Returns the MLC presence bits the caller must back-invalidate.
+    pub fn snoop_invalidate(&mut self, addr: LineAddr) -> u32 {
+        let (set, tag) = self.split(addr);
+        let mut presence = 0;
+        if let Some(way) = self.find_way(set, tag) {
+            let line = self.line_mut(set, way);
+            presence |= line.presence;
+            line.valid = false;
+        }
+        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
+        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
+            if e.valid && e.tag == tag {
+                presence |= e.presence;
+                e.valid = false;
+                break;
+            }
+        }
+        presence
+    }
+
+    /// Device-initiated read probe (egress path).
+    pub fn dma_read(&mut self, addr: LineAddr) -> DmaReadResult {
+        let (set, tag) = self.split(addr);
+        if let Some(way) = self.find_way(set, tag) {
+            self.tick += 1;
+            let tick = self.tick;
+            self.line_mut(set, way).lru = tick;
+            return DmaReadResult::LlcHit;
+        }
+        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
+        for e in &self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
+            if e.valid && e.tag == tag {
+                return DmaReadResult::MlcOnly { presence: e.presence };
+            }
+        }
+        DmaReadResult::Miss
+    }
+
+    /// Models the egress copy of an MLC-only line into an inclusive way
+    /// ("I/O cache lines are copied to newly read-allocated cache lines in
+    /// inclusive ways, and then DMA-read", §2.2). The MLC copies remain,
+    /// so the line becomes LLC-inclusive.
+    pub fn egress_allocate(
+        &mut self,
+        addr: LineAddr,
+        meta: LineMeta,
+        presence: u32,
+    ) -> Option<EvictedLlcLine> {
+        let (set, tag) = self.split(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        // Remove the extended-directory entry: residency is now tracked by
+        // the shared directory way coupled with the inclusive data way.
+        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
+        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
+            if e.valid && e.tag == tag {
+                e.valid = false;
+                break;
+            }
+        }
+        let way = self.victim_way(set, self.inclusive_mask);
+        let evicted = self.evict_way(set, way);
+        *self.line_mut(set, way) = DataLine {
+            tag,
+            valid: true,
+            dirty: false,
+            in_mlc: true,
+            presence,
+            lru: tick,
+            meta,
+        };
+        evicted
+    }
+
+    /// Read-only probe for tests.
+    pub fn probe(&self, addr: LineAddr) -> Option<ProbeInfo> {
+        let (set, tag) = self.split(addr);
+        self.find_way(set, tag).map(|way| {
+            let l = self.line(set, way);
+            ProbeInfo { way, in_mlc: l.in_mlc, dirty: l.dirty, meta: l.meta }
+        })
+    }
+
+    /// True if the extended directory tracks `addr` for any core.
+    pub fn ext_dir_tracks(&self, addr: LineAddr) -> bool {
+        let (set, tag) = self.split(addr);
+        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
+        self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS]
+            .iter()
+            .any(|e| e.valid && e.tag == tag)
+    }
+
+    /// Number of valid data lines within `mask` across all sets (test and
+    /// occupancy-analysis helper).
+    pub fn occupancy_in(&self, mask: WayMask) -> usize {
+        let mut n = 0;
+        for set in 0..self.geometry.sets() {
+            for w in mask.iter_ways() {
+                if self.line(set, w).valid {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Asserts the structural invariant: every LLC-inclusive line sits in
+    /// an inclusive way. Returns the number of inclusive lines checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated (test helper).
+    pub fn assert_inclusive_invariant(&self) -> usize {
+        let mut checked = 0;
+        for set in 0..self.geometry.sets() {
+            for w in 0..LLC_WAYS {
+                let l = self.line(set, w);
+                if l.valid && l.in_mlc {
+                    assert!(
+                        self.inclusive_mask.contains_way(w),
+                        "inclusive line in non-inclusive way {w} (set {set})"
+                    );
+                    assert!(l.presence != 0, "inclusive line with empty presence");
+                    checked += 1;
+                }
+            }
+        }
+        checked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_model::A4Error;
+
+    fn llc() -> Llc {
+        Llc::new(LlcGeometry::new(16).expect("valid"))
+    }
+
+    fn wl(n: u16) -> WorkloadId {
+        WorkloadId(n)
+    }
+
+    const DEV: DeviceId = DeviceId(0);
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+
+    #[test]
+    fn dma_write_allocates_into_dca_ways_only() {
+        let mut llc = llc();
+        // Three lines in the same set: 2 DCA ways => third evicts.
+        let a = LineAddr(0);
+        let b = LineAddr(16);
+        let c = LineAddr(32);
+        assert!(matches!(
+            llc.dma_write(a, wl(0), DEV),
+            DmaWriteResult::Allocated { evicted: None, .. }
+        ));
+        assert!(matches!(
+            llc.dma_write(b, wl(0), DEV),
+            DmaWriteResult::Allocated { evicted: None, .. }
+        ));
+        let res = llc.dma_write(c, wl(0), DEV);
+        match res {
+            DmaWriteResult::Allocated { evicted: Some(victim), .. } => {
+                assert!(victim.addr == a || victim.addr == b, "a resident DCA line evicted");
+                assert!(victim.is_dma_leak(), "unconsumed I/O eviction is a DMA leak");
+                assert!(victim.dirty, "DMA-written lines are modified");
+            }
+            other => panic!("expected allocation with eviction, got {other:?}"),
+        }
+        let survivors = [a, b, c].iter().filter(|&&l| llc.probe(l).is_some()).count();
+        assert_eq!(survivors, 2, "two of three lines fit the two DCA ways");
+        let p = llc.probe(c).unwrap();
+        assert!(WayMask::DCA.contains_way(p.way));
+        assert!(p.meta.io && !p.meta.consumed);
+    }
+
+    #[test]
+    fn dma_write_updates_in_place_anywhere() {
+        let mut llc = llc();
+        llc.dma_write(LineAddr(5), wl(0), DEV);
+        // Consume => migrates to inclusive way.
+        llc.core_read(C0, LineAddr(5));
+        let way_before = llc.probe(LineAddr(5)).unwrap().way;
+        assert!(WayMask::INCLUSIVE.contains_way(way_before));
+        // A second DMA write to the same line updates in place...
+        let res = llc.dma_write(LineAddr(5), wl(0), DEV);
+        match res {
+            DmaWriteResult::Updated { invalidate_presence } => {
+                assert_eq!(invalidate_presence, 1, "core 0's MLC copy is stale");
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        let p = llc.probe(LineAddr(5)).unwrap();
+        assert_eq!(p.way, way_before, "write update never moves the line");
+        assert!(!p.in_mlc, "MLC residency cleared by the snoop");
+        assert!(!p.meta.consumed, "line is fresh again");
+    }
+
+    #[test]
+    fn core_read_of_dca_line_migrates_to_inclusive_way() {
+        let mut llc = llc();
+        llc.dma_write(LineAddr(7), wl(0), DEV);
+        match llc.core_read(C0, LineAddr(7)) {
+            LlcReadResult::Hit { migrated, from_dca_way, io_first_consume, evicted, .. } => {
+                assert!(migrated);
+                assert!(from_dca_way);
+                assert!(io_first_consume);
+                assert!(evicted.is_none());
+            }
+            LlcReadResult::Miss => panic!("line was cached"),
+        }
+        let p = llc.probe(LineAddr(7)).unwrap();
+        assert!(WayMask::INCLUSIVE.contains_way(p.way));
+        assert!(p.in_mlc);
+        assert!(p.meta.consumed);
+        llc.assert_inclusive_invariant();
+    }
+
+    #[test]
+    fn migration_evicts_inclusive_way_victim() {
+        let mut llc = llc();
+        // Fill both inclusive ways of set 0 via victim inserts.
+        let v1 = LineAddr(16);
+        let v2 = LineAddr(32);
+        let incl = WayMask::INCLUSIVE;
+        llc.mlc_eviction(C0, v1, false, LineMeta::cpu(wl(9)), incl);
+        llc.mlc_eviction(C0, v2, false, LineMeta::cpu(wl(9)), incl);
+        assert_eq!(llc.occupancy_in(incl), 2);
+        // DMA-write + consume a third line in the same set.
+        llc.dma_write(LineAddr(0), wl(0), DEV);
+        match llc.core_read(C0, LineAddr(0)) {
+            LlcReadResult::Hit { migrated: true, evicted: Some(victim), .. } => {
+                assert_eq!(victim.meta.owner, wl(9), "the oblivious workload lost its line");
+                assert!(victim.addr == v1 || victim.addr == v2, "an inclusive-way victim");
+            }
+            other => panic!("expected migration with eviction, got {other:?}"),
+        }
+        llc.assert_inclusive_invariant();
+    }
+
+    #[test]
+    fn second_reader_does_not_remigrate() {
+        let mut llc = llc();
+        llc.dma_write(LineAddr(3), wl(0), DEV);
+        llc.core_read(C0, LineAddr(3));
+        match llc.core_read(C1, LineAddr(3)) {
+            LlcReadResult::Hit { migrated, io_first_consume, .. } => {
+                assert!(!migrated, "already in an inclusive way");
+                assert!(!io_first_consume, "already consumed");
+            }
+            LlcReadResult::Miss => panic!("cached"),
+        }
+        let p = llc.probe(LineAddr(3)).unwrap();
+        assert!(p.in_mlc);
+    }
+
+    #[test]
+    fn mlc_eviction_merges_inclusive_line() {
+        let mut llc = llc();
+        llc.dma_write(LineAddr(3), wl(0), DEV);
+        llc.core_read(C0, LineAddr(3));
+        llc.core_read(C1, LineAddr(3));
+        // First core drops its copy: still shared.
+        assert_eq!(
+            llc.mlc_eviction(C0, LineAddr(3), false, LineMeta::io(wl(0), DEV), WayMask::ALL),
+            MlcEvictionOutcome::StillShared
+        );
+        // Second core drops: the line merges into the LLC (stays resident).
+        assert_eq!(
+            llc.mlc_eviction(C1, LineAddr(3), true, LineMeta::io(wl(0), DEV), WayMask::ALL),
+            MlcEvictionOutcome::MergedIntoLlc
+        );
+        let p = llc.probe(LineAddr(3)).unwrap();
+        assert!(!p.in_mlc);
+        assert!(p.dirty, "MLC dirtiness merged in");
+        llc.assert_inclusive_invariant();
+    }
+
+    #[test]
+    fn mlc_eviction_inserts_with_clos_mask_and_flags_bloat() {
+        let mut llc = llc();
+        let mask = WayMask::from_paper_range(5, 6).unwrap();
+        let mut consumed_io = LineMeta::io(wl(1), DEV);
+        consumed_io.consumed = true;
+        // Track in ext dir first (as a real MLC fill would).
+        llc.register_mlc_fill(C0, LineAddr(8));
+        match llc.mlc_eviction(C0, LineAddr(8), false, consumed_io, mask) {
+            MlcEvictionOutcome::Inserted { bloat, evicted } => {
+                assert!(bloat, "consumed I/O line returning to LLC is DMA bloat");
+                assert!(evicted.is_none());
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+        let p = llc.probe(LineAddr(8)).unwrap();
+        assert!(mask.contains_way(p.way), "CAT constrains victim insertion");
+        assert!(!llc.ext_dir_tracks(LineAddr(8)));
+    }
+
+    #[test]
+    fn clos_mask_constrains_but_hits_are_global() {
+        let mut llc = llc();
+        let left = WayMask::from_paper_range(2, 3).unwrap();
+        llc.register_mlc_fill(C0, LineAddr(4));
+        llc.mlc_eviction(C0, LineAddr(4), false, LineMeta::cpu(wl(0)), left);
+        // A core whose CLOS excludes ways 2-3 still hits the line.
+        assert!(matches!(llc.core_read(C1, LineAddr(4)), LlcReadResult::Hit { .. }));
+    }
+
+    #[test]
+    fn ext_dir_eviction_back_invalidates() {
+        let mut llc = llc();
+        // Fill all 10 exclusive extended-directory ways of set 0.
+        for i in 0..EXT_DIR_EXCLUSIVE_WAYS as u64 {
+            assert!(llc.register_mlc_fill(C0, LineAddr(i * 16)).is_none());
+        }
+        let forced = llc.register_mlc_fill(C1, LineAddr(160)).expect("dir set is full");
+        assert_eq!(forced.addr, LineAddr(0), "LRU entry evicted");
+        assert_eq!(forced.presence, 1);
+        assert!(!llc.ext_dir_tracks(LineAddr(0)));
+        assert!(llc.ext_dir_tracks(LineAddr(160)));
+    }
+
+    #[test]
+    fn shared_ext_dir_entry_aggregates_presence() {
+        let mut llc = llc();
+        assert!(llc.register_mlc_fill(C0, LineAddr(4)).is_none());
+        assert!(llc.register_mlc_fill(C1, LineAddr(4)).is_none());
+        // Dropping one core keeps tracking alive.
+        assert_eq!(
+            llc.mlc_eviction(C0, LineAddr(4), false, LineMeta::cpu(wl(0)), WayMask::ALL),
+            MlcEvictionOutcome::StillShared
+        );
+        assert!(llc.ext_dir_tracks(LineAddr(4)));
+    }
+
+    #[test]
+    fn snoop_invalidate_clears_everything() {
+        let mut llc = llc();
+        llc.dma_write(LineAddr(2), wl(0), DEV);
+        llc.core_read(C0, LineAddr(2));
+        let presence = llc.snoop_invalidate(LineAddr(2));
+        assert_eq!(presence, 1);
+        assert!(llc.probe(LineAddr(2)).is_none());
+        assert_eq!(llc.snoop_invalidate(LineAddr(2)), 0);
+    }
+
+    #[test]
+    fn dma_read_paths() {
+        let mut llc = llc();
+        // LLC hit.
+        llc.dma_write(LineAddr(1), wl(0), DEV);
+        assert_eq!(llc.dma_read(LineAddr(1)), DmaReadResult::LlcHit);
+        // MLC only.
+        llc.register_mlc_fill(C0, LineAddr(17));
+        assert_eq!(llc.dma_read(LineAddr(17)), DmaReadResult::MlcOnly { presence: 1 });
+        // Miss: no allocation on the pure-memory path (Kurth et al. [36]).
+        assert_eq!(llc.dma_read(LineAddr(33)), DmaReadResult::Miss);
+        assert!(llc.probe(LineAddr(33)).is_none());
+    }
+
+    #[test]
+    fn egress_allocate_lands_in_inclusive_way() {
+        let mut llc = llc();
+        llc.register_mlc_fill(C0, LineAddr(17));
+        let meta = LineMeta::cpu(wl(0));
+        let evicted = llc.egress_allocate(LineAddr(17), meta, 1);
+        assert!(evicted.is_none());
+        let p = llc.probe(LineAddr(17)).unwrap();
+        assert!(WayMask::INCLUSIVE.contains_way(p.way));
+        assert!(p.in_mlc);
+        assert!(!llc.ext_dir_tracks(LineAddr(17)));
+        llc.assert_inclusive_invariant();
+    }
+
+    #[test]
+    fn custom_dca_mask_is_honoured() {
+        let mut llc = llc();
+        let three = WayMask::from_paper_range(0, 2).unwrap();
+        llc.set_dca_mask(three);
+        for i in 0..3u64 {
+            llc.dma_write(LineAddr(i * 16), wl(0), DEV);
+        }
+        assert_eq!(llc.occupancy_in(three), 3);
+        assert_eq!(llc.dca_mask(), three);
+    }
+
+    #[test]
+    fn geometry_validation_flows_through() {
+        assert!(matches!(
+            LlcGeometry::new(17),
+            Err(A4Error::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,66 @@
+//! Per-line metadata carried through the hierarchy.
+
+use a4_model::{DeviceId, WorkloadId};
+use serde::{Deserialize, Serialize};
+
+/// Metadata attached to every cached line.
+///
+/// The A4 contentions are all *attribution* questions — whose line evicted
+/// whose — so every line remembers which workload owns it, whether it holds
+/// I/O data, which device wrote it, and whether a core has consumed it
+/// since the last DMA write. The consumed flag is what separates a benign
+/// eviction from a *DMA leak*.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::LineMeta;
+/// use a4_model::{DeviceId, WorkloadId};
+///
+/// let io = LineMeta::io(WorkloadId(3), DeviceId(0));
+/// assert!(io.io && !io.consumed);
+/// let cpu = LineMeta::cpu(WorkloadId(1));
+/// assert!(!cpu.io && cpu.consumed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineMeta {
+    /// Workload the line is attributed to (consumer for I/O lines).
+    pub owner: WorkloadId,
+    /// True if the line holds DMA-written I/O data.
+    pub io: bool,
+    /// For I/O lines: has any core read the line since its last DMA write?
+    /// Always true for CPU lines (they are born from a core access).
+    pub consumed: bool,
+    /// Device that DMA-wrote the line, if any.
+    pub device: Option<DeviceId>,
+}
+
+impl LineMeta {
+    /// Metadata for a line created by a core access.
+    pub fn cpu(owner: WorkloadId) -> Self {
+        LineMeta { owner, io: false, consumed: true, device: None }
+    }
+
+    /// Metadata for a freshly DMA-written I/O line (not yet consumed).
+    pub fn io(owner: WorkloadId, device: DeviceId) -> Self {
+        LineMeta { owner, io: true, consumed: false, device: Some(device) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let cpu = LineMeta::cpu(WorkloadId(7));
+        assert_eq!(cpu.owner, WorkloadId(7));
+        assert!(cpu.consumed);
+        assert!(cpu.device.is_none());
+
+        let io = LineMeta::io(WorkloadId(2), DeviceId(1));
+        assert!(io.io);
+        assert!(!io.consumed);
+        assert_eq!(io.device, Some(DeviceId(1)));
+    }
+}

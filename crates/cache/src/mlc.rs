@@ -1,0 +1,306 @@
+//! The private Mid-Level Cache (L2) of one core.
+//!
+//! In the non-inclusive Skylake hierarchy the MLC is where core misses are
+//! filled *first* (bypassing the LLC); the LLC only receives lines when the
+//! MLC evicts them. The MLC is a plain set-associative LRU cache — all the
+//! exotic behaviour lives in the LLC and its directory.
+
+use crate::meta::LineMeta;
+use crate::MlcGeometry;
+use a4_model::LineAddr;
+
+/// A line evicted from an MLC, to be offered to the LLC as a victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedMlcLine {
+    /// Address of the evicted line.
+    pub addr: LineAddr,
+    /// True if the MLC copy was modified.
+    pub dirty: bool,
+    /// Metadata carried by the line.
+    pub meta: LineMeta,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MlcLine {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+    meta: LineMeta,
+}
+
+const INVALID: MlcLine = MlcLine {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+    meta: LineMeta {
+        owner: a4_model::WorkloadId(0),
+        io: false,
+        consumed: true,
+        device: None,
+    },
+};
+
+/// One core's private mid-level cache.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::{LineMeta, Mlc, MlcGeometry};
+/// use a4_model::{LineAddr, WorkloadId};
+///
+/// let mut mlc = Mlc::new(MlcGeometry::new(8, 2)?);
+/// let meta = LineMeta::cpu(WorkloadId(0));
+/// assert!(mlc.fill(LineAddr(1), meta, false).is_none());
+/// assert!(mlc.lookup(LineAddr(1), false));
+/// assert!(!mlc.lookup(LineAddr(2), false));
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlc {
+    geometry: MlcGeometry,
+    lines: Vec<MlcLine>,
+    tick: u64,
+    live: usize,
+}
+
+impl Mlc {
+    /// Creates an empty MLC with the given geometry.
+    pub fn new(geometry: MlcGeometry) -> Self {
+        Mlc {
+            geometry,
+            lines: vec![INVALID; geometry.sets() * geometry.ways()],
+            tick: 0,
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, addr: LineAddr) -> (usize, u64) {
+        let set = addr.set_index(self.geometry.sets());
+        let tag = addr.tag(self.geometry.sets());
+        (set * self.geometry.ways(), tag)
+    }
+
+    /// Looks up `addr`; on a hit updates recency and, for `write`, marks
+    /// the line dirty. Returns whether it hit.
+    pub fn lookup(&mut self, addr: LineAddr, write: bool) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.tick += 1;
+        for line in &mut self.lines[base..base + self.geometry.ways()] {
+            if line.valid && line.tag == tag {
+                line.lru = self.tick;
+                line.dirty |= write;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if the line is present (no recency update).
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.lines[base..base + self.geometry.ways()]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Returns the metadata of a resident line, if present.
+    pub fn meta(&self, addr: LineAddr) -> Option<LineMeta> {
+        let (base, tag) = self.set_range(addr);
+        self.lines[base..base + self.geometry.ways()]
+            .iter()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| l.meta)
+    }
+
+    /// Inserts a line, returning the evicted victim if the set was full.
+    ///
+    /// Filling a line that is already present updates it in place and
+    /// returns `None`.
+    pub fn fill(&mut self, addr: LineAddr, meta: LineMeta, dirty: bool) -> Option<EvictedMlcLine> {
+        let (base, tag) = self.set_range(addr);
+        let ways = self.geometry.ways();
+        self.tick += 1;
+        let set = &mut self.lines[base..base + ways];
+
+        // Already present: refresh in place.
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            line.dirty |= dirty;
+            line.meta = meta;
+            return None;
+        }
+
+        // Free way if any.
+        if let Some(line) = set.iter_mut().find(|l| !l.valid) {
+            *line = MlcLine { tag, valid: true, dirty, lru: self.tick, meta };
+            self.live += 1;
+            return None;
+        }
+
+        // Evict LRU.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)
+            .expect("mlc set has at least one way");
+        let victim = set[victim_idx];
+        set[victim_idx] = MlcLine { tag, valid: true, dirty, lru: self.tick, meta };
+        let sets = self.geometry.sets();
+        let set_index = base / ways;
+        let addr = LineAddr((victim.tag << sets.trailing_zeros()) | set_index as u64);
+        Some(EvictedMlcLine { addr, dirty: victim.dirty, meta: victim.meta })
+    }
+
+    /// Invalidates a line (back-invalidation or DMA snoop). Returns the
+    /// dropped line's `(dirty, meta)` if it was present.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<(bool, LineMeta)> {
+        let (base, tag) = self.set_range(addr);
+        for line in &mut self.lines[base..base + self.geometry.ways()] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                self.live -= 1;
+                return Some((line.dirty, line.meta));
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently resident.
+    #[inline]
+    pub fn live_lines(&self) -> usize {
+        self.live
+    }
+
+    /// Capacity in lines.
+    #[inline]
+    pub fn capacity_lines(&self) -> usize {
+        self.geometry.sets() * self.geometry.ways()
+    }
+
+    /// The cache's geometry.
+    #[inline]
+    pub fn geometry(&self) -> MlcGeometry {
+        self.geometry
+    }
+
+    /// Drops every line (workload teardown in tests).
+    pub fn flush(&mut self) {
+        self.lines.iter_mut().for_each(|l| l.valid = false);
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_model::WorkloadId;
+    use proptest::prelude::*;
+
+    fn meta() -> LineMeta {
+        LineMeta::cpu(WorkloadId(0))
+    }
+
+    fn tiny() -> Mlc {
+        Mlc::new(MlcGeometry::new(4, 2).unwrap())
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut mlc = tiny();
+        assert!(!mlc.lookup(LineAddr(5), false));
+        assert!(mlc.fill(LineAddr(5), meta(), false).is_none());
+        assert!(mlc.lookup(LineAddr(5), false));
+        assert_eq!(mlc.live_lines(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_returns_correct_address() {
+        let mut mlc = tiny();
+        // Set 0 with 4 sets: addresses 0, 4, 8 map to set 0.
+        mlc.fill(LineAddr(0), meta(), false);
+        mlc.fill(LineAddr(4), meta(), true);
+        // Touch 0 so 4 becomes LRU.
+        assert!(mlc.lookup(LineAddr(0), false));
+        let evicted = mlc.fill(LineAddr(8), meta(), false).expect("set was full");
+        assert_eq!(evicted.addr, LineAddr(4));
+        assert!(evicted.dirty);
+        assert!(mlc.contains(LineAddr(0)));
+        assert!(mlc.contains(LineAddr(8)));
+        assert!(!mlc.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn refill_updates_in_place() {
+        let mut mlc = tiny();
+        mlc.fill(LineAddr(3), meta(), false);
+        assert!(mlc.fill(LineAddr(3), meta(), true).is_none());
+        assert_eq!(mlc.live_lines(), 1);
+        let (dirty, _) = mlc.invalidate(LineAddr(3)).unwrap();
+        assert!(dirty, "dirty bit must accumulate on refill");
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut mlc = tiny();
+        mlc.fill(LineAddr(9), meta(), true);
+        assert_eq!(mlc.invalidate(LineAddr(9)), Some((true, meta())));
+        assert_eq!(mlc.invalidate(LineAddr(9)), None);
+        assert_eq!(mlc.live_lines(), 0);
+    }
+
+    #[test]
+    fn write_lookup_sets_dirty() {
+        let mut mlc = tiny();
+        mlc.fill(LineAddr(1), meta(), false);
+        assert!(mlc.lookup(LineAddr(1), true));
+        assert_eq!(mlc.invalidate(LineAddr(1)).unwrap().0, true);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut mlc = tiny();
+        for i in 0..8 {
+            mlc.fill(LineAddr(i), meta(), false);
+        }
+        mlc.flush();
+        assert_eq!(mlc.live_lines(), 0);
+        assert!(!mlc.contains(LineAddr(0)));
+    }
+
+    proptest! {
+        /// No set ever holds two copies of the same tag, and occupancy
+        /// never exceeds capacity.
+        #[test]
+        fn set_invariants_hold(addrs in prop::collection::vec(0u64..64, 1..200)) {
+            let mut mlc = Mlc::new(MlcGeometry::new(8, 4).unwrap());
+            for &a in &addrs {
+                mlc.fill(LineAddr(a), meta(), a % 2 == 0);
+                prop_assert!(mlc.live_lines() <= mlc.capacity_lines());
+            }
+            // Every address is either present exactly once or absent:
+            // invalidating twice never succeeds twice.
+            for &a in &addrs {
+                if mlc.invalidate(LineAddr(a)).is_some() {
+                    prop_assert!(mlc.invalidate(LineAddr(a)).is_none());
+                }
+            }
+            prop_assert_eq!(mlc.live_lines(), 0);
+        }
+
+        /// The evicted address always maps to the same set as the fill.
+        #[test]
+        fn eviction_address_is_set_local(addrs in prop::collection::vec(0u64..1024, 50..150)) {
+            let mut mlc = Mlc::new(MlcGeometry::new(8, 2).unwrap());
+            for &a in &addrs {
+                if let Some(ev) = mlc.fill(LineAddr(a), meta(), false) {
+                    prop_assert_eq!(ev.addr.set_index(8), LineAddr(a).set_index(8));
+                    prop_assert!(!mlc.contains(ev.addr));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests over random operation sequences: the structural
+//! invariants of the modelled hierarchy must survive *any* interleaving
+//! of core accesses, DMA traffic and CAT reprogramming.
+
+use a4_cache::{CacheHierarchy, HierarchyConfig};
+use a4_model::{ClosId, CoreId, DeviceId, LineAddr, WayMask, WorkloadId};
+use proptest::prelude::*;
+
+/// One step of a random workload/device interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    Read { core: u8, line: u64 },
+    Write { core: u8, line: u64 },
+    ReadIo { core: u8, line: u64 },
+    DmaWrite { line: u64, dca: bool },
+    DmaRead { line: u64 },
+    SetMask { clos: u8, start: usize, len: usize },
+    Assign { core: u8, clos: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u64..256).prop_map(|(core, line)| Op::Read { core, line }),
+        (0u8..4, 0u64..256).prop_map(|(core, line)| Op::Write { core, line }),
+        (0u8..4, 0u64..256).prop_map(|(core, line)| Op::ReadIo { core, line }),
+        (0u64..256, any::<bool>()).prop_map(|(line, dca)| Op::DmaWrite { line, dca }),
+        (0u64..256).prop_map(|line| Op::DmaRead { line }),
+        (0u8..4, 0usize..10, 1usize..6).prop_map(|(clos, start, len)| Op::SetMask {
+            clos,
+            start,
+            len
+        }),
+        (0u8..4, 0u8..4).prop_map(|(core, clos)| Op::Assign { core, clos }),
+    ]
+}
+
+fn apply(h: &mut CacheHierarchy, op: &Op) {
+    let wl = WorkloadId(0);
+    match *op {
+        Op::Read { core, line } => {
+            h.core_read(CoreId(core), LineAddr(line), wl);
+        }
+        Op::Write { core, line } => {
+            h.core_write(CoreId(core), LineAddr(line), wl);
+        }
+        Op::ReadIo { core, line } => {
+            h.core_read_io(CoreId(core), LineAddr(line), wl);
+        }
+        Op::DmaWrite { line, dca } => {
+            h.dma_write(DeviceId(0), LineAddr(line), wl, dca);
+        }
+        Op::DmaRead { line } => {
+            h.dma_read(DeviceId(0), LineAddr(line));
+        }
+        Op::SetMask { clos, start, len } => {
+            if let Ok(mask) = WayMask::from_range(start, (start + len).min(11)) {
+                let _ = h.clos_mut().set_mask(ClosId(clos), mask);
+            }
+        }
+        Op::Assign { core, clos } => {
+            let _ = h.clos_mut().assign_core(CoreId(core), ClosId(clos));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The inclusive-way invariant — every LLC-inclusive line sits in
+    /// ways 9-10 with a non-empty presence bitmap — holds under any
+    /// operation interleaving.
+    #[test]
+    fn inclusive_invariant_survives_chaos(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+        for op in &ops {
+            apply(&mut h, op);
+            h.llc().assert_inclusive_invariant();
+        }
+    }
+
+    /// MLC residency is always consistent with LLC-side tracking: any
+    /// line present in some MLC is either an inclusive LLC line or has
+    /// an extended-directory entry.
+    #[test]
+    fn mlc_residency_is_always_tracked(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+        for op in &ops {
+            apply(&mut h, op);
+        }
+        for line in 0..256u64 {
+            let addr = LineAddr(line);
+            let in_any_mlc = (0..4).any(|c| h.mlc(CoreId(c)).contains(addr));
+            if in_any_mlc {
+                let tracked_inclusive =
+                    h.llc().probe(addr).map(|p| p.in_mlc).unwrap_or(false);
+                let tracked_ext = h.llc().ext_dir_tracks(addr);
+                prop_assert!(
+                    tracked_inclusive || tracked_ext,
+                    "line {addr} resident in an MLC but untracked by any directory"
+                );
+            }
+        }
+    }
+
+    /// Counter sanity under chaos: hits + misses add up, and no counter
+    /// ever exceeds the number of operations that could have produced it.
+    #[test]
+    fn counters_are_consistent(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut core_ops = 0u64;
+        let mut dma_writes = 0u64;
+        for op in &ops {
+            match op {
+                Op::Read { .. } | Op::Write { .. } | Op::ReadIo { .. } => core_ops += 1,
+                Op::DmaWrite { .. } => dma_writes += 1,
+                _ => {}
+            }
+            apply(&mut h, op);
+        }
+        let t = &h.stats().total;
+        prop_assert_eq!(t.accesses(), core_ops, "every core op is counted exactly once");
+        let dev = h.stats().device(DeviceId(0));
+        prop_assert_eq!(dev.dma_write_lines, dma_writes);
+        prop_assert_eq!(
+            dev.dca_allocs + dev.dca_updates + dev.dma_to_memory_lines,
+            dma_writes,
+            "every DMA write is exactly one of allocate/update/bypass"
+        );
+        prop_assert!(t.dma_leaks <= dev.dca_allocs, "leaks only from allocations");
+    }
+
+    /// DMA writes with DCA disabled never leave a copy in the LLC.
+    #[test]
+    fn dca_off_never_caches(lines in prop::collection::vec(0u64..128, 1..100)) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+        for &l in &lines {
+            h.dma_write(DeviceId(0), LineAddr(l), WorkloadId(0), false);
+            prop_assert!(h.llc().probe(LineAddr(l)).is_none());
+        }
+    }
+
+    /// CAT masks constrain victim-cache insertions: after confining a
+    /// core to a mask and streaming through it, no line owned by that
+    /// stream occupies a way outside the mask ∪ inclusive ways.
+    #[test]
+    fn clos_confines_insertions(start in 2usize..8, len in 1usize..3) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mask = WayMask::from_range(start, start + len).unwrap();
+        h.clos_mut().set_mask(ClosId(1), mask).unwrap();
+        h.clos_mut().assign_core(CoreId(0), ClosId(1)).unwrap();
+        let wl = WorkloadId(5);
+        for l in 0..200u64 {
+            h.core_read(CoreId(0), LineAddr(l), wl);
+        }
+        for l in 0..200u64 {
+            if let Some(p) = h.llc().probe(LineAddr(l)) {
+                if p.meta.owner == wl {
+                    prop_assert!(
+                        mask.contains_way(p.way) || WayMask::INCLUSIVE.contains_way(p.way),
+                        "line in way {} outside mask {} and inclusive ways",
+                        p.way,
+                        mask
+                    );
+                }
+            }
+        }
+    }
+}

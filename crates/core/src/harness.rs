@@ -1,0 +1,244 @@
+//! Run harness: drives a [`System`] under an [`LlcPolicy`] and collects
+//! per-second samples, mirroring the paper's 70 s runs (warm-up +
+//! measurement windows, §6).
+
+use crate::LlcPolicy;
+use a4_model::WorkloadId;
+use a4_sim::{LatencyKind, MonitorSample, System};
+
+/// A completed run: every monitoring sample plus aggregate helpers.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The policy's display name.
+    pub policy: String,
+    /// One sample per logical second (measurement window only).
+    pub samples: Vec<MonitorSample>,
+}
+
+impl RunReport {
+    /// Mean of a per-workload metric over the measurement window.
+    pub fn mean_of(&self, id: WorkloadId, f: impl Fn(&a4_sim::WorkloadSample) -> f64) -> f64 {
+        let values: Vec<f64> =
+            self.samples.iter().filter_map(|s| s.workload(id)).map(&f).collect();
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Mean IPC of a workload.
+    pub fn ipc(&self, id: WorkloadId) -> f64 {
+        self.mean_of(id, |w| w.ipc)
+    }
+
+    /// Mean LLC hit rate of a workload.
+    pub fn llc_hit_rate(&self, id: WorkloadId) -> f64 {
+        self.mean_of(id, |w| w.llc_hit_rate)
+    }
+
+    /// Mean LLC miss rate of a workload.
+    pub fn llc_miss_rate(&self, id: WorkloadId) -> f64 {
+        self.mean_of(id, |w| w.llc_miss_rate)
+    }
+
+    /// Total operations completed by a workload across the window.
+    pub fn total_ops(&self, id: WorkloadId) -> u64 {
+        self.samples.iter().filter_map(|s| s.workload(id)).map(|w| w.ops).sum()
+    }
+
+    /// Total I/O bytes of a workload across the window.
+    pub fn total_io_bytes(&self, id: WorkloadId) -> u64 {
+        self.samples.iter().filter_map(|s| s.workload(id)).map(|w| w.io_bytes).sum()
+    }
+
+    /// Total instructions of a workload across the window.
+    pub fn total_instructions(&self, id: WorkloadId) -> u64 {
+        self.samples.iter().filter_map(|s| s.workload(id)).map(|w| w.instructions).sum()
+    }
+
+    /// Instructions summed over every workload (facade quick check).
+    pub fn total_instructions_all(&self) -> u64 {
+        self.samples
+            .iter()
+            .flat_map(|s| s.workloads.iter())
+            .map(|w| w.instructions)
+            .sum()
+    }
+
+    /// Count-weighted mean latency of one histogram slot, in ns.
+    pub fn mean_latency_ns(&self, id: WorkloadId, kind: LatencyKind) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0u64;
+        for s in &self.samples {
+            if let Some(w) = s.workload(id) {
+                let stat = w.latency_of(kind);
+                total += stat.mean_ns * stat.count as f64;
+                count += stat.count;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Maximum per-interval p99 of one histogram slot (a conservative
+    /// tail estimate across the window), in ns.
+    pub fn p99_latency_ns(&self, id: WorkloadId, kind: LatencyKind) -> u64 {
+        self.samples
+            .iter()
+            .filter_map(|s| s.workload(id))
+            .map(|w| w.latency_of(kind).p99_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean system memory read bandwidth over the window, GB/s.
+    pub fn mem_read_gbps(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.mem_read_gbps()))
+    }
+
+    /// Mean system memory write bandwidth over the window, GB/s.
+    pub fn mem_write_gbps(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.mem_write_gbps()))
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let values: Vec<f64> = iter.collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Owns a [`System`] plus a policy and runs the measurement protocol.
+///
+/// # Examples
+///
+/// ```
+/// use a4_core::{DefaultPolicy, Harness};
+/// use a4_sim::{System, SystemConfig};
+///
+/// let sys = System::new(SystemConfig::small_test());
+/// let mut harness = Harness::new(sys);
+/// harness.attach_policy(Box::new(DefaultPolicy::new()));
+/// let report = harness.run(2, 3); // 2 s warm-up, 3 s measurement
+/// assert_eq!(report.samples.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Harness {
+    system: System,
+    policy: Option<Box<dyn LlcPolicy>>,
+}
+
+impl Harness {
+    /// Wraps a configured system (workloads and devices already added).
+    pub fn new(system: System) -> Self {
+        Harness { system, policy: None }
+    }
+
+    /// Installs the LLC-management policy (none = uncontrolled hardware
+    /// defaults).
+    pub fn attach_policy(&mut self, policy: Box<dyn LlcPolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// The system, for further configuration between runs.
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// Read-only system access.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Runs `warmup` logical seconds (policy active, samples discarded)
+    /// followed by `measure` recorded seconds.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> RunReport {
+        let mut samples = Vec::with_capacity(measure as usize);
+        for second in 0..warmup + measure {
+            self.system.run_logical_seconds(1);
+            let sample = self.system.sample();
+            if let Some(policy) = self.policy.as_mut() {
+                policy.tick(&mut self.system, &sample);
+            }
+            if second >= warmup {
+                samples.push(sample);
+            }
+        }
+        RunReport {
+            policy: self.policy.as_ref().map_or("none".into(), |p| p.name().to_string()),
+            samples,
+        }
+    }
+
+    /// Convenience wrapper: run `seconds` with no warm-up.
+    pub fn run_secs(&mut self, seconds: u64) -> RunReport {
+        self.run(0, seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DefaultPolicy;
+    use a4_model::{CoreId, LineAddr, Priority, WorkloadKind};
+    use a4_sim::{CoreCtx, SystemConfig, Workload, WorkloadInfo};
+
+    #[derive(Debug)]
+    struct Busy(LineAddr);
+    impl Workload for Busy {
+        fn info(&self) -> WorkloadInfo {
+            WorkloadInfo { name: "busy".into(), kind: WorkloadKind::NonIo, device: None }
+        }
+        fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+            while ctx.has_budget() {
+                ctx.read(self.0);
+                ctx.compute(10.0, 10);
+                ctx.add_ops(1);
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_samples_are_discarded() {
+        let mut sys = System::new(SystemConfig::small_test());
+        let base = sys.alloc_lines(1);
+        let id = sys.add_workload(Box::new(Busy(base)), vec![CoreId(0)], Priority::High).unwrap();
+        let mut h = Harness::new(sys);
+        h.attach_policy(Box::new(DefaultPolicy::new()));
+        let report = h.run(3, 4);
+        assert_eq!(report.samples.len(), 4);
+        assert_eq!(report.policy, "Default");
+        assert!(report.ipc(id) > 0.0);
+        assert!(report.total_ops(id) > 0);
+        assert!(report.total_instructions(id) > 0);
+        assert!(report.total_instructions_all() >= report.total_instructions(id));
+    }
+
+    #[test]
+    fn runs_without_policy() {
+        let sys = System::new(SystemConfig::small_test());
+        let mut h = Harness::new(sys);
+        let report = h.run_secs(2);
+        assert_eq!(report.policy, "none");
+        assert_eq!(report.samples.len(), 2);
+        assert_eq!(report.mem_read_gbps(), 0.0);
+    }
+
+    #[test]
+    fn aggregates_handle_missing_workloads() {
+        let sys = System::new(SystemConfig::small_test());
+        let mut h = Harness::new(sys);
+        let report = h.run_secs(1);
+        let ghost = a4_model::WorkloadId(42);
+        assert_eq!(report.ipc(ghost), 0.0);
+        assert_eq!(report.total_ops(ghost), 0);
+        assert_eq!(report.p99_latency_ns(ghost, a4_sim::LatencyKind::NetTotal), 0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Real-hardware control backends.
+//!
+//! The [`crate::A4Controller`] drives the simulator directly; this module
+//! shows how the identical decisions map onto a real Skylake-SP server:
+//! CAT via the Linux `resctrl` filesystem, and the per-port DCA knob via
+//! PCI configuration-space writes (as `setpci` / the `ddio-bench` tooling
+//! does). The backend is exercised against an in-memory filesystem in
+//! tests; on a machine with `/sys/fs/resctrl` mounted it emits the real
+//! writes.
+
+mod resctrl;
+
+pub use resctrl::{FsWrite, MemFs, ResctrlBackend};

@@ -1,0 +1,126 @@
+//! The controller's per-workload bookkeeping.
+
+use a4_model::{DeviceId, Priority, WorkloadId, WorkloadKind};
+use serde::{Deserialize, Serialize};
+
+/// Why a workload is currently treated as an antagonist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AntagonistKind {
+    /// Storage-I/O workload causing DMA leak (§5.4): its device's DCA was
+    /// disabled and the workload demoted to LPW.
+    StorageIo {
+        /// The device whose DCA A4 disabled.
+        device: DeviceId,
+        /// Storage throughput (interval I/O bytes) at detection time, the
+        /// reference for phase-change restoration.
+        io_bytes_at_detection: u64,
+    },
+    /// Non-I/O streaming workload (§5.5) under pseudo LLC bypassing.
+    NonIo {
+        /// LLC miss rate at detection time, the restoration reference.
+        llc_miss_at_detection: f64,
+    },
+}
+
+/// Mutable controller state for one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadState {
+    /// The workload.
+    pub id: WorkloadId,
+    /// Traffic class.
+    pub kind: WorkloadKind,
+    /// The user-declared QoS priority.
+    pub original_priority: Priority,
+    /// The priority A4 currently enforces (antagonists are demoted).
+    pub effective_priority: Priority,
+    /// Antagonist status, if detected.
+    pub antagonist: Option<AntagonistKind>,
+    /// HPW LLC hit rate recorded at the initial partitions (the T1
+    /// baseline). `None` until the first post-re-zone sample.
+    pub baseline_hit_rate: Option<f64>,
+    /// The device the workload drives, if any.
+    pub device: Option<DeviceId>,
+    /// Current trash-way mask width while under pseudo bypassing (number
+    /// of ways; counts down towards 1).
+    pub trash_ways: Option<usize>,
+    /// Metrics of the previous tick, for stability checks:
+    /// (llc_miss_rate, io_bytes).
+    pub last_metrics: (f64, u64),
+}
+
+impl WorkloadState {
+    /// Fresh state for a newly observed workload.
+    pub fn new(
+        id: WorkloadId,
+        kind: WorkloadKind,
+        priority: Priority,
+        device: Option<DeviceId>,
+    ) -> Self {
+        WorkloadState {
+            id,
+            kind,
+            original_priority: priority,
+            effective_priority: priority,
+            antagonist: None,
+            baseline_hit_rate: None,
+            device,
+            trash_ways: None,
+            last_metrics: (0.0, 0),
+        }
+    }
+
+    /// True if A4 currently treats the workload as high priority.
+    pub fn is_hpw(&self) -> bool {
+        self.effective_priority.is_high()
+    }
+
+    /// True if this is an I/O HPW (gets the DCA Zone and an unrestricted
+    /// mask).
+    pub fn is_io_hpw(&self) -> bool {
+        self.is_hpw() && self.kind.is_io()
+    }
+
+    /// Demotes the workload to LPW as an antagonist.
+    pub fn demote(&mut self, why: AntagonistKind) {
+        self.antagonist = Some(why);
+        self.effective_priority = Priority::Low;
+    }
+
+    /// Restores the original priority and clears antagonist status.
+    pub fn restore(&mut self) {
+        self.antagonist = None;
+        self.effective_priority = self.original_priority;
+        self.trash_ways = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demote_restore_cycle() {
+        let mut w = WorkloadState::new(
+            WorkloadId(1),
+            WorkloadKind::StorageIo,
+            Priority::High,
+            Some(DeviceId(1)),
+        );
+        assert!(w.is_hpw());
+        assert!(w.is_io_hpw());
+        w.demote(AntagonistKind::StorageIo { device: DeviceId(1), io_bytes_at_detection: 500 });
+        assert!(!w.is_hpw());
+        assert!(w.antagonist.is_some());
+        w.restore();
+        assert!(w.is_hpw());
+        assert!(w.antagonist.is_none());
+        assert!(w.trash_ways.is_none());
+    }
+
+    #[test]
+    fn non_io_hpw_is_not_io_hpw() {
+        let w = WorkloadState::new(WorkloadId(0), WorkloadKind::NonIo, Priority::High, None);
+        assert!(w.is_hpw());
+        assert!(!w.is_io_hpw());
+    }
+}

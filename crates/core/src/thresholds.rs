@@ -1,0 +1,141 @@
+//! The five A4 thresholds (Table 1) and the two timing parameters (§5.7).
+
+use serde::{Deserialize, Serialize};
+
+/// Threshold values steering the A4 controller.
+///
+/// Names follow the paper:
+///
+/// | field | paper name | default |
+/// |---|---|---|
+/// | `hpw_llc_hit_thr` | T1 `HPW_LLC_HIT_THR` | 20 % |
+/// | `dmalk_dca_ms_thr` | T2 `DMALK_DCA_MS_THR` | 40 % |
+/// | `dmalk_io_tp_thr` | T3 `DMALK_IO_TP_THR` | 35 % |
+/// | `dmalk_llc_ms_thr` | T4 `DMALK_LLC_MS_THR` | 40 % |
+/// | `ant_cache_miss_thr` | T5 `ANT_CACHE_MISS_THR` | 90 % |
+///
+/// # Examples
+///
+/// ```
+/// use a4_core::Thresholds;
+///
+/// let t = Thresholds::paper();
+/// assert_eq!(t.hpw_llc_hit_thr, 0.20);
+/// assert_eq!(t.ant_cache_miss_thr, 0.90);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// T1: tolerated relative drop in an HPW's LLC hit rate before the LP
+    /// Zone stops growing (or a phase change is declared).
+    pub hpw_llc_hit_thr: f64,
+    /// T2: DCA leak rate (leaked fraction of DCA allocations) above which
+    /// I/O is suffering DMA leak.
+    pub dmalk_dca_ms_thr: f64,
+    /// T3: storage share of total PCIe write (DMA ingress) throughput
+    /// above which storage is blamed for the leak.
+    pub dmalk_io_tp_thr: f64,
+    /// T4: LLC miss rate of the storage workload above which it is not
+    /// benefiting from DCA.
+    pub dmalk_llc_ms_thr: f64,
+    /// T5: MLC *and* LLC miss-rate floor identifying a non-I/O
+    /// antagonist.
+    pub ant_cache_miss_thr: f64,
+    /// Stable interval in monitoring ticks before a revert probe (10 s).
+    pub stable_interval: u64,
+    /// Revert-probe length in ticks (1 s).
+    pub revert_interval: u64,
+    /// LP Zone expansion cadence in ticks (2 s).
+    pub expand_period: u64,
+    /// Instability bound for pseudo-bypass shrinking and antagonist
+    /// restoration (10 %).
+    pub fluctuation_thr: f64,
+}
+
+impl Thresholds {
+    /// The values used in the paper's main experiments (Table 1).
+    pub fn paper() -> Self {
+        Thresholds {
+            hpw_llc_hit_thr: 0.20,
+            dmalk_dca_ms_thr: 0.40,
+            dmalk_io_tp_thr: 0.35,
+            dmalk_llc_ms_thr: 0.40,
+            ant_cache_miss_thr: 0.90,
+            stable_interval: 10,
+            revert_interval: 1,
+            expand_period: 2,
+            fluctuation_thr: 0.10,
+        }
+    }
+
+    /// Values calibrated for the capacity-scaled simulator: identical
+    /// logic, slightly laxer antagonist floor because the scaled LLC's
+    /// shorter reuse distances soften extreme miss rates.
+    pub fn scaled_sim() -> Self {
+        Thresholds { ant_cache_miss_thr: 0.60, ..Self::paper() }
+    }
+
+    /// True if `current` has dropped more than T1 relative to `baseline`.
+    pub fn hit_rate_dropped(&self, baseline: f64, current: f64) -> bool {
+        baseline > 0.0 && current < baseline * (1.0 - self.hpw_llc_hit_thr)
+    }
+
+    /// True if `current` deviates more than `fluctuation_thr` from `base`
+    /// in either direction.
+    pub fn fluctuated(&self, base: f64, current: f64) -> bool {
+        if base == 0.0 {
+            return current != 0.0;
+        }
+        ((current - base) / base).abs() > self.fluctuation_thr
+    }
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table_1() {
+        let t = Thresholds::paper();
+        assert_eq!(t.hpw_llc_hit_thr, 0.20);
+        assert_eq!(t.dmalk_dca_ms_thr, 0.40);
+        assert_eq!(t.dmalk_io_tp_thr, 0.35);
+        assert_eq!(t.dmalk_llc_ms_thr, 0.40);
+        assert_eq!(t.ant_cache_miss_thr, 0.90);
+        assert_eq!(t.stable_interval, 10);
+        assert_eq!(t.revert_interval, 1);
+        assert_eq!(t.expand_period, 2);
+    }
+
+    #[test]
+    fn hit_rate_drop_is_relative() {
+        let t = Thresholds::paper();
+        assert!(!t.hit_rate_dropped(0.9, 0.8)); // 11% drop < 20%
+        assert!(t.hit_rate_dropped(0.9, 0.7)); // 22% drop
+        assert!(!t.hit_rate_dropped(0.0, 0.0)); // no baseline yet
+    }
+
+    #[test]
+    fn fluctuation_is_two_sided() {
+        let t = Thresholds::paper();
+        assert!(t.fluctuated(0.5, 0.56));
+        assert!(t.fluctuated(0.5, 0.44));
+        assert!(!t.fluctuated(0.5, 0.52));
+        assert!(t.fluctuated(0.0, 0.1));
+        assert!(!t.fluctuated(0.0, 0.0));
+    }
+
+    #[test]
+    fn scaled_sim_only_changes_t5() {
+        let p = Thresholds::paper();
+        let s = Thresholds::scaled_sim();
+        assert!(s.ant_cache_miss_thr < p.ant_cache_miss_thr);
+        assert_eq!(s.hpw_llc_hit_thr, p.hpw_llc_hit_thr);
+        assert_eq!(s.stable_interval, p.stable_interval);
+    }
+}

@@ -1,0 +1,186 @@
+//! LLC zone layouts (the paper's Fig. 10).
+//!
+//! A4 divides the 11 ways into up to three zones:
+//!
+//! * **DCA Zone** — ways 0–1, reserved for I/O HPWs once any exist,
+//! * **HP Zone** — the ways HPWs may allocate into,
+//! * **LP Zone** — the ways LPWs (and demoted antagonists) may use; it
+//!   never touches the inclusive ways once I/O is present.
+
+use a4_model::{WayMask, LLC_WAYS};
+use serde::{Deserialize, Serialize};
+
+/// A zone layout plus the growth bounds of the LP Zone.
+///
+/// # Examples
+///
+/// ```
+/// use a4_core::Zones;
+/// use a4_model::WayMask;
+///
+/// // Fig. 10a: no I/O workloads.
+/// let z = Zones::priority_only();
+/// assert_eq!(z.hp, WayMask::ALL);
+/// assert_eq!(z.lp, WayMask::from_paper_range(9, 10)?);
+///
+/// // Fig. 10b: I/O HPWs present — DCA Zone carved out, LP off the
+/// // inclusive ways.
+/// let z = Zones::with_io_hpws();
+/// assert_eq!(z.dca, Some(WayMask::DCA));
+/// assert_eq!(z.lp, WayMask::from_paper_range(7, 8)?);
+/// assert!(!z.lp.overlaps(WayMask::INCLUSIVE));
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zones {
+    /// Ways HPWs allocate into. I/O HPWs always use [`WayMask::ALL`]
+    /// regardless (they are "not explicitly assigned").
+    pub hp: WayMask,
+    /// Ways LPWs allocate into (the initial partition; it grows).
+    pub lp: WayMask,
+    /// Reserved DCA Zone, if I/O HPWs are present.
+    pub dca: Option<WayMask>,
+    /// Left-most way the LP Zone may ever grow to.
+    pub lp_limit_way: usize,
+}
+
+impl Zones {
+    /// Fig. 10a: only non-I/O workloads. HP Zone covers everything; LP
+    /// Zone starts at the two right-most ways and may grow across the
+    /// whole cache (the HPWs' hit rates are the only brake).
+    pub fn priority_only() -> Self {
+        Zones {
+            hp: WayMask::ALL,
+            lp: WayMask::INCLUSIVE,
+            dca: None,
+            lp_limit_way: 0,
+        }
+    }
+
+    /// Fig. 10b: I/O HPWs present. DCA Zone = ways 0–1 (I/O HPWs only);
+    /// non-I/O HPWs get ways 2–10; LP Zone starts at ways 7–8 and may
+    /// grow left down to way 2 — never into the DCA or inclusive ways.
+    pub fn with_io_hpws() -> Self {
+        Zones {
+            hp: WayMask::from_range(2, LLC_WAYS).expect("static mask"),
+            lp: WayMask::from_paper_range(7, 8).expect("static mask"),
+            dca: Some(WayMask::DCA),
+            lp_limit_way: 2,
+        }
+    }
+
+    /// The layout for the current workload mix.
+    pub fn for_mix(any_io_hpw: bool) -> Self {
+        if any_io_hpw {
+            Self::with_io_hpws()
+        } else {
+            Self::priority_only()
+        }
+    }
+
+    /// The trash mask for pseudo LLC bypassing: the right-most *standard*
+    /// way (way 8, Fig. 10d).
+    pub fn trash_mask() -> WayMask {
+        WayMask::from_paper_range(8, 8).expect("static mask")
+    }
+
+    /// Grows the LP Zone one way to the left, respecting the layout's
+    /// bound. Returns `None` at the limit.
+    pub fn grow_lp(&self, lp: WayMask) -> Option<WayMask> {
+        let first = lp.first_way()?;
+        if first <= self.lp_limit_way {
+            return None;
+        }
+        lp.grow_left()
+    }
+
+    /// Checks the structural invariants of a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a zone is malformed (test helper).
+    pub fn assert_invariants(&self) {
+        assert!(self.hp.is_contiguous(), "hp zone must be contiguous");
+        assert!(self.lp.is_contiguous(), "lp zone must be contiguous");
+        if let Some(dca) = self.dca {
+            assert!(!dca.overlaps(self.lp), "lp zone may not enter the DCA zone");
+            assert!(!self.lp.overlaps(WayMask::INCLUSIVE), "lp zone off the inclusive ways");
+            assert!(!dca.overlaps(self.hp), "non-I/O HP zone excludes DCA ways");
+        }
+        assert!(self.lp_limit_way < LLC_WAYS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layouts_satisfy_invariants() {
+        Zones::priority_only().assert_invariants();
+        Zones::with_io_hpws().assert_invariants();
+    }
+
+    #[test]
+    fn for_mix_dispatches() {
+        assert_eq!(Zones::for_mix(false), Zones::priority_only());
+        assert_eq!(Zones::for_mix(true), Zones::with_io_hpws());
+    }
+
+    #[test]
+    fn lp_growth_stops_at_limits() {
+        // Without I/O the LP zone can reach way 0.
+        let z = Zones::priority_only();
+        let mut lp = z.lp;
+        let mut steps = 0;
+        while let Some(next) = z.grow_lp(lp) {
+            lp = next;
+            steps += 1;
+        }
+        assert_eq!(steps, 9, "9-way growth from [9:10] to [0:10]");
+        assert_eq!(lp, WayMask::ALL);
+
+        // With I/O the LP zone stops at way 2.
+        let z = Zones::with_io_hpws();
+        let mut lp = z.lp;
+        while let Some(next) = z.grow_lp(lp) {
+            lp = next;
+        }
+        assert_eq!(lp, WayMask::from_paper_range(2, 8).unwrap());
+        assert!(!lp.overlaps(WayMask::DCA));
+        assert!(!lp.overlaps(WayMask::INCLUSIVE));
+    }
+
+    #[test]
+    fn trash_mask_is_way_8() {
+        let t = Zones::trash_mask();
+        assert_eq!(t.count(), 1);
+        assert!(t.contains_way(8));
+        assert!(!t.overlaps(WayMask::INCLUSIVE));
+        assert!(!t.overlaps(WayMask::DCA));
+    }
+
+    proptest! {
+        /// Growth preserves contiguity and containment at every step.
+        #[test]
+        fn growth_chain_is_well_formed(io in any::<bool>()) {
+            let z = Zones::for_mix(io);
+            let mut lp = z.lp;
+            loop {
+                prop_assert!(lp.is_contiguous());
+                if let Some(dca) = z.dca {
+                    prop_assert!(!lp.overlaps(dca));
+                }
+                match z.grow_lp(lp) {
+                    Some(next) => {
+                        prop_assert!(next.contains(lp));
+                        prop_assert_eq!(next.count(), lp.count() + 1);
+                        lp = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}

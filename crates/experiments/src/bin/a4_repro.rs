@@ -1,0 +1,105 @@
+//! `a4-repro` — regenerates every measured figure of the A4 paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! a4-repro [FIGURES...] [--quick] [--json DIR]
+//!
+//! FIGURES: fig3 fig4 fig5 fig6 fig7 fig8 fig11 fig12 fig13 fig14 fig15
+//!          (default: all)
+//! --quick: short warm-up/measure windows (CI-friendly)
+//! --json DIR: additionally dump each table as DIR/<id>.json
+//! ```
+
+use a4_experiments::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8};
+use a4_experiments::{RunOpts, Table};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let figures: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("fig"))
+        .map(String::as_str)
+        .collect();
+    let all = figures.is_empty();
+    let wants = |name: &str| all || figures.contains(&name);
+
+    let opts = if quick { RunOpts::quick() } else { RunOpts::paper() };
+    let ctl_opts = if quick {
+        RunOpts { warmup: 12, measure: 4, ..RunOpts::quick() }
+    } else {
+        RunOpts::controller()
+    };
+
+    let mut tables: Vec<Table> = Vec::new();
+    if wants("fig3") {
+        eprintln!("[a4-repro] fig3 (way sweep, ~20 runs)...");
+        tables.push(fig3::run(&opts, false));
+        tables.push(fig3::run(&opts, true));
+    }
+    if wants("fig4") {
+        eprintln!("[a4-repro] fig4 (directory-contention validation)...");
+        tables.push(fig4::run(&opts));
+    }
+    if wants("fig5") {
+        eprintln!("[a4-repro] fig5 (storage block-size sweep)...");
+        tables.push(fig5::run(&opts));
+    }
+    if wants("fig6") {
+        eprintln!("[a4-repro] fig6 (FIO vs DPDK-T latency)...");
+        tables.push(fig6::run(&opts));
+    }
+    if wants("fig7") {
+        eprintln!("[a4-repro] fig7 (overlap vs exclude strategies)...");
+        tables.push(fig7::run(&opts));
+    }
+    if wants("fig8") {
+        eprintln!("[a4-repro] fig8 (selective DCA off + trash ways)...");
+        tables.push(fig8::run_a(&opts));
+        tables.push(fig8::run_b(&opts));
+    }
+    if wants("fig11") {
+        eprintln!("[a4-repro] fig11 (X-Mem vs packet size, 3 schemes)...");
+        tables.push(fig11::run(&ctl_opts));
+    }
+    if wants("fig12") {
+        eprintln!("[a4-repro] fig12 (network vs block size, 3 schemes)...");
+        tables.push(fig12::run(&ctl_opts));
+    }
+    if wants("fig13") {
+        eprintln!("[a4-repro] fig13 (real-world colocations, 6 schemes)...");
+        tables.push(fig13::run(&ctl_opts, true));
+        tables.push(fig13::run(&ctl_opts, false));
+    }
+    if wants("fig14") {
+        eprintln!("[a4-repro] fig14 (breakdowns + system metrics)...");
+        tables.extend(fig14::run(&ctl_opts));
+    }
+    if wants("fig15") {
+        eprintln!("[a4-repro] fig15 (sensitivity studies)...");
+        tables.push(fig15::run_a(&ctl_opts));
+        tables.push(fig15::run_b(&ctl_opts));
+        tables.push(fig15::run_c(&ctl_opts));
+    }
+
+    for table in &tables {
+        println!("{table}");
+    }
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(&dir).expect("create json output dir");
+        for table in &tables {
+            let path = format!("{dir}/{}.json", table.id);
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            let json = serde_json::to_string_pretty(table).expect("tables serialize");
+            f.write_all(json.as_bytes()).expect("write json");
+            eprintln!("[a4-repro] wrote {path}");
+        }
+    }
+}

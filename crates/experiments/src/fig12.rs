@@ -1,0 +1,59 @@
+//! Fig. 12: network performance vs storage block size under Default /
+//! Isolate / A4 (same §7.1 mix as Fig. 11, packet size fixed at 1514 B).
+//!
+//! Paper shape: Default and Isolate degrade as blocks grow (Isolate
+//! worst); A4 recovers once FIO is detected as an antagonist (~128 KB+),
+//! ending 58 % lower latency / 5 % higher throughput at 2 MB.
+
+use crate::fig11::run_mix;
+use crate::scenario::{RunOpts, Scheme};
+use crate::table::Table;
+use a4_sim::LatencyKind;
+
+/// The swept block sizes in KiB.
+pub const BLOCK_KIB: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// Runs the full figure: per block size, per scheme, DPDK-T tail latency
+/// (µs) and network read throughput (GB/s).
+pub fn run(opts: &RunOpts) -> Table {
+    let mut columns = Vec::new();
+    for scheme in Scheme::main_three() {
+        columns.push(format!("{}_tl_us", scheme.label()));
+        columns.push(format!("{}_rx_gbps", scheme.label()));
+    }
+    let mut table =
+        Table::new("fig12", "network metrics vs storage block size", columns);
+    for kib in BLOCK_KIB {
+        let mut row = Vec::new();
+        for scheme in Scheme::main_three() {
+            let (report, ids) = run_mix(opts, scheme, 1514, kib);
+            let tl = report.p99_latency_ns(ids.dpdk, LatencyKind::NetTotal) as f64 / 1000.0;
+            let secs = report.samples.len() as f64 * 1e-3;
+            let rx = report.total_io_bytes(ids.dpdk) as f64 / secs / 1e9;
+            row.push(tl);
+            row.push(rx);
+        }
+        table.push(format!("{kib}KB"), row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_core::FeatureLevel;
+
+    #[test]
+    fn a4_beats_default_at_large_blocks() {
+        let opts = RunOpts { warmup: 12, measure: 4, seed: 0xA4 };
+        let (default_report, ids_d) = run_mix(&opts, Scheme::Default, 1514, 2048);
+        let (a4_report, ids_a) = run_mix(&opts, Scheme::A4(FeatureLevel::D), 1514, 2048);
+        let al_default =
+            default_report.mean_latency_ns(ids_d.dpdk, LatencyKind::NetTotal) / 1000.0;
+        let al_a4 = a4_report.mean_latency_ns(ids_a.dpdk, LatencyKind::NetTotal) / 1000.0;
+        assert!(
+            al_a4 < al_default,
+            "A4 lowers network latency at 2MB blocks: default={al_default:.1}us a4={al_a4:.1}us"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Fig. 13: real-world colocations under Default / Isolate / A4-a..d.
+//!
+//! Two scenarios (§7.2):
+//!
+//! * **HPW-heavy** — 7 HPWs (Fastclick, Redis-S/C, x264, parest,
+//!   xalancbmk, FFSB-H) + 4 LPWs (lbm, omnetpp, exchange2, bwaves);
+//!   detected antagonists in the paper: FFSB-H, lbm, bwaves.
+//! * **LPW-heavy** — 4 HPWs (Fastclick, FFSB-L, mcf, blender) + 8 LPWs
+//!   (FFSB-H, Redis-S/C, x264, parest, fotonik3d, lbm, bwaves);
+//!   antagonists: FFSB-H, fotonik3d, lbm, bwaves.
+//!
+//! Performance metric per the paper: throughput (completed operations)
+//! for the multi-threaded I/O workloads, IPC for the single-threaded
+//! ones; everything normalized to the Default model.
+
+use crate::scenario::{self, RunOpts, Scheme};
+use crate::table::Table;
+use a4_core::{Harness, RunReport};
+use a4_model::{Priority, WorkloadId};
+use a4_workloads::RedisRole;
+
+/// One registered workload of the mix.
+#[derive(Debug, Clone)]
+pub struct MixEntry {
+    /// Display name.
+    pub name: &'static str,
+    /// The id within the run.
+    pub id: WorkloadId,
+    /// Declared priority.
+    pub priority: Priority,
+    /// True if performance is measured as throughput (ops) rather than
+    /// IPC.
+    pub throughput_metric: bool,
+}
+
+/// Builds one scenario and runs it under `scheme`.
+pub fn run_mix(opts: &RunOpts, scheme: Scheme, hpw_heavy: bool) -> (RunReport, Vec<MixEntry>) {
+    let mut sys = scenario::base_system(opts);
+    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
+    let mut entries = Vec::new();
+    let add = |name: &'static str,
+                   id: a4_model::Result<WorkloadId>,
+                   priority: Priority,
+                   tp: bool,
+                   entries: &mut Vec<MixEntry>| {
+        entries.push(MixEntry {
+            name,
+            id: id.expect("scenario cores are laid out statically"),
+            priority,
+            throughput_metric: tp,
+        });
+    };
+
+    use Priority::{High, Low};
+    if hpw_heavy {
+        let id = scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], High);
+        add("Fastclick", id, High, true, &mut entries);
+        let id = scenario::add_redis(&mut sys, RedisRole::Server, 4, High);
+        add("Redis-S", id, High, false, &mut entries);
+        let id = scenario::add_redis(&mut sys, RedisRole::Client, 5, High);
+        add("Redis-C", id, High, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "x264", 6, High);
+        add("x264", id, High, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "parest", 7, High);
+        add("parest", id, High, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "xalancbmk", 8, High);
+        add("xalancbmk", id, High, false, &mut entries);
+        let id = scenario::add_ffsb_heavy(&mut sys, ssd, &[9, 10, 11], High);
+        add("FFSB-H", id, High, true, &mut entries);
+        let id = scenario::add_spec(&mut sys, "lbm", 12, Low);
+        add("lbm", id, Low, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "omnetpp", 13, Low);
+        add("omnetpp", id, Low, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "exchange2", 14, Low);
+        add("exchange2", id, Low, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "bwaves", 15, Low);
+        add("bwaves", id, Low, false, &mut entries);
+    } else {
+        let id = scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], High);
+        add("Fastclick", id, High, true, &mut entries);
+        let id = scenario::add_ffsb_light(&mut sys, ssd, 4, High);
+        add("FFSB-L", id, High, true, &mut entries);
+        let id = scenario::add_spec(&mut sys, "mcf", 5, High);
+        add("mcf", id, High, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "blender", 6, High);
+        add("blender", id, High, false, &mut entries);
+        let id = scenario::add_ffsb_heavy(&mut sys, ssd, &[7, 8, 9], Low);
+        add("FFSB-H", id, Low, true, &mut entries);
+        let id = scenario::add_redis(&mut sys, RedisRole::Server, 10, Low);
+        add("Redis-S", id, Low, false, &mut entries);
+        let id = scenario::add_redis(&mut sys, RedisRole::Client, 11, Low);
+        add("Redis-C", id, Low, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "x264", 12, Low);
+        add("x264", id, Low, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "parest", 13, Low);
+        add("parest", id, Low, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "fotonik3d", 14, Low);
+        add("fotonik3d", id, Low, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "lbm", 15, Low);
+        add("lbm", id, Low, false, &mut entries);
+        let id = scenario::add_spec(&mut sys, "bwaves", 16, Low);
+        add("bwaves", id, Low, false, &mut entries);
+    }
+
+    let mut harness = Harness::new(sys);
+    harness.attach_policy(scheme.policy());
+    let report = harness.run(opts.warmup, opts.measure);
+    (report, entries)
+}
+
+/// Absolute performance of one workload under one run.
+pub fn perf(report: &RunReport, entry: &MixEntry) -> f64 {
+    if entry.throughput_metric {
+        report.total_ops(entry.id) as f64
+    } else {
+        report.ipc(entry.id)
+    }
+}
+
+/// Runs one scenario across all six schemes; rows are workloads plus the
+/// Avg(HP)/Avg(LP)/Avg(all) summary rows, columns are relative
+/// performance per scheme (normalized to Default) plus the A4-d LLC hit
+/// rate.
+pub fn run(opts: &RunOpts, hpw_heavy: bool) -> Table {
+    let (id, title) = if hpw_heavy {
+        ("fig13a", "HPW-heavy colocation (7 HPW + 4 LPW)")
+    } else {
+        ("fig13b", "LPW-heavy colocation (4 HPW + 8 LPW)")
+    };
+    let mut columns: Vec<String> =
+        Scheme::all_six().iter().map(|s| format!("perf_{}", s.label())).collect();
+    columns.push("llc_hit_A4-d".into());
+    let mut table = Table::new(id, title, columns);
+
+    let runs: Vec<(Scheme, RunReport, Vec<MixEntry>)> = Scheme::all_six()
+        .into_iter()
+        .map(|s| {
+            let (report, entries) = run_mix(opts, s, hpw_heavy);
+            (s, report, entries)
+        })
+        .collect();
+    let (_, default_report, default_entries) = &runs[0];
+    let (_, a4d_report, a4d_entries) = &runs[runs.len() - 1];
+
+    let n = default_entries.len();
+    let mut rel = vec![vec![0.0; runs.len()]; n];
+    for (si, (_, report, entries)) in runs.iter().enumerate() {
+        for (wi, entry) in entries.iter().enumerate() {
+            let base = perf(default_report, &default_entries[wi]).max(1e-12);
+            rel[wi][si] = perf(report, entry) / base;
+        }
+    }
+    for (wi, entry) in default_entries.iter().enumerate() {
+        let mut row = rel[wi].clone();
+        row.push(a4d_report.llc_hit_rate(a4d_entries[wi].id));
+        table.push(entry.name, row);
+    }
+    // Summary rows.
+    for (label, filter) in [
+        ("Avg(HP)", Some(Priority::High)),
+        ("Avg(LP)", Some(Priority::Low)),
+        ("Avg(all)", None),
+    ] {
+        let idxs: Vec<usize> = default_entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| filter.is_none_or(|p| e.priority == p))
+            .map(|(i, _)| i)
+            .collect();
+        let mut row: Vec<f64> = (0..runs.len())
+            .map(|si| idxs.iter().map(|&i| rel[i][si]).sum::<f64>() / idxs.len() as f64)
+            .collect();
+        let hit = idxs
+            .iter()
+            .map(|&i| a4d_report.llc_hit_rate(a4d_entries[i].id))
+            .sum::<f64>()
+            / idxs.len() as f64;
+        row.push(hit);
+        table.push(label, row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_core::FeatureLevel;
+
+    #[test]
+    fn mixes_have_the_papers_population() {
+        let opts = RunOpts::quick();
+        let (_, hpw) = run_mix(&opts, Scheme::Default, true);
+        assert_eq!(hpw.len(), 11);
+        assert_eq!(hpw.iter().filter(|e| e.priority == Priority::High).count(), 7);
+        let (_, lpw) = run_mix(&opts, Scheme::Default, false);
+        assert_eq!(lpw.len(), 12);
+        assert_eq!(lpw.iter().filter(|e| e.priority == Priority::High).count(), 4);
+    }
+
+    #[test]
+    fn a4d_beats_default_for_hpws() {
+        let opts = RunOpts { warmup: 16, measure: 6, seed: 0xA4 };
+        let (default_report, entries) = run_mix(&opts, Scheme::Default, true);
+        let (a4_report, a4_entries) = run_mix(&opts, Scheme::A4(FeatureLevel::D), true);
+        let mut gain = 0.0;
+        let mut count = 0;
+        for (d, a) in entries.iter().zip(&a4_entries) {
+            if d.priority == Priority::High {
+                gain += perf(&a4_report, a) / perf(&default_report, d).max(1e-12);
+                count += 1;
+            }
+        }
+        let avg = gain / count as f64;
+        assert!(avg > 1.0, "A4-d must improve HPWs on average, got {avg:.3}x");
+    }
+}

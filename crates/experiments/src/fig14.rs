@@ -1,0 +1,127 @@
+//! Fig. 14: I/O latency breakdowns and system-wide metrics for
+//! Fastclick + FFSB-H under all six schemes.
+//!
+//! * 14a — Fastclick latency split into NIC-to-host (queueing), packet
+//!   pointer access and packet processing;
+//! * 14b — FFSB-H latency split into read / regex / write;
+//! * 14c — system-wide I/O throughput (Fastclick Rx/Tx, FFSB-H R/W);
+//! * 14d — system-wide memory read/write bandwidth.
+
+use crate::scenario::{self, RunOpts, Scheme};
+use crate::table::Table;
+use a4_core::{Harness, RunReport};
+use a4_model::{DeviceId, Priority, WorkloadId};
+use a4_sim::LatencyKind;
+
+/// Handles of one Fig. 14 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig14Ids {
+    /// Fastclick.
+    pub fastclick: WorkloadId,
+    /// FFSB-H.
+    pub ffsb: WorkloadId,
+    /// The NIC.
+    pub nic: DeviceId,
+    /// The SSD array.
+    pub ssd: DeviceId,
+}
+
+/// Runs Fastclick (HPW, 4 cores) + FFSB-H (HPW, 3 cores) under `scheme`.
+pub fn run_mix(opts: &RunOpts, scheme: Scheme) -> (RunReport, Fig14Ids) {
+    let mut sys = scenario::base_system(opts);
+    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
+    let fastclick = scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], Priority::High)
+        .expect("cores free");
+    let ffsb = scenario::add_ffsb_heavy(&mut sys, ssd, &[4, 5, 6], Priority::High)
+        .expect("cores free");
+    let mut harness = Harness::new(sys);
+    harness.attach_policy(scheme.policy());
+    let report = harness.run(opts.warmup, opts.measure);
+    (report, Fig14Ids { fastclick, ffsb, nic, ssd })
+}
+
+/// Runs all four panels; returns `[fig14a, fig14b, fig14c, fig14d]`.
+pub fn run(opts: &RunOpts) -> Vec<Table> {
+    let mut a = Table::new(
+        "fig14a",
+        "Fastclick average latency breakdown (us)",
+        ["nic_to_host_us", "pointer_us", "process_us"],
+    );
+    let mut b = Table::new(
+        "fig14b",
+        "FFSB-H average latency breakdown (us)",
+        ["read_us", "regex_us", "write_us"],
+    );
+    let mut c = Table::new(
+        "fig14c",
+        "system-wide I/O throughput (GB/s)",
+        ["fc_rx", "fc_tx", "ffsb_rd", "ffsb_wr"],
+    );
+    let mut d = Table::new(
+        "fig14d",
+        "system-wide memory bandwidth (GB/s)",
+        ["mem_rd", "mem_wr"],
+    );
+    for scheme in Scheme::all_six() {
+        let (report, ids) = run_mix(opts, scheme);
+        let us = |kind| report.mean_latency_ns(ids.fastclick, kind) / 1000.0;
+        a.push(
+            scheme.label(),
+            [us(LatencyKind::NetQueue), us(LatencyKind::NetPointer), us(LatencyKind::NetProcess)],
+        );
+        let sus = |kind| report.mean_latency_ns(ids.ffsb, kind) / 1000.0;
+        b.push(
+            scheme.label(),
+            [
+                sus(LatencyKind::StorageRead),
+                sus(LatencyKind::StorageRegex),
+                sus(LatencyKind::StorageWrite),
+            ],
+        );
+        let secs = report.samples.len() as f64 * 1e-3;
+        let gbps = |bytes: u64| bytes as f64 / secs / 1e9;
+        let fc_rx = gbps(report.total_io_bytes(ids.fastclick));
+        let dev_rd: u64 =
+            report.samples.iter().filter_map(|s| s.device(ids.nic)).map(|d| d.dma_read_bytes).sum();
+        let ffsb_rd = gbps(report.total_io_bytes(ids.ffsb));
+        let ssd_rd: u64 =
+            report.samples.iter().filter_map(|s| s.device(ids.ssd)).map(|d| d.dma_read_bytes).sum();
+        c.push(scheme.label(), [fc_rx, gbps(dev_rd), ffsb_rd, gbps(ssd_rd)]);
+        d.push(scheme.label(), [report.mem_read_gbps(), report.mem_write_gbps()]);
+    }
+    vec![a, b, c, d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_core::FeatureLevel;
+
+    #[test]
+    fn a4d_reduces_fastclick_latency_components() {
+        let opts = RunOpts { warmup: 16, measure: 6, seed: 0xA4 };
+        let (df, ids_df) = run_mix(&opts, Scheme::Default, );
+        let (a4, ids_a4) = run_mix(&opts, Scheme::A4(FeatureLevel::D));
+        let total = |r: &RunReport, id| r.mean_latency_ns(id, LatencyKind::NetTotal);
+        assert!(
+            total(&a4, ids_a4.fastclick) < total(&df, ids_df.fastclick),
+            "A4-d lowers Fastclick latency"
+        );
+    }
+
+    #[test]
+    fn ffsb_throughput_survives_a4() {
+        // The paper: FFSB-H latency/throughput largely unchanged — it is
+        // insensitive to DCA and LLC capacity.
+        let opts = RunOpts { warmup: 16, measure: 6, seed: 0xA4 };
+        let (df, ids_df) = run_mix(&opts, Scheme::Default);
+        let (a4, ids_a4) = run_mix(&opts, Scheme::A4(FeatureLevel::D));
+        let tp_df = df.total_io_bytes(ids_df.ffsb) as f64;
+        let tp_a4 = a4.total_io_bytes(ids_a4.ffsb) as f64;
+        assert!(
+            tp_a4 > tp_df * 0.7,
+            "FFSB-H not notably compromised: default={tp_df:.0} a4={tp_a4:.0}"
+        );
+    }
+}

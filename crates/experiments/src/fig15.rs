@@ -1,0 +1,158 @@
+//! Fig. 15: sensitivity of A4 to its thresholds and timing parameters,
+//! on the HPW-heavy mix, reported as average relative performance
+//! (HP / LP / all) normalized to the Default model.
+//!
+//! * 15a — partitioning thresholds T1 × T5;
+//! * 15b — antagonist-detection thresholds T2/T3/T4;
+//! * 15c — stable interval 1/5/10/20 s vs an oracle that never reverts.
+
+use crate::fig13::{perf, run_mix};
+use crate::scenario::{RunOpts, Scheme};
+use crate::table::Table;
+use a4_core::{A4Config, A4Controller, FeatureLevel, Harness, Thresholds};
+use a4_model::Priority;
+
+/// Runs the HPW-heavy mix under full A4 with custom thresholds; returns
+/// `(avg_hp, avg_lp, avg_all)` relative to the Default model.
+pub fn run_point(opts: &RunOpts, thresholds: Thresholds) -> (f64, f64, f64) {
+    let (default_report, default_entries) = run_mix(opts, Scheme::Default, true);
+
+    // Re-run the same population under an A4 instance with the custom
+    // thresholds.
+    let (a4_report, a4_entries) = run_mix_with_thresholds(opts, thresholds);
+
+    let mut sums = [0.0f64; 3];
+    let mut counts = [0usize; 3];
+    for (d, a) in default_entries.iter().zip(&a4_entries) {
+        let rel = perf(&a4_report, a) / perf(&default_report, d).max(1e-12);
+        let bucket = if d.priority == Priority::High { 0 } else { 1 };
+        sums[bucket] += rel;
+        counts[bucket] += 1;
+        sums[2] += rel;
+        counts[2] += 1;
+    }
+    (sums[0] / counts[0] as f64, sums[1] / counts[1] as f64, sums[2] / counts[2] as f64)
+}
+
+fn run_mix_with_thresholds(
+    opts: &RunOpts,
+    thresholds: Thresholds,
+) -> (a4_core::RunReport, Vec<crate::fig13::MixEntry>) {
+    // Same population as fig13 HPW-heavy, but with a parameterized A4.
+    let (_, entries) = run_mix(&RunOpts { warmup: 0, measure: 0, ..*opts }, Scheme::Default, true);
+    let mut sys = crate::scenario::base_system(opts);
+    let nic = crate::scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let ssd = crate::scenario::attach_ssd(&mut sys).expect("port free");
+    use a4_workloads::RedisRole;
+    use Priority::{High, Low};
+    let ids = [
+        crate::scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], High).expect("cores"),
+        crate::scenario::add_redis(&mut sys, RedisRole::Server, 4, High).expect("cores"),
+        crate::scenario::add_redis(&mut sys, RedisRole::Client, 5, High).expect("cores"),
+        crate::scenario::add_spec(&mut sys, "x264", 6, High).expect("cores"),
+        crate::scenario::add_spec(&mut sys, "parest", 7, High).expect("cores"),
+        crate::scenario::add_spec(&mut sys, "xalancbmk", 8, High).expect("cores"),
+        crate::scenario::add_ffsb_heavy(&mut sys, ssd, &[9, 10, 11], High).expect("cores"),
+        crate::scenario::add_spec(&mut sys, "lbm", 12, Low).expect("cores"),
+        crate::scenario::add_spec(&mut sys, "omnetpp", 13, Low).expect("cores"),
+        crate::scenario::add_spec(&mut sys, "exchange2", 14, Low).expect("cores"),
+        crate::scenario::add_spec(&mut sys, "bwaves", 15, Low).expect("cores"),
+    ];
+    let mut harness = Harness::new(sys);
+    harness.attach_policy(Box::new(A4Controller::new(A4Config::with_level(
+        FeatureLevel::D,
+        thresholds,
+    ))));
+    let report = harness.run(opts.warmup, opts.measure);
+    let entries = entries
+        .into_iter()
+        .zip(ids)
+        .map(|(mut e, id)| {
+            e.id = id;
+            e
+        })
+        .collect();
+    (report, entries)
+}
+
+/// Fig. 15a: T1 × T5 sweep.
+pub fn run_a(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig15a",
+        "partitioning thresholds T1 x T5",
+        ["avg_hp", "avg_lp", "avg_all"],
+    );
+    let base = Thresholds::scaled_sim();
+    for t1 in [0.10, 0.20, 0.30] {
+        for t5 in [0.80, 0.60, 0.45] {
+            let t = Thresholds { hpw_llc_hit_thr: t1, ant_cache_miss_thr: t5, ..base };
+            let (hp, lp, all) = run_point(opts, t);
+            table.push(format!("T1={t1:.2} T5={t5:.2}"), [hp, lp, all]);
+        }
+    }
+    table
+}
+
+/// Fig. 15b: antagonist-detection thresholds T2/T3/T4.
+pub fn run_b(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig15b",
+        "antagonist detection thresholds T2/T3/T4",
+        ["avg_hp", "avg_lp", "avg_all"],
+    );
+    let base = Thresholds::scaled_sim();
+    for (t2, t3, t4) in [
+        (0.40, 0.35, 0.40),
+        (0.65, 0.35, 0.40),
+        (0.40, 0.65, 0.40),
+        (0.40, 0.35, 0.80),
+        (0.90, 0.90, 0.95),
+    ] {
+        let t = Thresholds {
+            dmalk_dca_ms_thr: t2,
+            dmalk_io_tp_thr: t3,
+            dmalk_llc_ms_thr: t4,
+            ..base
+        };
+        let (hp, lp, all) = run_point(opts, t);
+        table.push(format!("T2={t2:.2} T3={t3:.2} T4={t4:.2}"), [hp, lp, all]);
+    }
+    table
+}
+
+/// Fig. 15c: stable-interval sweep vs oracle (never reverts).
+pub fn run_c(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig15c",
+        "stable interval vs oracle",
+        ["avg_hp", "avg_lp", "avg_all"],
+    );
+    let base = Thresholds::scaled_sim();
+    for (label, interval) in
+        [("1s", 1), ("5s", 5), ("10s", 10), ("20s", 20), ("oracle", u64::MAX / 2)]
+    {
+        let t = Thresholds { stable_interval: interval, ..base };
+        let (hp, lp, all) = run_point(opts, t);
+        table.push(label, [hp, lp, all]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_t1_favours_hpws() {
+        let opts = RunOpts { warmup: 14, measure: 5, seed: 0xA4 };
+        let tight = Thresholds { hpw_llc_hit_thr: 0.05, ..Thresholds::scaled_sim() };
+        let loose = Thresholds { hpw_llc_hit_thr: 0.50, ..Thresholds::scaled_sim() };
+        let (hp_tight, ..) = run_point(&opts, tight);
+        let (hp_loose, ..) = run_point(&opts, loose);
+        // A lower T1 constrains the LP zone, protecting HPWs (§5.7).
+        assert!(
+            hp_tight >= hp_loose * 0.95,
+            "tight T1 must not hurt HPWs: tight={hp_tight:.3} loose={hp_loose:.3}"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 3: the way-sweep that exposes latent contention (DCA ways),
+//! DMA bloat (the DPDK ways) and the hidden **directory contention**
+//! (the inclusive ways).
+//!
+//! Setup (§3.1): DPDK-T or DPDK-NT on 4 cores with per-core rings of 1 KB
+//! packets, explicitly allocated to ways `[5:6]`; cache-sensitive X-Mem
+//! (4 MB sequential read, 2 cores) swept across every pair of consecutive
+//! ways from `[0:1]` (the DCA ways) to `[9:10]` (the inclusive ways).
+//!
+//! Expected shape: X-Mem's miss rate spikes at `[0:1]`/`[1:2]` for both
+//! variants (latent contention); only DPDK-**T** adds the `[5:6]` bump
+//! (DMA bloat) and the `[9:10]` bump (directory contention, observation
+//! O1).
+
+use crate::scenario::{self, RunOpts};
+use crate::table::Table;
+use a4_core::Harness;
+use a4_model::{ClosId, Priority, WayMask};
+
+/// The ten swept X-Mem masks `[m:m+1]`.
+pub fn sweep_masks() -> Vec<WayMask> {
+    (0..=9).map(|m| WayMask::from_paper_range(m, m + 1).expect("within 11 ways")).collect()
+}
+
+/// Runs one sweep point and returns
+/// `(xmem_miss, dpdk_miss, mem_rd_gbps, mem_wr_gbps)`.
+fn run_point(opts: &RunOpts, touch: bool, xmem_mask: WayMask) -> (f64, f64, f64, f64) {
+    let mut sys = scenario::base_system(opts);
+    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let dpdk = scenario::add_dpdk(&mut sys, nic, touch, &[0, 1, 2, 3], Priority::High)
+        .expect("cores free");
+    let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores free");
+
+    // Static CAT allocation as in the paper: DPDK at [5:6], X-Mem swept.
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static"))
+        .expect("valid clos");
+    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+    sys.cat_set_mask(ClosId(2), xmem_mask).expect("valid clos");
+    sys.cat_assign_workload(xmem, ClosId(2)).expect("registered");
+
+    let mut harness = Harness::new(sys);
+    let report = harness.run(opts.warmup, opts.measure);
+    (
+        report.llc_miss_rate(xmem),
+        report.llc_miss_rate(dpdk),
+        report.mem_read_gbps(),
+        report.mem_write_gbps(),
+    )
+}
+
+/// Runs the full sweep. `touch = false` reproduces Fig. 3a (DPDK-NT),
+/// `touch = true` Fig. 3b (DPDK-T).
+pub fn run(opts: &RunOpts, touch: bool) -> Table {
+    let (id, title) = if touch {
+        ("fig3b", "DPDK-T (touching) vs X-Mem way sweep")
+    } else {
+        ("fig3a", "DPDK-NT (non-touching) vs X-Mem way sweep")
+    };
+    let mut table =
+        Table::new(id, title, ["xmem_miss", "dpdk_miss", "mem_rd_gbps", "mem_wr_gbps"]);
+    for mask in sweep_masks() {
+        let (xm, dm, rd, wr) = run_point(opts, touch, mask);
+        table.push(mask.to_string(), [xm, dm, rd, wr]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_ten_pairs() {
+        let masks = sweep_masks();
+        assert_eq!(masks.len(), 10);
+        assert_eq!(masks[0], WayMask::DCA);
+        assert_eq!(masks[9], WayMask::INCLUSIVE);
+    }
+
+    #[test]
+    fn latent_contention_shows_at_dca_ways() {
+        // One quick contrast point instead of the full sweep: X-Mem at the
+        // DCA ways suffers much more than at neutral standard ways.
+        let opts = RunOpts::quick();
+        let (at_dca, ..) = run_point(&opts, true, WayMask::from_paper_range(0, 1).unwrap());
+        let (at_std, ..) = run_point(&opts, true, WayMask::from_paper_range(3, 4).unwrap());
+        assert!(
+            at_dca > at_std + 0.1,
+            "latent contention: miss at [0:1] {at_dca:.3} vs [3:4] {at_std:.3}"
+        );
+    }
+}

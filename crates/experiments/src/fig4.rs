@@ -1,0 +1,106 @@
+//! Fig. 4: validating the directory contention — disabling DCA removes
+//! the inclusive-way bump, at the cost of much higher DPDK-T tail
+//! latency.
+//!
+//! Setup (§3.1): the Fig. 3b pair (DPDK-T at `[5:6]`, X-Mem at one of
+//! `[0:1]`, `[3:4]`, `[5:6]`, `[9:10]`), once with DCA on and once with
+//! DCA globally off, plus an X-Mem solo reference.
+
+use crate::scenario::{self, RunOpts};
+use crate::table::Table;
+use a4_core::Harness;
+use a4_model::{ClosId, Priority, WayMask};
+use a4_sim::LatencyKind;
+
+/// The four X-Mem placements of the figure.
+pub fn placements() -> Vec<WayMask> {
+    vec![
+        WayMask::from_paper_range(0, 1).expect("static"),
+        WayMask::from_paper_range(3, 4).expect("static"),
+        WayMask::from_paper_range(5, 6).expect("static"),
+        WayMask::from_paper_range(9, 10).expect("static"),
+    ]
+}
+
+/// One configuration: returns `(dpdk_p99_us, xmem_llc_miss)`.
+pub fn run_point(opts: &RunOpts, dca_on: bool, xmem_mask: Option<WayMask>) -> (f64, f64) {
+    let mut sys = scenario::base_system(opts);
+    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
+        .expect("cores free");
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static"))
+        .expect("valid");
+    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+
+    let xmem = match xmem_mask {
+        Some(mask) => {
+            let id = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores");
+            sys.cat_set_mask(ClosId(2), mask).expect("valid");
+            sys.cat_assign_workload(id, ClosId(2)).expect("registered");
+            Some(id)
+        }
+        None => None,
+    };
+
+    sys.set_global_dca(dca_on);
+    let mut harness = Harness::new(sys);
+    let report = harness.run(opts.warmup, opts.measure);
+    let p99_us = report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0;
+    let miss = xmem.map_or(0.0, |id| report.llc_miss_rate(id));
+    (p99_us, miss)
+}
+
+/// Runs the full figure.
+pub fn run(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig4",
+        "directory contention validation: DCA on vs off",
+        ["dpdk_p99_us", "xmem_llc_miss"],
+    );
+    // X-Mem solo reference (no DPDK interference on X-Mem's ways).
+    {
+        let mut sys = scenario::base_system(opts);
+        let xm = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores");
+        sys.cat_set_mask(ClosId(2), WayMask::INCLUSIVE).expect("valid");
+        sys.cat_assign_workload(xm, ClosId(2)).expect("registered");
+        let mut harness = Harness::new(sys);
+        let report = harness.run(opts.warmup, opts.measure);
+        table.push("solo [9:10]", [0.0, report.llc_miss_rate(xm)]);
+    }
+    for dca_on in [true, false] {
+        for mask in placements() {
+            let (p99, miss) = run_point(opts, dca_on, Some(mask));
+            let label = format!("dca={} {}", if dca_on { "on" } else { "off" }, mask);
+            table.push(label, [p99, miss]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabling_dca_removes_directory_contention() {
+        let opts = RunOpts::quick();
+        let inclusive = WayMask::INCLUSIVE;
+        let (_, miss_on) = run_point(&opts, true, Some(inclusive));
+        let (_, miss_off) = run_point(&opts, false, Some(inclusive));
+        assert!(
+            miss_off < miss_on,
+            "DCA off avoids migrations into the inclusive ways: on={miss_on:.3} off={miss_off:.3}"
+        );
+    }
+
+    #[test]
+    fn disabling_dca_hurts_network_latency() {
+        let opts = RunOpts::quick();
+        let (p99_on, _) = run_point(&opts, true, None);
+        let (p99_off, _) = run_point(&opts, false, None);
+        assert!(
+            p99_off > p99_on,
+            "device-memory-MLC path is slower: on={p99_on:.1}us off={p99_off:.1}us"
+        );
+    }
+}

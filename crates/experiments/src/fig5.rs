@@ -1,0 +1,79 @@
+//! Fig. 5: storage-I/O characteristics — throughput is insensitive to
+//! DCA, while memory read bandwidth stays high even with DCA on (the DMA
+//! leak of observation O2's groundwork).
+//!
+//! Setup (§3.2): FIO alone, 4 threads, random read, `O_DIRECT`, QD 32
+//! total, block size swept 4 KB – 2 MB (scaled), DCA on vs off.
+
+use crate::scenario::{self, RunOpts};
+use crate::table::Table;
+use a4_core::Harness;
+use a4_model::Priority;
+
+/// The paper's block-size axis in KiB.
+pub const BLOCK_KIB: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// One configuration: returns `(storage_gbps, mem_read_gbps)`.
+pub fn run_point(opts: &RunOpts, block_kib: u64, dca_on: bool) -> (f64, f64) {
+    let mut sys = scenario::base_system(opts);
+    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
+    let lines = scenario::block_lines(&sys, block_kib);
+    let fio = scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low)
+        .expect("cores free");
+    sys.set_device_dca(ssd, dca_on).expect("attached");
+    let mut harness = Harness::new(sys);
+    let report = harness.run(opts.warmup, opts.measure);
+    let secs = report.samples.len() as f64 * 1e-3; // logical second = 1 ms
+    let storage_gbps = report.total_io_bytes(fio) as f64 / secs / 1e9;
+    (storage_gbps, report.mem_read_gbps())
+}
+
+/// Runs the full figure.
+pub fn run(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig5a",
+        "storage throughput and memory read bandwidth vs block size",
+        ["tp_dca_on", "mem_rd_dca_on", "tp_dca_off", "mem_rd_dca_off"],
+    );
+    for kib in BLOCK_KIB {
+        let (tp_on, rd_on) = run_point(opts, kib, true);
+        let (tp_off, rd_off) = run_point(opts, kib, false);
+        table.push(format!("{kib}KB"), [tp_on, rd_on, tp_off, rd_off]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dca_does_not_change_large_block_throughput() {
+        let opts = RunOpts::quick();
+        let (tp_on, _) = run_point(&opts, 512, true);
+        let (tp_off, _) = run_point(&opts, 512, false);
+        let ratio = tp_on / tp_off.max(1e-9);
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "storage throughput insensitive to DCA: on={tp_on:.2} off={tp_off:.2}"
+        );
+    }
+
+    #[test]
+    fn large_blocks_leak_despite_dca() {
+        let opts = RunOpts::quick();
+        // With DCA on, big blocks overflow the 2 DCA ways long before the
+        // cores consume them, so memory reads stay substantial.
+        let (tp, mem_rd) = run_point(&opts, 1024, true);
+        assert!(tp > 0.0);
+        assert!(mem_rd > 0.1 * tp, "DMA leak refetches from memory: tp={tp:.2} rd={mem_rd:.2}");
+    }
+
+    #[test]
+    fn throughput_grows_with_block_size_then_saturates() {
+        let opts = RunOpts::quick();
+        let (tp_small, _) = run_point(&opts, 4, true);
+        let (tp_big, _) = run_point(&opts, 256, true);
+        assert!(tp_big > tp_small, "IOPS-bound 4KB vs link-bound 256KB");
+    }
+}

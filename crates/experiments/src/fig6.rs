@@ -1,0 +1,90 @@
+//! Fig. 6: storage-I/O-driven DCA contention — co-running FIO raises
+//! DPDK-T latency (5–175 % in the paper), peaking around the block size
+//! where storage throughput saturates; disabling DCA globally is no
+//! remedy because network latency explodes.
+//!
+//! Setup (§3.2): DPDK-T at ways `[4:5]` + FIO at ways `[2:3]`, block
+//! size swept, DCA on vs off; plus DPDK-T solo references.
+
+use crate::scenario::{self, RunOpts};
+use crate::table::Table;
+use a4_core::Harness;
+use a4_model::{ClosId, Priority, WayMask};
+use a4_sim::LatencyKind;
+
+/// The swept block sizes in KiB.
+pub const BLOCK_KIB: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// One configuration; `block_kib = None` runs DPDK-T solo. Returns
+/// `(net_avg_us, net_p99_us, storage_gbps)`.
+pub fn run_point(opts: &RunOpts, block_kib: Option<u64>, dca_on: bool) -> (f64, f64, f64) {
+    let mut sys = scenario::base_system(opts);
+    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
+        .expect("cores free");
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static"))
+        .expect("valid");
+    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+
+    let fio = block_kib.map(|kib| {
+        let ssd = scenario::attach_ssd(&mut sys).expect("port free");
+        let lines = scenario::block_lines(&sys, kib);
+        let id = scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low)
+            .expect("cores free");
+        sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static"))
+            .expect("valid");
+        sys.cat_assign_workload(id, ClosId(2)).expect("registered");
+        id
+    });
+
+    sys.set_global_dca(dca_on);
+    let mut harness = Harness::new(sys);
+    let report = harness.run(opts.warmup, opts.measure);
+    let avg = report.mean_latency_ns(dpdk, LatencyKind::NetTotal) / 1000.0;
+    let p99 = report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0;
+    let secs = report.samples.len() as f64 * 1e-3;
+    let tp = fio.map_or(0.0, |id| report.total_io_bytes(id) as f64 / secs / 1e9);
+    (avg, p99, tp)
+}
+
+/// Runs the full figure (6a sweep plus 6b solo rows).
+pub fn run(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig6",
+        "impact of FIO on DPDK-T latency vs storage block size",
+        ["al_on_us", "tl_on_us", "tp_on", "al_off_us", "tl_off_us", "tp_off"],
+    );
+    let (solo_al_on, solo_tl_on, _) = run_point(opts, None, true);
+    let (solo_al_off, solo_tl_off, _) = run_point(opts, None, false);
+    table.push("solo", [solo_al_on, solo_tl_on, 0.0, solo_al_off, solo_tl_off, 0.0]);
+    for kib in BLOCK_KIB {
+        let (al_on, tl_on, tp_on) = run_point(opts, Some(kib), true);
+        let (al_off, tl_off, tp_off) = run_point(opts, Some(kib), false);
+        table.push(format!("{kib}KB"), [al_on, tl_on, tp_on, al_off, tl_off, tp_off]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fio_inflates_dpdk_latency_with_dca_on() {
+        let opts = RunOpts::quick();
+        let (solo_al, ..) = run_point(&opts, None, true);
+        let (co_al, ..) = run_point(&opts, Some(128), true);
+        assert!(
+            co_al > solo_al * 1.04,
+            "storage contention raises network latency: solo={solo_al:.1}us co={co_al:.1}us"
+        );
+    }
+
+    #[test]
+    fn global_dca_off_is_worse_for_network() {
+        let opts = RunOpts::quick();
+        let (al_on, ..) = run_point(&opts, None, true);
+        let (al_off, ..) = run_point(&opts, None, false);
+        assert!(al_off > al_on, "solo DPDK-T: dca-off {al_off:.1}us vs on {al_on:.1}us");
+    }
+}

@@ -1,0 +1,142 @@
+//! Fig. 7: LLC allocation strategy — explicitly allocating I/O workloads
+//! to ways that *overlap* the inclusive ways ((n+2)-Overlap) beats
+//! *excluding* them (n-Exclude) even though both use the same effective
+//! capacity (observation O3).
+//!
+//! Setup (§4.1): DPDK-T with masks
+//!
+//! * `n-Exclude` — `n` ways ending at way 8 (`[9-n:8]`),
+//! * `n-Overlap` — `n` ways ending at way 10 (`[11-n:10]`).
+
+use crate::scenario::{self, RunOpts};
+use crate::table::Table;
+use a4_core::Harness;
+use a4_model::{ClosId, Priority, WayMask};
+use a4_sim::LatencyKind;
+
+/// Allocation strategy of Fig. 7a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// `n` ways excluding the inclusive ways.
+    Exclude(usize),
+    /// `n` ways overlapping (ending at) the inclusive ways.
+    Overlap(usize),
+}
+
+impl Strategy {
+    /// The CAT mask for the strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not fit the 11 ways.
+    pub fn mask(self) -> WayMask {
+        match self {
+            Strategy::Exclude(n) => {
+                WayMask::from_paper_range(9 - n, 8).expect("n fits standard ways")
+            }
+            Strategy::Overlap(n) => {
+                WayMask::from_paper_range(11 - n, 10).expect("n fits the cache")
+            }
+        }
+    }
+
+    /// Display label ("2E", "4O", ...).
+    pub fn label(self) -> String {
+        match self {
+            Strategy::Exclude(n) => format!("{n}E"),
+            Strategy::Overlap(n) => format!("{n}O"),
+        }
+    }
+}
+
+/// The paper's evaluated strategies, in figure order.
+pub fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Overlap(2),
+        Strategy::Exclude(2),
+        Strategy::Overlap(4),
+        Strategy::Exclude(4),
+        Strategy::Overlap(6),
+        Strategy::Exclude(6),
+        Strategy::Overlap(8),
+    ]
+}
+
+/// One strategy run: returns `(al_us, tl_us, mem_rd_gbps, mem_wr_gbps)`.
+pub fn run_point(opts: &RunOpts, strategy: Strategy) -> (f64, f64, f64, f64) {
+    let mut sys = scenario::base_system(opts);
+    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
+        .expect("cores free");
+    sys.cat_set_mask(ClosId(1), strategy.mask()).expect("valid mask");
+    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+    // Background pressure on the standard ways so conflict misses matter
+    // (the paper keeps the co-runners of §3 present).
+    let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::Low).expect("cores free");
+    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(7, 8).expect("static"))
+        .expect("valid");
+    sys.cat_assign_workload(xmem, ClosId(2)).expect("registered");
+
+    let mut harness = Harness::new(sys);
+    let report = harness.run(opts.warmup, opts.measure);
+    (
+        report.mean_latency_ns(dpdk, LatencyKind::NetTotal) / 1000.0,
+        report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0,
+        report.mem_read_gbps(),
+        report.mem_write_gbps(),
+    )
+}
+
+/// Runs the full figure.
+pub fn run(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig7b",
+        "overlapping vs excluding the inclusive ways (DPDK-T)",
+        ["al_us", "tl_us", "mem_rd_gbps", "mem_wr_gbps"],
+    );
+    for s in strategies() {
+        let (al, tl, rd, wr) = run_point(opts, s);
+        table.push(s.label(), [al, tl, rd, wr]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_match_fig_7a() {
+        assert_eq!(Strategy::Exclude(2).mask(), WayMask::from_paper_range(7, 8).unwrap());
+        assert_eq!(Strategy::Overlap(4).mask(), WayMask::from_paper_range(7, 10).unwrap());
+        assert_eq!(Strategy::Overlap(2).mask(), WayMask::INCLUSIVE);
+        assert_eq!(Strategy::Exclude(2).label(), "2E");
+        assert_eq!(Strategy::Overlap(8).label(), "8O");
+    }
+
+    #[test]
+    fn exclude_secretly_uses_the_inclusive_ways() {
+        // The robust half of observation O3: n-Exclude cannot actually
+        // avoid the inclusive ways — its migrated lines land there — so
+        // (n+2)-Overlap and n-Exclude behave like equal-capacity
+        // allocations. (The paper's second-order result that overlap is
+        // strictly *better* rests on write-update freshness effects our
+        // model reproduces only weakly; see EXPERIMENTS.md.)
+        let opts = RunOpts::paper();
+        let (al_overlap, _, rd_overlap, _) = run_point(&opts, Strategy::Overlap(4));
+        let (al_exclude, _, rd_exclude, _) = run_point(&opts, Strategy::Exclude(2));
+        let lat_ratio = al_overlap / al_exclude.max(1e-9);
+        assert!(
+            (0.5..=1.5).contains(&lat_ratio),
+            "equal effective capacity: overlap {al_overlap:.1}us vs exclude {al_exclude:.1}us"
+        );
+        let rd_ratio = rd_overlap / rd_exclude.max(1e-9);
+        assert!(
+            (0.5..=1.5).contains(&rd_ratio),
+            "equal memory pressure: {rd_overlap:.2} vs {rd_exclude:.2} GB/s"
+        );
+        // More effective ways monotonically help.
+        let (al_wide, ..) = run_point(&opts, Strategy::Overlap(6));
+        assert!(al_wide < al_overlap, "6O {al_wide:.1}us beats 4O {al_overlap:.1}us");
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 8: the two F2 mechanisms in isolation.
+//!
+//! * **8a** — selectively disabling DCA for the SSD (`[SSD-DCA off]`)
+//!   removes the storage-driven latency inflation of DPDK-T while leaving
+//!   FIO throughput untouched (observation O4).
+//! * **8b** — shrinking FIO's ways from `[2:5]` down to `[2:2]` lowers
+//!   co-running X-Mem's miss rate with flat storage throughput
+//!   (observation O5, the basis of pseudo LLC bypassing).
+
+use crate::scenario::{self, RunOpts};
+use crate::table::Table;
+use a4_core::Harness;
+use a4_model::{ClosId, Priority, WayMask};
+use a4_sim::LatencyKind;
+
+/// Block sizes of Fig. 8a in KiB.
+pub const BLOCK_KIB: [u64; 6] = [16, 32, 64, 128, 256, 512];
+
+/// One Fig. 8a point: returns `(net_al_us, net_tl_us, storage_gbps)`.
+pub fn run_point_8a(opts: &RunOpts, block_kib: u64, ssd_dca: bool) -> (f64, f64, f64) {
+    let mut sys = scenario::base_system(opts);
+    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
+    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
+    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
+        .expect("cores free");
+    let lines = scenario::block_lines(&sys, block_kib);
+    let fio = scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low)
+        .expect("cores free");
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static")).expect("ok");
+    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static")).expect("ok");
+    sys.cat_assign_workload(fio, ClosId(2)).expect("registered");
+    // The hidden knob: NIC keeps DCA, only the SSD's port is toggled.
+    sys.set_device_dca(ssd, ssd_dca).expect("attached");
+
+    let mut harness = Harness::new(sys);
+    let report = harness.run(opts.warmup, opts.measure);
+    let secs = report.samples.len() as f64 * 1e-3;
+    (
+        report.mean_latency_ns(dpdk, LatencyKind::NetTotal) / 1000.0,
+        report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0,
+        report.total_io_bytes(fio) as f64 / secs / 1e9,
+    )
+}
+
+/// One Fig. 8b point: FIO at `[2:n]`, X-Mem at `[2:5]`; returns
+/// `(xmem_llc_miss, storage_gbps)`.
+pub fn run_point_8b(opts: &RunOpts, fio_last_way: usize) -> (f64, f64) {
+    let mut sys = scenario::base_system(opts);
+    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
+    let lines = scenario::block_lines(&sys, 2048);
+    let fio = scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low)
+        .expect("cores free");
+    let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores free");
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(2, fio_last_way).expect("valid"))
+        .expect("ok");
+    sys.cat_assign_workload(fio, ClosId(1)).expect("registered");
+    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 5).expect("static")).expect("ok");
+    sys.cat_assign_workload(xmem, ClosId(2)).expect("registered");
+    // Fig. 8b runs with the SSD's DCA already disabled (the 8a insight).
+    sys.set_device_dca(ssd, false).expect("attached");
+
+    let mut harness = Harness::new(sys);
+    let report = harness.run(opts.warmup, opts.measure);
+    let secs = report.samples.len() as f64 * 1e-3;
+    (report.llc_miss_rate(xmem), report.total_io_bytes(fio) as f64 / secs / 1e9)
+}
+
+/// Runs Fig. 8a.
+pub fn run_a(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig8a",
+        "[SSD-DCA off] vs [DCA on]: DPDK-T latency and FIO throughput",
+        ["al_ssd_off_us", "tl_ssd_off_us", "tp_ssd_off", "al_on_us", "tl_on_us", "tp_on"],
+    );
+    for kib in BLOCK_KIB {
+        let (al_off, tl_off, tp_off) = run_point_8a(opts, kib, false);
+        let (al_on, tl_on, tp_on) = run_point_8a(opts, kib, true);
+        table.push(format!("{kib}KB"), [al_off, tl_off, tp_off, al_on, tl_on, tp_on]);
+    }
+    table
+}
+
+/// Runs Fig. 8b.
+pub fn run_b(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "fig8b",
+        "shrinking FIO's trash ways: X-Mem miss rate and FIO throughput",
+        ["xmem_llc_miss", "storage_tp"],
+    );
+    for last in [5usize, 4, 3, 2] {
+        let (miss, tp) = run_point_8b(opts, last);
+        table.push(format!("[2:{last}]"), [miss, tp]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_dca_off_lowers_network_latency_not_storage_tp() {
+        let opts = RunOpts::quick();
+        let (al_off, _, tp_off) = run_point_8a(&opts, 128, false);
+        let (al_on, _, tp_on) = run_point_8a(&opts, 128, true);
+        assert!(
+            al_off < al_on,
+            "[SSD-DCA off] helps DPDK-T: off={al_off:.1}us on={al_on:.1}us"
+        );
+        let ratio = tp_off / tp_on.max(1e-9);
+        assert!((0.8..1.25).contains(&ratio), "FIO unharmed: off={tp_off:.2} on={tp_on:.2}");
+    }
+
+    #[test]
+    fn fewer_fio_ways_help_xmem_without_hurting_fio() {
+        let opts = RunOpts::quick();
+        let (miss_wide, tp_wide) = run_point_8b(&opts, 5);
+        let (miss_narrow, tp_narrow) = run_point_8b(&opts, 2);
+        assert!(
+            miss_narrow < miss_wide,
+            "fewer overlapped ways: [2:5]={miss_wide:.3} [2:2]={miss_narrow:.3}"
+        );
+        let ratio = tp_narrow / tp_wide.max(1e-9);
+        assert!((0.8..1.25).contains(&ratio), "storage tp flat: {tp_wide:.2} -> {tp_narrow:.2}");
+    }
+}

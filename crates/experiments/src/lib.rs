@@ -1,0 +1,41 @@
+//! Experiment harness reproducing every measured figure of the A4 paper.
+//!
+//! One module per figure; each exposes a `run(opts)` returning
+//! [`Table`]s whose rows/series correspond to what the paper plots. The
+//! `a4-repro` binary prints them; `a4-bench` wraps them in Criterion
+//! targets; the integration tests assert the *shapes* (who wins, where
+//! the bumps are) rather than absolute numbers — see EXPERIMENTS.md.
+//!
+//! | module | paper figure | what it shows |
+//! |---|---|---|
+//! | [`fig3`] | Fig. 3a/3b | latent + DMA-bloat + directory contention way sweep |
+//! | [`fig4`] | Fig. 4 | directory contention disappears with DCA off |
+//! | [`fig5`] | Fig. 5a | storage throughput & memory traffic vs block size |
+//! | [`fig6`] | Fig. 6 | storage I/O inflating DPDK-T latency |
+//! | [`fig7`] | Fig. 7b | n-Exclude vs (n+2)-Overlap allocation strategies |
+//! | [`fig8`] | Fig. 8a/8b | per-SSD DCA off + trash-way shrinking |
+//! | [`fig11`] | Fig. 11 | X-Mem IPC/hit rates vs packet size, 3 schemes |
+//! | [`fig12`] | Fig. 12 | network metrics vs storage block size, 3 schemes |
+//! | [`fig13`] | Fig. 13a/13b | real-world colocations, Default/Isolate/A4-a..d |
+//! | [`fig14`] | Fig. 14a–d | latency breakdowns, I/O throughput, memory BW |
+//! | [`fig15`] | Fig. 15a–c | threshold & timing sensitivity |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod scenario;
+mod table;
+
+pub use scenario::RunOpts;
+pub use table::{Row, Table};

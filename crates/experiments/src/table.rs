@@ -1,0 +1,151 @@
+//! Result tables: the machine- and human-readable output of every
+//! experiment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One labelled row of numeric values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (a sweep point or workload name).
+    pub label: String,
+    /// Values aligned with [`Table::columns`].
+    pub values: Vec<f64>,
+}
+
+/// A figure's data as a table.
+///
+/// # Examples
+///
+/// ```
+/// use a4_experiments::Table;
+///
+/// let mut t = Table::new("fig0", "demo", ["a", "b"]);
+/// t.push("row1", [1.0, 2.0]);
+/// assert_eq!(t.get("row1", "b"), Some(2.0));
+/// assert!(t.to_string().contains("row1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Figure id ("fig3a", "fig13b", ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new<S: Into<String>>(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: impl IntoIterator<Item = f64>) {
+        let values: Vec<f64> = values.into_iter().collect();
+        assert_eq!(values.len(), self.columns.len(), "row width must match columns");
+        self.rows.push(Row { label: label.into(), values });
+    }
+
+    /// Looks a cell up by row label and column name.
+    pub fn get(&self, label: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows.iter().find(|r| r.label == label).map(|r| r.values[col])
+    }
+
+    /// All values of one column, in row order.
+    pub fn column(&self, column: &str) -> Vec<f64> {
+        match self.columns.iter().position(|c| c == column) {
+            Some(col) => self.rows.iter().map(|r| r.values[col]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Row labels in order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.rows.iter().map(|r| r.label.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        write!(f, "{:label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, "  {c:>14}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:label_w$}", r.label)?;
+            for v in &r.values {
+                if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                    write!(f, "  {v:>14.3e}")?;
+                } else {
+                    write!(f, "  {v:>14.4}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut t = Table::new("f", "t", ["x", "y"]);
+        t.push("a", [1.0, 2.0]);
+        t.push("b", [3.0, 4.0]);
+        assert_eq!(t.get("a", "x"), Some(1.0));
+        assert_eq!(t.get("b", "y"), Some(4.0));
+        assert_eq!(t.get("c", "x"), None);
+        assert_eq!(t.get("a", "z"), None);
+        assert_eq!(t.column("y"), vec![2.0, 4.0]);
+        assert_eq!(t.labels(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("f", "t", ["x"]);
+        t.push("a", [1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_and_serde_roundtrip() {
+        let mut t = Table::new("fig3a", "sweep", ["miss", "bw"]);
+        t.push("[0:1]", [0.55, 12345.0]);
+        let text = t.to_string();
+        assert!(text.contains("fig3a"));
+        assert!(text.contains("[0:1]"));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,123 @@
+//! Cache-line addressing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes per cache line on every CPU modelled here (Skylake-SP).
+pub const LINE_BYTES: u64 = 64;
+
+/// `log2(LINE_BYTES)`: shift that converts a byte address to a line address.
+pub const LINE_SHIFT: u32 = 6;
+
+/// The address of one 64-byte cache line.
+///
+/// All cache structures in the reproduction operate at line granularity;
+/// byte addresses only appear at the edges (workload generators and DMA
+/// descriptors). `LineAddr` is the byte address shifted right by
+/// [`LINE_SHIFT`].
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::{LineAddr, LINE_BYTES};
+///
+/// let line = LineAddr::from_byte_addr(0x1040);
+/// assert_eq!(line, LineAddr(0x41));
+/// assert_eq!(line.byte_addr(), 0x1040);
+/// assert_eq!(LineAddr(0).span_of_bytes(130).count(), 3);
+/// let _ = LINE_BYTES;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Converts a byte address to the address of its containing line.
+    #[inline]
+    pub fn from_byte_addr(addr: u64) -> Self {
+        LineAddr(addr >> LINE_SHIFT)
+    }
+
+    /// Returns the byte address of the first byte of this line.
+    #[inline]
+    pub fn byte_addr(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+
+    /// Returns the set index for a cache with `sets` sets (power of two).
+    #[inline]
+    pub fn set_index(self, sets: usize) -> usize {
+        debug_assert!(sets.is_power_of_two(), "set count must be a power of two");
+        (self.0 as usize) & (sets - 1)
+    }
+
+    /// Returns the tag for a cache with `sets` sets (power of two).
+    #[inline]
+    pub fn tag(self, sets: usize) -> u64 {
+        debug_assert!(sets.is_power_of_two(), "set count must be a power of two");
+        self.0 >> sets.trailing_zeros()
+    }
+
+    /// Returns the line immediately after this one.
+    #[inline]
+    pub fn next(self) -> Self {
+        LineAddr(self.0 + 1)
+    }
+
+    /// Returns an iterator over the lines covering `bytes` bytes starting at
+    /// the first byte of this line.
+    ///
+    /// A zero-byte span covers zero lines.
+    pub fn span_of_bytes(self, bytes: u64) -> impl Iterator<Item = LineAddr> {
+        let lines = bytes.div_ceil(LINE_BYTES);
+        (self.0..self.0 + lines).map(LineAddr)
+    }
+
+    /// Offsets this line address by `lines` lines.
+    #[inline]
+    pub fn offset(self, lines: u64) -> Self {
+        LineAddr(self.0 + lines)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_addr_roundtrip() {
+        for addr in [0u64, 63, 64, 65, 0xdead_beef] {
+            let line = LineAddr::from_byte_addr(addr);
+            assert_eq!(line.byte_addr(), addr & !(LINE_BYTES - 1));
+        }
+    }
+
+    #[test]
+    fn set_and_tag_partition_the_address() {
+        let sets = 1024;
+        let line = LineAddr(0xabcd_ef12);
+        let rebuilt = (line.tag(sets) << 10) | line.set_index(sets) as u64;
+        assert_eq!(rebuilt, line.0);
+    }
+
+    #[test]
+    fn span_counts_partial_lines() {
+        assert_eq!(LineAddr(0).span_of_bytes(0).count(), 0);
+        assert_eq!(LineAddr(0).span_of_bytes(1).count(), 1);
+        assert_eq!(LineAddr(0).span_of_bytes(64).count(), 1);
+        assert_eq!(LineAddr(0).span_of_bytes(65).count(), 2);
+        assert_eq!(LineAddr(10).span_of_bytes(1024).count(), 16);
+        let lines: Vec<_> = LineAddr(10).span_of_bytes(128).collect();
+        assert_eq!(lines, vec![LineAddr(10), LineAddr(11)]);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(LineAddr(255).to_string(), "line:0xff");
+    }
+}

@@ -1,0 +1,252 @@
+//! Byte and bandwidth quantities.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A quantity of bytes (buffer sizes, transferred volumes).
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::Bytes;
+///
+/// let block = Bytes::from_kib(128);
+/// assert_eq!(block.as_u64(), 131_072);
+/// assert_eq!(block.lines(), 2_048);
+/// assert_eq!(Bytes::from_mib(4).to_string(), "4.00 MiB");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Constructs from a raw byte count.
+    #[inline]
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Constructs from KiB.
+    #[inline]
+    pub const fn from_kib(kib: u64) -> Self {
+        Bytes(kib * 1024)
+    }
+
+    /// Constructs from MiB.
+    #[inline]
+    pub const fn from_mib(mib: u64) -> Self {
+        Bytes(mib * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Number of whole 64-byte cache lines needed to hold this many bytes.
+    #[inline]
+    pub const fn lines(self) -> u64 {
+        self.0.div_ceil(crate::line::LINE_BYTES)
+    }
+
+    /// Value in MiB as a float.
+    #[inline]
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: f64 = 1024.0;
+        let b = self.0 as f64;
+        if b >= KIB * KIB * KIB {
+            write!(f, "{:.2} GiB", b / (KIB * KIB * KIB))
+        } else if b >= KIB * KIB {
+            write!(f, "{:.2} MiB", b / (KIB * KIB))
+        } else if b >= KIB {
+            write!(f, "{:.2} KiB", b / KIB)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// A data rate.
+///
+/// Stored as bytes per second. Network devices are usually quoted in Gbps
+/// (decimal bits), storage and memory in GB/s (decimal bytes); constructors
+/// for both exist so figures can use the paper's units.
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::{Bandwidth, Bytes, SimTime};
+///
+/// let nic = Bandwidth::from_gbps(100.0);
+/// assert_eq!(nic.as_gb_s(), 12.5);
+/// // Volume transferred in 1 microsecond at NIC line rate:
+/// assert_eq!(nic.bytes_in(SimTime::from_micros(1)), Bytes::new(12_500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// Constructs from bytes per second.
+    #[inline]
+    pub const fn from_bytes_per_sec(bps: f64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Constructs from gigabits per second (network convention).
+    #[inline]
+    pub fn from_gbps(gbps: f64) -> Self {
+        Bandwidth(gbps * 1e9 / 8.0)
+    }
+
+    /// Constructs from gigabytes per second (decimal, storage convention).
+    #[inline]
+    pub fn from_gb_s(gb: f64) -> Self {
+        Bandwidth(gb * 1e9)
+    }
+
+    /// Bytes per second.
+    #[inline]
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Gigabytes per second (decimal).
+    #[inline]
+    pub fn as_gb_s(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Gigabits per second.
+    #[inline]
+    pub fn as_gbps(self) -> f64 {
+        self.0 * 8.0 / 1e9
+    }
+
+    /// Volume transferred in `dt` at this rate (truncating to whole bytes).
+    #[inline]
+    pub fn bytes_in(self, dt: SimTime) -> Bytes {
+        Bytes::new((self.0 * dt.as_secs_f64()) as u64)
+    }
+
+    /// Computes the rate that transfers `volume` in `dt`.
+    ///
+    /// Returns [`Bandwidth::ZERO`] when `dt` is zero.
+    pub fn from_volume(volume: Bytes, dt: SimTime) -> Self {
+        let secs = dt.as_secs_f64();
+        if secs == 0.0 {
+            Bandwidth::ZERO
+        } else {
+            Bandwidth(volume.as_u64() as f64 / secs)
+        }
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GB/s", self.as_gb_s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_conversions() {
+        assert_eq!(Bytes::from_kib(1).as_u64(), 1024);
+        assert_eq!(Bytes::from_mib(1), Bytes::from_kib(1024));
+        assert_eq!(Bytes::new(65).lines(), 2);
+        assert_eq!(Bytes::new(0).lines(), 0);
+        assert_eq!(Bytes::from_mib(4).as_mib_f64(), 4.0);
+    }
+
+    #[test]
+    fn bytes_arithmetic_and_sum() {
+        let total: Bytes = [Bytes::new(10), Bytes::new(20)].into_iter().sum();
+        assert_eq!(total, Bytes::new(30));
+        assert_eq!(total - Bytes::new(10) + Bytes::new(1), Bytes::new(21));
+    }
+
+    #[test]
+    fn bandwidth_units() {
+        // 100 Gbps NIC = 12.5 GB/s.
+        let nic = Bandwidth::from_gbps(100.0);
+        assert!((nic.as_gb_s() - 12.5).abs() < 1e-9);
+        assert!((nic.as_gbps() - 100.0).abs() < 1e-9);
+        // 116 Gbps NVMe SSD from the paper intro = 14.5 GB/s.
+        let ssd = Bandwidth::from_gbps(116.0);
+        assert!((ssd.as_gb_s() - 14.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_rate_roundtrip() {
+        let bw = Bandwidth::from_gb_s(10.0);
+        let dt = SimTime::from_millis(2);
+        let vol = bw.bytes_in(dt);
+        assert_eq!(vol.as_u64(), 20_000_000);
+        let back = Bandwidth::from_volume(vol, dt);
+        assert!((back.as_gb_s() - 10.0).abs() < 1e-9);
+        assert_eq!(Bandwidth::from_volume(vol, SimTime::ZERO), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bytes::new(512).to_string(), "512 B");
+        assert_eq!(Bytes::from_kib(2).to_string(), "2.00 KiB");
+        assert_eq!(Bandwidth::from_gb_s(12.5).to_string(), "12.50 GB/s");
+    }
+}

@@ -1,0 +1,420 @@
+//! Way masks over the 11-way Skylake LLC.
+//!
+//! Intel CAT programs per-CLOS *capacity bitmasks*. Two conventions exist:
+//!
+//! * **index order** — bit `i` set means way `i` is allocatable, with way 0
+//!   being the left-most way in the paper's figures (a DCA way) and way 10
+//!   the right-most (an inclusive way). This is what [`WayMask`] stores.
+//! * **CAT register order** — the paper's hex values (`0x600` = ways
+//!   `[0:1]`, `0x003` = ways `[9:10]`) put way 0 at the *most significant*
+//!   of the 11 bits. [`WayMask::to_cat_bits`]/[`WayMask::from_cat_bits`]
+//!   convert.
+
+use crate::error::{A4Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// Number of data ways in the modelled LLC (Xeon Gold 6140: 11).
+pub const LLC_WAYS: usize = 11;
+
+/// Number of left-most ways DDIO allocates into (ways 0 and 1).
+pub const DCA_WAY_COUNT: usize = 2;
+
+/// Number of right-most *inclusive* ways coupled with the shared directory
+/// ways (ways 9 and 10).
+pub const INCLUSIVE_WAY_COUNT: usize = 2;
+
+const ALL_BITS: u16 = (1 << LLC_WAYS) - 1;
+
+/// A set of LLC ways, bit `i` ⇔ way `i`.
+///
+/// Constructors validate the CAT hardware restrictions (non-empty,
+/// contiguous, within the 11 ways); the bit-operator impls are provided for
+/// *analysis* (overlap tests) and may produce non-contiguous intermediate
+/// values, so re-validate with [`WayMask::is_contiguous`] before programming
+/// a result into a CLOS.
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::WayMask;
+///
+/// let dca = WayMask::DCA;
+/// let inclusive = WayMask::INCLUSIVE;
+/// assert_eq!(dca.count(), 2);
+/// assert!((dca & inclusive).is_empty());
+/// assert_eq!(WayMask::from_range(5, 7)?.to_string(), "[5:6]");
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WayMask(u16);
+
+impl WayMask {
+    /// All 11 LLC ways.
+    pub const ALL: WayMask = WayMask(ALL_BITS);
+
+    /// The two DCA (DDIO) ways: ways 0 and 1 (paper mask `0x600`).
+    pub const DCA: WayMask = WayMask(0b000_0000_0011);
+
+    /// The two inclusive ways: ways 9 and 10 (paper mask `0x003`).
+    pub const INCLUSIVE: WayMask = WayMask(0b110_0000_0000);
+
+    /// The empty mask. Not programmable into CAT; useful as an identity.
+    pub const EMPTY: WayMask = WayMask(0);
+
+    /// Standard ways: everything but the DCA and inclusive ways (ways 2-8).
+    pub const STANDARD: WayMask = WayMask(ALL_BITS & !0b000_0000_0011 & !0b110_0000_0000);
+
+    /// Creates a mask from raw index-order bits, enforcing CAT rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidWayRange`] for bits beyond way 10,
+    /// [`A4Error::EmptyMask`] for zero, and
+    /// [`A4Error::NonContiguousMask`] for masks with holes.
+    pub fn from_bits(bits: u16) -> Result<Self> {
+        if bits == 0 {
+            return Err(A4Error::EmptyMask);
+        }
+        if bits & !ALL_BITS != 0 {
+            return Err(A4Error::InvalidWayRange { start: 0, end: 16 });
+        }
+        let mask = WayMask(bits);
+        if !mask.is_contiguous() {
+            return Err(A4Error::NonContiguousMask { bits });
+        }
+        Ok(mask)
+    }
+
+    /// Creates a mask covering ways `start..end` (end exclusive).
+    ///
+    /// The paper's `way[m:n]` notation is **inclusive** of `n`; use
+    /// [`WayMask::from_paper_range`] for that convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidWayRange`] if the range is empty or exceeds
+    /// the 11 ways.
+    pub fn from_range(start: usize, end: usize) -> Result<Self> {
+        if start >= end || end > LLC_WAYS {
+            return Err(A4Error::InvalidWayRange { start, end });
+        }
+        let bits = (ALL_BITS >> (LLC_WAYS - end)) & (ALL_BITS << start) & ALL_BITS;
+        Ok(WayMask(bits))
+    }
+
+    /// Creates a mask from the paper's inclusive `way[m:n]` notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidWayRange`] if `m > n` or `n >= 11`.
+    pub fn from_paper_range(m: usize, n: usize) -> Result<Self> {
+        if m > n || n >= LLC_WAYS {
+            return Err(A4Error::InvalidWayRange { start: m, end: n + 1 });
+        }
+        Self::from_range(m, n + 1)
+    }
+
+    /// Parses the CAT register encoding used in the paper's figures, where
+    /// way 0 is the most significant of 11 bits (`0x600` ⇒ ways `[0:1]`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WayMask::from_bits`].
+    pub fn from_cat_bits(cat: u16) -> Result<Self> {
+        if cat & !ALL_BITS != 0 {
+            return Err(A4Error::InvalidWayRange { start: 0, end: 16 });
+        }
+        let mut bits = 0u16;
+        for way in 0..LLC_WAYS {
+            if cat & (1 << (LLC_WAYS - 1 - way)) != 0 {
+                bits |= 1 << way;
+            }
+        }
+        Self::from_bits(bits)
+    }
+
+    /// Returns the CAT register encoding (way 0 = MSB of 11 bits).
+    pub fn to_cat_bits(self) -> u16 {
+        let mut cat = 0u16;
+        for way in 0..LLC_WAYS {
+            if self.contains_way(way) {
+                cat |= 1 << (LLC_WAYS - 1 - way);
+            }
+        }
+        cat
+    }
+
+    /// Raw index-order bits.
+    #[inline]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Number of ways in the mask.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if no way is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if way `way` is in the mask.
+    #[inline]
+    pub fn contains_way(self, way: usize) -> bool {
+        way < LLC_WAYS && self.0 & (1 << way) != 0
+    }
+
+    /// True if every way of `other` is also in `self`.
+    #[inline]
+    pub fn contains(self, other: WayMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if the masks share at least one way.
+    #[inline]
+    pub fn overlaps(self, other: WayMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True if the set bits form one contiguous run (CAT requirement).
+    pub fn is_contiguous(self) -> bool {
+        if self.0 == 0 {
+            return false;
+        }
+        let shifted = self.0 >> self.0.trailing_zeros();
+        (shifted & (shifted + 1)) == 0
+    }
+
+    /// Index of the lowest (left-most in the paper's figures) way, if any.
+    pub fn first_way(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Index of the highest (right-most) way, if any.
+    pub fn last_way(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(15 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Iterates over the way indices in the mask, ascending.
+    pub fn iter_ways(self) -> impl Iterator<Item = usize> {
+        (0..LLC_WAYS).filter(move |&w| self.contains_way(w))
+    }
+
+    /// Grows the mask by one way to the left (toward way 0), the direction
+    /// A4 expands the LP Zone (red arrow in Fig. 10a).
+    ///
+    /// Returns `None` when way 0 is already included.
+    pub fn grow_left(self) -> Option<WayMask> {
+        let first = self.first_way()?;
+        if first == 0 {
+            None
+        } else {
+            Some(WayMask(self.0 | (1 << (first - 1))))
+        }
+    }
+
+    /// Shrinks the mask by one way from the left. Returns `None` when only
+    /// one way remains (CAT masks cannot be empty).
+    pub fn shrink_left(self) -> Option<WayMask> {
+        let first = self.first_way()?;
+        if self.count() <= 1 {
+            None
+        } else {
+            Some(WayMask(self.0 & !(1 << first)))
+        }
+    }
+
+    /// Shrinks the mask by one way from the right. Returns `None` when only
+    /// one way remains.
+    pub fn shrink_right(self) -> Option<WayMask> {
+        let last = self.last_way()?;
+        if self.count() <= 1 {
+            None
+        } else {
+            Some(WayMask(self.0 & !(1 << last)))
+        }
+    }
+
+    /// The complement within the 11 ways. May be non-contiguous.
+    #[inline]
+    pub fn complement(self) -> WayMask {
+        WayMask(!self.0 & ALL_BITS)
+    }
+}
+
+impl BitAnd for WayMask {
+    type Output = WayMask;
+    fn bitand(self, rhs: WayMask) -> WayMask {
+        WayMask(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for WayMask {
+    type Output = WayMask;
+    fn bitor(self, rhs: WayMask) -> WayMask {
+        WayMask(self.0 | rhs.0)
+    }
+}
+
+impl Not for WayMask {
+    type Output = WayMask;
+    fn not(self) -> WayMask {
+        self.complement()
+    }
+}
+
+impl fmt::Display for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.first_way(), self.last_way()) {
+            (Some(a), Some(b)) if self.is_contiguous() => write!(f, "[{a}:{b}]"),
+            (Some(_), Some(_)) => write!(f, "{{{:#013b}}}", self.0),
+            _ => write!(f, "[]"),
+        }
+    }
+}
+
+impl fmt::LowerHex for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.to_cat_bits(), f)
+    }
+}
+
+impl fmt::Binary for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_hex_values_match_figure_3() {
+        // Fig. 3 sweeps 0x600, 0x300, ..., 0x003 = [0:1], [1:2], ..., [9:10].
+        let expected = [
+            (0x600, (0, 1)),
+            (0x300, (1, 2)),
+            (0x180, (2, 3)),
+            (0x0c0, (3, 4)),
+            (0x060, (4, 5)),
+            (0x030, (5, 6)),
+            (0x018, (6, 7)),
+            (0x00c, (7, 8)),
+            (0x006, (8, 9)),
+            (0x003, (9, 10)),
+        ];
+        for (cat, (m, n)) in expected {
+            let mask = WayMask::from_cat_bits(cat).unwrap();
+            assert_eq!(mask, WayMask::from_paper_range(m, n).unwrap(), "cat {cat:#x}");
+            assert_eq!(mask.to_cat_bits(), cat);
+        }
+    }
+
+    #[test]
+    fn named_masks_are_disjoint_and_cover() {
+        assert!(!WayMask::DCA.overlaps(WayMask::INCLUSIVE));
+        assert!(!WayMask::DCA.overlaps(WayMask::STANDARD));
+        assert!(!WayMask::STANDARD.overlaps(WayMask::INCLUSIVE));
+        assert_eq!(
+            (WayMask::DCA | WayMask::STANDARD | WayMask::INCLUSIVE).bits(),
+            WayMask::ALL.bits()
+        );
+        assert_eq!(WayMask::STANDARD.count(), 7);
+    }
+
+    #[test]
+    fn from_range_rejects_bad_input() {
+        assert!(WayMask::from_range(0, 12).is_err());
+        assert!(WayMask::from_range(5, 5).is_err());
+        assert!(WayMask::from_range(7, 3).is_err());
+        assert!(WayMask::from_paper_range(3, 11).is_err());
+    }
+
+    #[test]
+    fn from_bits_rejects_holes() {
+        assert_eq!(WayMask::from_bits(0), Err(A4Error::EmptyMask));
+        assert!(matches!(
+            WayMask::from_bits(0b1001),
+            Err(A4Error::NonContiguousMask { bits: 0b1001 })
+        ));
+        assert!(WayMask::from_bits(1 << 11).is_err());
+    }
+
+    #[test]
+    fn grow_and_shrink_move_the_left_edge() {
+        let lp = WayMask::from_paper_range(9, 10).unwrap();
+        let grown = lp.grow_left().unwrap();
+        assert_eq!(grown, WayMask::from_paper_range(8, 10).unwrap());
+        assert_eq!(grown.shrink_left().unwrap(), lp);
+        assert_eq!(WayMask::from_paper_range(0, 5).unwrap().grow_left(), None);
+        let one = WayMask::from_paper_range(8, 8).unwrap();
+        assert_eq!(one.shrink_left(), None);
+        assert_eq!(one.shrink_right(), None);
+        let trash = WayMask::from_paper_range(7, 8).unwrap().shrink_left().unwrap();
+        assert_eq!(trash, WayMask::from_paper_range(8, 8).unwrap());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(WayMask::DCA.to_string(), "[0:1]");
+        assert_eq!(WayMask::INCLUSIVE.to_string(), "[9:10]");
+        assert_eq!(format!("{:#05x}", WayMask::DCA), "0x600");
+    }
+
+    proptest! {
+        #[test]
+        fn contiguous_ranges_roundtrip(start in 0usize..11, len in 1usize..11) {
+            prop_assume!(start + len <= 11);
+            let mask = WayMask::from_range(start, start + len).unwrap();
+            prop_assert!(mask.is_contiguous());
+            prop_assert_eq!(mask.count(), len);
+            prop_assert_eq!(mask.first_way(), Some(start));
+            prop_assert_eq!(mask.last_way(), Some(start + len - 1));
+            let roundtrip = WayMask::from_cat_bits(mask.to_cat_bits()).unwrap();
+            prop_assert_eq!(mask, roundtrip);
+        }
+
+        #[test]
+        fn iter_ways_matches_contains(bits in 1u16..(1 << 11)) {
+            let mask = WayMask(bits);
+            let from_iter: Vec<usize> = mask.iter_ways().collect();
+            for way in 0..LLC_WAYS {
+                prop_assert_eq!(from_iter.contains(&way), mask.contains_way(way));
+            }
+            prop_assert_eq!(from_iter.len(), mask.count());
+        }
+
+        #[test]
+        fn complement_partitions(bits in 1u16..(1 << 11)) {
+            let mask = WayMask(bits);
+            prop_assert!(!mask.overlaps(mask.complement()));
+            prop_assert_eq!((mask | mask.complement()).bits(), WayMask::ALL.bits());
+        }
+
+        #[test]
+        fn grow_left_preserves_contiguity(start in 1usize..11, len in 1usize..10) {
+            prop_assume!(start + len <= 11);
+            let mask = WayMask::from_range(start, start + len).unwrap();
+            let grown = mask.grow_left().unwrap();
+            prop_assert!(grown.is_contiguous());
+            prop_assert_eq!(grown.count(), len + 1);
+            prop_assert!(grown.contains(mask));
+        }
+    }
+}

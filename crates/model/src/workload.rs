@@ -1,0 +1,130 @@
+//! Workload classification vocabulary shared by the simulator and the A4
+//! controller.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// QoS priority of a workload, supplied by the user or cluster manager
+/// (§5.1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::Priority;
+/// assert!(Priority::High.is_high());
+/// assert_eq!(Priority::Low.to_string(), "LPW");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// High-Priority Workload (HPW): latency-sensitive, SLO-bearing.
+    High,
+    /// Low-Priority Workload (LPW): best-effort batch work.
+    Low,
+}
+
+impl Priority {
+    /// True for [`Priority::High`].
+    #[inline]
+    pub fn is_high(self) -> bool {
+        matches!(self, Priority::High)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::High => write!(f, "HPW"),
+            Priority::Low => write!(f, "LPW"),
+        }
+    }
+}
+
+/// What kind of traffic a workload generates, which determines which of the
+/// paper's contentions it can participate in.
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::WorkloadKind;
+/// assert!(WorkloadKind::NetworkIo.is_io());
+/// assert!(!WorkloadKind::NonIo.is_io());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Pure CPU/memory workload (X-Mem, SPEC CPU, Redis).
+    NonIo,
+    /// Network-I/O workload driven by a NIC (DPDK, Fastclick).
+    NetworkIo,
+    /// Storage-I/O workload driven by NVMe SSDs (FIO, FFSB).
+    StorageIo,
+}
+
+impl WorkloadKind {
+    /// True for network- or storage-I/O workloads.
+    #[inline]
+    pub fn is_io(self) -> bool {
+        !matches!(self, WorkloadKind::NonIo)
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadKind::NonIo => write!(f, "non-I/O"),
+            WorkloadKind::NetworkIo => write!(f, "network-I/O"),
+            WorkloadKind::StorageIo => write!(f, "storage-I/O"),
+        }
+    }
+}
+
+/// Device class attached to a PCIe port; the granularity at which A4's
+/// selective DCA disabling (F2) operates.
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::DeviceClass;
+/// assert_eq!(DeviceClass::Nvme.to_string(), "nvme");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Network interface card.
+    Nic,
+    /// NVMe solid-state drive (or RAID array of them).
+    Nvme,
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceClass::Nic => write!(f, "nic"),
+            DeviceClass::Nvme => write!(f, "nvme"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_predicates() {
+        assert!(Priority::High.is_high());
+        assert!(!Priority::Low.is_high());
+        assert_eq!(Priority::High.to_string(), "HPW");
+    }
+
+    #[test]
+    fn kind_io_classification() {
+        assert!(!WorkloadKind::NonIo.is_io());
+        assert!(WorkloadKind::NetworkIo.is_io());
+        assert!(WorkloadKind::StorageIo.is_io());
+        assert_eq!(WorkloadKind::StorageIo.to_string(), "storage-I/O");
+    }
+
+    #[test]
+    fn device_class_display() {
+        assert_eq!(DeviceClass::Nic.to_string(), "nic");
+        assert_eq!(DeviceClass::Nvme.to_string(), "nvme");
+    }
+}

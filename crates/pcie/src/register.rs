@@ -1,0 +1,170 @@
+//! The hidden `perfctrlsts_0` per-port register.
+//!
+//! The Intel Xeon Scalable (Skylake-SP) datasheet volume 2 documents a
+//! per-root-port register `perfctrlsts_0` (offset `0x180`). Two of its
+//! bits steer how inbound (DMA write) transactions allocate in the LLC:
+//!
+//! * bit 3 — `NoSnoopOpWrEn`: honour the *no-snoop* hint on inbound
+//!   writes, letting them bypass the cache hierarchy;
+//! * bit 7 — `Use_Allocating_Flow_Wr`: use the DDIO allocating flow for
+//!   inbound writes (write-allocate into the DCA ways).
+//!
+//! DCA is effectively **disabled for the port** when `NoSnoopOpWrEn` is
+//! set *and* `Use_Allocating_Flow_Wr` is cleared — the combination the A4
+//! paper's §4.2 uses to switch DDIO off for one SSD while the NIC keeps
+//! its low-latency path. (The same bits are used by the `ddio-bench`
+//! tooling the paper's artifact references.)
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bit index of `NoSnoopOpWrEn`.
+const NO_SNOOP_OP_WR_EN: u32 = 3;
+/// Bit index of `Use_Allocating_Flow_Wr`.
+const USE_ALLOCATING_FLOW_WR: u32 = 7;
+
+/// Software view of one port's `perfctrlsts_0` register.
+///
+/// # Examples
+///
+/// ```
+/// use a4_pcie::PerfCtrlSts;
+///
+/// let mut reg = PerfCtrlSts::power_on();
+/// assert!(reg.dca_enabled());
+/// reg.disable_dca();
+/// assert!(!reg.dca_enabled());
+/// assert!(reg.no_snoop_op_wr_en());
+/// assert!(!reg.use_allocating_flow_wr());
+/// reg.enable_dca();
+/// assert!(reg.dca_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCtrlSts {
+    raw: u64,
+}
+
+impl PerfCtrlSts {
+    /// Register offset within the port's configuration space.
+    pub const OFFSET: u16 = 0x180;
+
+    /// Power-on default: allocating flow enabled, no-snoop honouring off —
+    /// i.e. DDIO active, as shipped on every Skylake-SP.
+    pub fn power_on() -> Self {
+        PerfCtrlSts { raw: 1 << USE_ALLOCATING_FLOW_WR }
+    }
+
+    /// Builds a view from a raw register value (e.g. read via `setpci`).
+    pub fn from_raw(raw: u64) -> Self {
+        PerfCtrlSts { raw }
+    }
+
+    /// The raw register value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.raw
+    }
+
+    /// Reads `NoSnoopOpWrEn` (bit 3).
+    #[inline]
+    pub fn no_snoop_op_wr_en(self) -> bool {
+        self.raw & (1 << NO_SNOOP_OP_WR_EN) != 0
+    }
+
+    /// Reads `Use_Allocating_Flow_Wr` (bit 7).
+    #[inline]
+    pub fn use_allocating_flow_wr(self) -> bool {
+        self.raw & (1 << USE_ALLOCATING_FLOW_WR) != 0
+    }
+
+    /// True if inbound DMA writes from this port use DCA.
+    #[inline]
+    pub fn dca_enabled(self) -> bool {
+        self.use_allocating_flow_wr() && !self.no_snoop_op_wr_en()
+    }
+
+    /// Disables DCA for the port (set `NoSnoopOpWrEn`, clear
+    /// `Use_Allocating_Flow_Wr`) — the A4 §4.2 sequence.
+    pub fn disable_dca(&mut self) {
+        self.raw |= 1 << NO_SNOOP_OP_WR_EN;
+        self.raw &= !(1 << USE_ALLOCATING_FLOW_WR);
+    }
+
+    /// Re-enables DCA for the port (the power-on configuration).
+    pub fn enable_dca(&mut self) {
+        self.raw &= !(1 << NO_SNOOP_OP_WR_EN);
+        self.raw |= 1 << USE_ALLOCATING_FLOW_WR;
+    }
+}
+
+impl Default for PerfCtrlSts {
+    fn default() -> Self {
+        Self::power_on()
+    }
+}
+
+impl fmt::Display for PerfCtrlSts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "perfctrlsts_0={:#06x} (NoSnoopOpWrEn={}, Use_Allocating_Flow_Wr={}, dca={})",
+            self.raw,
+            self.no_snoop_op_wr_en() as u8,
+            self.use_allocating_flow_wr() as u8,
+            if self.dca_enabled() { "on" } else { "off" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_on_has_dca_enabled() {
+        let reg = PerfCtrlSts::power_on();
+        assert!(reg.dca_enabled());
+        assert!(!reg.no_snoop_op_wr_en());
+        assert!(reg.use_allocating_flow_wr());
+        assert_eq!(reg, PerfCtrlSts::default());
+    }
+
+    #[test]
+    fn disable_enable_roundtrip() {
+        let mut reg = PerfCtrlSts::power_on();
+        reg.disable_dca();
+        assert!(!reg.dca_enabled());
+        reg.enable_dca();
+        assert!(reg.dca_enabled());
+        assert_eq!(reg.raw(), PerfCtrlSts::power_on().raw());
+    }
+
+    #[test]
+    fn other_bits_are_preserved() {
+        // A real register carries unrelated fields; toggling DCA must not
+        // clobber them.
+        let mut reg = PerfCtrlSts::from_raw(0xff00 | (1 << 7));
+        assert!(reg.dca_enabled());
+        reg.disable_dca();
+        assert_eq!(reg.raw() & 0xff00, 0xff00);
+        reg.enable_dca();
+        assert_eq!(reg.raw() & 0xff00, 0xff00);
+    }
+
+    #[test]
+    fn half_configured_states_are_not_dca() {
+        // Both bits set: no-snoop wins, DCA off.
+        let both = PerfCtrlSts::from_raw((1 << 3) | (1 << 7));
+        assert!(!both.dca_enabled());
+        // Neither bit: allocating flow disabled, DCA off.
+        let neither = PerfCtrlSts::from_raw(0);
+        assert!(!neither.dca_enabled());
+    }
+
+    #[test]
+    fn display_mentions_state() {
+        let reg = PerfCtrlSts::power_on();
+        let text = reg.to_string();
+        assert!(text.contains("dca=on"));
+    }
+}

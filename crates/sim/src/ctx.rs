@@ -1,0 +1,311 @@
+//! The cycle-budgeted execution context handed to workloads.
+
+use crate::config::LatencyModel;
+use crate::device::DeviceModel;
+use crate::perf::{LatencyKind, WorkloadPerf};
+use a4_cache::{CacheHierarchy, CoreAccessLevel};
+use a4_model::{CoreId, DeviceId, LineAddr, SimTime, WorkloadId};
+use a4_pcie::{NicModel, NvmeModel};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Execution context for one `(workload, core, quantum)` step.
+///
+/// Every memory access and compute block consumes cycles from the
+/// quantum's budget; memory-level costs come from the [`LatencyModel`]
+/// with DRAM inflated by the previous quantum's utilization. Workloads
+/// therefore automatically slow down when their lines get evicted — the
+/// feedback loop all the paper's contention figures rest on.
+pub struct CoreCtx<'a> {
+    pub(crate) core: CoreId,
+    pub(crate) core_slot: usize,
+    pub(crate) wl: WorkloadId,
+    pub(crate) now: SimTime,
+    pub(crate) budget: f64,
+    pub(crate) used: f64,
+    pub(crate) hier: &'a mut CacheHierarchy,
+    pub(crate) devices: &'a mut [DeviceModel],
+    pub(crate) perf: &'a mut WorkloadPerf,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) lat: LatencyModel,
+    pub(crate) mem_factor: f64,
+    pub(crate) ns_per_cycle: f64,
+}
+
+impl<'a> CoreCtx<'a> {
+    /// The physical core this step runs on.
+    #[inline]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Index of this core within the workload's core list (0-based). A
+    /// 4-core DPDK instance uses this to pick "its" Rx ring.
+    #[inline]
+    pub fn core_slot(&self) -> usize {
+        self.core_slot
+    }
+
+    /// The workload id the step is accounted to.
+    #[inline]
+    pub fn workload(&self) -> WorkloadId {
+        self.wl
+    }
+
+    /// True while cycles remain in this quantum.
+    #[inline]
+    pub fn has_budget(&self) -> bool {
+        self.used < self.budget
+    }
+
+    /// Cycles remaining in this quantum.
+    #[inline]
+    pub fn remaining_cycles(&self) -> f64 {
+        (self.budget - self.used).max(0.0)
+    }
+
+    /// Quantum start time.
+    #[inline]
+    pub fn quantum_start(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current time within the quantum (start + consumed cycles).
+    pub fn now(&self) -> SimTime {
+        self.now + SimTime::from_nanos((self.used * self.ns_per_cycle) as u64)
+    }
+
+    /// Converts cycles to nanoseconds at the core frequency.
+    #[inline]
+    pub fn cycles_to_ns(&self, cycles: f64) -> u64 {
+        (cycles * self.ns_per_cycle) as u64
+    }
+
+    fn level_cost(&self, level: CoreAccessLevel) -> f64 {
+        match level {
+            CoreAccessLevel::MlcHit => self.lat.mlc_cycles,
+            CoreAccessLevel::LlcHit => self.lat.llc_cycles,
+            CoreAccessLevel::Memory => self.lat.mem_cycles * self.mem_factor,
+        }
+    }
+
+    /// Loads one line; returns where it was served from and the cycle
+    /// cost charged.
+    pub fn read(&mut self, addr: LineAddr) -> (CoreAccessLevel, f64) {
+        let level = self.hier.core_read(self.core, addr, self.wl);
+        let cost = self.level_cost(level);
+        self.used += cost;
+        self.perf.add_instructions(1);
+        (level, cost)
+    }
+
+    /// Loads one line of an I/O buffer (keeps I/O attribution for lines
+    /// refetched after a DMA leak).
+    pub fn read_io(&mut self, addr: LineAddr) -> (CoreAccessLevel, f64) {
+        let level = self.hier.core_read_io(self.core, addr, self.wl);
+        let cost = self.level_cost(level);
+        self.used += cost;
+        self.perf.add_instructions(1);
+        (level, cost)
+    }
+
+    /// Stores one line.
+    pub fn write(&mut self, addr: LineAddr) -> (CoreAccessLevel, f64) {
+        let level = self.hier.core_write(self.core, addr, self.wl);
+        let cost = self.level_cost(level);
+        self.used += cost;
+        self.perf.add_instructions(1);
+        (level, cost)
+    }
+
+    /// Spends pure-compute cycles retiring `instructions`.
+    pub fn compute(&mut self, cycles: f64, instructions: u64) {
+        self.used += cycles;
+        self.perf.add_instructions(instructions);
+    }
+
+    /// Records one latency sample for this workload.
+    pub fn record_latency(&mut self, kind: LatencyKind, ns: u64) {
+        self.perf.record_latency(kind, ns);
+    }
+
+    /// Accounts one completed high-level operation (packet, block, ...).
+    pub fn add_ops(&mut self, n: u64) {
+        self.perf.add_ops(n);
+    }
+
+    /// Accounts I/O payload bytes.
+    pub fn add_io_bytes(&mut self, n: u64) {
+        self.perf.add_io_bytes(n);
+    }
+
+    /// Uniform random value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn rng_range(&mut self, n: u64) -> u64 {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Random `f64` in `[0, 1)`.
+    pub fn rng_f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Mutable access to a NIC device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is not an attached NIC.
+    pub fn nic_mut(&mut self, dev: DeviceId) -> &mut NicModel {
+        self.devices
+            .iter_mut()
+            .find(|d| d.device() == dev)
+            .and_then(|d| d.as_nic_mut())
+            .expect("device is an attached NIC")
+    }
+
+    /// Mutable access to an NVMe device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is not an attached NVMe device.
+    pub fn nvme_mut(&mut self, dev: DeviceId) -> &mut NvmeModel {
+        self.devices
+            .iter_mut()
+            .find(|d| d.device() == dev)
+            .and_then(|d| d.as_nvme_mut())
+            .expect("device is an attached NVMe device")
+    }
+
+    /// Transmits a packet on a NIC (egress DMA read of `lines` lines from
+    /// `addr`), charging a small per-packet doorbell cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is not an attached NIC.
+    pub fn nic_tx(&mut self, dev: DeviceId, addr: LineAddr, lines: u64) {
+        // Split borrows: find the NIC positionally to keep `hier` free.
+        let idx = self
+            .devices
+            .iter()
+            .position(|d| d.device() == dev)
+            .expect("device attached");
+        let nic = self.devices[idx].as_nic_mut().expect("device is a NIC");
+        nic.tx_packet(self.hier, addr, lines);
+        self.used += 30.0; // doorbell + descriptor write
+        self.perf.add_instructions(10);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_cache::HierarchyConfig;
+    use a4_pcie::{NicConfig, NvmeConfig};
+    use rand::SeedableRng;
+
+    fn fixture<'a>(
+        hier: &'a mut CacheHierarchy,
+        devices: &'a mut [DeviceModel],
+        perf: &'a mut WorkloadPerf,
+        rng: &'a mut SmallRng,
+    ) -> CoreCtx<'a> {
+        // Lifetime gymnastics: build the ctx from the caller's borrows.
+        CoreCtx {
+            core: CoreId(0),
+            core_slot: 0,
+            wl: WorkloadId(0),
+            now: SimTime::from_micros(5),
+            budget: 1_000.0,
+            used: 0.0,
+            hier,
+            devices,
+            perf,
+            rng,
+            lat: LatencyModel::default(),
+            mem_factor: 1.0,
+            ns_per_cycle: 0.5,
+        }
+    }
+
+    #[test]
+    fn access_costs_depend_on_level() {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut devices = [];
+        let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);
+
+        let (level, cost) = ctx.read(LineAddr(1));
+        assert_eq!(level, CoreAccessLevel::Memory);
+        assert_eq!(cost, 60.0);
+        let (level, cost) = ctx.read(LineAddr(1));
+        assert_eq!(level, CoreAccessLevel::MlcHit);
+        assert_eq!(cost, 4.0);
+        assert_eq!(perf.instructions(), 2);
+    }
+
+    #[test]
+    fn budget_runs_out() {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut devices = [];
+        let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);
+        assert!(ctx.has_budget());
+        ctx.compute(999.0, 1);
+        assert!(ctx.has_budget());
+        ctx.compute(2.0, 1);
+        assert!(!ctx.has_budget());
+        assert_eq!(ctx.remaining_cycles(), 0.0);
+    }
+
+    #[test]
+    fn now_advances_with_cycles() {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut devices = [];
+        let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);
+        let t0 = ctx.now();
+        ctx.compute(100.0, 0); // 100 cycles at 0.5 ns/cycle = 50 ns
+        assert_eq!((ctx.now() - t0).as_nanos(), 50);
+        assert_eq!(ctx.cycles_to_ns(100.0), 50);
+    }
+
+    #[test]
+    fn device_accessors() {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let nic = NicModel::new(DeviceId(0), NicConfig::connectx6_100g(1, 8, 64), LineAddr(0x800))
+            .unwrap();
+        let ssd = NvmeModel::new(DeviceId(1), NvmeConfig::raid0_980pro_x4()).unwrap();
+        let mut devices = [DeviceModel::Nic(nic), DeviceModel::Nvme(ssd)];
+        let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);
+        assert_eq!(ctx.nic_mut(DeviceId(0)).device(), DeviceId(0));
+        assert_eq!(ctx.nvme_mut(DeviceId(1)).outstanding(), 0);
+        ctx.nic_tx(DeviceId(0), LineAddr(5), 4);
+        assert_eq!(ctx.nic_mut(DeviceId(0)).tx_lines(), 4);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut perf = WorkloadPerf::new();
+        let mut devices = [];
+        let mut r1 = SmallRng::seed_from_u64(42);
+        let a: Vec<u64> = {
+            let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut r1);
+            (0..5).map(|_| ctx.rng_range(1000)).collect()
+        };
+        let mut r2 = SmallRng::seed_from_u64(42);
+        let b: Vec<u64> = {
+            let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut r2);
+            (0..5).map(|_| ctx.rng_range(1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-workload performance accounting beyond the raw cache counters.
+
+use a4_model::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Which latency component a recorded sample belongs to.
+///
+/// Network workloads use the first four slots (the paper's Fig. 14a
+/// breakdown); storage workloads use the last four (Fig. 14b). The slots
+/// are disjoint per workload kind, so one histogram bank serves both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum LatencyKind {
+    /// NIC-to-host: DMA completion to ring pop (queueing).
+    NetQueue = 0,
+    /// Packet-pointer (descriptor) access.
+    NetPointer = 1,
+    /// Payload processing.
+    NetProcess = 2,
+    /// End-to-end packet latency.
+    NetTotal = 3,
+    /// Storage block read: submit to completion.
+    StorageRead = 4,
+    /// Post-read processing (the paper's regex pass).
+    StorageRegex = 5,
+    /// Storage block write: submit to completion.
+    StorageWrite = 6,
+    /// End-to-end storage transaction latency.
+    StorageTotal = 7,
+}
+
+const KINDS: usize = 8;
+
+/// Mutable per-workload performance state for the current monitoring
+/// interval: instructions, cycles, operation counts and latency
+/// histograms. The sampler drains it once per logical second.
+///
+/// # Examples
+///
+/// ```
+/// use a4_sim::{LatencyKind, WorkloadPerf};
+///
+/// let mut perf = WorkloadPerf::new();
+/// perf.add_cycles(200.0);
+/// perf.add_instructions(100);
+/// assert!((perf.ipc() - 0.5).abs() < 1e-12);
+/// perf.record_latency(LatencyKind::NetTotal, 1_000);
+/// assert_eq!(perf.histogram(LatencyKind::NetTotal).count(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadPerf {
+    instructions: u64,
+    cycles: f64,
+    ops_completed: u64,
+    io_bytes: u64,
+    hists: Vec<Histogram>,
+}
+
+impl Default for WorkloadPerf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadPerf {
+    /// Creates zeroed state.
+    pub fn new() -> Self {
+        WorkloadPerf {
+            instructions: 0,
+            cycles: 0.0,
+            ops_completed: 0,
+            io_bytes: 0,
+            hists: (0..KINDS).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// Adds retired instructions.
+    #[inline]
+    pub fn add_instructions(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    /// Adds consumed core cycles.
+    #[inline]
+    pub fn add_cycles(&mut self, c: f64) {
+        self.cycles += c;
+    }
+
+    /// Adds completed high-level operations (packets, blocks, requests).
+    #[inline]
+    pub fn add_ops(&mut self, n: u64) {
+        self.ops_completed += n;
+    }
+
+    /// Adds I/O payload bytes moved on behalf of the workload.
+    #[inline]
+    pub fn add_io_bytes(&mut self, n: u64) {
+        self.io_bytes += n;
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record_latency(&mut self, kind: LatencyKind, ns: u64) {
+        self.hists[kind as usize].record(ns);
+    }
+
+    /// Instructions retired this interval.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles consumed this interval.
+    #[inline]
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Operations completed this interval.
+    #[inline]
+    pub fn ops_completed(&self) -> u64 {
+        self.ops_completed
+    }
+
+    /// I/O bytes this interval.
+    #[inline]
+    pub fn io_bytes(&self) -> u64 {
+        self.io_bytes
+    }
+
+    /// Instructions per cycle; `0.0` before any cycle is consumed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// One latency histogram.
+    pub fn histogram(&self, kind: LatencyKind) -> &Histogram {
+        &self.hists[kind as usize]
+    }
+
+    /// Drains the interval: returns the accumulated state and resets.
+    pub fn take(&mut self) -> WorkloadPerf {
+        std::mem::take(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let perf = WorkloadPerf::new();
+        assert_eq!(perf.ipc(), 0.0);
+    }
+
+    #[test]
+    fn accumulation_and_take() {
+        let mut perf = WorkloadPerf::new();
+        perf.add_instructions(10);
+        perf.add_cycles(20.0);
+        perf.add_ops(2);
+        perf.add_io_bytes(128);
+        perf.record_latency(LatencyKind::StorageRead, 500);
+        let drained = perf.take();
+        assert_eq!(drained.instructions(), 10);
+        assert_eq!(drained.ops_completed(), 2);
+        assert_eq!(drained.io_bytes(), 128);
+        assert_eq!(drained.histogram(LatencyKind::StorageRead).count(), 1);
+        // Reset after take.
+        assert_eq!(perf.instructions(), 0);
+        assert_eq!(perf.histogram(LatencyKind::StorageRead).count(), 0);
+    }
+
+    #[test]
+    fn kinds_map_to_distinct_slots() {
+        let mut perf = WorkloadPerf::new();
+        for (i, kind) in [
+            LatencyKind::NetQueue,
+            LatencyKind::NetPointer,
+            LatencyKind::NetProcess,
+            LatencyKind::NetTotal,
+            LatencyKind::StorageRead,
+            LatencyKind::StorageRegex,
+            LatencyKind::StorageWrite,
+            LatencyKind::StorageTotal,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            perf.record_latency(kind, (i as u64 + 1) * 100);
+        }
+        assert_eq!(perf.histogram(LatencyKind::NetQueue).count(), 1);
+        assert_eq!(perf.histogram(LatencyKind::StorageTotal).count(), 1);
+        assert!(perf.histogram(LatencyKind::NetTotal).mean() < 500.0);
+    }
+}

@@ -1,0 +1,700 @@
+//! The top-level simulated server.
+
+use crate::config::SystemConfig;
+use crate::ctx::CoreCtx;
+use crate::device::DeviceModel;
+use crate::perf::WorkloadPerf;
+use crate::sample::{DeviceSample, MonitorSample, WorkloadSample};
+use crate::workload::Workload;
+use a4_cache::{CacheHierarchy, HierarchyStats};
+use a4_mem::MemoryController;
+use a4_model::{
+    A4Error, Bytes, ClosId, CoreId, DeviceClass, DeviceId, LineAddr, PortId, Priority, Result,
+    SimTime, WayMask, WorkloadId,
+};
+use a4_pcie::{NicConfig, NicModel, NvmeConfig, NvmeModel, PcieRoot};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[derive(Debug)]
+struct Slot {
+    wl: Box<dyn Workload>,
+    id: WorkloadId,
+    name: String,
+    kind: a4_model::WorkloadKind,
+    priority: Priority,
+    cores: Vec<CoreId>,
+    device: Option<DeviceId>,
+    perf: WorkloadPerf,
+    active: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DevSnapshot {
+    delivered: u64,
+    dropped: u64,
+}
+
+/// The simulated server: substrates wired together, plus the monitoring
+/// and control planes the A4 controller drives.
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::{ClosId, DeviceClass, PortId, WayMask};
+/// use a4_pcie::NvmeConfig;
+/// use a4_sim::{System, SystemConfig};
+///
+/// let mut sys = System::new(SystemConfig::small_test());
+/// let ssd = sys.attach_nvme(PortId(0), NvmeConfig::raid0_980pro_x4())?;
+/// sys.set_device_dca(ssd, false)?;                    // A4's F2 knob
+/// assert!(!sys.dca_enabled(ssd));
+/// sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(7, 8)?)?; // LP Zone
+/// sys.run_logical_seconds(1);
+/// let sample = sys.sample();
+/// assert_eq!(sample.devices.len(), 1);
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    hier: CacheHierarchy,
+    mem: MemoryController,
+    root: PcieRoot,
+    devices: Vec<DeviceModel>,
+    slots: Vec<Slot>,
+    now: SimTime,
+    quantum_count: u64,
+    rng: SmallRng,
+    alloc_cursor: u64,
+    stats_snapshot: HierarchyStats,
+    sample_snapshot: HierarchyStats,
+    dev_snapshots: Vec<DevSnapshot>,
+    interval_mem_read: Bytes,
+    interval_mem_written: Bytes,
+    interval_start: SimTime,
+    logical_seconds: u64,
+}
+
+impl System {
+    /// Builds an idle system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation (configurations are programmer
+    /// input, not runtime data).
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let hier = CacheHierarchy::new(cfg.hierarchy);
+        let stats_snapshot = hier.stats().clone();
+        System {
+            hier,
+            mem: MemoryController::new(cfg.memory).expect("validated with cfg"),
+            root: PcieRoot::new(cfg.pcie_ports),
+            devices: Vec::new(),
+            slots: Vec::new(),
+            now: SimTime::ZERO,
+            quantum_count: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            // Leave the zero page free so tests can use low addresses.
+            alloc_cursor: 1 << 20,
+            sample_snapshot: stats_snapshot.clone(),
+            stats_snapshot,
+            dev_snapshots: Vec::new(),
+            interval_mem_read: Bytes::ZERO,
+            interval_mem_written: Bytes::ZERO,
+            interval_start: SimTime::ZERO,
+            logical_seconds: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cache hierarchy (read-only).
+    #[inline]
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hier
+    }
+
+    /// Mutable hierarchy access (tests and ablations).
+    #[inline]
+    pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.hier
+    }
+
+    /// The memory controller.
+    #[inline]
+    pub fn memory(&self) -> &MemoryController {
+        &self.mem
+    }
+
+    /// The PCIe root complex.
+    #[inline]
+    pub fn pcie(&self) -> &PcieRoot {
+        &self.root
+    }
+
+    /// Allocates `lines` fresh cache lines of address space for a buffer.
+    pub fn alloc_lines(&mut self, lines: u64) -> LineAddr {
+        let base = self.alloc_cursor;
+        self.alloc_cursor += lines;
+        LineAddr(base)
+    }
+
+    /// Attaches a NIC to a root port; ring buffers are allocated
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration and port-conflict errors.
+    pub fn attach_nic(&mut self, port: PortId, config: NicConfig) -> Result<DeviceId> {
+        config.validate()?;
+        let id = DeviceId(self.devices.len() as u8);
+        let span = config.rings as u64 * config.ring_entries as u64 * config.slot_lines();
+        let base = self.alloc_lines(span);
+        let nic = NicModel::new(id, config, base)?;
+        self.root.attach(port, id, DeviceClass::Nic)?;
+        self.devices.push(DeviceModel::Nic(nic));
+        self.dev_snapshots.push(DevSnapshot::default());
+        Ok(id)
+    }
+
+    /// Attaches an NVMe device (or RAID-0 array) to a root port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration and port-conflict errors.
+    pub fn attach_nvme(&mut self, port: PortId, config: NvmeConfig) -> Result<DeviceId> {
+        config.validate()?;
+        let id = DeviceId(self.devices.len() as u8);
+        let ssd = NvmeModel::new(id, config)?;
+        self.root.attach(port, id, DeviceClass::Nvme)?;
+        self.devices.push(DeviceModel::Nvme(ssd));
+        self.dev_snapshots.push(DevSnapshot::default());
+        Ok(id)
+    }
+
+    /// Registers a workload pinned to `cores`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidCore`] for out-of-range or already-pinned
+    /// cores and [`A4Error::InvalidConfig`] for an empty core list.
+    pub fn add_workload(
+        &mut self,
+        wl: Box<dyn Workload>,
+        cores: Vec<CoreId>,
+        priority: Priority,
+    ) -> Result<WorkloadId> {
+        if cores.is_empty() {
+            return Err(A4Error::InvalidConfig { what: "workload needs at least one core" });
+        }
+        for &c in &cores {
+            if c.index() >= self.cfg.hierarchy.cores {
+                return Err(A4Error::InvalidCore {
+                    core: c.0,
+                    max: self.cfg.hierarchy.cores as u8,
+                });
+            }
+            if self.slots.iter().any(|s| s.active && s.cores.contains(&c)) {
+                return Err(A4Error::InvalidCore { core: c.0, max: 0 });
+            }
+        }
+        let info = wl.info();
+        let id = WorkloadId(self.slots.len() as u16);
+        self.slots.push(Slot {
+            wl,
+            id,
+            name: info.name,
+            kind: info.kind,
+            priority,
+            cores,
+            device: info.device,
+            perf: WorkloadPerf::new(),
+            active: true,
+        });
+        Ok(id)
+    }
+
+    /// Activates or deactivates a workload (launch / termination events
+    /// for the controller's workload-change path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidDevice`] for unknown workload ids.
+    pub fn set_workload_active(&mut self, id: WorkloadId, active: bool) -> Result<()> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .ok_or(A4Error::InvalidDevice { device: id.0 as u8 })?;
+        slot.active = active;
+        Ok(())
+    }
+
+    /// Flips a workload's phase (see [`Workload::set_phase`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`A4Error::InvalidDevice`] for unknown workload ids.
+    pub fn set_workload_phase(&mut self, id: WorkloadId, phase: usize) -> Result<()> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .ok_or(A4Error::InvalidDevice { device: id.0 as u8 })?;
+        slot.wl.set_phase(phase);
+        Ok(())
+    }
+
+    /// Ids, names and static facts of all registered workloads.
+    pub fn workload_ids(&self) -> Vec<WorkloadId> {
+        self.slots.iter().map(|s| s.id).collect()
+    }
+
+    /// The cores a workload is pinned to.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown ids.
+    pub fn workload_cores(&self, id: WorkloadId) -> &[CoreId] {
+        &self.slots[id.index()].cores
+    }
+
+    // ---- control plane (what A4 programs) --------------------------------
+
+    /// Programs a CLOS capacity mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CLOS-range and empty-mask errors.
+    pub fn cat_set_mask(&mut self, clos: ClosId, mask: WayMask) -> Result<()> {
+        self.hier.clos_mut().set_mask(clos, mask)
+    }
+
+    /// Moves every core of a workload into `clos`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates core/CLOS range errors; unknown workloads are an
+    /// [`A4Error::InvalidDevice`].
+    pub fn cat_assign_workload(&mut self, id: WorkloadId, clos: ClosId) -> Result<()> {
+        let cores: Vec<CoreId> = self
+            .slots
+            .get(id.index())
+            .ok_or(A4Error::InvalidDevice { device: id.0 as u8 })?
+            .cores
+            .clone();
+        for c in cores {
+            self.hier.clos_mut().assign_core(c, clos)?;
+        }
+        Ok(())
+    }
+
+    /// Resets CAT to the power-on state (the *Default* baseline).
+    pub fn cat_reset(&mut self) {
+        self.hier.clos_mut().reset();
+    }
+
+    /// Programs per-device DCA via the port's `perfctrlsts_0` (A4's F2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unattached devices.
+    pub fn set_device_dca(&mut self, dev: DeviceId, enable: bool) -> Result<()> {
+        self.root.set_device_dca(dev, enable)
+    }
+
+    /// Whether a device's DMA writes currently use DCA.
+    pub fn dca_enabled(&self, dev: DeviceId) -> bool {
+        self.root.dca_enabled(dev)
+    }
+
+    /// Sets DCA globally (the BIOS-knob baseline).
+    pub fn set_global_dca(&mut self, enable: bool) {
+        self.root.set_global_dca(enable);
+    }
+
+    /// A device model (for assertions and occupancy checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown device ids.
+    pub fn device(&self, dev: DeviceId) -> &DeviceModel {
+        &self.devices[dev.index()]
+    }
+
+    // ---- execution --------------------------------------------------------
+
+    fn device_owner(&self, dev: DeviceId) -> WorkloadId {
+        self.slots
+            .iter()
+            .find(|s| s.active && s.device == Some(dev))
+            .map(|s| s.id)
+            .unwrap_or(WorkloadId(0))
+    }
+
+    /// Runs one quantum: devices DMA, workloads execute, memory interval
+    /// closes.
+    pub fn run_quantum(&mut self) {
+        let dt = self.cfg.quantum;
+        let now = self.now;
+
+        // 1. Devices DMA at their offered rates.
+        for i in 0..self.devices.len() {
+            let dev = self.devices[i].device();
+            let dca = self.root.dca_enabled(dev);
+            let owner = self.device_owner(dev);
+            let mut device = std::mem::replace(
+                &mut self.devices[i],
+                DeviceModel::Nvme(
+                    NvmeModel::new(dev, NvmeConfig::raid0_980pro_x4()).expect("static config"),
+                ),
+            );
+            device.step(now, dt, &mut self.hier, dca, owner);
+            self.devices[i] = device;
+        }
+
+        // 2. Workloads execute under their cycle budgets.
+        let budget = self.cfg.cycles_per_quantum();
+        let mem_factor = self.mem.latency_factor();
+        let mut slots = std::mem::take(&mut self.slots);
+        for slot in slots.iter_mut().filter(|s| s.active) {
+            for (ci, &core) in slot.cores.iter().enumerate() {
+                let mut ctx = CoreCtx {
+                    core,
+                    core_slot: ci,
+                    wl: slot.id,
+                    now,
+                    budget,
+                    used: 0.0,
+                    hier: &mut self.hier,
+                    devices: &mut self.devices,
+                    perf: &mut slot.perf,
+                    rng: &mut self.rng,
+                    lat: self.cfg.latency,
+                    mem_factor,
+                    ns_per_cycle: self.cfg.ns_per_cycle(),
+                };
+                slot.wl.step(&mut ctx);
+                let used = ctx.used;
+                slot.perf.add_cycles(used.max(budget)); // idle cycles still elapse
+            }
+        }
+        self.slots = slots;
+
+        // 3. Memory interval: feed the traffic the hierarchy generated.
+        let delta = self.hier.stats().delta_since(&self.stats_snapshot);
+        // Snapshot moves forward every quantum for the memory model; the
+        // *sampling* snapshot is rebuilt in `sample()` from scratch, so we
+        // track interval memory bytes separately.
+        let (r, w) = (delta.total.mem_read_lines, delta.total.mem_write_lines);
+        self.mem.record_read_lines(r);
+        self.mem.record_write_lines(w);
+        let traffic = self.mem.end_interval(dt);
+        self.interval_mem_read += traffic.read;
+        self.interval_mem_written += traffic.written;
+        self.stats_snapshot = self.hier.stats().clone();
+
+        self.now += dt;
+        self.quantum_count += 1;
+        if self.quantum_count.is_multiple_of(self.cfg.quanta_per_second as u64) {
+            self.logical_seconds += 1;
+        }
+    }
+
+    /// Runs `n` quanta.
+    pub fn run_quanta(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_quantum();
+        }
+    }
+
+    /// Runs `n` logical seconds.
+    pub fn run_logical_seconds(&mut self, n: u64) {
+        self.run_quanta(n * self.cfg.quanta_per_second as u64);
+    }
+
+    /// Count of completed logical seconds.
+    pub fn logical_seconds(&self) -> u64 {
+        self.logical_seconds
+    }
+
+    // ---- monitoring --------------------------------------------------------
+
+    /// Drains the current monitoring interval into a [`MonitorSample`] and
+    /// starts a new one. Call once per logical second (or at any cadence —
+    /// the sample covers exactly the time since the previous call).
+    pub fn sample(&mut self) -> MonitorSample {
+        let interval = self.now.saturating_sub(self.interval_start);
+        let mut workloads = Vec::with_capacity(self.slots.len());
+        // Interval cache counters come from the perf-take plus the
+        // cumulative stats diffs tracked per workload below.
+        for slot in self.slots.iter_mut().filter(|s| s.active) {
+            let perf = slot.perf.take();
+            let latency = WorkloadSample::latency_from_perf(&perf);
+            workloads.push((slot.id, slot.name.clone(), slot.kind, slot.priority, perf, latency));
+        }
+        // Cache-side per-workload deltas: cumulative stats minus what the
+        // previous sample consumed.
+        let stats = self.hier.stats().clone();
+        let base = std::mem::replace(&mut self.sample_snapshot, stats.clone());
+        let delta = stats.delta_since(&base);
+
+        let workloads = workloads
+            .into_iter()
+            .map(|(id, name, kind, priority, perf, latency)| {
+                let c = delta.workload(id);
+                WorkloadSample {
+                    id,
+                    name,
+                    kind,
+                    priority,
+                    accesses: c.accesses(),
+                    llc_hit_rate: c.llc_hit_rate(),
+                    llc_miss_rate: c.llc_miss_rate(),
+                    mlc_miss_rate: c.mlc_miss_rate(),
+                    instructions: perf.instructions(),
+                    ipc: perf.ipc(),
+                    ops: perf.ops_completed(),
+                    io_bytes: perf.io_bytes(),
+                    latency,
+                    dca_allocs: c.dca_allocs,
+                    dca_updates: c.dca_updates,
+                    dma_leaks: c.dma_leaks,
+                    dma_bloats: c.dma_bloats,
+                    migrations: c.migrations,
+                    dca_leak_rate: c.dca_leak_rate(),
+                    mem_read_bytes: c.mem_read_lines * a4_model::LINE_BYTES,
+                    mem_write_bytes: c.mem_write_lines * a4_model::LINE_BYTES,
+                }
+            })
+            .collect();
+
+        let devices = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let id = d.device();
+                let dc = delta.device(id);
+                let class = match d {
+                    DeviceModel::Nic(_) => DeviceClass::Nic,
+                    DeviceModel::Nvme(_) => DeviceClass::Nvme,
+                };
+                let (delivered, dropped) = match d {
+                    DeviceModel::Nic(nic) => {
+                        let snap = self.dev_snapshots[i];
+                        
+                        (
+                            nic.delivered_packets() - snap.delivered,
+                            nic.dropped_packets() - snap.dropped,
+                        )
+                    }
+                    DeviceModel::Nvme(_) => (0, 0),
+                };
+                DeviceSample {
+                    id,
+                    class,
+                    dca_enabled: self.root.dca_enabled(id),
+                    dma_write_bytes: dc.dma_write_lines * a4_model::LINE_BYTES,
+                    dma_to_memory_bytes: dc.dma_to_memory_lines * a4_model::LINE_BYTES,
+                    dma_read_bytes: dc.dma_read_lines * a4_model::LINE_BYTES,
+                    dca_leak_rate: dc.dca_leak_rate(),
+                    dropped_packets: dropped,
+                    delivered_packets: delivered,
+                }
+            })
+            .collect();
+
+        // Roll device snapshots forward.
+        for (i, d) in self.devices.iter().enumerate() {
+            if let DeviceModel::Nic(nic) = d {
+                self.dev_snapshots[i] =
+                    DevSnapshot { delivered: nic.delivered_packets(), dropped: nic.dropped_packets() };
+            }
+        }
+
+        let sample = MonitorSample {
+            t: self.now,
+            logical_second: self.logical_seconds,
+            workloads,
+            devices,
+            mem_read: self.interval_mem_read,
+            mem_written: self.interval_mem_written,
+            time_dilation: self.cfg.time_dilation,
+            interval,
+        };
+        self.interval_mem_read = Bytes::ZERO;
+        self.interval_mem_written = Bytes::ZERO;
+        self.interval_start = self.now;
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Workload, WorkloadInfo};
+    use a4_model::WorkloadKind;
+
+    #[derive(Debug)]
+    struct Streamer {
+        base: LineAddr,
+        lines: u64,
+        cursor: u64,
+    }
+
+    impl Workload for Streamer {
+        fn info(&self) -> WorkloadInfo {
+            WorkloadInfo { name: "streamer".into(), kind: WorkloadKind::NonIo, device: None }
+        }
+        fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+            while ctx.has_budget() {
+                ctx.read(self.base.offset(self.cursor % self.lines));
+                self.cursor += 1;
+                ctx.compute(5.0, 5);
+            }
+        }
+    }
+
+    fn sys() -> System {
+        System::new(SystemConfig::small_test())
+    }
+
+    #[test]
+    fn time_advances() {
+        let mut s = sys();
+        s.run_quanta(3);
+        assert_eq!(s.now(), SimTime::from_micros(3));
+        s.run_logical_seconds(1);
+        assert_eq!(s.logical_seconds(), 1);
+    }
+
+    #[test]
+    fn workload_registration_validates_cores() {
+        let mut s = sys();
+        let mk = || {
+            Box::new(Streamer { base: LineAddr(0), lines: 8, cursor: 0 }) as Box<dyn Workload>
+        };
+        assert!(s.add_workload(mk(), vec![], Priority::High).is_err());
+        assert!(s.add_workload(mk(), vec![CoreId(99)], Priority::High).is_err());
+        let id = s.add_workload(mk(), vec![CoreId(0)], Priority::High).unwrap();
+        // Core already pinned.
+        assert!(s.add_workload(mk(), vec![CoreId(0)], Priority::Low).is_err());
+        // Deactivate frees the core.
+        s.set_workload_active(id, false).unwrap();
+        assert!(s.add_workload(mk(), vec![CoreId(0)], Priority::Low).is_ok());
+    }
+
+    #[test]
+    fn workload_executes_and_samples() {
+        let mut s = sys();
+        let base = s.alloc_lines(16);
+        let wl = s
+            .add_workload(
+                Box::new(Streamer { base, lines: 16, cursor: 0 }),
+                vec![CoreId(0)],
+                Priority::High,
+            )
+            .unwrap();
+        s.run_logical_seconds(1);
+        let sample = s.sample();
+        let w = sample.workload(wl).expect("registered workload sampled");
+        assert!(w.accesses > 100, "streamer issued accesses: {}", w.accesses);
+        assert!(w.ipc > 0.0);
+        assert!(w.instructions > 0);
+        // Second interval is fresh.
+        s.run_logical_seconds(1);
+        let sample2 = s.sample();
+        let w2 = sample2.workload(wl).unwrap();
+        assert!(w2.accesses > 0);
+        // Steady state: a 64-line working set fits the MLC => mostly hits.
+        assert!(w2.mlc_miss_rate < 0.1, "a 16-line set fits the 32-line MLC: miss rate {}", w2.mlc_miss_rate);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_counters() {
+        let run = || {
+            let mut s = sys();
+            let base = s.alloc_lines(512);
+            s.add_workload(
+                Box::new(Streamer { base, lines: 512, cursor: 0 }),
+                vec![CoreId(1)],
+                Priority::High,
+            )
+            .unwrap();
+            s.run_logical_seconds(2);
+            let sample = s.sample();
+            let w = &sample.workloads[0];
+            (w.accesses, w.instructions, w.llc_hit_rate.to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn device_attach_and_dca_control() {
+        let mut s = sys();
+        let nic = s.attach_nic(PortId(0), NicConfig::connectx6_100g(1, 8, 64)).unwrap();
+        let ssd = s.attach_nvme(PortId(1), NvmeConfig::raid0_980pro_x4()).unwrap();
+        assert!(s.dca_enabled(nic));
+        s.set_device_dca(ssd, false).unwrap();
+        assert!(!s.dca_enabled(ssd));
+        assert!(s.dca_enabled(nic));
+        s.set_global_dca(false);
+        assert!(!s.dca_enabled(nic));
+        // NIC traffic flows even with nobody consuming.
+        s.set_global_dca(true);
+        s.run_quanta(5);
+        let sample = s.sample();
+        let d = sample.device(nic).unwrap();
+        assert!(d.dma_write_bytes > 0);
+    }
+
+    #[test]
+    fn mem_interval_bytes_accumulate() {
+        let mut s = sys();
+        let base = s.alloc_lines(4096);
+        s.add_workload(
+            Box::new(Streamer { base, lines: 4096, cursor: 0 }),
+            vec![CoreId(0)],
+            Priority::Low,
+        )
+        .unwrap();
+        s.run_logical_seconds(1);
+        let sample = s.sample();
+        assert!(sample.mem_read.as_u64() > 0, "a 4096-line stream misses everywhere");
+        assert!(sample.mem_read_gbps() > 0.0);
+    }
+
+    #[test]
+    fn cat_control_plane() {
+        let mut s = sys();
+        let base = s.alloc_lines(8);
+        let wl = s
+            .add_workload(
+                Box::new(Streamer { base, lines: 8, cursor: 0 }),
+                vec![CoreId(2), CoreId(3)],
+                Priority::Low,
+            )
+            .unwrap();
+        s.cat_set_mask(ClosId(2), WayMask::from_paper_range(7, 8).unwrap()).unwrap();
+        s.cat_assign_workload(wl, ClosId(2)).unwrap();
+        assert_eq!(
+            s.hierarchy().clos().mask_for_core(CoreId(3)),
+            WayMask::from_paper_range(7, 8).unwrap()
+        );
+        s.cat_reset();
+        assert_eq!(s.hierarchy().clos().mask_for_core(CoreId(3)), WayMask::ALL);
+        assert!(s.cat_assign_workload(WorkloadId(99), ClosId(0)).is_err());
+    }
+}

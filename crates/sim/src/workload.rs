@@ -1,0 +1,77 @@
+//! The workload trait implemented by the generators in `a4-workloads`.
+
+use crate::ctx::CoreCtx;
+use a4_model::{DeviceId, WorkloadKind};
+
+/// Static facts about a workload, reported at registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadInfo {
+    /// Human-readable name ("DPDK-T", "X-Mem 1", "FFSB-H", ...).
+    pub name: String,
+    /// Traffic class, which determines contention participation.
+    pub kind: WorkloadKind,
+    /// The PCIe device the workload drives, if any.
+    pub device: Option<DeviceId>,
+}
+
+/// A runnable workload.
+///
+/// The system calls [`Workload::step`] once per core per quantum with a
+/// cycle-budgeted [`CoreCtx`]. Implementations loop until the budget runs
+/// out (or no work is available), issuing memory accesses, device
+/// operations and compute through the context so every cycle and cache
+/// event is accounted.
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::{LineAddr, WorkloadKind};
+/// use a4_sim::{CoreCtx, Workload, WorkloadInfo};
+///
+/// /// Touches one line over and over.
+/// #[derive(Debug)]
+/// struct OneLine;
+///
+/// impl Workload for OneLine {
+///     fn info(&self) -> WorkloadInfo {
+///         WorkloadInfo { name: "one-line".into(), kind: WorkloadKind::NonIo, device: None }
+///     }
+///     fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+///         while ctx.has_budget() {
+///             ctx.read(LineAddr(0));
+///         }
+///     }
+/// }
+/// ```
+pub trait Workload: std::fmt::Debug + Send {
+    /// Registration facts.
+    fn info(&self) -> WorkloadInfo;
+
+    /// Runs on one core for one quantum.
+    fn step(&mut self, ctx: &mut CoreCtx<'_>);
+
+    /// Notifies the workload of a phase flip (used by phase-change
+    /// experiments); default is a no-op.
+    fn set_phase(&mut self, _phase: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Nop;
+    impl Workload for Nop {
+        fn info(&self) -> WorkloadInfo {
+            WorkloadInfo { name: "nop".into(), kind: WorkloadKind::NonIo, device: None }
+        }
+        fn step(&mut self, _ctx: &mut CoreCtx<'_>) {}
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut wl: Box<dyn Workload> = Box::new(Nop);
+        assert_eq!(wl.info().kind, WorkloadKind::NonIo);
+        wl.set_phase(1); // default no-op
+    }
+}

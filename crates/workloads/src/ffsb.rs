@@ -1,0 +1,147 @@
+//! FFSB: the Flexible Filesystem Benchmark pair of Table 2.
+//!
+//! * **FFSB-H** (heavy): 2 MB I/O blocks on 3 CPU cores — the storage
+//!   antagonist A4-c detects and strips of DCA;
+//! * **FFSB-L** (light): 32 KB blocks on 1 core — storage I/O that A4
+//!   correctly leaves alone in the LPW-heavy scenario.
+//!
+//! Both run the read-then-regex engine of [`crate::Fio`] plus a write
+//! fraction (filesystem metadata/journal updates through the egress
+//! path).
+
+use crate::fio::Fio;
+use a4_model::{DeviceId, LineAddr, WorkloadKind};
+use a4_pcie::{NvmeCommand, NvmeOp};
+use a4_sim::{CoreCtx, LatencyKind, Workload, WorkloadInfo};
+
+/// Issue one write per this many reads.
+const WRITE_PERIOD: u64 = 8;
+
+/// An FFSB instance (heavy or light).
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::{DeviceId, LineAddr};
+/// use a4_sim::Workload;
+/// use a4_workloads::Ffsb;
+///
+/// let h = Ffsb::heavy(DeviceId(1), LineAddr(0), 896, 3);
+/// assert_eq!(h.info().name, "FFSB-H");
+/// let l = Ffsb::light(DeviceId(1), LineAddr(0x9000), 14);
+/// assert_eq!(l.info().name, "FFSB-L");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ffsb {
+    engine: Fio,
+    reads_since_write: u64,
+    write_buffer: LineAddr,
+    write_lines: u64,
+}
+
+impl Ffsb {
+    /// FFSB-H: heavy storage I/O (paper: 2 MB blocks, 3 cores; pass the
+    /// scaled block size in lines).
+    pub fn heavy(device: DeviceId, buffer_base: LineAddr, block_lines: u64, cores: usize) -> Self {
+        let engine =
+            Fio::new(device, buffer_base, block_lines, 8, cores).with_name("FFSB-H");
+        Ffsb {
+            write_buffer: buffer_base,
+            write_lines: block_lines,
+            engine,
+            reads_since_write: 0,
+        }
+    }
+
+    /// FFSB-L: light storage I/O (paper: 32 KB blocks, 1 core).
+    pub fn light(device: DeviceId, buffer_base: LineAddr, block_lines: u64) -> Self {
+        let engine = Fio::new(device, buffer_base, block_lines, 4, 1).with_name("FFSB-L");
+        Ffsb {
+            write_buffer: buffer_base,
+            write_lines: block_lines,
+            engine,
+            reads_since_write: 0,
+        }
+    }
+
+    /// Lines of buffer address space needed.
+    pub fn buffer_lines(&self) -> u64 {
+        self.engine.buffer_lines()
+    }
+
+    /// Blocks read and processed since construction.
+    pub fn blocks_done(&self) -> u64 {
+        self.engine.blocks_done()
+    }
+}
+
+impl Workload for Ffsb {
+    fn info(&self) -> WorkloadInfo {
+        let inner = self.engine.info();
+        WorkloadInfo { name: inner.name, kind: WorkloadKind::StorageIo, device: inner.device }
+    }
+
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+        // Periodic write-back of a block (journal/metadata flush).
+        let before = self.engine.blocks_done();
+        self.engine.step(ctx);
+        let reads = self.engine.blocks_done() - before;
+        self.reads_since_write += reads;
+        if self.reads_since_write >= WRITE_PERIOD {
+            self.reads_since_write = 0;
+            let device = self.engine.info().device.expect("ffsb drives a device");
+            let cmd = NvmeCommand {
+                buffer: self.write_buffer,
+                lines: self.write_lines,
+                op: NvmeOp::Write,
+            };
+            let submit = ctx.now();
+            if ctx.nvme_mut(device).submit(cmd).is_ok() {
+                ctx.compute(150.0, 70);
+                ctx.record_latency(
+                    LatencyKind::StorageWrite,
+                    ctx.now().saturating_sub(submit).as_nanos() + 1,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_model::{CoreId, PortId, Priority};
+    use a4_pcie::NvmeConfig;
+    use a4_sim::{System, SystemConfig};
+
+    #[test]
+    fn heavy_instance_reads_and_writes() {
+        let mut sys = System::new(SystemConfig::small_test());
+        let ssd = sys.attach_nvme(PortId(0), NvmeConfig::raid0_980pro_x4()).unwrap();
+        let mut ffsb = Ffsb::heavy(ssd, LineAddr(0), 32, 2);
+        let buf = sys.alloc_lines(ffsb.buffer_lines());
+        // Shallow queue so the periodic write reaches the head quickly.
+        ffsb.engine = Fio::new(ssd, buf, 32, 2, 2).with_name("FFSB-H");
+        ffsb.write_buffer = buf;
+        let id = sys
+            .add_workload(Box::new(ffsb), vec![CoreId(0), CoreId(1)], Priority::Low)
+            .unwrap();
+        sys.run_logical_seconds(8);
+        let s = sys.sample();
+        let w = s.workload(id).unwrap();
+        assert!(w.ops > WRITE_PERIOD, "enough reads to trigger a write: {}", w.ops);
+        assert!(w.latency_of(LatencyKind::StorageWrite).count > 0, "writes recorded");
+        let d = s.device(ssd).unwrap();
+        assert!(d.dma_read_bytes > 0, "write commands DMA-read host buffers");
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        let h = Ffsb::heavy(DeviceId(0), LineAddr(0), 10, 3);
+        let l = Ffsb::light(DeviceId(0), LineAddr(0), 10);
+        assert_eq!(h.info().name, "FFSB-H");
+        assert_eq!(l.info().name, "FFSB-L");
+        assert_eq!(h.info().kind, WorkloadKind::StorageIo);
+        assert!(h.buffer_lines() > l.buffer_lines());
+    }
+}

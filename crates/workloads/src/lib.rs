@@ -1,0 +1,43 @@
+//! Workload generators for the A4 reproduction.
+//!
+//! Each type reproduces the cache/I-O footprint of a workload from the
+//! paper's evaluation (§3, §6, Tables 2–3):
+//!
+//! * [`Dpdk`] — the DPDK-T / DPDK-NT microbenchmarks: poll the NIC Rx
+//!   rings, optionally *touch* every payload line, drop the packet.
+//! * [`Fio`] — the Flexible I/O Tester with `libaio`-style queue depth,
+//!   `O_DIRECT` random reads and a regex pass over each block.
+//! * [`XMem`] — the three X-Mem instances of Table 3 (sequential read /
+//!   sequential write / random read with an LLC-exceeding working set).
+//! * [`Fastclick`] — the real-world network workload: touch, process and
+//!   forward (Tx) packets.
+//! * [`Ffsb`] — FFSB-H / FFSB-L storage workloads (heavy 2 MB / light
+//!   32 KB blocks plus regex).
+//! * [`Redis`] — the YCSB-A update-heavy in-memory KV pair (server and
+//!   client roles).
+//! * [`SpecCpu`] — SPEC CPU2017-like synthetics parameterized by the
+//!   published cache-sensitivity profiles (x264, parest, xalancbmk, lbm,
+//!   omnetpp, exchange2, bwaves, mcf, blender, fotonik3d).
+//!
+//! Working-set sizes are given in *lines of the scaled system*; the
+//! [`scale`] module converts the paper's byte sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dpdk;
+mod fastclick;
+mod ffsb;
+mod fio;
+mod redis;
+pub mod scale;
+mod spec;
+mod xmem;
+
+pub use dpdk::Dpdk;
+pub use fastclick::Fastclick;
+pub use ffsb::Ffsb;
+pub use fio::Fio;
+pub use redis::{Redis, RedisRole};
+pub use spec::{SpecCpu, SpecProfile};
+pub use xmem::{AccessOp, AccessPattern, XMem};

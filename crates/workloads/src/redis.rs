@@ -1,0 +1,166 @@
+//! Redis server/client pair of Table 2 (YCSB workload A: update-heavy,
+//! 50 % reads / 50 % updates, zipf-like key popularity).
+//!
+//! Both roles are single-core, cache-resident, non-I/O workloads in the
+//! paper's setup (loopback transport); what matters for the LLC study is
+//! their moderate, hot-skewed working set and their sensitivity to LLC
+//! capacity.
+
+use a4_model::{LineAddr, WorkloadKind};
+use a4_sim::{CoreCtx, Workload, WorkloadInfo};
+
+/// Fraction of operations that are updates (YCSB-A: 0.5).
+const UPDATE_FRACTION: f64 = 0.5;
+/// Fraction of accesses that go to the hot subset.
+const HOT_FRACTION: f64 = 0.8;
+/// The hot subset's share of the key space.
+const HOT_SPACE: f64 = 0.2;
+/// Request-handling compute per operation.
+const OP_CYCLES: f64 = 220.0;
+/// Lines touched per key-value operation (key + small value).
+const LINES_PER_OP: u64 = 2;
+
+/// Server or client role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedisRole {
+    /// Redis-S: the persistent key-value store.
+    Server,
+    /// Redis-C: the YCSB driver.
+    Client,
+}
+
+/// One Redis process.
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::LineAddr;
+/// use a4_sim::Workload;
+/// use a4_workloads::{Redis, RedisRole};
+///
+/// let s = Redis::new(RedisRole::Server, LineAddr(0), 4096);
+/// assert_eq!(s.info().name, "Redis-S");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Redis {
+    role: RedisRole,
+    base: LineAddr,
+    ws_lines: u64,
+}
+
+impl Redis {
+    /// Creates an instance with a `ws_lines`-line keyspace at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws_lines < 8` (the hot/cold split needs room).
+    pub fn new(role: RedisRole, base: LineAddr, ws_lines: u64) -> Self {
+        assert!(ws_lines >= 8, "redis working set too small");
+        Redis { role, base, ws_lines }
+    }
+
+    fn pick_line(&self, ctx: &mut CoreCtx<'_>) -> u64 {
+        let hot_lines = ((self.ws_lines as f64) * HOT_SPACE) as u64;
+        if ctx.rng_f64() < HOT_FRACTION && hot_lines > 0 {
+            ctx.rng_range(hot_lines)
+        } else {
+            hot_lines + ctx.rng_range((self.ws_lines - hot_lines).max(1))
+        }
+    }
+}
+
+impl Workload for Redis {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            name: match self.role {
+                RedisRole::Server => "Redis-S".into(),
+                RedisRole::Client => "Redis-C".into(),
+            },
+            kind: WorkloadKind::NonIo,
+            device: None,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+        while ctx.has_budget() {
+            let line = self.pick_line(ctx);
+            let addr = self.base.offset(line);
+            let update = ctx.rng_f64() < UPDATE_FRACTION;
+            for l in 0..LINES_PER_OP {
+                let a = addr.offset(l * (self.ws_lines / LINES_PER_OP).max(1) % self.ws_lines);
+                if update {
+                    ctx.write(a);
+                } else {
+                    ctx.read(a);
+                }
+            }
+            ctx.compute(OP_CYCLES, 150);
+            ctx.add_ops(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_model::{CoreId, Priority};
+    use a4_sim::{System, SystemConfig};
+
+    #[test]
+    fn server_and_client_run() {
+        let mut sys = System::new(SystemConfig::small_test());
+        let sbase = sys.alloc_lines(64);
+        let cbase = sys.alloc_lines(64);
+        let s = sys
+            .add_workload(
+                Box::new(Redis::new(RedisRole::Server, sbase, 64)),
+                vec![CoreId(0)],
+                Priority::High,
+            )
+            .unwrap();
+        let c = sys
+            .add_workload(
+                Box::new(Redis::new(RedisRole::Client, cbase, 64)),
+                vec![CoreId(1)],
+                Priority::High,
+            )
+            .unwrap();
+        sys.run_logical_seconds(2);
+        let sample = sys.sample();
+        let ws = sample.workload(s).unwrap();
+        let wc = sample.workload(c).unwrap();
+        assert_eq!(ws.name, "Redis-S");
+        assert_eq!(wc.name, "Redis-C");
+        assert!(ws.ops > 10);
+        assert!(ws.ipc > 0.0);
+        // Update-heavy: dirty lines get written back eventually.
+        assert!(ws.accesses > 0);
+    }
+
+    #[test]
+    fn hot_skew_gives_good_hit_rate() {
+        let mut sys = System::new(SystemConfig::small_test());
+        // Working set 4x the MLC, but 80% of traffic hits 20% of it
+        // (12 lines), which fits the 32-line MLC.
+        let base = sys.alloc_lines(64);
+        let id = sys
+            .add_workload(
+                Box::new(Redis::new(RedisRole::Server, base, 64)),
+                vec![CoreId(0)],
+                Priority::High,
+            )
+            .unwrap();
+        sys.run_logical_seconds(2);
+        sys.sample();
+        sys.run_logical_seconds(2);
+        let sample = sys.sample();
+        let w = sample.workload(id).unwrap();
+        assert!(w.mlc_miss_rate < 0.6, "hot subset caches well: {}", w.mlc_miss_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "working set")]
+    fn tiny_ws_rejected() {
+        Redis::new(RedisRole::Server, LineAddr(0), 4);
+    }
+}

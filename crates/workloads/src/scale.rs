@@ -1,0 +1,113 @@
+//! Conversion between the paper's byte sizes and the scaled system.
+//!
+//! The simulated LLC keeps the real geometry (11 ways) but scales capacity
+//! through the set count; every working set, ring and block size from the
+//! paper scales by the same factor so that *relative* footprints (working
+//! set vs. LLC ways vs. MLC) are preserved. See DESIGN.md §1.
+
+use a4_cache::LlcGeometry;
+use a4_model::{Bytes, LINE_BYTES};
+
+/// Capacity of the paper's LLC (25 MiB, Table 1).
+pub const PAPER_LLC_BYTES: u64 = 25 * 1024 * 1024;
+
+/// The scale factor of a simulated geometry relative to the paper's LLC.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::LlcGeometry;
+/// use a4_workloads::scale;
+///
+/// let geom = LlcGeometry::new(1024)?;
+/// let s = scale::factor(geom);
+/// assert!((s - 36.36).abs() < 0.1);
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+pub fn factor(geom: LlcGeometry) -> f64 {
+    PAPER_LLC_BYTES as f64 / geom.capacity_bytes() as f64
+}
+
+/// Scales a byte size from the paper down to the simulated system,
+/// rounding up to at least one line.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::LlcGeometry;
+/// use a4_model::Bytes;
+/// use a4_workloads::scale;
+///
+/// let geom = LlcGeometry::new(1024)?;
+/// // The paper's 4 MB X-Mem working set ≈ 112 KiB scaled.
+/// let ws = scale::bytes(Bytes::from_mib(4), geom);
+/// assert!((110_000..=120_000).contains(&ws.as_u64()));
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+pub fn bytes(paper: Bytes, geom: LlcGeometry) -> Bytes {
+    let scaled = (paper.as_u64() as f64 / factor(geom)).ceil() as u64;
+    Bytes::new(scaled.max(LINE_BYTES))
+}
+
+/// Scales a byte size to a line count (at least one line).
+pub fn lines(paper: Bytes, geom: LlcGeometry) -> u64 {
+    bytes(paper, geom).lines().max(1)
+}
+
+/// Lines covering `frac` of `ways` LLC ways — for working sets the paper
+/// defines relative to the LLC ("smaller than two LLC ways").
+///
+/// # Panics
+///
+/// Panics if `frac` is not positive.
+pub fn fraction_of_ways(geom: LlcGeometry, ways: usize, frac: f64) -> u64 {
+    assert!(frac > 0.0, "fraction must be positive");
+    ((geom.sets() * ways) as f64 * frac) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> LlcGeometry {
+        LlcGeometry::new(1024).unwrap()
+    }
+
+    #[test]
+    fn factor_matches_capacity_ratio() {
+        let g = geom();
+        assert!((factor(g) * g.capacity_bytes() as f64 - PAPER_LLC_BYTES as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_sizes_scale_sensibly() {
+        let g = geom();
+        // 4 MB X-Mem < 2 LLC ways (128 KiB) but > 2 MLCs (64 KiB).
+        let xmem = bytes(Bytes::from_mib(4), g).as_u64();
+        assert!(xmem < 2 * 1024 * 64);
+        assert!(xmem > 2 * 32 * 1024);
+        // 10 MB X-Mem 3 working set exceeds the whole scaled LLC.
+        let xmem3 = bytes(Bytes::from_mib(10), g).as_u64();
+        assert!(xmem3 < g.capacity_bytes() / 2, "10MB/36 = 280KiB < 704KiB LLC");
+    }
+
+    #[test]
+    fn minimum_is_one_line() {
+        let g = geom();
+        assert_eq!(lines(Bytes::new(1), g), 1);
+        assert_eq!(bytes(Bytes::new(1), g).as_u64(), LINE_BYTES);
+    }
+
+    #[test]
+    fn fraction_of_ways_counts_lines() {
+        let g = geom();
+        assert_eq!(fraction_of_ways(g, 2, 1.0), 2048);
+        assert_eq!(fraction_of_ways(g, 2, 0.88), 1802);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn fraction_rejects_zero() {
+        fraction_of_ways(geom(), 2, 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! SPEC CPU2017-like synthetic workloads.
+//!
+//! The paper runs SPECrate benchmarks with reference inputs, one core
+//! each (Table 2), and leans on the memory-centric characterization of
+//! Singh & Awasthi ("Memory centric characterization ... of SPEC
+//! CPU2017", ICPE 2019) for their cache sensitivity: x264 saturates at
+//! small cache sizes, parest/xalancbmk keep benefiting from more cache,
+//! and lbm/bwaves/fotonik3d/mcf stream through working sets far beyond
+//! the LLC — the *non-I/O antagonists* that A4's T5 threshold catches.
+//!
+//! Each profile is a (working set, locality mix, compute density, write
+//! fraction) tuple; working sets are expressed as fractions of the scaled
+//! LLC so the geometry carries the paper's relative sizes.
+
+use a4_cache::LlcGeometry;
+use a4_model::{LineAddr, WorkloadKind};
+use a4_sim::{CoreCtx, Workload, WorkloadInfo};
+
+/// Cache-behaviour profile of one SPEC benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecProfile {
+    /// Benchmark name as shown in the paper's figures.
+    pub name: &'static str,
+    /// Working set as a multiple of the LLC capacity.
+    pub ws_llc_fraction: f64,
+    /// Fraction of accesses with spatial locality (stride-1 runs).
+    pub sequential_fraction: f64,
+    /// Fraction of accesses targeting the hot 10 % of the working set.
+    pub hot_fraction: f64,
+    /// Pure-compute cycles between memory accesses.
+    pub compute_cycles: f64,
+    /// Fraction of accesses that are stores.
+    pub write_fraction: f64,
+}
+
+impl SpecProfile {
+    /// All profiles used in the paper's Fig. 13 scenarios.
+    pub fn all() -> &'static [SpecProfile] {
+        PROFILES
+    }
+
+    /// Looks a profile up by name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use a4_workloads::SpecProfile;
+    /// assert!(SpecProfile::by_name("lbm").is_some());
+    /// assert!(SpecProfile::by_name("nonesuch").is_none());
+    /// ```
+    pub fn by_name(name: &str) -> Option<&'static SpecProfile> {
+        PROFILES.iter().find(|p| p.name == name)
+    }
+
+    /// True if the profile is a streaming antagonist (working set beyond
+    /// the LLC with poor locality) — what A4's T5 detection should flag.
+    pub fn is_streaming_antagonist(&self) -> bool {
+        self.ws_llc_fraction >= 1.0 && self.hot_fraction < 0.3
+    }
+}
+
+const PROFILES: &[SpecProfile] = &[
+    // Cache-friendly, saturates early (Singh & Awasthi: x264 plateaus).
+    SpecProfile {
+        name: "x264",
+        ws_llc_fraction: 0.08,
+        sequential_fraction: 0.7,
+        hot_fraction: 0.6,
+        compute_cycles: 18.0,
+        write_fraction: 0.3,
+    },
+    // Steadily benefits from more cache.
+    SpecProfile {
+        name: "parest",
+        ws_llc_fraction: 0.45,
+        sequential_fraction: 0.5,
+        hot_fraction: 0.45,
+        compute_cycles: 8.0,
+        write_fraction: 0.2,
+    },
+    SpecProfile {
+        name: "xalancbmk",
+        ws_llc_fraction: 0.55,
+        sequential_fraction: 0.3,
+        hot_fraction: 0.5,
+        compute_cycles: 7.0,
+        write_fraction: 0.15,
+    },
+    // Compute-bound, tiny working set.
+    SpecProfile {
+        name: "exchange2",
+        ws_llc_fraction: 0.01,
+        sequential_fraction: 0.9,
+        hot_fraction: 0.9,
+        compute_cycles: 30.0,
+        write_fraction: 0.1,
+    },
+    // Medium pointer-chasing footprint.
+    SpecProfile {
+        name: "omnetpp",
+        ws_llc_fraction: 0.7,
+        sequential_fraction: 0.2,
+        hot_fraction: 0.4,
+        compute_cycles: 6.0,
+        write_fraction: 0.25,
+    },
+    SpecProfile {
+        name: "blender",
+        ws_llc_fraction: 0.5,
+        sequential_fraction: 0.6,
+        hot_fraction: 0.5,
+        compute_cycles: 12.0,
+        write_fraction: 0.2,
+    },
+    // Streaming antagonists: working sets beyond the LLC, poor locality.
+    SpecProfile {
+        name: "lbm",
+        ws_llc_fraction: 2.5,
+        sequential_fraction: 0.8,
+        hot_fraction: 0.05,
+        compute_cycles: 4.0,
+        write_fraction: 0.45,
+    },
+    SpecProfile {
+        name: "bwaves",
+        ws_llc_fraction: 2.2,
+        sequential_fraction: 0.7,
+        hot_fraction: 0.05,
+        compute_cycles: 4.0,
+        write_fraction: 0.2,
+    },
+    SpecProfile {
+        name: "fotonik3d",
+        ws_llc_fraction: 2.0,
+        sequential_fraction: 0.7,
+        hot_fraction: 0.05,
+        compute_cycles: 4.0,
+        write_fraction: 0.25,
+    },
+    SpecProfile {
+        name: "mcf",
+        ws_llc_fraction: 1.8,
+        sequential_fraction: 0.2,
+        hot_fraction: 0.15,
+        compute_cycles: 5.0,
+        write_fraction: 0.2,
+    },
+];
+
+/// A running SPEC-like synthetic.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::LlcGeometry;
+/// use a4_model::LineAddr;
+/// use a4_sim::Workload;
+/// use a4_workloads::SpecCpu;
+///
+/// let geom = LlcGeometry::new(1024)?;
+/// let lbm = SpecCpu::from_profile("lbm", LineAddr(0x10000), geom).unwrap();
+/// assert_eq!(lbm.info().name, "lbm");
+/// # Ok::<(), a4_model::A4Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecCpu {
+    profile: SpecProfile,
+    base: LineAddr,
+    ws_lines: u64,
+    cursor: u64,
+    run_left: u64,
+}
+
+impl SpecCpu {
+    /// Instantiates a profile by name, sizing the working set from the
+    /// LLC geometry. Returns `None` for unknown names.
+    pub fn from_profile(name: &str, base: LineAddr, geom: LlcGeometry) -> Option<Self> {
+        let profile = *SpecProfile::by_name(name)?;
+        let llc_lines = (geom.capacity_bytes() / a4_model::LINE_BYTES) as f64;
+        let ws_lines = ((llc_lines * profile.ws_llc_fraction) as u64).max(16);
+        Some(SpecCpu { profile, base, ws_lines, cursor: 0, run_left: 0 })
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &SpecProfile {
+        &self.profile
+    }
+
+    /// Working-set lines the instance needs allocated.
+    pub fn ws_lines(&self) -> u64 {
+        self.ws_lines
+    }
+}
+
+impl Workload for SpecCpu {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            name: self.profile.name.into(),
+            kind: WorkloadKind::NonIo,
+            device: None,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+        let hot_lines = ((self.ws_lines as f64) * 0.1).max(1.0) as u64;
+        while ctx.has_budget() {
+            if self.run_left == 0 {
+                // Start a new access run: hot, sequential or random.
+                if ctx.rng_f64() < self.profile.hot_fraction {
+                    self.cursor = ctx.rng_range(hot_lines);
+                    self.run_left = 4;
+                } else if ctx.rng_f64() < self.profile.sequential_fraction {
+                    self.cursor = ctx.rng_range(self.ws_lines);
+                    self.run_left = 16;
+                } else {
+                    self.cursor = ctx.rng_range(self.ws_lines);
+                    self.run_left = 1;
+                }
+            }
+            let addr = self.base.offset(self.cursor % self.ws_lines);
+            if ctx.rng_f64() < self.profile.write_fraction {
+                ctx.write(addr);
+            } else {
+                ctx.read(addr);
+            }
+            ctx.compute(self.profile.compute_cycles, self.profile.compute_cycles as u64 / 2 + 2);
+            self.cursor += 1;
+            self.run_left -= 1;
+            ctx.add_ops(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_model::{CoreId, Priority};
+    use a4_sim::{System, SystemConfig};
+
+    #[test]
+    fn profiles_cover_the_papers_benchmarks() {
+        for name in [
+            "x264", "parest", "xalancbmk", "lbm", "omnetpp", "exchange2", "bwaves", "mcf",
+            "blender", "fotonik3d",
+        ] {
+            assert!(SpecProfile::by_name(name).is_some(), "{name} missing");
+        }
+        assert_eq!(SpecProfile::all().len(), 10);
+    }
+
+    #[test]
+    fn antagonist_classification_matches_the_paper() {
+        // Fig. 13: bwaves, lbm, fotonik3d are flagged; x264, parest are not.
+        assert!(SpecProfile::by_name("lbm").unwrap().is_streaming_antagonist());
+        assert!(SpecProfile::by_name("bwaves").unwrap().is_streaming_antagonist());
+        assert!(SpecProfile::by_name("fotonik3d").unwrap().is_streaming_antagonist());
+        assert!(!SpecProfile::by_name("x264").unwrap().is_streaming_antagonist());
+        assert!(!SpecProfile::by_name("parest").unwrap().is_streaming_antagonist());
+        assert!(!SpecProfile::by_name("omnetpp").unwrap().is_streaming_antagonist());
+    }
+
+    fn miss_rates(name: &str) -> (f64, f64) {
+        let mut sys = System::new(SystemConfig::small_test());
+        let geom = sys.config().hierarchy.llc;
+        let probe = SpecCpu::from_profile(name, LineAddr(0), geom).unwrap();
+        let base = sys.alloc_lines(probe.ws_lines());
+        let wl = SpecCpu::from_profile(name, base, geom).unwrap();
+        let id = sys.add_workload(Box::new(wl), vec![CoreId(0)], Priority::Low).unwrap();
+        sys.run_logical_seconds(2);
+        sys.sample();
+        sys.run_logical_seconds(3);
+        let s = sys.sample();
+        let w = s.workload(id).unwrap();
+        (w.mlc_miss_rate, w.llc_miss_rate)
+    }
+
+    #[test]
+    fn streaming_antagonists_miss_everywhere() {
+        let (mlc, llc) = miss_rates("lbm");
+        assert!(mlc > 0.3, "lbm MLC miss rate {mlc}");
+        assert!(llc > 0.35, "lbm LLC miss rate {llc}");
+    }
+
+    #[test]
+    fn compute_bound_benchmarks_cache_well() {
+        let (mlc, _) = miss_rates("exchange2");
+        assert!(mlc < 0.2, "exchange2 MLC miss rate {mlc}");
+    }
+
+    #[test]
+    fn unknown_profile_returns_none() {
+        let geom = LlcGeometry::new(1024).unwrap();
+        assert!(SpecCpu::from_profile("doom3", LineAddr(0), geom).is_none());
+    }
+}

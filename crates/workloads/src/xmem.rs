@@ -1,0 +1,199 @@
+//! X-Mem: the cache-sensitive microbenchmark (Microsoft X-Mem in the
+//! paper, Table 3).
+
+use a4_model::{LineAddr, WorkloadKind};
+use a4_sim::{CoreCtx, Workload, WorkloadInfo};
+
+/// Memory access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Stride-1 sweep over the working set.
+    Sequential,
+    /// Uniform random within the working set.
+    Random,
+}
+
+/// Memory operation type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOp {
+    /// Loads.
+    Read,
+    /// Stores.
+    Write,
+}
+
+/// One X-Mem instance.
+///
+/// Table 3 of the paper:
+///
+/// | instance | working set | pattern | op |
+/// |---|---|---|---|
+/// | X-Mem 1 | 4 MB | sequential | read |
+/// | X-Mem 2 | 4 MB | sequential | write |
+/// | X-Mem 3 | 10 MB | random | read |
+///
+/// # Examples
+///
+/// ```
+/// use a4_model::LineAddr;
+/// use a4_sim::Workload;
+/// use a4_workloads::XMem;
+///
+/// let wl = XMem::instance_1(LineAddr(0x4000), 1802);
+/// assert_eq!(wl.info().name, "X-Mem 1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct XMem {
+    name: String,
+    base: LineAddr,
+    ws_lines: u64,
+    pattern: AccessPattern,
+    op: AccessOp,
+    cursor: u64,
+    compute_cycles: f64,
+}
+
+impl XMem {
+    /// Creates an X-Mem with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws_lines` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        base: LineAddr,
+        ws_lines: u64,
+        pattern: AccessPattern,
+        op: AccessOp,
+    ) -> Self {
+        assert!(ws_lines > 0, "working set must be nonzero");
+        XMem {
+            name: name.into(),
+            base,
+            ws_lines,
+            pattern,
+            op,
+            cursor: 0,
+            compute_cycles: 4.0,
+        }
+    }
+
+    /// X-Mem 1: sequential read (paper: 4 MB working set).
+    pub fn instance_1(base: LineAddr, ws_lines: u64) -> Self {
+        Self::new("X-Mem 1", base, ws_lines, AccessPattern::Sequential, AccessOp::Read)
+    }
+
+    /// X-Mem 2: sequential write (paper: 4 MB working set).
+    pub fn instance_2(base: LineAddr, ws_lines: u64) -> Self {
+        Self::new("X-Mem 2", base, ws_lines, AccessPattern::Sequential, AccessOp::Write)
+    }
+
+    /// X-Mem 3: random read with an LLC-pressure working set (paper:
+    /// 10 MB).
+    pub fn instance_3(base: LineAddr, ws_lines: u64) -> Self {
+        Self::new("X-Mem 3", base, ws_lines, AccessPattern::Random, AccessOp::Read)
+    }
+
+    /// Working set size in lines.
+    pub fn ws_lines(&self) -> u64 {
+        self.ws_lines
+    }
+}
+
+impl Workload for XMem {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo { name: self.name.clone(), kind: WorkloadKind::NonIo, device: None }
+    }
+
+    /// Phase flips double/restore the working set — the "execution phase
+    /// change" stimulus for the controller's §5.6 paths.
+    fn set_phase(&mut self, phase: usize) {
+        let base_ws = self.ws_lines.max(2);
+        self.ws_lines = if phase % 2 == 1 { base_ws * 2 } else { (base_ws / 2).max(1) };
+    }
+
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+        while ctx.has_budget() {
+            let idx = match self.pattern {
+                AccessPattern::Sequential => {
+                    let i = self.cursor % self.ws_lines;
+                    self.cursor += 1;
+                    i
+                }
+                AccessPattern::Random => ctx.rng_range(self.ws_lines),
+            };
+            let addr = self.base.offset(idx);
+            match self.op {
+                AccessOp::Read => ctx.read(addr),
+                AccessOp::Write => ctx.write(addr),
+            };
+            ctx.compute(self.compute_cycles, 3);
+            ctx.add_ops(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4_model::{CoreId, Priority};
+    use a4_sim::{System, SystemConfig};
+
+    fn run(ws_lines: u64, pattern: AccessPattern) -> f64 {
+        let mut sys = System::new(SystemConfig::small_test());
+        let base = sys.alloc_lines(ws_lines);
+        let wl = sys
+            .add_workload(
+                Box::new(XMem::new("x", base, ws_lines, pattern, AccessOp::Read)),
+                vec![CoreId(0)],
+                Priority::High,
+            )
+            .unwrap();
+        sys.run_logical_seconds(2);
+        sys.sample(); // discard warmup
+        sys.run_logical_seconds(2);
+        let s = sys.sample();
+        s.workload(wl).unwrap().mlc_miss_rate
+    }
+
+    #[test]
+    fn small_ws_fits_mlc() {
+        // small_test MLC = 8 sets x 4 ways = 32 lines.
+        assert!(run(16, AccessPattern::Sequential) < 0.05);
+    }
+
+    #[test]
+    fn llc_sized_ws_misses_mlc() {
+        // 64 lines exceed the 32-line MLC; sequential LRU sweep thrashes.
+        assert!(run(64, AccessPattern::Sequential) > 0.5);
+    }
+
+    #[test]
+    fn instances_have_paper_names() {
+        assert_eq!(XMem::instance_1(LineAddr(0), 10).info().name, "X-Mem 1");
+        assert_eq!(XMem::instance_2(LineAddr(0), 10).info().name, "X-Mem 2");
+        assert_eq!(XMem::instance_3(LineAddr(0), 10).info().name, "X-Mem 3");
+        assert_eq!(XMem::instance_3(LineAddr(0), 10).ws_lines(), 10);
+    }
+
+    #[test]
+    fn write_instance_dirties_lines() {
+        let mut sys = System::new(SystemConfig::small_test());
+        let base = sys.alloc_lines(64);
+        sys.add_workload(
+            Box::new(XMem::instance_2(base, 64)),
+            vec![CoreId(0)],
+            Priority::Low,
+        )
+        .unwrap();
+        sys.run_logical_seconds(2);
+        let s = sys.sample();
+        assert!(s.workloads[0].mem_write_bytes > 0, "dirty evictions write back");
+    }
+
+    #[test]
+    #[should_panic(expected = "working set")]
+    fn zero_ws_rejected() {
+        XMem::instance_1(LineAddr(0), 0);
+    }
+}

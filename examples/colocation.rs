@@ -1,0 +1,16 @@
+//! Datacenter colocation: the paper's Fig. 13a HPW-heavy mix (Fastclick,
+//! Redis, SPEC CPU2017 and FFSB workloads) under all six LLC-management
+//! schemes. Prints relative performance normalized to the Default model.
+//!
+//! ```text
+//! cargo run --release --example colocation
+//! ```
+
+use a4::experiments::{fig13, RunOpts};
+
+fn main() {
+    let opts = RunOpts::controller();
+    let table = fig13::run(&opts, true);
+    println!("{table}");
+    println!("(perf columns are relative to the Default model; >1 is better)");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build the paper's §7.1 microbenchmark colocation, run it
+//! under the Default baseline and under full A4, and print the
+//! improvement of the cache-sensitive high-priority workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use a4::core::{A4Config, A4Controller, DefaultPolicy};
+use a4::experiments::{scenario, RunOpts};
+
+fn main() {
+    let opts = RunOpts { warmup: 14, measure: 6, seed: 0xA4 };
+
+    // Default model: everything shares the whole LLC.
+    let mut harness = scenario::microbench_mix(opts);
+    harness.attach_policy(Box::new(DefaultPolicy::new()));
+    let default_report = harness.run(opts.warmup, opts.measure);
+
+    // Full A4 (level D): zoning + DCA Zone + selective DCA off + trash ways.
+    let mut harness = scenario::microbench_mix(opts);
+    harness.attach_policy(Box::new(A4Controller::new(A4Config::default())));
+    let a4_report = harness.run(opts.warmup, opts.measure);
+
+    println!("workload           Default-IPC   A4-IPC   speedup   A4 LLC hit");
+    for sample in &a4_report.samples[..1] {
+        for w in &sample.workloads {
+            let ipc_d = default_report.ipc(w.id);
+            let ipc_a = a4_report.ipc(w.id);
+            println!(
+                "{:<18} {:>10.3} {:>8.3} {:>8.2}x {:>10.3}",
+                w.name,
+                ipc_d,
+                ipc_a,
+                ipc_a / ipc_d.max(1e-12),
+                a4_report.llc_hit_rate(w.id),
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # A4 reproduction — facade crate
+//!
+//! This crate re-exports every component of the Rust reproduction of
+//! *A4: Microarchitecture-Aware LLC Management for Datacenter Servers with
+//! Emerging I/O Devices* (Park et al., ISCA 2025) under one roof, so
+//! downstream users can depend on a single crate:
+//!
+//! * [`model`] — foundational types (way masks, ids, time, units).
+//! * [`cache`] — the Skylake-style non-inclusive cache hierarchy with the
+//!   inclusive-directory structure that causes the paper's (C1) contention.
+//! * [`mem`] — the DRAM bandwidth/latency model.
+//! * [`pcie`] — PCIe ports, the hidden `perfctrlsts_0` DCA knob, NIC and
+//!   NVMe device models.
+//! * [`sim`] — the full-system simulator with PCM-style counters.
+//! * [`workloads`] — DPDK, FIO, X-Mem, Fastclick, FFSB, Redis and
+//!   SPEC-CPU-like workload generators.
+//! * [`core`] — the A4 runtime LLC-management framework itself, plus the
+//!   Default and Isolate baselines.
+//! * [`experiments`] — scenario builders reproducing every figure of the
+//!   paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use a4::core::{A4Config, A4Controller};
+//! use a4::experiments::scenario;
+//!
+//! // Build the paper's microbenchmark colocation (DPDK-T + FIO + X-Mem),
+//! // attach the A4 controller and run for a few simulated seconds.
+//! let mut harness = scenario::microbench_mix(a4::experiments::RunOpts::quick());
+//! harness.attach_policy(Box::new(A4Controller::new(A4Config::default())));
+//! let report = harness.run_secs(3);
+//! assert!(report.total_instructions_all() > 0);
+//! ```
+
+pub use a4_cache as cache;
+pub use a4_core as core;
+pub use a4_experiments as experiments;
+pub use a4_mem as mem;
+pub use a4_model as model;
+pub use a4_pcie as pcie;
+pub use a4_sim as sim;
+pub use a4_workloads as workloads;
