@@ -17,13 +17,14 @@ fn directory_contention(ddio_ways: usize) -> f64 {
     let opts = bench_opts();
     let mut sys = scenario::base_system(&opts);
     let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
+    let dpdk =
+        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
     let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores free");
     sys.hierarchy_mut()
         .llc_mut()
         .set_dca_mask(WayMask::from_range(0, ddio_ways).expect("within 11 ways"));
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static")).unwrap();
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static"))
+        .unwrap();
     sys.cat_assign_workload(dpdk, ClosId(1)).unwrap();
     sys.cat_set_mask(ClosId(2), WayMask::INCLUSIVE).unwrap();
     sys.cat_assign_workload(xmem, ClosId(2)).unwrap();
@@ -57,9 +58,8 @@ fn bench_burstiness(c: &mut Criterion) {
                 let mut cfg = a4_pcie::NicConfig::connectx6_100g(4, 64, 1024);
                 cfg.burst_amplitude = amplitude;
                 let nic = sys.attach_nic(a4_model::PortId(0), cfg).expect("port free");
-                let dpdk =
-                    scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-                        .expect("cores free");
+                let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
+                    .expect("cores free");
                 let mut harness = Harness::new(sys);
                 let report = harness.run(opts.warmup, opts.measure);
                 report.llc_miss_rate(dpdk)

@@ -36,7 +36,9 @@ fn bench_fig5(c: &mut Criterion) {
     let opts = bench_opts();
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
-    g.bench_function("fio_512k_dca_on", |b| b.iter(|| fig5::run_point(&opts, 512, true)));
+    g.bench_function("fio_512k_dca_on", |b| {
+        b.iter(|| fig5::run_point(&opts, 512, true))
+    });
     g.finish();
 }
 
@@ -44,7 +46,9 @@ fn bench_fig6(c: &mut Criterion) {
     let opts = bench_opts();
     let mut g = c.benchmark_group("fig6");
     g.sample_size(10);
-    g.bench_function("dpdk_plus_fio_128k", |b| b.iter(|| fig6::run_point(&opts, Some(128), true)));
+    g.bench_function("dpdk_plus_fio_128k", |b| {
+        b.iter(|| fig6::run_point(&opts, Some(128), true))
+    });
     g.finish();
 }
 
@@ -52,7 +56,9 @@ fn bench_fig7(c: &mut Criterion) {
     let opts = bench_opts();
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
-    g.bench_function("overlap4", |b| b.iter(|| fig7::run_point(&opts, fig7::Strategy::Overlap(4))));
+    g.bench_function("overlap4", |b| {
+        b.iter(|| fig7::run_point(&opts, fig7::Strategy::Overlap(4)))
+    });
     g.finish();
 }
 
@@ -60,8 +66,12 @@ fn bench_fig8(c: &mut Criterion) {
     let opts = bench_opts();
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);
-    g.bench_function("ssd_dca_off_128k", |b| b.iter(|| fig8::run_point_8a(&opts, 128, false)));
-    g.bench_function("trash_ways_2_2", |b| b.iter(|| fig8::run_point_8b(&opts, 2)));
+    g.bench_function("ssd_dca_off_128k", |b| {
+        b.iter(|| fig8::run_point_8a(&opts, 128, false))
+    });
+    g.bench_function("trash_ways_2_2", |b| {
+        b.iter(|| fig8::run_point_8b(&opts, 2))
+    });
     g.finish();
 }
 

@@ -10,7 +10,7 @@ use a4_model::{A4Error, ClosId, CoreId, Result, WayMask};
 use serde::{Deserialize, Serialize};
 
 /// Number of classes of service on Skylake-SP.
-pub const NUM_CLOS: usize = 16;
+pub(crate) const NUM_CLOS: usize = 16;
 
 /// The CAT state: per-CLOS way masks plus the core→CLOS association.
 ///
@@ -59,7 +59,10 @@ impl ClosTable {
     /// when the [`WayMask`] is constructed.)
     pub fn set_mask(&mut self, clos: ClosId, mask: WayMask) -> Result<()> {
         if clos.index() >= NUM_CLOS {
-            return Err(A4Error::InvalidClos { clos: clos.0, max: NUM_CLOS as u8 });
+            return Err(A4Error::InvalidClos {
+                clos: clos.0,
+                max: NUM_CLOS as u8,
+            });
         }
         if mask.is_empty() {
             return Err(A4Error::EmptyMask);
@@ -75,7 +78,10 @@ impl ClosTable {
     /// Returns [`A4Error::InvalidClos`] for CLOS ids ≥ 16.
     pub fn mask(&self, clos: ClosId) -> Result<WayMask> {
         if clos.index() >= NUM_CLOS {
-            return Err(A4Error::InvalidClos { clos: clos.0, max: NUM_CLOS as u8 });
+            return Err(A4Error::InvalidClos {
+                clos: clos.0,
+                max: NUM_CLOS as u8,
+            });
         }
         Ok(self.masks[clos.index()])
     }
@@ -88,10 +94,16 @@ impl ClosTable {
     /// out-of-range ids.
     pub fn assign_core(&mut self, core: CoreId, clos: ClosId) -> Result<()> {
         if core.index() >= self.core_clos.len() {
-            return Err(A4Error::InvalidCore { core: core.0, max: self.core_clos.len() as u8 });
+            return Err(A4Error::InvalidCore {
+                core: core.0,
+                max: self.core_clos.len() as u8,
+            });
         }
         if clos.index() >= NUM_CLOS {
-            return Err(A4Error::InvalidClos { clos: clos.0, max: NUM_CLOS as u8 });
+            return Err(A4Error::InvalidClos {
+                clos: clos.0,
+                max: NUM_CLOS as u8,
+            });
         }
         self.core_clos[core.index()] = clos;
         Ok(())
@@ -100,7 +112,10 @@ impl ClosTable {
     /// The CLOS a core currently runs in (CLOS 0 for out-of-range cores,
     /// mirroring hardware's default behaviour).
     pub fn clos_of(&self, core: CoreId) -> ClosId {
-        self.core_clos.get(core.index()).copied().unwrap_or(ClosId::DEFAULT)
+        self.core_clos
+            .get(core.index())
+            .copied()
+            .unwrap_or(ClosId::DEFAULT)
     }
 
     /// The effective allocation mask of a core.

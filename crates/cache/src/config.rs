@@ -40,7 +40,9 @@ impl LlcGeometry {
     /// of at least 16.
     pub fn new(sets: usize) -> Result<Self> {
         if !sets.is_power_of_two() || sets < 16 {
-            return Err(A4Error::InvalidConfig { what: "llc sets must be a power of two >= 16" });
+            return Err(A4Error::InvalidConfig {
+                what: "llc sets must be a power of two >= 16",
+            });
         }
         Ok(LlcGeometry { sets })
     }
@@ -83,10 +85,14 @@ impl MlcGeometry {
     /// and `ways` is in `1..=32`.
     pub fn new(sets: usize, ways: usize) -> Result<Self> {
         if !sets.is_power_of_two() {
-            return Err(A4Error::InvalidConfig { what: "mlc sets must be a power of two" });
+            return Err(A4Error::InvalidConfig {
+                what: "mlc sets must be a power of two",
+            });
         }
         if ways == 0 || ways > 32 {
-            return Err(A4Error::InvalidConfig { what: "mlc ways must be in 1..=32" });
+            return Err(A4Error::InvalidConfig {
+                what: "mlc ways must be in 1..=32",
+            });
         }
         Ok(MlcGeometry { sets, ways })
     }
@@ -165,7 +171,9 @@ impl HierarchyConfig {
     /// cores than presence bits (32).
     pub fn validate(&self) -> Result<()> {
         if self.cores == 0 || self.cores > 32 {
-            return Err(A4Error::InvalidConfig { what: "cores must be in 1..=32" });
+            return Err(A4Error::InvalidConfig {
+                what: "cores must be in 1..=32",
+            });
         }
         Ok(())
     }

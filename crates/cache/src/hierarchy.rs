@@ -136,7 +136,12 @@ impl CacheHierarchy {
 
     /// Core load. `io_hint` marks reads of I/O buffers so lines refetched
     /// after a DMA leak keep their I/O attribution.
-    pub fn core_read(&mut self, core: CoreId, addr: LineAddr, owner: WorkloadId) -> CoreAccessLevel {
+    pub fn core_read(
+        &mut self,
+        core: CoreId,
+        addr: LineAddr,
+        owner: WorkloadId,
+    ) -> CoreAccessLevel {
         self.core_access(core, addr, owner, false, false)
     }
 
@@ -176,7 +181,13 @@ impl CacheHierarchy {
         }
 
         match self.llc.core_read(core, addr) {
-            LlcReadResult::Hit { migrated, from_dca_way, io_first_consume, evicted, meta } => {
+            LlcReadResult::Hit {
+                migrated,
+                from_dca_way,
+                io_first_consume,
+                evicted,
+                meta,
+            } => {
                 self.stats.bump(owner, |c| c.llc_hits += 1);
                 if migrated {
                     self.stats.bump(meta.owner, |c| c.migrations += 1);
@@ -203,7 +214,12 @@ impl CacheHierarchy {
                 if let Some(forced) = self.llc.register_mlc_fill(core, addr) {
                     self.back_invalidate(forced.addr, forced.presence, true);
                 }
-                let meta = LineMeta { owner, io: io_hint, consumed: true, device: None };
+                let meta = LineMeta {
+                    owner,
+                    io: io_hint,
+                    consumed: true,
+                    device: None,
+                };
                 if let Some(victim) = self.mlcs[core.index()].fill(addr, meta, write) {
                     self.handle_mlc_eviction(core, victim);
                 }
@@ -234,13 +250,18 @@ impl CacheHierarchy {
         }
 
         match self.llc.dma_write(addr, owner, device) {
-            DmaWriteResult::Updated { invalidate_presence } => {
+            DmaWriteResult::Updated {
+                invalidate_presence,
+            } => {
                 self.back_invalidate(addr, invalidate_presence, false);
                 self.stats.device_mut(device).dca_updates += 1;
                 self.stats.bump(owner, |c| c.dca_updates += 1);
                 DmaWriteDest::LlcUpdate
             }
-            DmaWriteResult::Allocated { invalidate_presence, evicted } => {
+            DmaWriteResult::Allocated {
+                invalidate_presence,
+                evicted,
+            } => {
                 self.back_invalidate(addr, invalidate_presence, false);
                 self.stats.device_mut(device).dca_allocs += 1;
                 self.stats.bump(owner, |c| c.dca_allocs += 1);
@@ -277,7 +298,10 @@ impl CacheHierarchy {
 
     fn handle_mlc_eviction(&mut self, core: CoreId, victim: EvictedMlcLine) {
         let mask = self.clos.mask_for_core(core);
-        match self.llc.mlc_eviction(core, victim.addr, victim.dirty, victim.meta, mask) {
+        match self
+            .llc
+            .mlc_eviction(core, victim.addr, victim.dirty, victim.meta, mask)
+        {
             MlcEvictionOutcome::StillShared | MlcEvictionOutcome::MergedIntoLlc => {}
             MlcEvictionOutcome::Inserted { bloat, evicted } => {
                 if bloat {
@@ -307,7 +331,8 @@ impl CacheHierarchy {
                 self.stats.device_mut(dev).dma_leaks += 1;
             }
         }
-        self.stats.bump(ev.meta.owner, |c| c.evictions_suffered += 1);
+        self.stats
+            .bump(ev.meta.owner, |c| c.evictions_suffered += 1);
     }
 
     /// Invalidates MLC copies named by `presence`. When `writeback` is
@@ -365,8 +390,14 @@ mod tests {
     #[test]
     fn dca_fast_path_counts_consumption() {
         let mut h = hier();
-        assert_eq!(h.dma_write(DEV, LineAddr(2), wl(1), true), DmaWriteDest::DcaAllocate);
-        assert_eq!(h.core_read_io(C0, LineAddr(2), wl(1)), CoreAccessLevel::LlcHit);
+        assert_eq!(
+            h.dma_write(DEV, LineAddr(2), wl(1), true),
+            DmaWriteDest::DcaAllocate
+        );
+        assert_eq!(
+            h.core_read_io(C0, LineAddr(2), wl(1)),
+            CoreAccessLevel::LlcHit
+        );
         let c = h.stats().workload(wl(1));
         assert_eq!(c.dca_allocs, 1);
         assert_eq!(c.dca_consumed, 1);
@@ -379,12 +410,18 @@ mod tests {
     #[test]
     fn dca_disabled_goes_to_memory() {
         let mut h = hier();
-        assert_eq!(h.dma_write(DEV, LineAddr(3), wl(1), false), DmaWriteDest::Memory);
+        assert_eq!(
+            h.dma_write(DEV, LineAddr(3), wl(1), false),
+            DmaWriteDest::Memory
+        );
         assert!(h.llc().probe(LineAddr(3)).is_none());
         assert_eq!(h.stats().device(DEV).dma_to_memory_lines, 1);
         assert_eq!(h.stats().total.mem_write_lines, 1);
         // The consumer now pays a memory read.
-        assert_eq!(h.core_read_io(C0, LineAddr(3), wl(1)), CoreAccessLevel::Memory);
+        assert_eq!(
+            h.core_read_io(C0, LineAddr(3), wl(1)),
+            CoreAccessLevel::Memory
+        );
     }
 
     #[test]
@@ -394,7 +431,10 @@ mod tests {
         h.core_read(C0, LineAddr(4), wl(0));
         assert!(h.mlc(C0).contains(LineAddr(4)));
         // DMA write invalidates the stale copy and allocates in DCA ways.
-        assert_eq!(h.dma_write(DEV, LineAddr(4), wl(0), true), DmaWriteDest::DcaAllocate);
+        assert_eq!(
+            h.dma_write(DEV, LineAddr(4), wl(0), true),
+            DmaWriteDest::DcaAllocate
+        );
         assert!(!h.mlc(C0).contains(LineAddr(4)));
         assert!(!h.llc().ext_dir_tracks(LineAddr(4)));
         assert_eq!(h.stats().workload(wl(0)).back_invalidations, 1);
@@ -416,7 +456,12 @@ mod tests {
     #[test]
     fn consumed_line_evicted_from_mlc_is_bloat() {
         let mut h = hier();
-        h.clos_mut().set_mask(a4_model::ClosId(1), WayMask::from_paper_range(5, 6).unwrap()).unwrap();
+        h.clos_mut()
+            .set_mask(
+                a4_model::ClosId(1),
+                WayMask::from_paper_range(5, 6).unwrap(),
+            )
+            .unwrap();
         h.clos_mut().assign_core(C0, a4_model::ClosId(1)).unwrap();
         // Consume an I/O line, displace its LLC-inclusive copy with two
         // further migrations (inclusive ways churn under load), then
@@ -431,7 +476,10 @@ mod tests {
             .into_iter()
             .find(|&l| h.llc().probe(l).is_none())
             .expect("one inclusive-way line was displaced");
-        assert!(h.llc().ext_dir_tracks(displaced), "tracking demoted, MLC copy alive");
+        assert!(
+            h.llc().ext_dir_tracks(displaced),
+            "tracking demoted, MLC copy alive"
+        );
         // MLC small_test geometry: 8 sets, 4 ways; lines 0/16/32 sit in MLC
         // set 0. Four fresh set-0 lines evict them.
         for i in 1..=4u64 {
@@ -441,7 +489,10 @@ mod tests {
         // All three consumed I/O lines re-enter the LLC's standard ways:
         // the displaced one via the extended-directory path, the others by
         // relocation out of the inclusive ways.
-        assert_eq!(c.dma_bloats, 3, "every consumed I/O line re-entered the LLC");
+        assert_eq!(
+            c.dma_bloats, 3,
+            "every consumed I/O line re-entered the LLC"
+        );
         // Bloat lands in the core's CLOS ways: the two [5:6] slots of the
         // set hold two of the three lines (the third was evicted again).
         let clos = WayMask::from_paper_range(5, 6).unwrap();
@@ -489,15 +540,26 @@ mod tests {
             .into_iter()
             .find(|&l| h.llc().probe(l).is_none())
             .expect("an inclusive line was displaced");
-        assert!(h.mlc(C1).contains(displaced), "MLC copy survives the LLC eviction");
-        assert!(h.llc().ext_dir_tracks(displaced), "tracking demoted to the extended dir");
+        assert!(
+            h.mlc(C1).contains(displaced),
+            "MLC copy survives the LLC eviction"
+        );
+        assert!(
+            h.llc().ext_dir_tracks(displaced),
+            "tracking demoted to the extended dir"
+        );
         h.llc().assert_inclusive_invariant();
     }
 
     #[test]
     fn writeback_attribution_on_dirty_eviction() {
         let mut h = hier();
-        h.clos_mut().set_mask(a4_model::ClosId(1), WayMask::from_paper_range(2, 2).unwrap()).unwrap();
+        h.clos_mut()
+            .set_mask(
+                a4_model::ClosId(1),
+                WayMask::from_paper_range(2, 2).unwrap(),
+            )
+            .unwrap();
         h.clos_mut().assign_core(C0, a4_model::ClosId(1)).unwrap();
         // Dirty a line, spill it to the LLC (1-way mask), then displace it.
         h.core_write(C0, LineAddr(0), wl(3));
@@ -517,7 +579,10 @@ mod tests {
     fn second_dma_write_is_update_in_place() {
         let mut h = hier();
         h.dma_write(DEV, LineAddr(6), wl(1), true);
-        assert_eq!(h.dma_write(DEV, LineAddr(6), wl(1), true), DmaWriteDest::LlcUpdate);
+        assert_eq!(
+            h.dma_write(DEV, LineAddr(6), wl(1), true),
+            DmaWriteDest::LlcUpdate
+        );
         assert_eq!(h.stats().device(DEV).dca_updates, 1);
         assert_eq!(h.stats().device(DEV).dca_allocs, 1);
     }

@@ -167,7 +167,12 @@ const INVALID_DATA: DataLine = DataLine {
     in_mlc: false,
     presence: 0,
     lru: 0,
-    meta: LineMeta { owner: WorkloadId(0), io: false, consumed: true, device: None },
+    meta: LineMeta {
+        owner: WorkloadId(0),
+        io: false,
+        consumed: true,
+        device: None,
+    },
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -178,7 +183,12 @@ struct ExtEntry {
     lru: u64,
 }
 
-const INVALID_EXT: ExtEntry = ExtEntry { tag: 0, valid: false, presence: 0, lru: 0 };
+const INVALID_EXT: ExtEntry = ExtEntry {
+    tag: 0,
+    valid: false,
+    presence: 0,
+    lru: 0,
+};
 
 /// The shared last-level cache.
 ///
@@ -257,7 +267,10 @@ impl Llc {
 
     #[inline]
     fn split(&self, addr: LineAddr) -> (usize, u64) {
-        (addr.set_index(self.geometry.sets()), addr.tag(self.geometry.sets()))
+        (
+            addr.set_index(self.geometry.sets()),
+            addr.tag(self.geometry.sets()),
+        )
     }
 
     #[inline]
@@ -419,7 +432,12 @@ impl Llc {
         // Free entry.
         for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
             if !e.valid {
-                *e = ExtEntry { tag, valid: true, presence, lru: tick };
+                *e = ExtEntry {
+                    tag,
+                    valid: true,
+                    presence,
+                    lru: tick,
+                };
                 return None;
             }
         }
@@ -429,8 +447,16 @@ impl Llc {
             .min_by_key(|&i| self.ext[base + i].lru)
             .expect("extended directory has ways");
         let victim = self.ext[base + victim_idx];
-        self.ext[base + victim_idx] = ExtEntry { tag, valid: true, presence, lru: tick };
-        Some(ExtDirEviction { addr: self.addr_of(set, victim.tag), presence: victim.presence })
+        self.ext[base + victim_idx] = ExtEntry {
+            tag,
+            valid: true,
+            presence,
+            lru: tick,
+        };
+        Some(ExtDirEviction {
+            addr: self.addr_of(set, victim.tag),
+            presence: victim.presence,
+        })
     }
 
     /// Offers an MLC-evicted line to the LLC (the victim-cache fill path).
@@ -530,7 +556,12 @@ impl Llc {
         let (set, tag) = self.split(addr);
         self.tick += 1;
         let tick = self.tick;
-        let fresh = LineMeta { owner, io: true, consumed: false, device: Some(device) };
+        let fresh = LineMeta {
+            owner,
+            io: true,
+            consumed: false,
+            device: Some(device),
+        };
 
         if let Some(way) = self.find_way(set, tag) {
             // Write update: the line stays where it is.
@@ -541,7 +572,9 @@ impl Llc {
             line.dirty = true;
             line.meta = fresh;
             line.lru = tick;
-            return DmaWriteResult::Updated { invalidate_presence };
+            return DmaWriteResult::Updated {
+                invalidate_presence,
+            };
         }
 
         // MLC-only copies are snooped out before the allocate.
@@ -566,7 +599,10 @@ impl Llc {
             lru: tick,
             meta: fresh,
         };
-        DmaWriteResult::Allocated { invalidate_presence, evicted }
+        DmaWriteResult::Allocated {
+            invalidate_presence,
+            evicted,
+        }
     }
 
     /// Snoop-invalidates every cached copy of `addr` (the DCA-disabled DMA
@@ -604,7 +640,9 @@ impl Llc {
         let base = set * EXT_DIR_EXCLUSIVE_WAYS;
         for e in &self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
             if e.valid && e.tag == tag {
-                return DmaReadResult::MlcOnly { presence: e.presence };
+                return DmaReadResult::MlcOnly {
+                    presence: e.presence,
+                };
             }
         }
         DmaReadResult::Miss
@@ -651,7 +689,12 @@ impl Llc {
         let (set, tag) = self.split(addr);
         self.find_way(set, tag).map(|way| {
             let l = self.line(set, way);
-            ProbeInfo { way, in_mlc: l.in_mlc, dirty: l.dirty, meta: l.meta }
+            ProbeInfo {
+                way,
+                in_mlc: l.in_mlc,
+                dirty: l.dirty,
+                meta: l.meta,
+            }
         })
     }
 
@@ -737,14 +780,26 @@ mod tests {
         ));
         let res = llc.dma_write(c, wl(0), DEV);
         match res {
-            DmaWriteResult::Allocated { evicted: Some(victim), .. } => {
-                assert!(victim.addr == a || victim.addr == b, "a resident DCA line evicted");
-                assert!(victim.is_dma_leak(), "unconsumed I/O eviction is a DMA leak");
+            DmaWriteResult::Allocated {
+                evicted: Some(victim),
+                ..
+            } => {
+                assert!(
+                    victim.addr == a || victim.addr == b,
+                    "a resident DCA line evicted"
+                );
+                assert!(
+                    victim.is_dma_leak(),
+                    "unconsumed I/O eviction is a DMA leak"
+                );
                 assert!(victim.dirty, "DMA-written lines are modified");
             }
             other => panic!("expected allocation with eviction, got {other:?}"),
         }
-        let survivors = [a, b, c].iter().filter(|&&l| llc.probe(l).is_some()).count();
+        let survivors = [a, b, c]
+            .iter()
+            .filter(|&&l| llc.probe(l).is_some())
+            .count();
         assert_eq!(survivors, 2, "two of three lines fit the two DCA ways");
         let p = llc.probe(c).unwrap();
         assert!(WayMask::DCA.contains_way(p.way));
@@ -762,7 +817,9 @@ mod tests {
         // A second DMA write to the same line updates in place...
         let res = llc.dma_write(LineAddr(5), wl(0), DEV);
         match res {
-            DmaWriteResult::Updated { invalidate_presence } => {
+            DmaWriteResult::Updated {
+                invalidate_presence,
+            } => {
                 assert_eq!(invalidate_presence, 1, "core 0's MLC copy is stale");
             }
             other => panic!("expected update, got {other:?}"),
@@ -778,7 +835,13 @@ mod tests {
         let mut llc = llc();
         llc.dma_write(LineAddr(7), wl(0), DEV);
         match llc.core_read(C0, LineAddr(7)) {
-            LlcReadResult::Hit { migrated, from_dca_way, io_first_consume, evicted, .. } => {
+            LlcReadResult::Hit {
+                migrated,
+                from_dca_way,
+                io_first_consume,
+                evicted,
+                ..
+            } => {
                 assert!(migrated);
                 assert!(from_dca_way);
                 assert!(io_first_consume);
@@ -806,9 +869,20 @@ mod tests {
         // DMA-write + consume a third line in the same set.
         llc.dma_write(LineAddr(0), wl(0), DEV);
         match llc.core_read(C0, LineAddr(0)) {
-            LlcReadResult::Hit { migrated: true, evicted: Some(victim), .. } => {
-                assert_eq!(victim.meta.owner, wl(9), "the oblivious workload lost its line");
-                assert!(victim.addr == v1 || victim.addr == v2, "an inclusive-way victim");
+            LlcReadResult::Hit {
+                migrated: true,
+                evicted: Some(victim),
+                ..
+            } => {
+                assert_eq!(
+                    victim.meta.owner,
+                    wl(9),
+                    "the oblivious workload lost its line"
+                );
+                assert!(
+                    victim.addr == v1 || victim.addr == v2,
+                    "an inclusive-way victim"
+                );
             }
             other => panic!("expected migration with eviction, got {other:?}"),
         }
@@ -821,7 +895,11 @@ mod tests {
         llc.dma_write(LineAddr(3), wl(0), DEV);
         llc.core_read(C0, LineAddr(3));
         match llc.core_read(C1, LineAddr(3)) {
-            LlcReadResult::Hit { migrated, io_first_consume, .. } => {
+            LlcReadResult::Hit {
+                migrated,
+                io_first_consume,
+                ..
+            } => {
                 assert!(!migrated, "already in an inclusive way");
                 assert!(!io_first_consume, "already consumed");
             }
@@ -839,12 +917,24 @@ mod tests {
         llc.core_read(C1, LineAddr(3));
         // First core drops its copy: still shared.
         assert_eq!(
-            llc.mlc_eviction(C0, LineAddr(3), false, LineMeta::io(wl(0), DEV), WayMask::ALL),
+            llc.mlc_eviction(
+                C0,
+                LineAddr(3),
+                false,
+                LineMeta::io(wl(0), DEV),
+                WayMask::ALL
+            ),
             MlcEvictionOutcome::StillShared
         );
         // Second core drops: the line merges into the LLC (stays resident).
         assert_eq!(
-            llc.mlc_eviction(C1, LineAddr(3), true, LineMeta::io(wl(0), DEV), WayMask::ALL),
+            llc.mlc_eviction(
+                C1,
+                LineAddr(3),
+                true,
+                LineMeta::io(wl(0), DEV),
+                WayMask::ALL
+            ),
             MlcEvictionOutcome::MergedIntoLlc
         );
         let p = llc.probe(LineAddr(3)).unwrap();
@@ -880,7 +970,10 @@ mod tests {
         llc.register_mlc_fill(C0, LineAddr(4));
         llc.mlc_eviction(C0, LineAddr(4), false, LineMeta::cpu(wl(0)), left);
         // A core whose CLOS excludes ways 2-3 still hits the line.
-        assert!(matches!(llc.core_read(C1, LineAddr(4)), LlcReadResult::Hit { .. }));
+        assert!(matches!(
+            llc.core_read(C1, LineAddr(4)),
+            LlcReadResult::Hit { .. }
+        ));
     }
 
     #[test]
@@ -890,7 +983,9 @@ mod tests {
         for i in 0..EXT_DIR_EXCLUSIVE_WAYS as u64 {
             assert!(llc.register_mlc_fill(C0, LineAddr(i * 16)).is_none());
         }
-        let forced = llc.register_mlc_fill(C1, LineAddr(160)).expect("dir set is full");
+        let forced = llc
+            .register_mlc_fill(C1, LineAddr(160))
+            .expect("dir set is full");
         assert_eq!(forced.addr, LineAddr(0), "LRU entry evicted");
         assert_eq!(forced.presence, 1);
         assert!(!llc.ext_dir_tracks(LineAddr(0)));
@@ -929,7 +1024,10 @@ mod tests {
         assert_eq!(llc.dma_read(LineAddr(1)), DmaReadResult::LlcHit);
         // MLC only.
         llc.register_mlc_fill(C0, LineAddr(17));
-        assert_eq!(llc.dma_read(LineAddr(17)), DmaReadResult::MlcOnly { presence: 1 });
+        assert_eq!(
+            llc.dma_read(LineAddr(17)),
+            DmaReadResult::MlcOnly { presence: 1 }
+        );
         // Miss: no allocation on the pure-memory path (Kurth et al. [36]).
         assert_eq!(llc.dma_read(LineAddr(33)), DmaReadResult::Miss);
         assert!(llc.probe(LineAddr(33)).is_none());

@@ -38,12 +38,22 @@ pub struct LineMeta {
 impl LineMeta {
     /// Metadata for a line created by a core access.
     pub fn cpu(owner: WorkloadId) -> Self {
-        LineMeta { owner, io: false, consumed: true, device: None }
+        LineMeta {
+            owner,
+            io: false,
+            consumed: true,
+            device: None,
+        }
     }
 
     /// Metadata for a freshly DMA-written I/O line (not yet consumed).
     pub fn io(owner: WorkloadId, device: DeviceId) -> Self {
-        LineMeta { owner, io: true, consumed: false, device: Some(device) }
+        LineMeta {
+            owner,
+            io: true,
+            consumed: false,
+            device: Some(device),
+        }
     }
 }
 

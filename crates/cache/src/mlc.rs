@@ -135,7 +135,13 @@ impl Mlc {
 
         // Free way if any.
         if let Some(line) = set.iter_mut().find(|l| !l.valid) {
-            *line = MlcLine { tag, valid: true, dirty, lru: self.tick, meta };
+            *line = MlcLine {
+                tag,
+                valid: true,
+                dirty,
+                lru: self.tick,
+                meta,
+            };
             self.live += 1;
             return None;
         }
@@ -148,11 +154,21 @@ impl Mlc {
             .map(|(i, _)| i)
             .expect("mlc set has at least one way");
         let victim = set[victim_idx];
-        set[victim_idx] = MlcLine { tag, valid: true, dirty, lru: self.tick, meta };
+        set[victim_idx] = MlcLine {
+            tag,
+            valid: true,
+            dirty,
+            lru: self.tick,
+            meta,
+        };
         let sets = self.geometry.sets();
         let set_index = base / ways;
         let addr = LineAddr((victim.tag << sets.trailing_zeros()) | set_index as u64);
-        Some(EvictedMlcLine { addr, dirty: victim.dirty, meta: victim.meta })
+        Some(EvictedMlcLine {
+            addr,
+            dirty: victim.dirty,
+            meta: victim.meta,
+        })
     }
 
     /// Invalidates a line (back-invalidation or DMA snoop). Returns the
@@ -257,7 +273,7 @@ mod tests {
         let mut mlc = tiny();
         mlc.fill(LineAddr(1), meta(), false);
         assert!(mlc.lookup(LineAddr(1), true));
-        assert_eq!(mlc.invalidate(LineAddr(1)).unwrap().0, true);
+        assert!(mlc.invalidate(LineAddr(1)).unwrap().0);
     }
 
     #[test]

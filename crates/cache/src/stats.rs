@@ -258,7 +258,12 @@ impl HierarchyStats {
                 .zip(&older.workloads)
                 .map(|(n, o)| n.minus(o))
                 .collect(),
-            devices: self.devices.iter().zip(&older.devices).map(|(n, o)| n.minus(o)).collect(),
+            devices: self
+                .devices
+                .iter()
+                .zip(&older.devices)
+                .map(|(n, o)| n.minus(o))
+                .collect(),
         }
     }
 
@@ -347,7 +352,11 @@ mod tests {
     fn out_of_range_ids_saturate() {
         let mut s = HierarchyStats::new();
         s.bump(WorkloadId(9999), |c| c.mlc_hits += 1);
-        assert_eq!(s.workload(WorkloadId(9999)).mlc_hits, 0, "reads clamp to zero view");
+        assert_eq!(
+            s.workload(WorkloadId(9999)).mlc_hits,
+            0,
+            "reads clamp to zero view"
+        );
         assert_eq!(s.total.mlc_hits, 1);
         let d = s.device(DeviceId(200));
         assert_eq!(d.dma_write_lines, 0);

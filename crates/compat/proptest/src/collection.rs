@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::{SampleRange, Strategy, TestRng};
+use std::ops::Range;
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = usize::sample_range(rng, &self.size);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}

@@ -1,0 +1,269 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so this crate provides the slice of
+//! the proptest API this workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map`, range / tuple / `any::<T>()` strategies,
+//! [`collection::vec`], the [`prop_oneof!`] union, and the [`proptest!`]
+//! / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! Semantics are deliberately simpler than real proptest: cases are
+//! generated from a deterministic per-case seed, failures report the
+//! generated inputs but are **not shrunk**, and `prop_assume!` counts the
+//! case as passed rather than retrying. That is enough to preserve the
+//! bug-finding power of the invariant checks while keeping the vendored
+//! code small.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// Deterministic generator handed to [`Strategy::sample`] (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the heavier hierarchy
+        // property tests fast in CI while still exploring broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a property-test module needs, star-importable.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use crate::{ProptestConfig, TestRng};
+
+    /// Namespaced access mirroring proptest's `prop::` module tree
+    /// (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+impl<T: SampleRange> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self)
+    }
+}
+
+/// Numeric types usable as `low..high` range strategies.
+pub trait SampleRange: Copy + Debug + 'static {
+    /// Uniform draw from `range`.
+    fn sample_range(rng: &mut TestRng, range: &Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange for $t {
+            fn sample_range(rng: &mut TestRng, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range strategy");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )+};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item expands to a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::TestRng::new(
+                    0xA4_5EED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let described = ::std::format!(
+                    ::std::concat!($(::std::stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    ::std::panic!(
+                        "property `{}` failed on case {}/{}:\n  {}\n  with {}",
+                        ::std::stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message,
+                        described,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "{} at {}:{}",
+                ::std::format!($($fmt)+),
+                ::std::file!(),
+                ::std::line!(),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pa_left, __pa_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pa_left == *__pa_right,
+            "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}",
+            ::std::stringify!($left),
+            ::std::stringify!($right),
+            __pa_left,
+            __pa_right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pa_left, __pa_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pa_left == *__pa_right,
+            "{} (left: {:?}, right: {:?})",
+            ::std::format!($($fmt)+),
+            __pa_left,
+            __pa_right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pa_left, __pa_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pa_left != *__pa_right,
+            "assertion failed: `{} != {}` (both {:?})",
+            ::std::stringify!($left),
+            ::std::stringify!($right),
+            __pa_left
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (This stand-in counts the case as passed instead of resampling.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -73,8 +73,7 @@ impl LlcPolicy for IsolatePolicy {
         // per workload (CAT exposes 16 CLOSes; CLOS 0 stays permissive
         // for unmanaged cores).
         let ids: Vec<_> = sample.workloads.iter().map(|w| w.id).collect();
-        let core_counts: Vec<usize> =
-            ids.iter().map(|&id| sys.workload_cores(id).len()).collect();
+        let core_counts: Vec<usize> = ids.iter().map(|&id| sys.workload_cores(id).len()).collect();
         let total_cores: usize = core_counts.iter().sum();
         if total_cores == 0 {
             return;
@@ -116,7 +115,11 @@ mod tests {
     struct Dummy;
     impl Workload for Dummy {
         fn info(&self) -> WorkloadInfo {
-            WorkloadInfo { name: "dummy".into(), kind: WorkloadKind::NonIo, device: None }
+            WorkloadInfo {
+                name: "dummy".into(),
+                kind: WorkloadKind::NonIo,
+                device: None,
+            }
         }
         fn step(&mut self, ctx: &mut CoreCtx<'_>) {
             while ctx.has_budget() {
@@ -134,7 +137,10 @@ mod tests {
         sys.run_logical_seconds(1);
         let sample = sys.sample();
         policy.tick(&mut sys, &sample);
-        assert_eq!(sys.hierarchy().clos().mask_for_core(CoreId(0)), WayMask::ALL);
+        assert_eq!(
+            sys.hierarchy().clos().mask_for_core(CoreId(0)),
+            WayMask::ALL
+        );
     }
 
     #[test]
@@ -143,7 +149,9 @@ mod tests {
         let a = sys
             .add_workload(Box::new(Dummy), vec![CoreId(0), CoreId(1)], Priority::High)
             .unwrap();
-        let b = sys.add_workload(Box::new(Dummy), vec![CoreId(2)], Priority::Low).unwrap();
+        let b = sys
+            .add_workload(Box::new(Dummy), vec![CoreId(2)], Priority::Low)
+            .unwrap();
         let mut policy = IsolatePolicy::new();
         sys.run_logical_seconds(1);
         let sample = sys.sample();
@@ -151,7 +159,10 @@ mod tests {
         let mask_a = sys.hierarchy().clos().mask_for_core(CoreId(0));
         let mask_b = sys.hierarchy().clos().mask_for_core(CoreId(2));
         assert!(!mask_a.overlaps(mask_b), "partitions are disjoint");
-        assert!(mask_a.count() > mask_b.count(), "2-core workload gets more ways");
+        assert!(
+            mask_a.count() > mask_b.count(),
+            "2-core workload gets more ways"
+        );
         assert_eq!(sys.hierarchy().clos().mask_for_core(CoreId(1)), mask_a);
         // Idempotent across ticks.
         sys.run_logical_seconds(1);
@@ -166,7 +177,8 @@ mod tests {
         let mut sys = System::new(SystemConfig::small_test());
         // 4 cores available in small_test; 4 single-core workloads.
         for c in 0..4 {
-            sys.add_workload(Box::new(Dummy), vec![CoreId(c)], Priority::Low).unwrap();
+            sys.add_workload(Box::new(Dummy), vec![CoreId(c)], Priority::Low)
+                .unwrap();
         }
         let mut policy = IsolatePolicy::new();
         sys.run_logical_seconds(1);

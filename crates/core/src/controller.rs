@@ -23,9 +23,9 @@ use crate::registry::{AntagonistKind, WorkloadState};
 use crate::thresholds::Thresholds;
 use crate::zones::Zones;
 use crate::LlcPolicy;
-use a4_model::{ClosId, WayMask, WorkloadId, WorkloadKind};
 #[cfg(test)]
 use a4_model::Priority;
+use a4_model::{ClosId, WayMask, WorkloadId, WorkloadKind};
 use a4_sim::{MonitorSample, System};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -62,7 +62,10 @@ pub struct A4Config {
 impl Default for A4Config {
     /// Full A4 (level D) with the simulator-calibrated thresholds.
     fn default() -> Self {
-        A4Config { thresholds: Thresholds::scaled_sim(), level: FeatureLevel::D }
+        A4Config {
+            thresholds: Thresholds::scaled_sim(),
+            level: FeatureLevel::D,
+        }
     }
 }
 
@@ -174,7 +177,9 @@ impl A4Controller {
 
     /// True if the workload is currently flagged as an antagonist.
     pub fn is_antagonist(&self, id: WorkloadId) -> bool {
-        self.registry.get(&id).is_some_and(|w| w.antagonist.is_some())
+        self.registry
+            .get(&id)
+            .is_some_and(|w| w.antagonist.is_some())
     }
 
     fn any_io_hpw(&self) -> bool {
@@ -187,8 +192,12 @@ impl A4Controller {
         let mut changed = false;
         let live: Vec<WorkloadId> = sample.workloads.iter().map(|w| w.id).collect();
         // Terminations.
-        let gone: Vec<WorkloadId> =
-            self.registry.keys().copied().filter(|id| !live.contains(id)).collect();
+        let gone: Vec<WorkloadId> = self
+            .registry
+            .keys()
+            .copied()
+            .filter(|id| !live.contains(id))
+            .collect();
         for id in gone {
             self.registry.remove(&id);
             changed = true;
@@ -221,11 +230,15 @@ impl A4Controller {
             if state.kind != WorkloadKind::StorageIo {
                 continue;
             }
-            let Some(ws) = sample.workload(state.id) else { continue };
+            let Some(ws) = sample.workload(state.id) else {
+                continue;
+            };
             match state.antagonist {
                 None => {
                     let Some(dev) = state.device else { continue };
-                    let Some(ds) = sample.device(dev) else { continue };
+                    let Some(ds) = sample.device(dev) else {
+                        continue;
+                    };
                     let leaking = ds.dca_leak_rate > t.dmalk_dca_ms_thr;
                     let missing = ws.llc_miss_rate > t.dmalk_llc_ms_thr;
                     let dominant = storage_share > t.dmalk_io_tp_thr;
@@ -239,7 +252,10 @@ impl A4Controller {
                         changed = true;
                     }
                 }
-                Some(AntagonistKind::StorageIo { device, io_bytes_at_detection }) => {
+                Some(AntagonistKind::StorageIo {
+                    device,
+                    io_bytes_at_detection,
+                }) => {
                     // Major throughput swing = phase change: restore QoS
                     // and reactivate DCA (§5.6).
                     let base = io_bytes_at_detection as f64;
@@ -263,26 +279,30 @@ impl A4Controller {
         let settled = matches!(self.phase, Phase::Stable { .. });
         let mut changed = false;
         for state in self.registry.values_mut() {
-            let Some(ws) = sample.workload(state.id) else { continue };
+            let Some(ws) = sample.workload(state.id) else {
+                continue;
+            };
             match state.antagonist {
-                None if state.kind == WorkloadKind::NonIo && settled
+                None if state.kind == WorkloadKind::NonIo
+                    && settled
                     && ws.mlc_miss_rate > t.ant_cache_miss_thr
-                        && ws.llc_miss_rate > t.ant_cache_miss_thr
-                        && ws.accesses > 0
-                    => {
-                        state.demote(AntagonistKind::NonIo {
-                            llc_miss_at_detection: ws.llc_miss_rate,
-                        });
-                        changed = true;
-                    }
-                Some(AntagonistKind::NonIo { llc_miss_at_detection }) => {
+                    && ws.llc_miss_rate > t.ant_cache_miss_thr
+                    && ws.accesses > 0 =>
+                {
+                    state.demote(AntagonistKind::NonIo {
+                        llc_miss_at_detection: ws.llc_miss_rate,
+                    });
+                    changed = true;
+                }
+                Some(AntagonistKind::NonIo {
+                    llc_miss_at_detection,
+                }) => {
                     // Restoration needs the workload to have genuinely
                     // become cache-friendly — a mere fluctuation can be
                     // our own confinement perturbing the measurement.
                     let below_threshold =
                         ws.llc_miss_rate < t.ant_cache_miss_thr * (1.0 - t.fluctuation_thr);
-                    if below_threshold && t.fluctuated(llc_miss_at_detection, ws.llc_miss_rate)
-                    {
+                    if below_threshold && t.fluctuated(llc_miss_at_detection, ws.llc_miss_rate) {
                         state.restore();
                         changed = true;
                     }
@@ -313,7 +333,9 @@ impl A4Controller {
             if w.antagonist.is_none() {
                 return true;
             }
-            let Some(ws) = sample.workload(w.id) else { return true };
+            let Some(ws) = sample.workload(w.id) else {
+                return true;
+            };
             let (last_miss, last_io) = w.last_metrics;
             let miss_ok = last_miss == 0.0 || !t.fluctuated(last_miss, ws.llc_miss_rate);
             let io_ok = last_io == 0 || !t.fluctuated(last_io as f64, ws.io_bytes as f64);
@@ -372,7 +394,11 @@ impl A4Controller {
         let _ = sys.cat_set_mask(CLOS_IO_HPW, WayMask::ALL);
         let _ = sys.cat_set_mask(CLOS_HP, self.zones.hp);
         let _ = sys.cat_set_mask(CLOS_LP, lp_mask);
-        let trash = if self.trash.is_empty() { Zones::trash_mask() } else { self.trash };
+        let trash = if self.trash.is_empty() {
+            Zones::trash_mask()
+        } else {
+            self.trash
+        };
         let _ = sys.cat_set_mask(CLOS_TRASH, trash);
         for w in self.registry.values() {
             let clos = if w.antagonist.is_some() && self.cfg.level >= FeatureLevel::D {
@@ -393,8 +419,12 @@ impl A4Controller {
         &self,
         sample: &'a MonitorSample,
     ) -> impl Iterator<Item = (WorkloadId, f64)> + 'a {
-        let hpws: Vec<WorkloadId> =
-            self.registry.values().filter(|w| w.is_hpw()).map(|w| w.id).collect();
+        let hpws: Vec<WorkloadId> = self
+            .registry
+            .values()
+            .filter(|w| w.is_hpw())
+            .map(|w| w.id)
+            .collect();
         sample
             .workloads
             .iter()
@@ -435,14 +465,14 @@ impl LlcPolicy for A4Controller {
             Phase::Initializing => {
                 // This sample reflects the initial partitions: record the
                 // T1 baselines.
-                for (id, hit) in
-                    self.hpw_hit_rates(sample).collect::<Vec<_>>()
-                {
+                for (id, hit) in self.hpw_hit_rates(sample).collect::<Vec<_>>() {
                     if let Some(w) = self.registry.get_mut(&id) {
                         w.baseline_hit_rate = Some(hit);
                     }
                 }
-                self.phase = Phase::Expanding { last_expand: self.tick };
+                self.phase = Phase::Expanding {
+                    last_expand: self.tick,
+                };
             }
             Phase::Expanding { last_expand } => {
                 let dropped = self.hpw_hit_rates(sample).any(|(id, hit)| {
@@ -465,7 +495,9 @@ impl LlcPolicy for A4Controller {
                         Some(grown) => {
                             self.lp = grown;
                             self.masks_dirty = true;
-                            self.phase = Phase::Expanding { last_expand: self.tick };
+                            self.phase = Phase::Expanding {
+                                last_expand: self.tick,
+                            };
                         }
                         None => self.phase = Phase::Stable { since: self.tick },
                     }
@@ -540,13 +572,23 @@ mod tests {
 
     impl Knob {
         fn new(name: &'static str, kind: WorkloadKind, base: LineAddr, ws: u64) -> Self {
-            Knob { name, kind, base, ws, cursor: 0 }
+            Knob {
+                name,
+                kind,
+                base,
+                ws,
+                cursor: 0,
+            }
         }
     }
 
     impl Workload for Knob {
         fn info(&self) -> WorkloadInfo {
-            WorkloadInfo { name: self.name.into(), kind: self.kind, device: None }
+            WorkloadInfo {
+                name: self.name.into(),
+                kind: self.kind,
+                device: None,
+            }
         }
         fn step(&mut self, ctx: &mut CoreCtx<'_>) {
             while ctx.has_budget() {
@@ -597,8 +639,7 @@ mod tests {
                 Priority::Low,
             )
             .unwrap();
-        let mut a4 =
-            A4Controller::new(A4Config::with_level(FeatureLevel::A, Thresholds::paper()));
+        let mut a4 = A4Controller::new(A4Config::with_level(FeatureLevel::A, Thresholds::paper()));
         let initial = Zones::priority_only().lp;
         drive(&mut sys, &mut a4, 12);
         assert!(
@@ -607,7 +648,10 @@ mod tests {
             a4.lp_zone()
         );
         // The LPW's cores sit in the LP CLOS.
-        let mask = sys.hierarchy().clos().mask_for_core(sys.workload_cores(lp)[0]);
+        let mask = sys
+            .hierarchy()
+            .clos()
+            .mask_for_core(sys.workload_cores(lp)[0]);
         assert_eq!(mask, a4.lp_zone());
     }
 
@@ -621,8 +665,7 @@ mod tests {
             Priority::High,
         )
         .unwrap();
-        let mut a4 =
-            A4Controller::new(A4Config::with_level(FeatureLevel::A, Thresholds::paper()));
+        let mut a4 = A4Controller::new(A4Config::with_level(FeatureLevel::A, Thresholds::paper()));
         // No LPWs: the zone grows to its limit, then stabilizes.
         let mut saw_stable = false;
         let mut saw_probe = false;
@@ -660,12 +703,17 @@ mod tests {
                 Priority::High,
             )
             .unwrap();
-        let mut a4 =
-            A4Controller::new(A4Config::with_level(FeatureLevel::B, Thresholds::paper()));
+        let mut a4 = A4Controller::new(A4Config::with_level(FeatureLevel::B, Thresholds::paper()));
         drive(&mut sys, &mut a4, 3);
         // Non-I/O HPW must be excluded from the DCA ways.
-        let mask = sys.hierarchy().clos().mask_for_core(sys.workload_cores(cpu)[0]);
-        assert!(!mask.overlaps(WayMask::DCA), "non-I/O HPW off the DCA ways: {mask}");
+        let mask = sys
+            .hierarchy()
+            .clos()
+            .mask_for_core(sys.workload_cores(cpu)[0]);
+        assert!(
+            !mask.overlaps(WayMask::DCA),
+            "non-I/O HPW off the DCA ways: {mask}"
+        );
         // LP zone limits respect the inclusive ways.
         assert!(!a4.lp_zone().overlaps(WayMask::INCLUSIVE));
     }
@@ -673,7 +721,9 @@ mod tests {
     #[test]
     fn storage_antagonist_gets_dca_disabled_and_demoted() {
         let mut sys = System::new(SystemConfig::small_test());
-        let ssd = sys.attach_nvme(PortId(0), NvmeConfig::raid0_980pro_x4()).unwrap();
+        let ssd = sys
+            .attach_nvme(PortId(0), NvmeConfig::raid0_980pro_x4())
+            .unwrap();
         let mut fio = a4_workloads::Fio::new(ssd, LineAddr(0), 64, 8, 2);
         let buf = sys.alloc_lines(fio.buffer_lines() * 2);
         fio = a4_workloads::Fio::new(ssd, buf, 64, 8, 2);
@@ -682,15 +732,25 @@ mod tests {
             .unwrap();
         let mut a4 = A4Controller::new(A4Config::with_level(
             FeatureLevel::C,
-            Thresholds { dmalk_llc_ms_thr: 0.2, ..Thresholds::paper() },
+            Thresholds {
+                dmalk_llc_ms_thr: 0.2,
+                ..Thresholds::paper()
+            },
         ));
         drive(&mut sys, &mut a4, 8);
         // The 16-set LLC leaks massively: detection must fire.
-        assert!(a4.is_antagonist(fio_id), "FIO must be detected as a storage antagonist");
+        assert!(
+            a4.is_antagonist(fio_id),
+            "FIO must be detected as a storage antagonist"
+        );
         assert!(!sys.dca_enabled(ssd), "the SSD's port lost DCA");
         let state = a4.workload_state(fio_id).unwrap();
         assert_eq!(state.effective_priority, Priority::Low, "demoted to LPW");
-        assert_eq!(state.original_priority, Priority::High, "original QoS remembered");
+        assert_eq!(
+            state.original_priority,
+            Priority::High,
+            "original QoS remembered"
+        );
     }
 
     #[test]
@@ -715,7 +775,10 @@ mod tests {
         .unwrap();
         let mut a4 = A4Controller::new(A4Config::with_level(
             FeatureLevel::D,
-            Thresholds { ant_cache_miss_thr: 0.5, ..Thresholds::paper() },
+            Thresholds {
+                ant_cache_miss_thr: 0.5,
+                ..Thresholds::paper()
+            },
         ));
         for i in 0..30 {
             sys.run_logical_seconds(1);
@@ -724,9 +787,16 @@ mod tests {
             if std::env::var("A4_DBG").is_ok() {
                 let w = sample.workloads.iter().find(|w| w.name == "stream");
                 if let Some(w) = w {
-                    eprintln!("t={} phase={:?} mlc={:.2} llc={:.2} ant={} lp={} trash={}",
-                        i, a4.phase(), w.mlc_miss_rate, w.llc_miss_rate,
-                        a4.is_antagonist(w.id), a4.lp_zone(), a4.trash_mask());
+                    eprintln!(
+                        "t={} phase={:?} mlc={:.2} llc={:.2} ant={} lp={} trash={}",
+                        i,
+                        a4.phase(),
+                        w.mlc_miss_rate,
+                        w.llc_miss_rate,
+                        a4.is_antagonist(w.id),
+                        a4.lp_zone(),
+                        a4.trash_mask()
+                    );
                 }
             }
         }
@@ -737,7 +807,10 @@ mod tests {
             a4.trash_mask()
         );
         // The antagonist's core runs in the trash CLOS.
-        let mask = sys.hierarchy().clos().mask_for_core(sys.workload_cores(ant)[0]);
+        let mask = sys
+            .hierarchy()
+            .clos()
+            .mask_for_core(sys.workload_cores(ant)[0]);
         assert_eq!(mask, a4.trash_mask());
     }
 }

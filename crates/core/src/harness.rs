@@ -18,8 +18,12 @@ pub struct RunReport {
 impl RunReport {
     /// Mean of a per-workload metric over the measurement window.
     pub fn mean_of(&self, id: WorkloadId, f: impl Fn(&a4_sim::WorkloadSample) -> f64) -> f64 {
-        let values: Vec<f64> =
-            self.samples.iter().filter_map(|s| s.workload(id)).map(&f).collect();
+        let values: Vec<f64> = self
+            .samples
+            .iter()
+            .filter_map(|s| s.workload(id))
+            .map(&f)
+            .collect();
         if values.is_empty() {
             0.0
         } else {
@@ -44,17 +48,29 @@ impl RunReport {
 
     /// Total operations completed by a workload across the window.
     pub fn total_ops(&self, id: WorkloadId) -> u64 {
-        self.samples.iter().filter_map(|s| s.workload(id)).map(|w| w.ops).sum()
+        self.samples
+            .iter()
+            .filter_map(|s| s.workload(id))
+            .map(|w| w.ops)
+            .sum()
     }
 
     /// Total I/O bytes of a workload across the window.
     pub fn total_io_bytes(&self, id: WorkloadId) -> u64 {
-        self.samples.iter().filter_map(|s| s.workload(id)).map(|w| w.io_bytes).sum()
+        self.samples
+            .iter()
+            .filter_map(|s| s.workload(id))
+            .map(|w| w.io_bytes)
+            .sum()
     }
 
     /// Total instructions of a workload across the window.
     pub fn total_instructions(&self, id: WorkloadId) -> u64 {
-        self.samples.iter().filter_map(|s| s.workload(id)).map(|w| w.instructions).sum()
+        self.samples
+            .iter()
+            .filter_map(|s| s.workload(id))
+            .map(|w| w.instructions)
+            .sum()
     }
 
     /// Instructions summed over every workload (facade quick check).
@@ -138,7 +154,10 @@ pub struct Harness {
 impl Harness {
     /// Wraps a configured system (workloads and devices already added).
     pub fn new(system: System) -> Self {
-        Harness { system, policy: None }
+        Harness {
+            system,
+            policy: None,
+        }
     }
 
     /// Installs the LLC-management policy (none = uncontrolled hardware
@@ -172,7 +191,10 @@ impl Harness {
             }
         }
         RunReport {
-            policy: self.policy.as_ref().map_or("none".into(), |p| p.name().to_string()),
+            policy: self
+                .policy
+                .as_ref()
+                .map_or("none".into(), |p| p.name().to_string()),
             samples,
         }
     }
@@ -194,7 +216,11 @@ mod tests {
     struct Busy(LineAddr);
     impl Workload for Busy {
         fn info(&self) -> WorkloadInfo {
-            WorkloadInfo { name: "busy".into(), kind: WorkloadKind::NonIo, device: None }
+            WorkloadInfo {
+                name: "busy".into(),
+                kind: WorkloadKind::NonIo,
+                device: None,
+            }
         }
         fn step(&mut self, ctx: &mut CoreCtx<'_>) {
             while ctx.has_budget() {
@@ -209,7 +235,9 @@ mod tests {
     fn warmup_samples_are_discarded() {
         let mut sys = System::new(SystemConfig::small_test());
         let base = sys.alloc_lines(1);
-        let id = sys.add_workload(Box::new(Busy(base)), vec![CoreId(0)], Priority::High).unwrap();
+        let id = sys
+            .add_workload(Box::new(Busy(base)), vec![CoreId(0)], Priority::High)
+            .unwrap();
         let mut h = Harness::new(sys);
         h.attach_policy(Box::new(DefaultPolicy::new()));
         let report = h.run(3, 4);
@@ -239,6 +267,9 @@ mod tests {
         let ghost = a4_model::WorkloadId(42);
         assert_eq!(report.ipc(ghost), 0.0);
         assert_eq!(report.total_ops(ghost), 0);
-        assert_eq!(report.p99_latency_ns(ghost, a4_sim::LatencyKind::NetTotal), 0);
+        assert_eq!(
+            report.p99_latency_ns(ghost, a4_sim::LatencyKind::NetTotal),
+            0
+        );
     }
 }

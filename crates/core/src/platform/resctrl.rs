@@ -79,7 +79,9 @@ impl FsWrite for MemFs {
             .lock()
             .get(path)
             .cloned()
-            .ok_or_else(|| A4Error::Platform { what: format!("no such path: {path}") })
+            .ok_or_else(|| A4Error::Platform {
+                what: format!("no such path: {path}"),
+            })
     }
 }
 
@@ -123,7 +125,12 @@ impl<F: FsWrite> ResctrlBackend<F> {
     /// Registers a root port's PCI config path (e.g.
     /// `/sys/bus/pci/devices/0000:17:00.0/config`) and the device behind
     /// it.
-    pub fn register_port(&mut self, port: PortId, device: DeviceId, config_path: impl Into<String>) {
+    pub fn register_port(
+        &mut self,
+        port: PortId,
+        device: DeviceId,
+        config_path: impl Into<String>,
+    ) {
         self.port_paths.insert(port, config_path.into());
         self.device_ports.insert(device, port);
     }
@@ -150,8 +157,11 @@ impl<F: FsWrite> ResctrlBackend<F> {
     /// Propagates sink failures.
     pub fn assign_cores(&self, clos: ClosId, cores: &[CoreId]) -> Result<()> {
         let path = format!("{}/cpus_list", self.group_dir(clos));
-        let list =
-            cores.iter().map(|c| c.0.to_string()).collect::<Vec<_>>().join(",");
+        let list = cores
+            .iter()
+            .map(|c| c.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         self.fs.write(&path, &format!("{list}\n"))
     }
 
@@ -163,15 +173,21 @@ impl<F: FsWrite> ResctrlBackend<F> {
     /// Returns [`A4Error::InvalidDevice`] for unregistered devices and
     /// propagates sink failures.
     pub fn set_device_dca(&self, device: DeviceId, enable: bool) -> Result<()> {
-        let port =
-            self.device_ports.get(&device).ok_or(A4Error::InvalidDevice { device: device.0 })?;
+        let port = self
+            .device_ports
+            .get(&device)
+            .ok_or(A4Error::InvalidDevice { device: device.0 })?;
         let path = self
             .port_paths
             .get(port)
             .ok_or(A4Error::InvalidDevice { device: device.0 })?;
         let current = self.fs.read(path).unwrap_or_else(|_| "0x80".into());
-        let raw = u64::from_str_radix(current.trim().trim_start_matches("0x"), 16)
-            .map_err(|e| A4Error::Platform { what: format!("bad register value: {e}") })?;
+        let raw =
+            u64::from_str_radix(current.trim().trim_start_matches("0x"), 16).map_err(|e| {
+                A4Error::Platform {
+                    what: format!("bad register value: {e}"),
+                }
+            })?;
         let mut reg = PerfCtrlSts::from_raw(raw);
         if enable {
             reg.enable_dca();
@@ -192,16 +208,24 @@ mod tests {
         let backend = ResctrlBackend::new(fs.clone(), "/r");
         backend.set_clos_mask(ClosId(1), WayMask::DCA).unwrap();
         // Ways [0:1] = 0x600 in Intel's encoding.
-        assert_eq!(fs.get("/r/a4_clos1/schemata").as_deref(), Some("L3:0=600\n"));
+        assert_eq!(
+            fs.get("/r/a4_clos1/schemata").as_deref(),
+            Some("L3:0=600\n")
+        );
         backend.set_clos_mask(ClosId(1), WayMask::ALL).unwrap();
-        assert_eq!(fs.get("/r/a4_clos1/schemata").as_deref(), Some("L3:0=7ff\n"));
+        assert_eq!(
+            fs.get("/r/a4_clos1/schemata").as_deref(),
+            Some("L3:0=7ff\n")
+        );
     }
 
     #[test]
     fn cpus_list_format() {
         let fs = MemFs::new();
         let backend = ResctrlBackend::new(fs.clone(), "/r");
-        backend.assign_cores(ClosId(3), &[CoreId(2), CoreId(5), CoreId(9)]).unwrap();
+        backend
+            .assign_cores(ClosId(3), &[CoreId(2), CoreId(5), CoreId(9)])
+            .unwrap();
         assert_eq!(fs.get("/r/a4_clos3/cpus_list").as_deref(), Some("2,5,9\n"));
     }
 
@@ -213,16 +237,24 @@ mod tests {
         // Seed a register with unrelated bits set.
         fs.seed("/pci/port2/config", "0xff80");
         backend.set_device_dca(DeviceId(1), false).unwrap();
-        let raw =
-            u64::from_str_radix(fs.get("/pci/port2/config").unwrap().trim_start_matches("0x"), 16)
-                .unwrap();
+        let raw = u64::from_str_radix(
+            fs.get("/pci/port2/config")
+                .unwrap()
+                .trim_start_matches("0x"),
+            16,
+        )
+        .unwrap();
         let reg = PerfCtrlSts::from_raw(raw);
         assert!(!reg.dca_enabled());
         assert_eq!(raw & 0xff00, 0xff00, "unrelated bits preserved");
         backend.set_device_dca(DeviceId(1), true).unwrap();
-        let raw =
-            u64::from_str_radix(fs.get("/pci/port2/config").unwrap().trim_start_matches("0x"), 16)
-                .unwrap();
+        let raw = u64::from_str_radix(
+            fs.get("/pci/port2/config")
+                .unwrap()
+                .trim_start_matches("0x"),
+            16,
+        )
+        .unwrap();
         assert!(PerfCtrlSts::from_raw(raw).dca_enabled());
     }
 

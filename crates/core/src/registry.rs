@@ -108,7 +108,10 @@ mod tests {
         );
         assert!(w.is_hpw());
         assert!(w.is_io_hpw());
-        w.demote(AntagonistKind::StorageIo { device: DeviceId(1), io_bytes_at_detection: 500 });
+        w.demote(AntagonistKind::StorageIo {
+            device: DeviceId(1),
+            io_bytes_at_detection: 500,
+        });
         assert!(!w.is_hpw());
         assert!(w.antagonist.is_some());
         w.restore();

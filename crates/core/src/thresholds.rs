@@ -71,7 +71,10 @@ impl Thresholds {
     /// logic, slightly laxer antagonist floor because the scaled LLC's
     /// shorter reuse distances soften extreme miss rates.
     pub fn scaled_sim() -> Self {
-        Thresholds { ant_cache_miss_thr: 0.60, ..Self::paper() }
+        Thresholds {
+            ant_cache_miss_thr: 0.60,
+            ..Self::paper()
+        }
     }
 
     /// True if `current` has dropped more than T1 relative to `baseline`.

@@ -104,7 +104,10 @@ impl Zones {
         assert!(self.lp.is_contiguous(), "lp zone must be contiguous");
         if let Some(dca) = self.dca {
             assert!(!dca.overlaps(self.lp), "lp zone may not enter the DCA zone");
-            assert!(!self.lp.overlaps(WayMask::INCLUSIVE), "lp zone off the inclusive ways");
+            assert!(
+                !self.lp.overlaps(WayMask::INCLUSIVE),
+                "lp zone off the inclusive ways"
+            );
             assert!(!dca.overlaps(self.hp), "non-I/O HP zone excludes DCA ways");
         }
         assert!(self.lp_limit_way < LLC_WAYS);

@@ -31,9 +31,17 @@ fn main() {
     let all = figures.is_empty();
     let wants = |name: &str| all || figures.contains(&name);
 
-    let opts = if quick { RunOpts::quick() } else { RunOpts::paper() };
+    let opts = if quick {
+        RunOpts::quick()
+    } else {
+        RunOpts::paper()
+    };
     let ctl_opts = if quick {
-        RunOpts { warmup: 12, measure: 4, ..RunOpts::quick() }
+        RunOpts {
+            warmup: 12,
+            measure: 4,
+            ..RunOpts::quick()
+        }
     } else {
         RunOpts::controller()
     };

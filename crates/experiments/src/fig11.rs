@@ -39,8 +39,8 @@ pub fn run_mix(
     let mut sys = scenario::base_system(opts);
     let nic = scenario::attach_nic(&mut sys, 4, packet_bytes).expect("port free");
     let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
+    let dpdk =
+        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
     let blk = scenario::block_lines(&sys, block_kib);
     let fio =
         scenario::add_fio(&mut sys, ssd, blk, &[4, 5, 6, 7], Priority::Low).expect("cores free");
@@ -50,7 +50,16 @@ pub fn run_mix(
     let mut harness = Harness::new(sys);
     harness.attach_policy(scheme.policy());
     let report = harness.run(opts.warmup, opts.measure);
-    (report, MixIds { dpdk, fio, xmem1, xmem2, xmem3 })
+    (
+        report,
+        MixIds {
+            dpdk,
+            fio,
+            xmem1,
+            xmem2,
+            xmem3,
+        },
+    )
 }
 
 /// Runs the full figure: per packet size, per scheme, IPC and LLC hit
@@ -63,8 +72,11 @@ pub fn run(opts: &RunOpts) -> Table {
             columns.push(format!("{}_{}_hit", scheme.label(), xm));
         }
     }
-    let mut table =
-        Table::new("fig11", "X-Mem IPC and LLC hit rates vs packet size", columns);
+    let mut table = Table::new(
+        "fig11",
+        "X-Mem IPC and LLC hit rates vs packet size",
+        columns,
+    );
     for pkt in PACKET_BYTES {
         let mut row = Vec::new();
         for scheme in Scheme::main_three() {
@@ -86,7 +98,11 @@ mod tests {
 
     #[test]
     fn a4_protects_the_hpw_xmem() {
-        let opts = RunOpts { warmup: 12, measure: 4, seed: 0xA4 };
+        let opts = RunOpts {
+            warmup: 12,
+            measure: 4,
+            seed: 0xA4,
+        };
         let (default_report, ids_d) = run_mix(&opts, Scheme::Default, 1024, 2048);
         let (a4_report, ids_a) = run_mix(&opts, Scheme::A4(FeatureLevel::D), 1024, 2048);
         let ipc_default = default_report.ipc(ids_d.xmem1);

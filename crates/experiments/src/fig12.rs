@@ -21,8 +21,7 @@ pub fn run(opts: &RunOpts) -> Table {
         columns.push(format!("{}_tl_us", scheme.label()));
         columns.push(format!("{}_rx_gbps", scheme.label()));
     }
-    let mut table =
-        Table::new("fig12", "network metrics vs storage block size", columns);
+    let mut table = Table::new("fig12", "network metrics vs storage block size", columns);
     for kib in BLOCK_KIB {
         let mut row = Vec::new();
         for scheme in Scheme::main_three() {
@@ -45,11 +44,14 @@ mod tests {
 
     #[test]
     fn a4_beats_default_at_large_blocks() {
-        let opts = RunOpts { warmup: 12, measure: 4, seed: 0xA4 };
+        let opts = RunOpts {
+            warmup: 12,
+            measure: 4,
+            seed: 0xA4,
+        };
         let (default_report, ids_d) = run_mix(&opts, Scheme::Default, 1514, 2048);
         let (a4_report, ids_a) = run_mix(&opts, Scheme::A4(FeatureLevel::D), 1514, 2048);
-        let al_default =
-            default_report.mean_latency_ns(ids_d.dpdk, LatencyKind::NetTotal) / 1000.0;
+        let al_default = default_report.mean_latency_ns(ids_d.dpdk, LatencyKind::NetTotal) / 1000.0;
         let al_a4 = a4_report.mean_latency_ns(ids_a.dpdk, LatencyKind::NetTotal) / 1000.0;
         assert!(
             al_a4 < al_default,

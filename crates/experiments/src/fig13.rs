@@ -40,10 +40,10 @@ pub fn run_mix(opts: &RunOpts, scheme: Scheme, hpw_heavy: bool) -> (RunReport, V
     let ssd = scenario::attach_ssd(&mut sys).expect("port free");
     let mut entries = Vec::new();
     let add = |name: &'static str,
-                   id: a4_model::Result<WorkloadId>,
-                   priority: Priority,
-                   tp: bool,
-                   entries: &mut Vec<MixEntry>| {
+               id: a4_model::Result<WorkloadId>,
+               priority: Priority,
+               tp: bool,
+               entries: &mut Vec<MixEntry>| {
         entries.push(MixEntry {
             name,
             id: id.expect("scenario cores are laid out statically"),
@@ -128,8 +128,10 @@ pub fn run(opts: &RunOpts, hpw_heavy: bool) -> Table {
     } else {
         ("fig13b", "LPW-heavy colocation (4 HPW + 8 LPW)")
     };
-    let mut columns: Vec<String> =
-        Scheme::all_six().iter().map(|s| format!("perf_{}", s.label())).collect();
+    let mut columns: Vec<String> = Scheme::all_six()
+        .iter()
+        .map(|s| format!("perf_{}", s.label()))
+        .collect();
     columns.push("llc_hit_A4-d".into());
     let mut table = Table::new(id, title, columns);
 
@@ -192,15 +194,25 @@ mod tests {
         let opts = RunOpts::quick();
         let (_, hpw) = run_mix(&opts, Scheme::Default, true);
         assert_eq!(hpw.len(), 11);
-        assert_eq!(hpw.iter().filter(|e| e.priority == Priority::High).count(), 7);
+        assert_eq!(
+            hpw.iter().filter(|e| e.priority == Priority::High).count(),
+            7
+        );
         let (_, lpw) = run_mix(&opts, Scheme::Default, false);
         assert_eq!(lpw.len(), 12);
-        assert_eq!(lpw.iter().filter(|e| e.priority == Priority::High).count(), 4);
+        assert_eq!(
+            lpw.iter().filter(|e| e.priority == Priority::High).count(),
+            4
+        );
     }
 
     #[test]
     fn a4d_beats_default_for_hpws() {
-        let opts = RunOpts { warmup: 16, measure: 6, seed: 0xA4 };
+        let opts = RunOpts {
+            warmup: 16,
+            measure: 6,
+            seed: 0xA4,
+        };
         let (default_report, entries) = run_mix(&opts, Scheme::Default, true);
         let (a4_report, a4_entries) = run_mix(&opts, Scheme::A4(FeatureLevel::D), true);
         let mut gain = 0.0;
@@ -212,6 +224,9 @@ mod tests {
             }
         }
         let avg = gain / count as f64;
-        assert!(avg > 1.0, "A4-d must improve HPWs on average, got {avg:.3}x");
+        assert!(
+            avg > 1.0,
+            "A4-d must improve HPWs on average, got {avg:.3}x"
+        );
     }
 }

@@ -31,14 +31,22 @@ pub fn run_mix(opts: &RunOpts, scheme: Scheme) -> (RunReport, Fig14Ids) {
     let mut sys = scenario::base_system(opts);
     let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
     let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let fastclick = scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
-    let ffsb = scenario::add_ffsb_heavy(&mut sys, ssd, &[4, 5, 6], Priority::High)
-        .expect("cores free");
+    let fastclick =
+        scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], Priority::High).expect("cores free");
+    let ffsb =
+        scenario::add_ffsb_heavy(&mut sys, ssd, &[4, 5, 6], Priority::High).expect("cores free");
     let mut harness = Harness::new(sys);
     harness.attach_policy(scheme.policy());
     let report = harness.run(opts.warmup, opts.measure);
-    (report, Fig14Ids { fastclick, ffsb, nic, ssd })
+    (
+        report,
+        Fig14Ids {
+            fastclick,
+            ffsb,
+            nic,
+            ssd,
+        },
+    )
 }
 
 /// Runs all four panels; returns `[fig14a, fig14b, fig14c, fig14d]`.
@@ -68,7 +76,11 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
         let us = |kind| report.mean_latency_ns(ids.fastclick, kind) / 1000.0;
         a.push(
             scheme.label(),
-            [us(LatencyKind::NetQueue), us(LatencyKind::NetPointer), us(LatencyKind::NetProcess)],
+            [
+                us(LatencyKind::NetQueue),
+                us(LatencyKind::NetPointer),
+                us(LatencyKind::NetProcess),
+            ],
         );
         let sus = |kind| report.mean_latency_ns(ids.ffsb, kind) / 1000.0;
         b.push(
@@ -82,13 +94,24 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
         let secs = report.samples.len() as f64 * 1e-3;
         let gbps = |bytes: u64| bytes as f64 / secs / 1e9;
         let fc_rx = gbps(report.total_io_bytes(ids.fastclick));
-        let dev_rd: u64 =
-            report.samples.iter().filter_map(|s| s.device(ids.nic)).map(|d| d.dma_read_bytes).sum();
+        let dev_rd: u64 = report
+            .samples
+            .iter()
+            .filter_map(|s| s.device(ids.nic))
+            .map(|d| d.dma_read_bytes)
+            .sum();
         let ffsb_rd = gbps(report.total_io_bytes(ids.ffsb));
-        let ssd_rd: u64 =
-            report.samples.iter().filter_map(|s| s.device(ids.ssd)).map(|d| d.dma_read_bytes).sum();
+        let ssd_rd: u64 = report
+            .samples
+            .iter()
+            .filter_map(|s| s.device(ids.ssd))
+            .map(|d| d.dma_read_bytes)
+            .sum();
         c.push(scheme.label(), [fc_rx, gbps(dev_rd), ffsb_rd, gbps(ssd_rd)]);
-        d.push(scheme.label(), [report.mem_read_gbps(), report.mem_write_gbps()]);
+        d.push(
+            scheme.label(),
+            [report.mem_read_gbps(), report.mem_write_gbps()],
+        );
     }
     vec![a, b, c, d]
 }
@@ -100,8 +123,12 @@ mod tests {
 
     #[test]
     fn a4d_reduces_fastclick_latency_components() {
-        let opts = RunOpts { warmup: 16, measure: 6, seed: 0xA4 };
-        let (df, ids_df) = run_mix(&opts, Scheme::Default, );
+        let opts = RunOpts {
+            warmup: 16,
+            measure: 6,
+            seed: 0xA4,
+        };
+        let (df, ids_df) = run_mix(&opts, Scheme::Default);
         let (a4, ids_a4) = run_mix(&opts, Scheme::A4(FeatureLevel::D));
         let total = |r: &RunReport, id| r.mean_latency_ns(id, LatencyKind::NetTotal);
         assert!(
@@ -114,7 +141,11 @@ mod tests {
     fn ffsb_throughput_survives_a4() {
         // The paper: FFSB-H latency/throughput largely unchanged — it is
         // insensitive to DCA and LLC capacity.
-        let opts = RunOpts { warmup: 16, measure: 6, seed: 0xA4 };
+        let opts = RunOpts {
+            warmup: 16,
+            measure: 6,
+            seed: 0xA4,
+        };
         let (df, ids_df) = run_mix(&opts, Scheme::Default);
         let (a4, ids_a4) = run_mix(&opts, Scheme::A4(FeatureLevel::D));
         let tp_df = df.total_io_bytes(ids_df.ffsb) as f64;

@@ -31,7 +31,11 @@ pub fn run_point(opts: &RunOpts, thresholds: Thresholds) -> (f64, f64, f64) {
         sums[2] += rel;
         counts[2] += 1;
     }
-    (sums[0] / counts[0] as f64, sums[1] / counts[1] as f64, sums[2] / counts[2] as f64)
+    (
+        sums[0] / counts[0] as f64,
+        sums[1] / counts[1] as f64,
+        sums[2] / counts[2] as f64,
+    )
 }
 
 fn run_mix_with_thresholds(
@@ -39,7 +43,15 @@ fn run_mix_with_thresholds(
     thresholds: Thresholds,
 ) -> (a4_core::RunReport, Vec<crate::fig13::MixEntry>) {
     // Same population as fig13 HPW-heavy, but with a parameterized A4.
-    let (_, entries) = run_mix(&RunOpts { warmup: 0, measure: 0, ..*opts }, Scheme::Default, true);
+    let (_, entries) = run_mix(
+        &RunOpts {
+            warmup: 0,
+            measure: 0,
+            ..*opts
+        },
+        Scheme::Default,
+        true,
+    );
     let mut sys = crate::scenario::base_system(opts);
     let nic = crate::scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
     let ssd = crate::scenario::attach_ssd(&mut sys).expect("port free");
@@ -85,7 +97,11 @@ pub fn run_a(opts: &RunOpts) -> Table {
     let base = Thresholds::scaled_sim();
     for t1 in [0.10, 0.20, 0.30] {
         for t5 in [0.80, 0.60, 0.45] {
-            let t = Thresholds { hpw_llc_hit_thr: t1, ant_cache_miss_thr: t5, ..base };
+            let t = Thresholds {
+                hpw_llc_hit_thr: t1,
+                ant_cache_miss_thr: t5,
+                ..base
+            };
             let (hp, lp, all) = run_point(opts, t);
             table.push(format!("T1={t1:.2} T5={t5:.2}"), [hp, lp, all]);
         }
@@ -128,10 +144,17 @@ pub fn run_c(opts: &RunOpts) -> Table {
         ["avg_hp", "avg_lp", "avg_all"],
     );
     let base = Thresholds::scaled_sim();
-    for (label, interval) in
-        [("1s", 1), ("5s", 5), ("10s", 10), ("20s", 20), ("oracle", u64::MAX / 2)]
-    {
-        let t = Thresholds { stable_interval: interval, ..base };
+    for (label, interval) in [
+        ("1s", 1),
+        ("5s", 5),
+        ("10s", 10),
+        ("20s", 20),
+        ("oracle", u64::MAX / 2),
+    ] {
+        let t = Thresholds {
+            stable_interval: interval,
+            ..base
+        };
         let (hp, lp, all) = run_point(opts, t);
         table.push(label, [hp, lp, all]);
     }
@@ -144,9 +167,19 @@ mod tests {
 
     #[test]
     fn lower_t1_favours_hpws() {
-        let opts = RunOpts { warmup: 14, measure: 5, seed: 0xA4 };
-        let tight = Thresholds { hpw_llc_hit_thr: 0.05, ..Thresholds::scaled_sim() };
-        let loose = Thresholds { hpw_llc_hit_thr: 0.50, ..Thresholds::scaled_sim() };
+        let opts = RunOpts {
+            warmup: 14,
+            measure: 5,
+            seed: 0xA4,
+        };
+        let tight = Thresholds {
+            hpw_llc_hit_thr: 0.05,
+            ..Thresholds::scaled_sim()
+        };
+        let loose = Thresholds {
+            hpw_llc_hit_thr: 0.50,
+            ..Thresholds::scaled_sim()
+        };
         let (hp_tight, ..) = run_point(&opts, tight);
         let (hp_loose, ..) = run_point(&opts, loose);
         // A lower T1 constrains the LP zone, protecting HPWs (§5.7).

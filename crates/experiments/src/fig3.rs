@@ -19,7 +19,9 @@ use a4_model::{ClosId, Priority, WayMask};
 
 /// The ten swept X-Mem masks `[m:m+1]`.
 pub fn sweep_masks() -> Vec<WayMask> {
-    (0..=9).map(|m| WayMask::from_paper_range(m, m + 1).expect("within 11 ways")).collect()
+    (0..=9)
+        .map(|m| WayMask::from_paper_range(m, m + 1).expect("within 11 ways"))
+        .collect()
 }
 
 /// Runs one sweep point and returns
@@ -34,9 +36,11 @@ fn run_point(opts: &RunOpts, touch: bool, xmem_mask: WayMask) -> (f64, f64, f64,
     // Static CAT allocation as in the paper: DPDK at [5:6], X-Mem swept.
     sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static"))
         .expect("valid clos");
-    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+    sys.cat_assign_workload(dpdk, ClosId(1))
+        .expect("registered");
     sys.cat_set_mask(ClosId(2), xmem_mask).expect("valid clos");
-    sys.cat_assign_workload(xmem, ClosId(2)).expect("registered");
+    sys.cat_assign_workload(xmem, ClosId(2))
+        .expect("registered");
 
     let mut harness = Harness::new(sys);
     let report = harness.run(opts.warmup, opts.measure);
@@ -56,8 +60,11 @@ pub fn run(opts: &RunOpts, touch: bool) -> Table {
     } else {
         ("fig3a", "DPDK-NT (non-touching) vs X-Mem way sweep")
     };
-    let mut table =
-        Table::new(id, title, ["xmem_miss", "dpdk_miss", "mem_rd_gbps", "mem_wr_gbps"]);
+    let mut table = Table::new(
+        id,
+        title,
+        ["xmem_miss", "dpdk_miss", "mem_rd_gbps", "mem_wr_gbps"],
+    );
     for mask in sweep_masks() {
         let (xm, dm, rd, wr) = run_point(opts, touch, mask);
         table.push(mask.to_string(), [xm, dm, rd, wr]);

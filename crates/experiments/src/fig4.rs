@@ -26,11 +26,12 @@ pub fn placements() -> Vec<WayMask> {
 pub fn run_point(opts: &RunOpts, dca_on: bool, xmem_mask: Option<WayMask>) -> (f64, f64) {
     let mut sys = scenario::base_system(opts);
     let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
+    let dpdk =
+        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
     sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static"))
         .expect("valid");
-    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+    sys.cat_assign_workload(dpdk, ClosId(1))
+        .expect("registered");
 
     let xmem = match xmem_mask {
         Some(mask) => {
@@ -61,7 +62,8 @@ pub fn run(opts: &RunOpts) -> Table {
     {
         let mut sys = scenario::base_system(opts);
         let xm = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores");
-        sys.cat_set_mask(ClosId(2), WayMask::INCLUSIVE).expect("valid");
+        sys.cat_set_mask(ClosId(2), WayMask::INCLUSIVE)
+            .expect("valid");
         sys.cat_assign_workload(xm, ClosId(2)).expect("registered");
         let mut harness = Harness::new(sys);
         let report = harness.run(opts.warmup, opts.measure);

@@ -18,8 +18,8 @@ pub fn run_point(opts: &RunOpts, block_kib: u64, dca_on: bool) -> (f64, f64) {
     let mut sys = scenario::base_system(opts);
     let ssd = scenario::attach_ssd(&mut sys).expect("port free");
     let lines = scenario::block_lines(&sys, block_kib);
-    let fio = scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low)
-        .expect("cores free");
+    let fio =
+        scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low).expect("cores free");
     sys.set_device_dca(ssd, dca_on).expect("attached");
     let mut harness = Harness::new(sys);
     let report = harness.run(opts.warmup, opts.measure);
@@ -66,7 +66,10 @@ mod tests {
         // cores consume them, so memory reads stay substantial.
         let (tp, mem_rd) = run_point(&opts, 1024, true);
         assert!(tp > 0.0);
-        assert!(mem_rd > 0.1 * tp, "DMA leak refetches from memory: tp={tp:.2} rd={mem_rd:.2}");
+        assert!(
+            mem_rd > 0.1 * tp,
+            "DMA leak refetches from memory: tp={tp:.2} rd={mem_rd:.2}"
+        );
     }
 
     #[test]

@@ -20,11 +20,12 @@ pub const BLOCK_KIB: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
 pub fn run_point(opts: &RunOpts, block_kib: Option<u64>, dca_on: bool) -> (f64, f64, f64) {
     let mut sys = scenario::base_system(opts);
     let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
+    let dpdk =
+        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
     sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static"))
         .expect("valid");
-    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+    sys.cat_assign_workload(dpdk, ClosId(1))
+        .expect("registered");
 
     let fio = block_kib.map(|kib| {
         let ssd = scenario::attach_ssd(&mut sys).expect("port free");
@@ -52,15 +53,28 @@ pub fn run(opts: &RunOpts) -> Table {
     let mut table = Table::new(
         "fig6",
         "impact of FIO on DPDK-T latency vs storage block size",
-        ["al_on_us", "tl_on_us", "tp_on", "al_off_us", "tl_off_us", "tp_off"],
+        [
+            "al_on_us",
+            "tl_on_us",
+            "tp_on",
+            "al_off_us",
+            "tl_off_us",
+            "tp_off",
+        ],
     );
     let (solo_al_on, solo_tl_on, _) = run_point(opts, None, true);
     let (solo_al_off, solo_tl_off, _) = run_point(opts, None, false);
-    table.push("solo", [solo_al_on, solo_tl_on, 0.0, solo_al_off, solo_tl_off, 0.0]);
+    table.push(
+        "solo",
+        [solo_al_on, solo_tl_on, 0.0, solo_al_off, solo_tl_off, 0.0],
+    );
     for kib in BLOCK_KIB {
         let (al_on, tl_on, tp_on) = run_point(opts, Some(kib), true);
         let (al_off, tl_off, tp_off) = run_point(opts, Some(kib), false);
-        table.push(format!("{kib}KB"), [al_on, tl_on, tp_on, al_off, tl_off, tp_off]);
+        table.push(
+            format!("{kib}KB"),
+            [al_on, tl_on, tp_on, al_off, tl_off, tp_off],
+        );
     }
     table
 }
@@ -85,6 +99,9 @@ mod tests {
         let opts = RunOpts::quick();
         let (al_on, ..) = run_point(&opts, None, true);
         let (al_off, ..) = run_point(&opts, None, false);
-        assert!(al_off > al_on, "solo DPDK-T: dca-off {al_off:.1}us vs on {al_on:.1}us");
+        assert!(
+            al_off > al_on,
+            "solo DPDK-T: dca-off {al_off:.1}us vs on {al_on:.1}us"
+        );
     }
 }

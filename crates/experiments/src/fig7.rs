@@ -66,16 +66,19 @@ pub fn strategies() -> Vec<Strategy> {
 pub fn run_point(opts: &RunOpts, strategy: Strategy) -> (f64, f64, f64, f64) {
     let mut sys = scenario::base_system(opts);
     let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
-    sys.cat_set_mask(ClosId(1), strategy.mask()).expect("valid mask");
-    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
+    let dpdk =
+        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
+    sys.cat_set_mask(ClosId(1), strategy.mask())
+        .expect("valid mask");
+    sys.cat_assign_workload(dpdk, ClosId(1))
+        .expect("registered");
     // Background pressure on the standard ways so conflict misses matter
     // (the paper keeps the co-runners of §3 present).
     let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::Low).expect("cores free");
     sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(7, 8).expect("static"))
         .expect("valid");
-    sys.cat_assign_workload(xmem, ClosId(2)).expect("registered");
+    sys.cat_assign_workload(xmem, ClosId(2))
+        .expect("registered");
 
     let mut harness = Harness::new(sys);
     let report = harness.run(opts.warmup, opts.measure);
@@ -107,8 +110,14 @@ mod tests {
 
     #[test]
     fn masks_match_fig_7a() {
-        assert_eq!(Strategy::Exclude(2).mask(), WayMask::from_paper_range(7, 8).unwrap());
-        assert_eq!(Strategy::Overlap(4).mask(), WayMask::from_paper_range(7, 10).unwrap());
+        assert_eq!(
+            Strategy::Exclude(2).mask(),
+            WayMask::from_paper_range(7, 8).unwrap()
+        );
+        assert_eq!(
+            Strategy::Overlap(4).mask(),
+            WayMask::from_paper_range(7, 10).unwrap()
+        );
         assert_eq!(Strategy::Overlap(2).mask(), WayMask::INCLUSIVE);
         assert_eq!(Strategy::Exclude(2).label(), "2E");
         assert_eq!(Strategy::Overlap(8).label(), "8O");
@@ -137,6 +146,9 @@ mod tests {
         );
         // More effective ways monotonically help.
         let (al_wide, ..) = run_point(&opts, Strategy::Overlap(6));
-        assert!(al_wide < al_overlap, "6O {al_wide:.1}us beats 4O {al_overlap:.1}us");
+        assert!(
+            al_wide < al_overlap,
+            "6O {al_wide:.1}us beats 4O {al_overlap:.1}us"
+        );
     }
 }

@@ -21,14 +21,17 @@ pub fn run_point_8a(opts: &RunOpts, block_kib: u64, ssd_dca: bool) -> (f64, f64,
     let mut sys = scenario::base_system(opts);
     let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
     let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
+    let dpdk =
+        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
     let lines = scenario::block_lines(&sys, block_kib);
-    let fio = scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low)
-        .expect("cores free");
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static")).expect("ok");
-    sys.cat_assign_workload(dpdk, ClosId(1)).expect("registered");
-    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static")).expect("ok");
+    let fio =
+        scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low).expect("cores free");
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static"))
+        .expect("ok");
+    sys.cat_assign_workload(dpdk, ClosId(1))
+        .expect("registered");
+    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static"))
+        .expect("ok");
     sys.cat_assign_workload(fio, ClosId(2)).expect("registered");
     // The hidden knob: NIC keeps DCA, only the SSD's port is toggled.
     sys.set_device_dca(ssd, ssd_dca).expect("attached");
@@ -49,21 +52,29 @@ pub fn run_point_8b(opts: &RunOpts, fio_last_way: usize) -> (f64, f64) {
     let mut sys = scenario::base_system(opts);
     let ssd = scenario::attach_ssd(&mut sys).expect("port free");
     let lines = scenario::block_lines(&sys, 2048);
-    let fio = scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low)
-        .expect("cores free");
+    let fio =
+        scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low).expect("cores free");
     let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores free");
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(2, fio_last_way).expect("valid"))
-        .expect("ok");
+    sys.cat_set_mask(
+        ClosId(1),
+        WayMask::from_paper_range(2, fio_last_way).expect("valid"),
+    )
+    .expect("ok");
     sys.cat_assign_workload(fio, ClosId(1)).expect("registered");
-    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 5).expect("static")).expect("ok");
-    sys.cat_assign_workload(xmem, ClosId(2)).expect("registered");
+    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 5).expect("static"))
+        .expect("ok");
+    sys.cat_assign_workload(xmem, ClosId(2))
+        .expect("registered");
     // Fig. 8b runs with the SSD's DCA already disabled (the 8a insight).
     sys.set_device_dca(ssd, false).expect("attached");
 
     let mut harness = Harness::new(sys);
     let report = harness.run(opts.warmup, opts.measure);
     let secs = report.samples.len() as f64 * 1e-3;
-    (report.llc_miss_rate(xmem), report.total_io_bytes(fio) as f64 / secs / 1e9)
+    (
+        report.llc_miss_rate(xmem),
+        report.total_io_bytes(fio) as f64 / secs / 1e9,
+    )
 }
 
 /// Runs Fig. 8a.
@@ -71,12 +82,22 @@ pub fn run_a(opts: &RunOpts) -> Table {
     let mut table = Table::new(
         "fig8a",
         "[SSD-DCA off] vs [DCA on]: DPDK-T latency and FIO throughput",
-        ["al_ssd_off_us", "tl_ssd_off_us", "tp_ssd_off", "al_on_us", "tl_on_us", "tp_on"],
+        [
+            "al_ssd_off_us",
+            "tl_ssd_off_us",
+            "tp_ssd_off",
+            "al_on_us",
+            "tl_on_us",
+            "tp_on",
+        ],
     );
     for kib in BLOCK_KIB {
         let (al_off, tl_off, tp_off) = run_point_8a(opts, kib, false);
         let (al_on, tl_on, tp_on) = run_point_8a(opts, kib, true);
-        table.push(format!("{kib}KB"), [al_off, tl_off, tp_off, al_on, tl_on, tp_on]);
+        table.push(
+            format!("{kib}KB"),
+            [al_off, tl_off, tp_off, al_on, tl_on, tp_on],
+        );
     }
     table
 }
@@ -109,7 +130,10 @@ mod tests {
             "[SSD-DCA off] helps DPDK-T: off={al_off:.1}us on={al_on:.1}us"
         );
         let ratio = tp_off / tp_on.max(1e-9);
-        assert!((0.8..1.25).contains(&ratio), "FIO unharmed: off={tp_off:.2} on={tp_on:.2}");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "FIO unharmed: off={tp_off:.2} on={tp_on:.2}"
+        );
     }
 
     #[test]
@@ -122,6 +146,9 @@ mod tests {
             "fewer overlapped ways: [2:5]={miss_wide:.3} [2:2]={miss_narrow:.3}"
         );
         let ratio = tp_narrow / tp_wide.max(1e-9);
-        assert!((0.8..1.25).contains(&ratio), "storage tp flat: {tp_wide:.2} -> {tp_narrow:.2}");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "storage tp flat: {tp_wide:.2} -> {tp_narrow:.2}"
+        );
     }
 }

@@ -1,7 +1,10 @@
 //! Shared scenario builders: the paper's testbed (Table 1) with its
 //! workloads (Table 2/3) at simulator scale.
 
-use a4_core::{A4Config, A4Controller, DefaultPolicy, FeatureLevel, Harness, IsolatePolicy, LlcPolicy, Thresholds};
+use a4_core::{
+    A4Config, A4Controller, DefaultPolicy, FeatureLevel, Harness, IsolatePolicy, LlcPolicy,
+    Thresholds,
+};
 use a4_model::{Bytes, CoreId, DeviceId, LineAddr, PortId, Priority, Result};
 use a4_pcie::{NicConfig, NvmeConfig};
 use a4_sim::{System, SystemConfig, Workload};
@@ -26,18 +29,30 @@ impl RunOpts {
     /// Paper-like protocol scaled down: 10 s warm-up, 10 s measurement
     /// (the paper uses 70 s runs with 10 s warm-up windows).
     pub fn paper() -> Self {
-        RunOpts { warmup: 10, measure: 10, seed: 0xA4 }
+        RunOpts {
+            warmup: 10,
+            measure: 10,
+            seed: 0xA4,
+        }
     }
 
     /// Long-converging protocol for the controller-driven experiments
     /// (A4 needs ~20 s to settle its zones in the colocation mixes).
     pub fn controller() -> Self {
-        RunOpts { warmup: 22, measure: 10, seed: 0xA4 }
+        RunOpts {
+            warmup: 22,
+            measure: 10,
+            seed: 0xA4,
+        }
     }
 
     /// Fast settings for unit/integration tests.
     pub fn quick() -> Self {
-        RunOpts { warmup: 3, measure: 3, seed: 0xA4 }
+        RunOpts {
+            warmup: 3,
+            measure: 3,
+            seed: 0xA4,
+        }
     }
 }
 
@@ -60,7 +75,10 @@ pub fn base_system(opts: &RunOpts) -> System {
 ///
 /// Propagates attachment failures.
 pub fn attach_nic(sys: &mut System, rings: usize, packet_bytes: u64) -> Result<DeviceId> {
-    sys.attach_nic(PortId(0), NicConfig::connectx6_100g(rings, RING_ENTRIES, packet_bytes))
+    sys.attach_nic(
+        PortId(0),
+        NicConfig::connectx6_100g(rings, RING_ENTRIES, packet_bytes),
+    )
 }
 
 /// Attaches the RAID-0 NVMe array.
@@ -94,8 +112,11 @@ pub fn add_dpdk(
     cores: &[u8],
     priority: Priority,
 ) -> Result<a4_model::WorkloadId> {
-    let wl: Box<dyn Workload> =
-        if touch { Box::new(Dpdk::touching(nic)) } else { Box::new(Dpdk::non_touching(nic)) };
+    let wl: Box<dyn Workload> = if touch {
+        Box::new(Dpdk::touching(nic))
+    } else {
+        Box::new(Dpdk::non_touching(nic))
+    };
     sys.add_workload(wl, cores.iter().map(|&c| CoreId(c)).collect(), priority)
 }
 
@@ -117,7 +138,11 @@ pub fn add_fio(
     let probe = Fio::new(ssd, LineAddr(0), block_lines, qd_per_core, cores.len());
     let buf = sys.alloc_lines(probe.buffer_lines());
     let fio = Fio::new(ssd, buf, block_lines, qd_per_core, cores.len());
-    sys.add_workload(Box::new(fio), cores.iter().map(|&c| CoreId(c)).collect(), priority)
+    sys.add_workload(
+        Box::new(fio),
+        cores.iter().map(|&c| CoreId(c)).collect(),
+        priority,
+    )
 }
 
 /// Registers an X-Mem instance (1, 2 or 3 per Table 3).
@@ -190,7 +215,11 @@ pub fn add_ffsb_heavy(
     let probe = Ffsb::heavy(ssd, LineAddr(0), lines, cores.len());
     let buf = sys.alloc_lines(probe.buffer_lines());
     let ffsb = Ffsb::heavy(ssd, buf, lines, cores.len());
-    sys.add_workload(Box::new(ffsb), cores.iter().map(|&c| CoreId(c)).collect(), priority)
+    sys.add_workload(
+        Box::new(ffsb),
+        cores.iter().map(|&c| CoreId(c)).collect(),
+        priority,
+    )
 }
 
 /// Registers FFSB-L (32 KB blocks, 1 core).
@@ -225,7 +254,11 @@ pub fn add_redis(
     // YCSB-A footprint: a few MB of keyspace, scaled.
     let ws = ws_lines_mib(sys, 2).max(64);
     let base = sys.alloc_lines(ws);
-    sys.add_workload(Box::new(Redis::new(role, base, ws)), vec![CoreId(core)], priority)
+    sys.add_workload(
+        Box::new(Redis::new(role, base, ws)),
+        vec![CoreId(core)],
+        priority,
+    )
 }
 
 /// Registers a SPEC CPU2017-like synthetic by benchmark name.
@@ -266,7 +299,11 @@ pub enum Scheme {
 impl Scheme {
     /// The three schemes of Figs. 11-12.
     pub fn main_three() -> [Scheme; 3] {
-        [Scheme::Default, Scheme::Isolate, Scheme::A4(FeatureLevel::D)]
+        [
+            Scheme::Default,
+            Scheme::Isolate,
+            Scheme::A4(FeatureLevel::D),
+        ]
     }
 
     /// The six schemes of Figs. 13-14 (DF, IS, A4-a..d).

@@ -59,14 +59,24 @@ impl Table {
     /// Panics if the value count does not match the column count.
     pub fn push(&mut self, label: impl Into<String>, values: impl IntoIterator<Item = f64>) {
         let values: Vec<f64> = values.into_iter().collect();
-        assert_eq!(values.len(), self.columns.len(), "row width must match columns");
-        self.rows.push(Row { label: label.into(), values });
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
     }
 
     /// Looks a cell up by row label and column name.
     pub fn get(&self, label: &str, column: &str) -> Option<f64> {
         let col = self.columns.iter().position(|c| c == column)?;
-        self.rows.iter().find(|r| r.label == label).map(|r| r.values[col])
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.values[col])
     }
 
     /// All values of one column, in row order.

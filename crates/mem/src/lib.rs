@@ -73,16 +73,24 @@ impl MemoryConfig {
     /// utilization clamp outside `(0, 1)`.
     pub fn validate(&self) -> Result<()> {
         if self.channels == 0 {
-            return Err(A4Error::InvalidConfig { what: "memory channels must be nonzero" });
+            return Err(A4Error::InvalidConfig {
+                what: "memory channels must be nonzero",
+            });
         }
         if self.channel_bandwidth.as_bytes_per_sec() <= 0.0 {
-            return Err(A4Error::InvalidConfig { what: "channel bandwidth must be positive" });
+            return Err(A4Error::InvalidConfig {
+                what: "channel bandwidth must be positive",
+            });
         }
         if !(0.0 < self.max_utilization && self.max_utilization < 1.0) {
-            return Err(A4Error::InvalidConfig { what: "max utilization must be in (0,1)" });
+            return Err(A4Error::InvalidConfig {
+                what: "max utilization must be in (0,1)",
+            });
         }
         if self.base_latency_ns <= 0.0 || self.queue_alpha < 0.0 {
-            return Err(A4Error::InvalidConfig { what: "latency parameters must be positive" });
+            return Err(A4Error::InvalidConfig {
+                what: "latency parameters must be positive",
+            });
         }
         Ok(())
     }
@@ -273,8 +281,14 @@ mod tests {
         let lines = (peak.bytes_in(dt).as_u64() * 2) / LINE_BYTES;
         mem.record_read_lines(lines);
         mem.end_interval(dt);
-        assert!((mem.utilization() - 0.95).abs() < 1e-9, "clamped at max utilization");
-        assert!(mem.latency_factor() > 5.0, "near-saturation latency blows up");
+        assert!(
+            (mem.utilization() - 0.95).abs() < 1e-9,
+            "clamped at max utilization"
+        );
+        assert!(
+            mem.latency_factor() > 5.0,
+            "near-saturation latency blows up"
+        );
         // An idle interval recovers.
         mem.end_interval(dt);
         assert_eq!(mem.latency_factor(), 1.0);

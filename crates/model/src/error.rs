@@ -79,7 +79,10 @@ impl fmt::Display for A4Error {
                 write!(f, "contiguous way mask required by CAT, got {bits:#05b}")
             }
             A4Error::InvalidClos { clos, max } => {
-                write!(f, "class of service {clos} out of range (platform supports {max})")
+                write!(
+                    f,
+                    "class of service {clos} out of range (platform supports {max})"
+                )
             }
             A4Error::InvalidCore { core, max } => {
                 write!(f, "core {core} out of range (platform has {max} cores)")
@@ -106,8 +109,12 @@ mod tests {
             A4Error::InvalidClos { clos: 99, max: 16 },
             A4Error::InvalidCore { core: 99, max: 18 },
             A4Error::InvalidDevice { device: 7 },
-            A4Error::InvalidConfig { what: "quantum must be nonzero" },
-            A4Error::Platform { what: "resctrl write failed".into() },
+            A4Error::InvalidConfig {
+                what: "quantum must be nonzero",
+            },
+            A4Error::Platform {
+                what: "resctrl write failed".into(),
+            },
         ];
         for err in samples {
             let text = err.to_string();

@@ -111,7 +111,10 @@ impl WayMask {
     /// Returns [`A4Error::InvalidWayRange`] if `m > n` or `n >= 11`.
     pub fn from_paper_range(m: usize, n: usize) -> Result<Self> {
         if m > n || n >= LLC_WAYS {
-            return Err(A4Error::InvalidWayRange { start: m, end: n + 1 });
+            return Err(A4Error::InvalidWayRange {
+                start: m,
+                end: n + 1,
+            });
         }
         Self::from_range(m, n + 1)
     }
@@ -321,7 +324,11 @@ mod tests {
         ];
         for (cat, (m, n)) in expected {
             let mask = WayMask::from_cat_bits(cat).unwrap();
-            assert_eq!(mask, WayMask::from_paper_range(m, n).unwrap(), "cat {cat:#x}");
+            assert_eq!(
+                mask,
+                WayMask::from_paper_range(m, n).unwrap(),
+                "cat {cat:#x}"
+            );
             assert_eq!(mask.to_cat_bits(), cat);
         }
     }
@@ -366,7 +373,10 @@ mod tests {
         let one = WayMask::from_paper_range(8, 8).unwrap();
         assert_eq!(one.shrink_left(), None);
         assert_eq!(one.shrink_right(), None);
-        let trash = WayMask::from_paper_range(7, 8).unwrap().shrink_left().unwrap();
+        let trash = WayMask::from_paper_range(7, 8)
+            .unwrap()
+            .shrink_left()
+            .unwrap();
         assert_eq!(trash, WayMask::from_paper_range(8, 8).unwrap());
     }
 

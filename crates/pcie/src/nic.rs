@@ -78,16 +78,24 @@ impl NicConfig {
     /// Returns [`A4Error::InvalidConfig`] for zero-sized fields.
     pub fn validate(&self) -> Result<()> {
         if self.packet_bytes == 0 {
-            return Err(A4Error::InvalidConfig { what: "packet size must be nonzero" });
+            return Err(A4Error::InvalidConfig {
+                what: "packet size must be nonzero",
+            });
         }
         if self.ring_entries == 0 || self.rings == 0 {
-            return Err(A4Error::InvalidConfig { what: "ring geometry must be nonzero" });
+            return Err(A4Error::InvalidConfig {
+                what: "ring geometry must be nonzero",
+            });
         }
         if self.rate.as_bytes_per_sec() <= 0.0 {
-            return Err(A4Error::InvalidConfig { what: "nic rate must be positive" });
+            return Err(A4Error::InvalidConfig {
+                what: "nic rate must be positive",
+            });
         }
         if !(0.0..1.0).contains(&self.burst_amplitude) || self.burst_period_ns == 0 {
-            return Err(A4Error::InvalidConfig { what: "burst parameters out of range" });
+            return Err(A4Error::InvalidConfig {
+                what: "burst parameters out of range",
+            });
         }
         Ok(())
     }
@@ -119,7 +127,14 @@ pub struct RxRing {
 
 impl RxRing {
     fn new(base: LineAddr, entries: usize, slot_lines: u64) -> Self {
-        RxRing { base, entries, slot_lines, head: 0, tail: 0, stamps: vec![SimTime::ZERO; entries] }
+        RxRing {
+            base,
+            entries,
+            slot_lines,
+            head: 0,
+            tail: 0,
+            stamps: vec![SimTime::ZERO; entries],
+        }
     }
 
     /// Number of packets waiting to be consumed.
@@ -141,7 +156,8 @@ impl RxRing {
     }
 
     fn slot_addr(&self, seq: u64) -> LineAddr {
-        self.base.offset((seq % self.entries as u64) * self.slot_lines)
+        self.base
+            .offset((seq % self.entries as u64) * self.slot_lines)
     }
 
     fn produce(&mut self, now: SimTime) -> LineAddr {
@@ -160,7 +176,12 @@ impl RxRing {
         let addr = self.slot_addr(slot);
         let written_at = self.stamps[(slot % self.entries as u64) as usize];
         self.tail += 1;
-        Some(RxPacket { desc: addr, payload: addr.next(), payload_lines, written_at })
+        Some(RxPacket {
+            desc: addr,
+            payload: addr.next(),
+            payload_lines,
+            written_at,
+        })
     }
 }
 
@@ -365,8 +386,12 @@ mod tests {
     }
 
     fn nic(rings: usize, entries: usize, pkt: u64) -> NicModel {
-        NicModel::new(DeviceId(0), NicConfig::connectx6_100g(rings, entries, pkt), LineAddr(0x1000))
-            .expect("valid nic config")
+        NicModel::new(
+            DeviceId(0),
+            NicConfig::connectx6_100g(rings, entries, pkt),
+            LineAddr(0x1000),
+        )
+        .expect("valid nic config")
     }
 
     #[test]
@@ -384,7 +409,13 @@ mod tests {
         cfg.burst_amplitude = 0.0; // flat rate for exact volume accounting
         let mut nic = NicModel::new(DeviceId(0), cfg, LineAddr(0x1000)).unwrap();
         // 12.5e9 B/s * 1e-4 s = 1.25 MB = ~1220 packets of 1 KiB.
-        nic.step(SimTime::ZERO, SimTime::from_micros(100), &mut h, true, WorkloadId(0));
+        nic.step(
+            SimTime::ZERO,
+            SimTime::from_micros(100),
+            &mut h,
+            true,
+            WorkloadId(0),
+        );
         let pkts = nic.delivered_packets();
         assert!((1200..=1221).contains(&pkts), "delivered {pkts}");
         assert_eq!(nic.dropped_packets(), 0);
@@ -411,7 +442,13 @@ mod tests {
     fn full_ring_drops() {
         let mut h = hier();
         let mut nic = nic(1, 4, 1024);
-        nic.step(SimTime::ZERO, SimTime::from_micros(10), &mut h, true, WorkloadId(0));
+        nic.step(
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+            &mut h,
+            true,
+            WorkloadId(0),
+        );
         assert_eq!(nic.delivered_packets(), 4);
         assert!(nic.dropped_packets() > 0);
         assert!(nic.ring(0).is_full());
@@ -419,7 +456,13 @@ mod tests {
         assert!(nic.rx_pop(0).is_some());
         assert!(!nic.ring(0).is_full());
         let before = nic.delivered_packets();
-        nic.step(SimTime::from_micros(10), SimTime::from_micros(1), &mut h, true, WorkloadId(0));
+        nic.step(
+            SimTime::from_micros(10),
+            SimTime::from_micros(1),
+            &mut h,
+            true,
+            WorkloadId(0),
+        );
         assert_eq!(nic.delivered_packets(), before + 1);
     }
 
@@ -427,7 +470,13 @@ mod tests {
     fn packets_are_timestamped_monotonically() {
         let mut h = hier();
         let mut nic = nic(1, 64, 1024);
-        nic.step(SimTime::ZERO, SimTime::from_micros(5), &mut h, true, WorkloadId(0));
+        nic.step(
+            SimTime::ZERO,
+            SimTime::from_micros(5),
+            &mut h,
+            true,
+            WorkloadId(0),
+        );
         let mut last = SimTime::ZERO;
         let mut n = 0;
         while let Some(pkt) = nic.rx_pop(0) {
@@ -443,7 +492,13 @@ mod tests {
     fn rx_packet_layout_descriptor_then_payload() {
         let mut h = hier();
         let mut nic = nic(1, 8, 128);
-        nic.step(SimTime::ZERO, SimTime::from_nanos(20), &mut h, true, WorkloadId(0));
+        nic.step(
+            SimTime::ZERO,
+            SimTime::from_nanos(20),
+            &mut h,
+            true,
+            WorkloadId(0),
+        );
         let pkt = nic.rx_pop(0).expect("one packet arrived");
         assert_eq!(pkt.payload, pkt.desc.next());
         assert_eq!(pkt.payload_lines, 2);
@@ -456,7 +511,13 @@ mod tests {
     fn round_robin_spreads_rings() {
         let mut h = hier();
         let mut nic = nic(4, 64, 1024);
-        nic.step(SimTime::ZERO, SimTime::from_micros(2), &mut h, true, WorkloadId(0));
+        nic.step(
+            SimTime::ZERO,
+            SimTime::from_micros(2),
+            &mut h,
+            true,
+            WorkloadId(0),
+        );
         let occs: Vec<_> = (0..4).map(|r| nic.ring(r).occupancy()).collect();
         let max = *occs.iter().max().unwrap();
         let min = *occs.iter().min().unwrap();
@@ -467,10 +528,20 @@ mod tests {
     fn set_packet_bytes_relays_out_rings() {
         let mut h = hier();
         let mut nic = nic(2, 8, 64);
-        nic.step(SimTime::ZERO, SimTime::from_nanos(100), &mut h, true, WorkloadId(0));
+        nic.step(
+            SimTime::ZERO,
+            SimTime::from_nanos(100),
+            &mut h,
+            true,
+            WorkloadId(0),
+        );
         nic.set_packet_bytes(1514);
         assert_eq!(nic.config().payload_lines(), 24);
-        assert_eq!(nic.ring(0).occupancy(), 0, "rings drained on reconfiguration");
+        assert_eq!(
+            nic.ring(0).occupancy(),
+            0,
+            "rings drained on reconfiguration"
+        );
     }
 
     #[test]

@@ -71,10 +71,14 @@ impl NvmeConfig {
     /// zero-slot queue.
     pub fn validate(&self) -> Result<()> {
         if self.link.as_bytes_per_sec() <= 0.0 || self.iops <= 0.0 {
-            return Err(A4Error::InvalidConfig { what: "nvme rates must be positive" });
+            return Err(A4Error::InvalidConfig {
+                what: "nvme rates must be positive",
+            });
         }
         if self.queue_slots == 0 || self.parallelism == 0 {
-            return Err(A4Error::InvalidConfig { what: "nvme queue/parallelism must be nonzero" });
+            return Err(A4Error::InvalidConfig {
+                what: "nvme queue/parallelism must be nonzero",
+            });
         }
         Ok(())
     }
@@ -185,12 +189,19 @@ impl NvmeModel {
     /// [`A4Error::Platform`] when the submission queue is full.
     pub fn submit(&mut self, cmd: NvmeCommand) -> Result<()> {
         if cmd.lines == 0 {
-            return Err(A4Error::InvalidConfig { what: "nvme block must be nonzero" });
+            return Err(A4Error::InvalidConfig {
+                what: "nvme block must be nonzero",
+            });
         }
         if self.queue.len() >= self.config.queue_slots {
-            return Err(A4Error::Platform { what: "nvme submission queue full".into() });
+            return Err(A4Error::Platform {
+                what: "nvme submission queue full".into(),
+            });
         }
-        self.queue.push_back(Inflight { cmd, transferred: 0 });
+        self.queue.push_back(Inflight {
+            cmd,
+            transferred: 0,
+        });
         Ok(())
     }
 
@@ -275,8 +286,10 @@ impl NvmeModel {
                 }
                 self.cmd_budget -= 1.0;
                 let done = self.queue.remove(i).expect("index in range");
-                self.completions
-                    .push_back(NvmeCompletion { cmd: done.cmd, completed_at: now + dt });
+                self.completions.push_back(NvmeCompletion {
+                    cmd: done.cmd,
+                    completed_at: now + dt,
+                });
                 self.commands_completed += 1;
             } else {
                 i += 1;
@@ -355,9 +368,16 @@ mod tests {
     fn read_block_lands_in_cache_and_completes() {
         let mut h = hier();
         let mut ssd = ssd();
-        ssd.submit(NvmeCommand { buffer: LineAddr(0x100), lines: 16, op: NvmeOp::Read }).unwrap();
+        ssd.submit(NvmeCommand {
+            buffer: LineAddr(0x100),
+            lines: 16,
+            op: NvmeOp::Read,
+        })
+        .unwrap();
         ssd.step(SimTime::ZERO, SimTime::from_micros(10), &mut h, true, WL);
-        let done = ssd.pop_completion().expect("block transferred in one quantum");
+        let done = ssd
+            .pop_completion()
+            .expect("block transferred in one quantum");
         assert_eq!(done.cmd.lines, 16);
         assert_eq!(ssd.read_bytes(), 16 * 64);
         assert_eq!(h.stats().device(DeviceId(1)).dma_write_lines, 16);
@@ -370,7 +390,12 @@ mod tests {
         let mut ssd = ssd();
         // 13 GB/s * 1 us = 13 KB ~ 203 lines; a 1024-line (64 KB) block
         // needs several quanta.
-        ssd.submit(NvmeCommand { buffer: LineAddr(0), lines: 1024, op: NvmeOp::Read }).unwrap();
+        ssd.submit(NvmeCommand {
+            buffer: LineAddr(0),
+            lines: 1024,
+            op: NvmeOp::Read,
+        })
+        .unwrap();
         let mut quanta = 0;
         let mut now = SimTime::ZERO;
         while ssd.pop_completion().is_none() {
@@ -379,7 +404,10 @@ mod tests {
             quanta += 1;
             assert!(quanta < 100, "must complete eventually");
         }
-        assert!(quanta >= 4, "64 KB cannot fit one 1 us quantum, took {quanta}");
+        assert!(
+            quanta >= 4,
+            "64 KB cannot fit one 1 us quantum, took {quanta}"
+        );
     }
 
     #[test]
@@ -388,8 +416,12 @@ mod tests {
         let mut ssd = ssd();
         // Offer far more 1-line commands than the IOPS budget allows.
         for i in 0..200u64 {
-            ssd.submit(NvmeCommand { buffer: LineAddr(i * 64), lines: 1, op: NvmeOp::Read })
-                .unwrap();
+            ssd.submit(NvmeCommand {
+                buffer: LineAddr(i * 64),
+                lines: 1,
+                op: NvmeOp::Read,
+            })
+            .unwrap();
         }
         // 100 us at 600 K IOPS = 60 completions.
         let mut now = SimTime::ZERO;
@@ -398,22 +430,36 @@ mod tests {
             now += SimTime::from_micros(10);
         }
         let done = ssd.commands_completed();
-        assert!((55..=72).contains(&done), "IOPS-bound completion count, got {done}");
+        assert!(
+            (55..=72).contains(&done),
+            "IOPS-bound completion count, got {done}"
+        );
     }
 
     #[test]
     fn queue_full_is_reported() {
         let mut ssd = NvmeModel::new(
             DeviceId(1),
-            NvmeConfig { queue_slots: 2, ..NvmeConfig::raid0_980pro_x4() },
+            NvmeConfig {
+                queue_slots: 2,
+                ..NvmeConfig::raid0_980pro_x4()
+            },
         )
         .unwrap();
-        let cmd = NvmeCommand { buffer: LineAddr(0), lines: 1, op: NvmeOp::Read };
+        let cmd = NvmeCommand {
+            buffer: LineAddr(0),
+            lines: 1,
+            op: NvmeOp::Read,
+        };
         ssd.submit(cmd).unwrap();
         ssd.submit(cmd).unwrap();
         assert!(matches!(ssd.submit(cmd), Err(A4Error::Platform { .. })));
         assert!(matches!(
-            ssd.submit(NvmeCommand { buffer: LineAddr(0), lines: 0, op: NvmeOp::Read }),
+            ssd.submit(NvmeCommand {
+                buffer: LineAddr(0),
+                lines: 0,
+                op: NvmeOp::Read
+            }),
             Err(A4Error::InvalidConfig { .. })
         ));
     }
@@ -422,7 +468,12 @@ mod tests {
     fn write_command_uses_egress_path() {
         let mut h = hier();
         let mut ssd = ssd();
-        ssd.submit(NvmeCommand { buffer: LineAddr(0x40), lines: 8, op: NvmeOp::Write }).unwrap();
+        ssd.submit(NvmeCommand {
+            buffer: LineAddr(0x40),
+            lines: 8,
+            op: NvmeOp::Write,
+        })
+        .unwrap();
         ssd.step(SimTime::ZERO, SimTime::from_micros(5), &mut h, true, WL);
         assert_eq!(ssd.write_bytes(), 8 * 64);
         assert_eq!(h.stats().device(DeviceId(1)).dma_read_lines, 8);

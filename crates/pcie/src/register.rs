@@ -51,7 +51,9 @@ impl PerfCtrlSts {
     /// Power-on default: allocating flow enabled, no-snoop honouring off —
     /// i.e. DDIO active, as shipped on every Skylake-SP.
     pub fn power_on() -> Self {
-        PerfCtrlSts { raw: 1 << USE_ALLOCATING_FLOW_WR }
+        PerfCtrlSts {
+            raw: 1 << USE_ALLOCATING_FLOW_WR,
+        }
     }
 
     /// Builds a view from a raw register value (e.g. read via `setpci`).

@@ -43,7 +43,11 @@ impl PcieRoot {
     pub fn new(ports: usize) -> Self {
         PcieRoot {
             ports: vec![
-                PortState { reg: PerfCtrlSts::power_on(), device: None, class: None };
+                PortState {
+                    reg: PerfCtrlSts::power_on(),
+                    device: None,
+                    class: None
+                };
                 ports
             ],
         }
@@ -100,7 +104,9 @@ impl PcieRoot {
     ///
     /// Returns [`A4Error::InvalidDevice`] for out-of-range ports.
     pub fn port(&self, port: PortId) -> Result<&PortState> {
-        self.ports.get(port.index()).ok_or(A4Error::InvalidDevice { device: port.0 })
+        self.ports
+            .get(port.index())
+            .ok_or(A4Error::InvalidDevice { device: port.0 })
     }
 
     /// Whether DMA writes from `device` currently use DCA.
@@ -121,7 +127,9 @@ impl PcieRoot {
     ///
     /// Returns [`A4Error::InvalidDevice`] if the device is not attached.
     pub fn set_device_dca(&mut self, device: DeviceId, enable: bool) -> Result<()> {
-        let port = self.find_port(device).ok_or(A4Error::InvalidDevice { device: device.0 })?;
+        let port = self
+            .find_port(device)
+            .ok_or(A4Error::InvalidDevice { device: device.0 })?;
         let reg = &mut self.ports[port.index()].reg;
         if enable {
             reg.enable_dca();
@@ -145,9 +153,9 @@ impl PcieRoot {
 
     /// Iterates over attached `(device, class, dca_enabled)` triples.
     pub fn devices(&self) -> impl Iterator<Item = (DeviceId, DeviceClass, bool)> + '_ {
-        self.ports.iter().filter_map(|p| {
-            Some((p.device?, p.class?, p.reg.dca_enabled()))
-        })
+        self.ports
+            .iter()
+            .filter_map(|p| Some((p.device?, p.class?, p.reg.dca_enabled())))
     }
 }
 
@@ -210,7 +218,10 @@ mod tests {
         r.set_device_dca(DeviceId(0), false).unwrap();
         assert_eq!(r.detach(PortId(0)), Some(DeviceId(0)));
         assert_eq!(r.find_port(DeviceId(0)), None);
-        assert!(r.port(PortId(0)).unwrap().reg.dca_enabled(), "register reset at unplug");
+        assert!(
+            r.port(PortId(0)).unwrap().reg.dca_enabled(),
+            "register reset at unplug"
+        );
         assert_eq!(r.detach(PortId(0)), None);
     }
 

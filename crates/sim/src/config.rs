@@ -26,7 +26,11 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { mlc_cycles: 4.0, llc_cycles: 14.0, mem_cycles: 60.0 }
+        LatencyModel {
+            mlc_cycles: 4.0,
+            llc_cycles: 14.0,
+            mem_cycles: 60.0,
+        }
     }
 }
 
@@ -132,16 +136,24 @@ impl SystemConfig {
         self.hierarchy.validate()?;
         self.memory.validate()?;
         if self.cpu_freq_ghz <= 0.0 {
-            return Err(A4Error::InvalidConfig { what: "cpu frequency must be positive" });
+            return Err(A4Error::InvalidConfig {
+                what: "cpu frequency must be positive",
+            });
         }
         if self.quantum == SimTime::ZERO || self.quanta_per_second == 0 {
-            return Err(A4Error::InvalidConfig { what: "quantum and quanta/second must be nonzero" });
+            return Err(A4Error::InvalidConfig {
+                what: "quantum and quanta/second must be nonzero",
+            });
         }
         if self.pcie_ports == 0 {
-            return Err(A4Error::InvalidConfig { what: "need at least one pcie port" });
+            return Err(A4Error::InvalidConfig {
+                what: "need at least one pcie port",
+            });
         }
         if self.time_dilation <= 0.0 {
-            return Err(A4Error::InvalidConfig { what: "time dilation must be positive" });
+            return Err(A4Error::InvalidConfig {
+                what: "time dilation must be positive",
+            });
         }
         Ok(())
     }

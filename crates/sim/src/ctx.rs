@@ -280,8 +280,12 @@ mod tests {
         let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let nic = NicModel::new(DeviceId(0), NicConfig::connectx6_100g(1, 8, 64), LineAddr(0x800))
-            .unwrap();
+        let nic = NicModel::new(
+            DeviceId(0),
+            NicConfig::connectx6_100g(1, 8, 64),
+            LineAddr(0x800),
+        )
+        .unwrap();
         let ssd = NvmeModel::new(DeviceId(1), NvmeConfig::raid0_980pro_x4()).unwrap();
         let mut devices = [DeviceModel::Nic(nic), DeviceModel::Nvme(ssd)];
         let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);

@@ -79,7 +79,12 @@ mod tests {
     #[test]
     fn downcasts() {
         let nic = DeviceModel::Nic(
-            NicModel::new(DeviceId(0), NicConfig::connectx6_100g(1, 8, 64), LineAddr(0)).unwrap(),
+            NicModel::new(
+                DeviceId(0),
+                NicConfig::connectx6_100g(1, 8, 64),
+                LineAddr(0),
+            )
+            .unwrap(),
         );
         let ssd =
             DeviceModel::Nvme(NvmeModel::new(DeviceId(1), NvmeConfig::raid0_980pro_x4()).unwrap());

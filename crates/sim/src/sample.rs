@@ -84,7 +84,11 @@ impl WorkloadSample {
                 _ => LatencyKind::StorageTotal,
             };
             let h = perf.histogram(kind);
-            *slot = LatencyStat { mean_ns: h.mean(), p99_ns: h.percentile(0.99), count: h.count() };
+            *slot = LatencyStat {
+                mean_ns: h.mean(),
+                p99_ns: h.percentile(0.99),
+                count: h.count(),
+            };
         }
         out
     }

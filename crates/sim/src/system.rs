@@ -198,7 +198,9 @@ impl System {
         priority: Priority,
     ) -> Result<WorkloadId> {
         if cores.is_empty() {
-            return Err(A4Error::InvalidConfig { what: "workload needs at least one core" });
+            return Err(A4Error::InvalidConfig {
+                what: "workload needs at least one core",
+            });
         }
         for &c in &cores {
             if c.index() >= self.cfg.hierarchy.cores {
@@ -407,7 +409,10 @@ impl System {
 
         self.now += dt;
         self.quantum_count += 1;
-        if self.quantum_count.is_multiple_of(self.cfg.quanta_per_second as u64) {
+        if self
+            .quantum_count
+            .is_multiple_of(self.cfg.quanta_per_second as u64)
+        {
             self.logical_seconds += 1;
         }
     }
@@ -442,7 +447,14 @@ impl System {
         for slot in self.slots.iter_mut().filter(|s| s.active) {
             let perf = slot.perf.take();
             let latency = WorkloadSample::latency_from_perf(&perf);
-            workloads.push((slot.id, slot.name.clone(), slot.kind, slot.priority, perf, latency));
+            workloads.push((
+                slot.id,
+                slot.name.clone(),
+                slot.kind,
+                slot.priority,
+                perf,
+                latency,
+            ));
         }
         // Cache-side per-workload deltas: cumulative stats minus what the
         // previous sample consumed.
@@ -494,7 +506,7 @@ impl System {
                 let (delivered, dropped) = match d {
                     DeviceModel::Nic(nic) => {
                         let snap = self.dev_snapshots[i];
-                        
+
                         (
                             nic.delivered_packets() - snap.delivered,
                             nic.dropped_packets() - snap.dropped,
@@ -519,8 +531,10 @@ impl System {
         // Roll device snapshots forward.
         for (i, d) in self.devices.iter().enumerate() {
             if let DeviceModel::Nic(nic) = d {
-                self.dev_snapshots[i] =
-                    DevSnapshot { delivered: nic.delivered_packets(), dropped: nic.dropped_packets() };
+                self.dev_snapshots[i] = DevSnapshot {
+                    delivered: nic.delivered_packets(),
+                    dropped: nic.dropped_packets(),
+                };
             }
         }
 
@@ -556,7 +570,11 @@ mod tests {
 
     impl Workload for Streamer {
         fn info(&self) -> WorkloadInfo {
-            WorkloadInfo { name: "streamer".into(), kind: WorkloadKind::NonIo, device: None }
+            WorkloadInfo {
+                name: "streamer".into(),
+                kind: WorkloadKind::NonIo,
+                device: None,
+            }
         }
         fn step(&mut self, ctx: &mut CoreCtx<'_>) {
             while ctx.has_budget() {
@@ -584,13 +602,23 @@ mod tests {
     fn workload_registration_validates_cores() {
         let mut s = sys();
         let mk = || {
-            Box::new(Streamer { base: LineAddr(0), lines: 8, cursor: 0 }) as Box<dyn Workload>
+            Box::new(Streamer {
+                base: LineAddr(0),
+                lines: 8,
+                cursor: 0,
+            }) as Box<dyn Workload>
         };
         assert!(s.add_workload(mk(), vec![], Priority::High).is_err());
-        assert!(s.add_workload(mk(), vec![CoreId(99)], Priority::High).is_err());
-        let id = s.add_workload(mk(), vec![CoreId(0)], Priority::High).unwrap();
+        assert!(s
+            .add_workload(mk(), vec![CoreId(99)], Priority::High)
+            .is_err());
+        let id = s
+            .add_workload(mk(), vec![CoreId(0)], Priority::High)
+            .unwrap();
         // Core already pinned.
-        assert!(s.add_workload(mk(), vec![CoreId(0)], Priority::Low).is_err());
+        assert!(s
+            .add_workload(mk(), vec![CoreId(0)], Priority::Low)
+            .is_err());
         // Deactivate frees the core.
         s.set_workload_active(id, false).unwrap();
         assert!(s.add_workload(mk(), vec![CoreId(0)], Priority::Low).is_ok());
@@ -602,7 +630,11 @@ mod tests {
         let base = s.alloc_lines(16);
         let wl = s
             .add_workload(
-                Box::new(Streamer { base, lines: 16, cursor: 0 }),
+                Box::new(Streamer {
+                    base,
+                    lines: 16,
+                    cursor: 0,
+                }),
                 vec![CoreId(0)],
                 Priority::High,
             )
@@ -619,7 +651,11 @@ mod tests {
         let w2 = sample2.workload(wl).unwrap();
         assert!(w2.accesses > 0);
         // Steady state: a 64-line working set fits the MLC => mostly hits.
-        assert!(w2.mlc_miss_rate < 0.1, "a 16-line set fits the 32-line MLC: miss rate {}", w2.mlc_miss_rate);
+        assert!(
+            w2.mlc_miss_rate < 0.1,
+            "a 16-line set fits the 32-line MLC: miss rate {}",
+            w2.mlc_miss_rate
+        );
     }
 
     #[test]
@@ -628,7 +664,11 @@ mod tests {
             let mut s = sys();
             let base = s.alloc_lines(512);
             s.add_workload(
-                Box::new(Streamer { base, lines: 512, cursor: 0 }),
+                Box::new(Streamer {
+                    base,
+                    lines: 512,
+                    cursor: 0,
+                }),
                 vec![CoreId(1)],
                 Priority::High,
             )
@@ -644,8 +684,12 @@ mod tests {
     #[test]
     fn device_attach_and_dca_control() {
         let mut s = sys();
-        let nic = s.attach_nic(PortId(0), NicConfig::connectx6_100g(1, 8, 64)).unwrap();
-        let ssd = s.attach_nvme(PortId(1), NvmeConfig::raid0_980pro_x4()).unwrap();
+        let nic = s
+            .attach_nic(PortId(0), NicConfig::connectx6_100g(1, 8, 64))
+            .unwrap();
+        let ssd = s
+            .attach_nvme(PortId(1), NvmeConfig::raid0_980pro_x4())
+            .unwrap();
         assert!(s.dca_enabled(nic));
         s.set_device_dca(ssd, false).unwrap();
         assert!(!s.dca_enabled(ssd));
@@ -665,14 +709,21 @@ mod tests {
         let mut s = sys();
         let base = s.alloc_lines(4096);
         s.add_workload(
-            Box::new(Streamer { base, lines: 4096, cursor: 0 }),
+            Box::new(Streamer {
+                base,
+                lines: 4096,
+                cursor: 0,
+            }),
             vec![CoreId(0)],
             Priority::Low,
         )
         .unwrap();
         s.run_logical_seconds(1);
         let sample = s.sample();
-        assert!(sample.mem_read.as_u64() > 0, "a 4096-line stream misses everywhere");
+        assert!(
+            sample.mem_read.as_u64() > 0,
+            "a 4096-line stream misses everywhere"
+        );
         assert!(sample.mem_read_gbps() > 0.0);
     }
 
@@ -682,12 +733,17 @@ mod tests {
         let base = s.alloc_lines(8);
         let wl = s
             .add_workload(
-                Box::new(Streamer { base, lines: 8, cursor: 0 }),
+                Box::new(Streamer {
+                    base,
+                    lines: 8,
+                    cursor: 0,
+                }),
                 vec![CoreId(2), CoreId(3)],
                 Priority::Low,
             )
             .unwrap();
-        s.cat_set_mask(ClosId(2), WayMask::from_paper_range(7, 8).unwrap()).unwrap();
+        s.cat_set_mask(ClosId(2), WayMask::from_paper_range(7, 8).unwrap())
+            .unwrap();
         s.cat_assign_workload(wl, ClosId(2)).unwrap();
         assert_eq!(
             s.hierarchy().clos().mask_for_core(CoreId(3)),

@@ -63,7 +63,11 @@ mod tests {
     struct Nop;
     impl Workload for Nop {
         fn info(&self) -> WorkloadInfo {
-            WorkloadInfo { name: "nop".into(), kind: WorkloadKind::NonIo, device: None }
+            WorkloadInfo {
+                name: "nop".into(),
+                kind: WorkloadKind::NonIo,
+                device: None,
+            }
         }
         fn step(&mut self, _ctx: &mut CoreCtx<'_>) {}
     }

@@ -43,12 +43,20 @@ pub struct Dpdk {
 impl Dpdk {
     /// DPDK-T: touches (reads) every payload line.
     pub fn touching(device: DeviceId) -> Self {
-        Dpdk { device, touch: true, packets: 0 }
+        Dpdk {
+            device,
+            touch: true,
+            packets: 0,
+        }
     }
 
     /// DPDK-NT: reads only the descriptor.
     pub fn non_touching(device: DeviceId) -> Self {
-        Dpdk { device, touch: false, packets: 0 }
+        Dpdk {
+            device,
+            touch: false,
+            packets: 0,
+        }
     }
 
     /// Packets consumed since construction.
@@ -60,7 +68,11 @@ impl Dpdk {
 impl Workload for Dpdk {
     fn info(&self) -> WorkloadInfo {
         WorkloadInfo {
-            name: if self.touch { "DPDK-T".into() } else { "DPDK-NT".into() },
+            name: if self.touch {
+                "DPDK-T".into()
+            } else {
+                "DPDK-NT".into()
+            },
             kind: WorkloadKind::NetworkIo,
             device: Some(self.device),
         }
@@ -113,7 +125,11 @@ mod tests {
         let nic = sys
             .attach_nic(PortId(0), NicConfig::connectx6_100g(2, 16, 1024))
             .unwrap();
-        let wl = if touch { Dpdk::touching(nic) } else { Dpdk::non_touching(nic) };
+        let wl = if touch {
+            Dpdk::touching(nic)
+        } else {
+            Dpdk::non_touching(nic)
+        };
         let id = sys
             .add_workload(Box::new(wl), vec![CoreId(0), CoreId(1)], Priority::High)
             .unwrap();
@@ -160,10 +176,13 @@ mod tests {
     #[test]
     fn packet_counter_tracks() {
         let mut sys = System::new(SystemConfig::small_test());
-        let nic = sys.attach_nic(PortId(0), NicConfig::connectx6_100g(1, 16, 1024)).unwrap();
+        let nic = sys
+            .attach_nic(PortId(0), NicConfig::connectx6_100g(1, 16, 1024))
+            .unwrap();
         let dpdk = Dpdk::touching(nic);
         assert_eq!(dpdk.packets(), 0);
-        sys.add_workload(Box::new(dpdk), vec![CoreId(0)], Priority::High).unwrap();
+        sys.add_workload(Box::new(dpdk), vec![CoreId(0)], Priority::High)
+            .unwrap();
         sys.run_logical_seconds(1);
         let s = sys.sample();
         assert!(s.workloads[0].ops > 0);

@@ -35,7 +35,10 @@ pub struct Fastclick {
 impl Fastclick {
     /// Creates an instance bound to `device`.
     pub fn new(device: DeviceId) -> Self {
-        Fastclick { device, forwarded: 0 }
+        Fastclick {
+            device,
+            forwarded: 0,
+        }
     }
 
     /// Packets forwarded since construction.
@@ -100,7 +103,9 @@ mod tests {
     #[test]
     fn forwards_packets_with_egress_traffic() {
         let mut sys = System::new(SystemConfig::small_test());
-        let nic = sys.attach_nic(PortId(0), NicConfig::connectx6_100g(2, 16, 1024)).unwrap();
+        let nic = sys
+            .attach_nic(PortId(0), NicConfig::connectx6_100g(2, 16, 1024))
+            .unwrap();
         let id = sys
             .add_workload(
                 Box::new(Fastclick::new(nic)),
@@ -121,9 +126,15 @@ mod tests {
     #[test]
     fn egress_volume_matches_forwarded_packets() {
         let mut sys = System::new(SystemConfig::small_test());
-        let nic = sys.attach_nic(PortId(0), NicConfig::connectx6_100g(1, 16, 1024)).unwrap();
+        let nic = sys
+            .attach_nic(PortId(0), NicConfig::connectx6_100g(1, 16, 1024))
+            .unwrap();
         let id = sys
-            .add_workload(Box::new(Fastclick::new(nic)), vec![CoreId(0)], Priority::High)
+            .add_workload(
+                Box::new(Fastclick::new(nic)),
+                vec![CoreId(0)],
+                Priority::High,
+            )
             .unwrap();
         sys.run_logical_seconds(2);
         let s = sys.sample();

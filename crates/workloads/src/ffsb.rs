@@ -43,8 +43,7 @@ impl Ffsb {
     /// FFSB-H: heavy storage I/O (paper: 2 MB blocks, 3 cores; pass the
     /// scaled block size in lines).
     pub fn heavy(device: DeviceId, buffer_base: LineAddr, block_lines: u64, cores: usize) -> Self {
-        let engine =
-            Fio::new(device, buffer_base, block_lines, 8, cores).with_name("FFSB-H");
+        let engine = Fio::new(device, buffer_base, block_lines, 8, cores).with_name("FFSB-H");
         Ffsb {
             write_buffer: buffer_base,
             write_lines: block_lines,
@@ -78,7 +77,11 @@ impl Ffsb {
 impl Workload for Ffsb {
     fn info(&self) -> WorkloadInfo {
         let inner = self.engine.info();
-        WorkloadInfo { name: inner.name, kind: WorkloadKind::StorageIo, device: inner.device }
+        WorkloadInfo {
+            name: inner.name,
+            kind: WorkloadKind::StorageIo,
+            device: inner.device,
+        }
     }
 
     fn step(&mut self, ctx: &mut CoreCtx<'_>) {
@@ -117,7 +120,9 @@ mod tests {
     #[test]
     fn heavy_instance_reads_and_writes() {
         let mut sys = System::new(SystemConfig::small_test());
-        let ssd = sys.attach_nvme(PortId(0), NvmeConfig::raid0_980pro_x4()).unwrap();
+        let ssd = sys
+            .attach_nvme(PortId(0), NvmeConfig::raid0_980pro_x4())
+            .unwrap();
         let mut ffsb = Ffsb::heavy(ssd, LineAddr(0), 32, 2);
         let buf = sys.alloc_lines(ffsb.buffer_lines());
         // Shallow queue so the periodic write reaches the head quickly.
@@ -129,8 +134,15 @@ mod tests {
         sys.run_logical_seconds(8);
         let s = sys.sample();
         let w = s.workload(id).unwrap();
-        assert!(w.ops > WRITE_PERIOD, "enough reads to trigger a write: {}", w.ops);
-        assert!(w.latency_of(LatencyKind::StorageWrite).count > 0, "writes recorded");
+        assert!(
+            w.ops > WRITE_PERIOD,
+            "enough reads to trigger a write: {}",
+            w.ops
+        );
+        assert!(
+            w.latency_of(LatencyKind::StorageWrite).count > 0,
+            "writes recorded"
+        );
         let d = s.device(ssd).unwrap();
         assert!(d.dma_read_bytes > 0, "write commands DMA-read host buffers");
     }

@@ -62,7 +62,10 @@ impl Fio {
         qd_per_core: usize,
         cores: usize,
     ) -> Self {
-        assert!(block_lines > 0 && qd_per_core > 0 && cores > 0, "fio parameters must be nonzero");
+        assert!(
+            block_lines > 0 && qd_per_core > 0 && cores > 0,
+            "fio parameters must be nonzero"
+        );
         let slots = qd_per_core * cores;
         Fio {
             device,
@@ -153,7 +156,10 @@ impl Workload for Fio {
             };
             self.outstanding -= 1;
             let slot = self.slot_of(done.cmd.buffer);
-            let read_ns = done.completed_at.saturating_sub(self.submitted_at[slot]).as_nanos();
+            let read_ns = done
+                .completed_at
+                .saturating_sub(self.submitted_at[slot])
+                .as_nanos();
             ctx.record_latency(LatencyKind::StorageRead, read_ns);
 
             let mut regex_cycles = 0.0;
@@ -183,7 +189,9 @@ mod tests {
 
     fn run_fio(block_lines: u64) -> (a4_sim::MonitorSample, a4_model::WorkloadId) {
         let mut sys = System::new(SystemConfig::small_test());
-        let ssd = sys.attach_nvme(PortId(0), NvmeConfig::raid0_980pro_x4()).unwrap();
+        let ssd = sys
+            .attach_nvme(PortId(0), NvmeConfig::raid0_980pro_x4())
+            .unwrap();
         let mut fio = Fio::new(ssd, LineAddr(0), block_lines, 4, 2);
         let buf = sys.alloc_lines(fio.buffer_lines());
         fio.buffer_base = buf;
@@ -214,8 +222,16 @@ mod tests {
         let large = s_large.workload(id_l).unwrap();
         // Small quanta leave both sizes IOPS-bound: command rates match,
         // so byte throughput scales with block size.
-        assert!(small.ops >= large.ops, "small {} vs large {}", small.ops, large.ops);
-        assert!(large.io_bytes > small.io_bytes, "large blocks move more bytes");
+        assert!(
+            small.ops >= large.ops,
+            "small {} vs large {}",
+            small.ops,
+            large.ops
+        );
+        assert!(
+            large.io_bytes > small.io_bytes,
+            "large blocks move more bytes"
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl Redis {
     /// Panics if `ws_lines < 8` (the hot/cold split needs room).
     pub fn new(role: RedisRole, base: LineAddr, ws_lines: u64) -> Self {
         assert!(ws_lines >= 8, "redis working set too small");
-        Redis { role, base, ws_lines }
+        Redis {
+            role,
+            base,
+            ws_lines,
+        }
     }
 
     fn pick_line(&self, ctx: &mut CoreCtx<'_>) -> u64 {
@@ -155,7 +159,11 @@ mod tests {
         sys.run_logical_seconds(2);
         let sample = sys.sample();
         let w = sample.workload(id).unwrap();
-        assert!(w.mlc_miss_rate < 0.6, "hot subset caches well: {}", w.mlc_miss_rate);
+        assert!(
+            w.mlc_miss_rate < 0.6,
+            "hot subset caches well: {}",
+            w.mlc_miss_rate
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ mod tests {
         assert!(xmem > 2 * 32 * 1024);
         // 10 MB X-Mem 3 working set exceeds the whole scaled LLC.
         let xmem3 = bytes(Bytes::from_mib(10), g).as_u64();
-        assert!(xmem3 < g.capacity_bytes() / 2, "10MB/36 = 280KiB < 704KiB LLC");
+        assert!(
+            xmem3 < g.capacity_bytes() / 2,
+            "10MB/36 = 280KiB < 704KiB LLC"
+        );
     }
 
     #[test]

@@ -178,7 +178,13 @@ impl SpecCpu {
         let profile = *SpecProfile::by_name(name)?;
         let llc_lines = (geom.capacity_bytes() / a4_model::LINE_BYTES) as f64;
         let ws_lines = ((llc_lines * profile.ws_llc_fraction) as u64).max(16);
-        Some(SpecCpu { profile, base, ws_lines, cursor: 0, run_left: 0 })
+        Some(SpecCpu {
+            profile,
+            base,
+            ws_lines,
+            cursor: 0,
+            run_left: 0,
+        })
     }
 
     /// The profile in use.
@@ -223,7 +229,10 @@ impl Workload for SpecCpu {
             } else {
                 ctx.read(addr);
             }
-            ctx.compute(self.profile.compute_cycles, self.profile.compute_cycles as u64 / 2 + 2);
+            ctx.compute(
+                self.profile.compute_cycles,
+                self.profile.compute_cycles as u64 / 2 + 2,
+            );
             self.cursor += 1;
             self.run_left -= 1;
             ctx.add_ops(1);
@@ -240,8 +249,16 @@ mod tests {
     #[test]
     fn profiles_cover_the_papers_benchmarks() {
         for name in [
-            "x264", "parest", "xalancbmk", "lbm", "omnetpp", "exchange2", "bwaves", "mcf",
-            "blender", "fotonik3d",
+            "x264",
+            "parest",
+            "xalancbmk",
+            "lbm",
+            "omnetpp",
+            "exchange2",
+            "bwaves",
+            "mcf",
+            "blender",
+            "fotonik3d",
         ] {
             assert!(SpecProfile::by_name(name).is_some(), "{name} missing");
         }
@@ -251,12 +268,24 @@ mod tests {
     #[test]
     fn antagonist_classification_matches_the_paper() {
         // Fig. 13: bwaves, lbm, fotonik3d are flagged; x264, parest are not.
-        assert!(SpecProfile::by_name("lbm").unwrap().is_streaming_antagonist());
-        assert!(SpecProfile::by_name("bwaves").unwrap().is_streaming_antagonist());
-        assert!(SpecProfile::by_name("fotonik3d").unwrap().is_streaming_antagonist());
-        assert!(!SpecProfile::by_name("x264").unwrap().is_streaming_antagonist());
-        assert!(!SpecProfile::by_name("parest").unwrap().is_streaming_antagonist());
-        assert!(!SpecProfile::by_name("omnetpp").unwrap().is_streaming_antagonist());
+        assert!(SpecProfile::by_name("lbm")
+            .unwrap()
+            .is_streaming_antagonist());
+        assert!(SpecProfile::by_name("bwaves")
+            .unwrap()
+            .is_streaming_antagonist());
+        assert!(SpecProfile::by_name("fotonik3d")
+            .unwrap()
+            .is_streaming_antagonist());
+        assert!(!SpecProfile::by_name("x264")
+            .unwrap()
+            .is_streaming_antagonist());
+        assert!(!SpecProfile::by_name("parest")
+            .unwrap()
+            .is_streaming_antagonist());
+        assert!(!SpecProfile::by_name("omnetpp")
+            .unwrap()
+            .is_streaming_antagonist());
     }
 
     fn miss_rates(name: &str) -> (f64, f64) {
@@ -265,7 +294,9 @@ mod tests {
         let probe = SpecCpu::from_profile(name, LineAddr(0), geom).unwrap();
         let base = sys.alloc_lines(probe.ws_lines());
         let wl = SpecCpu::from_profile(name, base, geom).unwrap();
-        let id = sys.add_workload(Box::new(wl), vec![CoreId(0)], Priority::Low).unwrap();
+        let id = sys
+            .add_workload(Box::new(wl), vec![CoreId(0)], Priority::Low)
+            .unwrap();
         sys.run_logical_seconds(2);
         sys.sample();
         sys.run_logical_seconds(3);

@@ -80,18 +80,36 @@ impl XMem {
 
     /// X-Mem 1: sequential read (paper: 4 MB working set).
     pub fn instance_1(base: LineAddr, ws_lines: u64) -> Self {
-        Self::new("X-Mem 1", base, ws_lines, AccessPattern::Sequential, AccessOp::Read)
+        Self::new(
+            "X-Mem 1",
+            base,
+            ws_lines,
+            AccessPattern::Sequential,
+            AccessOp::Read,
+        )
     }
 
     /// X-Mem 2: sequential write (paper: 4 MB working set).
     pub fn instance_2(base: LineAddr, ws_lines: u64) -> Self {
-        Self::new("X-Mem 2", base, ws_lines, AccessPattern::Sequential, AccessOp::Write)
+        Self::new(
+            "X-Mem 2",
+            base,
+            ws_lines,
+            AccessPattern::Sequential,
+            AccessOp::Write,
+        )
     }
 
     /// X-Mem 3: random read with an LLC-pressure working set (paper:
     /// 10 MB).
     pub fn instance_3(base: LineAddr, ws_lines: u64) -> Self {
-        Self::new("X-Mem 3", base, ws_lines, AccessPattern::Random, AccessOp::Read)
+        Self::new(
+            "X-Mem 3",
+            base,
+            ws_lines,
+            AccessPattern::Random,
+            AccessOp::Read,
+        )
     }
 
     /// Working set size in lines.
@@ -102,14 +120,22 @@ impl XMem {
 
 impl Workload for XMem {
     fn info(&self) -> WorkloadInfo {
-        WorkloadInfo { name: self.name.clone(), kind: WorkloadKind::NonIo, device: None }
+        WorkloadInfo {
+            name: self.name.clone(),
+            kind: WorkloadKind::NonIo,
+            device: None,
+        }
     }
 
     /// Phase flips double/restore the working set — the "execution phase
     /// change" stimulus for the controller's §5.6 paths.
     fn set_phase(&mut self, phase: usize) {
         let base_ws = self.ws_lines.max(2);
-        self.ws_lines = if phase % 2 == 1 { base_ws * 2 } else { (base_ws / 2).max(1) };
+        self.ws_lines = if phase % 2 == 1 {
+            base_ws * 2
+        } else {
+            (base_ws / 2).max(1)
+        };
     }
 
     fn step(&mut self, ctx: &mut CoreCtx<'_>) {
@@ -188,7 +214,10 @@ mod tests {
         .unwrap();
         sys.run_logical_seconds(2);
         let s = sys.sample();
-        assert!(s.workloads[0].mem_write_bytes > 0, "dirty evictions write back");
+        assert!(
+            s.workloads[0].mem_write_bytes > 0,
+            "dirty evictions write back"
+        );
     }
 
     #[test]

@@ -10,7 +10,11 @@ use a4::core::{A4Config, A4Controller, DefaultPolicy};
 use a4::experiments::{scenario, RunOpts};
 
 fn main() {
-    let opts = RunOpts { warmup: 14, measure: 6, seed: 0xA4 };
+    let opts = RunOpts {
+        warmup: 14,
+        measure: 6,
+        seed: 0xA4,
+    };
 
     // Default model: everything shares the whole LLC.
     let mut harness = scenario::microbench_mix(opts);

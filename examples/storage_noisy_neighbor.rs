@@ -17,14 +17,16 @@ fn run(ssd_dca: bool, block_kib: u64) -> (f64, f64, f64) {
     let mut sys = scenario::base_system(&opts);
     let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
     let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
+    let dpdk =
+        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
     let lines = scenario::block_lines(&sys, block_kib);
-    let fio = scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low)
-        .expect("cores free");
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static")).unwrap();
+    let fio =
+        scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low).expect("cores free");
+    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static"))
+        .unwrap();
     sys.cat_assign_workload(dpdk, ClosId(1)).unwrap();
-    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static")).unwrap();
+    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static"))
+        .unwrap();
     sys.cat_assign_workload(fio, ClosId(2)).unwrap();
     sys.set_device_dca(ssd, ssd_dca).expect("attached");
     let mut harness = Harness::new(sys);

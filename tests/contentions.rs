@@ -20,9 +20,15 @@ fn fig3a_dpdk_nt_only_hurts_dca_ways() {
     let at_dca = table.get("[0:1]", "xmem_miss").unwrap();
     let at_std = table.get("[3:4]", "xmem_miss").unwrap();
     let at_incl = table.get("[9:10]", "xmem_miss").unwrap();
-    assert!(at_dca > 0.1, "latent contention at the DCA ways: {at_dca:.3}");
+    assert!(
+        at_dca > 0.1,
+        "latent contention at the DCA ways: {at_dca:.3}"
+    );
     assert!(at_std < 0.05, "standard ways are quiet: {at_std:.3}");
-    assert!(at_incl < 0.1, "NT causes no directory contention: {at_incl:.3}");
+    assert!(
+        at_incl < 0.1,
+        "NT causes no directory contention: {at_incl:.3}"
+    );
 }
 
 /// (C1) Fig. 3b: DPDK-T adds the DMA-bloat bump at its own ways and the
@@ -34,9 +40,18 @@ fn fig3b_dpdk_t_shows_all_three_bumps() {
     let at_std = table.get("[3:4]", "xmem_miss").unwrap();
     let at_dpdk = table.get("[5:6]", "xmem_miss").unwrap();
     let at_incl = table.get("[9:10]", "xmem_miss").unwrap();
-    assert!(at_dca > at_std + 0.05, "latent contention: {at_dca:.3} vs {at_std:.3}");
-    assert!(at_dpdk > at_std + 0.05, "DMA bloat at DPDK's ways: {at_dpdk:.3}");
-    assert!(at_incl > at_std + 0.05, "directory contention: {at_incl:.3}");
+    assert!(
+        at_dca > at_std + 0.05,
+        "latent contention: {at_dca:.3} vs {at_std:.3}"
+    );
+    assert!(
+        at_dpdk > at_std + 0.05,
+        "DMA bloat at DPDK's ways: {at_dpdk:.3}"
+    );
+    assert!(
+        at_incl > at_std + 0.05,
+        "directory contention: {at_incl:.3}"
+    );
 }
 
 /// Fig. 4: disabling DCA removes the directory contention but inflates
@@ -46,10 +61,16 @@ fn fig4_dca_off_trades_contention_for_latency() {
     let o = opts();
     let (_, miss_on) = fig4::run_point(&o, true, Some(WayMask::INCLUSIVE));
     let (_, miss_off) = fig4::run_point(&o, false, Some(WayMask::INCLUSIVE));
-    assert!(miss_off < miss_on, "no migrations without DCA: {miss_off:.3} < {miss_on:.3}");
+    assert!(
+        miss_off < miss_on,
+        "no migrations without DCA: {miss_off:.3} < {miss_on:.3}"
+    );
     let (p99_on, _) = fig4::run_point(&o, true, None);
     let (p99_off, _) = fig4::run_point(&o, false, None);
-    assert!(p99_off > p99_on, "device-memory-MLC path is slower: {p99_off:.1}us > {p99_on:.1}us");
+    assert!(
+        p99_off > p99_on,
+        "device-memory-MLC path is slower: {p99_off:.1}us > {p99_on:.1}us"
+    );
 }
 
 /// (C2) A storage workload saturates its throughput identically with and
@@ -82,7 +103,10 @@ fn storage_is_dca_insensitive_but_leaky() {
         }
     }
     let ratio = tps[0] / tps[1];
-    assert!((0.85..1.18).contains(&ratio), "throughput insensitive to DCA: {tps:?}");
+    assert!(
+        (0.85..1.18).contains(&ratio),
+        "throughput insensitive to DCA: {tps:?}"
+    );
 }
 
 /// (C2) Fig. 6 end-to-end: co-running FIO inflates DPDK-T latency; the
@@ -97,9 +121,11 @@ fn selective_ssd_dca_off_recovers_network_latency() {
         let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).unwrap();
         let lines = scenario::block_lines(&sys, 128);
         let fio = scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low).unwrap();
-        sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).unwrap()).unwrap();
+        sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).unwrap())
+            .unwrap();
         sys.cat_assign_workload(dpdk, ClosId(1)).unwrap();
-        sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).unwrap()).unwrap();
+        sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).unwrap())
+            .unwrap();
         sys.cat_assign_workload(fio, ClosId(2)).unwrap();
         sys.set_device_dca(ssd, ssd_dca).unwrap();
         let mut harness = Harness::new(sys);
@@ -112,9 +138,15 @@ fn selective_ssd_dca_off_recovers_network_latency() {
     };
     let (al_on, tp_on) = run(true);
     let (al_off, tp_off) = run(false);
-    assert!(al_off < al_on, "[SSD-DCA off] lowers DPDK-T latency: {al_off:.1} < {al_on:.1} us");
+    assert!(
+        al_off < al_on,
+        "[SSD-DCA off] lowers DPDK-T latency: {al_off:.1} < {al_on:.1} us"
+    );
     let tp_ratio = tp_off / tp_on;
-    assert!((0.85..1.18).contains(&tp_ratio), "FIO throughput unharmed: {tp_on:.2} vs {tp_off:.2}");
+    assert!(
+        (0.85..1.18).contains(&tp_ratio),
+        "FIO throughput unharmed: {tp_on:.2} vs {tp_off:.2}"
+    );
 }
 
 /// Determinism: identical seeds reproduce identical counters through the

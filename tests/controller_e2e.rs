@@ -12,7 +12,11 @@ use a4::workloads::scale;
 /// Fig. 13.
 #[test]
 fn storage_antagonist_detection_end_to_end() {
-    let opts = RunOpts { warmup: 16, measure: 6, seed: 0xA4 };
+    let opts = RunOpts {
+        warmup: 16,
+        measure: 6,
+        seed: 0xA4,
+    };
     let mut sys = scenario::base_system(&opts);
     let nic = scenario::attach_nic(&mut sys, 4, 1024).unwrap();
     let ssd = scenario::attach_ssd(&mut sys).unwrap();
@@ -61,7 +65,10 @@ fn workload_termination_triggers_rezoning() {
             sys.set_workload_active(lp, false).unwrap();
         }
     }
-    assert!(a4ctl.workload_state(lp).is_none(), "terminated workload dropped from registry");
+    assert!(
+        a4ctl.workload_state(lp).is_none(),
+        "terminated workload dropped from registry"
+    );
     assert!(a4ctl.workload_state(hp).is_some());
     // The HPW still executes.
     sys.run_logical_seconds(1);
@@ -79,15 +86,23 @@ fn lp_zone_invariants_hold_under_full_mix() {
     scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).unwrap();
     scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).unwrap();
     scenario::add_xmem(&mut sys, 2, &[6], Priority::Low).unwrap();
-    let mut a4ctl =
-        A4Controller::new(A4Config::with_level(FeatureLevel::B, Thresholds::scaled_sim()));
+    let mut a4ctl = A4Controller::new(A4Config::with_level(
+        FeatureLevel::B,
+        Thresholds::scaled_sim(),
+    ));
     for _ in 0..15 {
         sys.run_logical_seconds(1);
         let sample = sys.sample();
         a4ctl.tick(&mut sys, &sample);
         let lp = a4ctl.lp_zone();
-        assert!(!lp.overlaps(WayMask::DCA), "LP zone entered the DCA ways: {lp}");
-        assert!(!lp.overlaps(WayMask::INCLUSIVE), "LP zone entered the inclusive ways: {lp}");
+        assert!(
+            !lp.overlaps(WayMask::DCA),
+            "LP zone entered the DCA ways: {lp}"
+        );
+        assert!(
+            !lp.overlaps(WayMask::INCLUSIVE),
+            "LP zone entered the inclusive ways: {lp}"
+        );
         assert!(lp.is_contiguous(), "CAT requires contiguity: {lp}");
     }
 }
@@ -97,10 +112,13 @@ fn lp_zone_invariants_hold_under_full_mix() {
 /// paper's "+51 % HPW, LPWs unharmed").
 #[test]
 fn a4_headline_hpw_improvement() {
-    let opts = RunOpts { warmup: 18, measure: 6, seed: 0xA4 };
+    let opts = RunOpts {
+        warmup: 18,
+        measure: 6,
+        seed: 0xA4,
+    };
     let (df, df_entries) = fig13::run_mix(&opts, scenario::Scheme::Default, true);
-    let (a4r, a4_entries) =
-        fig13::run_mix(&opts, scenario::Scheme::A4(FeatureLevel::D), true);
+    let (a4r, a4_entries) = fig13::run_mix(&opts, scenario::Scheme::A4(FeatureLevel::D), true);
     let mut hp_gain = 0.0;
     let mut hp_n = 0;
     let mut lp_gain = 0.0;
@@ -125,10 +143,13 @@ fn a4_headline_hpw_improvement() {
 /// for HPWs (the paper's consistent finding).
 #[test]
 fn isolate_does_not_beat_a4_for_hpws() {
-    let opts = RunOpts { warmup: 18, measure: 6, seed: 0xA4 };
+    let opts = RunOpts {
+        warmup: 18,
+        measure: 6,
+        seed: 0xA4,
+    };
     let (iso, iso_entries) = fig13::run_mix(&opts, scenario::Scheme::Isolate, true);
-    let (a4r, a4_entries) =
-        fig13::run_mix(&opts, scenario::Scheme::A4(FeatureLevel::D), true);
+    let (a4r, a4_entries) = fig13::run_mix(&opts, scenario::Scheme::A4(FeatureLevel::D), true);
     let mut iso_hp = 0.0;
     let mut a4_hp = 0.0;
     for (i, a) in iso_entries.iter().zip(&a4_entries) {
@@ -137,7 +158,10 @@ fn isolate_does_not_beat_a4_for_hpws() {
             a4_hp += fig13::perf(&a4r, a);
         }
     }
-    assert!(a4_hp >= iso_hp * 0.9, "A4 at least matches Isolate for HPWs");
+    assert!(
+        a4_hp >= iso_hp * 0.9,
+        "A4 at least matches Isolate for HPWs"
+    );
 }
 
 /// Execution-phase injection: mid-run working-set flips visibly change
