@@ -2,12 +2,12 @@
 //! happens to the key contention signals when a modelled mechanism is
 //! switched off or resized. Each benchmark returns the metric being
 //! ablated (via `iter`'s return value) so `--verbose` runs double as a
-//! mini ablation study.
+//! mini ablation study. The ablation knobs (DDIO way count, NIC
+//! burstiness) are plain `ScenarioSpec` overrides.
 
 use a4_bench::bench_opts;
-use a4_core::Harness;
-use a4_experiments::scenario;
-use a4_model::{ClosId, Priority, WayMask};
+use a4_experiments::spec::{DeviceSpec, ScenarioSpec, SystemTweaks, WorkloadSpec};
+use a4_model::{Priority, WayMask};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 /// X-Mem miss rate at the inclusive ways with DPDK-T running — the
@@ -15,22 +15,37 @@ use criterion::{criterion_group, criterion_main, Criterion};
 /// (the IIO `IIO_LLC_WAYS` knob; the paper uses the default 2).
 fn directory_contention(ddio_ways: usize) -> f64 {
     let opts = bench_opts();
-    let mut sys = scenario::base_system(&opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk =
-        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores free");
-    sys.hierarchy_mut()
-        .llc_mut()
-        .set_dca_mask(WayMask::from_range(0, ddio_ways).expect("within 11 ways"));
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static"))
-        .unwrap();
-    sys.cat_assign_workload(dpdk, ClosId(1)).unwrap();
-    sys.cat_set_mask(ClosId(2), WayMask::INCLUSIVE).unwrap();
-    sys.cat_assign_workload(xmem, ClosId(2)).unwrap();
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
-    report.llc_miss_rate(xmem)
+    let run = ScenarioSpec::new(format!("ablation ddio={ddio_ways}"), opts)
+        .with_system(SystemTweaks {
+            dca_ways: Some(ddio_ways),
+            ..SystemTweaks::none()
+        })
+        .with_nic(4, 1024)
+        .with_workload(
+            "dpdk",
+            WorkloadSpec::Dpdk {
+                device: "nic".into(),
+                touch: true,
+            },
+            &[0, 1, 2, 3],
+            Priority::High,
+        )
+        .with_workload(
+            "xmem",
+            WorkloadSpec::XMem { instance: 1 },
+            &[4, 5],
+            Priority::High,
+        )
+        .with_cat(
+            1,
+            WayMask::from_paper_range(5, 6).expect("static"),
+            &["dpdk"],
+        )
+        .with_cat(2, WayMask::INCLUSIVE, &["xmem"])
+        .build()
+        .expect("static ablation layout")
+        .run();
+    run.llc_miss_rate("xmem")
 }
 
 fn bench_ddio_way_count(c: &mut Criterion) {
@@ -54,15 +69,29 @@ fn bench_burstiness(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let opts = bench_opts();
-                let mut sys = scenario::base_system(&opts);
-                let mut cfg = a4_pcie::NicConfig::connectx6_100g(4, 64, 1024);
-                cfg.burst_amplitude = amplitude;
-                let nic = sys.attach_nic(a4_model::PortId(0), cfg).expect("port free");
-                let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High)
-                    .expect("cores free");
-                let mut harness = Harness::new(sys);
-                let report = harness.run(opts.warmup, opts.measure);
-                report.llc_miss_rate(dpdk)
+                let run = ScenarioSpec::new(format!("ablation bursts={label}"), opts)
+                    .with_device(
+                        "nic",
+                        0,
+                        DeviceSpec::Nic {
+                            rings: 4,
+                            packet_bytes: 1024,
+                            burst_amplitude: Some(amplitude),
+                        },
+                    )
+                    .with_workload(
+                        "dpdk",
+                        WorkloadSpec::Dpdk {
+                            device: "nic".into(),
+                            touch: true,
+                        },
+                        &[0, 1, 2, 3],
+                        Priority::High,
+                    )
+                    .build()
+                    .expect("static ablation layout")
+                    .run();
+                run.llc_miss_rate("dpdk")
             })
         });
     }

@@ -3,11 +3,12 @@
 //! track the cost of regenerating it and to catch performance
 //! regressions in the simulation pipeline. The complete sweeps (all
 //! rows/series of every figure) come from `cargo run --release -p
-//! a4-experiments --bin a4-repro`.
+//! a4-experiments --bin a4-repro`; scenarios are built through the
+//! declarative `ScenarioSpec` API like everything else.
 
 use a4_bench::bench_opts;
 use a4_core::FeatureLevel;
-use a4_experiments::scenario::Scheme;
+use a4_experiments::Scheme;
 use a4_experiments::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8};
 use a4_model::WayMask;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -17,7 +18,7 @@ fn bench_fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
     g.bench_function("dpdk_t_vs_xmem_at_dca_ways", |b| {
-        b.iter(|| fig3::run(&opts, true).get("[0:1]", "xmem_miss"))
+        b.iter(|| fig3::run_point(&opts, true, WayMask::from_paper_range(0, 1).unwrap()))
     });
     g.finish();
 }

@@ -264,7 +264,15 @@ fn gen_serialize(item: &Item) -> String {
                     Fields::Tuple(n) => {
                         let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
                         let pat = binds.join(", ");
-                        let inner = tuple_to_array(*n, |idx| format!("__f{idx}"));
+                        // Newtype variants serialize transparently (the
+                        // real serde representation `{"Variant": value}`),
+                        // matching the `Tuple(1)` deserialize arm; wider
+                        // tuples become arrays.
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            tuple_to_array(*n, |idx| format!("__f{idx}"))
+                        };
                         arms.push_str(&format!(
                             "{name}::{vname}({pat}) => ::serde::Value::Map(::std::vec![\
                                  (::std::string::String::from({vname:?}), {inner})]),\n"

@@ -64,6 +64,46 @@ impl RunReport {
             .sum()
     }
 
+    /// Length of the measurement window in *simulated* seconds: the sum
+    /// of the samples' interval lengths.
+    ///
+    /// This is the only correct denominator for paper-comparable
+    /// throughput (matching [`a4_sim::MonitorSample::dilated_gbps`]):
+    /// one monitoring sample covers one *logical* second, whose simulated
+    /// length is `quantum × quanta_per_second` (1 ms on the scaled Xeon,
+    /// 10 µs on the small test config). Hardcoding `samples.len() × 1e-3`
+    /// — the pattern this helper replaced — silently assumes the Xeon
+    /// config and is wrong by orders of magnitude on any other.
+    pub fn measured_secs(&self) -> f64 {
+        self.samples.iter().map(|s| s.interval.as_secs_f64()).sum()
+    }
+
+    /// Paper-comparable I/O throughput of a workload over the window, in
+    /// GB/s (total payload bytes over simulated window length).
+    pub fn io_gbps(&self, id: WorkloadId) -> f64 {
+        let secs = self.measured_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.total_io_bytes(id) as f64 / secs / 1e9
+    }
+
+    /// Paper-comparable DMA-read (device egress) throughput of a device
+    /// over the window, in GB/s.
+    pub fn device_dma_read_gbps(&self, id: a4_model::DeviceId) -> f64 {
+        let secs = self.measured_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        let bytes: u64 = self
+            .samples
+            .iter()
+            .filter_map(|s| s.device(id))
+            .map(|d| d.dma_read_bytes)
+            .sum();
+        bytes as f64 / secs / 1e9
+    }
+
     /// Total instructions of a workload across the window.
     pub fn total_instructions(&self, id: WorkloadId) -> u64 {
         self.samples
@@ -158,6 +198,21 @@ impl Harness {
             system,
             policy: None,
         }
+    }
+
+    /// Wraps a configured system with a policy already attached — the
+    /// single entry point `ScenarioSpec::build` uses.
+    pub fn with_policy(system: System, policy: Box<dyn LlcPolicy>) -> Self {
+        Harness {
+            system,
+            policy: Some(policy),
+        }
+    }
+
+    /// Unwraps the harness back into its system (for tests that drive
+    /// the control loop manually).
+    pub fn into_system(self) -> System {
+        self.system
     }
 
     /// Installs the LLC-management policy (none = uncontrolled hardware
@@ -257,6 +312,83 @@ mod tests {
         assert_eq!(report.policy, "none");
         assert_eq!(report.samples.len(), 2);
         assert_eq!(report.mem_read_gbps(), 0.0);
+    }
+
+    /// A report of `n` synthetic samples, each covering one 1 ms logical
+    /// second with `io_bytes` of workload-0 I/O payload.
+    fn synthetic_io_report(n: usize, io_bytes: u64) -> RunReport {
+        let samples = (1..=n)
+            .map(|sec| a4_sim::MonitorSample {
+                t: a4_model::SimTime::from_millis(sec as u64),
+                logical_second: sec as u64,
+                workloads: vec![a4_sim::WorkloadSample {
+                    id: WorkloadId(0),
+                    name: "io".into(),
+                    kind: a4_model::WorkloadKind::StorageIo,
+                    priority: Priority::High,
+                    accesses: 0,
+                    llc_hit_rate: 0.0,
+                    llc_miss_rate: 0.0,
+                    mlc_miss_rate: 0.0,
+                    instructions: 0,
+                    ipc: 0.0,
+                    ops: 1,
+                    io_bytes,
+                    latency: [a4_sim::LatencyStat::default(); 8],
+                    dca_allocs: 0,
+                    dca_updates: 0,
+                    dma_leaks: 0,
+                    dma_bloats: 0,
+                    migrations: 0,
+                    dca_leak_rate: 0.0,
+                    mem_read_bytes: 0,
+                    mem_write_bytes: 0,
+                }],
+                devices: vec![],
+                mem_read: a4_model::Bytes::ZERO,
+                mem_written: a4_model::Bytes::ZERO,
+                time_dilation: 1000.0,
+                interval: a4_model::SimTime::from_millis(1),
+            })
+            .collect();
+        RunReport {
+            policy: "none".into(),
+            samples,
+        }
+    }
+
+    /// Regression test pinning the samples→seconds conversion: one
+    /// monitoring sample covers one *logical* second of simulated time
+    /// (1 ms on the scaled Xeon), so throughput must divide by the
+    /// samples' actual interval lengths — never by `samples.len()`
+    /// (which treats a logical second as a real second, deflating GB/s
+    /// by the dilation factor of ~1000×), and never by a hardcoded
+    /// `len × 1e-3` (which breaks on any non-Xeon config).
+    #[test]
+    fn io_gbps_derives_seconds_from_sample_intervals() {
+        // 4 samples × 1 ms × 2.5 MB: 10 MB over 4 ms = 2.5 GB/s.
+        let report = synthetic_io_report(4, 2_500_000);
+        let id = WorkloadId(0);
+        assert_eq!(report.total_io_bytes(id), 10_000_000);
+        assert!((report.measured_secs() - 4e-3).abs() < 1e-12);
+        assert!((report.io_gbps(id) - 2.5).abs() < 1e-9);
+        // The buggy conversion (`samples.len()` as seconds) would report
+        // 1000× less.
+        let buggy = report.total_io_bytes(id) as f64 / report.samples.len() as f64 / 1e9;
+        assert!(report.io_gbps(id) > buggy * 999.0);
+    }
+
+    #[test]
+    fn io_gbps_is_config_independent() {
+        // small_test: logical second = 10 × 1 µs = 10 µs, so the old
+        // hardcoded `len × 1e-3` would be wrong by 100×.
+        let mut sys = System::new(SystemConfig::small_test());
+        let base = sys.alloc_lines(1);
+        sys.add_workload(Box::new(Busy(base)), vec![CoreId(0)], Priority::High)
+            .unwrap();
+        let mut h = Harness::new(sys);
+        let report = h.run_secs(3);
+        assert!((report.measured_secs() - 3e-5).abs() < 1e-15);
     }
 
     #[test]

@@ -3,33 +3,207 @@
 //! Usage:
 //!
 //! ```text
-//! a4-repro [FIGURES...] [--quick] [--json DIR]
+//! a4-repro [FIGURES...] [--quick] [--threads N] [--json DIR]
+//!          [--dump-specs DIR] [--spec FILE] [--list]
 //!
 //! FIGURES: fig3 fig4 fig5 fig6 fig7 fig8 fig11 fig12 fig13 fig14 fig15
 //!          (default: all)
-//! --quick: short warm-up/measure windows (CI-friendly)
-//! --json DIR: additionally dump each table as DIR/<id>.json
+//! --quick:          short warm-up/measure windows (CI-friendly)
+//! --threads N:      fan sweep cells out over N threads (default 1;
+//!                   tables are identical for any N)
+//! --json DIR:       additionally dump each table as DIR/<id>.json
+//! --dump-specs DIR: write each figure's cells as DIR/<fig>.specs.json
+//!                   instead of running them
+//! --spec FILE:      load a ScenarioSpec (or array of them) from JSON,
+//!                   run it, and print a per-role metric table
+//! --list:           list figures and their cell counts, then exit
 //! ```
 
 use a4_experiments::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8};
-use a4_experiments::{RunOpts, Table};
+use a4_experiments::{RunOpts, ScenarioSpec, SweepRunner, Table};
 use std::io::Write as _;
+
+/// Which run protocol a figure uses.
+#[derive(Clone, Copy)]
+enum Protocol {
+    /// Static-CAT discovery experiments (`RunOpts::paper`).
+    Paper,
+    /// Controller-driven experiments (`RunOpts::controller`).
+    Controller,
+}
+
+struct Figure {
+    name: &'static str,
+    desc: &'static str,
+    protocol: Protocol,
+    run: fn(&RunOpts, &SweepRunner) -> Vec<Table>,
+    specs: fn(&RunOpts) -> Vec<ScenarioSpec>,
+}
+
+fn figures() -> Vec<Figure> {
+    vec![
+        Figure {
+            name: "fig3",
+            desc: "way sweep: latent contention, DMA bloat, directory contention",
+            protocol: Protocol::Paper,
+            run: |o, r| vec![fig3::run_with(o, false, r), fig3::run_with(o, true, r)],
+            specs: |o| {
+                let mut s = fig3::specs(o, false);
+                s.extend(fig3::specs(o, true));
+                s
+            },
+        },
+        Figure {
+            name: "fig4",
+            desc: "directory-contention validation: DCA on vs off",
+            protocol: Protocol::Paper,
+            run: |o, r| vec![fig4::run_with(o, r)],
+            specs: fig4::specs,
+        },
+        Figure {
+            name: "fig5",
+            desc: "storage block-size sweep: throughput and DMA leak",
+            protocol: Protocol::Paper,
+            run: |o, r| vec![fig5::run_with(o, r)],
+            specs: fig5::specs,
+        },
+        Figure {
+            name: "fig6",
+            desc: "FIO vs DPDK-T latency across block sizes",
+            protocol: Protocol::Paper,
+            run: |o, r| vec![fig6::run_with(o, r)],
+            specs: fig6::specs,
+        },
+        Figure {
+            name: "fig7",
+            desc: "overlap vs exclude allocation strategies",
+            protocol: Protocol::Paper,
+            run: |o, r| vec![fig7::run_with(o, r)],
+            specs: fig7::specs,
+        },
+        Figure {
+            name: "fig8",
+            desc: "selective DCA off + trash-way shrinking",
+            protocol: Protocol::Paper,
+            run: |o, r| vec![fig8::run_a_with(o, r), fig8::run_b_with(o, r)],
+            specs: fig8::specs,
+        },
+        Figure {
+            name: "fig11",
+            desc: "X-Mem IPC/hit rate vs packet size, 3 schemes",
+            protocol: Protocol::Controller,
+            run: |o, r| vec![fig11::run_with(o, r)],
+            specs: fig11::specs,
+        },
+        Figure {
+            name: "fig12",
+            desc: "network metrics vs storage block size, 3 schemes",
+            protocol: Protocol::Controller,
+            run: |o, r| vec![fig12::run_with(o, r)],
+            specs: fig12::specs,
+        },
+        Figure {
+            name: "fig13",
+            desc: "real-world colocations, 6 schemes",
+            protocol: Protocol::Controller,
+            run: |o, r| vec![fig13::run_with(o, true, r), fig13::run_with(o, false, r)],
+            specs: |o| {
+                let mut s = fig13::specs(o, true);
+                s.extend(fig13::specs(o, false));
+                s
+            },
+        },
+        Figure {
+            name: "fig14",
+            desc: "latency breakdowns + system-wide metrics",
+            protocol: Protocol::Controller,
+            run: |o, r| fig14::run_with(o, r),
+            specs: fig14::specs,
+        },
+        Figure {
+            name: "fig15",
+            desc: "threshold & timing sensitivity",
+            protocol: Protocol::Controller,
+            run: fig15::run_all_with,
+            specs: fig15::specs,
+        },
+    ]
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        // `--json --quick` must not treat the next flag as a directory.
+        _ => panic!("{flag} requires a value argument"),
+    }
+}
+
+fn spec_table(run: &a4_experiments::ScenarioRun) -> Table {
+    let mut table = Table::new(
+        format!("spec-{}", run.name),
+        format!("scenario {} ({})", run.name, run.report.policy),
+        ["perf", "ipc", "llc_hit", "io_gbps"],
+    );
+    for binding in &run.workloads {
+        table.push(
+            binding.role.clone(),
+            [
+                run.perf(&binding.role),
+                run.ipc(&binding.role),
+                run.llc_hit_rate(&binding.role),
+                run.io_gbps(&binding.role),
+            ],
+        );
+    }
+    table
+}
+
+/// Positional (non-flag) arguments: everything that is not a `--flag`
+/// or the value slot of a value-taking flag, so `--json fig-tables/`
+/// never turns its directory into a figure filter.
+fn positional_args(args: &[String]) -> Vec<&str> {
+    const VALUE_FLAGS: [&str; 4] = ["--json", "--dump-specs", "--spec", "--threads"];
+    let mut positional = Vec::new();
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_value = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        positional.push(arg.as_str());
+    }
+    positional
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_dir = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let figures: Vec<&str> = args
-        .iter()
-        .filter(|a| a.starts_with("fig"))
-        .map(String::as_str)
-        .collect();
-    let all = figures.is_empty();
-    let wants = |name: &str| all || figures.contains(&name);
+    let list = args.iter().any(|a| a == "--list");
+    let json_dir = flag_value(&args, "--json");
+    let dump_dir = flag_value(&args, "--dump-specs");
+    let spec_file = flag_value(&args, "--spec");
+    let threads: usize = flag_value(&args, "--threads")
+        .map(|t| t.parse().expect("--threads takes a positive integer"))
+        .unwrap_or(1);
+    let runner = SweepRunner::with_threads(threads);
+    let wanted = positional_args(&args);
+    let known: Vec<&str> = figures().iter().map(|f| f.name).collect();
+    for name in &wanted {
+        assert!(
+            known.contains(name),
+            "unknown figure {name:?} (run --list for the vocabulary)"
+        );
+    }
+    let all = wanted.is_empty();
+    let wants = |name: &str| all || wanted.contains(&name);
 
     let opts = if quick {
         RunOpts::quick()
@@ -45,56 +219,67 @@ fn main() {
     } else {
         RunOpts::controller()
     };
+    let opts_for = |f: &Figure| match f.protocol {
+        Protocol::Paper => opts,
+        Protocol::Controller => ctl_opts,
+    };
+
+    if list {
+        println!("figure  cells  description");
+        for f in figures() {
+            let cells = (f.specs)(&opts_for(&f)).len();
+            println!("{:<7} {:>5}  {}", f.name, cells, f.desc);
+        }
+        return;
+    }
 
     let mut tables: Vec<Table> = Vec::new();
-    if wants("fig3") {
-        eprintln!("[a4-repro] fig3 (way sweep, ~20 runs)...");
-        tables.push(fig3::run(&opts, false));
-        tables.push(fig3::run(&opts, true));
+
+    if let Some(path) = &spec_file {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read spec file {path}: {e}"));
+        // Accept a single spec object or an array of them.
+        let specs: Vec<ScenarioSpec> = serde_json::from_str::<Vec<ScenarioSpec>>(&json)
+            .or_else(|_| serde_json::from_str::<ScenarioSpec>(&json).map(|s| vec![s]))
+            .unwrap_or_else(|e| panic!("cannot parse {path} as ScenarioSpec JSON: {e}"));
+        assert!(!specs.is_empty(), "{path} contains no scenario specs");
+        eprintln!(
+            "[a4-repro] running {} scenario(s) from {path} on {threads} thread(s)...",
+            specs.len()
+        );
+        let runs = runner
+            .run_specs(&specs)
+            .unwrap_or_else(|e| panic!("spec failed to build: {e}"));
+        tables.extend(runs.iter().map(spec_table));
     }
-    if wants("fig4") {
-        eprintln!("[a4-repro] fig4 (directory-contention validation)...");
-        tables.push(fig4::run(&opts));
-    }
-    if wants("fig5") {
-        eprintln!("[a4-repro] fig5 (storage block-size sweep)...");
-        tables.push(fig5::run(&opts));
-    }
-    if wants("fig6") {
-        eprintln!("[a4-repro] fig6 (FIO vs DPDK-T latency)...");
-        tables.push(fig6::run(&opts));
-    }
-    if wants("fig7") {
-        eprintln!("[a4-repro] fig7 (overlap vs exclude strategies)...");
-        tables.push(fig7::run(&opts));
-    }
-    if wants("fig8") {
-        eprintln!("[a4-repro] fig8 (selective DCA off + trash ways)...");
-        tables.push(fig8::run_a(&opts));
-        tables.push(fig8::run_b(&opts));
-    }
-    if wants("fig11") {
-        eprintln!("[a4-repro] fig11 (X-Mem vs packet size, 3 schemes)...");
-        tables.push(fig11::run(&ctl_opts));
-    }
-    if wants("fig12") {
-        eprintln!("[a4-repro] fig12 (network vs block size, 3 schemes)...");
-        tables.push(fig12::run(&ctl_opts));
-    }
-    if wants("fig13") {
-        eprintln!("[a4-repro] fig13 (real-world colocations, 6 schemes)...");
-        tables.push(fig13::run(&ctl_opts, true));
-        tables.push(fig13::run(&ctl_opts, false));
-    }
-    if wants("fig14") {
-        eprintln!("[a4-repro] fig14 (breakdowns + system metrics)...");
-        tables.extend(fig14::run(&ctl_opts));
-    }
-    if wants("fig15") {
-        eprintln!("[a4-repro] fig15 (sensitivity studies)...");
-        tables.push(fig15::run_a(&ctl_opts));
-        tables.push(fig15::run_b(&ctl_opts));
-        tables.push(fig15::run_c(&ctl_opts));
+
+    if let Some(dir) = dump_dir {
+        assert!(
+            json_dir.is_none() || !tables.is_empty(),
+            "--json has no tables to write in --dump-specs mode; \
+             combine --json with figure runs or --spec instead"
+        );
+        std::fs::create_dir_all(&dir).expect("create spec output dir");
+        for f in figures().iter().filter(|f| wants(f.name)) {
+            let specs = (f.specs)(&opts_for(f));
+            let path = format!("{dir}/{}.specs.json", f.name);
+            let json = serde_json::to_string_pretty(&specs).expect("specs serialize");
+            std::fs::write(&path, json).expect("write specs json");
+            eprintln!("[a4-repro] wrote {path} ({} cells)", specs.len());
+        }
+        if tables.is_empty() {
+            return;
+        }
+    } else if spec_file.is_none() || !wanted.is_empty() {
+        for f in figures().iter().filter(|f| wants(f.name)) {
+            let o = opts_for(f);
+            let cells = (f.specs)(&o).len();
+            eprintln!(
+                "[a4-repro] {} ({}; {cells} cells, {threads} thread(s))...",
+                f.name, f.desc
+            );
+            tables.extend((f.run)(&o, &runner));
+        }
     }
 
     for table in &tables {

@@ -6,65 +6,91 @@
 //! blocks) and X-Mem 1 (HPW) / X-Mem 2 (LPW) / X-Mem 3 (LPW, detected
 //! antagonist); packet size swept 64 B to 1514 B.
 
-use crate::scenario::{self, RunOpts, Scheme};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 use crate::table::Table;
-use a4_core::{Harness, RunReport};
-use a4_model::{Priority, WorkloadId};
+use a4_model::Priority;
 
 /// The swept packet sizes in bytes.
 pub const PACKET_BYTES: [u64; 6] = [64, 128, 256, 512, 1024, 1514];
 
-/// Ids of interest from one run.
-#[derive(Debug, Clone, Copy)]
-pub struct MixIds {
-    /// DPDK-T.
-    pub dpdk: WorkloadId,
-    /// FIO.
-    pub fio: WorkloadId,
-    /// X-Mem 1 (HPW).
-    pub xmem1: WorkloadId,
-    /// X-Mem 2 (LPW).
-    pub xmem2: WorkloadId,
-    /// X-Mem 3 (LPW antagonist).
-    pub xmem3: WorkloadId,
+/// The §7.1 mix as one declarative cell.
+pub fn mix_spec(opts: &RunOpts, scheme: Scheme, packet_bytes: u64, block_kib: u64) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!(
+            "fig11 mix {}B {}KB {}",
+            packet_bytes,
+            block_kib,
+            scheme.label()
+        ),
+        *opts,
+    )
+    .with_nic(4, packet_bytes)
+    .with_ssd()
+    .with_workload(
+        "dpdk",
+        WorkloadSpec::Dpdk {
+            device: "nic".into(),
+            touch: true,
+        },
+        &[0, 1, 2, 3],
+        Priority::High,
+    )
+    .with_workload(
+        "fio",
+        WorkloadSpec::Fio {
+            device: "ssd".into(),
+            block_kib,
+        },
+        &[4, 5, 6, 7],
+        Priority::Low,
+    )
+    .with_workload(
+        "xmem1",
+        WorkloadSpec::XMem { instance: 1 },
+        &[8, 9],
+        Priority::High,
+    )
+    .with_workload(
+        "xmem2",
+        WorkloadSpec::XMem { instance: 2 },
+        &[10],
+        Priority::Low,
+    )
+    .with_workload(
+        "xmem3",
+        WorkloadSpec::XMem { instance: 3 },
+        &[11],
+        Priority::Low,
+    )
+    .with_scheme(scheme)
 }
 
 /// Builds the §7.1 mix and runs it under `scheme`.
-pub fn run_mix(
-    opts: &RunOpts,
-    scheme: Scheme,
-    packet_bytes: u64,
-    block_kib: u64,
-) -> (RunReport, MixIds) {
-    let mut sys = scenario::base_system(opts);
-    let nic = scenario::attach_nic(&mut sys, 4, packet_bytes).expect("port free");
-    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let dpdk =
-        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    let blk = scenario::block_lines(&sys, block_kib);
-    let fio =
-        scenario::add_fio(&mut sys, ssd, blk, &[4, 5, 6, 7], Priority::Low).expect("cores free");
-    let xmem1 = scenario::add_xmem(&mut sys, 1, &[8, 9], Priority::High).expect("cores free");
-    let xmem2 = scenario::add_xmem(&mut sys, 2, &[10], Priority::Low).expect("cores free");
-    let xmem3 = scenario::add_xmem(&mut sys, 3, &[11], Priority::Low).expect("cores free");
-    let mut harness = Harness::new(sys);
-    harness.attach_policy(scheme.policy());
-    let report = harness.run(opts.warmup, opts.measure);
-    (
-        report,
-        MixIds {
-            dpdk,
-            fio,
-            xmem1,
-            xmem2,
-            xmem3,
-        },
-    )
+pub fn run_mix(opts: &RunOpts, scheme: Scheme, packet_bytes: u64, block_kib: u64) -> ScenarioRun {
+    mix_spec(opts, scheme, packet_bytes, block_kib)
+        .build()
+        .expect("static fig11 layout")
+        .run()
 }
 
-/// Runs the full figure: per packet size, per scheme, IPC and LLC hit
-/// rate of each X-Mem.
+/// All cells of the figure: packet size major, scheme minor.
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    PACKET_BYTES
+        .iter()
+        .flat_map(|&pkt| Scheme::main_three().into_iter().map(move |s| (pkt, s)))
+        .map(|(pkt, scheme)| mix_spec(opts, scheme, pkt, 2048))
+        .collect()
+}
+
+/// Runs the full figure serially.
 pub fn run(opts: &RunOpts) -> Table {
+    run_with(opts, &SweepRunner::serial())
+}
+
+/// Runs the full figure, fanning cells out over `runner`: per packet
+/// size, per scheme, IPC and LLC hit rate of each X-Mem.
+pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
     let mut columns = Vec::new();
     for scheme in Scheme::main_three() {
         for xm in ["xmem1", "xmem2", "xmem3"] {
@@ -77,13 +103,16 @@ pub fn run(opts: &RunOpts) -> Table {
         "X-Mem IPC and LLC hit rates vs packet size",
         columns,
     );
-    for pkt in PACKET_BYTES {
+    let runs = runner.run_specs(&specs(opts)).expect("static fig11 layout");
+    for (chunk, pkt) in runs
+        .chunks_exact(Scheme::main_three().len())
+        .zip(PACKET_BYTES)
+    {
         let mut row = Vec::new();
-        for scheme in Scheme::main_three() {
-            let (report, ids) = run_mix(opts, scheme, pkt, 2048);
-            for id in [ids.xmem1, ids.xmem2, ids.xmem3] {
-                row.push(report.ipc(id));
-                row.push(report.llc_hit_rate(id));
+        for run in chunk {
+            for xm in ["xmem1", "xmem2", "xmem3"] {
+                row.push(run.ipc(xm));
+                row.push(run.llc_hit_rate(xm));
             }
         }
         table.push(format!("{pkt}B"), row);
@@ -103,16 +132,16 @@ mod tests {
             measure: 4,
             seed: 0xA4,
         };
-        let (default_report, ids_d) = run_mix(&opts, Scheme::Default, 1024, 2048);
-        let (a4_report, ids_a) = run_mix(&opts, Scheme::A4(FeatureLevel::D), 1024, 2048);
-        let ipc_default = default_report.ipc(ids_d.xmem1);
-        let ipc_a4 = a4_report.ipc(ids_a.xmem1);
+        let default_run = run_mix(&opts, Scheme::Default, 1024, 2048);
+        let a4_run = run_mix(&opts, Scheme::A4(FeatureLevel::D), 1024, 2048);
+        let ipc_default = default_run.ipc("xmem1");
+        let ipc_a4 = a4_run.ipc("xmem1");
         assert!(
             ipc_a4 > ipc_default,
             "A4 speeds up the cache-sensitive HPW: default={ipc_default:.3} a4={ipc_a4:.3}"
         );
-        let hit_a4 = a4_report.llc_hit_rate(ids_a.xmem1);
-        let hit_default = default_report.llc_hit_rate(ids_d.xmem1);
+        let hit_a4 = a4_run.llc_hit_rate("xmem1");
+        let hit_default = default_run.llc_hit_rate("xmem1");
         assert!(
             hit_a4 > hit_default,
             "A4 raises the HPW hit rate: default={hit_default:.3} a4={hit_a4:.3}"

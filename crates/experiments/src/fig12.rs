@@ -5,32 +5,53 @@
 //! worst); A4 recovers once FIO is detected as an antagonist (~128 KB+),
 //! ending 58 % lower latency / 5 % higher throughput at 2 MB.
 
-use crate::fig11::run_mix;
-use crate::scenario::{RunOpts, Scheme};
+use crate::fig11::mix_spec;
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioSpec, Scheme};
 use crate::table::Table;
 use a4_sim::LatencyKind;
 
 /// The swept block sizes in KiB.
 pub const BLOCK_KIB: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
 
-/// Runs the full figure: per block size, per scheme, DPDK-T tail latency
-/// (µs) and network read throughput (GB/s).
+/// All cells of the figure: block size major, scheme minor (the 10 × 3
+/// grid whose cells parallelize independently).
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    BLOCK_KIB
+        .iter()
+        .flat_map(|&kib| {
+            Scheme::main_three()
+                .into_iter()
+                .map(move |scheme| (kib, scheme))
+        })
+        .map(|(kib, scheme)| mix_spec(opts, scheme, 1514, kib))
+        .collect()
+}
+
+/// Runs the full figure serially.
 pub fn run(opts: &RunOpts) -> Table {
+    run_with(opts, &SweepRunner::serial())
+}
+
+/// Runs the full figure, fanning cells out over `runner`: per block
+/// size, per scheme, DPDK-T tail latency (µs) and network read
+/// throughput (GB/s).
+pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
     let mut columns = Vec::new();
     for scheme in Scheme::main_three() {
         columns.push(format!("{}_tl_us", scheme.label()));
         columns.push(format!("{}_rx_gbps", scheme.label()));
     }
     let mut table = Table::new("fig12", "network metrics vs storage block size", columns);
-    for kib in BLOCK_KIB {
+    let runs = runner.run_specs(&specs(opts)).expect("static fig12 layout");
+    for (chunk, kib) in runs.chunks_exact(Scheme::main_three().len()).zip(BLOCK_KIB) {
         let mut row = Vec::new();
-        for scheme in Scheme::main_three() {
-            let (report, ids) = run_mix(opts, scheme, 1514, kib);
-            let tl = report.p99_latency_ns(ids.dpdk, LatencyKind::NetTotal) as f64 / 1000.0;
-            let secs = report.samples.len() as f64 * 1e-3;
-            let rx = report.total_io_bytes(ids.dpdk) as f64 / secs / 1e9;
-            row.push(tl);
-            row.push(rx);
+        for run in chunk {
+            row.push(run.p99_latency_us("dpdk", LatencyKind::NetTotal));
+            // Paper-comparable GB/s derived from the samples' simulated
+            // interval lengths (one logical second = 1 ms on the scaled
+            // Xeon) — see RunReport::measured_secs.
+            row.push(run.io_gbps("dpdk"));
         }
         table.push(format!("{kib}KB"), row);
     }
@@ -40,6 +61,7 @@ pub fn run(opts: &RunOpts) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fig11::run_mix;
     use a4_core::FeatureLevel;
 
     #[test]
@@ -49,13 +71,32 @@ mod tests {
             measure: 4,
             seed: 0xA4,
         };
-        let (default_report, ids_d) = run_mix(&opts, Scheme::Default, 1514, 2048);
-        let (a4_report, ids_a) = run_mix(&opts, Scheme::A4(FeatureLevel::D), 1514, 2048);
-        let al_default = default_report.mean_latency_ns(ids_d.dpdk, LatencyKind::NetTotal) / 1000.0;
-        let al_a4 = a4_report.mean_latency_ns(ids_a.dpdk, LatencyKind::NetTotal) / 1000.0;
+        let default_run = run_mix(&opts, Scheme::Default, 1514, 2048);
+        let a4_run = run_mix(&opts, Scheme::A4(FeatureLevel::D), 1514, 2048);
+        let al_default = default_run.mean_latency_us("dpdk", LatencyKind::NetTotal);
+        let al_a4 = a4_run.mean_latency_us("dpdk", LatencyKind::NetTotal);
         assert!(
             al_a4 < al_default,
             "A4 lowers network latency at 2MB blocks: default={al_default:.1}us a4={al_a4:.1}us"
         );
+    }
+
+    /// Regression guard for the throughput unit bug: the rx_gbps column
+    /// must agree with RunReport::io_gbps (interval-derived seconds),
+    /// not with a hand-rolled `samples.len()`-based conversion.
+    #[test]
+    fn rx_gbps_uses_interval_derived_seconds() {
+        let opts = RunOpts {
+            warmup: 1,
+            measure: 2,
+            seed: 0xA4,
+        };
+        let run = run_mix(&opts, Scheme::Default, 1514, 64);
+        let id = run.id("dpdk");
+        let bytes = run.report.total_io_bytes(id) as f64;
+        // Xeon config: 2 measured logical seconds = 2 ms simulated.
+        let expected = bytes / 2e-3 / 1e9;
+        assert!(bytes > 0.0);
+        assert!((run.io_gbps("dpdk") - expected).abs() < 1e-9);
     }
 }

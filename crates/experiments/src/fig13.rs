@@ -11,118 +11,117 @@
 //!
 //! Performance metric per the paper: throughput (completed operations)
 //! for the multi-threaded I/O workloads, IPC for the single-threaded
-//! ones; everything normalized to the Default model.
+//! ones (each placement's [`Metric`](crate::spec::Metric)); everything
+//! normalized to the Default model.
 
-use crate::scenario::{self, RunOpts, Scheme};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 use crate::table::Table;
-use a4_core::{Harness, RunReport};
-use a4_model::{Priority, WorkloadId};
-use a4_workloads::RedisRole;
+use a4_model::Priority;
 
-/// One registered workload of the mix.
-#[derive(Debug, Clone)]
-pub struct MixEntry {
-    /// Display name.
-    pub name: &'static str,
-    /// The id within the run.
-    pub id: WorkloadId,
-    /// Declared priority.
-    pub priority: Priority,
-    /// True if performance is measured as throughput (ops) rather than
-    /// IPC.
-    pub throughput_metric: bool,
+fn spec_cpu(benchmark: &str) -> WorkloadSpec {
+    WorkloadSpec::SpecCpu {
+        benchmark: benchmark.into(),
+    }
+}
+
+/// The colocation mix of one panel as a declarative cell.
+pub fn mix_spec(opts: &RunOpts, scheme: Scheme, hpw_heavy: bool) -> ScenarioSpec {
+    use Priority::{High, Low};
+    let panel = if hpw_heavy { "hpw-heavy" } else { "lpw-heavy" };
+    let base = ScenarioSpec::new(format!("fig13 {panel} {}", scheme.label()), *opts)
+        .with_nic(4, 1024)
+        .with_ssd();
+    let spec = if hpw_heavy {
+        base.with_workload(
+            "Fastclick",
+            WorkloadSpec::Fastclick {
+                device: "nic".into(),
+            },
+            &[0, 1, 2, 3],
+            High,
+        )
+        .with_workload("Redis-S", WorkloadSpec::RedisServer, &[4], High)
+        .with_workload("Redis-C", WorkloadSpec::RedisClient, &[5], High)
+        .with_workload("x264", spec_cpu("x264"), &[6], High)
+        .with_workload("parest", spec_cpu("parest"), &[7], High)
+        .with_workload("xalancbmk", spec_cpu("xalancbmk"), &[8], High)
+        .with_workload(
+            "FFSB-H",
+            WorkloadSpec::FfsbHeavy {
+                device: "ssd".into(),
+            },
+            &[9, 10, 11],
+            High,
+        )
+        .with_workload("lbm", spec_cpu("lbm"), &[12], Low)
+        .with_workload("omnetpp", spec_cpu("omnetpp"), &[13], Low)
+        .with_workload("exchange2", spec_cpu("exchange2"), &[14], Low)
+        .with_workload("bwaves", spec_cpu("bwaves"), &[15], Low)
+    } else {
+        base.with_workload(
+            "Fastclick",
+            WorkloadSpec::Fastclick {
+                device: "nic".into(),
+            },
+            &[0, 1, 2, 3],
+            High,
+        )
+        .with_workload(
+            "FFSB-L",
+            WorkloadSpec::FfsbLight {
+                device: "ssd".into(),
+            },
+            &[4],
+            High,
+        )
+        .with_workload("mcf", spec_cpu("mcf"), &[5], High)
+        .with_workload("blender", spec_cpu("blender"), &[6], High)
+        .with_workload(
+            "FFSB-H",
+            WorkloadSpec::FfsbHeavy {
+                device: "ssd".into(),
+            },
+            &[7, 8, 9],
+            Low,
+        )
+        .with_workload("Redis-S", WorkloadSpec::RedisServer, &[10], Low)
+        .with_workload("Redis-C", WorkloadSpec::RedisClient, &[11], Low)
+        .with_workload("x264", spec_cpu("x264"), &[12], Low)
+        .with_workload("parest", spec_cpu("parest"), &[13], Low)
+        .with_workload("fotonik3d", spec_cpu("fotonik3d"), &[14], Low)
+        .with_workload("lbm", spec_cpu("lbm"), &[15], Low)
+        .with_workload("bwaves", spec_cpu("bwaves"), &[16], Low)
+    };
+    spec.with_scheme(scheme)
 }
 
 /// Builds one scenario and runs it under `scheme`.
-pub fn run_mix(opts: &RunOpts, scheme: Scheme, hpw_heavy: bool) -> (RunReport, Vec<MixEntry>) {
-    let mut sys = scenario::base_system(opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let mut entries = Vec::new();
-    let add = |name: &'static str,
-               id: a4_model::Result<WorkloadId>,
-               priority: Priority,
-               tp: bool,
-               entries: &mut Vec<MixEntry>| {
-        entries.push(MixEntry {
-            name,
-            id: id.expect("scenario cores are laid out statically"),
-            priority,
-            throughput_metric: tp,
-        });
-    };
-
-    use Priority::{High, Low};
-    if hpw_heavy {
-        let id = scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], High);
-        add("Fastclick", id, High, true, &mut entries);
-        let id = scenario::add_redis(&mut sys, RedisRole::Server, 4, High);
-        add("Redis-S", id, High, false, &mut entries);
-        let id = scenario::add_redis(&mut sys, RedisRole::Client, 5, High);
-        add("Redis-C", id, High, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "x264", 6, High);
-        add("x264", id, High, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "parest", 7, High);
-        add("parest", id, High, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "xalancbmk", 8, High);
-        add("xalancbmk", id, High, false, &mut entries);
-        let id = scenario::add_ffsb_heavy(&mut sys, ssd, &[9, 10, 11], High);
-        add("FFSB-H", id, High, true, &mut entries);
-        let id = scenario::add_spec(&mut sys, "lbm", 12, Low);
-        add("lbm", id, Low, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "omnetpp", 13, Low);
-        add("omnetpp", id, Low, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "exchange2", 14, Low);
-        add("exchange2", id, Low, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "bwaves", 15, Low);
-        add("bwaves", id, Low, false, &mut entries);
-    } else {
-        let id = scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], High);
-        add("Fastclick", id, High, true, &mut entries);
-        let id = scenario::add_ffsb_light(&mut sys, ssd, 4, High);
-        add("FFSB-L", id, High, true, &mut entries);
-        let id = scenario::add_spec(&mut sys, "mcf", 5, High);
-        add("mcf", id, High, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "blender", 6, High);
-        add("blender", id, High, false, &mut entries);
-        let id = scenario::add_ffsb_heavy(&mut sys, ssd, &[7, 8, 9], Low);
-        add("FFSB-H", id, Low, true, &mut entries);
-        let id = scenario::add_redis(&mut sys, RedisRole::Server, 10, Low);
-        add("Redis-S", id, Low, false, &mut entries);
-        let id = scenario::add_redis(&mut sys, RedisRole::Client, 11, Low);
-        add("Redis-C", id, Low, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "x264", 12, Low);
-        add("x264", id, Low, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "parest", 13, Low);
-        add("parest", id, Low, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "fotonik3d", 14, Low);
-        add("fotonik3d", id, Low, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "lbm", 15, Low);
-        add("lbm", id, Low, false, &mut entries);
-        let id = scenario::add_spec(&mut sys, "bwaves", 16, Low);
-        add("bwaves", id, Low, false, &mut entries);
-    }
-
-    let mut harness = Harness::new(sys);
-    harness.attach_policy(scheme.policy());
-    let report = harness.run(opts.warmup, opts.measure);
-    (report, entries)
+pub fn run_mix(opts: &RunOpts, scheme: Scheme, hpw_heavy: bool) -> ScenarioRun {
+    mix_spec(opts, scheme, hpw_heavy)
+        .build()
+        .expect("static fig13 layout")
+        .run()
 }
 
-/// Absolute performance of one workload under one run.
-pub fn perf(report: &RunReport, entry: &MixEntry) -> f64 {
-    if entry.throughput_metric {
-        report.total_ops(entry.id) as f64
-    } else {
-        report.ipc(entry.id)
-    }
+/// All six scheme cells of one panel.
+pub fn specs(opts: &RunOpts, hpw_heavy: bool) -> Vec<ScenarioSpec> {
+    Scheme::all_six()
+        .into_iter()
+        .map(|s| mix_spec(opts, s, hpw_heavy))
+        .collect()
 }
 
-/// Runs one scenario across all six schemes; rows are workloads plus the
-/// Avg(HP)/Avg(LP)/Avg(all) summary rows, columns are relative
-/// performance per scheme (normalized to Default) plus the A4-d LLC hit
-/// rate.
+/// Runs one scenario across all six schemes, serially.
 pub fn run(opts: &RunOpts, hpw_heavy: bool) -> Table {
+    run_with(opts, hpw_heavy, &SweepRunner::serial())
+}
+
+/// Runs one scenario across all six schemes, fanning the cells out over
+/// `runner`; rows are workloads plus the Avg(HP)/Avg(LP)/Avg(all)
+/// summary rows, columns are relative performance per scheme (normalized
+/// to Default) plus the A4-d LLC hit rate.
+pub fn run_with(opts: &RunOpts, hpw_heavy: bool, runner: &SweepRunner) -> Table {
     let (id, title) = if hpw_heavy {
         ("fig13a", "HPW-heavy colocation (7 HPW + 4 LPW)")
     } else {
@@ -135,28 +134,24 @@ pub fn run(opts: &RunOpts, hpw_heavy: bool) -> Table {
     columns.push("llc_hit_A4-d".into());
     let mut table = Table::new(id, title, columns);
 
-    let runs: Vec<(Scheme, RunReport, Vec<MixEntry>)> = Scheme::all_six()
-        .into_iter()
-        .map(|s| {
-            let (report, entries) = run_mix(opts, s, hpw_heavy);
-            (s, report, entries)
-        })
-        .collect();
-    let (_, default_report, default_entries) = &runs[0];
-    let (_, a4d_report, a4d_entries) = &runs[runs.len() - 1];
+    let runs = runner
+        .run_specs(&specs(opts, hpw_heavy))
+        .expect("static fig13 layout");
+    let default_run = &runs[0];
+    let a4d_run = &runs[runs.len() - 1];
 
-    let n = default_entries.len();
+    let n = default_run.workloads.len();
     let mut rel = vec![vec![0.0; runs.len()]; n];
-    for (si, (_, report, entries)) in runs.iter().enumerate() {
-        for (wi, entry) in entries.iter().enumerate() {
-            let base = perf(default_report, &default_entries[wi]).max(1e-12);
-            rel[wi][si] = perf(report, entry) / base;
+    for (si, run) in runs.iter().enumerate() {
+        for (wi, binding) in run.workloads.iter().enumerate() {
+            let base = default_run.perf(&default_run.workloads[wi].role).max(1e-12);
+            rel[wi][si] = run.perf(&binding.role) / base;
         }
     }
-    for (wi, entry) in default_entries.iter().enumerate() {
+    for (wi, binding) in default_run.workloads.iter().enumerate() {
         let mut row = rel[wi].clone();
-        row.push(a4d_report.llc_hit_rate(a4d_entries[wi].id));
-        table.push(entry.name, row);
+        row.push(a4d_run.llc_hit_rate(&binding.role));
+        table.push(binding.role.clone(), row);
     }
     // Summary rows.
     for (label, filter) in [
@@ -164,10 +159,11 @@ pub fn run(opts: &RunOpts, hpw_heavy: bool) -> Table {
         ("Avg(LP)", Some(Priority::Low)),
         ("Avg(all)", None),
     ] {
-        let idxs: Vec<usize> = default_entries
+        let idxs: Vec<usize> = default_run
+            .workloads
             .iter()
             .enumerate()
-            .filter(|(_, e)| filter.is_none_or(|p| e.priority == p))
+            .filter(|(_, b)| filter.is_none_or(|p| b.priority == p))
             .map(|(i, _)| i)
             .collect();
         let mut row: Vec<f64> = (0..runs.len())
@@ -175,7 +171,7 @@ pub fn run(opts: &RunOpts, hpw_heavy: bool) -> Table {
             .collect();
         let hit = idxs
             .iter()
-            .map(|&i| a4d_report.llc_hit_rate(a4d_entries[i].id))
+            .map(|&i| a4d_run.llc_hit_rate(&a4d_run.workloads[i].role))
             .sum::<f64>()
             / idxs.len() as f64;
         row.push(hit);
@@ -192,16 +188,22 @@ mod tests {
     #[test]
     fn mixes_have_the_papers_population() {
         let opts = RunOpts::quick();
-        let (_, hpw) = run_mix(&opts, Scheme::Default, true);
-        assert_eq!(hpw.len(), 11);
+        let hpw = mix_spec(&opts, Scheme::Default, true);
+        assert_eq!(hpw.workloads.len(), 11);
         assert_eq!(
-            hpw.iter().filter(|e| e.priority == Priority::High).count(),
+            hpw.workloads
+                .iter()
+                .filter(|p| p.priority == Priority::High)
+                .count(),
             7
         );
-        let (_, lpw) = run_mix(&opts, Scheme::Default, false);
-        assert_eq!(lpw.len(), 12);
+        let lpw = mix_spec(&opts, Scheme::Default, false);
+        assert_eq!(lpw.workloads.len(), 12);
         assert_eq!(
-            lpw.iter().filter(|e| e.priority == Priority::High).count(),
+            lpw.workloads
+                .iter()
+                .filter(|p| p.priority == Priority::High)
+                .count(),
             4
         );
     }
@@ -213,13 +215,13 @@ mod tests {
             measure: 6,
             seed: 0xA4,
         };
-        let (default_report, entries) = run_mix(&opts, Scheme::Default, true);
-        let (a4_report, a4_entries) = run_mix(&opts, Scheme::A4(FeatureLevel::D), true);
+        let default_run = run_mix(&opts, Scheme::Default, true);
+        let a4_run = run_mix(&opts, Scheme::A4(FeatureLevel::D), true);
         let mut gain = 0.0;
         let mut count = 0;
-        for (d, a) in entries.iter().zip(&a4_entries) {
-            if d.priority == Priority::High {
-                gain += perf(&a4_report, a) / perf(&default_report, d).max(1e-12);
+        for binding in &default_run.workloads {
+            if binding.priority == Priority::High {
+                gain += a4_run.perf(&binding.role) / default_run.perf(&binding.role).max(1e-12);
                 count += 1;
             }
         }

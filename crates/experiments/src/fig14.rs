@@ -7,50 +7,60 @@
 //! * 14c — system-wide I/O throughput (Fastclick Rx/Tx, FFSB-H R/W);
 //! * 14d — system-wide memory read/write bandwidth.
 
-use crate::scenario::{self, RunOpts, Scheme};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 use crate::table::Table;
-use a4_core::{Harness, RunReport};
-use a4_model::{DeviceId, Priority, WorkloadId};
+use a4_model::Priority;
 use a4_sim::LatencyKind;
 
-/// Handles of one Fig. 14 run.
-#[derive(Debug, Clone, Copy)]
-pub struct Fig14Ids {
-    /// Fastclick.
-    pub fastclick: WorkloadId,
-    /// FFSB-H.
-    pub ffsb: WorkloadId,
-    /// The NIC.
-    pub nic: DeviceId,
-    /// The SSD array.
-    pub ssd: DeviceId,
+/// The Fastclick (HPW, 4 cores) + FFSB-H (HPW, 3 cores) mix as one cell.
+pub fn mix_spec(opts: &RunOpts, scheme: Scheme) -> ScenarioSpec {
+    ScenarioSpec::new(format!("fig14 {}", scheme.label()), *opts)
+        .with_nic(4, 1024)
+        .with_ssd()
+        .with_workload(
+            "fastclick",
+            WorkloadSpec::Fastclick {
+                device: "nic".into(),
+            },
+            &[0, 1, 2, 3],
+            Priority::High,
+        )
+        .with_workload(
+            "ffsb",
+            WorkloadSpec::FfsbHeavy {
+                device: "ssd".into(),
+            },
+            &[4, 5, 6],
+            Priority::High,
+        )
+        .with_scheme(scheme)
 }
 
-/// Runs Fastclick (HPW, 4 cores) + FFSB-H (HPW, 3 cores) under `scheme`.
-pub fn run_mix(opts: &RunOpts, scheme: Scheme) -> (RunReport, Fig14Ids) {
-    let mut sys = scenario::base_system(opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let fastclick =
-        scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    let ffsb =
-        scenario::add_ffsb_heavy(&mut sys, ssd, &[4, 5, 6], Priority::High).expect("cores free");
-    let mut harness = Harness::new(sys);
-    harness.attach_policy(scheme.policy());
-    let report = harness.run(opts.warmup, opts.measure);
-    (
-        report,
-        Fig14Ids {
-            fastclick,
-            ffsb,
-            nic,
-            ssd,
-        },
-    )
+/// Runs Fastclick + FFSB-H under `scheme`.
+pub fn run_mix(opts: &RunOpts, scheme: Scheme) -> ScenarioRun {
+    mix_spec(opts, scheme)
+        .build()
+        .expect("static fig14 layout")
+        .run()
 }
 
-/// Runs all four panels; returns `[fig14a, fig14b, fig14c, fig14d]`.
+/// All six scheme cells.
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    Scheme::all_six()
+        .into_iter()
+        .map(|s| mix_spec(opts, s))
+        .collect()
+}
+
+/// Runs all four panels serially; returns `[fig14a, fig14b, fig14c,
+/// fig14d]`.
 pub fn run(opts: &RunOpts) -> Vec<Table> {
+    run_with(opts, &SweepRunner::serial())
+}
+
+/// Runs all four panels, fanning the scheme cells out over `runner`.
+pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Vec<Table> {
     let mut a = Table::new(
         "fig14a",
         "Fastclick average latency breakdown (us)",
@@ -71,46 +81,36 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
         "system-wide memory bandwidth (GB/s)",
         ["mem_rd", "mem_wr"],
     );
-    for scheme in Scheme::all_six() {
-        let (report, ids) = run_mix(opts, scheme);
-        let us = |kind| report.mean_latency_ns(ids.fastclick, kind) / 1000.0;
+    let runs = runner.run_specs(&specs(opts)).expect("static fig14 layout");
+    for (scheme, run) in Scheme::all_six().into_iter().zip(runs) {
         a.push(
             scheme.label(),
             [
-                us(LatencyKind::NetQueue),
-                us(LatencyKind::NetPointer),
-                us(LatencyKind::NetProcess),
+                run.mean_latency_us("fastclick", LatencyKind::NetQueue),
+                run.mean_latency_us("fastclick", LatencyKind::NetPointer),
+                run.mean_latency_us("fastclick", LatencyKind::NetProcess),
             ],
         );
-        let sus = |kind| report.mean_latency_ns(ids.ffsb, kind) / 1000.0;
         b.push(
             scheme.label(),
             [
-                sus(LatencyKind::StorageRead),
-                sus(LatencyKind::StorageRegex),
-                sus(LatencyKind::StorageWrite),
+                run.mean_latency_us("ffsb", LatencyKind::StorageRead),
+                run.mean_latency_us("ffsb", LatencyKind::StorageRegex),
+                run.mean_latency_us("ffsb", LatencyKind::StorageWrite),
             ],
         );
-        let secs = report.samples.len() as f64 * 1e-3;
-        let gbps = |bytes: u64| bytes as f64 / secs / 1e9;
-        let fc_rx = gbps(report.total_io_bytes(ids.fastclick));
-        let dev_rd: u64 = report
-            .samples
-            .iter()
-            .filter_map(|s| s.device(ids.nic))
-            .map(|d| d.dma_read_bytes)
-            .sum();
-        let ffsb_rd = gbps(report.total_io_bytes(ids.ffsb));
-        let ssd_rd: u64 = report
-            .samples
-            .iter()
-            .filter_map(|s| s.device(ids.ssd))
-            .map(|d| d.dma_read_bytes)
-            .sum();
-        c.push(scheme.label(), [fc_rx, gbps(dev_rd), ffsb_rd, gbps(ssd_rd)]);
+        c.push(
+            scheme.label(),
+            [
+                run.io_gbps("fastclick"),
+                run.device_dma_read_gbps("nic"),
+                run.io_gbps("ffsb"),
+                run.device_dma_read_gbps("ssd"),
+            ],
+        );
         d.push(
             scheme.label(),
-            [report.mem_read_gbps(), report.mem_write_gbps()],
+            [run.report.mem_read_gbps(), run.report.mem_write_gbps()],
         );
     }
     vec![a, b, c, d]
@@ -128,11 +128,11 @@ mod tests {
             measure: 6,
             seed: 0xA4,
         };
-        let (df, ids_df) = run_mix(&opts, Scheme::Default);
-        let (a4, ids_a4) = run_mix(&opts, Scheme::A4(FeatureLevel::D));
-        let total = |r: &RunReport, id| r.mean_latency_ns(id, LatencyKind::NetTotal);
+        let df = run_mix(&opts, Scheme::Default);
+        let a4 = run_mix(&opts, Scheme::A4(FeatureLevel::D));
         assert!(
-            total(&a4, ids_a4.fastclick) < total(&df, ids_df.fastclick),
+            a4.mean_latency_us("fastclick", LatencyKind::NetTotal)
+                < df.mean_latency_us("fastclick", LatencyKind::NetTotal),
             "A4-d lowers Fastclick latency"
         );
     }
@@ -146,10 +146,10 @@ mod tests {
             measure: 6,
             seed: 0xA4,
         };
-        let (df, ids_df) = run_mix(&opts, Scheme::Default);
-        let (a4, ids_a4) = run_mix(&opts, Scheme::A4(FeatureLevel::D));
-        let tp_df = df.total_io_bytes(ids_df.ffsb) as f64;
-        let tp_a4 = a4.total_io_bytes(ids_a4.ffsb) as f64;
+        let df = run_mix(&opts, Scheme::Default);
+        let a4 = run_mix(&opts, Scheme::A4(FeatureLevel::D));
+        let tp_df = df.report.total_io_bytes(df.id("ffsb")) as f64;
+        let tp_a4 = a4.report.total_io_bytes(a4.id("ffsb")) as f64;
         assert!(
             tp_a4 > tp_df * 0.7,
             "FFSB-H not notably compromised: default={tp_df:.0} a4={tp_a4:.0}"

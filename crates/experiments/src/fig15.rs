@@ -6,26 +6,34 @@
 //! * 15b — antagonist-detection thresholds T2/T3/T4;
 //! * 15c — stable interval 1/5/10/20 s vs an oracle that never reverts.
 
-use crate::fig13::{perf, run_mix};
-use crate::scenario::{RunOpts, Scheme};
+use crate::fig13::mix_spec;
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme};
 use crate::table::Table;
-use a4_core::{A4Config, A4Controller, FeatureLevel, Harness, Thresholds};
+use a4_core::{FeatureLevel, Thresholds};
 use a4_model::Priority;
 
-/// Runs the HPW-heavy mix under full A4 with custom thresholds; returns
-/// `(avg_hp, avg_lp, avg_all)` relative to the Default model.
-pub fn run_point(opts: &RunOpts, thresholds: Thresholds) -> (f64, f64, f64) {
-    let (default_report, default_entries) = run_mix(opts, Scheme::Default, true);
+/// The HPW-heavy mix under full A4 with custom thresholds, as one cell.
+pub fn spec(opts: &RunOpts, thresholds: Thresholds) -> ScenarioSpec {
+    mix_spec(opts, Scheme::A4(FeatureLevel::D), true).with_thresholds(thresholds)
+}
 
-    // Re-run the same population under an A4 instance with the custom
-    // thresholds.
-    let (a4_report, a4_entries) = run_mix_with_thresholds(opts, thresholds);
+/// The shared Default-model baseline cell.
+pub fn baseline_spec(opts: &RunOpts) -> ScenarioSpec {
+    mix_spec(opts, Scheme::Default, true)
+}
 
+/// `(avg_hp, avg_lp, avg_all)` of `a4` relative to `baseline`.
+fn relative(baseline: &ScenarioRun, a4: &ScenarioRun) -> (f64, f64, f64) {
     let mut sums = [0.0f64; 3];
     let mut counts = [0usize; 3];
-    for (d, a) in default_entries.iter().zip(&a4_entries) {
-        let rel = perf(&a4_report, a) / perf(&default_report, d).max(1e-12);
-        let bucket = if d.priority == Priority::High { 0 } else { 1 };
+    for binding in &baseline.workloads {
+        let rel = a4.perf(&binding.role) / baseline.perf(&binding.role).max(1e-12);
+        let bucket = if binding.priority == Priority::High {
+            0
+        } else {
+            1
+        };
         sums[bucket] += rel;
         counts[bucket] += 1;
         sums[2] += rel;
@@ -38,127 +46,209 @@ pub fn run_point(opts: &RunOpts, thresholds: Thresholds) -> (f64, f64, f64) {
     )
 }
 
-fn run_mix_with_thresholds(
-    opts: &RunOpts,
-    thresholds: Thresholds,
-) -> (a4_core::RunReport, Vec<crate::fig13::MixEntry>) {
-    // Same population as fig13 HPW-heavy, but with a parameterized A4.
-    let (_, entries) = run_mix(
-        &RunOpts {
-            warmup: 0,
-            measure: 0,
-            ..*opts
-        },
-        Scheme::Default,
-        true,
-    );
-    let mut sys = crate::scenario::base_system(opts);
-    let nic = crate::scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let ssd = crate::scenario::attach_ssd(&mut sys).expect("port free");
-    use a4_workloads::RedisRole;
-    use Priority::{High, Low};
-    let ids = [
-        crate::scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], High).expect("cores"),
-        crate::scenario::add_redis(&mut sys, RedisRole::Server, 4, High).expect("cores"),
-        crate::scenario::add_redis(&mut sys, RedisRole::Client, 5, High).expect("cores"),
-        crate::scenario::add_spec(&mut sys, "x264", 6, High).expect("cores"),
-        crate::scenario::add_spec(&mut sys, "parest", 7, High).expect("cores"),
-        crate::scenario::add_spec(&mut sys, "xalancbmk", 8, High).expect("cores"),
-        crate::scenario::add_ffsb_heavy(&mut sys, ssd, &[9, 10, 11], High).expect("cores"),
-        crate::scenario::add_spec(&mut sys, "lbm", 12, Low).expect("cores"),
-        crate::scenario::add_spec(&mut sys, "omnetpp", 13, Low).expect("cores"),
-        crate::scenario::add_spec(&mut sys, "exchange2", 14, Low).expect("cores"),
-        crate::scenario::add_spec(&mut sys, "bwaves", 15, Low).expect("cores"),
-    ];
-    let mut harness = Harness::new(sys);
-    harness.attach_policy(Box::new(A4Controller::new(A4Config::with_level(
-        FeatureLevel::D,
-        thresholds,
-    ))));
-    let report = harness.run(opts.warmup, opts.measure);
-    let entries = entries
-        .into_iter()
-        .zip(ids)
-        .map(|(mut e, id)| {
-            e.id = id;
-            e
-        })
-        .collect();
-    (report, entries)
+/// Runs the HPW-heavy mix under full A4 with custom thresholds; returns
+/// `(avg_hp, avg_lp, avg_all)` relative to the Default model.
+pub fn run_point(opts: &RunOpts, thresholds: Thresholds) -> (f64, f64, f64) {
+    let baseline = baseline_spec(opts)
+        .build()
+        .expect("static fig15 layout")
+        .run();
+    let a4 = spec(opts, thresholds)
+        .build()
+        .expect("static fig15 layout")
+        .run();
+    relative(&baseline, &a4)
 }
 
-/// Fig. 15a: T1 × T5 sweep.
-pub fn run_a(opts: &RunOpts) -> Table {
-    let mut table = Table::new(
-        "fig15a",
-        "partitioning thresholds T1 x T5",
-        ["avg_hp", "avg_lp", "avg_all"],
-    );
+/// The T1 × T5 grid of Fig. 15a as `(label, thresholds)` pairs.
+pub fn points_a() -> Vec<(String, Thresholds)> {
     let base = Thresholds::scaled_sim();
+    let mut points = Vec::new();
     for t1 in [0.10, 0.20, 0.30] {
         for t5 in [0.80, 0.60, 0.45] {
-            let t = Thresholds {
-                hpw_llc_hit_thr: t1,
-                ant_cache_miss_thr: t5,
-                ..base
-            };
-            let (hp, lp, all) = run_point(opts, t);
-            table.push(format!("T1={t1:.2} T5={t5:.2}"), [hp, lp, all]);
+            points.push((
+                format!("T1={t1:.2} T5={t5:.2}"),
+                Thresholds {
+                    hpw_llc_hit_thr: t1,
+                    ant_cache_miss_thr: t5,
+                    ..base
+                },
+            ));
         }
     }
-    table
+    points
 }
 
-/// Fig. 15b: antagonist-detection thresholds T2/T3/T4.
-pub fn run_b(opts: &RunOpts) -> Table {
-    let mut table = Table::new(
-        "fig15b",
-        "antagonist detection thresholds T2/T3/T4",
-        ["avg_hp", "avg_lp", "avg_all"],
-    );
+/// The T2/T3/T4 combinations of Fig. 15b.
+pub fn points_b() -> Vec<(String, Thresholds)> {
     let base = Thresholds::scaled_sim();
-    for (t2, t3, t4) in [
+    [
         (0.40, 0.35, 0.40),
         (0.65, 0.35, 0.40),
         (0.40, 0.65, 0.40),
         (0.40, 0.35, 0.80),
         (0.90, 0.90, 0.95),
-    ] {
-        let t = Thresholds {
-            dmalk_dca_ms_thr: t2,
-            dmalk_io_tp_thr: t3,
-            dmalk_llc_ms_thr: t4,
-            ..base
-        };
-        let (hp, lp, all) = run_point(opts, t);
-        table.push(format!("T2={t2:.2} T3={t3:.2} T4={t4:.2}"), [hp, lp, all]);
-    }
-    table
+    ]
+    .into_iter()
+    .map(|(t2, t3, t4)| {
+        (
+            format!("T2={t2:.2} T3={t3:.2} T4={t4:.2}"),
+            Thresholds {
+                dmalk_dca_ms_thr: t2,
+                dmalk_io_tp_thr: t3,
+                dmalk_llc_ms_thr: t4,
+                ..base
+            },
+        )
+    })
+    .collect()
 }
 
-/// Fig. 15c: stable-interval sweep vs oracle (never reverts).
-pub fn run_c(opts: &RunOpts) -> Table {
-    let mut table = Table::new(
-        "fig15c",
-        "stable interval vs oracle",
-        ["avg_hp", "avg_lp", "avg_all"],
-    );
+/// The stable-interval sweep of Fig. 15c (`oracle` never reverts).
+pub fn points_c() -> Vec<(String, Thresholds)> {
     let base = Thresholds::scaled_sim();
-    for (label, interval) in [
+    [
         ("1s", 1),
         ("5s", 5),
         ("10s", 10),
         ("20s", 20),
         ("oracle", u64::MAX / 2),
-    ] {
-        let t = Thresholds {
-            stable_interval: interval,
-            ..base
-        };
-        let (hp, lp, all) = run_point(opts, t);
-        table.push(label, [hp, lp, all]);
+    ]
+    .into_iter()
+    .map(|(label, interval)| {
+        (
+            label.to_string(),
+            Thresholds {
+                stable_interval: interval,
+                ..base
+            },
+        )
+    })
+    .collect()
+}
+
+/// All cells of one panel: the shared baseline first, then one A4 cell
+/// per threshold point.
+pub fn panel_specs(opts: &RunOpts, points: &[(String, Thresholds)]) -> Vec<ScenarioSpec> {
+    let mut specs = vec![baseline_spec(opts)];
+    specs.extend(points.iter().map(|(_, t)| spec(opts, *t)));
+    specs
+}
+
+/// Every distinct cell of the figure: the Default baseline once, then
+/// the three panels' threshold points (the baseline is shared across
+/// panels, so it is not repeated).
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    let mut specs = vec![baseline_spec(opts)];
+    for points in [points_a(), points_b(), points_c()] {
+        specs.extend(points.iter().map(|(_, t)| spec(opts, *t)));
+    }
+    specs
+}
+
+fn panel_table(
+    id: &str,
+    title: &str,
+    points: &[(String, Thresholds)],
+    baseline: &ScenarioRun,
+    runs: &[ScenarioRun],
+) -> Table {
+    let mut table = Table::new(id, title, ["avg_hp", "avg_lp", "avg_all"]);
+    for ((label, _), a4) in points.iter().zip(runs) {
+        let (hp, lp, all) = relative(baseline, a4);
+        table.push(label.clone(), [hp, lp, all]);
     }
     table
+}
+
+fn run_panel(
+    opts: &RunOpts,
+    runner: &SweepRunner,
+    id: &str,
+    title: &str,
+    points: &[(String, Thresholds)],
+) -> Table {
+    let runs = runner
+        .run_specs(&panel_specs(opts, points))
+        .expect("static fig15 layout");
+    panel_table(id, title, points, &runs[0], &runs[1..])
+}
+
+/// Runs all three panels sharing one Default baseline simulation (the
+/// cells of [`specs`], exactly once each); returns
+/// `[fig15a, fig15b, fig15c]`.
+pub fn run_all_with(opts: &RunOpts, runner: &SweepRunner) -> Vec<Table> {
+    let (a, b, c) = (points_a(), points_b(), points_c());
+    let runs = runner.run_specs(&specs(opts)).expect("static fig15 layout");
+    let baseline = &runs[0];
+    let rest = &runs[1..];
+    let (runs_a, rest) = rest.split_at(a.len());
+    let (runs_b, runs_c) = rest.split_at(b.len());
+    vec![
+        panel_table(
+            "fig15a",
+            "partitioning thresholds T1 x T5",
+            &a,
+            baseline,
+            runs_a,
+        ),
+        panel_table(
+            "fig15b",
+            "antagonist detection thresholds T2/T3/T4",
+            &b,
+            baseline,
+            runs_b,
+        ),
+        panel_table("fig15c", "stable interval vs oracle", &c, baseline, runs_c),
+    ]
+}
+
+/// Fig. 15a: T1 × T5 sweep, serial.
+pub fn run_a(opts: &RunOpts) -> Table {
+    run_a_with(opts, &SweepRunner::serial())
+}
+
+/// Fig. 15a: T1 × T5 sweep over `runner`.
+pub fn run_a_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
+    run_panel(
+        opts,
+        runner,
+        "fig15a",
+        "partitioning thresholds T1 x T5",
+        &points_a(),
+    )
+}
+
+/// Fig. 15b: antagonist-detection thresholds T2/T3/T4, serial.
+pub fn run_b(opts: &RunOpts) -> Table {
+    run_b_with(opts, &SweepRunner::serial())
+}
+
+/// Fig. 15b: antagonist-detection thresholds over `runner`.
+pub fn run_b_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
+    run_panel(
+        opts,
+        runner,
+        "fig15b",
+        "antagonist detection thresholds T2/T3/T4",
+        &points_b(),
+    )
+}
+
+/// Fig. 15c: stable interval sweep vs oracle, serial.
+pub fn run_c(opts: &RunOpts) -> Table {
+    run_c_with(opts, &SweepRunner::serial())
+}
+
+/// Fig. 15c: stable interval sweep over `runner`.
+pub fn run_c_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
+    run_panel(
+        opts,
+        runner,
+        "fig15c",
+        "stable interval vs oracle",
+        &points_c(),
+    )
 }
 
 #[cfg(test)]

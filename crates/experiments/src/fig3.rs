@@ -12,10 +12,10 @@
 //! (DMA bloat) and the `[9:10]` bump (directory contention, observation
 //! O1).
 
-use crate::scenario::{self, RunOpts};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
-use a4_core::Harness;
-use a4_model::{ClosId, Priority, WayMask};
+use a4_model::{Priority, WayMask};
 
 /// The ten swept X-Mem masks `[m:m+1]`.
 pub fn sweep_masks() -> Vec<WayMask> {
@@ -24,37 +24,66 @@ pub fn sweep_masks() -> Vec<WayMask> {
         .collect()
 }
 
+/// The declarative cell: DPDK (T or NT) pinned to ways `[5:6]`, X-Mem
+/// swept across `xmem_mask`.
+pub fn spec(opts: &RunOpts, touch: bool, xmem_mask: WayMask) -> ScenarioSpec {
+    let kind = if touch { "t" } else { "nt" };
+    ScenarioSpec::new(format!("fig3 dpdk-{kind} xmem@{xmem_mask}"), *opts)
+        .with_nic(4, 1024)
+        .with_workload(
+            "dpdk",
+            WorkloadSpec::Dpdk {
+                device: "nic".into(),
+                touch,
+            },
+            &[0, 1, 2, 3],
+            Priority::High,
+        )
+        .with_workload(
+            "xmem",
+            WorkloadSpec::XMem { instance: 1 },
+            &[4, 5],
+            Priority::High,
+        )
+        .with_cat(
+            1,
+            WayMask::from_paper_range(5, 6).expect("static"),
+            &["dpdk"],
+        )
+        .with_cat(2, xmem_mask, &["xmem"])
+}
+
+/// All cells of one panel, in row order.
+pub fn specs(opts: &RunOpts, touch: bool) -> Vec<ScenarioSpec> {
+    sweep_masks()
+        .into_iter()
+        .map(|mask| spec(opts, touch, mask))
+        .collect()
+}
+
 /// Runs one sweep point and returns
 /// `(xmem_miss, dpdk_miss, mem_rd_gbps, mem_wr_gbps)`.
-fn run_point(opts: &RunOpts, touch: bool, xmem_mask: WayMask) -> (f64, f64, f64, f64) {
-    let mut sys = scenario::base_system(opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk = scenario::add_dpdk(&mut sys, nic, touch, &[0, 1, 2, 3], Priority::High)
-        .expect("cores free");
-    let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores free");
-
-    // Static CAT allocation as in the paper: DPDK at [5:6], X-Mem swept.
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static"))
-        .expect("valid clos");
-    sys.cat_assign_workload(dpdk, ClosId(1))
-        .expect("registered");
-    sys.cat_set_mask(ClosId(2), xmem_mask).expect("valid clos");
-    sys.cat_assign_workload(xmem, ClosId(2))
-        .expect("registered");
-
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
+pub fn run_point(opts: &RunOpts, touch: bool, xmem_mask: WayMask) -> (f64, f64, f64, f64) {
+    let run = spec(opts, touch, xmem_mask)
+        .build()
+        .expect("static fig3 layout")
+        .run();
     (
-        report.llc_miss_rate(xmem),
-        report.llc_miss_rate(dpdk),
-        report.mem_read_gbps(),
-        report.mem_write_gbps(),
+        run.llc_miss_rate("xmem"),
+        run.llc_miss_rate("dpdk"),
+        run.report.mem_read_gbps(),
+        run.report.mem_write_gbps(),
     )
 }
 
-/// Runs the full sweep. `touch = false` reproduces Fig. 3a (DPDK-NT),
-/// `touch = true` Fig. 3b (DPDK-T).
+/// Runs the full sweep serially. `touch = false` reproduces Fig. 3a
+/// (DPDK-NT), `touch = true` Fig. 3b (DPDK-T).
 pub fn run(opts: &RunOpts, touch: bool) -> Table {
+    run_with(opts, touch, &SweepRunner::serial())
+}
+
+/// Runs the full sweep, fanning cells out over `runner`.
+pub fn run_with(opts: &RunOpts, touch: bool, runner: &SweepRunner) -> Table {
     let (id, title) = if touch {
         ("fig3b", "DPDK-T (touching) vs X-Mem way sweep")
     } else {
@@ -65,9 +94,19 @@ pub fn run(opts: &RunOpts, touch: bool) -> Table {
         title,
         ["xmem_miss", "dpdk_miss", "mem_rd_gbps", "mem_wr_gbps"],
     );
-    for mask in sweep_masks() {
-        let (xm, dm, rd, wr) = run_point(opts, touch, mask);
-        table.push(mask.to_string(), [xm, dm, rd, wr]);
+    let runs = runner
+        .run_specs(&specs(opts, touch))
+        .expect("static fig3 layout");
+    for (mask, run) in sweep_masks().iter().zip(runs) {
+        table.push(
+            mask.to_string(),
+            [
+                run.llc_miss_rate("xmem"),
+                run.llc_miss_rate("dpdk"),
+                run.report.mem_read_gbps(),
+                run.report.mem_write_gbps(),
+            ],
+        );
     }
     table
 }

@@ -6,10 +6,10 @@
 //! `[0:1]`, `[3:4]`, `[5:6]`, `[9:10]`), once with DCA on and once with
 //! DCA globally off, plus an X-Mem solo reference.
 
-use crate::scenario::{self, RunOpts};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
-use a4_core::Harness;
-use a4_model::{ClosId, Priority, WayMask};
+use a4_model::{Priority, WayMask};
 use a4_sim::LatencyKind;
 
 /// The four X-Mem placements of the figure.
@@ -22,56 +22,109 @@ pub fn placements() -> Vec<WayMask> {
     ]
 }
 
+/// One cell: DPDK-T at `[5:6]` plus an optional X-Mem at `xmem_mask`,
+/// with the global DCA (BIOS) knob at `dca_on`.
+pub fn spec(opts: &RunOpts, dca_on: bool, xmem_mask: Option<WayMask>) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(
+        format!(
+            "fig4 dca={} xmem={}",
+            if dca_on { "on" } else { "off" },
+            xmem_mask.map_or("solo".to_string(), |m| m.to_string())
+        ),
+        *opts,
+    )
+    .with_nic(4, 1024)
+    .with_workload(
+        "dpdk",
+        WorkloadSpec::Dpdk {
+            device: "nic".into(),
+            touch: true,
+        },
+        &[0, 1, 2, 3],
+        Priority::High,
+    )
+    .with_cat(
+        1,
+        WayMask::from_paper_range(5, 6).expect("static"),
+        &["dpdk"],
+    )
+    .with_global_dca(dca_on);
+    if let Some(mask) = xmem_mask {
+        s = s
+            .with_workload(
+                "xmem",
+                WorkloadSpec::XMem { instance: 1 },
+                &[4, 5],
+                Priority::High,
+            )
+            .with_cat(2, mask, &["xmem"]);
+    }
+    s
+}
+
+/// The X-Mem solo reference cell (no DPDK interference on X-Mem's ways).
+pub fn solo_spec(opts: &RunOpts) -> ScenarioSpec {
+    ScenarioSpec::new("fig4 xmem solo", *opts)
+        .with_workload(
+            "xmem",
+            WorkloadSpec::XMem { instance: 1 },
+            &[4, 5],
+            Priority::High,
+        )
+        .with_cat(2, WayMask::INCLUSIVE, &["xmem"])
+}
+
+/// All cells of the figure: the solo reference followed by the
+/// dca × placement grid.
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    let mut specs = vec![solo_spec(opts)];
+    for dca_on in [true, false] {
+        for mask in placements() {
+            specs.push(spec(opts, dca_on, Some(mask)));
+        }
+    }
+    specs
+}
+
 /// One configuration: returns `(dpdk_p99_us, xmem_llc_miss)`.
 pub fn run_point(opts: &RunOpts, dca_on: bool, xmem_mask: Option<WayMask>) -> (f64, f64) {
-    let mut sys = scenario::base_system(opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk =
-        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(5, 6).expect("static"))
-        .expect("valid");
-    sys.cat_assign_workload(dpdk, ClosId(1))
-        .expect("registered");
+    let run = spec(opts, dca_on, xmem_mask)
+        .build()
+        .expect("static fig4 layout")
+        .run();
+    point_metrics(&run, xmem_mask.is_some())
+}
 
-    let xmem = match xmem_mask {
-        Some(mask) => {
-            let id = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores");
-            sys.cat_set_mask(ClosId(2), mask).expect("valid");
-            sys.cat_assign_workload(id, ClosId(2)).expect("registered");
-            Some(id)
-        }
-        None => None,
+fn point_metrics(run: &ScenarioRun, with_xmem: bool) -> (f64, f64) {
+    let p99_us = run.p99_latency_us("dpdk", LatencyKind::NetTotal);
+    let miss = if with_xmem {
+        run.llc_miss_rate("xmem")
+    } else {
+        0.0
     };
-
-    sys.set_global_dca(dca_on);
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
-    let p99_us = report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0;
-    let miss = xmem.map_or(0.0, |id| report.llc_miss_rate(id));
     (p99_us, miss)
 }
 
-/// Runs the full figure.
+/// Runs the full figure serially.
 pub fn run(opts: &RunOpts) -> Table {
+    run_with(opts, &SweepRunner::serial())
+}
+
+/// Runs the full figure, fanning cells out over `runner`.
+pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
     let mut table = Table::new(
         "fig4",
         "directory contention validation: DCA on vs off",
         ["dpdk_p99_us", "xmem_llc_miss"],
     );
-    // X-Mem solo reference (no DPDK interference on X-Mem's ways).
-    {
-        let mut sys = scenario::base_system(opts);
-        let xm = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores");
-        sys.cat_set_mask(ClosId(2), WayMask::INCLUSIVE)
-            .expect("valid");
-        sys.cat_assign_workload(xm, ClosId(2)).expect("registered");
-        let mut harness = Harness::new(sys);
-        let report = harness.run(opts.warmup, opts.measure);
-        table.push("solo [9:10]", [0.0, report.llc_miss_rate(xm)]);
-    }
+    let runs = runner.run_specs(&specs(opts)).expect("static fig4 layout");
+    let mut runs = runs.into_iter();
+    let solo = runs.next().expect("solo reference cell");
+    table.push("solo [9:10]", [0.0, solo.llc_miss_rate("xmem")]);
     for dca_on in [true, false] {
         for mask in placements() {
-            let (p99, miss) = run_point(opts, dca_on, Some(mask));
+            let run = runs.next().expect("grid cell");
+            let (p99, miss) = point_metrics(&run, true);
             let label = format!("dca={} {}", if dca_on { "on" } else { "off" }, mask);
             table.push(label, [p99, miss]);
         }

@@ -5,40 +5,77 @@
 //! Setup (§3.2): FIO alone, 4 threads, random read, `O_DIRECT`, QD 32
 //! total, block size swept 4 KB – 2 MB (scaled), DCA on vs off.
 
-use crate::scenario::{self, RunOpts};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
-use a4_core::Harness;
 use a4_model::Priority;
 
 /// The paper's block-size axis in KiB.
 pub const BLOCK_KIB: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
 
-/// One configuration: returns `(storage_gbps, mem_read_gbps)`.
-pub fn run_point(opts: &RunOpts, block_kib: u64, dca_on: bool) -> (f64, f64) {
-    let mut sys = scenario::base_system(opts);
-    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let lines = scenario::block_lines(&sys, block_kib);
-    let fio =
-        scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low).expect("cores free");
-    sys.set_device_dca(ssd, dca_on).expect("attached");
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
-    let secs = report.samples.len() as f64 * 1e-3; // logical second = 1 ms
-    let storage_gbps = report.total_io_bytes(fio) as f64 / secs / 1e9;
-    (storage_gbps, report.mem_read_gbps())
+/// One cell: FIO alone at `block_kib` with the SSD's DCA at `dca_on`.
+pub fn spec(opts: &RunOpts, block_kib: u64, dca_on: bool) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!(
+            "fig5 {block_kib}KB dca={}",
+            if dca_on { "on" } else { "off" }
+        ),
+        *opts,
+    )
+    .with_ssd()
+    .with_workload(
+        "fio",
+        WorkloadSpec::Fio {
+            device: "ssd".into(),
+            block_kib,
+        },
+        &[0, 1, 2, 3],
+        Priority::Low,
+    )
+    .with_device_dca("ssd", dca_on)
 }
 
-/// Runs the full figure.
+/// All cells, block-major then DCA on/off.
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    BLOCK_KIB
+        .iter()
+        .flat_map(|&kib| [spec(opts, kib, true), spec(opts, kib, false)])
+        .collect()
+}
+
+/// One configuration: returns `(storage_gbps, mem_read_gbps)`.
+pub fn run_point(opts: &RunOpts, block_kib: u64, dca_on: bool) -> (f64, f64) {
+    let run = spec(opts, block_kib, dca_on)
+        .build()
+        .expect("static fig5 layout")
+        .run();
+    (run.io_gbps("fio"), run.report.mem_read_gbps())
+}
+
+/// Runs the full figure serially.
 pub fn run(opts: &RunOpts) -> Table {
+    run_with(opts, &SweepRunner::serial())
+}
+
+/// Runs the full figure, fanning cells out over `runner`.
+pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
     let mut table = Table::new(
         "fig5a",
         "storage throughput and memory read bandwidth vs block size",
         ["tp_dca_on", "mem_rd_dca_on", "tp_dca_off", "mem_rd_dca_off"],
     );
-    for kib in BLOCK_KIB {
-        let (tp_on, rd_on) = run_point(opts, kib, true);
-        let (tp_off, rd_off) = run_point(opts, kib, false);
-        table.push(format!("{kib}KB"), [tp_on, rd_on, tp_off, rd_off]);
+    let runs = runner.run_specs(&specs(opts)).expect("static fig5 layout");
+    for (pair, kib) in runs.chunks_exact(2).zip(BLOCK_KIB) {
+        let (on, off) = (&pair[0], &pair[1]);
+        table.push(
+            format!("{kib}KB"),
+            [
+                on.io_gbps("fio"),
+                on.report.mem_read_gbps(),
+                off.io_gbps("fio"),
+                off.report.mem_read_gbps(),
+            ],
+        );
     }
     table
 }

@@ -6,50 +6,97 @@
 //! Setup (§3.2): DPDK-T at ways `[4:5]` + FIO at ways `[2:3]`, block
 //! size swept, DCA on vs off; plus DPDK-T solo references.
 
-use crate::scenario::{self, RunOpts};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
-use a4_core::Harness;
-use a4_model::{ClosId, Priority, WayMask};
+use a4_model::{Priority, WayMask};
 use a4_sim::LatencyKind;
 
 /// The swept block sizes in KiB.
 pub const BLOCK_KIB: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
 
+/// One cell; `block_kib = None` runs DPDK-T solo.
+pub fn spec(opts: &RunOpts, block_kib: Option<u64>, dca_on: bool) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(
+        format!(
+            "fig6 {} dca={}",
+            block_kib.map_or("solo".to_string(), |k| format!("{k}KB")),
+            if dca_on { "on" } else { "off" }
+        ),
+        *opts,
+    )
+    .with_nic(4, 1024)
+    .with_workload(
+        "dpdk",
+        WorkloadSpec::Dpdk {
+            device: "nic".into(),
+            touch: true,
+        },
+        &[0, 1, 2, 3],
+        Priority::High,
+    )
+    .with_cat(
+        1,
+        WayMask::from_paper_range(4, 5).expect("static"),
+        &["dpdk"],
+    )
+    .with_global_dca(dca_on);
+    if let Some(kib) = block_kib {
+        s = s
+            .with_ssd()
+            .with_workload(
+                "fio",
+                WorkloadSpec::Fio {
+                    device: "ssd".into(),
+                    block_kib: kib,
+                },
+                &[4, 5, 6, 7],
+                Priority::Low,
+            )
+            .with_cat(
+                2,
+                WayMask::from_paper_range(2, 3).expect("static"),
+                &["fio"],
+            );
+    }
+    s
+}
+
+/// All cells: solo on/off first, then the block × DCA grid.
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    let mut specs = vec![spec(opts, None, true), spec(opts, None, false)];
+    for kib in BLOCK_KIB {
+        specs.push(spec(opts, Some(kib), true));
+        specs.push(spec(opts, Some(kib), false));
+    }
+    specs
+}
+
+fn point_metrics(run: &ScenarioRun, with_fio: bool) -> (f64, f64, f64) {
+    (
+        run.mean_latency_us("dpdk", LatencyKind::NetTotal),
+        run.p99_latency_us("dpdk", LatencyKind::NetTotal),
+        if with_fio { run.io_gbps("fio") } else { 0.0 },
+    )
+}
+
 /// One configuration; `block_kib = None` runs DPDK-T solo. Returns
 /// `(net_avg_us, net_p99_us, storage_gbps)`.
 pub fn run_point(opts: &RunOpts, block_kib: Option<u64>, dca_on: bool) -> (f64, f64, f64) {
-    let mut sys = scenario::base_system(opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk =
-        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static"))
-        .expect("valid");
-    sys.cat_assign_workload(dpdk, ClosId(1))
-        .expect("registered");
-
-    let fio = block_kib.map(|kib| {
-        let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-        let lines = scenario::block_lines(&sys, kib);
-        let id = scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low)
-            .expect("cores free");
-        sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static"))
-            .expect("valid");
-        sys.cat_assign_workload(id, ClosId(2)).expect("registered");
-        id
-    });
-
-    sys.set_global_dca(dca_on);
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
-    let avg = report.mean_latency_ns(dpdk, LatencyKind::NetTotal) / 1000.0;
-    let p99 = report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0;
-    let secs = report.samples.len() as f64 * 1e-3;
-    let tp = fio.map_or(0.0, |id| report.total_io_bytes(id) as f64 / secs / 1e9);
-    (avg, p99, tp)
+    let run = spec(opts, block_kib, dca_on)
+        .build()
+        .expect("static fig6 layout")
+        .run();
+    point_metrics(&run, block_kib.is_some())
 }
 
-/// Runs the full figure (6a sweep plus 6b solo rows).
+/// Runs the full figure (6a sweep plus 6b solo rows) serially.
 pub fn run(opts: &RunOpts) -> Table {
+    run_with(opts, &SweepRunner::serial())
+}
+
+/// Runs the full figure, fanning cells out over `runner`.
+pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
     let mut table = Table::new(
         "fig6",
         "impact of FIO on DPDK-T latency vs storage block size",
@@ -62,15 +109,16 @@ pub fn run(opts: &RunOpts) -> Table {
             "tp_off",
         ],
     );
-    let (solo_al_on, solo_tl_on, _) = run_point(opts, None, true);
-    let (solo_al_off, solo_tl_off, _) = run_point(opts, None, false);
+    let runs = runner.run_specs(&specs(opts)).expect("static fig6 layout");
+    let (solo_al_on, solo_tl_on, _) = point_metrics(&runs[0], false);
+    let (solo_al_off, solo_tl_off, _) = point_metrics(&runs[1], false);
     table.push(
         "solo",
         [solo_al_on, solo_tl_on, 0.0, solo_al_off, solo_tl_off, 0.0],
     );
-    for kib in BLOCK_KIB {
-        let (al_on, tl_on, tp_on) = run_point(opts, Some(kib), true);
-        let (al_off, tl_off, tp_off) = run_point(opts, Some(kib), false);
+    for (pair, kib) in runs[2..].chunks_exact(2).zip(BLOCK_KIB) {
+        let (al_on, tl_on, tp_on) = point_metrics(&pair[0], true);
+        let (al_off, tl_off, tp_off) = point_metrics(&pair[1], true);
         table.push(
             format!("{kib}KB"),
             [al_on, tl_on, tp_on, al_off, tl_off, tp_off],

@@ -8,10 +8,10 @@
 //! * `n-Exclude` — `n` ways ending at way 8 (`[9-n:8]`),
 //! * `n-Overlap` — `n` ways ending at way 10 (`[11-n:10]`).
 
-use crate::scenario::{self, RunOpts};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
-use a4_core::Harness;
-use a4_model::{ClosId, Priority, WayMask};
+use a4_model::{Priority, WayMask};
 use a4_sim::LatencyKind;
 
 /// Allocation strategy of Fig. 7a.
@@ -62,43 +62,73 @@ pub fn strategies() -> Vec<Strategy> {
     ]
 }
 
-/// One strategy run: returns `(al_us, tl_us, mem_rd_gbps, mem_wr_gbps)`.
-pub fn run_point(opts: &RunOpts, strategy: Strategy) -> (f64, f64, f64, f64) {
-    let mut sys = scenario::base_system(opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let dpdk =
-        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    sys.cat_set_mask(ClosId(1), strategy.mask())
-        .expect("valid mask");
-    sys.cat_assign_workload(dpdk, ClosId(1))
-        .expect("registered");
-    // Background pressure on the standard ways so conflict misses matter
-    // (the paper keeps the co-runners of §3 present).
-    let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::Low).expect("cores free");
-    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(7, 8).expect("static"))
-        .expect("valid");
-    sys.cat_assign_workload(xmem, ClosId(2))
-        .expect("registered");
+/// One cell: DPDK-T under `strategy`'s mask with background X-Mem
+/// pressure on the standard ways (the paper keeps the §3 co-runners
+/// present so conflict misses matter).
+pub fn spec(opts: &RunOpts, strategy: Strategy) -> ScenarioSpec {
+    ScenarioSpec::new(format!("fig7 {}", strategy.label()), *opts)
+        .with_nic(4, 1024)
+        .with_workload(
+            "dpdk",
+            WorkloadSpec::Dpdk {
+                device: "nic".into(),
+                touch: true,
+            },
+            &[0, 1, 2, 3],
+            Priority::High,
+        )
+        .with_workload(
+            "xmem",
+            WorkloadSpec::XMem { instance: 1 },
+            &[4, 5],
+            Priority::Low,
+        )
+        .with_cat(1, strategy.mask(), &["dpdk"])
+        .with_cat(
+            2,
+            WayMask::from_paper_range(7, 8).expect("static"),
+            &["xmem"],
+        )
+}
 
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
+/// All cells, in figure order.
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    strategies().into_iter().map(|s| spec(opts, s)).collect()
+}
+
+fn point_metrics(run: &ScenarioRun) -> (f64, f64, f64, f64) {
     (
-        report.mean_latency_ns(dpdk, LatencyKind::NetTotal) / 1000.0,
-        report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0,
-        report.mem_read_gbps(),
-        report.mem_write_gbps(),
+        run.mean_latency_us("dpdk", LatencyKind::NetTotal),
+        run.p99_latency_us("dpdk", LatencyKind::NetTotal),
+        run.report.mem_read_gbps(),
+        run.report.mem_write_gbps(),
     )
 }
 
-/// Runs the full figure.
+/// One strategy run: returns `(al_us, tl_us, mem_rd_gbps, mem_wr_gbps)`.
+pub fn run_point(opts: &RunOpts, strategy: Strategy) -> (f64, f64, f64, f64) {
+    let run = spec(opts, strategy)
+        .build()
+        .expect("static fig7 layout")
+        .run();
+    point_metrics(&run)
+}
+
+/// Runs the full figure serially.
 pub fn run(opts: &RunOpts) -> Table {
+    run_with(opts, &SweepRunner::serial())
+}
+
+/// Runs the full figure, fanning cells out over `runner`.
+pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
     let mut table = Table::new(
         "fig7b",
         "overlapping vs excluding the inclusive ways (DPDK-T)",
         ["al_us", "tl_us", "mem_rd_gbps", "mem_wr_gbps"],
     );
-    for s in strategies() {
-        let (al, tl, rd, wr) = run_point(opts, s);
+    let runs = runner.run_specs(&specs(opts)).expect("static fig7 layout");
+    for (s, run) in strategies().iter().zip(runs) {
+        let (al, tl, rd, wr) = point_metrics(&run);
         table.push(s.label(), [al, tl, rd, wr]);
     }
     table

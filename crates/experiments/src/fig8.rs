@@ -7,78 +7,151 @@
 //!   co-running X-Mem's miss rate with flat storage throughput
 //!   (observation O5, the basis of pseudo LLC bypassing).
 
-use crate::scenario::{self, RunOpts};
+use crate::runner::SweepRunner;
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
-use a4_core::Harness;
-use a4_model::{ClosId, Priority, WayMask};
+use a4_model::{Priority, WayMask};
 use a4_sim::LatencyKind;
 
 /// Block sizes of Fig. 8a in KiB.
 pub const BLOCK_KIB: [u64; 6] = [16, 32, 64, 128, 256, 512];
 
+/// FIO mask upper ways of Fig. 8b, in figure order.
+pub const FIO_LAST_WAYS: [usize; 4] = [5, 4, 3, 2];
+
+/// One Fig. 8a cell: DPDK-T + FIO with only the SSD port's DCA toggled
+/// (the NIC keeps its DDIO fast path).
+pub fn spec_8a(opts: &RunOpts, block_kib: u64, ssd_dca: bool) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!(
+            "fig8a {block_kib}KB ssd-dca={}",
+            if ssd_dca { "on" } else { "off" }
+        ),
+        *opts,
+    )
+    .with_nic(4, 1024)
+    .with_ssd()
+    .with_workload(
+        "dpdk",
+        WorkloadSpec::Dpdk {
+            device: "nic".into(),
+            touch: true,
+        },
+        &[0, 1, 2, 3],
+        Priority::High,
+    )
+    .with_workload(
+        "fio",
+        WorkloadSpec::Fio {
+            device: "ssd".into(),
+            block_kib,
+        },
+        &[4, 5, 6, 7],
+        Priority::Low,
+    )
+    .with_cat(
+        1,
+        WayMask::from_paper_range(4, 5).expect("static"),
+        &["dpdk"],
+    )
+    .with_cat(
+        2,
+        WayMask::from_paper_range(2, 3).expect("static"),
+        &["fio"],
+    )
+    .with_device_dca("ssd", ssd_dca)
+}
+
+/// One Fig. 8b cell: FIO at `[2:fio_last_way]`, X-Mem at `[2:5]`, SSD
+/// DCA already off (the 8a insight).
+pub fn spec_8b(opts: &RunOpts, fio_last_way: usize) -> ScenarioSpec {
+    ScenarioSpec::new(format!("fig8b fio@[2:{fio_last_way}]"), *opts)
+        .with_ssd()
+        .with_workload(
+            "fio",
+            WorkloadSpec::Fio {
+                device: "ssd".into(),
+                block_kib: 2048,
+            },
+            &[0, 1, 2, 3],
+            Priority::Low,
+        )
+        .with_workload(
+            "xmem",
+            WorkloadSpec::XMem { instance: 1 },
+            &[4, 5],
+            Priority::High,
+        )
+        .with_cat(
+            1,
+            WayMask::from_paper_range(2, fio_last_way).expect("valid"),
+            &["fio"],
+        )
+        .with_cat(
+            2,
+            WayMask::from_paper_range(2, 5).expect("static"),
+            &["xmem"],
+        )
+        .with_device_dca("ssd", false)
+}
+
+/// The Fig. 8a grid: off/on per block size, block-major.
+pub fn specs_a(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    BLOCK_KIB
+        .iter()
+        .flat_map(|&kib| [spec_8a(opts, kib, false), spec_8a(opts, kib, true)])
+        .collect()
+}
+
+/// The Fig. 8b cells, in figure order.
+pub fn specs_b(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    FIO_LAST_WAYS
+        .iter()
+        .map(|&last| spec_8b(opts, last))
+        .collect()
+}
+
+/// All Fig. 8a cells followed by the 8b cells.
+pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    let mut specs = specs_a(opts);
+    specs.extend(specs_b(opts));
+    specs
+}
+
+fn metrics_8a(run: &ScenarioRun) -> (f64, f64, f64) {
+    (
+        run.mean_latency_us("dpdk", LatencyKind::NetTotal),
+        run.p99_latency_us("dpdk", LatencyKind::NetTotal),
+        run.io_gbps("fio"),
+    )
+}
+
 /// One Fig. 8a point: returns `(net_al_us, net_tl_us, storage_gbps)`.
 pub fn run_point_8a(opts: &RunOpts, block_kib: u64, ssd_dca: bool) -> (f64, f64, f64) {
-    let mut sys = scenario::base_system(opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let dpdk =
-        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    let lines = scenario::block_lines(&sys, block_kib);
-    let fio =
-        scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low).expect("cores free");
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static"))
-        .expect("ok");
-    sys.cat_assign_workload(dpdk, ClosId(1))
-        .expect("registered");
-    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static"))
-        .expect("ok");
-    sys.cat_assign_workload(fio, ClosId(2)).expect("registered");
-    // The hidden knob: NIC keeps DCA, only the SSD's port is toggled.
-    sys.set_device_dca(ssd, ssd_dca).expect("attached");
-
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
-    let secs = report.samples.len() as f64 * 1e-3;
-    (
-        report.mean_latency_ns(dpdk, LatencyKind::NetTotal) / 1000.0,
-        report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0,
-        report.total_io_bytes(fio) as f64 / secs / 1e9,
-    )
+    let run = spec_8a(opts, block_kib, ssd_dca)
+        .build()
+        .expect("static fig8a layout")
+        .run();
+    metrics_8a(&run)
 }
 
 /// One Fig. 8b point: FIO at `[2:n]`, X-Mem at `[2:5]`; returns
 /// `(xmem_llc_miss, storage_gbps)`.
 pub fn run_point_8b(opts: &RunOpts, fio_last_way: usize) -> (f64, f64) {
-    let mut sys = scenario::base_system(opts);
-    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let lines = scenario::block_lines(&sys, 2048);
-    let fio =
-        scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low).expect("cores free");
-    let xmem = scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).expect("cores free");
-    sys.cat_set_mask(
-        ClosId(1),
-        WayMask::from_paper_range(2, fio_last_way).expect("valid"),
-    )
-    .expect("ok");
-    sys.cat_assign_workload(fio, ClosId(1)).expect("registered");
-    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 5).expect("static"))
-        .expect("ok");
-    sys.cat_assign_workload(xmem, ClosId(2))
-        .expect("registered");
-    // Fig. 8b runs with the SSD's DCA already disabled (the 8a insight).
-    sys.set_device_dca(ssd, false).expect("attached");
-
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
-    let secs = report.samples.len() as f64 * 1e-3;
-    (
-        report.llc_miss_rate(xmem),
-        report.total_io_bytes(fio) as f64 / secs / 1e9,
-    )
+    let run = spec_8b(opts, fio_last_way)
+        .build()
+        .expect("static fig8b layout")
+        .run();
+    (run.llc_miss_rate("xmem"), run.io_gbps("fio"))
 }
 
-/// Runs Fig. 8a.
+/// Runs Fig. 8a serially.
 pub fn run_a(opts: &RunOpts) -> Table {
+    run_a_with(opts, &SweepRunner::serial())
+}
+
+/// Runs Fig. 8a, fanning cells out over `runner`.
+pub fn run_a_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
     let mut table = Table::new(
         "fig8a",
         "[SSD-DCA off] vs [DCA on]: DPDK-T latency and FIO throughput",
@@ -91,9 +164,12 @@ pub fn run_a(opts: &RunOpts) -> Table {
             "tp_on",
         ],
     );
-    for kib in BLOCK_KIB {
-        let (al_off, tl_off, tp_off) = run_point_8a(opts, kib, false);
-        let (al_on, tl_on, tp_on) = run_point_8a(opts, kib, true);
+    let runs = runner
+        .run_specs(&specs_a(opts))
+        .expect("static fig8a layout");
+    for (pair, kib) in runs.chunks_exact(2).zip(BLOCK_KIB) {
+        let (al_off, tl_off, tp_off) = metrics_8a(&pair[0]);
+        let (al_on, tl_on, tp_on) = metrics_8a(&pair[1]);
         table.push(
             format!("{kib}KB"),
             [al_off, tl_off, tp_off, al_on, tl_on, tp_on],
@@ -102,16 +178,26 @@ pub fn run_a(opts: &RunOpts) -> Table {
     table
 }
 
-/// Runs Fig. 8b.
+/// Runs Fig. 8b serially.
 pub fn run_b(opts: &RunOpts) -> Table {
+    run_b_with(opts, &SweepRunner::serial())
+}
+
+/// Runs Fig. 8b, fanning cells out over `runner`.
+pub fn run_b_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
     let mut table = Table::new(
         "fig8b",
         "shrinking FIO's trash ways: X-Mem miss rate and FIO throughput",
         ["xmem_llc_miss", "storage_tp"],
     );
-    for last in [5usize, 4, 3, 2] {
-        let (miss, tp) = run_point_8b(opts, last);
-        table.push(format!("[2:{last}]"), [miss, tp]);
+    let runs = runner
+        .run_specs(&specs_b(opts))
+        .expect("static fig8b layout");
+    for (run, last) in runs.iter().zip(FIO_LAST_WAYS) {
+        table.push(
+            format!("[2:{last}]"),
+            [run.llc_miss_rate("xmem"), run.io_gbps("fio")],
+        );
     }
     table
 }

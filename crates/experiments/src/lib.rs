@@ -1,10 +1,17 @@
 //! Experiment harness reproducing every measured figure of the A4 paper.
 //!
-//! One module per figure; each exposes a `run(opts)` returning
-//! [`Table`]s whose rows/series correspond to what the paper plots. The
-//! `a4-repro` binary prints them; `a4-bench` wraps them in Criterion
-//! targets; the integration tests assert the *shapes* (who wins, where
-//! the bumps are) rather than absolute numbers — see EXPERIMENTS.md.
+//! Every experiment is described declaratively: a [`spec::ScenarioSpec`]
+//! captures one cell (devices, workload placements with named roles,
+//! CAT/DCA knobs, scheme, run protocol) as serializable data and builds
+//! a ready harness with `ScenarioSpec::build()`; sweeps fan their cells
+//! out over threads with a [`runner::SweepRunner`] and collect
+//! deterministically. One module per figure; each exposes `specs(opts)`
+//! (the grid as data), `run(opts)` (serial) and `run_with(opts, runner)`
+//! (parallel) returning [`Table`]s whose rows/series correspond to what
+//! the paper plots. The `a4-repro` binary prints them (and dumps/loads
+//! the specs as JSON); `a4-bench` wraps them in Criterion targets; the
+//! integration tests assert the *shapes* (who wins, where the bumps are)
+//! rather than absolute numbers — see EXPERIMENTS.md.
 //!
 //! | module | paper figure | what it shows |
 //! |---|---|---|
@@ -34,8 +41,11 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod runner;
 pub mod scenario;
+pub mod spec;
 mod table;
 
-pub use scenario::RunOpts;
+pub use runner::{Sweep, SweepRunner};
+pub use spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 pub use table::{Row, Table};

@@ -1,72 +1,27 @@
-//! Shared scenario builders: the paper's testbed (Table 1) with its
-//! workloads (Table 2/3) at simulator scale.
+//! Deprecated imperative scenario builders.
+//!
+//! This module is the thin compatibility shim over the declarative API
+//! that replaced it: describe experiments with
+//! [`ScenarioSpec`](crate::spec::ScenarioSpec) (and run sweeps through
+//! [`SweepRunner`](crate::runner::SweepRunner)) instead of hand-wiring
+//! systems through these free functions. Everything here delegates to
+//! the same wiring `ScenarioSpec::build` uses, so behaviour (allocation
+//! order, seeds, counters) is bit-identical.
 
-use a4_core::{
-    A4Config, A4Controller, DefaultPolicy, FeatureLevel, Harness, IsolatePolicy, LlcPolicy,
-    Thresholds,
-};
-use a4_model::{Bytes, CoreId, DeviceId, LineAddr, PortId, Priority, Result};
-use a4_pcie::{NicConfig, NvmeConfig};
-use a4_sim::{System, SystemConfig, Workload};
-use a4_workloads::{scale, Dpdk, Fastclick, Ffsb, Fio, Redis, RedisRole, SpecCpu, XMem};
+#![allow(deprecated)]
 
-/// Ring entries per core: the paper's 2048-entry rings scaled by ≈36×,
-/// rounded to a power of two.
-pub const RING_ENTRIES: usize = 64;
+use crate::spec::wire;
+use a4_core::Harness;
+use a4_model::{DeviceId, PortId, Priority, Result, WorkloadId};
+use a4_sim::System;
+use a4_workloads::RedisRole;
 
-/// Run-length options shared by all experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunOpts {
-    /// Warm-up logical seconds (discarded).
-    pub warmup: u64,
-    /// Measured logical seconds.
-    pub measure: u64,
-    /// RNG seed.
-    pub seed: u64,
-}
-
-impl RunOpts {
-    /// Paper-like protocol scaled down: 10 s warm-up, 10 s measurement
-    /// (the paper uses 70 s runs with 10 s warm-up windows).
-    pub fn paper() -> Self {
-        RunOpts {
-            warmup: 10,
-            measure: 10,
-            seed: 0xA4,
-        }
-    }
-
-    /// Long-converging protocol for the controller-driven experiments
-    /// (A4 needs ~20 s to settle its zones in the colocation mixes).
-    pub fn controller() -> Self {
-        RunOpts {
-            warmup: 22,
-            measure: 10,
-            seed: 0xA4,
-        }
-    }
-
-    /// Fast settings for unit/integration tests.
-    pub fn quick() -> Self {
-        RunOpts {
-            warmup: 3,
-            measure: 3,
-            seed: 0xA4,
-        }
-    }
-}
-
-impl Default for RunOpts {
-    fn default() -> Self {
-        Self::paper()
-    }
-}
+pub use crate::spec::{RunOpts, Scheme, RING_ENTRIES};
 
 /// A fresh scaled Xeon Gold 6140 system.
+#[deprecated(note = "describe scenarios with `spec::ScenarioSpec` instead")]
 pub fn base_system(opts: &RunOpts) -> System {
-    let mut cfg = SystemConfig::xeon_gold_6140();
-    cfg.seed = opts.seed;
-    System::new(cfg)
+    wire::base_system(opts, &crate::spec::SystemTweaks::none())
 }
 
 /// Attaches the 100 Gbps NIC with one ring per serving core.
@@ -74,11 +29,9 @@ pub fn base_system(opts: &RunOpts) -> System {
 /// # Errors
 ///
 /// Propagates attachment failures.
+#[deprecated(note = "use `ScenarioSpec::with_nic`")]
 pub fn attach_nic(sys: &mut System, rings: usize, packet_bytes: u64) -> Result<DeviceId> {
-    sys.attach_nic(
-        PortId(0),
-        NicConfig::connectx6_100g(rings, RING_ENTRIES, packet_bytes),
-    )
+    wire::attach_nic(sys, PortId(0), rings, packet_bytes, None)
 }
 
 /// Attaches the RAID-0 NVMe array.
@@ -86,18 +39,19 @@ pub fn attach_nic(sys: &mut System, rings: usize, packet_bytes: u64) -> Result<D
 /// # Errors
 ///
 /// Propagates attachment failures.
+#[deprecated(note = "use `ScenarioSpec::with_ssd`")]
 pub fn attach_ssd(sys: &mut System) -> Result<DeviceId> {
-    sys.attach_nvme(PortId(1), NvmeConfig::raid0_980pro_x4())
+    wire::attach_ssd(sys, PortId(1))
 }
 
 /// Block size in scaled lines for a paper block size in KiB.
 pub fn block_lines(sys: &System, paper_kib: u64) -> u64 {
-    scale::lines(Bytes::from_kib(paper_kib), sys.config().hierarchy.llc)
+    wire::block_lines(sys, paper_kib)
 }
 
 /// Working set in scaled lines for a paper size in MiB.
 pub fn ws_lines_mib(sys: &System, paper_mib: u64) -> u64 {
-    scale::lines(Bytes::from_mib(paper_mib), sys.config().hierarchy.llc)
+    wire::ws_lines_mib(sys, paper_mib)
 }
 
 /// Registers a DPDK instance (touching or not) on `cores`.
@@ -105,44 +59,31 @@ pub fn ws_lines_mib(sys: &System, paper_mib: u64) -> u64 {
 /// # Errors
 ///
 /// Propagates registration failures.
+#[deprecated(note = "use `WorkloadSpec::Dpdk` in a `ScenarioSpec`")]
 pub fn add_dpdk(
     sys: &mut System,
     nic: DeviceId,
     touch: bool,
     cores: &[u8],
     priority: Priority,
-) -> Result<a4_model::WorkloadId> {
-    let wl: Box<dyn Workload> = if touch {
-        Box::new(Dpdk::touching(nic))
-    } else {
-        Box::new(Dpdk::non_touching(nic))
-    };
-    sys.add_workload(wl, cores.iter().map(|&c| CoreId(c)).collect(), priority)
+) -> Result<WorkloadId> {
+    wire::add_dpdk(sys, nic, touch, cores, priority)
 }
 
-/// Registers a FIO instance with the paper's I/O depth of 32 *per
-/// thread* (so 4 cores keep 128 commands in flight — the pressure that
-/// makes large-block storage I/O leak out of the DCA ways).
+/// Registers a FIO instance with the paper's I/O depth of 32 per thread.
 ///
 /// # Errors
 ///
 /// Propagates registration failures.
+#[deprecated(note = "use `WorkloadSpec::Fio` in a `ScenarioSpec`")]
 pub fn add_fio(
     sys: &mut System,
     ssd: DeviceId,
     block_lines: u64,
     cores: &[u8],
     priority: Priority,
-) -> Result<a4_model::WorkloadId> {
-    let qd_per_core = 32;
-    let probe = Fio::new(ssd, LineAddr(0), block_lines, qd_per_core, cores.len());
-    let buf = sys.alloc_lines(probe.buffer_lines());
-    let fio = Fio::new(ssd, buf, block_lines, qd_per_core, cores.len());
-    sys.add_workload(
-        Box::new(fio),
-        cores.iter().map(|&c| CoreId(c)).collect(),
-        priority,
-    )
+) -> Result<WorkloadId> {
+    wire::add_fio(sys, ssd, block_lines, cores, priority)
 }
 
 /// Registers an X-Mem instance (1, 2 or 3 per Table 3).
@@ -154,32 +95,18 @@ pub fn add_fio(
 /// # Panics
 ///
 /// Panics for instance numbers outside 1–3.
+#[deprecated(note = "use `WorkloadSpec::XMem` in a `ScenarioSpec`")]
 pub fn add_xmem(
     sys: &mut System,
     instance: u8,
     cores: &[u8],
     priority: Priority,
-) -> Result<a4_model::WorkloadId> {
-    let geom = sys.config().hierarchy.llc;
-    let wl: Box<dyn Workload> = match instance {
-        1 => {
-            let ws = scale::lines(Bytes::from_mib(4), geom);
-            let base = sys.alloc_lines(ws);
-            Box::new(XMem::instance_1(base, ws))
-        }
-        2 => {
-            let ws = scale::lines(Bytes::from_mib(4), geom);
-            let base = sys.alloc_lines(ws);
-            Box::new(XMem::instance_2(base, ws))
-        }
-        3 => {
-            let ws = scale::lines(Bytes::from_mib(10), geom);
-            let base = sys.alloc_lines(ws);
-            Box::new(XMem::instance_3(base, ws))
-        }
-        other => panic!("X-Mem instance {other} does not exist (Table 3 has 1-3)"),
-    };
-    sys.add_workload(wl, cores.iter().map(|&c| CoreId(c)).collect(), priority)
+) -> Result<WorkloadId> {
+    assert!(
+        (1..=3).contains(&instance),
+        "X-Mem instance {instance} does not exist (Table 3 has 1-3)"
+    );
+    wire::add_xmem(sys, instance, cores, priority)
 }
 
 /// Registers a Fastclick instance.
@@ -187,17 +114,14 @@ pub fn add_xmem(
 /// # Errors
 ///
 /// Propagates registration failures.
+#[deprecated(note = "use `WorkloadSpec::Fastclick` in a `ScenarioSpec`")]
 pub fn add_fastclick(
     sys: &mut System,
     nic: DeviceId,
     cores: &[u8],
     priority: Priority,
-) -> Result<a4_model::WorkloadId> {
-    sys.add_workload(
-        Box::new(Fastclick::new(nic)),
-        cores.iter().map(|&c| CoreId(c)).collect(),
-        priority,
-    )
+) -> Result<WorkloadId> {
+    wire::add_fastclick(sys, nic, cores, priority)
 }
 
 /// Registers FFSB-H (2 MB blocks, 3 cores in the paper).
@@ -205,21 +129,14 @@ pub fn add_fastclick(
 /// # Errors
 ///
 /// Propagates registration failures.
+#[deprecated(note = "use `WorkloadSpec::FfsbHeavy` in a `ScenarioSpec`")]
 pub fn add_ffsb_heavy(
     sys: &mut System,
     ssd: DeviceId,
     cores: &[u8],
     priority: Priority,
-) -> Result<a4_model::WorkloadId> {
-    let lines = block_lines(sys, 2048);
-    let probe = Ffsb::heavy(ssd, LineAddr(0), lines, cores.len());
-    let buf = sys.alloc_lines(probe.buffer_lines());
-    let ffsb = Ffsb::heavy(ssd, buf, lines, cores.len());
-    sys.add_workload(
-        Box::new(ffsb),
-        cores.iter().map(|&c| CoreId(c)).collect(),
-        priority,
-    )
+) -> Result<WorkloadId> {
+    wire::add_ffsb_heavy(sys, ssd, cores, priority)
 }
 
 /// Registers FFSB-L (32 KB blocks, 1 core).
@@ -227,17 +144,14 @@ pub fn add_ffsb_heavy(
 /// # Errors
 ///
 /// Propagates registration failures.
+#[deprecated(note = "use `WorkloadSpec::FfsbLight` in a `ScenarioSpec`")]
 pub fn add_ffsb_light(
     sys: &mut System,
     ssd: DeviceId,
     core: u8,
     priority: Priority,
-) -> Result<a4_model::WorkloadId> {
-    let lines = block_lines(sys, 32);
-    let probe = Ffsb::light(ssd, LineAddr(0), lines);
-    let buf = sys.alloc_lines(probe.buffer_lines());
-    let ffsb = Ffsb::light(ssd, buf, lines);
-    sys.add_workload(Box::new(ffsb), vec![CoreId(core)], priority)
+) -> Result<WorkloadId> {
+    wire::add_ffsb_light(sys, ssd, core, priority)
 }
 
 /// Registers a Redis role (server or client).
@@ -245,20 +159,14 @@ pub fn add_ffsb_light(
 /// # Errors
 ///
 /// Propagates registration failures.
+#[deprecated(note = "use `WorkloadSpec::RedisServer`/`RedisClient` in a `ScenarioSpec`")]
 pub fn add_redis(
     sys: &mut System,
     role: RedisRole,
     core: u8,
     priority: Priority,
-) -> Result<a4_model::WorkloadId> {
-    // YCSB-A footprint: a few MB of keyspace, scaled.
-    let ws = ws_lines_mib(sys, 2).max(64);
-    let base = sys.alloc_lines(ws);
-    sys.add_workload(
-        Box::new(Redis::new(role, base, ws)),
-        vec![CoreId(core)],
-        priority,
-    )
+) -> Result<WorkloadId> {
+    wire::add_redis(sys, role, core, priority)
 }
 
 /// Registers a SPEC CPU2017-like synthetic by benchmark name.
@@ -270,97 +178,24 @@ pub fn add_redis(
 /// # Panics
 ///
 /// Panics for unknown benchmark names (a fixed experiment vocabulary).
-pub fn add_spec(
-    sys: &mut System,
-    name: &str,
-    core: u8,
-    priority: Priority,
-) -> Result<a4_model::WorkloadId> {
-    let geom = sys.config().hierarchy.llc;
-    let probe = SpecCpu::from_profile(name, LineAddr(0), geom)
-        .unwrap_or_else(|| panic!("unknown SPEC benchmark {name}"));
-    let base = sys.alloc_lines(probe.ws_lines());
-    let wl = SpecCpu::from_profile(name, base, geom).expect("name validated above");
-    sys.add_workload(Box::new(wl), vec![CoreId(core)], priority)
+#[deprecated(note = "use `WorkloadSpec::SpecCpu` in a `ScenarioSpec`")]
+pub fn add_spec(sys: &mut System, name: &str, core: u8, priority: Priority) -> Result<WorkloadId> {
+    wire::add_spec(sys, name, core, priority)
+        .unwrap_or_else(|| panic!("unknown SPEC benchmark {name}"))
 }
 
-/// An LLC-management scheme of the paper's §6: the two baselines and the
-/// four A4 variants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scheme {
-    /// Share everything, no CAT.
-    Default,
-    /// Static proportional partitions.
-    Isolate,
-    /// A4 at a given feature level (`FeatureLevel::D` = full A4).
-    A4(FeatureLevel),
-}
-
-impl Scheme {
-    /// The three schemes of Figs. 11-12.
-    pub fn main_three() -> [Scheme; 3] {
-        [
-            Scheme::Default,
-            Scheme::Isolate,
-            Scheme::A4(FeatureLevel::D),
-        ]
-    }
-
-    /// The six schemes of Figs. 13-14 (DF, IS, A4-a..d).
-    pub fn all_six() -> [Scheme; 6] {
-        [
-            Scheme::Default,
-            Scheme::Isolate,
-            Scheme::A4(FeatureLevel::A),
-            Scheme::A4(FeatureLevel::B),
-            Scheme::A4(FeatureLevel::C),
-            Scheme::A4(FeatureLevel::D),
-        ]
-    }
-
-    /// Instantiates the policy object.
-    pub fn policy(self) -> Box<dyn LlcPolicy> {
-        match self {
-            Scheme::Default => Box::new(DefaultPolicy::new()),
-            Scheme::Isolate => Box::new(IsolatePolicy::new()),
-            Scheme::A4(level) => Box::new(A4Controller::new(A4Config::with_level(
-                level,
-                Thresholds::scaled_sim(),
-            ))),
-        }
-    }
-
-    /// Display label ("DF", "IS", "A4-a", ...).
-    pub fn label(self) -> &'static str {
-        match self {
-            Scheme::Default => "Default",
-            Scheme::Isolate => "Isolate",
-            Scheme::A4(FeatureLevel::A) => "A4-a",
-            Scheme::A4(FeatureLevel::B) => "A4-b",
-            Scheme::A4(FeatureLevel::C) => "A4-c",
-            Scheme::A4(FeatureLevel::D) => "A4-d",
-        }
-    }
-}
-
-/// The §7.1 microbenchmark colocation: DPDK-T (4 cores) + FIO (4 cores,
-/// 2 MB blocks) + X-Mem 1/2/3 — the facade quickstart.
+/// The §7.1 microbenchmark colocation as a ready harness.
 ///
 /// # Panics
 ///
 /// Panics only on programming errors (fixed cores/devices always fit the
 /// default configuration).
+#[deprecated(note = "use `ScenarioSpec::microbench(opts).build()`")]
 pub fn microbench_mix(opts: RunOpts) -> Harness {
-    let mut sys = base_system(&opts);
-    let nic = attach_nic(&mut sys, 4, 1024).expect("port 0 free");
-    let ssd = attach_ssd(&mut sys).expect("port 1 free");
-    add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    let blk = block_lines(&sys, 2048);
-    add_fio(&mut sys, ssd, blk, &[4, 5, 6, 7], Priority::Low).expect("cores free");
-    add_xmem(&mut sys, 1, &[8, 9], Priority::High).expect("cores free");
-    add_xmem(&mut sys, 2, &[10], Priority::Low).expect("cores free");
-    add_xmem(&mut sys, 3, &[11], Priority::Low).expect("cores free");
-    Harness::new(sys)
+    crate::spec::ScenarioSpec::microbench(opts)
+        .build()
+        .expect("static microbench layout always fits")
+        .harness
 }
 
 #[cfg(test)]
@@ -368,24 +203,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scaled_parameters_are_sensible() {
+    fn shims_match_the_declarative_path() {
+        // The deprecated imperative path and ScenarioSpec::build must
+        // produce bit-identical runs (same wiring, same allocations).
         let opts = RunOpts::quick();
-        let sys = base_system(&opts);
-        // 2 MB paper block ≈ 910 scaled lines; 4 KB ≈ 2 lines.
-        let big = block_lines(&sys, 2048);
-        let small = block_lines(&sys, 4);
-        assert!((800..=1024).contains(&big), "2MB scaled: {big}");
-        assert!((1..=4).contains(&small), "4KB scaled: {small}");
-        assert!(ws_lines_mib(&sys, 4) > ws_lines_mib(&sys, 2));
-    }
-
-    #[test]
-    fn microbench_mix_builds_and_runs() {
-        let mut h = microbench_mix(RunOpts::quick());
-        let report = h.run_secs(2);
-        assert_eq!(report.samples.len(), 2);
-        assert_eq!(report.samples[0].workloads.len(), 5);
-        assert!(report.total_instructions_all() > 0);
+        let mut shim = microbench_mix(opts);
+        let shim_report = shim.run(1, 2);
+        let declarative = crate::spec::ScenarioSpec::microbench(opts)
+            .build()
+            .unwrap()
+            .run();
+        let mut declarative_h = crate::spec::ScenarioSpec::microbench(opts)
+            .build()
+            .unwrap()
+            .harness;
+        let decl_report = declarative_h.run(1, 2);
+        assert_eq!(shim_report.samples.len(), decl_report.samples.len());
+        for (a, b) in shim_report.samples.iter().zip(&decl_report.samples) {
+            for (wa, wb) in a.workloads.iter().zip(&b.workloads) {
+                assert_eq!(wa.accesses, wb.accesses);
+                assert_eq!(wa.instructions, wb.instructions);
+            }
+        }
+        assert_eq!(declarative.workloads.len(), 5);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use config::{LatencyModel, SystemConfig};
 pub use ctx::CoreCtx;
 pub use device::DeviceModel;
 pub use perf::{LatencyKind, WorkloadPerf};
-pub use sample::{DeviceSample, MonitorSample, WorkloadSample};
+pub use sample::{DeviceSample, LatencyStat, MonitorSample, WorkloadSample};
 pub use system::System;
 pub use workload::{Workload, WorkloadInfo};
 

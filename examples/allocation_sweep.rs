@@ -2,18 +2,20 @@
 //! — sweep a cache-sensitive X-Mem across every pair of LLC ways next to
 //! a line-rate DPDK workload and watch the three contention bumps appear
 //! (latent at the DCA ways, DMA bloat at DPDK's ways, hidden directory
-//! contention at the inclusive ways).
+//! contention at the inclusive ways). The ten sweep cells of each panel
+//! run in parallel.
 //!
 //! ```text
 //! cargo run --release --example allocation_sweep
 //! ```
 
-use a4::experiments::{fig3, RunOpts};
+use a4::experiments::{fig3, RunOpts, SweepRunner};
 
 fn main() {
     let opts = RunOpts::paper();
-    println!("{}", fig3::run(&opts, false));
-    println!("{}", fig3::run(&opts, true));
+    let runner = SweepRunner::with_threads(4);
+    println!("{}", fig3::run_with(&opts, false, &runner));
+    println!("{}", fig3::run_with(&opts, true, &runner));
     println!("Compare: DPDK-NT only bumps [0:1]-[1:2]; DPDK-T adds [5:6] (bloat)");
     println!("and [9:10] (directory contention, the paper's C1).");
 }

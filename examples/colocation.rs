@@ -1,16 +1,18 @@
 //! Datacenter colocation: the paper's Fig. 13a HPW-heavy mix (Fastclick,
 //! Redis, SPEC CPU2017 and FFSB workloads) under all six LLC-management
-//! schemes. Prints relative performance normalized to the Default model.
+//! schemes, with the six scheme cells fanned out across four threads.
+//! Prints relative performance normalized to the Default model.
 //!
 //! ```text
 //! cargo run --release --example colocation
 //! ```
 
-use a4::experiments::{fig13, RunOpts};
+use a4::experiments::{fig13, RunOpts, SweepRunner};
 
 fn main() {
     let opts = RunOpts::controller();
-    let table = fig13::run(&opts, true);
+    let runner = SweepRunner::with_threads(4);
+    let table = fig13::run_with(&opts, true, &runner);
     println!("{table}");
     println!("(perf columns are relative to the Default model; >1 is better)");
 }

@@ -1,13 +1,13 @@
-//! Quickstart: build the paper's §7.1 microbenchmark colocation, run it
-//! under the Default baseline and under full A4, and print the
+//! Quickstart: build the paper's §7.1 microbenchmark colocation as one
+//! declarative `ScenarioSpec`, run it under the Default baseline and
+//! under full A4 (two sweep cells, executed in parallel), and print the
 //! improvement of the cache-sensitive high-priority workload.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use a4::core::{A4Config, A4Controller, DefaultPolicy};
-use a4::experiments::{scenario, RunOpts};
+use a4::experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner};
 
 fn main() {
     let opts = RunOpts {
@@ -16,29 +16,28 @@ fn main() {
         seed: 0xA4,
     };
 
-    // Default model: everything shares the whole LLC.
-    let mut harness = scenario::microbench_mix(opts);
-    harness.attach_policy(Box::new(DefaultPolicy::new()));
-    let default_report = harness.run(opts.warmup, opts.measure);
-
-    // Full A4 (level D): zoning + DCA Zone + selective DCA off + trash ways.
-    let mut harness = scenario::microbench_mix(opts);
-    harness.attach_policy(Box::new(A4Controller::new(A4Config::default())));
-    let a4_report = harness.run(opts.warmup, opts.measure);
+    // One spec, two schemes: Default (share everything) vs full A4
+    // (zoning + DCA Zone + selective DCA off + trash ways).
+    let specs: Vec<ScenarioSpec> = [Scheme::Default, Scheme::A4(a4::core::FeatureLevel::D)]
+        .into_iter()
+        .map(|scheme| ScenarioSpec::microbench(opts).with_scheme(scheme))
+        .collect();
+    let runs = SweepRunner::with_threads(2)
+        .run_specs(&specs)
+        .expect("static microbench layout");
+    let (default_run, a4_run) = (&runs[0], &runs[1]);
 
     println!("workload           Default-IPC   A4-IPC   speedup   A4 LLC hit");
-    for sample in &a4_report.samples[..1] {
-        for w in &sample.workloads {
-            let ipc_d = default_report.ipc(w.id);
-            let ipc_a = a4_report.ipc(w.id);
-            println!(
-                "{:<18} {:>10.3} {:>8.3} {:>8.2}x {:>10.3}",
-                w.name,
-                ipc_d,
-                ipc_a,
-                ipc_a / ipc_d.max(1e-12),
-                a4_report.llc_hit_rate(w.id),
-            );
-        }
+    for binding in &a4_run.workloads {
+        let ipc_d = default_run.ipc(&binding.role);
+        let ipc_a = a4_run.ipc(&binding.role);
+        println!(
+            "{:<18} {:>10.3} {:>8.3} {:>8.2}x {:>10.3}",
+            binding.role,
+            ipc_d,
+            ipc_a,
+            ipc_a / ipc_d.max(1e-12),
+            a4_run.llc_hit_rate(&binding.role),
+        );
     }
 }

@@ -3,49 +3,79 @@
 //! per-port DCA knob ([SSD-DCA off]) remove the interference without
 //! costing the tenant anything — the paper's observation O4 / Fig. 8a.
 //!
+//! The whole block-size × DCA grid is described declaratively with
+//! `Sweep` + `ScenarioSpec` and executed in parallel.
+//!
 //! ```text
 //! cargo run --release --example storage_noisy_neighbor
 //! ```
 
-use a4::core::Harness;
-use a4::experiments::{scenario, RunOpts};
-use a4::model::{ClosId, Priority, WayMask};
+use a4::experiments::{RunOpts, ScenarioSpec, Sweep, SweepRunner, WorkloadSpec};
+use a4::model::{Priority, WayMask};
 use a4::sim::LatencyKind;
 
-fn run(ssd_dca: bool, block_kib: u64) -> (f64, f64, f64) {
-    let opts = RunOpts::paper();
-    let mut sys = scenario::base_system(&opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).expect("port free");
-    let ssd = scenario::attach_ssd(&mut sys).expect("port free");
-    let dpdk =
-        scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).expect("cores free");
-    let lines = scenario::block_lines(&sys, block_kib);
-    let fio =
-        scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low).expect("cores free");
-    sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).expect("static"))
-        .unwrap();
-    sys.cat_assign_workload(dpdk, ClosId(1)).unwrap();
-    sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).expect("static"))
-        .unwrap();
-    sys.cat_assign_workload(fio, ClosId(2)).unwrap();
-    sys.set_device_dca(ssd, ssd_dca).expect("attached");
-    let mut harness = Harness::new(sys);
-    let report = harness.run(opts.warmup, opts.measure);
-    let secs = report.samples.len() as f64 * 1e-3;
-    (
-        report.mean_latency_ns(dpdk, LatencyKind::NetTotal) / 1000.0,
-        report.p99_latency_ns(dpdk, LatencyKind::NetTotal) as f64 / 1000.0,
-        report.total_io_bytes(fio) as f64 / secs / 1e9,
+const BLOCKS: [u64; 4] = [64, 128, 256, 512];
+const DCA: [bool; 2] = [true, false];
+
+fn spec(block_kib: u64, ssd_dca: bool) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!("noisy-neighbor {block_kib}KB dca={ssd_dca}"),
+        RunOpts::paper(),
     )
+    .with_nic(4, 1024)
+    .with_ssd()
+    .with_workload(
+        "dpdk",
+        WorkloadSpec::Dpdk {
+            device: "nic".into(),
+            touch: true,
+        },
+        &[0, 1, 2, 3],
+        Priority::High,
+    )
+    .with_workload(
+        "fio",
+        WorkloadSpec::Fio {
+            device: "ssd".into(),
+            block_kib,
+        },
+        &[4, 5, 6, 7],
+        Priority::Low,
+    )
+    .with_cat(
+        1,
+        WayMask::from_paper_range(4, 5).expect("static"),
+        &["dpdk"],
+    )
+    .with_cat(
+        2,
+        WayMask::from_paper_range(2, 3).expect("static"),
+        &["fio"],
+    )
+    .with_device_dca("ssd", ssd_dca)
 }
 
 fn main() {
+    let sweep = Sweep::over("block_kib", BLOCKS).and("ssd_dca", ["on ", "off"]);
+    let specs: Vec<ScenarioSpec> = sweep
+        .cells()
+        .iter()
+        .map(|cell| spec(BLOCKS[cell.coord(0)], DCA[cell.coord(1)]))
+        .collect();
+    let runs = SweepRunner::with_threads(4)
+        .run_specs(&specs)
+        .expect("static layout");
+
     println!("block    SSD-DCA   net-avg(us)  net-p99(us)  storage(GB/s)");
-    for kib in [64, 128, 256, 512] {
-        for (label, dca) in [("on ", true), ("off", false)] {
-            let (al, tl, tp) = run(dca, kib);
-            println!("{kib:>4}KB    {label}     {al:>10.1} {tl:>12.1} {tp:>13.2}");
-        }
+    for (cell, run) in sweep.cells().iter().zip(&runs) {
+        let kib = BLOCKS[cell.coord(0)];
+        let al = run.mean_latency_us("dpdk", LatencyKind::NetTotal);
+        let tl = run.p99_latency_us("dpdk", LatencyKind::NetTotal);
+        let tp = run.io_gbps("fio");
+        println!(
+            "{kib:>4}KB    {}     {al:>10.1} {tl:>12.1} {tp:>13.2}",
+            cell.labels[1]
+        );
     }
     println!("\n([SSD-DCA off] = NoSnoopOpWrEn set, Use_Allocating_Flow_Wr cleared");
     println!(" in the SSD port's perfctrlsts_0 — the NIC keeps its DDIO fast path.)");

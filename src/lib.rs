@@ -22,15 +22,16 @@
 //! # Quickstart
 //!
 //! ```
-//! use a4::core::{A4Config, A4Controller};
-//! use a4::experiments::scenario;
+//! use a4::core::FeatureLevel;
+//! use a4::experiments::{RunOpts, ScenarioSpec, Scheme};
 //!
-//! // Build the paper's microbenchmark colocation (DPDK-T + FIO + X-Mem),
-//! // attach the A4 controller and run for a few simulated seconds.
-//! let mut harness = scenario::microbench_mix(a4::experiments::RunOpts::quick());
-//! harness.attach_policy(Box::new(A4Controller::new(A4Config::default())));
-//! let report = harness.run_secs(3);
-//! assert!(report.total_instructions_all() > 0);
+//! // Describe the paper's microbenchmark colocation (DPDK-T + FIO +
+//! // X-Mem) declaratively, attach full A4 and run it.
+//! let spec = ScenarioSpec::microbench(RunOpts::quick())
+//!     .with_scheme(Scheme::A4(FeatureLevel::D));
+//! let run = spec.build().unwrap().run();
+//! assert!(run.report.total_instructions_all() > 0);
+//! assert!(run.ipc("xmem1") > 0.0);
 //! ```
 
 pub use a4_cache as cache;

@@ -1,11 +1,11 @@
 //! End-to-end reproductions of the paper's §3 contention discoveries,
 //! spanning every crate: devices DMA through the PCIe models into the
 //! cache hierarchy while workloads execute under the simulator — exactly
-//! the pipeline the figures use, at reduced run length.
+//! the pipeline the figures use, at reduced run length. Scenarios are
+//! described with the declarative `ScenarioSpec` API.
 
-use a4::core::Harness;
-use a4::experiments::{fig3, fig4, scenario, RunOpts};
-use a4::model::{ClosId, Priority, WayMask};
+use a4::experiments::{fig3, fig4, RunOpts, ScenarioSpec, WorkloadSpec};
+use a4::model::{Priority, WayMask};
 use a4::sim::LatencyKind;
 
 fn opts() -> RunOpts {
@@ -73,6 +73,22 @@ fn fig4_dca_off_trades_contention_for_latency() {
     );
 }
 
+/// The FIO-solo spec of the C2 experiments, parameterized on DCA.
+fn fio_solo_spec(o: &RunOpts, block_kib: u64, dca: bool) -> ScenarioSpec {
+    ScenarioSpec::new(format!("fio-solo {block_kib}KB dca={dca}"), *o)
+        .with_ssd()
+        .with_workload(
+            "fio",
+            WorkloadSpec::Fio {
+                device: "ssd".into(),
+                block_kib,
+            },
+            &[0, 1, 2, 3],
+            Priority::Low,
+        )
+        .with_device_dca("ssd", dca)
+}
+
 /// (C2) A storage workload saturates its throughput identically with and
 /// without DCA while leaking heavily — observation O2's precondition.
 #[test]
@@ -80,25 +96,20 @@ fn storage_is_dca_insensitive_but_leaky() {
     let o = opts();
     let mut tps = Vec::new();
     for dca in [true, false] {
-        let mut sys = scenario::base_system(&o);
-        let ssd = scenario::attach_ssd(&mut sys).unwrap();
-        let lines = scenario::block_lines(&sys, 512);
-        let fio = scenario::add_fio(&mut sys, ssd, lines, &[0, 1, 2, 3], Priority::Low).unwrap();
-        sys.set_device_dca(ssd, dca).unwrap();
-        let mut harness = Harness::new(sys);
-        let report = harness.run(o.warmup, o.measure);
-        let secs = report.samples.len() as f64 * 1e-3;
-        tps.push(report.total_io_bytes(fio) as f64 / secs / 1e9);
+        let run = fio_solo_spec(&o, 512, dca).build().unwrap().run();
+        tps.push(run.io_gbps("fio"));
         if dca {
             // With DCA on, large blocks still leak: the device sample
             // shows a substantial leaked fraction of DCA allocations.
-            let leak = report
+            let ssd = run.device_id("ssd");
+            let leak = run
+                .report
                 .samples
                 .iter()
                 .filter_map(|s| s.device(ssd))
                 .map(|d| d.dca_leak_rate)
                 .sum::<f64>()
-                / report.samples.len() as f64;
+                / run.report.samples.len() as f64;
             assert!(leak > 0.3, "large blocks leak from the DCA ways: {leak:.2}");
         }
     }
@@ -115,25 +126,36 @@ fn storage_is_dca_insensitive_but_leaky() {
 fn selective_ssd_dca_off_recovers_network_latency() {
     let o = opts();
     let run = |ssd_dca: bool| {
-        let mut sys = scenario::base_system(&o);
-        let nic = scenario::attach_nic(&mut sys, 4, 1024).unwrap();
-        let ssd = scenario::attach_ssd(&mut sys).unwrap();
-        let dpdk = scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).unwrap();
-        let lines = scenario::block_lines(&sys, 128);
-        let fio = scenario::add_fio(&mut sys, ssd, lines, &[4, 5, 6, 7], Priority::Low).unwrap();
-        sys.cat_set_mask(ClosId(1), WayMask::from_paper_range(4, 5).unwrap())
-            .unwrap();
-        sys.cat_assign_workload(dpdk, ClosId(1)).unwrap();
-        sys.cat_set_mask(ClosId(2), WayMask::from_paper_range(2, 3).unwrap())
-            .unwrap();
-        sys.cat_assign_workload(fio, ClosId(2)).unwrap();
-        sys.set_device_dca(ssd, ssd_dca).unwrap();
-        let mut harness = Harness::new(sys);
-        let report = harness.run(o.warmup, o.measure);
-        let secs = report.samples.len() as f64 * 1e-3;
+        let run = ScenarioSpec::new(format!("ssd-dca={ssd_dca}"), o)
+            .with_nic(4, 1024)
+            .with_ssd()
+            .with_workload(
+                "dpdk",
+                WorkloadSpec::Dpdk {
+                    device: "nic".into(),
+                    touch: true,
+                },
+                &[0, 1, 2, 3],
+                Priority::High,
+            )
+            .with_workload(
+                "fio",
+                WorkloadSpec::Fio {
+                    device: "ssd".into(),
+                    block_kib: 128,
+                },
+                &[4, 5, 6, 7],
+                Priority::Low,
+            )
+            .with_cat(1, WayMask::from_paper_range(4, 5).unwrap(), &["dpdk"])
+            .with_cat(2, WayMask::from_paper_range(2, 3).unwrap(), &["fio"])
+            .with_device_dca("ssd", ssd_dca)
+            .build()
+            .unwrap()
+            .run();
         (
-            report.mean_latency_ns(dpdk, LatencyKind::NetTotal) / 1000.0,
-            report.total_io_bytes(fio) as f64 / secs / 1e9,
+            run.mean_latency_us("dpdk", LatencyKind::NetTotal),
+            run.io_gbps("fio"),
         )
     };
     let (al_on, tp_on) = run(true);
@@ -154,8 +176,8 @@ fn selective_ssd_dca_off_recovers_network_latency() {
 #[test]
 fn full_stack_runs_are_deterministic() {
     let run = || {
-        let mut harness = scenario::microbench_mix(RunOpts::quick());
-        let report = harness.run(1, 2);
+        let mut scenario = ScenarioSpec::microbench(RunOpts::quick()).build().unwrap();
+        let report = scenario.harness.run(1, 2);
         report
             .samples
             .iter()

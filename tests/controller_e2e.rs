@@ -1,9 +1,11 @@
 //! End-to-end A4 controller behaviour on the full-size simulated server:
 //! detection, demotion, selective DCA disabling, restoration on phase
-//! changes, and the headline HPW-protection result.
+//! changes, and the headline HPW-protection result. Scenarios come from
+//! the declarative `ScenarioSpec` API; tests that drive the control loop
+//! manually unwrap the built harness back into its `System`.
 
-use a4::core::{A4Config, A4Controller, FeatureLevel, Harness, LlcPolicy, Thresholds};
-use a4::experiments::{fig13, scenario, RunOpts};
+use a4::core::{A4Config, A4Controller, FeatureLevel, LlcPolicy, Thresholds};
+use a4::experiments::{fig13, RunOpts, ScenarioSpec, Scheme, WorkloadSpec};
 use a4::model::{Priority, WayMask};
 use a4::workloads::scale;
 
@@ -17,19 +19,34 @@ fn storage_antagonist_detection_end_to_end() {
         measure: 6,
         seed: 0xA4,
     };
-    let mut sys = scenario::base_system(&opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).unwrap();
-    let ssd = scenario::attach_ssd(&mut sys).unwrap();
-    scenario::add_fastclick(&mut sys, nic, &[0, 1, 2, 3], Priority::High).unwrap();
-    let ffsb = scenario::add_ffsb_heavy(&mut sys, ssd, &[4, 5, 6], Priority::High).unwrap();
-    let mut harness = Harness::new(sys);
-    harness.attach_policy(Box::new(A4Controller::new(A4Config::default())));
-    harness.run(opts.warmup, opts.measure);
+    let mut scenario = ScenarioSpec::new("antagonist-detection", opts)
+        .with_nic(4, 1024)
+        .with_ssd()
+        .with_workload(
+            "fastclick",
+            WorkloadSpec::Fastclick {
+                device: "nic".into(),
+            },
+            &[0, 1, 2, 3],
+            Priority::High,
+        )
+        .with_workload(
+            "ffsb",
+            WorkloadSpec::FfsbHeavy {
+                device: "ssd".into(),
+            },
+            &[4, 5, 6],
+            Priority::High,
+        )
+        .with_scheme(Scheme::A4(FeatureLevel::D))
+        .build()
+        .unwrap();
+    let ssd = scenario.device("ssd");
+    scenario.harness.run(opts.warmup, opts.measure);
     assert!(
-        !harness.system().dca_enabled(ssd),
+        !scenario.harness.system().dca_enabled(ssd),
         "the heavy storage workload's SSD lost DCA (F2)"
     );
-    let _ = ffsb;
 }
 
 /// Workload termination mid-run: the controller re-zones without
@@ -38,10 +55,21 @@ fn storage_antagonist_detection_end_to_end() {
 #[test]
 fn workload_termination_triggers_rezoning() {
     let opts = RunOpts::quick();
-    let mut sys = scenario::base_system(&opts);
+    let scenario = ScenarioSpec::new("termination", opts)
+        .with_workload(
+            "hp",
+            WorkloadSpec::XMem { instance: 1 },
+            &[0, 1],
+            Priority::High,
+        )
+        .build()
+        .unwrap();
+    let hp = scenario.workload("hp");
+    let mut sys = scenario.harness.into_system();
+    // A custom background LPW outside the spec vocabulary, registered
+    // directly on the unwrapped system.
     let lpw_ws = scale::lines(a4::model::Bytes::from_mib(4), sys.config().hierarchy.llc);
     let base = sys.alloc_lines(lpw_ws);
-    let hp = scenario::add_xmem(&mut sys, 1, &[0, 1], Priority::High).unwrap();
     let lp = sys
         .add_workload(
             Box::new(a4::workloads::XMem::new(
@@ -81,11 +109,32 @@ fn workload_termination_triggers_rezoning() {
 #[test]
 fn lp_zone_invariants_hold_under_full_mix() {
     let opts = RunOpts::quick();
-    let mut sys = scenario::base_system(&opts);
-    let nic = scenario::attach_nic(&mut sys, 4, 1024).unwrap();
-    scenario::add_dpdk(&mut sys, nic, true, &[0, 1, 2, 3], Priority::High).unwrap();
-    scenario::add_xmem(&mut sys, 1, &[4, 5], Priority::High).unwrap();
-    scenario::add_xmem(&mut sys, 2, &[6], Priority::Low).unwrap();
+    let scenario = ScenarioSpec::new("lp-zone-invariants", opts)
+        .with_nic(4, 1024)
+        .with_workload(
+            "dpdk",
+            WorkloadSpec::Dpdk {
+                device: "nic".into(),
+                touch: true,
+            },
+            &[0, 1, 2, 3],
+            Priority::High,
+        )
+        .with_workload(
+            "xmem1",
+            WorkloadSpec::XMem { instance: 1 },
+            &[4, 5],
+            Priority::High,
+        )
+        .with_workload(
+            "xmem2",
+            WorkloadSpec::XMem { instance: 2 },
+            &[6],
+            Priority::Low,
+        )
+        .build()
+        .unwrap();
+    let mut sys = scenario.harness.into_system();
     let mut a4ctl = A4Controller::new(A4Config::with_level(
         FeatureLevel::B,
         Thresholds::scaled_sim(),
@@ -117,15 +166,15 @@ fn a4_headline_hpw_improvement() {
         measure: 6,
         seed: 0xA4,
     };
-    let (df, df_entries) = fig13::run_mix(&opts, scenario::Scheme::Default, true);
-    let (a4r, a4_entries) = fig13::run_mix(&opts, scenario::Scheme::A4(FeatureLevel::D), true);
+    let df = fig13::run_mix(&opts, Scheme::Default, true);
+    let a4r = fig13::run_mix(&opts, Scheme::A4(FeatureLevel::D), true);
     let mut hp_gain = 0.0;
     let mut hp_n = 0;
     let mut lp_gain = 0.0;
     let mut lp_n = 0;
-    for (d, a) in df_entries.iter().zip(&a4_entries) {
-        let rel = fig13::perf(&a4r, a) / fig13::perf(&df, d).max(1e-12);
-        if d.priority == Priority::High {
+    for binding in &df.workloads {
+        let rel = a4r.perf(&binding.role) / df.perf(&binding.role).max(1e-12);
+        if binding.priority == Priority::High {
             hp_gain += rel;
             hp_n += 1;
         } else {
@@ -148,14 +197,14 @@ fn isolate_does_not_beat_a4_for_hpws() {
         measure: 6,
         seed: 0xA4,
     };
-    let (iso, iso_entries) = fig13::run_mix(&opts, scenario::Scheme::Isolate, true);
-    let (a4r, a4_entries) = fig13::run_mix(&opts, scenario::Scheme::A4(FeatureLevel::D), true);
+    let iso = fig13::run_mix(&opts, Scheme::Isolate, true);
+    let a4r = fig13::run_mix(&opts, Scheme::A4(FeatureLevel::D), true);
     let mut iso_hp = 0.0;
     let mut a4_hp = 0.0;
-    for (i, a) in iso_entries.iter().zip(&a4_entries) {
-        if i.priority == Priority::High {
-            iso_hp += fig13::perf(&iso, i);
-            a4_hp += fig13::perf(&a4r, a);
+    for binding in &iso.workloads {
+        if binding.priority == Priority::High {
+            iso_hp += iso.perf(&binding.role);
+            a4_hp += a4r.perf(&binding.role);
         }
     }
     assert!(
@@ -171,9 +220,23 @@ fn isolate_does_not_beat_a4_for_hpws() {
 #[test]
 fn controller_survives_phase_changes() {
     let opts = RunOpts::quick();
-    let mut sys = scenario::base_system(&opts);
-    let hp = scenario::add_xmem(&mut sys, 1, &[0, 1], Priority::High).unwrap();
-    scenario::add_xmem(&mut sys, 2, &[2], Priority::Low).unwrap();
+    let scenario = ScenarioSpec::new("phase-changes", opts)
+        .with_workload(
+            "hp",
+            WorkloadSpec::XMem { instance: 1 },
+            &[0, 1],
+            Priority::High,
+        )
+        .with_workload(
+            "lp",
+            WorkloadSpec::XMem { instance: 2 },
+            &[2],
+            Priority::Low,
+        )
+        .build()
+        .unwrap();
+    let hp = scenario.workload("hp");
+    let mut sys = scenario.harness.into_system();
     let mut a4ctl = A4Controller::new(A4Config::default());
     let mut miss_before = 0.0;
     let mut miss_after = 0.0;

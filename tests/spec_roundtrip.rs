@@ -1,0 +1,136 @@
+//! Serde round-trip property tests for the declarative experiment API:
+//! any `ScenarioSpec` / `RunOpts` / `Scheme` dumped by `a4-repro
+//! --dump-specs` (or `--json`) must be reloadable bit-for-bit, so
+//! serialized experiments are durable artifacts.
+
+use a4::core::{FeatureLevel, Thresholds};
+use a4::experiments::spec::{DeviceSpec, Metric, SystemTweaks};
+use a4::experiments::{RunOpts, ScenarioSpec, Scheme, WorkloadSpec};
+use a4::model::{Priority, WayMask};
+use proptest::prelude::*;
+
+fn opts_strategy() -> impl Strategy<Value = RunOpts> {
+    (0u64..40, 1u64..40, any::<u64>()).prop_map(|(warmup, measure, seed)| RunOpts {
+        warmup,
+        measure,
+        seed,
+    })
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    (0usize..6).prop_map(|i| Scheme::all_six()[i])
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        any::<bool>().prop_map(|touch| WorkloadSpec::Dpdk {
+            device: "nic".into(),
+            touch
+        }),
+        (2u64..2048).prop_map(|block_kib| WorkloadSpec::Fio {
+            device: "ssd".into(),
+            block_kib
+        }),
+        (1u8..4).prop_map(|instance| WorkloadSpec::XMem { instance }),
+        Just(WorkloadSpec::Fastclick {
+            device: "nic".into()
+        }),
+        Just(WorkloadSpec::FfsbHeavy {
+            device: "ssd".into()
+        }),
+        Just(WorkloadSpec::FfsbLight {
+            device: "ssd".into()
+        }),
+        Just(WorkloadSpec::RedisServer),
+        Just(WorkloadSpec::RedisClient),
+        (0usize..4).prop_map(|i| WorkloadSpec::SpecCpu {
+            benchmark: ["lbm", "mcf", "x264", "bwaves"][i].into(),
+        }),
+    ]
+}
+
+fn tweaks_strategy() -> impl Strategy<Value = SystemTweaks> {
+    (0usize..3, 0usize..3, 0usize..3).prop_map(|(c, d, m)| SystemTweaks {
+        cores: [None, Some(12), Some(18)][c],
+        dca_ways: [None, Some(1), Some(4)][d],
+        mem_channels: [None, Some(2), Some(6)][m],
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        opts_strategy(),
+        scheme_strategy(),
+        any::<bool>(),
+        workload_strategy(),
+        workload_strategy(),
+        tweaks_strategy(),
+        (0usize..10, any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(opts, scheme, with_scheme, w1, w2, tweaks, (mask_lo, global_dca, ssd_dca))| {
+                let mut spec = ScenarioSpec::new("prop", opts)
+                    .with_nic(4, 1024)
+                    .with_ssd()
+                    .with_system(tweaks)
+                    .with_workload("w1", w1, &[0, 1], Priority::High)
+                    .with_workload_metric("w2", w2, &[2], Priority::Low, Metric::Ipc)
+                    .with_cat(
+                        1,
+                        WayMask::from_paper_range(mask_lo, mask_lo + 1).unwrap(),
+                        &["w1"],
+                    )
+                    .with_global_dca(global_dca)
+                    .with_device_dca("ssd", ssd_dca);
+                if with_scheme {
+                    spec = spec.with_scheme(scheme);
+                    if matches!(scheme, Scheme::A4(_)) {
+                        spec = spec.with_thresholds(Thresholds::scaled_sim());
+                    }
+                }
+                spec
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn run_opts_roundtrip(opts in opts_strategy()) {
+        let json = serde_json::to_string(&opts).unwrap();
+        let back: RunOpts = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, opts);
+    }
+
+    #[test]
+    fn scheme_roundtrip(scheme in scheme_strategy()) {
+        let json = serde_json::to_string(&scheme).unwrap();
+        let back: Scheme = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, scheme);
+    }
+
+    #[test]
+    fn scenario_spec_roundtrip(spec in spec_strategy()) {
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn workload_spec_roundtrip(w in workload_strategy()) {
+        let json = serde_json::to_string(&w).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, w);
+    }
+}
+
+/// Non-property pin: the exact representation of the newtype scheme
+/// variant (the vendored serde bug class this suite guards against).
+#[test]
+fn a4_scheme_serializes_transparently() {
+    let json = serde_json::to_string(&Scheme::A4(FeatureLevel::C)).unwrap();
+    assert_eq!(json, r#"{"A4":"C"}"#);
+    let device = DeviceSpec::Ssd;
+    let json = serde_json::to_string(&device).unwrap();
+    let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, device);
+}

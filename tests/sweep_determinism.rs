@@ -1,0 +1,57 @@
+//! Sweep-parallelism determinism: the same `ScenarioSpec` grid must
+//! produce byte-identical `Table` output whether its cells run on one
+//! thread or four — cell results are collected by index and every cell
+//! owns its own seeded simulation, so thread scheduling can never leak
+//! into the figures.
+
+use a4::experiments::{fig11, fig12, fig13, RunOpts, SweepRunner};
+
+fn quick() -> RunOpts {
+    RunOpts {
+        warmup: 1,
+        measure: 2,
+        seed: 0xA4,
+    }
+}
+
+#[test]
+fn fig12_tables_are_identical_across_thread_counts() {
+    let opts = quick();
+    let serial = fig12::run_with(&opts, &SweepRunner::serial());
+    let parallel = fig12::run_with(&opts, &SweepRunner::with_threads(4));
+    // Byte-identical in both renderings.
+    assert_eq!(serial.to_string(), parallel.to_string());
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap()
+    );
+}
+
+#[test]
+fn fig13_tables_are_identical_across_thread_counts() {
+    let opts = quick();
+    let serial = fig13::run_with(&opts, true, &SweepRunner::serial());
+    let parallel = fig13::run_with(&opts, true, &SweepRunner::with_threads(4));
+    assert_eq!(serial.to_string(), parallel.to_string());
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap()
+    );
+}
+
+#[test]
+fn oversubscribed_runner_is_still_deterministic() {
+    // More threads than cells, and a weird thread count.
+    let opts = quick();
+    let specs = fig11::specs(&opts);
+    let serial = SweepRunner::serial().run_specs(&specs).unwrap();
+    let wide = SweepRunner::with_threads(64).run_specs(&specs).unwrap();
+    let odd = SweepRunner::with_threads(3).run_specs(&specs).unwrap();
+    for ((a, b), c) in serial.iter().zip(&wide).zip(&odd) {
+        for binding in &a.workloads {
+            let pa = a.perf(&binding.role);
+            assert_eq!(pa, b.perf(&binding.role), "64 threads: {}", binding.role);
+            assert_eq!(pa, c.perf(&binding.role), "3 threads: {}", binding.role);
+        }
+    }
+}
