@@ -82,16 +82,17 @@ impl MlcGeometry {
     /// # Errors
     ///
     /// Returns [`A4Error::InvalidConfig`] unless `sets` is a power of two
-    /// and `ways` is in `1..=32`.
+    /// and `ways` is in `1..=16` (the packed exact-LRU recency state
+    /// holds at most 16 ways; real MLCs top out at 16 anyway).
     pub fn new(sets: usize, ways: usize) -> Result<Self> {
         if !sets.is_power_of_two() {
             return Err(A4Error::InvalidConfig {
                 what: "mlc sets must be a power of two",
             });
         }
-        if ways == 0 || ways > 32 {
+        if ways == 0 || ways > 16 {
             return Err(A4Error::InvalidConfig {
-                what: "mlc ways must be in 1..=32",
+                what: "mlc ways must be in 1..=16",
             });
         }
         Ok(MlcGeometry { sets, ways })
@@ -195,6 +196,7 @@ mod tests {
     fn mlc_geometry_validates() {
         assert!(MlcGeometry::new(3, 4).is_err());
         assert!(MlcGeometry::new(8, 0).is_err());
+        assert!(MlcGeometry::new(8, 17).is_err());
         assert!(MlcGeometry::new(8, 64).is_err());
         assert!(MlcGeometry::new(8, 16).is_ok());
     }

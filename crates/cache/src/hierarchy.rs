@@ -189,18 +189,23 @@ impl CacheHierarchy {
                 meta,
             } => {
                 self.stats.bump(owner, |c| c.llc_hits += 1);
-                if migrated {
-                    self.stats.bump(meta.owner, |c| c.migrations += 1);
-                }
-                if io_first_consume && from_dca_way {
-                    self.stats.bump(meta.owner, |c| c.dca_consumed += 1);
+                let dca_consumed = io_first_consume && from_dca_way;
+                if migrated || dca_consumed {
+                    self.stats.bump(meta.owner, |c| {
+                        c.migrations += u64::from(migrated);
+                        c.dca_consumed += u64::from(dca_consumed);
+                    });
                 }
                 if let Some(ev) = evicted {
                     self.handle_llc_eviction(ev);
                 }
                 let mut mlc_meta = meta;
                 mlc_meta.consumed = true;
-                if let Some(victim) = self.mlcs[core.index()].fill(addr, mlc_meta, write) {
+                // The MLC lookup above just missed and nothing since
+                // could have filled `addr` into this core's MLC, so the
+                // already-present probe can be skipped.
+                if let Some(victim) = self.mlcs[core.index()].fill_after_miss(addr, mlc_meta, write)
+                {
                     self.handle_mlc_eviction(core, victim);
                 }
                 CoreAccessLevel::LlcHit
@@ -220,7 +225,7 @@ impl CacheHierarchy {
                     consumed: true,
                     device: None,
                 };
-                if let Some(victim) = self.mlcs[core.index()].fill(addr, meta, write) {
+                if let Some(victim) = self.mlcs[core.index()].fill_after_miss(addr, meta, write) {
                     self.handle_mlc_eviction(core, victim);
                 }
                 CoreAccessLevel::Memory
@@ -238,13 +243,13 @@ impl CacheHierarchy {
         owner: WorkloadId,
         dca_enabled: bool,
     ) -> DmaWriteDest {
-        self.stats.device_mut(device).dma_write_lines += 1;
-
         if !dca_enabled {
             // Stale cached copies are snooped out; data lands in memory.
             let presence = self.llc.snoop_invalidate(addr);
             self.back_invalidate(addr, presence, false);
-            self.stats.device_mut(device).dma_to_memory_lines += 1;
+            let d = self.stats.device_mut(device);
+            d.dma_write_lines += 1;
+            d.dma_to_memory_lines += 1;
             self.stats.bump(owner, |c| c.mem_write_lines += 1);
             return DmaWriteDest::Memory;
         }
@@ -254,7 +259,9 @@ impl CacheHierarchy {
                 invalidate_presence,
             } => {
                 self.back_invalidate(addr, invalidate_presence, false);
-                self.stats.device_mut(device).dca_updates += 1;
+                let d = self.stats.device_mut(device);
+                d.dma_write_lines += 1;
+                d.dca_updates += 1;
                 self.stats.bump(owner, |c| c.dca_updates += 1);
                 DmaWriteDest::LlcUpdate
             }
@@ -263,7 +270,9 @@ impl CacheHierarchy {
                 evicted,
             } => {
                 self.back_invalidate(addr, invalidate_presence, false);
-                self.stats.device_mut(device).dca_allocs += 1;
+                let d = self.stats.device_mut(device);
+                d.dma_write_lines += 1;
+                d.dca_allocs += 1;
                 self.stats.bump(owner, |c| c.dca_allocs += 1);
                 if let Some(ev) = evicted {
                     self.handle_llc_eviction(ev);
@@ -322,17 +331,19 @@ impl CacheHierarchy {
                 self.back_invalidate(forced.addr, forced.presence, true);
             }
         }
-        if ev.dirty {
-            self.stats.bump(ev.meta.owner, |c| c.mem_write_lines += 1);
-        }
-        if ev.is_dma_leak() {
-            self.stats.bump(ev.meta.owner, |c| c.dma_leaks += 1);
+        // One bump covers all of this eviction's owner-side counters (the
+        // total/per-workload rows are walked once, not once per field).
+        let leak = ev.is_dma_leak();
+        self.stats.bump(ev.meta.owner, |c| {
+            c.mem_write_lines += u64::from(ev.dirty);
+            c.dma_leaks += u64::from(leak);
+            c.evictions_suffered += 1;
+        });
+        if leak {
             if let Some(dev) = ev.meta.device {
                 self.stats.device_mut(dev).dma_leaks += 1;
             }
         }
-        self.stats
-            .bump(ev.meta.owner, |c| c.evictions_suffered += 1);
     }
 
     /// Invalidates MLC copies named by `presence`. When `writeback` is
@@ -340,16 +351,14 @@ impl CacheHierarchy {
     /// copies are written back to memory; DMA snoops overwrite the data so
     /// they skip the write-back.
     fn back_invalidate(&mut self, addr: LineAddr, presence: u32, writeback: bool) {
-        if presence == 0 {
-            return;
-        }
-        for c in 0..self.config.cores {
-            if presence & (1 << c) != 0 {
-                if let Some((dirty, meta)) = self.mlcs[c].invalidate(addr) {
-                    self.stats.bump(meta.owner, |s| s.back_invalidations += 1);
-                    if dirty && writeback {
-                        self.stats.bump(meta.owner, |s| s.mem_write_lines += 1);
-                    }
+        let mut m = presence & ((1u64 << self.config.cores) - 1) as u32;
+        while m != 0 {
+            let c = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if let Some((dirty, meta)) = self.mlcs[c].invalidate(addr) {
+                self.stats.bump(meta.owner, |s| s.back_invalidations += 1);
+                if dirty && writeback {
+                    self.stats.bump(meta.owner, |s| s.mem_write_lines += 1);
                 }
             }
         }

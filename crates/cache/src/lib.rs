@@ -48,8 +48,10 @@
 
 mod clos;
 mod config;
+
 mod hierarchy;
 mod llc;
+mod lru;
 mod meta;
 mod mlc;
 mod stats;

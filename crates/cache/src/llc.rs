@@ -22,6 +22,7 @@
 //! LLC-inclusive, and must therefore **migrate to an inclusive way**,
 //! evicting the victim there. That is the hidden *directory contention*.
 
+use crate::lru::Recency;
 use crate::meta::LineMeta;
 use crate::LlcGeometry;
 use a4_model::{CoreId, DeviceId, LineAddr, WayMask, WorkloadId, LLC_WAYS};
@@ -149,45 +150,36 @@ pub struct ProbeInfo {
     pub meta: LineMeta,
 }
 
+/// A copied-out data line, used when a line moves between ways. Storage
+/// itself splits tags from per-way state (see [`Llc`]); this is only the
+/// transient register form.
 #[derive(Debug, Clone, Copy)]
-struct DataLine {
+struct LineState {
     tag: u64,
-    valid: bool,
     dirty: bool,
     in_mlc: bool,
     presence: u32,
-    lru: u64,
     meta: LineMeta,
 }
 
-const INVALID_DATA: DataLine = DataLine {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    in_mlc: false,
+/// Non-tag per-way state, kept as one record so a post-lookup touch of a
+/// way costs one cache line instead of one per field array. (Data ways
+/// need no recency state at all: allocation victims are random, so the
+/// seed's per-way LRU tick was dead weight.)
+#[derive(Debug, Clone, Copy)]
+struct WayState {
+    presence: u32,
+    meta: LineMeta,
+}
+
+const INVALID_WAY: WayState = WayState {
     presence: 0,
-    lru: 0,
     meta: LineMeta {
         owner: WorkloadId(0),
         io: false,
         consumed: true,
         device: None,
     },
-};
-
-#[derive(Debug, Clone, Copy)]
-struct ExtEntry {
-    tag: u64,
-    valid: bool,
-    presence: u32,
-    lru: u64,
-}
-
-const INVALID_EXT: ExtEntry = ExtEntry {
-    tag: 0,
-    valid: false,
-    presence: 0,
-    lru: 0,
 };
 
 /// The shared last-level cache.
@@ -218,9 +210,35 @@ const INVALID_EXT: ExtEntry = ExtEntry {
 #[derive(Debug, Clone)]
 pub struct Llc {
     geometry: LlcGeometry,
-    data: Vec<DataLine>,
-    ext: Vec<ExtEntry>,
-    tick: u64,
+    // Precomputed address split (sets is a power of two).
+    set_mask: u64,
+    tag_shift: u32,
+    // Data array, scan-optimised: the hot 23-way lookups (`find_way`
+    // plus the extended-directory scans) touch one per-set `u16` valid
+    // bitmap and a contiguous 88-byte tag stripe instead of ~1.5 KB of
+    // interleaved line records; the remaining per-way state lives in one
+    // `WayState` record per way so the post-lookup touch is a single
+    // line. Flags are per-set bitmasks (bit w ⇔ way w); tags/state are
+    // indexed `set * LLC_WAYS + way`.
+    tags: Vec<u64>,
+    tag16: Vec<u16>,
+    // True while every resident tag fits 16 bits (always, for the scaled
+    // address spaces): then a digest match IS a tag match and the scan
+    // never has to touch the full-tag stripe.
+    digests_exact: bool,
+    state: Vec<WayState>,
+    // Per-set flag word: valid/dirty/in-mlc way bitmaps in the three
+    // 16-bit lanes (one load-modify-store instead of three arrays).
+    flags: Vec<u64>,
+    // Extended directory, same layout with `EXT_DIR_EXCLUSIVE_WAYS` ways.
+    ext_tags: Vec<u64>,
+    ext_tag16: Vec<u16>,
+    ext_presence: Vec<u32>,
+    ext_valid: Vec<u16>,
+    // Exact-LRU recency permutation per extended-directory set (see
+    // `lru::Recency`) — replaces per-entry tick stores plus the
+    // eviction-time minimum scan.
+    ext_order: Vec<Recency>,
     dca_mask: WayMask,
     inclusive_mask: WayMask,
     rand_state: u64,
@@ -230,11 +248,21 @@ impl Llc {
     /// Creates an empty LLC with the standard Skylake way roles (DCA ways
     /// 0–1, inclusive ways 9–10).
     pub fn new(geometry: LlcGeometry) -> Self {
+        let sets = geometry.sets();
         Llc {
             geometry,
-            data: vec![INVALID_DATA; geometry.sets() * LLC_WAYS],
-            ext: vec![INVALID_EXT; geometry.sets() * EXT_DIR_EXCLUSIVE_WAYS],
-            tick: 0,
+            set_mask: sets as u64 - 1,
+            tag_shift: sets.trailing_zeros(),
+            tags: vec![0; sets * LLC_WAYS],
+            tag16: vec![0; sets * LLC_WAYS],
+            digests_exact: true,
+            state: vec![INVALID_WAY; sets * LLC_WAYS],
+            flags: vec![0; sets],
+            ext_tags: vec![0; sets * EXT_DIR_EXCLUSIVE_WAYS],
+            ext_tag16: vec![0; sets * EXT_DIR_EXCLUSIVE_WAYS],
+            ext_presence: vec![0; sets * EXT_DIR_EXCLUSIVE_WAYS],
+            ext_valid: vec![0; sets],
+            ext_order: vec![Recency::identity(EXT_DIR_EXCLUSIVE_WAYS); sets],
             dca_mask: WayMask::DCA,
             inclusive_mask: WayMask::INCLUSIVE,
             rand_state: 0x9E37_79B9_7F4A_7C15,
@@ -267,32 +295,115 @@ impl Llc {
 
     #[inline]
     fn split(&self, addr: LineAddr) -> (usize, u64) {
-        (
-            addr.set_index(self.geometry.sets()),
-            addr.tag(self.geometry.sets()),
-        )
+        ((addr.0 & self.set_mask) as usize, addr.0 >> self.tag_shift)
     }
 
     #[inline]
     fn addr_of(&self, set: usize, tag: u64) -> LineAddr {
-        LineAddr((tag << self.geometry.sets().trailing_zeros()) | set as u64)
+        LineAddr((tag << self.tag_shift) | set as u64)
     }
 
     #[inline]
-    fn line(&self, set: usize, way: usize) -> &DataLine {
-        &self.data[set * LLC_WAYS + way]
+    fn di(set: usize, way: usize) -> usize {
+        set * LLC_WAYS + way
     }
 
+    /// Lane shifts within the per-set flag word.
+    const FV: u32 = 0;
+    const FD: u32 = 16;
+    const FM: u32 = 32;
+
     #[inline]
-    fn line_mut(&mut self, set: usize, way: usize) -> &mut DataLine {
-        &mut self.data[set * LLC_WAYS + way]
+    fn valid_bits(&self, set: usize) -> u16 {
+        (self.flags[set] >> Self::FV) as u16
+    }
+
+    /// Copies a (valid) line out of the arrays into register form.
+    #[inline]
+    fn read_line(&self, set: usize, way: usize) -> LineState {
+        let i = Self::di(set, way);
+        let s = self.state[i];
+        let f = self.flags[set];
+        LineState {
+            tag: self.tags[i],
+            dirty: f & (1 << (way as u32 + Self::FD)) != 0,
+            in_mlc: f & (1 << (way as u32 + Self::FM)) != 0,
+            presence: s.presence,
+            meta: s.meta,
+        }
+    }
+
+    /// Copies the line out of `(set, way)` and invalidates it (fused
+    /// `read_line` + valid-clear).
+    #[inline]
+    fn take_way(&mut self, set: usize, way: usize) -> LineState {
+        let line = self.read_line(set, way);
+        self.flags[set] &= !(1u64 << way);
+        line
+    }
+
+    /// Replaces the line in `(set, way)` with `line` in one pass,
+    /// returning the displaced valid line if any (fused
+    /// `evict_way` + `write_line`: one flag-word round trip).
+    #[inline]
+    fn replace_way(&mut self, set: usize, way: usize, line: LineState) -> Option<EvictedLlcLine> {
+        let i = Self::di(set, way);
+        let f = self.flags[set];
+        let bit = 1u64 << way;
+        let evicted = if f & bit != 0 {
+            let s = self.state[i];
+            Some(EvictedLlcLine {
+                addr: self.addr_of(set, self.tags[i]),
+                dirty: f & (bit << Self::FD) != 0,
+                meta: s.meta,
+                was_in_mlc: f & (bit << Self::FM) != 0,
+                presence: s.presence,
+            })
+        } else {
+            None
+        };
+        self.tags[i] = line.tag;
+        self.tag16[i] = line.tag as u16;
+        self.digests_exact &= line.tag <= u64::from(u16::MAX);
+        self.state[i] = WayState {
+            presence: line.presence,
+            meta: line.meta,
+        };
+        let mut nf = f | bit;
+        nf = (nf & !(bit << Self::FD)) | (u64::from(line.dirty) << (way as u32 + Self::FD));
+        nf = (nf & !(bit << Self::FM)) | (u64::from(line.in_mlc) << (way as u32 + Self::FM));
+        self.flags[set] = nf;
+        evicted
     }
 
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
-        (0..LLC_WAYS).find(|&w| {
-            let l = self.line(set, w);
-            l.valid && l.tag == tag
-        })
+        // Two-level scan: a branchless fixed-trip-count compare of the
+        // 16-bit tag digests (one 22-byte stripe, vectorized by the
+        // compiler) narrows to the rare candidates, which are then
+        // verified against the full tags. Purely a speed structure — a
+        // digest match never decides residency on its own.
+        let base = Self::di(set, 0);
+        let digests = &self.tag16[base..base + LLC_WAYS];
+        let d = tag as u16;
+        let mut cand = 0u16;
+        for (w, &t) in digests.iter().enumerate() {
+            cand |= u16::from(t == d) << w;
+        }
+        cand &= self.valid_bits(set);
+        if cand == 0 {
+            return None;
+        }
+        if self.digests_exact && tag <= u64::from(u16::MAX) {
+            return Some(cand.trailing_zeros() as usize);
+        }
+        while cand != 0 {
+            let w = cand.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                return Some(w);
+            }
+            cand &= cand - 1;
+        }
+        None
     }
 
     #[inline]
@@ -314,30 +425,28 @@ impl Llc {
     /// leak-free), so the random choice is the more faithful abstraction.
     fn victim_way(&mut self, set: usize, mask: WayMask) -> usize {
         debug_assert!(!mask.is_empty(), "allocation mask must be non-empty");
-        for w in mask.iter_ways() {
-            if !self.line(set, w).valid {
-                return w;
-            }
+        // Invalid ways within the mask, lowest first.
+        let free = !self.valid_bits(set) & mask.bits();
+        if free != 0 {
+            return free.trailing_zeros() as usize;
         }
-        let n = mask.count();
-        let pick = (self.next_rand() % n as u64) as usize;
-        mask.iter_ways().nth(pick).expect("pick < mask.count()")
-    }
-
-    fn evict_way(&mut self, set: usize, way: usize) -> Option<EvictedLlcLine> {
-        let line = *self.line(set, way);
-        if !line.valid {
-            return None;
+        let n = mask.count() as u64;
+        let r = self.next_rand();
+        // `% n` must be preserved bit-for-bit (victim picks pin the golden
+        // tables), but the hot masks (DCA, inclusive: 2 ways) admit the
+        // identical power-of-two fast path without the hardware divide.
+        let pick = if n.is_power_of_two() {
+            (r & (n - 1)) as u32
+        } else {
+            (r % n) as u32
+        };
+        // The pick'th set bit of the mask, lowest first (branch-free
+        // replacement for `iter_ways().nth(pick)` on this hot path).
+        let mut bits = mask.bits();
+        for _ in 0..pick {
+            bits &= bits - 1;
         }
-        let addr = self.addr_of(set, line.tag);
-        self.line_mut(set, way).valid = false;
-        Some(EvictedLlcLine {
-            addr,
-            dirty: line.dirty,
-            meta: line.meta,
-            was_in_mlc: line.in_mlc,
-            presence: line.presence,
-        })
+        bits.trailing_zeros() as usize
     }
 
     /// Core-side lookup (on an MLC miss). On a hit the line is brought
@@ -349,22 +458,20 @@ impl Llc {
         let Some(way) = self.find_way(set, tag) else {
             return LlcReadResult::Miss;
         };
-        self.tick += 1;
-        let tick = self.tick;
         let core_bit = 1u32 << core.index();
         let from_dca_way = self.dca_mask.contains_way(way);
         let inclusive_mask = self.inclusive_mask;
 
-        let line = self.line_mut(set, way);
-        let io_first_consume = line.meta.io && !line.meta.consumed;
-        line.meta.consumed = true;
-        line.lru = tick;
+        let i = Self::di(set, way);
+        let s = &mut self.state[i];
+        let io_first_consume = s.meta.io && !s.meta.consumed;
+        s.meta.consumed = true;
 
         if inclusive_mask.contains_way(way) {
             // Already in an inclusive way: just gain MLC residency.
-            line.in_mlc = true;
-            line.presence |= core_bit;
-            let meta = line.meta;
+            s.presence |= core_bit;
+            let meta = s.meta;
+            self.flags[set] |= 1u64 << (way as u32 + Self::FM);
             return LlcReadResult::Hit {
                 migrated: false,
                 from_dca_way,
@@ -376,19 +483,19 @@ impl Llc {
 
         // Migrate to an inclusive way (C1). Copy out, free the old way,
         // evict the inclusive-way victim, install.
-        let moved = *self.line(set, way);
-        self.line_mut(set, way).valid = false;
+        let moved = self.take_way(set, way);
         let target = self.victim_way(set, inclusive_mask);
-        let evicted = self.evict_way(set, target);
-        *self.line_mut(set, target) = DataLine {
-            tag: moved.tag,
-            valid: true,
-            dirty: moved.dirty,
-            in_mlc: true,
-            presence: core_bit,
-            lru: tick,
-            meta: moved.meta,
-        };
+        let evicted = self.replace_way(
+            set,
+            target,
+            LineState {
+                tag: moved.tag,
+                dirty: moved.dirty,
+                in_mlc: true,
+                presence: core_bit,
+                meta: moved.meta,
+            },
+        );
         LlcReadResult::Hit {
             migrated: true,
             from_dca_way,
@@ -415,47 +522,74 @@ impl Llc {
         self.ext_dir_insert(addr, presence)
     }
 
+    #[inline]
+    fn ext_di(set: usize, way: usize) -> usize {
+        set * EXT_DIR_EXCLUSIVE_WAYS + way
+    }
+
+    /// Finds the extended-directory way holding `tag`, if any.
+    #[inline]
+    fn ext_find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = Self::ext_di(set, 0);
+        let digests = &self.ext_tag16[base..base + EXT_DIR_EXCLUSIVE_WAYS];
+        let d = tag as u16;
+        let mut cand = 0u16;
+        for (w, &t) in digests.iter().enumerate() {
+            cand |= u16::from(t == d) << w;
+        }
+        cand &= self.ext_valid[set];
+        if cand == 0 {
+            return None;
+        }
+        if self.digests_exact && tag <= u64::from(u16::MAX) {
+            return Some(cand.trailing_zeros() as usize);
+        }
+        while cand != 0 {
+            let w = cand.trailing_zeros() as usize;
+            if self.ext_tags[base + w] == tag {
+                return Some(w);
+            }
+            cand &= cand - 1;
+        }
+        None
+    }
+
     fn ext_dir_insert(&mut self, addr: LineAddr, presence: u32) -> Option<ExtDirEviction> {
         let (set, tag) = self.split(addr);
-        self.tick += 1;
-        let tick = self.tick;
-        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
 
         // Existing entry: add presence.
-        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
-            if e.valid && e.tag == tag {
-                e.presence |= presence;
-                e.lru = tick;
-                return None;
-            }
+        if let Some(w) = self.ext_find(set, tag) {
+            self.ext_presence[Self::ext_di(set, w)] |= presence;
+            self.ext_order[set].touch(w, EXT_DIR_EXCLUSIVE_WAYS);
+            return None;
         }
-        // Free entry.
-        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
-            if !e.valid {
-                *e = ExtEntry {
-                    tag,
-                    valid: true,
-                    presence,
-                    lru: tick,
-                };
-                return None;
-            }
+        // Free entry (lowest way first).
+        let free = !self.ext_valid[set] & ((1 << EXT_DIR_EXCLUSIVE_WAYS) - 1);
+        if free != 0 {
+            let w = free.trailing_zeros() as usize;
+            let i = Self::ext_di(set, w);
+            self.ext_tags[i] = tag;
+            self.ext_tag16[i] = tag as u16;
+            self.digests_exact &= tag <= u64::from(u16::MAX);
+            self.ext_presence[i] = presence;
+            self.ext_valid[set] |= 1 << w;
+            self.ext_order[set].touch(w, EXT_DIR_EXCLUSIVE_WAYS);
+            return None;
         }
         // Evict the LRU extended-directory entry: its MLC copies must be
         // back-invalidated (the directory-conflict behaviour of Yan et al.).
-        let victim_idx = (0..EXT_DIR_EXCLUSIVE_WAYS)
-            .min_by_key(|&i| self.ext[base + i].lru)
-            .expect("extended directory has ways");
-        let victim = self.ext[base + victim_idx];
-        self.ext[base + victim_idx] = ExtEntry {
-            tag,
-            valid: true,
-            presence,
-            lru: tick,
-        };
+        let victim_idx = self.ext_order[set].victim(EXT_DIR_EXCLUSIVE_WAYS);
+        let i = Self::ext_di(set, victim_idx);
+        let victim_tag = self.ext_tags[i];
+        let victim_presence = self.ext_presence[i];
+        self.ext_tags[i] = tag;
+        self.ext_tag16[i] = tag as u16;
+        self.digests_exact &= tag <= u64::from(u16::MAX);
+        self.ext_presence[i] = presence;
+        self.ext_order[set].touch(victim_idx, EXT_DIR_EXCLUSIVE_WAYS);
         Some(ExtDirEviction {
-            addr: self.addr_of(set, victim.tag),
-            presence: victim.presence,
+            addr: self.addr_of(set, victim_tag),
+            presence: victim_presence,
         })
     }
 
@@ -473,19 +607,19 @@ impl Llc {
     ) -> MlcEvictionOutcome {
         let (set, tag) = self.split(addr);
         let core_bit = 1u32 << core.index();
-        self.tick += 1;
-        let tick = self.tick;
 
         // Case 1: the line is LLC-resident (inclusive ways if in_mlc).
         if let Some(way) = self.find_way(set, tag) {
             let inclusive_way = self.inclusive_mask.contains_way(way);
-            let line = self.line_mut(set, way);
-            line.presence &= !core_bit;
-            line.dirty |= dirty;
-            if line.presence != 0 {
+            let i = Self::di(set, way);
+            self.state[i].presence &= !core_bit;
+            if dirty {
+                self.flags[set] |= 1u64 << (way as u32 + Self::FD);
+            }
+            if self.state[i].presence != 0 {
                 return MlcEvictionOutcome::StillShared;
             }
-            line.in_mlc = false;
+            self.flags[set] &= !(1u64 << (way as u32 + Self::FM));
             // The inclusive ways only hold lines that are *currently*
             // MLC-resident (their shared directory entries are scarce);
             // once the last MLC copy leaves, the line relocates into the
@@ -494,35 +628,32 @@ impl Llc {
             if !inclusive_way || alloc_mask.contains_way(way) {
                 return MlcEvictionOutcome::MergedIntoLlc;
             }
-            let moved = *self.line(set, way);
-            self.line_mut(set, way).valid = false;
+            let moved = self.take_way(set, way);
             let bloat = moved.meta.io && moved.meta.consumed;
             let target = self.victim_way(set, alloc_mask);
-            let evicted = self.evict_way(set, target);
-            *self.line_mut(set, target) = DataLine {
-                tag: moved.tag,
-                valid: true,
-                dirty: moved.dirty,
-                in_mlc: false,
-                presence: 0,
-                lru: tick,
-                meta: moved.meta,
-            };
+            let evicted = self.replace_way(
+                set,
+                target,
+                LineState {
+                    tag: moved.tag,
+                    dirty: moved.dirty,
+                    in_mlc: false,
+                    presence: 0,
+                    meta: moved.meta,
+                },
+            );
             return MlcEvictionOutcome::Inserted { bloat, evicted };
         }
 
         // Case 2: tracked in the extended directory.
-        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
         let mut tracked_shared = false;
-        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
-            if e.valid && e.tag == tag {
-                e.presence &= !core_bit;
-                if e.presence != 0 {
-                    tracked_shared = true;
-                } else {
-                    e.valid = false;
-                }
-                break;
+        if let Some(w) = self.ext_find(set, tag) {
+            let i = Self::ext_di(set, w);
+            self.ext_presence[i] &= !core_bit;
+            if self.ext_presence[i] != 0 {
+                tracked_shared = true;
+            } else {
+                self.ext_valid[set] &= !(1 << w);
             }
         }
         if tracked_shared {
@@ -532,16 +663,17 @@ impl Llc {
         // Case 3: last copy leaves the MLCs — insert as a victim.
         let bloat = meta.io && meta.consumed;
         let way = self.victim_way(set, alloc_mask);
-        let evicted = self.evict_way(set, way);
-        *self.line_mut(set, way) = DataLine {
-            tag,
-            valid: true,
-            dirty,
-            in_mlc: false,
-            presence: 0,
-            lru: tick,
-            meta,
-        };
+        let evicted = self.replace_way(
+            set,
+            way,
+            LineState {
+                tag,
+                dirty,
+                in_mlc: false,
+                presence: 0,
+                meta,
+            },
+        );
         MlcEvictionOutcome::Inserted { bloat, evicted }
     }
 
@@ -554,8 +686,6 @@ impl Llc {
         device: DeviceId,
     ) -> DmaWriteResult {
         let (set, tag) = self.split(addr);
-        self.tick += 1;
-        let tick = self.tick;
         let fresh = LineMeta {
             owner,
             io: true,
@@ -565,40 +695,43 @@ impl Llc {
 
         if let Some(way) = self.find_way(set, tag) {
             // Write update: the line stays where it is.
-            let line = self.line_mut(set, way);
-            let invalidate_presence = if line.in_mlc { line.presence } else { 0 };
-            line.in_mlc = false;
-            line.presence = 0;
-            line.dirty = true;
-            line.meta = fresh;
-            line.lru = tick;
+            let i = Self::di(set, way);
+            let f = self.flags[set];
+            let invalidate_presence = if f & (1 << (way as u32 + Self::FM)) != 0 {
+                self.state[i].presence
+            } else {
+                0
+            };
+            self.state[i] = WayState {
+                presence: 0,
+                meta: fresh,
+            };
+            self.flags[set] =
+                (f & !(1u64 << (way as u32 + Self::FM))) | (1u64 << (way as u32 + Self::FD));
             return DmaWriteResult::Updated {
                 invalidate_presence,
             };
         }
 
         // MLC-only copies are snooped out before the allocate.
-        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
         let mut invalidate_presence = 0;
-        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
-            if e.valid && e.tag == tag {
-                invalidate_presence = e.presence;
-                e.valid = false;
-                break;
-            }
+        if let Some(w) = self.ext_find(set, tag) {
+            invalidate_presence = self.ext_presence[Self::ext_di(set, w)];
+            self.ext_valid[set] &= !(1 << w);
         }
 
         let way = self.victim_way(set, self.dca_mask);
-        let evicted = self.evict_way(set, way);
-        *self.line_mut(set, way) = DataLine {
-            tag,
-            valid: true,
-            dirty: true,
-            in_mlc: false,
-            presence: 0,
-            lru: tick,
-            meta: fresh,
-        };
+        let evicted = self.replace_way(
+            set,
+            way,
+            LineState {
+                tag,
+                dirty: true,
+                in_mlc: false,
+                presence: 0,
+                meta: fresh,
+            },
+        );
         DmaWriteResult::Allocated {
             invalidate_presence,
             evicted,
@@ -613,17 +746,12 @@ impl Llc {
         let (set, tag) = self.split(addr);
         let mut presence = 0;
         if let Some(way) = self.find_way(set, tag) {
-            let line = self.line_mut(set, way);
-            presence |= line.presence;
-            line.valid = false;
+            presence |= self.state[Self::di(set, way)].presence;
+            self.flags[set] &= !(1u64 << way);
         }
-        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
-        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
-            if e.valid && e.tag == tag {
-                presence |= e.presence;
-                e.valid = false;
-                break;
-            }
+        if let Some(w) = self.ext_find(set, tag) {
+            presence |= self.ext_presence[Self::ext_di(set, w)];
+            self.ext_valid[set] &= !(1 << w);
         }
         presence
     }
@@ -631,19 +759,13 @@ impl Llc {
     /// Device-initiated read probe (egress path).
     pub fn dma_read(&mut self, addr: LineAddr) -> DmaReadResult {
         let (set, tag) = self.split(addr);
-        if let Some(way) = self.find_way(set, tag) {
-            self.tick += 1;
-            let tick = self.tick;
-            self.line_mut(set, way).lru = tick;
+        if self.find_way(set, tag).is_some() {
             return DmaReadResult::LlcHit;
         }
-        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
-        for e in &self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
-            if e.valid && e.tag == tag {
-                return DmaReadResult::MlcOnly {
-                    presence: e.presence,
-                };
-            }
+        if let Some(w) = self.ext_find(set, tag) {
+            return DmaReadResult::MlcOnly {
+                presence: self.ext_presence[Self::ext_di(set, w)],
+            };
         }
         DmaReadResult::Miss
     }
@@ -659,66 +781,49 @@ impl Llc {
         presence: u32,
     ) -> Option<EvictedLlcLine> {
         let (set, tag) = self.split(addr);
-        self.tick += 1;
-        let tick = self.tick;
         // Remove the extended-directory entry: residency is now tracked by
         // the shared directory way coupled with the inclusive data way.
-        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
-        for e in &mut self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS] {
-            if e.valid && e.tag == tag {
-                e.valid = false;
-                break;
-            }
+        if let Some(w) = self.ext_find(set, tag) {
+            self.ext_valid[set] &= !(1 << w);
         }
         let way = self.victim_way(set, self.inclusive_mask);
-        let evicted = self.evict_way(set, way);
-        *self.line_mut(set, way) = DataLine {
-            tag,
-            valid: true,
-            dirty: false,
-            in_mlc: true,
-            presence,
-            lru: tick,
-            meta,
-        };
-        evicted
+        self.replace_way(
+            set,
+            way,
+            LineState {
+                tag,
+                dirty: false,
+                in_mlc: true,
+                presence,
+                meta,
+            },
+        )
     }
 
     /// Read-only probe for tests.
     pub fn probe(&self, addr: LineAddr) -> Option<ProbeInfo> {
         let (set, tag) = self.split(addr);
-        self.find_way(set, tag).map(|way| {
-            let l = self.line(set, way);
-            ProbeInfo {
-                way,
-                in_mlc: l.in_mlc,
-                dirty: l.dirty,
-                meta: l.meta,
-            }
+        self.find_way(set, tag).map(|way| ProbeInfo {
+            way,
+            in_mlc: self.flags[set] & (1 << (way as u32 + Self::FM)) != 0,
+            dirty: self.flags[set] & (1 << (way as u32 + Self::FD)) != 0,
+            meta: self.state[Self::di(set, way)].meta,
         })
     }
 
     /// True if the extended directory tracks `addr` for any core.
     pub fn ext_dir_tracks(&self, addr: LineAddr) -> bool {
         let (set, tag) = self.split(addr);
-        let base = set * EXT_DIR_EXCLUSIVE_WAYS;
-        self.ext[base..base + EXT_DIR_EXCLUSIVE_WAYS]
-            .iter()
-            .any(|e| e.valid && e.tag == tag)
+        self.ext_find(set, tag).is_some()
     }
 
     /// Number of valid data lines within `mask` across all sets (test and
     /// occupancy-analysis helper).
     pub fn occupancy_in(&self, mask: WayMask) -> usize {
-        let mut n = 0;
-        for set in 0..self.geometry.sets() {
-            for w in mask.iter_ways() {
-                if self.line(set, w).valid {
-                    n += 1;
-                }
-            }
-        }
-        n
+        self.flags
+            .iter()
+            .map(|&f| (f as u16 & mask.bits()).count_ones() as usize)
+            .sum()
     }
 
     /// Asserts the structural invariant: every LLC-inclusive line sits in
@@ -730,16 +835,20 @@ impl Llc {
     pub fn assert_inclusive_invariant(&self) -> usize {
         let mut checked = 0;
         for set in 0..self.geometry.sets() {
-            for w in 0..LLC_WAYS {
-                let l = self.line(set, w);
-                if l.valid && l.in_mlc {
-                    assert!(
-                        self.inclusive_mask.contains_way(w),
-                        "inclusive line in non-inclusive way {w} (set {set})"
-                    );
-                    assert!(l.presence != 0, "inclusive line with empty presence");
-                    checked += 1;
-                }
+            let f = self.flags[set];
+            let mut m = (f >> Self::FV) as u16 & (f >> Self::FM) as u16;
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                m &= m - 1;
+                assert!(
+                    self.inclusive_mask.contains_way(w),
+                    "inclusive line in non-inclusive way {w} (set {set})"
+                );
+                assert!(
+                    self.state[Self::di(set, w)].presence != 0,
+                    "inclusive line with empty presence"
+                );
+                checked += 1;
             }
         }
         checked

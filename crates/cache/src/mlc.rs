@@ -5,6 +5,7 @@
 //! MLC evicts them. The MLC is a plain set-associative LRU cache — all the
 //! exotic behaviour lives in the LLC and its directory.
 
+use crate::lru::Recency;
 use crate::meta::LineMeta;
 use crate::MlcGeometry;
 use a4_model::LineAddr;
@@ -20,26 +21,11 @@ pub struct EvictedMlcLine {
     pub meta: LineMeta,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct MlcLine {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-    meta: LineMeta,
-}
-
-const INVALID: MlcLine = MlcLine {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    lru: 0,
-    meta: LineMeta {
-        owner: a4_model::WorkloadId(0),
-        io: false,
-        consumed: true,
-        device: None,
-    },
+const INVALID_META: LineMeta = LineMeta {
+    owner: a4_model::WorkloadId(0),
+    io: false,
+    consumed: true,
+    device: None,
 };
 
 /// One core's private mid-level cache.
@@ -60,59 +46,107 @@ const INVALID: MlcLine = MlcLine {
 #[derive(Debug, Clone)]
 pub struct Mlc {
     geometry: MlcGeometry,
-    lines: Vec<MlcLine>,
-    tick: u64,
+    // Precomputed address split (sets is a power of two).
+    set_mask: u64,
+    tag_shift: u32,
+    // Struct-of-arrays: `lookup` runs on *every* simulated core access,
+    // so the tag scan touches one per-set valid bitmap (bit w ⇔ way w)
+    // plus a contiguous tag stripe instead of interleaved line records.
+    tags: Vec<u64>,
+    tag16: Vec<u16>,
+    // True while every resident tag fits 16 bits (see `Llc`).
+    digests_exact: bool,
+    meta: Vec<LineMeta>,
+    // Per-set flag word: valid bitmap in the low lane, dirty bitmap in
+    // the high lane (one load-modify-store instead of two arrays).
+    flags: Vec<u64>,
+    // Exact-LRU recency permutation per set (see `lru::Recency`) —
+    // replaces per-way tick stores plus the eviction-time minimum scan.
+    order: Vec<Recency>,
     live: usize,
 }
 
 impl Mlc {
     /// Creates an empty MLC with the given geometry.
     pub fn new(geometry: MlcGeometry) -> Self {
+        let n = geometry.sets() * geometry.ways();
         Mlc {
             geometry,
-            lines: vec![INVALID; geometry.sets() * geometry.ways()],
-            tick: 0,
+            set_mask: geometry.sets() as u64 - 1,
+            tag_shift: geometry.sets().trailing_zeros(),
+            tags: vec![0; n],
+            tag16: vec![0; n],
+            digests_exact: true,
+            meta: vec![INVALID_META; n],
+            flags: vec![0; geometry.sets()],
+            order: vec![Recency::identity(geometry.ways()); geometry.sets()],
             live: 0,
         }
     }
 
     #[inline]
     fn set_range(&self, addr: LineAddr) -> (usize, u64) {
-        let set = addr.set_index(self.geometry.sets());
-        let tag = addr.tag(self.geometry.sets());
-        (set * self.geometry.ways(), tag)
+        ((addr.0 & self.set_mask) as usize, addr.0 >> self.tag_shift)
+    }
+
+    /// Lane shift of the dirty bitmap within the per-set flag word.
+    const FD: u32 = 32;
+
+    /// Finds the way of `tag` within `set`, if resident.
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        // Two-level scan: branchless 16-bit digest compare (vectorized)
+        // narrows to candidates verified against the full tags.
+        let ways = self.geometry.ways();
+        let base = set * ways;
+        let digests = &self.tag16[base..base + ways];
+        let d = tag as u16;
+        let mut cand = 0u32;
+        for (w, &t) in digests.iter().enumerate() {
+            cand |= u32::from(t == d) << w;
+        }
+        cand &= self.flags[set] as u32 & 0xFFFF;
+        if cand == 0 {
+            return None;
+        }
+        if self.digests_exact && tag <= u64::from(u16::MAX) {
+            return Some(cand.trailing_zeros() as usize);
+        }
+        while cand != 0 {
+            let w = cand.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                return Some(w);
+            }
+            cand &= cand - 1;
+        }
+        None
     }
 
     /// Looks up `addr`; on a hit updates recency and, for `write`, marks
     /// the line dirty. Returns whether it hit.
     pub fn lookup(&mut self, addr: LineAddr, write: bool) -> bool {
-        let (base, tag) = self.set_range(addr);
-        self.tick += 1;
-        for line in &mut self.lines[base..base + self.geometry.ways()] {
-            if line.valid && line.tag == tag {
-                line.lru = self.tick;
-                line.dirty |= write;
-                return true;
+        let (set, tag) = self.set_range(addr);
+        if let Some(w) = self.find_way(set, tag) {
+            self.order[set].touch(w, self.geometry.ways());
+            if write {
+                self.flags[set] |= 1u64 << (w as u32 + Self::FD);
             }
+            return true;
         }
         false
     }
 
     /// True if the line is present (no recency update).
     pub fn contains(&self, addr: LineAddr) -> bool {
-        let (base, tag) = self.set_range(addr);
-        self.lines[base..base + self.geometry.ways()]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        let (set, tag) = self.set_range(addr);
+        self.find_way(set, tag).is_some()
     }
 
     /// Returns the metadata of a resident line, if present.
     pub fn meta(&self, addr: LineAddr) -> Option<LineMeta> {
-        let (base, tag) = self.set_range(addr);
-        self.lines[base..base + self.geometry.ways()]
-            .iter()
-            .find(|l| l.valid && l.tag == tag)
-            .map(|l| l.meta)
+        let (set, tag) = self.set_range(addr);
+        self.find_way(set, tag)
+            .map(|w| self.meta[set * self.geometry.ways() + w])
     }
 
     /// Inserts a line, returning the evicted victim if the set was full.
@@ -120,67 +154,96 @@ impl Mlc {
     /// Filling a line that is already present updates it in place and
     /// returns `None`.
     pub fn fill(&mut self, addr: LineAddr, meta: LineMeta, dirty: bool) -> Option<EvictedMlcLine> {
-        let (base, tag) = self.set_range(addr);
-        let ways = self.geometry.ways();
-        self.tick += 1;
-        let set = &mut self.lines[base..base + ways];
+        let (set, tag) = self.set_range(addr);
 
         // Already present: refresh in place.
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = self.tick;
-            line.dirty |= dirty;
-            line.meta = meta;
+        if let Some(w) = self.find_way(set, tag) {
+            let base = set * self.geometry.ways();
+            self.meta[base + w] = meta;
+            self.order[set].touch(w, self.geometry.ways());
+            if dirty {
+                self.flags[set] |= 1u64 << (w as u32 + Self::FD);
+            }
             return None;
         }
+        self.fill_fresh(set, tag, meta, dirty)
+    }
 
-        // Free way if any.
-        if let Some(line) = set.iter_mut().find(|l| !l.valid) {
-            *line = MlcLine {
-                tag,
-                valid: true,
-                dirty,
-                lru: self.tick,
-                meta,
-            };
+    /// [`Mlc::fill`] for a line the caller just proved absent (a
+    /// [`Mlc::lookup`] miss with no intervening fill of the same
+    /// address): skips the already-present probe.
+    pub fn fill_after_miss(
+        &mut self,
+        addr: LineAddr,
+        meta: LineMeta,
+        dirty: bool,
+    ) -> Option<EvictedMlcLine> {
+        let (set, tag) = self.set_range(addr);
+        debug_assert!(
+            self.find_way(set, tag).is_none(),
+            "fill_after_miss on a resident line"
+        );
+        self.fill_fresh(set, tag, meta, dirty)
+    }
+
+    fn fill_fresh(
+        &mut self,
+        set: usize,
+        tag: u64,
+        meta: LineMeta,
+        dirty: bool,
+    ) -> Option<EvictedMlcLine> {
+        let ways = self.geometry.ways();
+        let base = set * ways;
+
+        // Free way if any (lowest first).
+        let ways_mask = (1u32 << ways) - 1;
+        let free = !(self.flags[set] as u32) & ways_mask;
+        if free != 0 {
+            let w = free.trailing_zeros() as usize;
+            self.tags[base + w] = tag;
+            self.tag16[base + w] = tag as u16;
+            self.digests_exact &= tag <= u64::from(u16::MAX);
+            self.meta[base + w] = meta;
+            let bit = 1u64 << w;
+            self.flags[set] = (self.flags[set] & !(bit << Self::FD))
+                | bit
+                | (u64::from(dirty) << (w as u32 + Self::FD));
+            self.order[set].touch(w, ways);
             self.live += 1;
             return None;
         }
 
-        // Evict LRU.
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.lru)
-            .map(|(i, _)| i)
-            .expect("mlc set has at least one way");
-        let victim = set[victim_idx];
-        set[victim_idx] = MlcLine {
-            tag,
-            valid: true,
-            dirty,
-            lru: self.tick,
-            meta,
-        };
-        let sets = self.geometry.sets();
-        let set_index = base / ways;
-        let addr = LineAddr((victim.tag << sets.trailing_zeros()) | set_index as u64);
+        // Evict the exact-LRU way.
+        let victim_idx = self.order[set].victim(ways);
+        let victim_tag = self.tags[base + victim_idx];
+        let victim_dirty = self.flags[set] & (1 << (victim_idx as u32 + Self::FD)) != 0;
+        let victim_meta = self.meta[base + victim_idx];
+        self.tags[base + victim_idx] = tag;
+        self.tag16[base + victim_idx] = tag as u16;
+        self.digests_exact &= tag <= u64::from(u16::MAX);
+        self.meta[base + victim_idx] = meta;
+        let bit = 1u64 << victim_idx;
+        self.flags[set] = (self.flags[set] & !(bit << Self::FD))
+            | (u64::from(dirty) << (victim_idx as u32 + Self::FD));
+        self.order[set].touch(victim_idx, ways);
+        let addr = LineAddr((victim_tag << self.tag_shift) | set as u64);
         Some(EvictedMlcLine {
             addr,
-            dirty: victim.dirty,
-            meta: victim.meta,
+            dirty: victim_dirty,
+            meta: victim_meta,
         })
     }
 
     /// Invalidates a line (back-invalidation or DMA snoop). Returns the
     /// dropped line's `(dirty, meta)` if it was present.
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<(bool, LineMeta)> {
-        let (base, tag) = self.set_range(addr);
-        for line in &mut self.lines[base..base + self.geometry.ways()] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
-                self.live -= 1;
-                return Some((line.dirty, line.meta));
-            }
+        let (set, tag) = self.set_range(addr);
+        if let Some(w) = self.find_way(set, tag) {
+            self.flags[set] &= !(1u64 << w);
+            self.live -= 1;
+            let dirty = self.flags[set] & (1 << (w as u32 + Self::FD)) != 0;
+            return Some((dirty, self.meta[set * self.geometry.ways() + w]));
         }
         None
     }
@@ -205,7 +268,7 @@ impl Mlc {
 
     /// Drops every line (workload teardown in tests).
     pub fn flush(&mut self) {
-        self.lines.iter_mut().for_each(|l| l.valid = false);
+        self.flags.iter_mut().for_each(|f| *f &= !0xFFFF_FFFF);
         self.live = 0;
     }
 }

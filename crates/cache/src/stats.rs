@@ -250,21 +250,49 @@ impl HierarchyStats {
     /// Panics in debug builds if `older` has larger counters (snapshots
     /// must come from the same monotonic run).
     pub fn delta_since(&self, older: &HierarchyStats) -> HierarchyStats {
-        HierarchyStats {
-            total: self.total.minus(&older.total),
-            workloads: self
-                .workloads
+        let mut out = HierarchyStats::new();
+        self.delta_into(older, &mut out);
+        out
+    }
+
+    /// Computes the per-interval delta `self - older` into `out`, reusing
+    /// `out`'s buffers — the allocation-free form of
+    /// [`HierarchyStats::delta_since`] for per-interval monitoring paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `older` has larger counters (snapshots
+    /// must come from the same monotonic run).
+    pub fn delta_into(&self, older: &HierarchyStats, out: &mut HierarchyStats) {
+        out.total = self.total.minus(&older.total);
+        debug_assert_eq!(self.workloads.len(), older.workloads.len());
+        out.workloads.clear();
+        out.workloads.extend(
+            self.workloads
                 .iter()
                 .zip(&older.workloads)
-                .map(|(n, o)| n.minus(o))
-                .collect(),
-            devices: self
-                .devices
+                .map(|(n, o)| n.minus(o)),
+        );
+        debug_assert_eq!(self.devices.len(), older.devices.len());
+        out.devices.clear();
+        out.devices.extend(
+            self.devices
                 .iter()
                 .zip(&older.devices)
-                .map(|(n, o)| n.minus(o))
-                .collect(),
-        }
+                .map(|(n, o)| n.minus(o)),
+        );
+    }
+
+    /// Overwrites `self` with `other` without allocating (both sides have
+    /// the fixed `MAX_WORKLOADS`/`MAX_DEVICES` table sizes, so the copy is
+    /// two `memcpy`s) — the snapshot-roll counterpart of
+    /// [`HierarchyStats::delta_into`].
+    pub fn copy_from(&mut self, other: &HierarchyStats) {
+        self.total = other.total;
+        debug_assert_eq!(self.workloads.len(), other.workloads.len());
+        self.workloads.copy_from_slice(&other.workloads);
+        debug_assert_eq!(self.devices.len(), other.devices.len());
+        self.devices.copy_from_slice(&other.devices);
     }
 
     pub(crate) fn bump<F: Fn(&mut WorkloadCounters)>(&mut self, wl: WorkloadId, f: F) {

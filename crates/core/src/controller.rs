@@ -785,7 +785,7 @@ mod tests {
             let sample = sys.sample();
             a4.tick(&mut sys, &sample);
             if std::env::var("A4_DBG").is_ok() {
-                let w = sample.workloads.iter().find(|w| w.name == "stream");
+                let w = sample.workloads.iter().find(|w| &*w.name == "stream");
                 if let Some(w) = w {
                     eprintln!(
                         "t={} phase={:?} mlc={:.2} llc={:.2} ant={} lp={} trash={}",

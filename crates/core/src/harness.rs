@@ -5,9 +5,13 @@
 use crate::LlcPolicy;
 use a4_model::WorkloadId;
 use a4_sim::{LatencyKind, MonitorSample, System};
+use serde::{Deserialize, Serialize};
 
 /// A completed run: every monitoring sample plus aggregate helpers.
-#[derive(Debug)]
+///
+/// Serializable so sweep engines can cache reports on disk and rebuild
+/// figure tables without re-simulating (see `a4-experiments`).
+#[derive(Debug, Serialize, Deserialize)]
 pub struct RunReport {
     /// The policy's display name.
     pub policy: String,

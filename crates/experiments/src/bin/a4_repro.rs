@@ -5,6 +5,7 @@
 //! ```text
 //! a4-repro [FIGURES...] [--quick] [--threads N] [--json DIR]
 //!          [--dump-specs DIR] [--spec FILE] [--list]
+//!          [--cache-dir DIR] [--no-cache] [--timing]
 //!
 //! FIGURES: fig3 fig4 fig5 fig6 fig7 fig8 fig11 fig12 fig13 fig14 fig15
 //!          (default: all)
@@ -16,11 +17,20 @@
 //!                   instead of running them
 //! --spec FILE:      load a ScenarioSpec (or array of them) from JSON,
 //!                   run it, and print a per-role metric table
+//! --cache-dir DIR:  cache per-cell RunReports under DIR (default
+//!                   out/.cache); unchanged cells are loaded instead of
+//!                   re-simulated, so edited sweeps re-run only the
+//!                   edited cells and interrupted sweeps resume. Tables
+//!                   are byte-identical either way.
+//! --no-cache:       disable the result cache entirely
+//! --timing:         run the hot-loop timing harness on the fig12
+//!                   representative cell and write BENCH_hotloop.json
+//!                   (to --json DIR, or the current directory)
 //! --list:           list figures and their cell counts, then exit
 //! ```
 
 use a4_experiments::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8};
-use a4_experiments::{RunOpts, ScenarioSpec, SweepRunner, Table};
+use a4_experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner, Table};
 use std::io::Write as _;
 
 /// Which run protocol a figure uses.
@@ -159,11 +169,96 @@ fn spec_table(run: &a4_experiments::ScenarioRun) -> Table {
     table
 }
 
+/// The fig12 representative cell the timing harness pins: the §7.1 mix
+/// at 1514 B packets / 512 KB blocks — mid-sweep, all contention
+/// mechanisms active.
+fn timing_cell(opts: &RunOpts, scheme: Scheme) -> ScenarioSpec {
+    fig11::mix_spec(opts, scheme, 1514, 512)
+}
+
+/// Runs the hot-loop timing harness and writes `BENCH_hotloop.json`:
+/// wall-clock and quanta/sec for the fig12 representative cell under the
+/// Default and A4-d schemes (best of `reps` runs each).
+fn run_timing(quick: bool, json_dir: Option<&str>) {
+    let opts = if quick {
+        RunOpts {
+            warmup: 12,
+            measure: 4,
+            ..RunOpts::quick()
+        }
+    } else {
+        RunOpts::controller()
+    };
+    // Quanta per logical second comes from the built cell's system
+    // config, so a future quantum change cannot silently skew the
+    // trajectory this artifact tracks.
+    let probe = timing_cell(&opts, Scheme::Default)
+        .build()
+        .expect("static cell");
+    let quanta_per_logical_sec = u64::from(probe.harness.system().config().quanta_per_second);
+    drop(probe);
+    let quanta = (opts.warmup + opts.measure) * quanta_per_logical_sec;
+    let reps = 3;
+    let mut rows = Vec::new();
+    for scheme in [Scheme::Default, Scheme::A4(a4_core::FeatureLevel::D)] {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let scenario = timing_cell(&opts, scheme).build().expect("static cell");
+            let t0 = std::time::Instant::now();
+            let run = scenario.run();
+            let secs = t0.elapsed().as_secs_f64();
+            assert!(run.report.total_instructions_all() > 0);
+            best = best.min(secs);
+        }
+        let qps = quanta as f64 / best;
+        eprintln!(
+            "[a4-repro] timing {}: best of {reps} = {best:.3}s wall, {qps:.0} quanta/sec",
+            scheme.label()
+        );
+        rows.push((scheme.label(), best, qps));
+    }
+    // Headline: combined throughput over the measured schemes (total
+    // quanta over total wall), so neither the baseline nor the
+    // controller cell alone defines the trajectory.
+    let total_wall: f64 = rows.iter().map(|(_, w, _)| w).sum();
+    let combined = (quanta * rows.len() as u64) as f64 / total_wall;
+    eprintln!("[a4-repro] timing combined: {combined:.0} quanta/sec");
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"hotloop\",\n");
+    json.push_str("  \"cell\": \"fig12 mix 1514B 512KB\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"logical_seconds\": {},\n  \"quanta\": {quanta},\n",
+        opts.warmup + opts.measure
+    ));
+    json.push_str(&format!(
+        "  \"quanta_per_sec\": {combined:.0},\n  \"runs\": [\n"
+    ));
+    for (i, (label, wall, qps)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scheme\": \"{label}\", \"wall_secs\": {wall:.4}, \"quanta_per_sec\": {qps:.0}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let dir = json_dir.unwrap_or(".");
+    std::fs::create_dir_all(dir).expect("create timing output dir");
+    let path = format!("{dir}/BENCH_hotloop.json");
+    std::fs::write(&path, json).expect("write BENCH_hotloop.json");
+    eprintln!("[a4-repro] wrote {path}");
+}
+
 /// Positional (non-flag) arguments: everything that is not a `--flag`
 /// or the value slot of a value-taking flag, so `--json fig-tables/`
 /// never turns its directory into a figure filter.
 fn positional_args(args: &[String]) -> Vec<&str> {
-    const VALUE_FLAGS: [&str; 4] = ["--json", "--dump-specs", "--spec", "--threads"];
+    const VALUE_FLAGS: [&str; 5] = [
+        "--json",
+        "--dump-specs",
+        "--spec",
+        "--threads",
+        "--cache-dir",
+    ];
     let mut positional = Vec::new();
     let mut skip_value = false;
     for arg in args {
@@ -187,13 +282,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
+    let timing = args.iter().any(|a| a == "--timing");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
     let json_dir = flag_value(&args, "--json");
     let dump_dir = flag_value(&args, "--dump-specs");
     let spec_file = flag_value(&args, "--spec");
+    let cache_dir = flag_value(&args, "--cache-dir");
     let threads: usize = flag_value(&args, "--threads")
         .map(|t| t.parse().expect("--threads takes a positive integer"))
         .unwrap_or(1);
-    let runner = SweepRunner::with_threads(threads);
+    assert!(
+        !(no_cache && cache_dir.is_some()),
+        "--no-cache and --cache-dir are mutually exclusive"
+    );
+    let mut runner = SweepRunner::with_threads(threads);
+    if !no_cache {
+        runner = runner.with_cache_dir(cache_dir.as_deref().unwrap_or("out/.cache"));
+    }
     let wanted = positional_args(&args);
     let known: Vec<&str> = figures().iter().map(|f| f.name).collect();
     for name in &wanted {
@@ -231,6 +336,13 @@ fn main() {
             println!("{:<7} {:>5}  {}", f.name, cells, f.desc);
         }
         return;
+    }
+
+    if timing {
+        run_timing(quick, json_dir.as_deref());
+        if wanted.is_empty() && spec_file.is_none() {
+            return;
+        }
     }
 
     let mut tables: Vec<Table> = Vec::new();
@@ -282,6 +394,16 @@ fn main() {
         }
     }
 
+    if let Some(cache) = runner.cache() {
+        let (hits, simulated) = (cache.hits(), cache.simulated());
+        if hits + simulated > 0 {
+            eprintln!(
+                "[a4-repro] cache {}: {hits} cell(s) loaded, {simulated} simulated \
+                 (--no-cache forces re-simulation)",
+                cache.dir().display()
+            );
+        }
+    }
     for table in &tables {
         println!("{table}");
     }

@@ -1,0 +1,216 @@
+//! Content-addressed on-disk caching of sweep results.
+//!
+//! Every experiment cell is fully described by its serialized
+//! [`ScenarioSpec`] (which embeds the [`crate::spec::RunOpts`] protocol
+//! and seed), so the pair *(code version, spec JSON)* determines the
+//! [`RunReport`] bit for bit — the simulator is deterministic. A
+//! [`ResultCache`] therefore stores each report under a hash of exactly
+//! that pair:
+//!
+//! * re-running a figure after editing one cell re-simulates only the
+//!   changed cell;
+//! * an interrupted paper-length sweep resumes where it stopped
+//!   (completed cells are on disk);
+//! * a warm re-run of an unchanged sweep reads every cell from disk and
+//!   rebuilds byte-identical tables in a small fraction of the cold
+//!   wall-clock.
+//!
+//! The key embeds [`CODE_SALT`]; bump its revision suffix whenever a
+//! change alters simulation *behaviour* (counters, victim picks, event
+//! order). Pure-speed refactors that keep reports byte-identical may
+//! keep the salt. Stored files are written via a temp-file rename so an
+//! interrupted writer never leaves a torn entry; unreadable or corrupt
+//! entries are treated as misses and rewritten.
+
+use crate::spec::ScenarioSpec;
+use a4_core::RunReport;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Version salt mixed into every cache key: crate version plus a manual
+/// behaviour revision. Bump the `rN` suffix when simulation behaviour
+/// changes without a version bump.
+pub const CODE_SALT: &str = concat!("a4-sim/", env!("CARGO_PKG_VERSION"), "/r1");
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content hash of one experiment cell: 128 bits (two independently
+/// seeded FNV-1a streams) over the code salt and the spec's JSON form,
+/// rendered as 32 hex digits.
+///
+/// # Panics
+///
+/// Panics if the spec fails to serialize (specs are plain data; this
+/// cannot happen for constructible specs).
+pub fn spec_key(spec: &ScenarioSpec) -> String {
+    let json = serde_json::to_string(spec).expect("specs serialize");
+    let lo = fnv1a(fnv1a(FNV_OFFSET, CODE_SALT.as_bytes()), json.as_bytes());
+    // Second stream: different seed, salt appended, so the two halves
+    // are not trivially correlated.
+    let hi = fnv1a(
+        fnv1a(FNV_OFFSET ^ 0x5bd1_e995_9d3a_c1f7, json.as_bytes()),
+        CODE_SALT.as_bytes(),
+    );
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// An on-disk store of [`RunReport`]s keyed by [`spec_key`].
+///
+/// # Examples
+///
+/// ```
+/// use a4_experiments::cache::{spec_key, ResultCache};
+/// use a4_experiments::{RunOpts, ScenarioSpec};
+///
+/// let dir = std::env::temp_dir().join("a4-cache-doc-test");
+/// let cache = ResultCache::new(&dir);
+/// let spec = ScenarioSpec::microbench(RunOpts::quick());
+/// let key = spec_key(&spec);
+/// assert!(cache.load(&key).is_none(), "cold cache");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+    // Shared across clones (sweep threads clone the runner's cache), so
+    // a whole sweep reports one hit/simulated tally.
+    hits: Arc<AtomicU64>,
+    simulated: Arc<AtomicU64>,
+}
+
+/// Distinguishes concurrent `store` calls for the *same* key within one
+/// process (duplicate specs across sweep threads), so each writer owns a
+/// unique temp file.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache {
+            dir: dir.into(),
+            hits: Arc::new(AtomicU64::new(0)),
+            simulated: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cells served from disk since construction (shared across clones).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells simulated and stored since construction.
+    pub fn simulated(&self) -> u64 {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.report.json"))
+    }
+
+    /// Loads the report cached under `key`, treating missing, unreadable
+    /// or corrupt entries as misses.
+    pub fn load(&self, key: &str) -> Option<RunReport> {
+        let json = std::fs::read_to_string(self.path_of(key)).ok()?;
+        let report = serde_json::from_str(&json).ok();
+        if report.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        report
+    }
+
+    /// Stores `report` under `key` (best effort: a full disk or missing
+    /// permissions degrade to "no cache", never to a failed sweep).
+    ///
+    /// The write goes to a per-writer temp file first and is moved into
+    /// place atomically, so concurrent sweep threads and interrupted
+    /// runs can never leave a torn entry behind; a failed write cleans
+    /// its temp file up.
+    pub fn store(&self, key: &str, report: &RunReport) {
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let json = match serde_json::to_string(report) {
+            Ok(json) => json,
+            Err(_) => return,
+        };
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".{key}.{}.{seq}.tmp", std::process::id()));
+        if std::fs::write(&tmp, json).is_err() || std::fs::rename(&tmp, self.path_of(key)).is_err()
+        {
+            std::fs::remove_file(&tmp).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunOpts;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("a4-cache-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn keys_are_stable_and_spec_sensitive() {
+        let a = ScenarioSpec::microbench(RunOpts::quick());
+        let b = ScenarioSpec::microbench(RunOpts::quick()).with_seed(7);
+        assert_eq!(spec_key(&a), spec_key(&a), "pure function of the spec");
+        assert_ne!(spec_key(&a), spec_key(&b), "seed is part of the key");
+        assert_eq!(spec_key(&a).len(), 32);
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::new(&dir);
+        let spec = ScenarioSpec::microbench(RunOpts {
+            warmup: 0,
+            measure: 1,
+            seed: 0xA4,
+        });
+        let key = spec_key(&spec);
+        assert!(cache.load(&key).is_none());
+        let report = spec.build().unwrap().run().report;
+        cache.store(&key, &report);
+        let back = cache.load(&key).expect("stored entry loads");
+        assert_eq!(back.policy, report.policy);
+        assert_eq!(back.samples.len(), report.samples.len());
+        assert_eq!(
+            back.samples[0].workloads[0].accesses,
+            report.samples[0].workloads[0].accesses
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::new(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(cache.path_of("deadbeef"), "{not json").unwrap();
+        assert!(cache.load("deadbeef").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -46,6 +47,7 @@ pub mod scenario;
 pub mod spec;
 mod table;
 
+pub use cache::{spec_key, ResultCache};
 pub use runner::{Sweep, SweepRunner};
 pub use spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 pub use table::{Row, Table};

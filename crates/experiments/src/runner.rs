@@ -10,6 +10,7 @@
 //! its own [`crate::spec::Scenario`] (own RNG seeded from its spec), and
 //! no simulation state is shared between threads.
 
+use crate::cache::{spec_key, ResultCache};
 use crate::spec::{ScenarioRun, ScenarioSpec, SpecError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -135,6 +136,7 @@ impl Cell {
 pub struct SweepRunner {
     threads: usize,
     derive_seeds: bool,
+    cache: Option<ResultCache>,
 }
 
 impl Default for SweepRunner {
@@ -151,6 +153,7 @@ impl SweepRunner {
         SweepRunner {
             threads: 1,
             derive_seeds: false,
+            cache: None,
         }
     }
 
@@ -160,6 +163,7 @@ impl SweepRunner {
         SweepRunner {
             threads: threads.max(1),
             derive_seeds: false,
+            cache: None,
         }
     }
 
@@ -175,6 +179,22 @@ impl SweepRunner {
     pub fn derive_seeds(mut self, on: bool) -> Self {
         self.derive_seeds = on;
         self
+    }
+
+    /// Enables content-addressed result caching under `dir`: cells whose
+    /// effective spec (post seed-derivation) hashes to a stored
+    /// [`a4_core::RunReport`] are loaded instead of simulated, and every
+    /// simulated cell is stored. The simulator is deterministic, so
+    /// tables built from cached reports are byte-identical to cold runs;
+    /// see [`crate::cache`] for the key contents and when to bust it.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache = Some(ResultCache::new(dir));
+        self
+    }
+
+    /// The result cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
     }
 
     /// Maps `f` over `items` in parallel; `results[i] == f(i,
@@ -216,7 +236,8 @@ impl SweepRunner {
     }
 
     /// Builds and runs every spec, in parallel, returning the runs in
-    /// spec order.
+    /// spec order. With a cache attached ([`SweepRunner::with_cache_dir`])
+    /// cells present in the cache are loaded instead of simulated.
     ///
     /// # Errors
     ///
@@ -229,6 +250,17 @@ impl SweepRunner {
             } else {
                 spec.clone()
             };
+            if let Some(cache) = &self.cache {
+                let key = spec_key(&spec);
+                if let Some(report) = cache.load(&key) {
+                    return Ok(spec.run_from_report(report));
+                }
+                return spec.build().map(|scenario| {
+                    let run = scenario.run();
+                    cache.store(&key, &run.report);
+                    run
+                });
+            }
             spec.build().map(crate::spec::Scenario::run)
         });
         runs.into_iter().collect()

@@ -562,6 +562,50 @@ impl ScenarioSpec {
         self
     }
 
+    /// The role and device bindings this spec produces when built,
+    /// without building the system: workload and device ids are assigned
+    /// in registration order, so the bindings are a pure function of the
+    /// spec. This is what lets a cached [`a4_core::RunReport`] be
+    /// re-wrapped into a [`ScenarioRun`] with no simulation
+    /// (`debug_assert`-checked against the built system in
+    /// [`ScenarioSpec::build`]).
+    pub fn bindings(&self) -> (Vec<RoleBinding>, Vec<DeviceBinding>) {
+        let workloads = self
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RoleBinding {
+                role: p.role.clone(),
+                id: WorkloadId(i as u16),
+                priority: p.priority,
+                metric: p.metric,
+            })
+            .collect();
+        let devices = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DeviceBinding {
+                name: d.name.clone(),
+                id: DeviceId(i as u8),
+            })
+            .collect();
+        (workloads, devices)
+    }
+
+    /// Wraps an already-computed report (typically loaded from a
+    /// [`crate::cache::ResultCache`]) into the [`ScenarioRun`] this spec
+    /// would produce, using the spec-derived [`ScenarioSpec::bindings`].
+    pub fn run_from_report(&self, report: RunReport) -> ScenarioRun {
+        let (workloads, devices) = self.bindings();
+        ScenarioRun {
+            name: self.name.clone(),
+            report,
+            workloads,
+            devices,
+        }
+    }
+
     /// Checks internal consistency without building the system.
     ///
     /// # Errors
@@ -755,6 +799,11 @@ impl ScenarioSpec {
             sys.set_device_dca(device_id(&rule.device)?, rule.enabled)?;
         }
 
+        debug_assert_eq!(
+            self.bindings(),
+            (workloads.clone(), devices.clone()),
+            "spec-derived bindings must match registration order"
+        );
         let harness = match self.scheme {
             Some(scheme) => Harness::with_policy(sys, scheme.policy_with(self.thresholds)),
             None => Harness::new(sys),

@@ -109,6 +109,24 @@ impl ClosId {
     pub const DEFAULT: ClosId = ClosId(0);
 }
 
+impl WorkloadId {
+    /// Sentinel for counters that cannot be attributed to any registered
+    /// workload — DMA traffic of a device no active workload owns, or
+    /// egress reads served from memory.
+    ///
+    /// Stat tables clamp out-of-range ids to their last slot, so
+    /// unattributed traffic lands in a reserved overflow row instead of
+    /// silently polluting workload 0's counters (which is a real,
+    /// monitorable workload in every experiment).
+    pub const UNATTRIBUTED: WorkloadId = WorkloadId(u16::MAX);
+
+    /// True if this id is the [`WorkloadId::UNATTRIBUTED`] sentinel.
+    #[inline]
+    pub fn is_unattributed(self) -> bool {
+        self == WorkloadId::UNATTRIBUTED
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

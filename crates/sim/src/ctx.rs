@@ -159,9 +159,10 @@ impl<'a> CoreCtx<'a> {
     ///
     /// Panics if `dev` is not an attached NIC.
     pub fn nic_mut(&mut self, dev: DeviceId) -> &mut NicModel {
+        // Device ids are attach-order indices, so the lookup is direct.
         self.devices
-            .iter_mut()
-            .find(|d| d.device() == dev)
+            .get_mut(dev.index())
+            .filter(|d| d.device() == dev)
             .and_then(|d| d.as_nic_mut())
             .expect("device is an attached NIC")
     }
@@ -173,8 +174,8 @@ impl<'a> CoreCtx<'a> {
     /// Panics if `dev` is not an attached NVMe device.
     pub fn nvme_mut(&mut self, dev: DeviceId) -> &mut NvmeModel {
         self.devices
-            .iter_mut()
-            .find(|d| d.device() == dev)
+            .get_mut(dev.index())
+            .filter(|d| d.device() == dev)
             .and_then(|d| d.as_nvme_mut())
             .expect("device is an attached NVMe device")
     }
@@ -186,13 +187,15 @@ impl<'a> CoreCtx<'a> {
     ///
     /// Panics if `dev` is not an attached NIC.
     pub fn nic_tx(&mut self, dev: DeviceId, addr: LineAddr, lines: u64) {
-        // Split borrows: find the NIC positionally to keep `hier` free.
-        let idx = self
+        // Device ids are attach-order indices; index positionally to
+        // keep the `hier` borrow free (same guarded pattern as
+        // `nic_mut`).
+        let nic = self
             .devices
-            .iter()
-            .position(|d| d.device() == dev)
-            .expect("device attached");
-        let nic = self.devices[idx].as_nic_mut().expect("device is a NIC");
+            .get_mut(dev.index())
+            .filter(|d| d.device() == dev)
+            .and_then(|d| d.as_nic_mut())
+            .expect("device is an attached NIC");
         nic.tx_packet(self.hier, addr, lines);
         self.used += 30.0; // doorbell + descriptor write
         self.perf.add_instructions(10);

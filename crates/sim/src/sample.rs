@@ -5,6 +5,7 @@
 use crate::perf::{LatencyKind, WorkloadPerf};
 use a4_model::{Bytes, DeviceClass, DeviceId, Priority, SimTime, WorkloadId, WorkloadKind};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Summary statistics of one latency histogram slot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -22,8 +23,9 @@ pub struct LatencyStat {
 pub struct WorkloadSample {
     /// The workload's id.
     pub id: WorkloadId,
-    /// Display name.
-    pub name: String,
+    /// Display name (shared with the registration slot, so cloning a
+    /// sample never copies the string).
+    pub name: Arc<str>,
     /// Traffic class.
     pub kind: WorkloadKind,
     /// Current QoS priority (as registered; A4 may demote internally).

@@ -6,7 +6,7 @@ use crate::device::DeviceModel;
 use crate::perf::WorkloadPerf;
 use crate::sample::{DeviceSample, MonitorSample, WorkloadSample};
 use crate::workload::Workload;
-use a4_cache::{CacheHierarchy, HierarchyStats};
+use a4_cache::{CacheHierarchy, HierarchyStats, WorkloadCounters};
 use a4_mem::MemoryController;
 use a4_model::{
     A4Error, Bytes, ClosId, CoreId, DeviceClass, DeviceId, LineAddr, PortId, Priority, Result,
@@ -15,12 +15,15 @@ use a4_model::{
 use a4_pcie::{NicConfig, NicModel, NvmeConfig, NvmeModel, PcieRoot};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Slot {
     wl: Box<dyn Workload>,
     id: WorkloadId,
-    name: String,
+    // Shared so per-sample `WorkloadSample` construction is a refcount
+    // bump, not a `String` allocation.
+    name: Arc<str>,
     kind: a4_model::WorkloadKind,
     priority: Priority,
     cores: Vec<CoreId>,
@@ -67,8 +70,19 @@ pub struct System {
     quantum_count: u64,
     rng: SmallRng,
     alloc_cursor: u64,
-    stats_snapshot: HierarchyStats,
+    // Per-quantum memory-traffic snapshot: only the aggregate counters
+    // are needed to feed the memory model, so the snapshot is one `Copy`
+    // struct instead of a full `HierarchyStats` clone per quantum.
+    quantum_total: WorkloadCounters,
+    // Sampling-cadence snapshot and reusable delta buffer (the full
+    // per-workload tables are only diffed once per monitoring interval).
     sample_snapshot: HierarchyStats,
+    sample_delta: HierarchyStats,
+    // `device_owners[i]` = owner of `devices[i]`, rebuilt lazily when
+    // workloads register or flip activity instead of rescanning all
+    // slots for every device every quantum.
+    device_owners: Vec<WorkloadId>,
+    device_owners_stale: bool,
     dev_snapshots: Vec<DevSnapshot>,
     interval_mem_read: Bytes,
     interval_mem_written: Bytes,
@@ -86,9 +100,7 @@ impl System {
     pub fn new(cfg: SystemConfig) -> Self {
         cfg.validate().expect("invalid system configuration");
         let hier = CacheHierarchy::new(cfg.hierarchy);
-        let stats_snapshot = hier.stats().clone();
         System {
-            hier,
             mem: MemoryController::new(cfg.memory).expect("validated with cfg"),
             root: PcieRoot::new(cfg.pcie_ports),
             devices: Vec::new(),
@@ -98,9 +110,13 @@ impl System {
             rng: SmallRng::seed_from_u64(cfg.seed),
             // Leave the zero page free so tests can use low addresses.
             alloc_cursor: 1 << 20,
-            sample_snapshot: stats_snapshot.clone(),
-            stats_snapshot,
+            quantum_total: hier.stats().total,
+            sample_snapshot: hier.stats().clone(),
+            sample_delta: HierarchyStats::new(),
+            device_owners: Vec::new(),
+            device_owners_stale: false,
             dev_snapshots: Vec::new(),
+            hier,
             interval_mem_read: Bytes::ZERO,
             interval_mem_written: Bytes::ZERO,
             interval_start: SimTime::ZERO,
@@ -167,6 +183,8 @@ impl System {
         self.root.attach(port, id, DeviceClass::Nic)?;
         self.devices.push(DeviceModel::Nic(nic));
         self.dev_snapshots.push(DevSnapshot::default());
+        self.device_owners.push(WorkloadId::UNATTRIBUTED);
+        self.device_owners_stale = true;
         Ok(id)
     }
 
@@ -182,6 +200,8 @@ impl System {
         self.root.attach(port, id, DeviceClass::Nvme)?;
         self.devices.push(DeviceModel::Nvme(ssd));
         self.dev_snapshots.push(DevSnapshot::default());
+        self.device_owners.push(WorkloadId::UNATTRIBUTED);
+        self.device_owners_stale = true;
         Ok(id)
     }
 
@@ -202,6 +222,16 @@ impl System {
                 what: "workload needs at least one core",
             });
         }
+        // Stat tables clamp out-of-range ids into their last row, which
+        // is reserved for the `WorkloadId::UNATTRIBUTED` sentinel —
+        // registration must stop short of it or a real workload would
+        // share the overflow row's counters.
+        if self.slots.len() >= a4_cache::MAX_WORKLOADS - 1 {
+            return Err(A4Error::InvalidConfig {
+                what: "workload table full (MAX_WORKLOADS - 1 registrations; \
+                       the last stat row is the unattributed-DMA sentinel)",
+            });
+        }
         for &c in &cores {
             if c.index() >= self.cfg.hierarchy.cores {
                 return Err(A4Error::InvalidCore {
@@ -218,7 +248,7 @@ impl System {
         self.slots.push(Slot {
             wl,
             id,
-            name: info.name,
+            name: Arc::from(info.name),
             kind: info.kind,
             priority,
             cores,
@@ -226,6 +256,7 @@ impl System {
             perf: WorkloadPerf::new(),
             active: true,
         });
+        self.device_owners_stale = true;
         Ok(id)
     }
 
@@ -241,6 +272,7 @@ impl System {
             .get_mut(id.index())
             .ok_or(A4Error::InvalidDevice { device: id.0 as u8 })?;
         slot.active = active;
+        self.device_owners_stale = true;
         Ok(())
     }
 
@@ -337,12 +369,33 @@ impl System {
 
     // ---- execution --------------------------------------------------------
 
-    fn device_owner(&self, dev: DeviceId) -> WorkloadId {
-        self.slots
-            .iter()
-            .find(|s| s.active && s.device == Some(dev))
-            .map(|s| s.id)
-            .unwrap_or(WorkloadId(0))
+    /// Rebuilds the device→owner map. Owners only change when workloads
+    /// register or flip activity, so the per-quantum cost is a `bool`
+    /// check rather than a slots×devices rescan.
+    fn refresh_device_owners(&mut self) {
+        for (i, owner) in self.device_owners.iter_mut().enumerate() {
+            let dev = DeviceId(i as u8);
+            // DMA of a device no active workload owns is accounted to the
+            // explicit unattributed sentinel, never to workload 0.
+            *owner = self
+                .slots
+                .iter()
+                .find(|s| s.active && s.device == Some(dev))
+                .map_or(WorkloadId::UNATTRIBUTED, |s| s.id);
+        }
+        self.device_owners_stale = false;
+    }
+
+    /// The workload currently owning (driving) `dev`, or
+    /// [`WorkloadId::UNATTRIBUTED`] if no active workload claims it.
+    pub fn device_owner(&mut self, dev: DeviceId) -> WorkloadId {
+        if self.device_owners_stale {
+            self.refresh_device_owners();
+        }
+        self.device_owners
+            .get(dev.index())
+            .copied()
+            .unwrap_or(WorkloadId::UNATTRIBUTED)
     }
 
     /// Runs one quantum: devices DMA, workloads execute, memory interval
@@ -350,20 +403,18 @@ impl System {
     pub fn run_quantum(&mut self) {
         let dt = self.cfg.quantum;
         let now = self.now;
+        if self.device_owners_stale {
+            self.refresh_device_owners();
+        }
 
-        // 1. Devices DMA at their offered rates.
+        // 1. Devices DMA at their offered rates. Indexing keeps the
+        // borrows field-disjoint (`devices` vs `hier`), so no device is
+        // ever swapped out against a throwaway placeholder.
         for i in 0..self.devices.len() {
             let dev = self.devices[i].device();
             let dca = self.root.dca_enabled(dev);
-            let owner = self.device_owner(dev);
-            let mut device = std::mem::replace(
-                &mut self.devices[i],
-                DeviceModel::Nvme(
-                    NvmeModel::new(dev, NvmeConfig::raid0_980pro_x4()).expect("static config"),
-                ),
-            );
-            device.step(now, dt, &mut self.hier, dca, owner);
-            self.devices[i] = device;
+            let owner = self.device_owners[i];
+            self.devices[i].step(now, dt, &mut self.hier, dca, owner);
         }
 
         // 2. Workloads execute under their cycle budgets.
@@ -395,17 +446,19 @@ impl System {
         self.slots = slots;
 
         // 3. Memory interval: feed the traffic the hierarchy generated.
-        let delta = self.hier.stats().delta_since(&self.stats_snapshot);
-        // Snapshot moves forward every quantum for the memory model; the
-        // *sampling* snapshot is rebuilt in `sample()` from scratch, so we
-        // track interval memory bytes separately.
-        let (r, w) = (delta.total.mem_read_lines, delta.total.mem_write_lines);
+        // The memory model only needs the aggregate read/write line
+        // counts, so the per-quantum snapshot is a single `Copy` of the
+        // totals — the full per-workload tables are only diffed at
+        // sampling cadence in `sample()`.
+        let total = self.hier.stats().total;
+        let r = total.mem_read_lines - self.quantum_total.mem_read_lines;
+        let w = total.mem_write_lines - self.quantum_total.mem_write_lines;
+        self.quantum_total = total;
         self.mem.record_read_lines(r);
         self.mem.record_write_lines(w);
         let traffic = self.mem.end_interval(dt);
         self.interval_mem_read += traffic.read;
         self.interval_mem_written += traffic.written;
-        self.stats_snapshot = self.hier.stats().clone();
 
         self.now += dt;
         self.quantum_count += 1;
@@ -457,10 +510,14 @@ impl System {
             ));
         }
         // Cache-side per-workload deltas: cumulative stats minus what the
-        // previous sample consumed.
-        let stats = self.hier.stats().clone();
-        let base = std::mem::replace(&mut self.sample_snapshot, stats.clone());
-        let delta = stats.delta_since(&base);
+        // previous sample consumed. `delta_into`/`copy_from` reuse the
+        // snapshot and delta buffers, so sampling allocates no stat
+        // tables.
+        self.hier
+            .stats()
+            .delta_into(&self.sample_snapshot, &mut self.sample_delta);
+        self.sample_snapshot.copy_from(self.hier.stats());
+        let delta = &self.sample_delta;
 
         let workloads = workloads
             .into_iter()
@@ -622,6 +679,31 @@ mod tests {
         // Deactivate frees the core.
         s.set_workload_active(id, false).unwrap();
         assert!(s.add_workload(mk(), vec![CoreId(0)], Priority::Low).is_ok());
+    }
+
+    #[test]
+    fn registration_stops_before_the_unattributed_stat_row() {
+        let mut s = sys();
+        let mk = || {
+            Box::new(Streamer {
+                base: LineAddr(0),
+                lines: 8,
+                cursor: 0,
+            }) as Box<dyn Workload>
+        };
+        // Register-and-deactivate until the table's second-to-last row;
+        // the last row is reserved for WorkloadId::UNATTRIBUTED.
+        for _ in 0..a4_cache::MAX_WORKLOADS - 1 {
+            let id = s
+                .add_workload(mk(), vec![CoreId(0)], Priority::Low)
+                .unwrap();
+            s.set_workload_active(id, false).unwrap();
+        }
+        assert!(
+            s.add_workload(mk(), vec![CoreId(0)], Priority::Low)
+                .is_err(),
+            "the sentinel row must never be shared with a real workload"
+        );
     }
 
     #[test]

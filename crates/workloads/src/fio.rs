@@ -154,7 +154,17 @@ impl Workload for Fio {
                 ctx.compute(POLL_CYCLES, 10);
                 continue;
             };
-            self.outstanding -= 1;
+            // Known seed quirk (pre-dating the perf work): under some
+            // shared-SSD colocations (fig13 lpw-heavy under A4-c/d) one
+            // more completion is reaped than this instance accounted,
+            // and `outstanding` wraps. Release builds always wrapped
+            // here — every golden table embeds that behaviour — so this
+            // stays an explicit `wrapping_sub` to keep dev/test builds
+            // (overflow checks on) running the *same* simulation instead
+            // of panicking. Root-causing the double-reap is a tracked
+            // ROADMAP item; fixing it changes tables and must regenerate
+            // the goldens and bump the result-cache CODE_SALT.
+            self.outstanding = self.outstanding.wrapping_sub(1);
             let slot = self.slot_of(done.cmd.buffer);
             let read_ns = done
                 .completed_at

@@ -133,8 +133,8 @@ mod tests {
         let sample = sys.sample();
         let ws = sample.workload(s).unwrap();
         let wc = sample.workload(c).unwrap();
-        assert_eq!(ws.name, "Redis-S");
-        assert_eq!(wc.name, "Redis-C");
+        assert_eq!(&*ws.name, "Redis-S");
+        assert_eq!(&*wc.name, "Redis-C");
         assert!(ws.ops > 10);
         assert!(ws.ipc > 0.0);
         // Update-heavy: dirty lines get written back eventually.

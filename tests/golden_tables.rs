@@ -1,0 +1,49 @@
+//! Golden-diff regression tests for the hot-loop/SoA/caching perf work.
+//!
+//! The per-quantum loop, the LLC/MLC array layouts and the sweep result
+//! cache were all rebuilt for speed under one correctness bar: *tables
+//! stay byte-identical* — same seeds, same victim picks, same counters.
+//! The JSON tables under `tests/golden/` were produced by the pre-change
+//! code (`a4-repro fig12 fig13 --quick --json`); these tests regenerate
+//! them with the current code and compare the serialized bytes.
+
+use a4::experiments::{fig12, fig13, RunOpts, SweepRunner};
+
+fn quick_ctl_opts() -> RunOpts {
+    // Mirrors a4-repro's --quick protocol for controller figures.
+    RunOpts {
+        warmup: 12,
+        measure: 4,
+        seed: 0xA4,
+    }
+}
+
+fn assert_matches_golden(table: &a4::experiments::Table, golden_file: &str) {
+    let json = serde_json::to_string_pretty(table).expect("tables serialize");
+    let path = format!("{}/tests/golden/{golden_file}", env!("CARGO_MANIFEST_DIR"));
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden table {path}: {e}"));
+    assert!(
+        json == golden,
+        "{golden_file} diverged from the pre-refactor golden bytes.\n\
+         The hot-loop/SoA/cache work must not change simulation results; \
+         if a *semantic* change is intended, regenerate tests/golden/ and \
+         bump a4::experiments::cache::CODE_SALT in the same commit."
+    );
+}
+
+#[test]
+fn fig12_quick_table_is_byte_identical_to_pre_refactor() {
+    let table = fig12::run_with(&quick_ctl_opts(), &SweepRunner::with_threads(2));
+    assert_matches_golden(&table, "fig12.json");
+}
+
+#[test]
+fn fig13_quick_tables_are_byte_identical_to_pre_refactor() {
+    let opts = quick_ctl_opts();
+    let runner = SweepRunner::with_threads(2);
+    let hp = fig13::run_with(&opts, true, &runner);
+    let lp = fig13::run_with(&opts, false, &runner);
+    assert_matches_golden(&hp, "fig13a.json");
+    assert_matches_golden(&lp, "fig13b.json");
+}

@@ -1,0 +1,146 @@
+//! Hot-loop neutrality: exact per-workload counters for a fixed-seed
+//! NIC+NVMe colocation, pinned from the pre-refactor code.
+//!
+//! The quantum loop, the SoA LLC/MLC arrays, the exact-LRU recency lists
+//! and the digest scans are all pure speed structures: same seeds, same
+//! victim picks, same counters. Any drift in these numbers means a
+//! semantic change sneaked into the "allocation-free hot loop" work —
+//! which also invalidates every cached `RunReport`, so an intentional
+//! change must update these constants *and* bump
+//! `a4::experiments::cache::CODE_SALT` together.
+
+use a4::experiments::{RunOpts, ScenarioSpec};
+use a4::model::WorkloadId;
+use a4::sim::WorkloadSample;
+
+/// Exact counter sums over the measurement window for one role.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    role: &'static str,
+    accesses: u64,
+    instructions: u64,
+    ops: u64,
+    io_bytes: u64,
+    dma_leaks: u64,
+    dma_bloats: u64,
+    migrations: u64,
+    dca_allocs: u64,
+    mem_read_bytes: u64,
+    mem_write_bytes: u64,
+    /// Bit pattern of the mean IPC — floats must match exactly too.
+    ipc_bits: u64,
+}
+
+/// Captured from the seed code (pre PR) with
+/// `ScenarioSpec::microbench(RunOpts::quick())`: DPDK-T + FIO(2MB) +
+/// X-Mem 1/2/3 on the scaled Xeon, seed 0xA4, 3 s warm-up + 3 s measure.
+const GOLDEN: [Golden; 5] = [
+    Golden {
+        role: "dpdk",
+        accesses: 362_032,
+        instructions: 1_213_872,
+        ops: 21_296,
+        io_bytes: 21_807_104,
+        dma_leaks: 361_768,
+        dma_bloats: 0,
+        migrations: 263,
+        dca_allocs: 361_764,
+        mem_read_bytes: 23_151_936,
+        mem_write_bytes: 23_154_048,
+        ipc_bits: 0x3f9e_0b5b_9470_5bdf,
+    },
+    Golden {
+        role: "fio",
+        accesses: 608_850,
+        instructions: 8_705_700,
+        ops: 675,
+        io_bytes: 38_966_400,
+        dma_leaks: 550_791,
+        dma_bloats: 557_949,
+        migrations: 58_426,
+        dca_allocs: 609_373,
+        mem_read_bytes: 35_227_136,
+        mem_write_bytes: 38_993_024,
+        ipc_bits: 0x3fbd_a6ab_ce18_1399,
+    },
+    Golden {
+        role: "xmem1",
+        accesses: 384_269,
+        instructions: 1_537_076,
+        ops: 384_269,
+        io_bytes: 0,
+        dma_leaks: 0,
+        dma_bloats: 0,
+        migrations: 128_032,
+        dca_allocs: 0,
+        mem_read_bytes: 6_103_104,
+        mem_write_bytes: 0,
+        ipc_bits: 0x3fbc_0d29_8128_71f5,
+    },
+    Golden {
+        role: "xmem2",
+        accesses: 99_008,
+        instructions: 396_032,
+        ops: 99_008,
+        io_bytes: 0,
+        dma_leaks: 0,
+        dma_bloats: 0,
+        migrations: 23_443,
+        dca_allocs: 0,
+        mem_read_bytes: 4_741_632,
+        mem_write_bytes: 5_729_152,
+        ipc_bits: 0x3fac_c5f3_01b2_97cb,
+    },
+    Golden {
+        role: "xmem3",
+        accesses: 102_415,
+        instructions: 409_660,
+        ops: 102_415,
+        io_bytes: 0,
+        dma_leaks: 0,
+        dma_bloats: 0,
+        migrations: 14_235,
+        dca_allocs: 0,
+        mem_read_bytes: 4_796_736,
+        mem_write_bytes: 0,
+        ipc_bits: 0x3fad_c178_2d50_e623,
+    },
+];
+
+#[test]
+fn microbench_counters_match_pre_refactor_exactly() {
+    let run = ScenarioSpec::microbench(RunOpts::quick())
+        .build()
+        .expect("static microbench layout")
+        .run();
+    let sum = |id: WorkloadId, f: &dyn Fn(&WorkloadSample) -> u64| -> u64 {
+        run.report
+            .samples
+            .iter()
+            .filter_map(|s| s.workload(id))
+            .map(f)
+            .sum()
+    };
+    for golden in &GOLDEN {
+        let id = run.id(golden.role);
+        let actual = Golden {
+            role: golden.role,
+            accesses: sum(id, &|w| w.accesses),
+            instructions: sum(id, &|w| w.instructions),
+            ops: sum(id, &|w| w.ops),
+            io_bytes: sum(id, &|w| w.io_bytes),
+            dma_leaks: sum(id, &|w| w.dma_leaks),
+            dma_bloats: sum(id, &|w| w.dma_bloats),
+            migrations: sum(id, &|w| w.migrations),
+            dca_allocs: sum(id, &|w| w.dca_allocs),
+            mem_read_bytes: sum(id, &|w| w.mem_read_bytes),
+            mem_write_bytes: sum(id, &|w| w.mem_write_bytes),
+            ipc_bits: run.report.ipc(id).to_bits(),
+        };
+        assert_eq!(
+            actual, *golden,
+            "{} counters diverged from the pre-refactor capture",
+            golden.role
+        );
+    }
+}
