@@ -1,0 +1,125 @@
+//! Batched run paths vs their scalar per-line loops.
+//!
+//! The PR adding `dma_write_run` / `dma_read_run` / `core_*_run` is
+//! observationally pure (bit-identical counters, RNG draws and tables),
+//! so these benchmarks are the *only* place its effect is visible: the
+//! run paths must process the same line sequences measurably faster than
+//! per-line dispatch. Workload-shaped line counts: a 1514 B NIC packet is
+//! 1 descriptor + 24 payload lines; an NVMe chunk is 16 lines.
+
+use a4_cache::{CacheHierarchy, HierarchyConfig};
+use a4_model::{CoreId, DeviceId, LineAddr, WorkloadId};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn full_size() -> CacheHierarchy {
+    CacheHierarchy::new(HierarchyConfig::scaled_xeon_6140(18))
+}
+
+/// Lines of a 1514 B packet run (descriptor + payload).
+const PKT_LINES: u64 = 25;
+/// Runs per iteration.
+const RUNS: u64 = 400;
+
+fn bench_dma_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dma_run");
+    g.throughput(Throughput::Elements(PKT_LINES * RUNS));
+
+    // Ingress: packet-shaped DMA write runs into a warm ring span, the
+    // NIC delivery path. Scalar vs batched over identical address
+    // sequences (fresh hierarchy each, so state evolution matches).
+    g.bench_function("dma_write_scalar", |b| {
+        let mut h = full_size();
+        let mut next = 0u64;
+        b.iter(|| {
+            for _ in 0..RUNS {
+                let base = LineAddr((next % 4096) * PKT_LINES);
+                next += 1;
+                for l in 0..PKT_LINES {
+                    h.dma_write(DeviceId(0), base.offset(l), WorkloadId(0), true);
+                }
+            }
+        })
+    });
+    g.bench_function("dma_write_run", |b| {
+        let mut h = full_size();
+        let mut next = 0u64;
+        b.iter(|| {
+            for _ in 0..RUNS {
+                let base = LineAddr((next % 4096) * PKT_LINES);
+                next += 1;
+                h.dma_write_run(DeviceId(0), base, PKT_LINES, WorkloadId(0), true);
+            }
+        })
+    });
+
+    // Egress: Tx-shaped DMA read runs over resident lines.
+    g.bench_function("dma_read_scalar", |b| {
+        let mut h = full_size();
+        h.dma_write_run(DeviceId(0), LineAddr(0), PKT_LINES, WorkloadId(0), true);
+        b.iter(|| {
+            for _ in 0..RUNS {
+                for l in 0..PKT_LINES {
+                    h.dma_read(DeviceId(0), LineAddr(0).offset(l));
+                }
+            }
+        })
+    });
+    g.bench_function("dma_read_run", |b| {
+        let mut h = full_size();
+        h.dma_write_run(DeviceId(0), LineAddr(0), PKT_LINES, WorkloadId(0), true);
+        b.iter(|| {
+            for _ in 0..RUNS {
+                h.dma_read_run(DeviceId(0), LineAddr(0), PKT_LINES);
+            }
+        })
+    });
+
+    g.finish();
+}
+
+/// Working-set lines for the core stream (X-Mem 1 scaled: ~1802).
+const WS_LINES: u64 = 1802;
+
+fn bench_core_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_stream");
+    g.throughput(Throughput::Elements(WS_LINES));
+
+    // The X-Mem sequential sweep: one pass over the working set per
+    // iteration, MLC-thrashing (ws > MLC) so the LLC victim path runs.
+    g.bench_function("core_read_scalar", |b| {
+        let mut h = full_size();
+        b.iter(|| {
+            for l in 0..WS_LINES {
+                h.core_read(CoreId(0), LineAddr(l), WorkloadId(0));
+            }
+        })
+    });
+    g.bench_function("core_read_run", |b| {
+        let mut h = full_size();
+        b.iter(|| h.core_read_run(CoreId(0), LineAddr(0), WS_LINES, WorkloadId(0)))
+    });
+    g.bench_function("core_write_run", |b| {
+        let mut h = full_size();
+        b.iter(|| h.core_write_run(CoreId(0), LineAddr(0), WS_LINES, WorkloadId(0)))
+    });
+
+    // The packet-consumption shape: DCA-written lines read back through
+    // the I/O path (migration-heavy).
+    g.bench_function("consume_io_run", |b| {
+        let mut h = full_size();
+        let mut next = 0u64;
+        b.iter(|| {
+            for _ in 0..RUNS / 10 {
+                let base = LineAddr((next % 4096) * PKT_LINES);
+                next += 1;
+                h.dma_write_run(DeviceId(0), base, PKT_LINES, WorkloadId(0), true);
+                h.core_read_io_run(CoreId(0), base, PKT_LINES, WorkloadId(0));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(batched, bench_dma_run, bench_core_stream);
+criterion_main!(batched);

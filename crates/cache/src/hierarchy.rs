@@ -14,7 +14,8 @@ use crate::llc::{
 use crate::meta::LineMeta;
 use crate::mlc::{EvictedMlcLine, Mlc};
 use crate::stats::HierarchyStats;
-use a4_model::{CoreId, DeviceId, LineAddr, WorkloadId};
+use crate::walk::SetTagWalk;
+use a4_model::{CoreId, DeviceId, LineAddr, WayMask, WorkloadId};
 
 /// Where a core access was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,10 @@ pub struct CacheHierarchy {
     llc: Llc,
     clos: ClosTable,
     stats: HierarchyStats,
+    // Reusable event buffers for the batched DMA paths (allocation-free
+    // after warm-up; taken/restored around each run).
+    dma_write_events: Vec<(LineAddr, DmaWriteResult)>,
+    dma_read_events: Vec<(LineAddr, DmaReadResult)>,
 }
 
 impl CacheHierarchy {
@@ -86,6 +91,8 @@ impl CacheHierarchy {
             llc: Llc::new(config.llc),
             clos: ClosTable::new(config.cores),
             stats: HierarchyStats::new(),
+            dma_write_events: Vec::new(),
+            dma_read_events: Vec::new(),
         }
     }
 
@@ -173,64 +180,74 @@ impl CacheHierarchy {
         write: bool,
         io_hint: bool,
     ) -> CoreAccessLevel {
+        // The scalar path is the length-1 run: one implementation, no
+        // behaviour forks between scalar and batched accesses.
+        let mut run = self.begin_core_run(core, addr, 1, owner, write, io_hint);
+        let level = run.next(self);
+        run.finish(self);
+        level
+    }
+
+    /// Opens a batched access run for `core` starting at `base`: the
+    /// stats rows, CLOS mask and geometry walkers are resolved once here
+    /// instead of once per line. Drive it with [`CoreRun::next`] (one
+    /// consecutive line per call, starting at `base`) and flush the
+    /// run-local counters with [`CoreRun::finish`]. `len` is the
+    /// intended run length — a warming hint only (a length-1 run skips
+    /// the next-line warm-ups); `next` may be called more or fewer
+    /// times.
+    pub fn begin_core_run(
+        &self,
+        core: CoreId,
+        base: LineAddr,
+        len: u64,
+        owner: WorkloadId,
+        write: bool,
+        io_hint: bool,
+    ) -> CoreRun {
         debug_assert!(core.index() < self.mlcs.len(), "core out of range");
-
-        if self.mlcs[core.index()].lookup(addr, write) {
-            self.stats.bump(owner, |c| c.mlc_hits += 1);
-            return CoreAccessLevel::MlcHit;
+        CoreRun {
+            core,
+            owner,
+            write,
+            io_hint,
+            clos_mask: self.clos.mask_for_core(core),
+            mlc_walk: self.mlcs[core.index()].walk(base),
+            llc_walk: self.llc.walk(base),
+            remaining_hint: len,
+            mlc_hits: 0,
+            llc_hits: 0,
+            misses: 0,
         }
+    }
 
-        match self.llc.core_read(core, addr) {
-            LlcReadResult::Hit {
-                migrated,
-                from_dca_way,
-                io_first_consume,
-                evicted,
-                meta,
-            } => {
-                self.stats.bump(owner, |c| c.llc_hits += 1);
-                let dca_consumed = io_first_consume && from_dca_way;
-                if migrated || dca_consumed {
-                    self.stats.bump(meta.owner, |c| {
-                        c.migrations += u64::from(migrated);
-                        c.dca_consumed += u64::from(dca_consumed);
-                    });
-                }
-                if let Some(ev) = evicted {
-                    self.handle_llc_eviction(ev);
-                }
-                let mut mlc_meta = meta;
-                mlc_meta.consumed = true;
-                // The MLC lookup above just missed and nothing since
-                // could have filled `addr` into this core's MLC, so the
-                // already-present probe can be skipped.
-                if let Some(victim) = self.mlcs[core.index()].fill_after_miss(addr, mlc_meta, write)
-                {
-                    self.handle_mlc_eviction(core, victim);
-                }
-                CoreAccessLevel::LlcHit
-            }
-            LlcReadResult::Miss => {
-                self.stats.bump(owner, |c| {
-                    c.llc_misses += 1;
-                    c.mem_read_lines += 1;
-                });
-                // Track the new MLC-resident line in the extended directory.
-                if let Some(forced) = self.llc.register_mlc_fill(core, addr) {
-                    self.back_invalidate(forced.addr, forced.presence, true);
-                }
-                let meta = LineMeta {
-                    owner,
-                    io: io_hint,
-                    consumed: true,
-                    device: None,
-                };
-                if let Some(victim) = self.mlcs[core.index()].fill_after_miss(addr, meta, write) {
-                    self.handle_mlc_eviction(core, victim);
-                }
-                CoreAccessLevel::Memory
-            }
+    /// Batched core loads of `[base, base + len)` (see
+    /// [`CacheHierarchy::core_read`] for the per-line semantics).
+    pub fn core_read_run(&mut self, core: CoreId, base: LineAddr, len: u64, owner: WorkloadId) {
+        let mut run = self.begin_core_run(core, base, len, owner, false, false);
+        for _ in 0..len {
+            run.next(self);
         }
+        run.finish(self);
+    }
+
+    /// Batched core stores of `[base, base + len)`.
+    pub fn core_write_run(&mut self, core: CoreId, base: LineAddr, len: u64, owner: WorkloadId) {
+        let mut run = self.begin_core_run(core, base, len, owner, true, false);
+        for _ in 0..len {
+            run.next(self);
+        }
+        run.finish(self);
+    }
+
+    /// Batched I/O-buffer loads of `[base, base + len)` (see
+    /// [`CacheHierarchy::core_read_io`]).
+    pub fn core_read_io_run(&mut self, core: CoreId, base: LineAddr, len: u64, owner: WorkloadId) {
+        let mut run = self.begin_core_run(core, base, len, owner, false, true);
+        for _ in 0..len {
+            run.next(self);
+        }
+        run.finish(self);
     }
 
     /// Ingress DMA write of one line by `device` on behalf of consumer
@@ -243,26 +260,119 @@ impl CacheHierarchy {
         owner: WorkloadId,
         dca_enabled: bool,
     ) -> DmaWriteDest {
+        // The scalar path is the length-1 run: same line function, same
+        // event handling, one flush.
         if !dca_enabled {
-            // Stale cached copies are snooped out; data lands in memory.
-            let presence = self.llc.snoop_invalidate(addr);
-            self.back_invalidate(addr, presence, false);
-            let d = self.stats.device_mut(device);
-            d.dma_write_lines += 1;
-            d.dma_to_memory_lines += 1;
-            self.stats.bump(owner, |c| c.mem_write_lines += 1);
+            self.dma_write_bypass_run(device, addr, 1, owner);
             return DmaWriteDest::Memory;
         }
+        let result = self.llc.dma_write(addr, owner, device);
+        let mut acc = DmaWriteAcc::default();
+        let dest = self.apply_dma_write_event(addr, result, &mut acc);
+        self.flush_dma_write_stats(device, owner, 1, acc);
+        dest
+    }
 
-        match self.llc.dma_write(addr, owner, device) {
+    /// Ingress DMA write of the contiguous line run `[base, base + len)`
+    /// by `device` on behalf of `owner` — the batched form of
+    /// [`CacheHierarchy::dma_write`], bit-identical to `len` scalar calls
+    /// in line order.
+    ///
+    /// The `dca_enabled` branch is hoisted out of the loop, the device
+    /// and owner stats rows are resolved and flushed once per run, and
+    /// the LLC side runs [`Llc::dma_write_run`] over the stripe layout
+    /// directly (chunked at the set count so deferred directory work
+    /// never aliases a later line of the same chunk).
+    pub fn dma_write_run(
+        &mut self,
+        device: DeviceId,
+        base: LineAddr,
+        len: u64,
+        owner: WorkloadId,
+        dca_enabled: bool,
+    ) {
+        if len == 0 {
+            return;
+        }
+        if !dca_enabled {
+            self.dma_write_bypass_run(device, base, len, owner);
+            return;
+        }
+        let mut acc = DmaWriteAcc::default();
+        let mut events = std::mem::take(&mut self.dma_write_events);
+        let sets = self.llc.geometry().sets() as u64;
+        let mut off = 0;
+        while off < len {
+            let chunk = (len - off).min(sets);
+            events.clear();
+            self.llc
+                .dma_write_run(base.offset(off), chunk, owner, device, &mut events);
+            for (i, &(addr, result)) in events.iter().enumerate() {
+                // Warm the next event's back-invalidation target (the
+                // first presence core's MLC set): it is the one
+                // scattered load of the processing loop.
+                if let Some(&(naddr, nresult)) = events.get(i + 1) {
+                    let np = match nresult {
+                        DmaWriteResult::Updated {
+                            invalidate_presence,
+                        }
+                        | DmaWriteResult::Allocated {
+                            invalidate_presence,
+                            ..
+                        } => invalidate_presence,
+                    };
+                    if np != 0 {
+                        let c = np.trailing_zeros() as usize;
+                        if let Some(mlc) = self.mlcs.get(c) {
+                            mlc.prefetch_addr(naddr);
+                        }
+                    }
+                }
+                self.apply_dma_write_event(addr, result, &mut acc);
+            }
+            off += chunk;
+        }
+        events.clear();
+        self.dma_write_events = events;
+        self.flush_dma_write_stats(device, owner, len, acc);
+    }
+
+    /// The DCA-disabled (memory-bypass) write path for a run: stale
+    /// cached copies are snooped out per line, data lands in memory, and
+    /// the fixed stats rows are flushed once.
+    fn dma_write_bypass_run(
+        &mut self,
+        device: DeviceId,
+        base: LineAddr,
+        len: u64,
+        owner: WorkloadId,
+    ) {
+        for l in 0..len {
+            let addr = base.offset(l);
+            let presence = self.llc.snoop_invalidate(addr);
+            self.back_invalidate(addr, presence, false);
+        }
+        let d = self.stats.device_mut(device);
+        d.dma_write_lines += len;
+        d.dma_to_memory_lines += len;
+        self.stats.bump(owner, |c| c.mem_write_lines += len);
+    }
+
+    /// Handles one line's DCA write outcome (back-invalidations and
+    /// eviction fallout), accumulating the fixed-row stat bumps in `acc`.
+    #[inline]
+    fn apply_dma_write_event(
+        &mut self,
+        addr: LineAddr,
+        result: DmaWriteResult,
+        acc: &mut DmaWriteAcc,
+    ) -> DmaWriteDest {
+        match result {
             DmaWriteResult::Updated {
                 invalidate_presence,
             } => {
                 self.back_invalidate(addr, invalidate_presence, false);
-                let d = self.stats.device_mut(device);
-                d.dma_write_lines += 1;
-                d.dca_updates += 1;
-                self.stats.bump(owner, |c| c.dca_updates += 1);
+                acc.dca_updates += 1;
                 DmaWriteDest::LlcUpdate
             }
             DmaWriteResult::Allocated {
@@ -270,10 +380,7 @@ impl CacheHierarchy {
                 evicted,
             } => {
                 self.back_invalidate(addr, invalidate_presence, false);
-                let d = self.stats.device_mut(device);
-                d.dma_write_lines += 1;
-                d.dca_allocs += 1;
-                self.stats.bump(owner, |c| c.dca_allocs += 1);
+                acc.dca_allocs += 1;
                 if let Some(ev) = evicted {
                     self.handle_llc_eviction(ev);
                 }
@@ -282,20 +389,31 @@ impl CacheHierarchy {
         }
     }
 
+    /// Flushes a DCA write run's fixed stats rows (device + owner) once.
+    fn flush_dma_write_stats(
+        &mut self,
+        device: DeviceId,
+        owner: WorkloadId,
+        lines: u64,
+        acc: DmaWriteAcc,
+    ) {
+        let d = self.stats.device_mut(device);
+        d.dma_write_lines += lines;
+        d.dca_updates += acc.dca_updates;
+        d.dca_allocs += acc.dca_allocs;
+        self.stats.bump(owner, |c| {
+            c.dca_updates += acc.dca_updates;
+            c.dca_allocs += acc.dca_allocs;
+        });
+    }
+
     /// Egress DMA read of one line by `device`.
     pub fn dma_read(&mut self, device: DeviceId, addr: LineAddr) -> DmaReadSource {
         self.stats.device_mut(device).dma_read_lines += 1;
         match self.llc.dma_read(addr) {
             DmaReadResult::LlcHit => DmaReadSource::Llc,
             DmaReadResult::MlcOnly { presence } => {
-                // Copy the MLC line into an inclusive way, then serve it.
-                let meta = (0..self.config.cores)
-                    .filter(|&c| presence & (1 << c) != 0)
-                    .find_map(|c| self.mlcs[c].meta(addr))
-                    .unwrap_or(LineMeta::cpu(WorkloadId(0)));
-                if let Some(ev) = self.llc.egress_allocate(addr, meta, presence) {
-                    self.handle_llc_eviction(ev);
-                }
+                self.egress_allocate_from_mlc(addr, presence);
                 DmaReadSource::Mlc
             }
             DmaReadResult::Miss => {
@@ -305,8 +423,68 @@ impl CacheHierarchy {
         }
     }
 
-    fn handle_mlc_eviction(&mut self, core: CoreId, victim: EvictedMlcLine) {
-        let mask = self.clos.mask_for_core(core);
+    /// Egress DMA read of the contiguous line run `[base, base + len)` —
+    /// the batched form of [`CacheHierarchy::dma_read`], bit-identical to
+    /// `len` scalar calls in line order. The device stats row and the
+    /// memory-read bumps are flushed once per run.
+    pub fn dma_read_run(&mut self, device: DeviceId, base: LineAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut mem_misses = 0u64;
+        let mut events = std::mem::take(&mut self.dma_read_events);
+        let sets = self.llc.geometry().sets() as u64;
+        let mut off = 0;
+        while off < len {
+            let chunk = (len - off).min(sets);
+            events.clear();
+            self.llc.dma_read_run(base.offset(off), chunk, &mut events);
+            for &(addr, result) in &events {
+                match result {
+                    DmaReadResult::LlcHit => {}
+                    DmaReadResult::MlcOnly { presence } => {
+                        self.egress_allocate_from_mlc(addr, presence);
+                    }
+                    DmaReadResult::Miss => mem_misses += 1,
+                }
+            }
+            off += chunk;
+        }
+        events.clear();
+        self.dma_read_events = events;
+        self.stats.device_mut(device).dma_read_lines += len;
+        if mem_misses != 0 {
+            self.stats
+                .bump(WorkloadId(0), |c| c.mem_read_lines += mem_misses);
+        }
+    }
+
+    /// Copies an MLC-only line into an inclusive way so the device can
+    /// read it (the egress `MlcOnly` path).
+    fn egress_allocate_from_mlc(&mut self, addr: LineAddr, presence: u32) {
+        // Walk the presence mask's set bits directly (lowest core first,
+        // matching the historical 0..cores scan) for the line's metadata.
+        let mut m = presence;
+        let mut meta = None;
+        while m != 0 {
+            let c = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if let Some(found) = self.mlcs[c].meta(addr) {
+                meta = Some(found);
+                break;
+            }
+        }
+        // An ext-dir entry with no live MLC copy cannot occur (presence
+        // is maintained on every eviction/invalidation), so the fallback
+        // is defensive; it bills the explicit unattributed sentinel
+        // rather than silently charging workload 0.
+        let meta = meta.unwrap_or(LineMeta::cpu(WorkloadId::UNATTRIBUTED));
+        if let Some(ev) = self.llc.egress_allocate(addr, meta, presence) {
+            self.handle_llc_eviction(ev);
+        }
+    }
+
+    fn handle_mlc_eviction(&mut self, core: CoreId, victim: EvictedMlcLine, mask: WayMask) {
         match self
             .llc
             .mlc_eviction(core, victim.addr, victim.dirty, victim.meta, mask)
@@ -362,6 +540,142 @@ impl CacheHierarchy {
                 }
             }
         }
+    }
+}
+
+/// Run-local accumulator for the fixed-row stat bumps of a DCA write run.
+#[derive(Debug, Default, Clone, Copy)]
+struct DmaWriteAcc {
+    dca_updates: u64,
+    dca_allocs: u64,
+}
+
+/// An open batched access run over consecutive lines for one
+/// `(core, owner, kind)` triple — see
+/// [`CacheHierarchy::begin_core_run`].
+///
+/// The cursor does not borrow the hierarchy, so callers can interleave
+/// per-line [`CoreRun::next`] calls with their own bookkeeping (cycle
+/// budgets, latency folding). Every `next` performs exactly the per-line
+/// work of the scalar path, in the same order — eviction and RNG
+/// decisions are bit-identical — while the per-access owner-row stat
+/// bumps accumulate locally and flush once in [`CoreRun::finish`].
+#[must_use = "call finish() to flush the run's stat counters"]
+#[derive(Debug)]
+pub struct CoreRun {
+    core: CoreId,
+    owner: WorkloadId,
+    write: bool,
+    io_hint: bool,
+    clos_mask: WayMask,
+    mlc_walk: SetTagWalk,
+    llc_walk: SetTagWalk,
+    // Lines the caller intends to access after this one (warming hint).
+    remaining_hint: u64,
+    mlc_hits: u64,
+    llc_hits: u64,
+    misses: u64,
+}
+
+impl CoreRun {
+    /// Accesses the run's next consecutive line on `hier` (which must be
+    /// the hierarchy this run was opened on) and returns where it was
+    /// served from.
+    #[inline]
+    pub fn next(&mut self, hier: &mut CacheHierarchy) -> CoreAccessLevel {
+        let core = self.core.index();
+        let (mset, mtag) = (self.mlc_walk.set(), self.mlc_walk.tag());
+        let (lset, ltag) = (self.llc_walk.set(), self.llc_walk.tag());
+        self.mlc_walk.advance();
+        self.llc_walk.advance();
+        // Warm the next line's set blocks: the discarded early loads
+        // overlap their L2/L3 latency with this line's (branchy) chain.
+        // Skipped when the run ends here (scalar accesses, run tails) —
+        // warming sets a single access never visits is pure overhead.
+        self.remaining_hint = self.remaining_hint.saturating_sub(1);
+        if self.remaining_hint > 0 {
+            hier.mlcs[core].prefetch_set(self.mlc_walk.set());
+            hier.llc.prefetch_set(self.llc_walk.set());
+        }
+
+        if hier.mlcs[core].lookup_at(mset, mtag, self.write) {
+            self.mlc_hits += 1;
+            return CoreAccessLevel::MlcHit;
+        }
+
+        // This miss will fill the MLC; if that fill must evict, the
+        // victim's own LLC set is the one scattered load of the eviction
+        // chain — warm it now so it overlaps the LLC work below.
+        if let Some(victim) = hier.mlcs[core].peek_victim_addr(mset) {
+            hier.llc.prefetch_addr(victim);
+        }
+
+        match hier.llc.core_read_at(self.core, lset, ltag) {
+            LlcReadResult::Hit {
+                migrated,
+                from_dca_way,
+                io_first_consume,
+                evicted,
+                meta,
+            } => {
+                self.llc_hits += 1;
+                let dca_consumed = io_first_consume && from_dca_way;
+                if migrated || dca_consumed {
+                    hier.stats.bump(meta.owner, |c| {
+                        c.migrations += u64::from(migrated);
+                        c.dca_consumed += u64::from(dca_consumed);
+                    });
+                }
+                if let Some(ev) = evicted {
+                    hier.handle_llc_eviction(ev);
+                }
+                let mut mlc_meta = meta;
+                mlc_meta.consumed = true;
+                // The MLC lookup above just missed and nothing since
+                // could have filled this line into this core's MLC, so
+                // the already-present probe can be skipped.
+                if let Some(victim) =
+                    hier.mlcs[core].fill_after_miss_at(mset, mtag, mlc_meta, self.write)
+                {
+                    hier.handle_mlc_eviction(self.core, victim, self.clos_mask);
+                }
+                CoreAccessLevel::LlcHit
+            }
+            LlcReadResult::Miss => {
+                self.misses += 1;
+                // Track the new MLC-resident line in the extended directory.
+                if let Some(forced) = hier.llc.register_mlc_fill_at(self.core, lset, ltag) {
+                    hier.back_invalidate(forced.addr, forced.presence, true);
+                }
+                let meta = LineMeta {
+                    owner: self.owner,
+                    io: self.io_hint,
+                    consumed: true,
+                    device: None,
+                };
+                if let Some(victim) =
+                    hier.mlcs[core].fill_after_miss_at(mset, mtag, meta, self.write)
+                {
+                    hier.handle_mlc_eviction(self.core, victim, self.clos_mask);
+                }
+                CoreAccessLevel::Memory
+            }
+        }
+    }
+
+    /// Flushes the run's accumulated owner-row counters into the
+    /// hierarchy's stats (one row walk per run instead of one per line).
+    pub fn finish(self, hier: &mut CacheHierarchy) {
+        if self.mlc_hits | self.llc_hits | self.misses == 0 {
+            return;
+        }
+        let (mlc_hits, llc_hits, misses) = (self.mlc_hits, self.llc_hits, self.misses);
+        hier.stats.bump(self.owner, |c| {
+            c.mlc_hits += mlc_hits;
+            c.llc_hits += llc_hits;
+            c.llc_misses += misses;
+            c.mem_read_lines += misses;
+        });
     }
 }
 

@@ -55,10 +55,11 @@ mod lru;
 mod meta;
 mod mlc;
 mod stats;
+mod walk;
 
 pub use clos::ClosTable;
 pub use config::{HierarchyConfig, LlcGeometry, MlcGeometry, MAX_DEVICES, MAX_WORKLOADS};
-pub use hierarchy::{CacheHierarchy, CoreAccessLevel, DmaReadSource, DmaWriteDest};
+pub use hierarchy::{CacheHierarchy, CoreAccessLevel, CoreRun, DmaReadSource, DmaWriteDest};
 pub use llc::{EvictedLlcLine, Llc, LlcReadResult, EXT_DIR_EXCLUSIVE_WAYS};
 pub use meta::LineMeta;
 pub use mlc::{EvictedMlcLine, Mlc};

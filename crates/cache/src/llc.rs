@@ -24,6 +24,7 @@
 
 use crate::lru::Recency;
 use crate::meta::LineMeta;
+use crate::walk::SetTagWalk;
 use crate::LlcGeometry;
 use a4_model::{CoreId, DeviceId, LineAddr, WayMask, WorkloadId, LLC_WAYS};
 
@@ -162,17 +163,17 @@ struct LineState {
     meta: LineMeta,
 }
 
-/// Non-tag per-way state, kept as one record so a post-lookup touch of a
-/// way costs one cache line instead of one per field array. (Data ways
-/// need no recency state at all: allocation victims are random, so the
-/// seed's per-way LRU tick was dead weight.)
+/// One data way's full record (tag verified against digests, plus the
+/// non-flag state), read/written as a unit on hits and installs.
 #[derive(Debug, Clone, Copy)]
-struct WayState {
+struct WayLine {
+    tag: u64,
     presence: u32,
     meta: LineMeta,
 }
 
-const INVALID_WAY: WayState = WayState {
+const INVALID_WAY: WayLine = WayLine {
+    tag: 0,
     presence: 0,
     meta: LineMeta {
         owner: WorkloadId(0),
@@ -181,6 +182,47 @@ const INVALID_WAY: WayState = WayState {
         device: None,
     },
 };
+
+/// One extended-directory entry's full record.
+#[derive(Debug, Clone, Copy)]
+struct ExtLine {
+    tag: u64,
+    presence: u32,
+}
+
+/// One set's complete storage, 64-byte aligned: the scan header (flag
+/// lanes + both directories' tag digests) fills the first cache line, and
+/// the way/ext records follow *in the same block*, so an access chain
+/// that scans, hits and installs within one set touches a handful of
+/// adjacent cache lines on one page instead of parallel arrays spread
+/// over several — the dominant cost of a line op at full-system
+/// footprints is exactly these scattered loads.
+///
+/// `tag16` is padded to 16 lanes (11 used) so the digest compare is one
+/// full-width vector op; the dead lanes are never written and the
+/// candidate mask is ANDed with the valid bits, which only ever cover
+/// the real ways.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct SetBlock {
+    /// Valid/dirty/in-mlc way bitmaps in the three 16-bit lanes (one
+    /// load-modify-store instead of three arrays).
+    flags: u64,
+    /// Extended-directory valid bitmap.
+    ext_valid: u16,
+    /// Data-way tag digests (lanes 11..16 unused).
+    tag16: [u16; 16],
+    /// Extended-directory tag digests.
+    ext_tag16: [u16; EXT_DIR_EXCLUSIVE_WAYS],
+    /// Exact-LRU recency permutation of the extended directory (see
+    /// `lru::Recency`) — replaces per-entry tick stores plus the
+    /// eviction-time minimum scan.
+    ext_order: Recency,
+    /// Data-way records.
+    ways: [WayLine; LLC_WAYS],
+    /// Extended-directory records.
+    ext: [ExtLine; EXT_DIR_EXCLUSIVE_WAYS],
+}
 
 /// The shared last-level cache.
 ///
@@ -213,32 +255,13 @@ pub struct Llc {
     // Precomputed address split (sets is a power of two).
     set_mask: u64,
     tag_shift: u32,
-    // Data array, scan-optimised: the hot 23-way lookups (`find_way`
-    // plus the extended-directory scans) touch one per-set `u16` valid
-    // bitmap and a contiguous 88-byte tag stripe instead of ~1.5 KB of
-    // interleaved line records; the remaining per-way state lives in one
-    // `WayState` record per way so the post-lookup touch is a single
-    // line. Flags are per-set bitmasks (bit w ⇔ way w); tags/state are
-    // indexed `set * LLC_WAYS + way`.
-    tags: Vec<u64>,
-    tag16: Vec<u16>,
+    // All per-set storage, one contiguous aligned block per set (see
+    // [`SetBlock`]).
+    sets: Vec<SetBlock>,
     // True while every resident tag fits 16 bits (always, for the scaled
     // address spaces): then a digest match IS a tag match and the scan
-    // never has to touch the full-tag stripe.
+    // never has to touch the full-tag records.
     digests_exact: bool,
-    state: Vec<WayState>,
-    // Per-set flag word: valid/dirty/in-mlc way bitmaps in the three
-    // 16-bit lanes (one load-modify-store instead of three arrays).
-    flags: Vec<u64>,
-    // Extended directory, same layout with `EXT_DIR_EXCLUSIVE_WAYS` ways.
-    ext_tags: Vec<u64>,
-    ext_tag16: Vec<u16>,
-    ext_presence: Vec<u32>,
-    ext_valid: Vec<u16>,
-    // Exact-LRU recency permutation per extended-directory set (see
-    // `lru::Recency`) — replaces per-entry tick stores plus the
-    // eviction-time minimum scan.
-    ext_order: Vec<Recency>,
     dca_mask: WayMask,
     inclusive_mask: WayMask,
     rand_state: u64,
@@ -253,16 +276,22 @@ impl Llc {
             geometry,
             set_mask: sets as u64 - 1,
             tag_shift: sets.trailing_zeros(),
-            tags: vec![0; sets * LLC_WAYS],
-            tag16: vec![0; sets * LLC_WAYS],
+            sets: vec![
+                SetBlock {
+                    flags: 0,
+                    ext_valid: 0,
+                    tag16: [0; 16],
+                    ext_tag16: [0; EXT_DIR_EXCLUSIVE_WAYS],
+                    ext_order: Recency::identity(EXT_DIR_EXCLUSIVE_WAYS),
+                    ways: [INVALID_WAY; LLC_WAYS],
+                    ext: [ExtLine {
+                        tag: 0,
+                        presence: 0
+                    }; EXT_DIR_EXCLUSIVE_WAYS],
+                };
+                sets
+            ],
             digests_exact: true,
-            state: vec![INVALID_WAY; sets * LLC_WAYS],
-            flags: vec![0; sets],
-            ext_tags: vec![0; sets * EXT_DIR_EXCLUSIVE_WAYS],
-            ext_tag16: vec![0; sets * EXT_DIR_EXCLUSIVE_WAYS],
-            ext_presence: vec![0; sets * EXT_DIR_EXCLUSIVE_WAYS],
-            ext_valid: vec![0; sets],
-            ext_order: vec![Recency::identity(EXT_DIR_EXCLUSIVE_WAYS); sets],
             dca_mask: WayMask::DCA,
             inclusive_mask: WayMask::INCLUSIVE,
             rand_state: 0x9E37_79B9_7F4A_7C15,
@@ -298,14 +327,34 @@ impl Llc {
         ((addr.0 & self.set_mask) as usize, addr.0 >> self.tag_shift)
     }
 
+    /// Incremental `(set, tag)` cursor starting at `base` — the run
+    /// paths' replacement for re-splitting every consecutive address.
     #[inline]
-    fn addr_of(&self, set: usize, tag: u64) -> LineAddr {
-        LineAddr((tag << self.tag_shift) | set as u64)
+    pub(crate) fn walk(&self, base: LineAddr) -> SetTagWalk {
+        SetTagWalk::new(base, self.set_mask, self.tag_shift)
     }
 
+    /// Warms one set's scan header and way stripe with discarded early
+    /// loads: inside a run loop the next line's set is known, so issuing
+    /// its leading loads now lets the out-of-order core overlap their
+    /// L2/L3 latency with the current line's work. Pure speed — the
+    /// loaded values are discarded.
     #[inline]
-    fn di(set: usize, way: usize) -> usize {
-        set * LLC_WAYS + way
+    pub(crate) fn prefetch_set(&self, set: usize) {
+        std::hint::black_box(self.sets[set].flags);
+    }
+
+    /// [`Llc::prefetch_set`] by line address.
+    #[inline]
+    pub(crate) fn prefetch_addr(&self, addr: LineAddr) {
+        self.prefetch_set((addr.0 & self.set_mask) as usize);
+    }
+
+    /// The victim-pick RNG state (for scalar-vs-batched differential
+    /// tests: identical states prove identical draw order).
+    #[inline]
+    pub fn rng_state(&self) -> u64 {
+        self.rand_state
     }
 
     /// Lane shifts within the per-set flag word.
@@ -315,21 +364,21 @@ impl Llc {
 
     #[inline]
     fn valid_bits(&self, set: usize) -> u16 {
-        (self.flags[set] >> Self::FV) as u16
+        (self.sets[set].flags >> Self::FV) as u16
     }
 
-    /// Copies a (valid) line out of the arrays into register form.
+    /// Copies a (valid) line out of the set block into register form.
     #[inline]
     fn read_line(&self, set: usize, way: usize) -> LineState {
-        let i = Self::di(set, way);
-        let s = self.state[i];
-        let f = self.flags[set];
+        let blk = &self.sets[set];
+        let w = blk.ways[way];
+        let f = blk.flags;
         LineState {
-            tag: self.tags[i],
+            tag: w.tag,
             dirty: f & (1 << (way as u32 + Self::FD)) != 0,
             in_mlc: f & (1 << (way as u32 + Self::FM)) != 0,
-            presence: s.presence,
-            meta: s.meta,
+            presence: w.presence,
+            meta: w.meta,
         }
     }
 
@@ -338,7 +387,7 @@ impl Llc {
     #[inline]
     fn take_way(&mut self, set: usize, way: usize) -> LineState {
         let line = self.read_line(set, way);
-        self.flags[set] &= !(1u64 << way);
+        self.sets[set].flags &= !(1u64 << way);
         line
     }
 
@@ -347,49 +396,49 @@ impl Llc {
     /// `evict_way` + `write_line`: one flag-word round trip).
     #[inline]
     fn replace_way(&mut self, set: usize, way: usize, line: LineState) -> Option<EvictedLlcLine> {
-        let i = Self::di(set, way);
-        let f = self.flags[set];
+        let tag_shift = self.tag_shift;
+        self.digests_exact &= line.tag <= u64::from(u16::MAX);
+        let blk = &mut self.sets[set];
+        let f = blk.flags;
         let bit = 1u64 << way;
         let evicted = if f & bit != 0 {
-            let s = self.state[i];
+            let old = blk.ways[way];
             Some(EvictedLlcLine {
-                addr: self.addr_of(set, self.tags[i]),
+                addr: LineAddr((old.tag << tag_shift) | set as u64),
                 dirty: f & (bit << Self::FD) != 0,
-                meta: s.meta,
+                meta: old.meta,
                 was_in_mlc: f & (bit << Self::FM) != 0,
-                presence: s.presence,
+                presence: old.presence,
             })
         } else {
             None
         };
-        self.tags[i] = line.tag;
-        self.tag16[i] = line.tag as u16;
-        self.digests_exact &= line.tag <= u64::from(u16::MAX);
-        self.state[i] = WayState {
+        blk.ways[way] = WayLine {
+            tag: line.tag,
             presence: line.presence,
             meta: line.meta,
         };
+        blk.tag16[way] = line.tag as u16;
         let mut nf = f | bit;
         nf = (nf & !(bit << Self::FD)) | (u64::from(line.dirty) << (way as u32 + Self::FD));
         nf = (nf & !(bit << Self::FM)) | (u64::from(line.in_mlc) << (way as u32 + Self::FM));
-        self.flags[set] = nf;
+        blk.flags = nf;
         evicted
     }
 
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
-        // Two-level scan: a branchless fixed-trip-count compare of the
-        // 16-bit tag digests (one 22-byte stripe, vectorized by the
-        // compiler) narrows to the rare candidates, which are then
+        // Two-level scan: a branchless full-width compare of the 16-bit
+        // tag digests (one vector op over the header's padded 16-lane
+        // stripe) narrows to the rare candidates, which are then
         // verified against the full tags. Purely a speed structure — a
         // digest match never decides residency on its own.
-        let base = Self::di(set, 0);
-        let digests = &self.tag16[base..base + LLC_WAYS];
+        let blk = &self.sets[set];
         let d = tag as u16;
         let mut cand = 0u16;
-        for (w, &t) in digests.iter().enumerate() {
+        for (w, &t) in blk.tag16.iter().enumerate() {
             cand |= u16::from(t == d) << w;
         }
-        cand &= self.valid_bits(set);
+        cand &= (blk.flags >> Self::FV) as u16;
         if cand == 0 {
             return None;
         }
@@ -398,7 +447,7 @@ impl Llc {
         }
         while cand != 0 {
             let w = cand.trailing_zeros() as usize;
-            if self.tags[base + w] == tag {
+            if blk.ways[w].tag == tag {
                 return Some(w);
             }
             cand &= cand - 1;
@@ -437,6 +486,10 @@ impl Llc {
         // identical power-of-two fast path without the hardware divide.
         let pick = if n.is_power_of_two() {
             (r & (n - 1)) as u32
+        } else if n == LLC_WAYS as u64 {
+            // The full-mask (CLOS ALL) pick: a literal divisor lets the
+            // compiler strength-reduce the hot `%` to multiply/shift.
+            (r % LLC_WAYS as u64) as u32
         } else {
             (r % n) as u32
         };
@@ -455,6 +508,13 @@ impl Llc {
     /// migrates there (observation **O1**).
     pub fn core_read(&mut self, core: CoreId, addr: LineAddr) -> LlcReadResult {
         let (set, tag) = self.split(addr);
+        self.core_read_at(core, set, tag)
+    }
+
+    /// [`Llc::core_read`] with the `(set, tag)` decomposition precomputed
+    /// by a run walker (see [`crate::walk::SetTagWalk`]).
+    #[inline]
+    pub(crate) fn core_read_at(&mut self, core: CoreId, set: usize, tag: u64) -> LlcReadResult {
         let Some(way) = self.find_way(set, tag) else {
             return LlcReadResult::Miss;
         };
@@ -462,8 +522,8 @@ impl Llc {
         let from_dca_way = self.dca_mask.contains_way(way);
         let inclusive_mask = self.inclusive_mask;
 
-        let i = Self::di(set, way);
-        let s = &mut self.state[i];
+        let blk = &mut self.sets[set];
+        let s = &mut blk.ways[way];
         let io_first_consume = s.meta.io && !s.meta.consumed;
         s.meta.consumed = true;
 
@@ -471,7 +531,7 @@ impl Llc {
             // Already in an inclusive way: just gain MLC residency.
             s.presence |= core_bit;
             let meta = s.meta;
-            self.flags[set] |= 1u64 << (way as u32 + Self::FM);
+            blk.flags |= 1u64 << (way as u32 + Self::FM);
             return LlcReadResult::Hit {
                 migrated: false,
                 from_dca_way,
@@ -509,8 +569,20 @@ impl Llc {
     /// directory. Returns a forced back-invalidation if the directory set
     /// was full.
     pub fn register_mlc_fill(&mut self, core: CoreId, addr: LineAddr) -> Option<ExtDirEviction> {
+        let (set, tag) = self.split(addr);
+        self.register_mlc_fill_at(core, set, tag)
+    }
+
+    /// [`Llc::register_mlc_fill`] with a precomputed `(set, tag)`.
+    #[inline]
+    pub(crate) fn register_mlc_fill_at(
+        &mut self,
+        core: CoreId,
+        set: usize,
+        tag: u64,
+    ) -> Option<ExtDirEviction> {
         let presence = 1u32 << core.index();
-        self.ext_dir_insert(addr, presence)
+        self.ext_dir_insert(set, tag, presence)
     }
 
     /// Moves MLC-residency tracking of `addr` into the extended directory.
@@ -519,25 +591,20 @@ impl Llc {
     /// directory entry is demoted to an extended-directory entry.
     pub fn demote_to_ext_dir(&mut self, addr: LineAddr, presence: u32) -> Option<ExtDirEviction> {
         debug_assert!(presence != 0, "demotion requires MLC residents");
-        self.ext_dir_insert(addr, presence)
-    }
-
-    #[inline]
-    fn ext_di(set: usize, way: usize) -> usize {
-        set * EXT_DIR_EXCLUSIVE_WAYS + way
+        let (set, tag) = self.split(addr);
+        self.ext_dir_insert(set, tag, presence)
     }
 
     /// Finds the extended-directory way holding `tag`, if any.
     #[inline]
     fn ext_find(&self, set: usize, tag: u64) -> Option<usize> {
-        let base = Self::ext_di(set, 0);
-        let digests = &self.ext_tag16[base..base + EXT_DIR_EXCLUSIVE_WAYS];
+        let blk = &self.sets[set];
         let d = tag as u16;
         let mut cand = 0u16;
-        for (w, &t) in digests.iter().enumerate() {
+        for (w, &t) in blk.ext_tag16.iter().enumerate() {
             cand |= u16::from(t == d) << w;
         }
-        cand &= self.ext_valid[set];
+        cand &= blk.ext_valid;
         if cand == 0 {
             return None;
         }
@@ -546,7 +613,7 @@ impl Llc {
         }
         while cand != 0 {
             let w = cand.trailing_zeros() as usize;
-            if self.ext_tags[base + w] == tag {
+            if blk.ext[w].tag == tag {
                 return Some(w);
             }
             cand &= cand - 1;
@@ -554,41 +621,37 @@ impl Llc {
         None
     }
 
-    fn ext_dir_insert(&mut self, addr: LineAddr, presence: u32) -> Option<ExtDirEviction> {
-        let (set, tag) = self.split(addr);
-
+    fn ext_dir_insert(&mut self, set: usize, tag: u64, presence: u32) -> Option<ExtDirEviction> {
         // Existing entry: add presence.
+        self.digests_exact &= tag <= u64::from(u16::MAX);
         if let Some(w) = self.ext_find(set, tag) {
-            self.ext_presence[Self::ext_di(set, w)] |= presence;
-            self.ext_order[set].touch(w, EXT_DIR_EXCLUSIVE_WAYS);
+            let blk = &mut self.sets[set];
+            blk.ext[w].presence |= presence;
+            blk.ext_order.touch(w, EXT_DIR_EXCLUSIVE_WAYS);
             return None;
         }
+        let tag_shift = self.tag_shift;
+        let blk = &mut self.sets[set];
         // Free entry (lowest way first).
-        let free = !self.ext_valid[set] & ((1 << EXT_DIR_EXCLUSIVE_WAYS) - 1);
+        let free = !blk.ext_valid & ((1 << EXT_DIR_EXCLUSIVE_WAYS) - 1);
         if free != 0 {
             let w = free.trailing_zeros() as usize;
-            let i = Self::ext_di(set, w);
-            self.ext_tags[i] = tag;
-            self.ext_tag16[i] = tag as u16;
-            self.digests_exact &= tag <= u64::from(u16::MAX);
-            self.ext_presence[i] = presence;
-            self.ext_valid[set] |= 1 << w;
-            self.ext_order[set].touch(w, EXT_DIR_EXCLUSIVE_WAYS);
+            blk.ext[w] = ExtLine { tag, presence };
+            blk.ext_tag16[w] = tag as u16;
+            blk.ext_valid |= 1 << w;
+            blk.ext_order.touch(w, EXT_DIR_EXCLUSIVE_WAYS);
             return None;
         }
         // Evict the LRU extended-directory entry: its MLC copies must be
         // back-invalidated (the directory-conflict behaviour of Yan et al.).
-        let victim_idx = self.ext_order[set].victim(EXT_DIR_EXCLUSIVE_WAYS);
-        let i = Self::ext_di(set, victim_idx);
-        let victim_tag = self.ext_tags[i];
-        let victim_presence = self.ext_presence[i];
-        self.ext_tags[i] = tag;
-        self.ext_tag16[i] = tag as u16;
-        self.digests_exact &= tag <= u64::from(u16::MAX);
-        self.ext_presence[i] = presence;
-        self.ext_order[set].touch(victim_idx, EXT_DIR_EXCLUSIVE_WAYS);
+        let victim_idx = blk.ext_order.victim(EXT_DIR_EXCLUSIVE_WAYS);
+        let victim_tag = blk.ext[victim_idx].tag;
+        let victim_presence = blk.ext[victim_idx].presence;
+        blk.ext[victim_idx] = ExtLine { tag, presence };
+        blk.ext_tag16[victim_idx] = tag as u16;
+        blk.ext_order.touch(victim_idx, EXT_DIR_EXCLUSIVE_WAYS);
         Some(ExtDirEviction {
-            addr: self.addr_of(set, victim_tag),
+            addr: LineAddr((victim_tag << tag_shift) | set as u64),
             presence: victim_presence,
         })
     }
@@ -611,15 +674,15 @@ impl Llc {
         // Case 1: the line is LLC-resident (inclusive ways if in_mlc).
         if let Some(way) = self.find_way(set, tag) {
             let inclusive_way = self.inclusive_mask.contains_way(way);
-            let i = Self::di(set, way);
-            self.state[i].presence &= !core_bit;
+            let blk = &mut self.sets[set];
+            blk.ways[way].presence &= !core_bit;
             if dirty {
-                self.flags[set] |= 1u64 << (way as u32 + Self::FD);
+                blk.flags |= 1u64 << (way as u32 + Self::FD);
             }
-            if self.state[i].presence != 0 {
+            if blk.ways[way].presence != 0 {
                 return MlcEvictionOutcome::StillShared;
             }
-            self.flags[set] &= !(1u64 << (way as u32 + Self::FM));
+            blk.flags &= !(1u64 << (way as u32 + Self::FM));
             // The inclusive ways only hold lines that are *currently*
             // MLC-resident (their shared directory entries are scarce);
             // once the last MLC copy leaves, the line relocates into the
@@ -648,12 +711,12 @@ impl Llc {
         // Case 2: tracked in the extended directory.
         let mut tracked_shared = false;
         if let Some(w) = self.ext_find(set, tag) {
-            let i = Self::ext_di(set, w);
-            self.ext_presence[i] &= !core_bit;
-            if self.ext_presence[i] != 0 {
+            let blk = &mut self.sets[set];
+            blk.ext[w].presence &= !core_bit;
+            if blk.ext[w].presence != 0 {
                 tracked_shared = true;
             } else {
-                self.ext_valid[set] &= !(1 << w);
+                blk.ext_valid &= !(1 << w);
             }
         }
         if tracked_shared {
@@ -686,6 +749,62 @@ impl Llc {
         device: DeviceId,
     ) -> DmaWriteResult {
         let (set, tag) = self.split(addr);
+        self.dma_write_line(set, tag, owner, device)
+    }
+
+    /// A run of `len` DCA-enabled DMA writes over `[base, base + len)`,
+    /// recording each line's [`DmaWriteResult`] into `out` (appended in
+    /// line order) for the hierarchy to post-process.
+    ///
+    /// The run takes exactly the per-line path [`Llc::dma_write`] takes,
+    /// in the same order — eviction and RNG decisions are bit-identical —
+    /// but walks the `(set, tag)` stripe incrementally and leaves the
+    /// caller's back-invalidation / eviction handling to one deferred
+    /// pass. Deferral is sound because every line of the run maps to a
+    /// *distinct* set (consecutive addresses, `len <= sets`), so no
+    /// line's deferred directory work can be observed by a later line of
+    /// the same run; callers with longer runs must chunk at the set
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `len <= sets`.
+    pub fn dma_write_run(
+        &mut self,
+        base: LineAddr,
+        len: u64,
+        owner: WorkloadId,
+        device: DeviceId,
+        out: &mut Vec<(LineAddr, DmaWriteResult)>,
+    ) {
+        debug_assert!(
+            len as usize <= self.geometry.sets(),
+            "dma_write_run longer than the set count would alias sets"
+        );
+        out.reserve(len as usize);
+        let mut walk = self.walk(base);
+        for l in 0..len {
+            let (set, tag) = (walk.set(), walk.tag());
+            walk.advance();
+            if l + 1 < len {
+                // Warm the next line's set block (see `prefetch_set`).
+                self.prefetch_set(walk.set());
+            }
+            let result = self.dma_write_line(set, tag, owner, device);
+            out.push((base.offset(l), result));
+        }
+    }
+
+    /// One DMA-write line with a precomputed `(set, tag)` — the single
+    /// implementation behind both the scalar and the run entry points.
+    #[inline]
+    fn dma_write_line(
+        &mut self,
+        set: usize,
+        tag: u64,
+        owner: WorkloadId,
+        device: DeviceId,
+    ) -> DmaWriteResult {
         let fresh = LineMeta {
             owner,
             io: true,
@@ -695,18 +814,16 @@ impl Llc {
 
         if let Some(way) = self.find_way(set, tag) {
             // Write update: the line stays where it is.
-            let i = Self::di(set, way);
-            let f = self.flags[set];
+            let blk = &mut self.sets[set];
+            let f = blk.flags;
             let invalidate_presence = if f & (1 << (way as u32 + Self::FM)) != 0 {
-                self.state[i].presence
+                blk.ways[way].presence
             } else {
                 0
             };
-            self.state[i] = WayState {
-                presence: 0,
-                meta: fresh,
-            };
-            self.flags[set] =
+            blk.ways[way].presence = 0;
+            blk.ways[way].meta = fresh;
+            blk.flags =
                 (f & !(1u64 << (way as u32 + Self::FM))) | (1u64 << (way as u32 + Self::FD));
             return DmaWriteResult::Updated {
                 invalidate_presence,
@@ -716,8 +833,9 @@ impl Llc {
         // MLC-only copies are snooped out before the allocate.
         let mut invalidate_presence = 0;
         if let Some(w) = self.ext_find(set, tag) {
-            invalidate_presence = self.ext_presence[Self::ext_di(set, w)];
-            self.ext_valid[set] &= !(1 << w);
+            let blk = &mut self.sets[set];
+            invalidate_presence = blk.ext[w].presence;
+            blk.ext_valid &= !(1 << w);
         }
 
         let way = self.victim_way(set, self.dca_mask);
@@ -746,12 +864,14 @@ impl Llc {
         let (set, tag) = self.split(addr);
         let mut presence = 0;
         if let Some(way) = self.find_way(set, tag) {
-            presence |= self.state[Self::di(set, way)].presence;
-            self.flags[set] &= !(1u64 << way);
+            let blk = &mut self.sets[set];
+            presence |= blk.ways[way].presence;
+            blk.flags &= !(1u64 << way);
         }
         if let Some(w) = self.ext_find(set, tag) {
-            presence |= self.ext_presence[Self::ext_di(set, w)];
-            self.ext_valid[set] &= !(1 << w);
+            let blk = &mut self.sets[set];
+            presence |= blk.ext[w].presence;
+            blk.ext_valid &= !(1 << w);
         }
         presence
     }
@@ -759,12 +879,46 @@ impl Llc {
     /// Device-initiated read probe (egress path).
     pub fn dma_read(&mut self, addr: LineAddr) -> DmaReadResult {
         let (set, tag) = self.split(addr);
+        self.dma_read_at(set, tag)
+    }
+
+    /// A run of `len` egress read probes over `[base, base + len)`,
+    /// recording each line's [`DmaReadResult`] into `out` (appended in
+    /// line order). The probe itself mutates nothing; the caller's
+    /// `MlcOnly` egress allocations happen in a deferred pass, sound for
+    /// the same distinct-sets reason as [`Llc::dma_write_run`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `len <= sets`.
+    pub fn dma_read_run(
+        &mut self,
+        base: LineAddr,
+        len: u64,
+        out: &mut Vec<(LineAddr, DmaReadResult)>,
+    ) {
+        debug_assert!(
+            len as usize <= self.geometry.sets(),
+            "dma_read_run longer than the set count would alias sets"
+        );
+        out.reserve(len as usize);
+        let mut walk = self.walk(base);
+        for l in 0..len {
+            let result = self.dma_read_at(walk.set(), walk.tag());
+            out.push((base.offset(l), result));
+            walk.advance();
+        }
+    }
+
+    /// [`Llc::dma_read`] with a precomputed `(set, tag)`.
+    #[inline]
+    fn dma_read_at(&mut self, set: usize, tag: u64) -> DmaReadResult {
         if self.find_way(set, tag).is_some() {
             return DmaReadResult::LlcHit;
         }
         if let Some(w) = self.ext_find(set, tag) {
             return DmaReadResult::MlcOnly {
-                presence: self.ext_presence[Self::ext_di(set, w)],
+                presence: self.sets[set].ext[w].presence,
             };
         }
         DmaReadResult::Miss
@@ -784,7 +938,7 @@ impl Llc {
         // Remove the extended-directory entry: residency is now tracked by
         // the shared directory way coupled with the inclusive data way.
         if let Some(w) = self.ext_find(set, tag) {
-            self.ext_valid[set] &= !(1 << w);
+            self.sets[set].ext_valid &= !(1 << w);
         }
         let way = self.victim_way(set, self.inclusive_mask);
         self.replace_way(
@@ -805,9 +959,9 @@ impl Llc {
         let (set, tag) = self.split(addr);
         self.find_way(set, tag).map(|way| ProbeInfo {
             way,
-            in_mlc: self.flags[set] & (1 << (way as u32 + Self::FM)) != 0,
-            dirty: self.flags[set] & (1 << (way as u32 + Self::FD)) != 0,
-            meta: self.state[Self::di(set, way)].meta,
+            in_mlc: self.sets[set].flags & (1 << (way as u32 + Self::FM)) != 0,
+            dirty: self.sets[set].flags & (1 << (way as u32 + Self::FD)) != 0,
+            meta: self.sets[set].ways[way].meta,
         })
     }
 
@@ -820,9 +974,9 @@ impl Llc {
     /// Number of valid data lines within `mask` across all sets (test and
     /// occupancy-analysis helper).
     pub fn occupancy_in(&self, mask: WayMask) -> usize {
-        self.flags
+        self.sets
             .iter()
-            .map(|&f| (f as u16 & mask.bits()).count_ones() as usize)
+            .map(|blk| (blk.flags as u16 & mask.bits()).count_ones() as usize)
             .sum()
     }
 
@@ -835,7 +989,7 @@ impl Llc {
     pub fn assert_inclusive_invariant(&self) -> usize {
         let mut checked = 0;
         for set in 0..self.geometry.sets() {
-            let f = self.flags[set];
+            let f = self.sets[set].flags;
             let mut m = (f >> Self::FV) as u16 & (f >> Self::FM) as u16;
             while m != 0 {
                 let w = m.trailing_zeros() as usize;
@@ -845,7 +999,7 @@ impl Llc {
                     "inclusive line in non-inclusive way {w} (set {set})"
                 );
                 assert!(
-                    self.state[Self::di(set, w)].presence != 0,
+                    self.sets[set].ways[w].presence != 0,
                     "inclusive line with empty presence"
                 );
                 checked += 1;

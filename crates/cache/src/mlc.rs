@@ -7,6 +7,7 @@
 
 use crate::lru::Recency;
 use crate::meta::LineMeta;
+use crate::walk::SetTagWalk;
 use crate::MlcGeometry;
 use a4_model::LineAddr;
 
@@ -27,6 +28,38 @@ const INVALID_META: LineMeta = LineMeta {
     consumed: true,
     device: None,
 };
+
+/// One way's full record (tag verified against digests + metadata).
+#[derive(Debug, Clone, Copy)]
+struct MlcWayLine {
+    tag: u64,
+    meta: LineMeta,
+}
+
+const INVALID_WAY: MlcWayLine = MlcWayLine {
+    tag: 0,
+    meta: INVALID_META,
+};
+
+/// One set's complete storage, 64-byte aligned: the scan fields (flag
+/// word, recency permutation, padded 16-lane tag digests) fill the first
+/// cache line and the way records follow in the same block — `lookup`
+/// runs on *every* simulated core access, and a lookup-plus-fill chain
+/// now stays within a handful of adjacent cache lines on one page.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct MlcSetBlock {
+    /// Valid bitmap in the low lane, dirty bitmap in the high lane (one
+    /// load-modify-store instead of two arrays).
+    flags: u64,
+    /// Exact-LRU recency permutation (see `lru::Recency`) — replaces
+    /// per-way tick stores plus the eviction-time minimum scan.
+    order: Recency,
+    /// Tag digests (lanes beyond the way count unused, never written).
+    tag16: [u16; 16],
+    /// Way records (entries beyond the way count unused).
+    ways: [MlcWayLine; 16],
+}
 
 /// One core's private mid-level cache.
 ///
@@ -49,37 +82,31 @@ pub struct Mlc {
     // Precomputed address split (sets is a power of two).
     set_mask: u64,
     tag_shift: u32,
-    // Struct-of-arrays: `lookup` runs on *every* simulated core access,
-    // so the tag scan touches one per-set valid bitmap (bit w ⇔ way w)
-    // plus a contiguous tag stripe instead of interleaved line records.
-    tags: Vec<u64>,
-    tag16: Vec<u16>,
+    // All per-set storage, one contiguous aligned block per set (see
+    // [`MlcSetBlock`]).
+    sets: Vec<MlcSetBlock>,
     // True while every resident tag fits 16 bits (see `Llc`).
     digests_exact: bool,
-    meta: Vec<LineMeta>,
-    // Per-set flag word: valid bitmap in the low lane, dirty bitmap in
-    // the high lane (one load-modify-store instead of two arrays).
-    flags: Vec<u64>,
-    // Exact-LRU recency permutation per set (see `lru::Recency`) —
-    // replaces per-way tick stores plus the eviction-time minimum scan.
-    order: Vec<Recency>,
     live: usize,
 }
 
 impl Mlc {
     /// Creates an empty MLC with the given geometry.
     pub fn new(geometry: MlcGeometry) -> Self {
-        let n = geometry.sets() * geometry.ways();
         Mlc {
             geometry,
             set_mask: geometry.sets() as u64 - 1,
             tag_shift: geometry.sets().trailing_zeros(),
-            tags: vec![0; n],
-            tag16: vec![0; n],
+            sets: vec![
+                MlcSetBlock {
+                    flags: 0,
+                    order: Recency::identity(geometry.ways()),
+                    tag16: [0; 16],
+                    ways: [INVALID_WAY; 16],
+                };
+                geometry.sets()
+            ],
             digests_exact: true,
-            meta: vec![INVALID_META; n],
-            flags: vec![0; geometry.sets()],
-            order: vec![Recency::identity(geometry.ways()); geometry.sets()],
             live: 0,
         }
     }
@@ -95,17 +122,16 @@ impl Mlc {
     /// Finds the way of `tag` within `set`, if resident.
     #[inline]
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
-        // Two-level scan: branchless 16-bit digest compare (vectorized)
-        // narrows to candidates verified against the full tags.
-        let ways = self.geometry.ways();
-        let base = set * ways;
-        let digests = &self.tag16[base..base + ways];
+        // Two-level scan: branchless full-width digest compare (one
+        // vector op over the header's padded 16-lane stripe) narrows to
+        // candidates verified against the full tags.
+        let blk = &self.sets[set];
         let d = tag as u16;
         let mut cand = 0u32;
-        for (w, &t) in digests.iter().enumerate() {
+        for (w, &t) in blk.tag16.iter().enumerate() {
             cand |= u32::from(t == d) << w;
         }
-        cand &= self.flags[set] as u32 & 0xFFFF;
+        cand &= blk.flags as u32 & 0xFFFF;
         if cand == 0 {
             return None;
         }
@@ -114,7 +140,7 @@ impl Mlc {
         }
         while cand != 0 {
             let w = cand.trailing_zeros() as usize;
-            if self.tags[base + w] == tag {
+            if blk.ways[w].tag == tag {
                 return Some(w);
             }
             cand &= cand - 1;
@@ -122,14 +148,63 @@ impl Mlc {
         None
     }
 
+    /// Incremental `(set, tag)` cursor starting at `base`, for batched
+    /// lookup/fill sequences over contiguous runs.
+    #[inline]
+    pub(crate) fn walk(&self, base: LineAddr) -> SetTagWalk {
+        SetTagWalk::new(base, self.set_mask, self.tag_shift)
+    }
+
+    /// Warms one set's scan header with a discarded early load (see
+    /// `Llc::prefetch_set`).
+    #[inline]
+    pub(crate) fn prefetch_set(&self, set: usize) {
+        std::hint::black_box(self.sets[set].flags);
+    }
+
+    /// [`Mlc::prefetch_set`] by line address.
+    #[inline]
+    pub(crate) fn prefetch_addr(&self, addr: LineAddr) {
+        self.prefetch_set((addr.0 & self.set_mask) as usize);
+    }
+
+    /// The address a [`Mlc::fill_after_miss_at`] into `set` would evict,
+    /// if the set is full — a pure peek (no recency update) that lets a
+    /// run warm the victim's downstream set before the fill happens.
+    #[inline]
+    pub(crate) fn peek_victim_addr(&self, set: usize) -> Option<LineAddr> {
+        let ways = self.geometry.ways();
+        let blk = &self.sets[set];
+        let ways_mask = (1u64 << ways) - 1;
+        if blk.flags & ways_mask != ways_mask {
+            return None;
+        }
+        let victim = blk.order.victim(ways);
+        Some(LineAddr(
+            (blk.ways[victim].tag << self.tag_shift) | set as u64,
+        ))
+    }
+
     /// Looks up `addr`; on a hit updates recency and, for `write`, marks
     /// the line dirty. Returns whether it hit.
     pub fn lookup(&mut self, addr: LineAddr, write: bool) -> bool {
         let (set, tag) = self.set_range(addr);
+        self.lookup_at(set, tag, write)
+    }
+
+    /// [`Mlc::lookup`] with a precomputed `(set, tag)` — the run-path
+    /// entry point. Full batching (all lookups before all fills) would
+    /// fork behaviour: a fill's eviction can invalidate a later line of
+    /// the same run, so runs interleave lookup/fill per line and only the
+    /// address split is amortized.
+    #[inline]
+    pub(crate) fn lookup_at(&mut self, set: usize, tag: u64, write: bool) -> bool {
         if let Some(w) = self.find_way(set, tag) {
-            self.order[set].touch(w, self.geometry.ways());
+            let ways = self.geometry.ways();
+            let blk = &mut self.sets[set];
+            blk.order.touch(w, ways);
             if write {
-                self.flags[set] |= 1u64 << (w as u32 + Self::FD);
+                blk.flags |= 1u64 << (w as u32 + Self::FD);
             }
             return true;
         }
@@ -145,8 +220,7 @@ impl Mlc {
     /// Returns the metadata of a resident line, if present.
     pub fn meta(&self, addr: LineAddr) -> Option<LineMeta> {
         let (set, tag) = self.set_range(addr);
-        self.find_way(set, tag)
-            .map(|w| self.meta[set * self.geometry.ways() + w])
+        self.find_way(set, tag).map(|w| self.sets[set].ways[w].meta)
     }
 
     /// Inserts a line, returning the evicted victim if the set was full.
@@ -158,11 +232,12 @@ impl Mlc {
 
         // Already present: refresh in place.
         if let Some(w) = self.find_way(set, tag) {
-            let base = set * self.geometry.ways();
-            self.meta[base + w] = meta;
-            self.order[set].touch(w, self.geometry.ways());
+            let ways = self.geometry.ways();
+            let blk = &mut self.sets[set];
+            blk.ways[w].meta = meta;
+            blk.order.touch(w, ways);
             if dirty {
-                self.flags[set] |= 1u64 << (w as u32 + Self::FD);
+                blk.flags |= 1u64 << (w as u32 + Self::FD);
             }
             return None;
         }
@@ -179,6 +254,19 @@ impl Mlc {
         dirty: bool,
     ) -> Option<EvictedMlcLine> {
         let (set, tag) = self.set_range(addr);
+        self.fill_after_miss_at(set, tag, meta, dirty)
+    }
+
+    /// [`Mlc::fill_after_miss`] with a precomputed `(set, tag)` (see
+    /// [`Mlc::lookup_at`] for the run-path batching contract).
+    #[inline]
+    pub(crate) fn fill_after_miss_at(
+        &mut self,
+        set: usize,
+        tag: u64,
+        meta: LineMeta,
+        dirty: bool,
+    ) -> Option<EvictedMlcLine> {
         debug_assert!(
             self.find_way(set, tag).is_none(),
             "fill_after_miss on a resident line"
@@ -194,44 +282,41 @@ impl Mlc {
         dirty: bool,
     ) -> Option<EvictedMlcLine> {
         let ways = self.geometry.ways();
-        let base = set * ways;
+        self.digests_exact &= tag <= u64::from(u16::MAX);
+        let tag_shift = self.tag_shift;
+        let blk = &mut self.sets[set];
 
         // Free way if any (lowest first).
         let ways_mask = (1u32 << ways) - 1;
-        let free = !(self.flags[set] as u32) & ways_mask;
+        let free = !(blk.flags as u32) & ways_mask;
         if free != 0 {
             let w = free.trailing_zeros() as usize;
-            self.tags[base + w] = tag;
-            self.tag16[base + w] = tag as u16;
-            self.digests_exact &= tag <= u64::from(u16::MAX);
-            self.meta[base + w] = meta;
+            blk.ways[w] = MlcWayLine { tag, meta };
+            blk.tag16[w] = tag as u16;
             let bit = 1u64 << w;
-            self.flags[set] = (self.flags[set] & !(bit << Self::FD))
+            blk.flags = (blk.flags & !(bit << Self::FD))
                 | bit
                 | (u64::from(dirty) << (w as u32 + Self::FD));
-            self.order[set].touch(w, ways);
+            blk.order.touch(w, ways);
             self.live += 1;
             return None;
         }
 
         // Evict the exact-LRU way.
-        let victim_idx = self.order[set].victim(ways);
-        let victim_tag = self.tags[base + victim_idx];
-        let victim_dirty = self.flags[set] & (1 << (victim_idx as u32 + Self::FD)) != 0;
-        let victim_meta = self.meta[base + victim_idx];
-        self.tags[base + victim_idx] = tag;
-        self.tag16[base + victim_idx] = tag as u16;
-        self.digests_exact &= tag <= u64::from(u16::MAX);
-        self.meta[base + victim_idx] = meta;
+        let victim_idx = blk.order.victim(ways);
+        let victim = blk.ways[victim_idx];
+        let victim_dirty = blk.flags & (1 << (victim_idx as u32 + Self::FD)) != 0;
+        blk.ways[victim_idx] = MlcWayLine { tag, meta };
+        blk.tag16[victim_idx] = tag as u16;
         let bit = 1u64 << victim_idx;
-        self.flags[set] = (self.flags[set] & !(bit << Self::FD))
-            | (u64::from(dirty) << (victim_idx as u32 + Self::FD));
-        self.order[set].touch(victim_idx, ways);
-        let addr = LineAddr((victim_tag << self.tag_shift) | set as u64);
+        blk.flags =
+            (blk.flags & !(bit << Self::FD)) | (u64::from(dirty) << (victim_idx as u32 + Self::FD));
+        blk.order.touch(victim_idx, ways);
+        let addr = LineAddr((victim.tag << tag_shift) | set as u64);
         Some(EvictedMlcLine {
             addr,
             dirty: victim_dirty,
-            meta: victim_meta,
+            meta: victim.meta,
         })
     }
 
@@ -240,10 +325,11 @@ impl Mlc {
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<(bool, LineMeta)> {
         let (set, tag) = self.set_range(addr);
         if let Some(w) = self.find_way(set, tag) {
-            self.flags[set] &= !(1u64 << w);
+            let blk = &mut self.sets[set];
+            blk.flags &= !(1u64 << w);
             self.live -= 1;
-            let dirty = self.flags[set] & (1 << (w as u32 + Self::FD)) != 0;
-            return Some((dirty, self.meta[set * self.geometry.ways() + w]));
+            let dirty = blk.flags & (1 << (w as u32 + Self::FD)) != 0;
+            return Some((dirty, blk.ways[w].meta));
         }
         None
     }
@@ -268,7 +354,9 @@ impl Mlc {
 
     /// Drops every line (workload teardown in tests).
     pub fn flush(&mut self) {
-        self.flags.iter_mut().for_each(|f| *f &= !0xFFFF_FFFF);
+        self.sets
+            .iter_mut()
+            .for_each(|blk| blk.flags &= !0xFFFF_FFFF);
         self.live = 0;
     }
 }

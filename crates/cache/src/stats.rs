@@ -165,7 +165,7 @@ impl DeviceCounters {
 /// assert_eq!(stats.workload(WorkloadId(0)).accesses(), 0);
 /// assert_eq!(stats.total.mem_read_lines, 0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HierarchyStats {
     /// System-wide totals (sums over all workloads plus unattributed I/O).
     pub total: WorkloadCounters,

@@ -1,0 +1,69 @@
+//! Incremental set/tag decomposition for contiguous line runs.
+//!
+//! Batched access paths iterate runs of consecutive line addresses; the
+//! walker advances the `(set, tag)` pair directly instead of re-splitting
+//! every address, and gives the run loops one shared, obviously-correct
+//! definition of "next line" against the stripe layout.
+
+use a4_model::LineAddr;
+
+/// A cursor over the `(set, tag)` decomposition of consecutive line
+/// addresses under one cache geometry (power-of-two set count).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SetTagWalk {
+    set: usize,
+    tag: u64,
+    set_mask: usize,
+}
+
+impl SetTagWalk {
+    /// Starts a walk at `base` for a cache whose address split is
+    /// `(addr & set_mask, addr >> tag_shift)`.
+    #[inline]
+    pub(crate) fn new(base: LineAddr, set_mask: u64, tag_shift: u32) -> Self {
+        SetTagWalk {
+            set: (base.0 & set_mask) as usize,
+            tag: base.0 >> tag_shift,
+            set_mask: set_mask as usize,
+        }
+    }
+
+    /// Set index of the current line.
+    #[inline]
+    pub(crate) fn set(&self) -> usize {
+        self.set
+    }
+
+    /// Tag of the current line.
+    #[inline]
+    pub(crate) fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Moves to the next consecutive line address.
+    #[inline]
+    pub(crate) fn advance(&mut self) {
+        self.set = (self.set + 1) & self.set_mask;
+        if self.set == 0 {
+            self.tag += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_matches_split_across_wrap() {
+        // 16 sets => mask 15, shift 4.
+        let base = LineAddr(0x3E);
+        let mut w = SetTagWalk::new(base, 15, 4);
+        for l in 0..40u64 {
+            let addr = base.offset(l);
+            assert_eq!(w.set(), (addr.0 & 15) as usize, "set at +{l}");
+            assert_eq!(w.tag(), addr.0 >> 4, "tag at +{l}");
+            w.advance();
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Scalar-vs-batched differential tests: the run-oriented access paths
+//! (`dma_write_run` / `dma_read_run` / `core_*_run`) must be
+//! *observationally pure* speed structures. Driving random run sequences
+//! through two hierarchies — one on the batched APIs, one on per-line
+//! scalar loops — must leave identical stats, identical victim-pick RNG
+//! state and identical residency, for any interleaving, run length
+//! (including set-count-crossing runs that exercise the chunking), DCA
+//! state and CAT programming.
+
+use a4_cache::{CacheHierarchy, HierarchyConfig};
+use a4_model::{ClosId, CoreId, DeviceId, LineAddr, WayMask, WorkloadId};
+use proptest::prelude::*;
+
+/// One batched run (or control-plane op) of a random sequence.
+#[derive(Debug, Clone)]
+enum Run {
+    CoreRead {
+        core: u8,
+        base: u64,
+        len: u64,
+        owner: u16,
+    },
+    CoreWrite {
+        core: u8,
+        base: u64,
+        len: u64,
+        owner: u16,
+    },
+    CoreReadIo {
+        core: u8,
+        base: u64,
+        len: u64,
+        owner: u16,
+    },
+    DmaWrite {
+        base: u64,
+        len: u64,
+        owner: u16,
+        dca: bool,
+    },
+    DmaRead {
+        base: u64,
+        len: u64,
+    },
+    SetMask {
+        clos: u8,
+        start: usize,
+        len: usize,
+    },
+    Assign {
+        core: u8,
+        clos: u8,
+    },
+}
+
+const DEV: DeviceId = DeviceId(0);
+
+/// Runs up to 40 lines long on the 16-set `small_test` LLC: every run
+/// class crosses the set count, so the batched paths' chunk boundaries
+/// are exercised constantly.
+fn run_strategy() -> impl Strategy<Value = Run> {
+    let core = 0u8..4;
+    let base = 0u64..512;
+    let len = 1u64..40;
+    let owner = 0u16..4;
+    prop_oneof![
+        (core.clone(), base.clone(), len.clone(), owner.clone()).prop_map(
+            |(core, base, len, owner)| Run::CoreRead {
+                core,
+                base,
+                len,
+                owner
+            }
+        ),
+        (core.clone(), base.clone(), len.clone(), owner.clone()).prop_map(
+            |(core, base, len, owner)| Run::CoreWrite {
+                core,
+                base,
+                len,
+                owner
+            }
+        ),
+        (core.clone(), base.clone(), len.clone(), owner.clone()).prop_map(
+            |(core, base, len, owner)| Run::CoreReadIo {
+                core,
+                base,
+                len,
+                owner
+            }
+        ),
+        (base.clone(), len.clone(), owner, any::<bool>()).prop_map(|(base, len, owner, dca)| {
+            Run::DmaWrite {
+                base,
+                len,
+                owner,
+                dca,
+            }
+        }),
+        (base, len).prop_map(|(base, len)| Run::DmaRead { base, len }),
+        (0u8..4, 0usize..10, 1usize..6).prop_map(|(clos, start, len)| Run::SetMask {
+            clos,
+            start,
+            len
+        }),
+        (core, 0u8..4).prop_map(|(core, clos)| Run::Assign { core, clos }),
+    ]
+}
+
+/// Applies one run through the batched entry points.
+fn apply_batched(h: &mut CacheHierarchy, run: &Run) {
+    match *run {
+        Run::CoreRead {
+            core,
+            base,
+            len,
+            owner,
+        } => {
+            h.core_read_run(CoreId(core), LineAddr(base), len, WorkloadId(owner));
+        }
+        Run::CoreWrite {
+            core,
+            base,
+            len,
+            owner,
+        } => {
+            h.core_write_run(CoreId(core), LineAddr(base), len, WorkloadId(owner));
+        }
+        Run::CoreReadIo {
+            core,
+            base,
+            len,
+            owner,
+        } => {
+            h.core_read_io_run(CoreId(core), LineAddr(base), len, WorkloadId(owner));
+        }
+        Run::DmaWrite {
+            base,
+            len,
+            owner,
+            dca,
+        } => {
+            h.dma_write_run(DEV, LineAddr(base), len, WorkloadId(owner), dca);
+        }
+        Run::DmaRead { base, len } => {
+            h.dma_read_run(DEV, LineAddr(base), len);
+        }
+        Run::SetMask { .. } | Run::Assign { .. } => apply_control(h, run),
+    }
+}
+
+/// Applies one run as per-line scalar calls, in line order.
+fn apply_scalar(h: &mut CacheHierarchy, run: &Run) {
+    match *run {
+        Run::CoreRead {
+            core,
+            base,
+            len,
+            owner,
+        } => {
+            for l in 0..len {
+                h.core_read(CoreId(core), LineAddr(base).offset(l), WorkloadId(owner));
+            }
+        }
+        Run::CoreWrite {
+            core,
+            base,
+            len,
+            owner,
+        } => {
+            for l in 0..len {
+                h.core_write(CoreId(core), LineAddr(base).offset(l), WorkloadId(owner));
+            }
+        }
+        Run::CoreReadIo {
+            core,
+            base,
+            len,
+            owner,
+        } => {
+            for l in 0..len {
+                h.core_read_io(CoreId(core), LineAddr(base).offset(l), WorkloadId(owner));
+            }
+        }
+        Run::DmaWrite {
+            base,
+            len,
+            owner,
+            dca,
+        } => {
+            for l in 0..len {
+                h.dma_write(DEV, LineAddr(base).offset(l), WorkloadId(owner), dca);
+            }
+        }
+        Run::DmaRead { base, len } => {
+            for l in 0..len {
+                h.dma_read(DEV, LineAddr(base).offset(l));
+            }
+        }
+        Run::SetMask { .. } | Run::Assign { .. } => apply_control(h, run),
+    }
+}
+
+/// CAT reprogramming between runs (shared by both sides): the batched
+/// paths hoist the CLOS mask per run, so masks changing *between* runs
+/// must still be picked up.
+fn apply_control(h: &mut CacheHierarchy, run: &Run) {
+    match *run {
+        Run::SetMask { clos, start, len } => {
+            let end = (start + len).min(10);
+            if let Ok(mask) = WayMask::from_range(start.min(9), end.max(start.min(9) + 1)) {
+                let _ = h.clos_mut().set_mask(ClosId(clos), mask);
+            }
+        }
+        Run::Assign { core, clos } => {
+            let _ = h.clos_mut().assign_core(CoreId(core), ClosId(clos));
+        }
+        _ => unreachable!("control-plane ops only"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline differential: identical stats tables and identical
+    /// RNG state after every run of a random sequence.
+    #[test]
+    fn batched_runs_match_scalar_loops(
+        runs in prop::collection::vec(run_strategy(), 1..120)
+    ) {
+        let mut batched = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut scalar = CacheHierarchy::new(HierarchyConfig::small_test());
+        for (i, run) in runs.iter().enumerate() {
+            apply_batched(&mut batched, run);
+            apply_scalar(&mut scalar, run);
+            prop_assert_eq!(
+                batched.llc().rng_state(),
+                scalar.llc().rng_state(),
+                "RNG draw order diverged at run {} ({:?})", i, run
+            );
+            prop_assert!(
+                batched.stats() == scalar.stats(),
+                "stats diverged at run {} ({:?})", i, run
+            );
+        }
+        // Residency must agree everywhere the sequence could have touched.
+        for line in 0..560 {
+            let addr = LineAddr(line);
+            prop_assert_eq!(
+                batched.llc().probe(addr),
+                scalar.llc().probe(addr),
+                "LLC residency diverged at {:?}", addr
+            );
+            prop_assert_eq!(
+                batched.llc().ext_dir_tracks(addr),
+                scalar.llc().ext_dir_tracks(addr),
+                "ext-dir tracking diverged at {:?}", addr
+            );
+            for core in 0..4 {
+                prop_assert_eq!(
+                    batched.mlc(CoreId(core)).meta(addr),
+                    scalar.mlc(CoreId(core)).meta(addr),
+                    "MLC {} residency diverged at {:?}", core, addr
+                );
+            }
+        }
+    }
+}
+
+/// Zero-length runs are explicit no-ops on every path.
+#[test]
+fn zero_length_runs_are_noops() {
+    let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+    h.dma_write_run(DEV, LineAddr(0), 0, WorkloadId(0), true);
+    h.dma_write_run(DEV, LineAddr(0), 0, WorkloadId(0), false);
+    h.dma_read_run(DEV, LineAddr(0), 0);
+    h.core_read_run(CoreId(0), LineAddr(0), 0, WorkloadId(0));
+    let zero = CacheHierarchy::new(HierarchyConfig::small_test());
+    assert!(h.stats() == zero.stats());
+    assert_eq!(h.llc().rng_state(), zero.llc().rng_state());
+}
+
+/// A run much longer than the set count (chunked internally) matches the
+/// scalar loop exactly — the wrap-around aliasing case.
+#[test]
+fn set_wrapping_runs_match() {
+    let mut batched = CacheHierarchy::new(HierarchyConfig::small_test());
+    let mut scalar = CacheHierarchy::new(HierarchyConfig::small_test());
+    // 3.5 sweeps of the 16-set LLC in one run.
+    batched.dma_write_run(DEV, LineAddr(5), 56, WorkloadId(1), true);
+    for l in 0..56 {
+        scalar.dma_write(DEV, LineAddr(5).offset(l), WorkloadId(1), true);
+    }
+    batched.core_read_io_run(CoreId(1), LineAddr(5), 56, WorkloadId(1));
+    for l in 0..56 {
+        scalar.core_read_io(CoreId(1), LineAddr(5).offset(l), WorkloadId(1));
+    }
+    assert!(batched.stats() == scalar.stats());
+    assert_eq!(batched.llc().rng_state(), scalar.llc().rng_state());
+}

@@ -5,7 +5,8 @@
 //! ```text
 //! a4-repro [FIGURES...] [--quick] [--threads N] [--json DIR]
 //!          [--dump-specs DIR] [--spec FILE] [--list]
-//!          [--cache-dir DIR] [--no-cache] [--timing]
+//!          [--cache-dir DIR] [--no-cache] [--cache-gc]
+//!          [--max-age-days N] [--replicas N] [--timing]
 //!
 //! FIGURES: fig3 fig4 fig5 fig6 fig7 fig8 fig11 fig12 fig13 fig14 fig15
 //!          (default: all)
@@ -23,6 +24,14 @@
 //!                   edited cells and interrupted sweeps resume. Tables
 //!                   are byte-identical either way.
 //! --no-cache:       disable the result cache entirely
+//! --cache-gc:       garbage-collect the result cache before running:
+//!                   drop entries not touched (stored or loaded) within
+//!                   --max-age-days (default 30). With no figures/specs
+//!                   requested, exits after the sweep.
+//! --replicas N:     run every cell at N derived-seed replicas and
+//!                   report mean ± stddev per metric (replicas hit the
+//!                   result cache independently); --json writes
+//!                   <id>.mean.json and <id>.stddev.json
 //! --timing:         run the hot-loop timing harness on the fig12
 //!                   representative cell and write BENCH_hotloop.json
 //!                   (to --json DIR, or the current directory)
@@ -30,7 +39,7 @@
 //! ```
 
 use a4_experiments::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8};
-use a4_experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner, Table};
+use a4_experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner, Table, TableStats};
 use std::io::Write as _;
 
 /// Which run protocol a figure uses.
@@ -252,12 +261,14 @@ fn run_timing(quick: bool, json_dir: Option<&str>) {
 /// or the value slot of a value-taking flag, so `--json fig-tables/`
 /// never turns its directory into a figure filter.
 fn positional_args(args: &[String]) -> Vec<&str> {
-    const VALUE_FLAGS: [&str; 5] = [
+    const VALUE_FLAGS: [&str; 7] = [
         "--json",
         "--dump-specs",
         "--spec",
         "--threads",
         "--cache-dir",
+        "--replicas",
+        "--max-age-days",
     ];
     let mut positional = Vec::new();
     let mut skip_value = false;
@@ -291,9 +302,25 @@ fn main() {
     let threads: usize = flag_value(&args, "--threads")
         .map(|t| t.parse().expect("--threads takes a positive integer"))
         .unwrap_or(1);
+    let replicas: usize = flag_value(&args, "--replicas")
+        .map(|r| r.parse().expect("--replicas takes a positive integer"))
+        .unwrap_or(1);
+    assert!(replicas >= 1, "--replicas takes a positive integer");
+    let cache_gc = args.iter().any(|a| a == "--cache-gc");
+    let max_age_days: u64 = flag_value(&args, "--max-age-days")
+        .map(|d| d.parse().expect("--max-age-days takes a day count"))
+        .unwrap_or(30);
     assert!(
         !(no_cache && cache_dir.is_some()),
         "--no-cache and --cache-dir are mutually exclusive"
+    );
+    assert!(
+        !(no_cache && cache_gc),
+        "--cache-gc needs the cache enabled (drop --no-cache)"
+    );
+    assert!(
+        cache_gc || flag_value(&args, "--max-age-days").is_none(),
+        "--max-age-days only applies to --cache-gc"
     );
     let mut runner = SweepRunner::with_threads(threads);
     if !no_cache {
@@ -309,6 +336,20 @@ fn main() {
     }
     let all = wanted.is_empty();
     let wants = |name: &str| all || wanted.contains(&name);
+
+    if cache_gc {
+        let cache = runner.cache().expect("cache enabled (asserted above)");
+        let (removed, kept) = cache.gc(std::time::Duration::from_secs(max_age_days * 86_400));
+        eprintln!(
+            "[a4-repro] cache-gc {}: removed {removed} entr{} older than {max_age_days} day(s), kept {kept}",
+            cache.dir().display(),
+            if removed == 1 { "y" } else { "ies" },
+        );
+        // GC-only invocation: nothing else to run (or dump).
+        if wanted.is_empty() && spec_file.is_none() && dump_dir.is_none() && !timing && !list {
+            return;
+        }
+    }
 
     let opts = if quick {
         RunOpts::quick()
@@ -346,6 +387,20 @@ fn main() {
     }
 
     let mut tables: Vec<Table> = Vec::new();
+    let mut replica_tables: Vec<TableStats> = Vec::new();
+    // Runs one table-producing closure at every replica and aggregates
+    // cell-wise; replica r's runner derives seeds as replica(r).
+    let replicated = |produce: &dyn Fn(&SweepRunner) -> Vec<Table>| -> Vec<TableStats> {
+        let per_replica: Vec<Vec<Table>> = (0..replicas as u64)
+            .map(|r| produce(&runner.clone().replica(r)))
+            .collect();
+        (0..per_replica[0].len())
+            .map(|ti| {
+                let group: Vec<Table> = per_replica.iter().map(|rep| rep[ti].clone()).collect();
+                TableStats::from_replicas(&group)
+            })
+            .collect()
+    };
 
     if let Some(path) = &spec_file {
         let json = std::fs::read_to_string(path)
@@ -359,10 +414,20 @@ fn main() {
             "[a4-repro] running {} scenario(s) from {path} on {threads} thread(s)...",
             specs.len()
         );
-        let runs = runner
-            .run_specs(&specs)
-            .unwrap_or_else(|e| panic!("spec failed to build: {e}"));
-        tables.extend(runs.iter().map(spec_table));
+        if replicas > 1 {
+            replica_tables.extend(replicated(&|r| {
+                r.run_specs(&specs)
+                    .unwrap_or_else(|e| panic!("spec failed to build: {e}"))
+                    .iter()
+                    .map(spec_table)
+                    .collect()
+            }));
+        } else {
+            let runs = runner
+                .run_specs(&specs)
+                .unwrap_or_else(|e| panic!("spec failed to build: {e}"));
+            tables.extend(runs.iter().map(spec_table));
+        }
     }
 
     if let Some(dir) = dump_dir {
@@ -387,10 +452,14 @@ fn main() {
             let o = opts_for(f);
             let cells = (f.specs)(&o).len();
             eprintln!(
-                "[a4-repro] {} ({}; {cells} cells, {threads} thread(s))...",
+                "[a4-repro] {} ({}; {cells} cells, {threads} thread(s), {replicas} replica(s))...",
                 f.name, f.desc
             );
-            tables.extend((f.run)(&o, &runner));
+            if replicas > 1 {
+                replica_tables.extend(replicated(&|r| (f.run)(&o, r)));
+            } else {
+                tables.extend((f.run)(&o, &runner));
+            }
         }
     }
 
@@ -407,14 +476,26 @@ fn main() {
     for table in &tables {
         println!("{table}");
     }
+    for stats in &replica_tables {
+        println!("{stats}");
+    }
     if let Some(dir) = json_dir {
         std::fs::create_dir_all(&dir).expect("create json output dir");
-        for table in &tables {
-            let path = format!("{dir}/{}.json", table.id);
+        let write_table = |path: String, table: &Table| {
             let mut f = std::fs::File::create(&path).expect("create json file");
             let json = serde_json::to_string_pretty(table).expect("tables serialize");
             f.write_all(json.as_bytes()).expect("write json");
             eprintln!("[a4-repro] wrote {path}");
+        };
+        for table in &tables {
+            write_table(format!("{dir}/{}.json", table.id), table);
+        }
+        for stats in &replica_tables {
+            write_table(format!("{dir}/{}.mean.json", stats.mean.id), &stats.mean);
+            write_table(
+                format!("{dir}/{}.stddev.json", stats.stddev.id),
+                &stats.stddev,
+            );
         }
     }
 }

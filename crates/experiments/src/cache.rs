@@ -125,13 +125,62 @@ impl ResultCache {
 
     /// Loads the report cached under `key`, treating missing, unreadable
     /// or corrupt entries as misses.
+    ///
+    /// A hit refreshes the entry's modification time (best effort), so
+    /// [`ResultCache::gc`]'s age cutoff measures time since the entry
+    /// was last *used*, not since it was first simulated — entries the
+    /// last run touched always survive a GC.
     pub fn load(&self, key: &str) -> Option<RunReport> {
-        let json = std::fs::read_to_string(self.path_of(key)).ok()?;
-        let report = serde_json::from_str(&json).ok();
+        let path = self.path_of(key);
+        let json = std::fs::read_to_string(&path).ok()?;
+        let report: Option<RunReport> = serde_json::from_str(&json).ok();
         if report.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Ok(f) = std::fs::File::options().append(true).open(&path) {
+                let _ = f.set_modified(std::time::SystemTime::now());
+            }
         }
         report
+    }
+
+    /// Garbage-collects the cache's own artifacts: removes every
+    /// `*.report.json` entry and `*.tmp` scratch file whose modification
+    /// time is older than `max_age` (entries keep their mtime fresh on
+    /// every [`ResultCache::load`] hit and [`ResultCache::store`], so
+    /// this drops exactly the entries no recent run touched — plus any
+    /// stale temp files a crashed writer left behind). Files the cache
+    /// did not write are never touched, so a cache directory shared with
+    /// other outputs (e.g. `--json` tables) is safe to sweep. Returns
+    /// `(removed, kept)` over cache artifacts; a missing directory is
+    /// `(0, 0)`.
+    pub fn gc(&self, max_age: std::time::Duration) -> (u64, u64) {
+        let now = std::time::SystemTime::now();
+        let (mut removed, mut kept) = (0, 0);
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return (0, 0);
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !(name.ends_with(".report.json") || name.ends_with(".tmp")) {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .unwrap_or_default();
+            if age > max_age && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            } else {
+                kept += 1;
+            }
+        }
+        (removed, kept)
     }
 
     /// Stores `report` under `key` (best effort: a full disk or missing
@@ -201,6 +250,56 @@ mod tests {
             back.samples[0].workloads[0].accesses,
             report.samples[0].workloads[0].accesses
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_drops_old_entries_and_load_refreshes_age() {
+        use std::time::{Duration, SystemTime};
+        let dir = tmp_dir("gc");
+        let cache = ResultCache::new(&dir);
+        // Missing directory: a no-op.
+        assert_eq!(cache.gc(Duration::from_secs(0)), (0, 0));
+
+        let report = ScenarioSpec::microbench(RunOpts {
+            warmup: 0,
+            measure: 1,
+            seed: 0xA4,
+        })
+        .build()
+        .unwrap()
+        .run()
+        .report;
+        cache.store("old", &report);
+        cache.store("fresh", &report);
+        // Fabricate an ancient timestamp on one entry (and a stale temp
+        // file, as an interrupted writer would leave).
+        let backdate = |p: &std::path::Path| {
+            let f = std::fs::File::options().append(true).open(p).unwrap();
+            f.set_modified(SystemTime::now() - Duration::from_secs(90 * 86_400))
+                .unwrap();
+        };
+        backdate(&cache.path_of("old"));
+        let tmp = dir.join(".stale.tmp");
+        std::fs::write(&tmp, "x").unwrap();
+        backdate(&tmp);
+        // A foreign file in a shared directory must never be swept, no
+        // matter how old.
+        let foreign = dir.join("fig12.json");
+        std::fs::write(&foreign, "{}").unwrap();
+        backdate(&foreign);
+
+        let (removed, kept) = cache.gc(Duration::from_secs(30 * 86_400));
+        assert_eq!((removed, kept), (2, 1), "old entry + stale tmp dropped");
+        assert!(cache.load("old").is_none());
+        assert!(cache.load("fresh").is_some());
+        assert!(foreign.exists(), "non-cache files are left alone");
+
+        // A load refreshes the mtime: backdate, touch via load, GC keeps.
+        backdate(&cache.path_of("fresh"));
+        assert!(cache.load("fresh").is_some());
+        let (removed, kept) = cache.gc(Duration::from_secs(30 * 86_400));
+        assert_eq!((removed, kept), (0, 1), "loaded entry counts as touched");
         std::fs::remove_dir_all(&dir).ok();
     }
 

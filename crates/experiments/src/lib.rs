@@ -50,4 +50,4 @@ mod table;
 pub use cache::{spec_key, ResultCache};
 pub use runner::{Sweep, SweepRunner};
 pub use spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
-pub use table::{Row, Table};
+pub use table::{Row, Table, TableStats};

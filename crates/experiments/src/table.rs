@@ -93,6 +93,109 @@ impl Table {
     }
 }
 
+/// Mean ± sample-stddev aggregation of N same-shaped replica tables
+/// (the `a4-repro --replicas N` output form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Per-cell means, shaped like the replica tables. Shares their `id`
+    /// (so `--json` writes `<id>.mean.json`).
+    pub mean: Table,
+    /// Per-cell sample standard deviations (zero for a single replica).
+    pub stddev: Table,
+    /// Number of replicas aggregated.
+    pub replicas: usize,
+}
+
+impl TableStats {
+    /// Aggregates replica tables cell-wise into mean and sample
+    /// standard deviation (`n - 1` denominator; zero when `n == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or the tables disagree in id,
+    /// columns, or row labels — replicas of one cell grid always agree.
+    pub fn from_replicas(tables: &[Table]) -> TableStats {
+        let first = tables.first().expect("at least one replica table");
+        for t in tables {
+            assert_eq!(t.id, first.id, "replica tables must share an id");
+            assert_eq!(t.columns, first.columns, "replica columns must match");
+            assert_eq!(t.labels(), first.labels(), "replica rows must match");
+        }
+        let n = tables.len();
+        let mut mean = Table::new(
+            first.id.clone(),
+            format!("{} (mean of {n} replicas)", first.title),
+            first.columns.clone(),
+        );
+        let mut stddev = Table::new(
+            first.id.clone(),
+            format!("{} (sample stddev over {n} replicas)", first.title),
+            first.columns.clone(),
+        );
+        for (ri, row) in first.rows.iter().enumerate() {
+            let mut means = Vec::with_capacity(row.values.len());
+            let mut sds = Vec::with_capacity(row.values.len());
+            for ci in 0..row.values.len() {
+                let m = tables.iter().map(|t| t.rows[ri].values[ci]).sum::<f64>() / n as f64;
+                let var = if n > 1 {
+                    tables
+                        .iter()
+                        .map(|t| (t.rows[ri].values[ci] - m).powi(2))
+                        .sum::<f64>()
+                        / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                means.push(m);
+                sds.push(var.sqrt());
+            }
+            mean.push(row.label.clone(), means);
+            stddev.push(row.label.clone(), sds);
+        }
+        TableStats {
+            mean,
+            stddev,
+            replicas: n,
+        }
+    }
+}
+
+impl fmt::Display for TableStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== {} — {} (mean ± stddev, {} replicas) ==",
+            self.mean.id, self.mean.title, self.replicas
+        )?;
+        let label_w = self
+            .mean
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        write!(f, "{:label_w$}", "")?;
+        for c in &self.mean.columns {
+            write!(f, "  {c:>24}")?;
+        }
+        writeln!(f)?;
+        for (m, s) in self.mean.rows.iter().zip(&self.stddev.rows) {
+            write!(f, "{:label_w$}", m.label)?;
+            for (v, sd) in m.values.iter().zip(&s.values) {
+                let cell = if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                    format!("{v:.3e} ±{sd:.2e}")
+                } else {
+                    format!("{v:.4} ±{sd:.4}")
+                };
+                write!(f, "  {cell:>24}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== {} — {} ==", self.id, self.title)?;
@@ -145,6 +248,40 @@ mod tests {
     fn width_mismatch_panics() {
         let mut t = Table::new("f", "t", ["x"]);
         t.push("a", [1.0, 2.0]);
+    }
+
+    #[test]
+    fn replica_stats_aggregate_cellwise() {
+        let mk = |a: f64, b: f64| {
+            let mut t = Table::new("fig", "t", ["x"]);
+            t.push("r1", [a]);
+            t.push("r2", [b]);
+            t
+        };
+        let stats = TableStats::from_replicas(&[mk(1.0, 10.0), mk(3.0, 10.0)]);
+        assert_eq!(stats.replicas, 2);
+        assert_eq!(stats.mean.get("r1", "x"), Some(2.0));
+        assert_eq!(stats.mean.get("r2", "x"), Some(10.0));
+        // Sample stddev of {1, 3} = sqrt(2).
+        assert!((stats.stddev.get("r1", "x").unwrap() - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(stats.stddev.get("r2", "x"), Some(0.0));
+        let text = stats.to_string();
+        assert!(text.contains("±"), "display shows mean ± stddev: {text}");
+
+        // A single replica has zero spread.
+        let one = TableStats::from_replicas(&[mk(5.0, 6.0)]);
+        assert_eq!(one.stddev.get("r1", "x"), Some(0.0));
+        assert_eq!(one.mean.get("r2", "x"), Some(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "replica rows must match")]
+    fn replica_shape_mismatch_panics() {
+        let mut a = Table::new("fig", "t", ["x"]);
+        a.push("r1", [1.0]);
+        let mut b = Table::new("fig", "t", ["x"]);
+        b.push("other", [1.0]);
+        TableStats::from_replicas(&[a, b]);
     }
 
     #[test]

@@ -314,10 +314,8 @@ impl NicModel {
                 continue;
             }
             let slot = ring.produce(written_at);
-            // Descriptor line + payload lines.
-            for l in 0..=payload_lines {
-                hier.dma_write(self.device, slot.offset(l), owner, dca_enabled);
-            }
+            // One run per packet: descriptor line + payload lines.
+            hier.dma_write_run(self.device, slot, 1 + payload_lines, owner, dca_enabled);
             self.delivered_packets += 1;
             self.rx_bytes += self.config.packet_bytes;
         }
@@ -345,9 +343,7 @@ impl NicModel {
     /// Transmits a packet: the NIC DMA-reads `lines` lines from `addr`
     /// (egress path).
     pub fn tx_packet(&mut self, hier: &mut CacheHierarchy, addr: LineAddr, lines: u64) {
-        for l in 0..lines {
-            hier.dma_read(self.device, addr.offset(l));
-        }
+        hier.dma_read_run(self.device, addr, lines);
         self.tx_lines_total += lines;
     }
 

@@ -253,15 +253,11 @@ impl NvmeModel {
                 }
                 let base = entry.cmd.buffer.offset(entry.transferred);
                 let op = entry.cmd.op;
-                for l in 0..n {
-                    match op {
-                        NvmeOp::Read => {
-                            hier.dma_write(self.device, base.offset(l), owner, dca_enabled);
-                        }
-                        NvmeOp::Write => {
-                            hier.dma_read(self.device, base.offset(l));
-                        }
-                    }
+                // One run per chunk: host reads are ingress DMA-write
+                // runs, host writes are egress DMA-read runs.
+                match op {
+                    NvmeOp::Read => hier.dma_write_run(self.device, base, n, owner, dca_enabled),
+                    NvmeOp::Write => hier.dma_read_run(self.device, base, n),
                 }
                 entry.transferred += n;
                 self.byte_budget -= (n * LINE_BYTES) as f64;

@@ -118,6 +118,134 @@ impl<'a> CoreCtx<'a> {
         (level, cost)
     }
 
+    /// Batched streaming loads of up to `len` consecutive lines from
+    /// `base`, stopping when the quantum budget runs out (the X-Mem-style
+    /// stream loop). Per processed line this charges exactly what a
+    /// `read(); compute(per_line_cycles, per_line_instructions)` pair
+    /// would — budget is checked *before* each line, cycle costs fold
+    /// into the budget in the same order — but the stats rows, CLOS mask
+    /// and level costs are resolved once per run and the instruction/op
+    /// counters flush once. Returns the number of lines processed.
+    pub fn read_run(
+        &mut self,
+        base: LineAddr,
+        len: u64,
+        per_line_cycles: f64,
+        per_line_instructions: u64,
+        ops_per_line: u64,
+    ) -> u64 {
+        self.stream_run(
+            base,
+            len,
+            false,
+            per_line_cycles,
+            per_line_instructions,
+            ops_per_line,
+        )
+    }
+
+    /// Batched streaming stores — [`CoreCtx::read_run`] for writes.
+    pub fn write_run(
+        &mut self,
+        base: LineAddr,
+        len: u64,
+        per_line_cycles: f64,
+        per_line_instructions: u64,
+        ops_per_line: u64,
+    ) -> u64 {
+        self.stream_run(
+            base,
+            len,
+            true,
+            per_line_cycles,
+            per_line_instructions,
+            ops_per_line,
+        )
+    }
+
+    fn stream_run(
+        &mut self,
+        base: LineAddr,
+        len: u64,
+        write: bool,
+        per_line_cycles: f64,
+        per_line_instructions: u64,
+        ops_per_line: u64,
+    ) -> u64 {
+        let (mlc_c, llc_c, mem_c) = self.level_costs();
+        let mut run = self
+            .hier
+            .begin_core_run(self.core, base, len, self.wl, write, false);
+        let mut used = self.used;
+        let mut done = 0;
+        while done < len && used < self.budget {
+            let cost = match run.next(self.hier) {
+                CoreAccessLevel::MlcHit => mlc_c,
+                CoreAccessLevel::LlcHit => llc_c,
+                CoreAccessLevel::Memory => mem_c,
+            };
+            used += cost;
+            used += per_line_cycles;
+            done += 1;
+        }
+        run.finish(self.hier);
+        self.used = used;
+        self.perf
+            .add_instructions((1 + per_line_instructions) * done);
+        if ops_per_line != 0 {
+            self.perf.add_ops(ops_per_line * done);
+        }
+        done
+    }
+
+    /// Batched I/O-buffer loads of the full run `[base, base + len)`
+    /// (packet payload walks, block consumption): budget is charged per
+    /// line but never stops the run, matching the scalar consumption
+    /// loops. Per line this charges exactly what a `read_io();
+    /// compute(per_line_cycles, ..)` pair would and folds
+    /// `cost + per_line_cycles` into `acc` in line order (so latency can
+    /// be recorded once per run from the folded total).
+    pub fn read_io_run(
+        &mut self,
+        base: LineAddr,
+        len: u64,
+        per_line_cycles: f64,
+        per_line_instructions: u64,
+        acc: &mut f64,
+    ) {
+        let (mlc_c, llc_c, mem_c) = self.level_costs();
+        let mut run = self
+            .hier
+            .begin_core_run(self.core, base, len, self.wl, false, true);
+        let mut used = self.used;
+        for _ in 0..len {
+            let cost = match run.next(self.hier) {
+                CoreAccessLevel::MlcHit => mlc_c,
+                CoreAccessLevel::LlcHit => llc_c,
+                CoreAccessLevel::Memory => mem_c,
+            };
+            used += cost;
+            *acc += cost + per_line_cycles;
+            used += per_line_cycles;
+        }
+        run.finish(self.hier);
+        self.used = used;
+        self.perf
+            .add_instructions((1 + per_line_instructions) * len);
+    }
+
+    /// The three level costs with the DRAM load factor folded in,
+    /// resolved once per run (bitwise the same product
+    /// [`CoreCtx::read`] computes per access).
+    #[inline]
+    fn level_costs(&self) -> (f64, f64, f64) {
+        (
+            self.lat.mlc_cycles,
+            self.lat.llc_cycles,
+            self.lat.mem_cycles * self.mem_factor,
+        )
+    }
+
     /// Spends pure-compute cycles retiring `instructions`.
     pub fn compute(&mut self, cycles: f64, instructions: u64) {
         self.used += cycles;

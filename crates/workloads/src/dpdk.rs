@@ -91,13 +91,11 @@ impl Workload for Dpdk {
             // Packet-pointer (descriptor) access.
             let (_, desc_cost) = ctx.read_io(pkt.desc);
             let pointer_ns = ctx.cycles_to_ns(desc_cost);
-            // Payload processing (DPDK-T only).
+            // Payload processing (DPDK-T only): one batched run per
+            // packet instead of a per-line read_io loop.
             let mut process_cycles = PROCESS_CYCLES;
             if self.touch {
-                for l in 0..pkt.payload_lines {
-                    let (_, c) = ctx.read_io(pkt.payload.offset(l));
-                    process_cycles += c;
-                }
+                ctx.read_io_run(pkt.payload, pkt.payload_lines, 0.0, 0, &mut process_cycles);
             }
             ctx.compute(PROCESS_CYCLES, 40);
             let process_ns = ctx.cycles_to_ns(process_cycles);

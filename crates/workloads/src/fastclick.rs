@@ -68,12 +68,9 @@ impl Workload for Fastclick {
             let (_, desc_cost) = ctx.read_io(pkt.desc);
             let pointer_ns = ctx.cycles_to_ns(desc_cost);
 
-            // Touch the payload, rewrite the header line.
+            // Touch the payload (one batched run), rewrite the header line.
             let mut process_cycles = PROCESS_CYCLES;
-            for l in 0..pkt.payload_lines {
-                let (_, c) = ctx.read_io(pkt.payload.offset(l));
-                process_cycles += c;
-            }
+            ctx.read_io_run(pkt.payload, pkt.payload_lines, 0.0, 0, &mut process_cycles);
             let (_, wc) = ctx.write(pkt.payload);
             process_cycles += wc;
             ctx.compute(PROCESS_CYCLES, 90);

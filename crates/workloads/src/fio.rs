@@ -174,11 +174,16 @@ impl Workload for Fio {
 
             let mut regex_cycles = 0.0;
             if self.touch_data {
-                for l in 0..done.cmd.lines {
-                    let (_, c) = ctx.read_io(done.cmd.buffer.offset(l));
-                    regex_cycles += c + REGEX_CYCLES_PER_LINE;
-                    ctx.compute(REGEX_CYCLES_PER_LINE, 6);
-                }
+                // One batched consumption run per block: each line
+                // charges read cost + the regex pass, exactly like the
+                // scalar read_io/compute pair did.
+                ctx.read_io_run(
+                    done.cmd.buffer,
+                    done.cmd.lines,
+                    REGEX_CYCLES_PER_LINE,
+                    6,
+                    &mut regex_cycles,
+                );
             }
             let regex_ns = ctx.cycles_to_ns(regex_cycles);
             ctx.record_latency(LatencyKind::StorageRegex, regex_ns);

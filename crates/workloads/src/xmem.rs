@@ -139,22 +139,34 @@ impl Workload for XMem {
     }
 
     fn step(&mut self, ctx: &mut CoreCtx<'_>) {
-        while ctx.has_budget() {
-            let idx = match self.pattern {
-                AccessPattern::Sequential => {
-                    let i = self.cursor % self.ws_lines;
-                    self.cursor += 1;
-                    i
+        match self.pattern {
+            // Sequential sweeps are contiguous line runs up to the
+            // working-set wrap point: stream them through the batched
+            // budget-capped run paths (each processed line charges the
+            // same read-plus-compute the scalar loop did).
+            AccessPattern::Sequential => {
+                while ctx.has_budget() {
+                    let idx = self.cursor % self.ws_lines;
+                    let run = self.ws_lines - idx;
+                    let base = self.base.offset(idx);
+                    let done = match self.op {
+                        AccessOp::Read => ctx.read_run(base, run, self.compute_cycles, 3, 1),
+                        AccessOp::Write => ctx.write_run(base, run, self.compute_cycles, 3, 1),
+                    };
+                    self.cursor += done;
                 }
-                AccessPattern::Random => ctx.rng_range(self.ws_lines),
-            };
-            let addr = self.base.offset(idx);
-            match self.op {
-                AccessOp::Read => ctx.read(addr),
-                AccessOp::Write => ctx.write(addr),
-            };
-            ctx.compute(self.compute_cycles, 3);
-            ctx.add_ops(1);
+            }
+            AccessPattern::Random => {
+                while ctx.has_budget() {
+                    let addr = self.base.offset(ctx.rng_range(self.ws_lines));
+                    match self.op {
+                        AccessOp::Read => ctx.read(addr),
+                        AccessOp::Write => ctx.write(addr),
+                    };
+                    ctx.compute(self.compute_cycles, 3);
+                    ctx.add_ops(1);
+                }
+            }
         }
     }
 }

@@ -153,6 +153,66 @@ fn editing_one_cell_invalidates_only_itself() {
 }
 
 #[test]
+fn replicas_key_the_cache_independently() {
+    // `--replicas N` reruns each cell at doubly-derived seeds; every
+    // (cell, replica) pair must cache under its own key (the effective
+    // post-derivation spec), reproduce bit-identically warm, and never
+    // collide with the plain or per-cell-derived runs. X-Mem 3 consumes
+    // the workload RNG, so distinct seeds give distinct results.
+    let dir = tmp_cache("replicas");
+    let specs: Vec<ScenarioSpec> = cells()
+        .into_iter()
+        .map(|s| {
+            s.with_workload(
+                "xmem3",
+                WorkloadSpec::XMem { instance: 3 },
+                &[2],
+                Priority::Low,
+            )
+        })
+        .collect();
+    let run_replica = |r: u64| -> Vec<(u64, u64, u64, u64)> {
+        SweepRunner::serial()
+            .with_cache_dir(&dir)
+            .replica(r)
+            .run_specs(&specs)
+            .unwrap()
+            .iter()
+            .map(fingerprint)
+            .collect()
+    };
+
+    let rep0 = run_replica(0);
+    let entries_after_rep0 = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(entries_after_rep0, specs.len(), "one entry per cell");
+    let rep1 = run_replica(1);
+    let entries_after_rep1 = std::fs::read_dir(&dir).unwrap().count();
+    assert_ne!(rep0, rep1, "replicas simulate distinct seeds");
+    assert_eq!(
+        entries_after_rep1,
+        2 * specs.len(),
+        "each replica owns its cache entries"
+    );
+
+    // Warm re-runs of both replicas are byte-identical and add nothing.
+    assert_eq!(run_replica(0), rep0);
+    assert_eq!(run_replica(1), rep1);
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2 * specs.len());
+
+    // A plain (underived) run keys separately from every replica.
+    let plain: Vec<_> = SweepRunner::serial()
+        .with_cache_dir(&dir)
+        .run_specs(&specs)
+        .unwrap()
+        .iter()
+        .map(fingerprint)
+        .collect();
+    assert_ne!(plain, rep0);
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 3 * specs.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn derived_seeds_key_the_effective_spec() {
     // With per-cell seed derivation the *effective* spec (post
     // derive_seed) must be what's cached, so plain and derived runs
