@@ -10,6 +10,7 @@ use crate::clos::ClosTable;
 use crate::config::HierarchyConfig;
 use crate::llc::{
     DmaReadResult, DmaWriteResult, EvictedLlcLine, Llc, LlcReadResult, MlcEvictionOutcome,
+    RemoteReadResult,
 };
 use crate::meta::LineMeta;
 use crate::mlc::{EvictedMlcLine, Mlc};
@@ -484,6 +485,50 @@ impl CacheHierarchy {
         }
     }
 
+    /// Read of one line homed in *this* hierarchy by a core on another
+    /// socket. The line is served from the home LLC (or a home-socket MLC
+    /// via the directory) without granting the remote requester any
+    /// residency here — no MLC fill, no migration, no directory entry —
+    /// so remote consumers re-cross the UPI link on every access, which
+    /// is exactly the NUMA penalty the multi-socket model exists to
+    /// expose. Consumption of I/O lines is recorded as usual, keeping
+    /// DMA-leak accounting correct for cross-socket colocations.
+    ///
+    /// Counters: the access is attributed to `owner` (LLC hit or
+    /// miss + memory read); DCA consumption is attributed to the line's
+    /// owner, mirroring the local path.
+    pub fn remote_read(&mut self, addr: LineAddr, owner: WorkloadId) -> CoreAccessLevel {
+        let mut run = self.begin_remote_run(addr, owner);
+        let level = run.next(self);
+        run.finish(self);
+        level
+    }
+
+    /// Store of one line homed in *this* hierarchy by a core on another
+    /// socket. Remote stores take ownership of the line: stale home
+    /// copies are snooped out (LLC, directory and MLCs) and the data
+    /// lands in memory — remote writers do not allocate here.
+    pub fn remote_write(&mut self, addr: LineAddr, owner: WorkloadId) -> CoreAccessLevel {
+        let presence = self.llc.snoop_invalidate(addr);
+        self.back_invalidate(addr, presence, false);
+        self.stats.bump(owner, |c| c.mem_write_lines += 1);
+        CoreAccessLevel::Memory
+    }
+
+    /// Opens a batched remote-read run over consecutive lines starting at
+    /// `base` — the cross-socket counterpart of
+    /// [`CacheHierarchy::begin_core_run`], walking this hierarchy's LLC
+    /// set/tag stripes incrementally and flushing the accessor-row stat
+    /// bumps once per run.
+    pub fn begin_remote_run(&self, base: LineAddr, owner: WorkloadId) -> RemoteRun {
+        RemoteRun {
+            owner,
+            llc_walk: self.llc.walk(base),
+            llc_hits: 0,
+            misses: 0,
+        }
+    }
+
     fn handle_mlc_eviction(&mut self, core: CoreId, victim: EvictedMlcLine, mask: WayMask) {
         match self
             .llc
@@ -548,6 +593,68 @@ impl CacheHierarchy {
 struct DmaWriteAcc {
     dca_updates: u64,
     dca_allocs: u64,
+}
+
+/// An open batched remote-read run over consecutive lines of one home
+/// hierarchy — see [`CacheHierarchy::begin_remote_run`]. Like
+/// [`CoreRun`], the cursor does not borrow the hierarchy, so callers can
+/// interleave per-line [`RemoteRun::next`] calls with their own cycle
+/// and UPI accounting.
+#[must_use = "call finish() to flush the run's stat counters"]
+#[derive(Debug)]
+pub struct RemoteRun {
+    owner: WorkloadId,
+    llc_walk: SetTagWalk,
+    llc_hits: u64,
+    misses: u64,
+}
+
+impl RemoteRun {
+    /// Probes the run's next consecutive line on `hier` (the hierarchy
+    /// this run was opened on) and returns where it was served from.
+    /// Remote accesses never hit an MLC of the requesting core, so the
+    /// result is [`CoreAccessLevel::LlcHit`] (served on the home chip,
+    /// including directory-forwarded MLC copies) or
+    /// [`CoreAccessLevel::Memory`].
+    #[inline]
+    pub fn next(&mut self, hier: &mut CacheHierarchy) -> CoreAccessLevel {
+        let (set, tag) = (self.llc_walk.set(), self.llc_walk.tag());
+        self.llc_walk.advance();
+        match hier.llc.remote_read_at(set, tag) {
+            RemoteReadResult::Hit {
+                from_dca_way,
+                io_first_consume,
+                owner,
+            } => {
+                self.llc_hits += 1;
+                if io_first_consume && from_dca_way {
+                    hier.stats.bump(owner, |c| c.dca_consumed += 1);
+                }
+                CoreAccessLevel::LlcHit
+            }
+            RemoteReadResult::MlcOnly => {
+                self.llc_hits += 1;
+                CoreAccessLevel::LlcHit
+            }
+            RemoteReadResult::Miss => {
+                self.misses += 1;
+                CoreAccessLevel::Memory
+            }
+        }
+    }
+
+    /// Flushes the run's accumulated accessor-row counters.
+    pub fn finish(self, hier: &mut CacheHierarchy) {
+        if self.llc_hits | self.misses == 0 {
+            return;
+        }
+        let (llc_hits, misses) = (self.llc_hits, self.misses);
+        hier.stats.bump(self.owner, |c| {
+            c.llc_hits += llc_hits;
+            c.llc_misses += misses;
+            c.mem_read_lines += misses;
+        });
+    }
 }
 
 /// An open batched access run over consecutive lines for one

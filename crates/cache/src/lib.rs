@@ -54,13 +54,17 @@ mod llc;
 mod lru;
 mod meta;
 mod mlc;
+mod route;
 mod stats;
 mod walk;
 
 pub use clos::ClosTable;
 pub use config::{HierarchyConfig, LlcGeometry, MlcGeometry, MAX_DEVICES, MAX_WORKLOADS};
-pub use hierarchy::{CacheHierarchy, CoreAccessLevel, CoreRun, DmaReadSource, DmaWriteDest};
+pub use hierarchy::{
+    CacheHierarchy, CoreAccessLevel, CoreRun, DmaReadSource, DmaWriteDest, RemoteRun,
+};
 pub use llc::{EvictedLlcLine, Llc, LlcReadResult, EXT_DIR_EXCLUSIVE_WAYS};
 pub use meta::LineMeta;
 pub use mlc::{EvictedMlcLine, Mlc};
+pub use route::{DmaRouter, UpiLink};
 pub use stats::{DeviceCounters, HierarchyStats, WorkloadCounters};

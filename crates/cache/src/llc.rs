@@ -138,6 +138,25 @@ pub enum DmaReadResult {
     Miss,
 }
 
+/// Result of a remote-socket read probe (see [`Llc::remote_read_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RemoteReadResult {
+    /// Served from this (home) LLC over UPI.
+    Hit {
+        /// The hit landed in a DCA way.
+        from_dca_way: bool,
+        /// First consumption of an unconsumed I/O line.
+        io_first_consume: bool,
+        /// The line's owner, for consumption attribution.
+        owner: WorkloadId,
+    },
+    /// Only home-socket MLC copies exist; forwarded over UPI without any
+    /// state change (the remote requester caches nothing here).
+    MlcOnly,
+    /// Not cached on the home socket; served from memory.
+    Miss,
+}
+
 /// Read-only view of a resident line, for tests and assertions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProbeInfo {
@@ -908,6 +927,34 @@ impl Llc {
             out.push((base.offset(l), result));
             walk.advance();
         }
+    }
+
+    /// Remote-socket read probe with a precomputed `(set, tag)`: a core
+    /// on *another* socket reading a line homed here. The data is served
+    /// from wherever it lives but — unlike [`Llc::core_read_at`] — the
+    /// requester gains no MLC residency in this hierarchy, so there is no
+    /// migration to an inclusive way, no presence update, and no
+    /// directory registration on a miss. The one state change is
+    /// consumption: a hit marks an I/O line consumed, exactly like a
+    /// local consume, so DMA-leak accounting stays meaningful when the
+    /// consumer sits across the UPI link.
+    #[inline]
+    pub(crate) fn remote_read_at(&mut self, set: usize, tag: u64) -> RemoteReadResult {
+        if let Some(way) = self.find_way(set, tag) {
+            let from_dca_way = self.dca_mask.contains_way(way);
+            let s = &mut self.sets[set].ways[way];
+            let io_first_consume = s.meta.io && !s.meta.consumed;
+            s.meta.consumed = true;
+            return RemoteReadResult::Hit {
+                from_dca_way,
+                io_first_consume,
+                owner: s.meta.owner,
+            };
+        }
+        if self.ext_find(set, tag).is_some() {
+            return RemoteReadResult::MlcOnly;
+        }
+        RemoteReadResult::Miss
     }
 
     /// [`Llc::dma_read`] with a precomputed `(set, tag)`.

@@ -1,0 +1,242 @@
+//! Cross-socket routing: the UPI interconnect model and the DMA router
+//! that steers device traffic to the owning socket's hierarchy.
+//!
+//! Multi-socket systems keep one [`CacheHierarchy`] per socket and carve
+//! the line address space into one region per socket (see
+//! [`a4_model::SOCKET_SHIFT`]), so every access can be routed to its home
+//! hierarchy with one shift. Crossing sockets costs a [`UpiLink`] hop:
+//!
+//! * **cores** pay `hop_ns` of extra latency per remote line (charged by
+//!   the simulator's execution context),
+//! * **devices** route each DMA run through a [`DmaRouter`]; a run whose
+//!   buffer is homed on another socket traverses the link, and — the
+//!   DDIO-on-NUMA ground truth this model exists to reproduce — a
+//!   cross-socket DMA write *cannot* DCA-inject into the remote LLC: it
+//!   lands in memory exactly as if the port had DCA disabled.
+//!
+//! The link itself does per-direction line accounting (read = data pulled
+//! toward the requester, write = data pushed to the remote home), which
+//! experiments read back via the owning system's accessor.
+
+use crate::hierarchy::CacheHierarchy;
+use a4_model::{DeviceId, LineAddr, WorkloadId, LINE_BYTES};
+
+/// The socket interconnect: a configurable hop latency plus per-direction
+/// traffic accounting.
+///
+/// # Examples
+///
+/// ```
+/// use a4_cache::UpiLink;
+///
+/// let mut upi = UpiLink::new(80);
+/// upi.record_read_lines(4);
+/// upi.record_write_lines(2);
+/// assert_eq!(upi.hop_ns(), 80);
+/// assert_eq!(upi.read_bytes(), 4 * 64);
+/// assert_eq!(upi.crossed_lines(), 6);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpiLink {
+    hop_ns: u64,
+    read_lines: u64,
+    write_lines: u64,
+}
+
+impl UpiLink {
+    /// A link whose remote hops cost `hop_ns` nanoseconds each.
+    pub fn new(hop_ns: u64) -> Self {
+        UpiLink {
+            hop_ns,
+            read_lines: 0,
+            write_lines: 0,
+        }
+    }
+
+    /// Extra latency of one remote hop, in nanoseconds.
+    #[inline]
+    pub fn hop_ns(&self) -> u64 {
+        self.hop_ns
+    }
+
+    /// Records `n` lines pulled across the link toward the requester.
+    #[inline]
+    pub fn record_read_lines(&mut self, n: u64) {
+        self.read_lines += n;
+    }
+
+    /// Records `n` lines pushed across the link to the remote home.
+    #[inline]
+    pub fn record_write_lines(&mut self, n: u64) {
+        self.write_lines += n;
+    }
+
+    /// Bytes pulled across the link since construction.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_lines * LINE_BYTES
+    }
+
+    /// Bytes pushed across the link since construction.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_lines * LINE_BYTES
+    }
+
+    /// Total lines that crossed the link in either direction.
+    pub fn crossed_lines(&self) -> u64 {
+        self.read_lines + self.write_lines
+    }
+}
+
+/// Routes one device's DMA runs to the home hierarchy of each buffer,
+/// charging the [`UpiLink`] for cross-socket runs.
+///
+/// Built per device step by the simulator (the device's socket is fixed
+/// at attach time; the target socket is a function of each buffer
+/// address). Single-socket callers can wrap their only hierarchy with
+/// [`DmaRouter::local`].
+#[derive(Debug)]
+pub struct DmaRouter<'a> {
+    sockets: &'a mut [CacheHierarchy],
+    dev_socket: usize,
+    upi: &'a mut UpiLink,
+}
+
+impl<'a> DmaRouter<'a> {
+    /// A router for a device attached to socket `dev_socket`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets` is empty or `dev_socket` is out of range.
+    pub fn new(sockets: &'a mut [CacheHierarchy], dev_socket: usize, upi: &'a mut UpiLink) -> Self {
+        assert!(
+            dev_socket < sockets.len(),
+            "device socket {dev_socket} outside the {}-socket system",
+            sockets.len()
+        );
+        DmaRouter {
+            sockets,
+            dev_socket,
+            upi,
+        }
+    }
+
+    /// A router over a single hierarchy (socket 0) — the single-socket
+    /// form every pre-NUMA call site reduces to.
+    pub fn local(hier: &'a mut CacheHierarchy, upi: &'a mut UpiLink) -> Self {
+        DmaRouter {
+            sockets: std::slice::from_mut(hier),
+            dev_socket: 0,
+            upi,
+        }
+    }
+
+    /// The socket the device is attached to.
+    #[inline]
+    pub fn dev_socket(&self) -> usize {
+        self.dev_socket
+    }
+
+    /// Home socket of `base`, clamped into the configured socket count
+    /// (stray high addresses in hand-built tests fold onto the last
+    /// socket rather than panicking).
+    #[inline]
+    fn home(&self, base: LineAddr) -> usize {
+        base.home_socket().min(self.sockets.len() - 1)
+    }
+
+    /// Ingress DMA write of `[base, base + len)` — routed
+    /// [`CacheHierarchy::dma_write_run`]. A run homed on the device's own
+    /// socket behaves exactly as before; a cross-socket run traverses the
+    /// UPI link and is forced to the memory path (`dca_enabled = false`):
+    /// DDIO cannot inject into a remote socket's LLC.
+    pub fn dma_write_run(
+        &mut self,
+        device: DeviceId,
+        base: LineAddr,
+        len: u64,
+        owner: WorkloadId,
+        dca_enabled: bool,
+    ) {
+        let home = self.home(base);
+        if home == self.dev_socket {
+            self.sockets[home].dma_write_run(device, base, len, owner, dca_enabled);
+        } else {
+            self.upi.record_write_lines(len);
+            self.sockets[home].dma_write_run(device, base, len, owner, false);
+        }
+    }
+
+    /// Egress DMA read of `[base, base + len)` — routed
+    /// [`CacheHierarchy::dma_read_run`]; cross-socket runs pull their
+    /// lines over the UPI link.
+    pub fn dma_read_run(&mut self, device: DeviceId, base: LineAddr, len: u64) {
+        let home = self.home(base);
+        if home != self.dev_socket {
+            self.upi.record_read_lines(len);
+        }
+        self.sockets[home].dma_read_run(device, base, len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+    use a4_model::SOCKET_SHIFT;
+
+    const DEV: DeviceId = DeviceId(0);
+    const WL: WorkloadId = WorkloadId(1);
+
+    fn two_sockets() -> Vec<CacheHierarchy> {
+        (0..2)
+            .map(|_| CacheHierarchy::new(HierarchyConfig::small_test()))
+            .collect()
+    }
+
+    #[test]
+    fn local_runs_keep_dca_and_cross_none() {
+        let mut socks = two_sockets();
+        let mut upi = UpiLink::new(80);
+        let mut router = DmaRouter::new(&mut socks, 0, &mut upi);
+        router.dma_write_run(DEV, LineAddr(0x40), 4, WL, true);
+        assert_eq!(upi.crossed_lines(), 0);
+        assert_eq!(socks[0].stats().workload(WL).dca_allocs, 4);
+        assert_eq!(socks[1].stats().device(DEV).dma_write_lines, 0);
+    }
+
+    #[test]
+    fn remote_writes_cross_and_lose_dca() {
+        let mut socks = two_sockets();
+        let mut upi = UpiLink::new(80);
+        let remote_buf = LineAddr::socket_base(1).offset(0x40);
+        let mut router = DmaRouter::new(&mut socks, 0, &mut upi);
+        router.dma_write_run(DEV, remote_buf, 4, WL, true);
+        assert_eq!(upi.write_bytes(), 4 * 64);
+        let d = socks[1].stats().device(DEV);
+        assert_eq!(d.dma_write_lines, 4);
+        assert_eq!(
+            d.dma_to_memory_lines, 4,
+            "remote DMA cannot DCA-inject: every line bypasses the LLC"
+        );
+        assert_eq!(socks[0].stats().device(DEV).dma_write_lines, 0);
+    }
+
+    #[test]
+    fn remote_reads_cross_the_link() {
+        let mut socks = two_sockets();
+        let mut upi = UpiLink::new(80);
+        let mut router = DmaRouter::new(&mut socks, 1, &mut upi);
+        router.dma_read_run(DEV, LineAddr(0x80), 3);
+        assert_eq!(upi.read_bytes(), 3 * 64);
+        assert_eq!(socks[0].stats().device(DEV).dma_read_lines, 3);
+    }
+
+    #[test]
+    fn stray_high_addresses_clamp_to_the_last_socket() {
+        let mut socks = two_sockets();
+        let mut upi = UpiLink::new(0);
+        let mut router = DmaRouter::new(&mut socks, 0, &mut upi);
+        router.dma_write_run(DEV, LineAddr(7 << SOCKET_SHIFT), 1, WL, true);
+        assert_eq!(socks[1].stats().device(DEV).dma_write_lines, 1);
+    }
+}

@@ -9,7 +9,7 @@
 //!          [--max-age-days N] [--replicas N] [--timing]
 //!
 //! FIGURES: fig3 fig4 fig5 fig6 fig7 fig8 fig11 fig12 fig13 fig14 fig15
-//!          (default: all)
+//!          fig_numa (default: all)
 //! --quick:          short warm-up/measure windows (CI-friendly)
 //! --threads N:      fan sweep cells out over N threads (default 1;
 //!                   tables are identical for any N)
@@ -38,6 +38,7 @@
 //! --list:           list figures and their cell counts, then exit
 //! ```
 
+use a4_experiments::fig_numa;
 use a4_experiments::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8};
 use a4_experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner, Table, TableStats};
 use std::io::Write as _;
@@ -145,6 +146,13 @@ fn figures() -> Vec<Figure> {
             protocol: Protocol::Controller,
             run: fig15::run_all_with,
             specs: fig15::specs,
+        },
+        Figure {
+            name: "fig_numa",
+            desc: "2-socket NIC/SSD placement: local vs remote, 3 schemes",
+            protocol: Protocol::Controller,
+            run: |o, r| vec![fig_numa::run_with(o, r)],
+            specs: fig_numa::specs,
         },
     ]
 }

@@ -31,7 +31,10 @@ use std::sync::Arc;
 /// Version salt mixed into every cache key: crate version plus a manual
 /// behaviour revision. Bump the `rN` suffix when simulation behaviour
 /// changes without a version bump.
-pub const CODE_SALT: &str = concat!("a4-sim/", env!("CARGO_PKG_VERSION"), "/r1");
+// r2: fio/ffsb completion reaping is direction-filtered and slot
+// allocation free-listed (the double-reap fix) — shared-SSD colocation
+// results changed.
+pub const CODE_SALT: &str = concat!("a4-sim/", env!("CARGO_PKG_VERSION"), "/r2");
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

@@ -26,6 +26,7 @@
 //! | [`fig13`] | Fig. 13a/13b | real-world colocations, Default/Isolate/A4-a..d |
 //! | [`fig14`] | Fig. 14a–d | latency breakdowns, I/O throughput, memory BW |
 //! | [`fig15`] | Fig. 15a–c | threshold & timing sensitivity |
+//! | [`fig_numa`] | beyond the paper | local vs remote NIC/NVMe placement on a 2-socket system |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,12 +43,13 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig_numa;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
 mod table;
 
 pub use cache::{spec_key, ResultCache};
-pub use runner::{Sweep, SweepRunner};
+pub use runner::{Sweep, SweepRunner, TypedAxis, TypedSweep2};
 pub use spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 pub use table::{Row, Table, TableStats};

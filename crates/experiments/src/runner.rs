@@ -112,6 +112,141 @@ impl Sweep {
     }
 }
 
+/// One named sweep axis carrying *typed* values alongside their display
+/// labels, so figures can generate their `specs()` directly from the
+/// sweep instead of mapping labels back to values by index.
+///
+/// # Examples
+///
+/// ```
+/// use a4_experiments::runner::TypedAxis;
+///
+/// let axis = TypedAxis::new("block", [(4u64, "4KB"), (2048, "2MB")]);
+/// assert_eq!(axis.len(), 2);
+/// assert_eq!(axis.values[1], 2048);
+/// assert_eq!(axis.labels[1], "2MB");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypedAxis<T> {
+    /// Axis name ("block_kib", "scheme", ...).
+    pub name: String,
+    /// The typed values, in sweep order.
+    pub values: Vec<T>,
+    /// Display label of each value (same order).
+    pub labels: Vec<String>,
+}
+
+impl<T> TypedAxis<T> {
+    /// An axis from `(value, label)` pairs.
+    pub fn new<L: Into<String>>(
+        name: impl Into<String>,
+        pairs: impl IntoIterator<Item = (T, L)>,
+    ) -> Self {
+        let (values, labels) = pairs.into_iter().map(|(v, l)| (v, l.into())).unzip();
+        TypedAxis {
+            name: name.into(),
+            values,
+            labels,
+        }
+    }
+
+    /// An axis whose labels are the values' `ToString` forms — exactly
+    /// what the label-only [`Sweep::over`] would have produced.
+    pub fn labeled(name: impl Into<String>, values: impl IntoIterator<Item = T>) -> Self
+    where
+        T: ToString,
+    {
+        let values: Vec<T> = values.into_iter().collect();
+        let labels = values.iter().map(T::to_string).collect();
+        TypedAxis {
+            name: name.into(),
+            values,
+            labels,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn label_axis(&self) -> Axis {
+        Axis {
+            name: self.name.clone(),
+            values: self.labels.clone(),
+        }
+    }
+}
+
+/// A two-axis cartesian grid over typed values: the typed counterpart of
+/// a two-axis [`Sweep`], guaranteeing cell order (first axis slowest)
+/// matches [`Sweep::cells`] exactly while letting `specs()` be generated
+/// from the values themselves.
+///
+/// # Examples
+///
+/// ```
+/// use a4_experiments::runner::{TypedAxis, TypedSweep2};
+///
+/// let grid = TypedSweep2::new(
+///     TypedAxis::labeled("block", [4u64, 64]),
+///     TypedAxis::new("scheme", [(true, "on"), (false, "off")]),
+/// );
+/// let cells: Vec<String> = grid.map(|&b, &s| format!("{b}-{s}"));
+/// assert_eq!(cells, ["4-true", "4-false", "64-true", "64-false"]);
+/// assert_eq!(grid.sweep().cells()[1].labels, vec!["4", "off"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypedSweep2<A, B> {
+    /// Slow-varying axis.
+    pub a: TypedAxis<A>,
+    /// Fast-varying axis.
+    pub b: TypedAxis<B>,
+}
+
+impl<A, B> TypedSweep2<A, B> {
+    /// A grid over `a` (slow) × `b` (fast).
+    pub fn new(a: TypedAxis<A>, b: TypedAxis<B>) -> Self {
+        TypedSweep2 { a, b }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.a.len() * self.b.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label-grid [`Sweep`] this typed grid projects to; its
+    /// [`Sweep::cells`] enumerate in exactly the order [`TypedSweep2::map`]
+    /// visits value pairs.
+    pub fn sweep(&self) -> Sweep {
+        Sweep {
+            axes: vec![self.a.label_axis(), self.b.label_axis()],
+        }
+    }
+
+    /// Maps `f` over all value pairs in row-major cell order (`a`
+    /// slowest) — generate a figure's `specs()` with this.
+    pub fn map<R>(&self, mut f: impl FnMut(&A, &B) -> R) -> Vec<R> {
+        let mut out = Vec::with_capacity(self.len());
+        for a in &self.a.values {
+            for b in &self.b.values {
+                out.push(f(a, b));
+            }
+        }
+        out
+    }
+}
+
 /// One point of a [`Sweep`] grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cell {
@@ -300,6 +435,35 @@ mod tests {
         assert_eq!(cells[3].labels, vec!["y", "1"]);
         assert_eq!(cells[5].coords, vec![1, 2]);
         assert_eq!(cells[4].coord(1), 1);
+    }
+
+    #[test]
+    fn typed_grids_enumerate_in_label_grid_order() {
+        // The satellite guarantee: a typed grid and the label-only Sweep
+        // built from the same axes produce identical cell orders.
+        let typed = TypedSweep2::new(
+            TypedAxis::labeled("a", ["x", "y"]),
+            TypedAxis::labeled("b", [1, 2, 3]),
+        );
+        let label_sweep = Sweep::over("a", ["x", "y"]).and("b", [1, 2, 3]);
+        assert_eq!(typed.sweep(), label_sweep);
+        assert_eq!(typed.len(), label_sweep.len());
+        let typed_cells: Vec<Vec<String>> = typed.map(|a, b| vec![a.to_string(), b.to_string()]);
+        let label_cells: Vec<Vec<String>> =
+            label_sweep.cells().into_iter().map(|c| c.labels).collect();
+        assert_eq!(typed_cells, label_cells);
+        // Custom labels decouple display from value without reordering.
+        let custom = TypedSweep2::new(
+            TypedAxis::new("a", [(10u64, "ten"), (20, "twenty")]),
+            TypedAxis::labeled("b", [true, false]),
+        );
+        assert_eq!(custom.sweep().axes[0].values, vec!["ten", "twenty"]);
+        assert_eq!(
+            custom.map(|&a, &b| (a, b)),
+            vec![(10, true), (10, false), (20, true), (20, false)]
+        );
+        assert!(!custom.is_empty());
+        assert!(!custom.a.is_empty());
     }
 
     #[test]

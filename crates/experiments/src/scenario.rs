@@ -31,7 +31,7 @@ pub fn base_system(opts: &RunOpts) -> System {
 /// Propagates attachment failures.
 #[deprecated(note = "use `ScenarioSpec::with_nic`")]
 pub fn attach_nic(sys: &mut System, rings: usize, packet_bytes: u64) -> Result<DeviceId> {
-    wire::attach_nic(sys, PortId(0), rings, packet_bytes, None)
+    wire::attach_nic(sys, 0, PortId(0), rings, packet_bytes, None)
 }
 
 /// Attaches the RAID-0 NVMe array.
@@ -41,7 +41,7 @@ pub fn attach_nic(sys: &mut System, rings: usize, packet_bytes: u64) -> Result<D
 /// Propagates attachment failures.
 #[deprecated(note = "use `ScenarioSpec::with_ssd`")]
 pub fn attach_ssd(sys: &mut System) -> Result<DeviceId> {
-    wire::attach_ssd(sys, PortId(1))
+    wire::attach_ssd(sys, 0, PortId(1))
 }
 
 /// Block size in scaled lines for a paper block size in KiB.

@@ -32,6 +32,10 @@ use std::fmt;
 /// rounded to a power of two.
 pub const RING_ENTRIES: usize = 64;
 
+/// Cores per socket of the paper's testbed (Table 1), the default when
+/// [`SystemTweaks::cores`] is not overridden.
+pub const DEFAULT_CORES_PER_SOCKET: usize = 18;
+
 /// Run-length options shared by all experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunOpts {
@@ -174,17 +178,38 @@ impl From<A4Error> for SpecError {
     }
 }
 
+/// A per-socket DCA (DDIO) way-count override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocketDca {
+    /// Socket the override applies to.
+    pub socket: u8,
+    /// DCA way count on that socket, programmed as ways `[0:n-1]`.
+    pub dca_ways: usize,
+}
+
 /// Overrides applied on top of the paper's scaled Xeon Gold 6140
 /// configuration (system / cache / memory layers).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemTweaks {
-    /// Core count (default: the paper's 18).
+    /// Cores *per socket* (default: the paper's 18).
     pub cores: Option<usize>,
-    /// DCA (DDIO) way count, programmed as ways `[0:n-1]` (default: 2,
-    /// the IIO `IIO_LLC_WAYS` power-on value).
+    /// DCA (DDIO) way count on every socket, programmed as ways
+    /// `[0:n-1]` (default: 2, the IIO `IIO_LLC_WAYS` power-on value).
     pub dca_ways: Option<usize>,
     /// DDR channel count (default: 6).
     pub mem_channels: Option<usize>,
+    /// Socket count (default 1; the NUMA model covers 2). Each socket
+    /// owns a full hierarchy — cores, MLCs, LLC, DCA ways, CLOS tables —
+    /// and placements address cores globally
+    /// (`socket × cores + local_core`).
+    pub sockets: Option<usize>,
+    /// UPI hop latency override in nanoseconds (default 80). Charged per
+    /// line whenever a core or device touches a buffer homed on the
+    /// other socket.
+    pub upi_ns: Option<u64>,
+    /// Per-socket DCA way-count overrides, applied after the global
+    /// [`SystemTweaks::dca_ways`] knob.
+    pub socket_dca_ways: Vec<SocketDca>,
 }
 
 impl SystemTweaks {
@@ -194,7 +219,30 @@ impl SystemTweaks {
             cores: None,
             dca_ways: None,
             mem_channels: None,
+            sockets: None,
+            upi_ns: None,
+            socket_dca_ways: Vec::new(),
         }
+    }
+
+    /// A two-socket system with the given UPI hop latency (`None` keeps
+    /// the default 80 ns).
+    pub fn two_socket(upi_ns: Option<u64>) -> Self {
+        SystemTweaks {
+            sockets: Some(2),
+            upi_ns,
+            ..SystemTweaks::none()
+        }
+    }
+
+    /// Cores per socket after overrides.
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores.unwrap_or(DEFAULT_CORES_PER_SOCKET)
+    }
+
+    /// Socket count after overrides.
+    pub fn socket_count(&self) -> usize {
+        self.sockets.unwrap_or(1)
     }
 }
 
@@ -227,6 +275,11 @@ pub struct DeviceSlot {
     pub name: String,
     /// PCIe root port.
     pub port: u8,
+    /// Socket the device's root port belongs to. Ring/DMA buffers
+    /// internal to the device are homed here, DCA injects into this
+    /// socket's LLC, and traffic to buffers homed elsewhere crosses the
+    /// UPI link.
+    pub socket: u8,
     /// What is plugged in.
     pub device: DeviceSpec,
 }
@@ -454,21 +507,39 @@ impl ScenarioSpec {
             )
     }
 
-    /// Adds a named device slot.
-    pub fn with_device(mut self, name: impl Into<String>, port: u8, device: DeviceSpec) -> Self {
+    /// Adds a named device slot on socket 0.
+    pub fn with_device(self, name: impl Into<String>, port: u8, device: DeviceSpec) -> Self {
+        self.with_device_on(name, port, 0, device)
+    }
+
+    /// Adds a named device slot on an explicit socket.
+    pub fn with_device_on(
+        mut self,
+        name: impl Into<String>,
+        port: u8,
+        socket: u8,
+        device: DeviceSpec,
+    ) -> Self {
         self.devices.push(DeviceSlot {
             name: name.into(),
             port,
+            socket,
             device,
         });
         self
     }
 
-    /// Adds the standard NIC slot ("nic", port 0).
+    /// Adds the standard NIC slot ("nic", port 0, socket 0).
     pub fn with_nic(self, rings: usize, packet_bytes: u64) -> Self {
-        self.with_device(
+        self.with_nic_on(0, rings, packet_bytes)
+    }
+
+    /// Adds the standard NIC slot ("nic", port 0) on an explicit socket.
+    pub fn with_nic_on(self, socket: u8, rings: usize, packet_bytes: u64) -> Self {
+        self.with_device_on(
             "nic",
             0,
+            socket,
             DeviceSpec::Nic {
                 rings,
                 packet_bytes,
@@ -477,9 +548,15 @@ impl ScenarioSpec {
         )
     }
 
-    /// Adds the standard SSD array slot ("ssd", port 1).
+    /// Adds the standard SSD array slot ("ssd", port 1, socket 0).
     pub fn with_ssd(self) -> Self {
-        self.with_device("ssd", 1, DeviceSpec::Ssd)
+        self.with_ssd_on(0)
+    }
+
+    /// Adds the standard SSD array slot ("ssd", port 1) on an explicit
+    /// socket.
+    pub fn with_ssd_on(self, socket: u8) -> Self {
+        self.with_device_on("ssd", 1, socket, DeviceSpec::Ssd)
     }
 
     /// Adds a workload placement with the paper's default metric.
@@ -492,6 +569,26 @@ impl ScenarioSpec {
     ) -> Self {
         let metric = workload.default_metric();
         self.with_workload_metric(role, workload, cores, priority, metric)
+    }
+
+    /// Adds a workload placement on an explicit socket, addressing
+    /// cores by their *socket-local* index
+    /// (`global = socket × cores_per_socket + local`). Apply
+    /// [`ScenarioSpec::with_system`] *before* this builder when
+    /// overriding the per-socket core count — the mapping uses the
+    /// tweaks already present.
+    pub fn with_workload_on(
+        self,
+        socket: u8,
+        role: impl Into<String>,
+        workload: WorkloadSpec,
+        local_cores: &[u8],
+        priority: Priority,
+    ) -> Self {
+        let cps = self.system.cores_per_socket() as u8;
+        let cores: Vec<u8> = local_cores.iter().map(|&c| socket * cps + c).collect();
+        let metric = workload.default_metric();
+        self.with_workload_metric(role, workload, &cores, priority, metric)
     }
 
     /// Adds a workload placement with an explicit metric.
@@ -632,9 +729,50 @@ impl ScenarioSpec {
                 return Err(SpecError::Invalid("memory channel override is zero".into()));
             }
         }
+        let sockets = self.system.socket_count();
+        let cps = self.system.cores_per_socket();
+        if !(1..=2).contains(&sockets) {
+            return Err(SpecError::Invalid(format!(
+                "sockets override {sockets} unsupported: the NUMA model covers 1- and \
+                 2-socket systems"
+            )));
+        }
+        for (i, o) in self.system.socket_dca_ways.iter().enumerate() {
+            if o.socket as usize >= sockets {
+                return Err(SpecError::Invalid(format!(
+                    "DCA way override targets socket {} but the system has only \
+                     {sockets} socket(s) — remote-only DCA is not a thing",
+                    o.socket
+                )));
+            }
+            if !(1..=a4_model::LLC_WAYS).contains(&o.dca_ways) {
+                return Err(SpecError::Invalid(format!(
+                    "socket {} dca_ways override {} outside the LLC's 1..={} ways",
+                    o.socket,
+                    o.dca_ways,
+                    a4_model::LLC_WAYS
+                )));
+            }
+            if self.system.socket_dca_ways[..i]
+                .iter()
+                .any(|p| p.socket == o.socket)
+            {
+                return Err(SpecError::Invalid(format!(
+                    "duplicate DCA way override for socket {}",
+                    o.socket
+                )));
+            }
+        }
         for (i, d) in self.devices.iter().enumerate() {
             if self.devices[..i].iter().any(|o| o.name == d.name) {
                 return Err(SpecError::Invalid(format!("duplicate device {:?}", d.name)));
+            }
+            if d.socket as usize >= sockets {
+                return Err(SpecError::Invalid(format!(
+                    "device {:?} is attached to socket {} but the system has only \
+                     {sockets} socket(s)",
+                    d.name, d.socket
+                )));
             }
         }
         for (i, p) in self.workloads.iter().enumerate() {
@@ -645,6 +783,26 @@ impl ScenarioSpec {
                 return Err(SpecError::Invalid(format!(
                     "role {:?} needs at least one core",
                     p.role
+                )));
+            }
+            for &c in &p.cores {
+                if c as usize >= sockets * cps {
+                    return Err(SpecError::Invalid(format!(
+                        "role {:?} pins core {c} outside the {} cores of this \
+                         {sockets}-socket system ({cps} cores per socket)",
+                        p.role,
+                        sockets * cps
+                    )));
+                }
+            }
+            let socket0 = p.cores[0] as usize / cps;
+            if let Some(&stray) = p.cores.iter().find(|&&c| c as usize / cps != socket0) {
+                return Err(SpecError::Invalid(format!(
+                    "role {:?} straddles sockets: core {} is on socket {socket0} but \
+                     core {stray} is on socket {} — a placement must stay on one socket",
+                    p.role,
+                    p.cores[0],
+                    stray as usize / cps
                 )));
             }
             let single_core = matches!(
@@ -719,12 +877,15 @@ impl ScenarioSpec {
                     burst_amplitude,
                 } => wire::attach_nic(
                     &mut sys,
+                    slot.socket as usize,
                     PortId(slot.port),
                     rings,
                     packet_bytes,
                     burst_amplitude,
                 )?,
-                DeviceSpec::Ssd => wire::attach_ssd(&mut sys, PortId(slot.port))?,
+                DeviceSpec::Ssd => {
+                    wire::attach_ssd(&mut sys, slot.socket as usize, PortId(slot.port))?
+                }
             };
             devices.push(DeviceBinding {
                 name: slot.name.clone(),
@@ -1015,17 +1176,34 @@ pub(crate) mod wire {
         if let Some(channels) = tweaks.mem_channels {
             cfg.memory.channels = channels;
         }
+        if let Some(sockets) = tweaks.sockets {
+            cfg.sockets = sockets;
+        }
+        if let Some(upi_ns) = tweaks.upi_ns {
+            cfg.upi_ns = upi_ns;
+        }
         let mut sys = System::new(cfg);
         if let Some(ways) = tweaks.dca_ways {
-            sys.hierarchy_mut()
+            let mask = WayMask::from_range(0, ways).expect("validated dca way count");
+            for socket in 0..sys.sockets() {
+                sys.socket_hierarchy_mut(socket)
+                    .llc_mut()
+                    .set_dca_mask(mask);
+            }
+        }
+        for o in &tweaks.socket_dca_ways {
+            let mask =
+                WayMask::from_range(0, o.dca_ways).expect("validated per-socket dca way count");
+            sys.socket_hierarchy_mut(o.socket as usize)
                 .llc_mut()
-                .set_dca_mask(WayMask::from_range(0, ways).expect("validated dca way count"));
+                .set_dca_mask(mask);
         }
         sys
     }
 
     pub(crate) fn attach_nic(
         sys: &mut System,
+        socket: usize,
         port: PortId,
         rings: usize,
         packet_bytes: u64,
@@ -1035,11 +1213,17 @@ pub(crate) mod wire {
         if let Some(amplitude) = burst_amplitude {
             cfg.burst_amplitude = amplitude;
         }
-        sys.attach_nic(port, cfg)
+        sys.attach_nic_on(socket, port, cfg)
     }
 
-    pub(crate) fn attach_ssd(sys: &mut System, port: PortId) -> Result<DeviceId> {
-        sys.attach_nvme(port, NvmeConfig::raid0_980pro_x4())
+    pub(crate) fn attach_ssd(sys: &mut System, socket: usize, port: PortId) -> Result<DeviceId> {
+        sys.attach_nvme_on(socket, port, NvmeConfig::raid0_980pro_x4())
+    }
+
+    /// Socket of a placement's cores (placements never straddle sockets,
+    /// enforced by `ScenarioSpec::validate`).
+    pub(crate) fn socket_of(sys: &System, cores: &[u8]) -> usize {
+        sys.socket_of_core(CoreId(cores[0]))
     }
 
     pub(crate) fn block_lines(sys: &System, paper_kib: u64) -> u64 {
@@ -1078,7 +1262,7 @@ pub(crate) mod wire {
     ) -> Result<WorkloadId> {
         let qd_per_core = 32;
         let probe = Fio::new(ssd, LineAddr(0), block_lines, qd_per_core, cores.len());
-        let buf = sys.alloc_lines(probe.buffer_lines());
+        let buf = sys.alloc_lines_on(socket_of(sys, cores), probe.buffer_lines());
         let fio = Fio::new(ssd, buf, block_lines, qd_per_core, cores.len());
         sys.add_workload(Box::new(fio), cores_of(cores), priority)
     }
@@ -1090,20 +1274,21 @@ pub(crate) mod wire {
         priority: Priority,
     ) -> Result<WorkloadId> {
         let geom = sys.config().hierarchy.llc;
+        let socket = socket_of(sys, cores);
         let wl: Box<dyn Workload> = match instance {
             1 => {
                 let ws = scale::lines(Bytes::from_mib(4), geom);
-                let base = sys.alloc_lines(ws);
+                let base = sys.alloc_lines_on(socket, ws);
                 Box::new(XMem::instance_1(base, ws))
             }
             2 => {
                 let ws = scale::lines(Bytes::from_mib(4), geom);
-                let base = sys.alloc_lines(ws);
+                let base = sys.alloc_lines_on(socket, ws);
                 Box::new(XMem::instance_2(base, ws))
             }
             3 => {
                 let ws = scale::lines(Bytes::from_mib(10), geom);
-                let base = sys.alloc_lines(ws);
+                let base = sys.alloc_lines_on(socket, ws);
                 Box::new(XMem::instance_3(base, ws))
             }
             _ => {
@@ -1132,7 +1317,7 @@ pub(crate) mod wire {
     ) -> Result<WorkloadId> {
         let lines = block_lines(sys, 2048);
         let probe = Ffsb::heavy(ssd, LineAddr(0), lines, cores.len());
-        let buf = sys.alloc_lines(probe.buffer_lines());
+        let buf = sys.alloc_lines_on(socket_of(sys, cores), probe.buffer_lines());
         let ffsb = Ffsb::heavy(ssd, buf, lines, cores.len());
         sys.add_workload(Box::new(ffsb), cores_of(cores), priority)
     }
@@ -1145,7 +1330,7 @@ pub(crate) mod wire {
     ) -> Result<WorkloadId> {
         let lines = block_lines(sys, 32);
         let probe = Ffsb::light(ssd, LineAddr(0), lines);
-        let buf = sys.alloc_lines(probe.buffer_lines());
+        let buf = sys.alloc_lines_on(socket_of(sys, &[core]), probe.buffer_lines());
         let ffsb = Ffsb::light(ssd, buf, lines);
         sys.add_workload(Box::new(ffsb), vec![CoreId(core)], priority)
     }
@@ -1158,7 +1343,7 @@ pub(crate) mod wire {
     ) -> Result<WorkloadId> {
         // YCSB-A footprint: a few MB of keyspace, scaled.
         let ws = ws_lines_mib(sys, 2).max(64);
-        let base = sys.alloc_lines(ws);
+        let base = sys.alloc_lines_on(socket_of(sys, &[core]), ws);
         sys.add_workload(
             Box::new(Redis::new(role, base, ws)),
             vec![CoreId(core)],
@@ -1175,7 +1360,7 @@ pub(crate) mod wire {
     ) -> Option<Result<WorkloadId>> {
         let geom = sys.config().hierarchy.llc;
         let probe = SpecCpu::from_profile(name, LineAddr(0), geom)?;
-        let base = sys.alloc_lines(probe.ws_lines());
+        let base = sys.alloc_lines_on(socket_of(sys, &[core]), probe.ws_lines());
         let wl = SpecCpu::from_profile(name, base, geom).expect("name validated above");
         Some(sys.add_workload(Box::new(wl), vec![CoreId(core)], priority))
     }
@@ -1255,7 +1440,7 @@ mod tests {
                 ..SystemTweaks::none()
             },
         ] {
-            let spec = ScenarioSpec::new("tweaks", opts).with_system(bad_tweaks);
+            let spec = ScenarioSpec::new("tweaks", opts).with_system(bad_tweaks.clone());
             assert!(spec.validate().is_err(), "{bad_tweaks:?} must be rejected");
         }
 
@@ -1301,6 +1486,7 @@ mod tests {
             cores: Some(8),
             dca_ways: Some(4),
             mem_channels: Some(2),
+            ..SystemTweaks::none()
         };
         let sys = wire::base_system(&opts, &tweaks);
         assert_eq!(sys.config().hierarchy.cores, 8);

@@ -9,6 +9,16 @@ pub const LINE_BYTES: u64 = 64;
 /// `log2(LINE_BYTES)`: shift that converts a byte address to a line address.
 pub const LINE_SHIFT: u32 = 6;
 
+/// Line-address bit where the home-socket index begins.
+///
+/// Multi-socket systems carve the line address space into one region per
+/// socket: socket `s` allocates lines in `[s << SOCKET_SHIFT,
+/// (s + 1) << SOCKET_SHIFT)`, so a line's home socket is a pure function
+/// of its address ([`LineAddr::home_socket`]) and routing an access to
+/// the owning socket's cache hierarchy costs one shift. 2^40 lines =
+/// 64 TiB of address space per socket — far beyond any workload here.
+pub const SOCKET_SHIFT: u32 = 40;
+
 /// The address of one 64-byte cache line.
 ///
 /// All cache structures in the reproduction operate at line granularity;
@@ -77,6 +87,20 @@ impl LineAddr {
     pub fn offset(self, lines: u64) -> Self {
         LineAddr(self.0 + lines)
     }
+
+    /// The home socket this line's address was allocated on (see
+    /// [`SOCKET_SHIFT`]). Single-socket systems allocate everything in
+    /// region 0, so every address reports socket 0 there.
+    #[inline]
+    pub fn home_socket(self) -> usize {
+        (self.0 >> SOCKET_SHIFT) as usize
+    }
+
+    /// First line of socket `socket`'s address-space region.
+    #[inline]
+    pub fn socket_base(socket: usize) -> Self {
+        LineAddr((socket as u64) << SOCKET_SHIFT)
+    }
 }
 
 impl fmt::Display for LineAddr {
@@ -119,5 +143,14 @@ mod tests {
     #[test]
     fn display_is_hex() {
         assert_eq!(LineAddr(255).to_string(), "line:0xff");
+    }
+
+    #[test]
+    fn socket_regions_partition_the_address_space() {
+        assert_eq!(LineAddr(0).home_socket(), 0);
+        assert_eq!(LineAddr((1 << SOCKET_SHIFT) - 1).home_socket(), 0);
+        assert_eq!(LineAddr::socket_base(1).home_socket(), 1);
+        assert_eq!(LineAddr::socket_base(1).offset(1 << 20).home_socket(), 1);
+        assert_eq!(LineAddr::socket_base(0), LineAddr(0));
     }
 }

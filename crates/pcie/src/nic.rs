@@ -11,7 +11,7 @@
 //! DDIO write-allocate/write-update, DMA leak and all LLC contention
 //! effects emerge from the cache model rather than being scripted here.
 
-use a4_cache::CacheHierarchy;
+use a4_cache::DmaRouter;
 use a4_model::{A4Error, Bandwidth, DeviceId, LineAddr, Result, SimTime, WorkloadId, LINE_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -190,16 +190,18 @@ impl RxRing {
 /// # Examples
 ///
 /// ```
-/// use a4_cache::{CacheHierarchy, HierarchyConfig};
+/// use a4_cache::{CacheHierarchy, DmaRouter, HierarchyConfig, UpiLink};
 /// use a4_model::{DeviceId, LineAddr, SimTime, WorkloadId};
 /// use a4_pcie::{NicConfig, NicModel};
 ///
 /// let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+/// let mut upi = UpiLink::default();
 /// let cfg = NicConfig::connectx6_100g(1, 8, 256);
 /// let mut nic = NicModel::new(DeviceId(0), cfg, LineAddr(0x10000))?;
 ///
 /// // One quantum of line-rate traffic fills the ring and overflows into drops.
-/// nic.step(SimTime::ZERO, SimTime::from_micros(10), &mut hier, true, WorkloadId(0));
+/// let mut port = DmaRouter::local(&mut hier, &mut upi);
+/// nic.step(SimTime::ZERO, SimTime::from_micros(10), &mut port, true, WorkloadId(0));
 /// assert!(nic.ring(0).is_full());
 /// assert!(nic.dropped_packets() > 0);
 /// assert!(nic.rx_pop(0).is_some());
@@ -279,12 +281,14 @@ impl NicModel {
     }
 
     /// One simulation quantum: DMA-write as many packets as the offered
-    /// rate allows, dropping when the target ring is full.
+    /// rate allows, dropping when the target ring is full. DMA runs go
+    /// through `port`, which routes each one to the owning socket's
+    /// hierarchy (and charges the UPI link for cross-socket buffers).
     pub fn step(
         &mut self,
         now: SimTime,
         dt: SimTime,
-        hier: &mut CacheHierarchy,
+        port: &mut DmaRouter<'_>,
         dca_enabled: bool,
         owner: WorkloadId,
     ) {
@@ -315,7 +319,7 @@ impl NicModel {
             }
             let slot = ring.produce(written_at);
             // One run per packet: descriptor line + payload lines.
-            hier.dma_write_run(self.device, slot, 1 + payload_lines, owner, dca_enabled);
+            port.dma_write_run(self.device, slot, 1 + payload_lines, owner, dca_enabled);
             self.delivered_packets += 1;
             self.rx_bytes += self.config.packet_bytes;
         }
@@ -342,8 +346,8 @@ impl NicModel {
 
     /// Transmits a packet: the NIC DMA-reads `lines` lines from `addr`
     /// (egress path).
-    pub fn tx_packet(&mut self, hier: &mut CacheHierarchy, addr: LineAddr, lines: u64) {
-        hier.dma_read_run(self.device, addr, lines);
+    pub fn tx_packet(&mut self, port: &mut DmaRouter<'_>, addr: LineAddr, lines: u64) {
+        port.dma_read_run(self.device, addr, lines);
         self.tx_lines_total += lines;
     }
 
@@ -375,7 +379,7 @@ impl NicModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a4_cache::HierarchyConfig;
+    use a4_cache::{CacheHierarchy, HierarchyConfig, UpiLink};
 
     fn hier() -> CacheHierarchy {
         CacheHierarchy::new(HierarchyConfig::small_test())
@@ -408,7 +412,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_micros(100),
-            &mut h,
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
             true,
             WorkloadId(0),
         );
@@ -426,7 +430,13 @@ mod tests {
         // average must converge to the configured rate.
         let mut now = SimTime::ZERO;
         for _ in 0..200 {
-            nic.step(now, SimTime::from_micros(1), &mut h, true, WorkloadId(0));
+            nic.step(
+                now,
+                SimTime::from_micros(1),
+                &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+                true,
+                WorkloadId(0),
+            );
             now += SimTime::from_micros(1);
         }
         // 200 us at 12.5 GB/s = 2.5 MB = ~2441 packets.
@@ -441,7 +451,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_micros(10),
-            &mut h,
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
             true,
             WorkloadId(0),
         );
@@ -455,7 +465,7 @@ mod tests {
         nic.step(
             SimTime::from_micros(10),
             SimTime::from_micros(1),
-            &mut h,
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
             true,
             WorkloadId(0),
         );
@@ -469,7 +479,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_micros(5),
-            &mut h,
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
             true,
             WorkloadId(0),
         );
@@ -491,7 +501,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_nanos(20),
-            &mut h,
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
             true,
             WorkloadId(0),
         );
@@ -510,7 +520,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_micros(2),
-            &mut h,
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
             true,
             WorkloadId(0),
         );
@@ -527,7 +537,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_nanos(100),
-            &mut h,
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
             true,
             WorkloadId(0),
         );
@@ -544,7 +554,11 @@ mod tests {
     fn tx_counts_lines() {
         let mut h = hier();
         let mut nic = nic(1, 8, 64);
-        nic.tx_packet(&mut h, LineAddr(0x99), 16);
+        nic.tx_packet(
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            LineAddr(0x99),
+            16,
+        );
         assert_eq!(nic.tx_lines(), 16);
         assert_eq!(h.stats().device(DeviceId(0)).dma_read_lines, 16);
     }

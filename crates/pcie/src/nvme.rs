@@ -13,7 +13,7 @@
 //! [`a4_cache::CacheHierarchy::dma_write`] so DCA on/off only changes
 //! *where* the lines land, never how fast the device goes.
 
-use a4_cache::CacheHierarchy;
+use a4_cache::DmaRouter;
 use a4_model::{A4Error, Bandwidth, DeviceId, LineAddr, Result, SimTime, WorkloadId, LINE_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -124,14 +124,16 @@ struct Inflight {
 /// # Examples
 ///
 /// ```
-/// use a4_cache::{CacheHierarchy, HierarchyConfig};
+/// use a4_cache::{CacheHierarchy, DmaRouter, HierarchyConfig, UpiLink};
 /// use a4_model::{DeviceId, LineAddr, SimTime, WorkloadId};
 /// use a4_pcie::{NvmeCommand, NvmeConfig, NvmeModel, NvmeOp};
 ///
 /// let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+/// let mut upi = UpiLink::default();
 /// let mut ssd = NvmeModel::new(DeviceId(1), NvmeConfig::raid0_980pro_x4())?;
 /// ssd.submit(NvmeCommand { buffer: LineAddr(0x2000), lines: 64, op: NvmeOp::Read })?;
-/// ssd.step(SimTime::ZERO, SimTime::from_micros(10), &mut hier, true, WorkloadId(1));
+/// let mut port = DmaRouter::local(&mut hier, &mut upi);
+/// ssd.step(SimTime::ZERO, SimTime::from_micros(10), &mut port, true, WorkloadId(1));
 /// assert!(ssd.pop_completion().is_some());
 /// # Ok::<(), a4_model::A4Error>(())
 /// ```
@@ -212,12 +214,14 @@ impl NvmeModel {
     }
 
     /// One simulation quantum: move block data under the byte budget and
-    /// retire commands under the IOPS budget.
+    /// retire commands under the IOPS budget. DMA runs go through `port`,
+    /// which routes each one to the owning socket's hierarchy (and
+    /// charges the UPI link for cross-socket buffers).
     pub fn step(
         &mut self,
         now: SimTime,
         dt: SimTime,
-        hier: &mut CacheHierarchy,
+        port: &mut DmaRouter<'_>,
         dca_enabled: bool,
         owner: WorkloadId,
     ) {
@@ -256,8 +260,8 @@ impl NvmeModel {
                 // One run per chunk: host reads are ingress DMA-write
                 // runs, host writes are egress DMA-read runs.
                 match op {
-                    NvmeOp::Read => hier.dma_write_run(self.device, base, n, owner, dca_enabled),
-                    NvmeOp::Write => hier.dma_read_run(self.device, base, n),
+                    NvmeOp::Read => port.dma_write_run(self.device, base, n, owner, dca_enabled),
+                    NvmeOp::Write => port.dma_read_run(self.device, base, n),
                 }
                 entry.transferred += n;
                 self.byte_budget -= (n * LINE_BYTES) as f64;
@@ -298,14 +302,26 @@ impl NvmeModel {
         self.completions.pop_front()
     }
 
-    /// Pops the oldest completion whose buffer lies within
+    /// Pops the oldest `op`-direction completion whose buffer lies within
     /// `[base, base + lines)` — the per-process completion-queue view
-    /// when several workloads share the device.
-    pub fn pop_completion_in(&mut self, base: LineAddr, lines: u64) -> Option<NvmeCompletion> {
-        let idx = self
-            .completions
-            .iter()
-            .position(|c| c.cmd.buffer >= base && c.cmd.buffer < base.offset(lines))?;
+    /// when several workloads (or a workload's read and write paths)
+    /// share the device.
+    ///
+    /// Matching on the direction as well as the buffer range matters:
+    /// FFSB's periodic write-back targets a buffer inside its read
+    /// engine's slot range, and the historical range-only filter let the
+    /// read path reap write completions it never submitted — the
+    /// double-reap that wrapped `Fio::outstanding` in the shared-SSD
+    /// colocations.
+    pub fn pop_completion_in(
+        &mut self,
+        base: LineAddr,
+        lines: u64,
+        op: NvmeOp,
+    ) -> Option<NvmeCompletion> {
+        let idx = self.completions.iter().position(|c| {
+            c.cmd.op == op && c.cmd.buffer >= base && c.cmd.buffer < base.offset(lines)
+        })?;
         self.completions.remove(idx)
     }
 
@@ -331,7 +347,7 @@ impl NvmeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a4_cache::HierarchyConfig;
+    use a4_cache::{CacheHierarchy, HierarchyConfig, UpiLink};
 
     fn hier() -> CacheHierarchy {
         CacheHierarchy::new(HierarchyConfig::small_test())
@@ -370,7 +386,13 @@ mod tests {
             op: NvmeOp::Read,
         })
         .unwrap();
-        ssd.step(SimTime::ZERO, SimTime::from_micros(10), &mut h, true, WL);
+        ssd.step(
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            true,
+            WL,
+        );
         let done = ssd
             .pop_completion()
             .expect("block transferred in one quantum");
@@ -395,7 +417,13 @@ mod tests {
         let mut quanta = 0;
         let mut now = SimTime::ZERO;
         while ssd.pop_completion().is_none() {
-            ssd.step(now, SimTime::from_micros(1), &mut h, true, WL);
+            ssd.step(
+                now,
+                SimTime::from_micros(1),
+                &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+                true,
+                WL,
+            );
             now += SimTime::from_micros(1);
             quanta += 1;
             assert!(quanta < 100, "must complete eventually");
@@ -422,7 +450,13 @@ mod tests {
         // 100 us at 600 K IOPS = 60 completions.
         let mut now = SimTime::ZERO;
         for _ in 0..10 {
-            ssd.step(now, SimTime::from_micros(10), &mut h, true, WL);
+            ssd.step(
+                now,
+                SimTime::from_micros(10),
+                &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+                true,
+                WL,
+            );
             now += SimTime::from_micros(10);
         }
         let done = ssd.commands_completed();
@@ -470,7 +504,13 @@ mod tests {
             op: NvmeOp::Write,
         })
         .unwrap();
-        ssd.step(SimTime::ZERO, SimTime::from_micros(5), &mut h, true, WL);
+        ssd.step(
+            SimTime::ZERO,
+            SimTime::from_micros(5),
+            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            true,
+            WL,
+        );
         assert_eq!(ssd.write_bytes(), 8 * 64);
         assert_eq!(h.stats().device(DeviceId(1)).dma_read_lines, 8);
         assert_eq!(h.stats().device(DeviceId(1)).dma_write_lines, 0);
@@ -496,7 +536,13 @@ mod tests {
                     .unwrap();
                     next_buf += 1;
                 }
-                ssd.step(now, SimTime::from_micros(10), &mut h, dca, WL);
+                ssd.step(
+                    now,
+                    SimTime::from_micros(10),
+                    &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+                    dca,
+                    WL,
+                );
                 now += SimTime::from_micros(10);
                 while ssd.pop_completion().is_some() {
                     completed += 1;

@@ -47,8 +47,18 @@ impl Default for LatencyModel {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
-    /// Cache hierarchy geometry.
+    /// Cache hierarchy geometry of *one socket* (all sockets share it).
     pub hierarchy: HierarchyConfig,
+    /// Number of CPU sockets. Each socket owns a full [`HierarchyConfig`]
+    /// worth of cores, MLCs, LLC, DCA ways and CLOS tables; sockets share
+    /// the memory model and are joined by a UPI link whose hop costs
+    /// [`SystemConfig::upi_ns`]. Core ids are global:
+    /// socket = `core / hierarchy.cores`.
+    pub sockets: usize,
+    /// Extra latency of one cross-socket (UPI) hop in nanoseconds,
+    /// charged per line whenever a core touches a remotely-homed buffer.
+    /// Ignored on single-socket systems.
+    pub upi_ns: u64,
     /// DRAM model parameters.
     pub memory: MemoryConfig,
     /// Hierarchy level costs.
@@ -80,6 +90,10 @@ impl SystemConfig {
     pub fn xeon_gold_6140() -> Self {
         SystemConfig {
             hierarchy: HierarchyConfig::scaled_xeon_6140(18),
+            sockets: 1,
+            // Loaded remote-read penalty of a Skylake-SP UPI hop (~1.3×
+            // local DRAM latency observed as ~70-90 ns extra).
+            upi_ns: 80,
             memory: MemoryConfig::ddr4_2666_6ch(),
             latency: LatencyModel::default(),
             cpu_freq_ghz: 2.3,
@@ -99,6 +113,8 @@ impl SystemConfig {
     pub fn small_test() -> Self {
         SystemConfig {
             hierarchy: HierarchyConfig::small_test(),
+            sockets: 1,
+            upi_ns: 80,
             memory: MemoryConfig::ddr4_2666_6ch(),
             latency: LatencyModel::default(),
             cpu_freq_ghz: 2.3,
@@ -113,6 +129,16 @@ impl SystemConfig {
     /// Cycle budget of one core for one quantum.
     pub fn cycles_per_quantum(&self) -> f64 {
         self.cpu_freq_ghz * self.quantum.as_nanos() as f64
+    }
+
+    /// Total cores across all sockets (core ids are global).
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.hierarchy.cores
+    }
+
+    /// One UPI hop in core cycles.
+    pub fn upi_cycles(&self) -> f64 {
+        self.upi_ns as f64 * self.cpu_freq_ghz
     }
 
     /// Nanoseconds per core cycle.
@@ -135,6 +161,11 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<()> {
         self.hierarchy.validate()?;
         self.memory.validate()?;
+        if !(1..=4).contains(&self.sockets) {
+            return Err(A4Error::InvalidConfig {
+                what: "sockets must be in 1..=4",
+            });
+        }
         if self.cpu_freq_ghz <= 0.0 {
             return Err(A4Error::InvalidConfig {
                 what: "cpu frequency must be positive",
@@ -191,6 +222,23 @@ mod tests {
         let mut cfg = SystemConfig::small_test();
         cfg.time_dilation = 0.0;
         assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::small_test();
+        cfg.sockets = 0;
+        assert!(cfg.validate().is_err());
+        cfg.sockets = 5;
+        assert!(cfg.validate().is_err());
+        cfg.sockets = 2;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn upi_hop_converts_to_cycles() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.upi_ns = 100;
+        assert!((cfg.upi_cycles() - 230.0).abs() < 1e-9);
+        assert_eq!(cfg.total_cores(), 4);
+        cfg.sockets = 2;
+        assert_eq!(cfg.total_cores(), 8);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::LatencyModel;
 use crate::device::DeviceModel;
 use crate::perf::{LatencyKind, WorkloadPerf};
-use a4_cache::{CacheHierarchy, CoreAccessLevel};
+use a4_cache::{CacheHierarchy, CoreAccessLevel, DmaRouter, UpiLink};
 use a4_model::{CoreId, DeviceId, LineAddr, SimTime, WorkloadId};
 use a4_pcie::{NicModel, NvmeModel};
 use rand::rngs::SmallRng;
@@ -16,6 +16,12 @@ use rand::Rng;
 /// with DRAM inflated by the previous quantum's utilization. Workloads
 /// therefore automatically slow down when their lines get evicted — the
 /// feedback loop all the paper's contention figures rest on.
+///
+/// On multi-socket systems every access is routed to the home socket of
+/// its address: local accesses run exactly the single-socket path on the
+/// core's own hierarchy, while accesses to a buffer homed on another
+/// socket are served by the remote hierarchy's LLC (never this core's
+/// MLC) and pay one UPI hop of extra cycles per line.
 pub struct CoreCtx<'a> {
     pub(crate) core: CoreId,
     pub(crate) core_slot: usize,
@@ -23,8 +29,18 @@ pub struct CoreCtx<'a> {
     pub(crate) now: SimTime,
     pub(crate) budget: f64,
     pub(crate) used: f64,
-    pub(crate) hier: &'a mut CacheHierarchy,
+    /// One hierarchy per socket; `socks[socket]` is the core's own.
+    pub(crate) socks: &'a mut [CacheHierarchy],
+    /// The core's socket index.
+    pub(crate) socket: usize,
+    /// The core's socket-local id (what its hierarchy indexes MLCs by).
+    pub(crate) core_local: CoreId,
     pub(crate) devices: &'a mut [DeviceModel],
+    /// `device_sockets[i]` = socket `devices[i]` is attached to.
+    pub(crate) device_sockets: &'a [usize],
+    pub(crate) upi: &'a mut UpiLink,
+    /// One UPI hop in core cycles (precomputed from the config).
+    pub(crate) upi_cycles: f64,
     pub(crate) perf: &'a mut WorkloadPerf,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) lat: LatencyModel,
@@ -33,7 +49,7 @@ pub struct CoreCtx<'a> {
 }
 
 impl<'a> CoreCtx<'a> {
-    /// The physical core this step runs on.
+    /// The physical core this step runs on (global id).
     #[inline]
     pub fn core(&self) -> CoreId {
         self.core
@@ -89,33 +105,58 @@ impl<'a> CoreCtx<'a> {
         }
     }
 
-    /// Loads one line; returns where it was served from and the cycle
-    /// cost charged.
-    pub fn read(&mut self, addr: LineAddr) -> (CoreAccessLevel, f64) {
-        let level = self.hier.core_read(self.core, addr, self.wl);
-        let cost = self.level_cost(level);
+    /// Home socket of `addr`, clamped into the configured socket count.
+    #[inline]
+    fn home(&self, addr: LineAddr) -> usize {
+        addr.home_socket().min(self.socks.len() - 1)
+    }
+
+    /// One scalar access, routed to the home socket. Remote accesses pay
+    /// one UPI hop on top of the level cost and pull a line across the
+    /// link.
+    fn access(&mut self, addr: LineAddr, write: bool, io_hint: bool) -> (CoreAccessLevel, f64) {
+        let home = self.home(addr);
+        let (level, cost) = if home == self.socket {
+            let hier = &mut self.socks[home];
+            let level = if write {
+                hier.core_write(self.core_local, addr, self.wl)
+            } else if io_hint {
+                hier.core_read_io(self.core_local, addr, self.wl)
+            } else {
+                hier.core_read(self.core_local, addr, self.wl)
+            };
+            (level, self.level_cost(level))
+        } else {
+            let hier = &mut self.socks[home];
+            let level = if write {
+                self.upi.record_write_lines(1);
+                hier.remote_write(addr, self.wl)
+            } else {
+                self.upi.record_read_lines(1);
+                hier.remote_read(addr, self.wl)
+            };
+            (level, self.level_cost(level) + self.upi_cycles)
+        };
         self.used += cost;
         self.perf.add_instructions(1);
         (level, cost)
+    }
+
+    /// Loads one line; returns where it was served from and the cycle
+    /// cost charged.
+    pub fn read(&mut self, addr: LineAddr) -> (CoreAccessLevel, f64) {
+        self.access(addr, false, false)
     }
 
     /// Loads one line of an I/O buffer (keeps I/O attribution for lines
     /// refetched after a DMA leak).
     pub fn read_io(&mut self, addr: LineAddr) -> (CoreAccessLevel, f64) {
-        let level = self.hier.core_read_io(self.core, addr, self.wl);
-        let cost = self.level_cost(level);
-        self.used += cost;
-        self.perf.add_instructions(1);
-        (level, cost)
+        self.access(addr, false, true)
     }
 
     /// Stores one line.
     pub fn write(&mut self, addr: LineAddr) -> (CoreAccessLevel, f64) {
-        let level = self.hier.core_write(self.core, addr, self.wl);
-        let cost = self.level_cost(level);
-        self.used += cost;
-        self.perf.add_instructions(1);
-        (level, cost)
+        self.access(addr, true, false)
     }
 
     /// Batched streaming loads of up to `len` consecutive lines from
@@ -172,29 +213,75 @@ impl<'a> CoreCtx<'a> {
         per_line_instructions: u64,
         ops_per_line: u64,
     ) -> u64 {
-        let (mlc_c, llc_c, mem_c) = self.level_costs();
-        let mut run = self
-            .hier
-            .begin_core_run(self.core, base, len, self.wl, write, false);
-        let mut used = self.used;
-        let mut done = 0;
-        while done < len && used < self.budget {
-            let cost = match run.next(self.hier) {
-                CoreAccessLevel::MlcHit => mlc_c,
-                CoreAccessLevel::LlcHit => llc_c,
-                CoreAccessLevel::Memory => mem_c,
-            };
-            used += cost;
-            used += per_line_cycles;
-            done += 1;
-        }
-        run.finish(self.hier);
-        self.used = used;
+        let home = self.home(base);
+        let done = if home == self.socket {
+            let (mlc_c, llc_c, mem_c) = self.level_costs();
+            let hier = &mut self.socks[home];
+            let mut run = hier.begin_core_run(self.core_local, base, len, self.wl, write, false);
+            let mut used = self.used;
+            let mut done = 0;
+            while done < len && used < self.budget {
+                let cost = match run.next(hier) {
+                    CoreAccessLevel::MlcHit => mlc_c,
+                    CoreAccessLevel::LlcHit => llc_c,
+                    CoreAccessLevel::Memory => mem_c,
+                };
+                used += cost;
+                used += per_line_cycles;
+                done += 1;
+            }
+            run.finish(hier);
+            self.used = used;
+            done
+        } else {
+            self.remote_stream_run(home, base, len, write, per_line_cycles)
+        };
         self.perf
             .add_instructions((1 + per_line_instructions) * done);
         if ops_per_line != 0 {
             self.perf.add_ops(ops_per_line * done);
         }
+        done
+    }
+
+    /// The cross-socket arm of [`CoreCtx::stream_run`]: same budget
+    /// discipline, but every line is served through the home socket's
+    /// remote path (stripe-walked there) and pays one UPI hop.
+    fn remote_stream_run(
+        &mut self,
+        home: usize,
+        base: LineAddr,
+        len: u64,
+        write: bool,
+        per_line_cycles: f64,
+    ) -> u64 {
+        let (_, llc_c, mem_c) = self.level_costs();
+        let hier = &mut self.socks[home];
+        let mut used = self.used;
+        let mut done = 0;
+        if write {
+            let per_line = mem_c + self.upi_cycles + per_line_cycles;
+            while done < len && used < self.budget {
+                hier.remote_write(base.offset(done), self.wl);
+                used += per_line;
+                done += 1;
+            }
+            self.upi.record_write_lines(done);
+        } else {
+            let mut run = hier.begin_remote_run(base, self.wl);
+            while done < len && used < self.budget {
+                let cost = match run.next(hier) {
+                    CoreAccessLevel::MlcHit | CoreAccessLevel::LlcHit => llc_c,
+                    CoreAccessLevel::Memory => mem_c,
+                };
+                used += cost + self.upi_cycles;
+                used += per_line_cycles;
+                done += 1;
+            }
+            run.finish(hier);
+            self.upi.record_read_lines(done);
+        }
+        self.used = used;
         done
     }
 
@@ -204,7 +291,8 @@ impl<'a> CoreCtx<'a> {
     /// loops. Per line this charges exactly what a `read_io();
     /// compute(per_line_cycles, ..)` pair would and folds
     /// `cost + per_line_cycles` into `acc` in line order (so latency can
-    /// be recorded once per run from the folded total).
+    /// be recorded once per run from the folded total). Remote runs add
+    /// one UPI hop per line to both the budget and `acc`.
     pub fn read_io_run(
         &mut self,
         base: LineAddr,
@@ -213,23 +301,42 @@ impl<'a> CoreCtx<'a> {
         per_line_instructions: u64,
         acc: &mut f64,
     ) {
-        let (mlc_c, llc_c, mem_c) = self.level_costs();
-        let mut run = self
-            .hier
-            .begin_core_run(self.core, base, len, self.wl, false, true);
-        let mut used = self.used;
-        for _ in 0..len {
-            let cost = match run.next(self.hier) {
-                CoreAccessLevel::MlcHit => mlc_c,
-                CoreAccessLevel::LlcHit => llc_c,
-                CoreAccessLevel::Memory => mem_c,
-            };
-            used += cost;
-            *acc += cost + per_line_cycles;
-            used += per_line_cycles;
+        let home = self.home(base);
+        if home == self.socket {
+            let (mlc_c, llc_c, mem_c) = self.level_costs();
+            let hier = &mut self.socks[home];
+            let mut run = hier.begin_core_run(self.core_local, base, len, self.wl, false, true);
+            let mut used = self.used;
+            for _ in 0..len {
+                let cost = match run.next(hier) {
+                    CoreAccessLevel::MlcHit => mlc_c,
+                    CoreAccessLevel::LlcHit => llc_c,
+                    CoreAccessLevel::Memory => mem_c,
+                };
+                used += cost;
+                *acc += cost + per_line_cycles;
+                used += per_line_cycles;
+            }
+            run.finish(hier);
+            self.used = used;
+        } else {
+            let (_, llc_c, mem_c) = self.level_costs();
+            let hier = &mut self.socks[home];
+            let mut run = hier.begin_remote_run(base, self.wl);
+            let mut used = self.used;
+            for _ in 0..len {
+                let cost = match run.next(hier) {
+                    CoreAccessLevel::MlcHit | CoreAccessLevel::LlcHit => llc_c,
+                    CoreAccessLevel::Memory => mem_c,
+                } + self.upi_cycles;
+                used += cost;
+                *acc += cost + per_line_cycles;
+                used += per_line_cycles;
+            }
+            run.finish(hier);
+            self.used = used;
+            self.upi.record_read_lines(len);
         }
-        run.finish(self.hier);
-        self.used = used;
         self.perf
             .add_instructions((1 + per_line_instructions) * len);
     }
@@ -309,22 +416,25 @@ impl<'a> CoreCtx<'a> {
     }
 
     /// Transmits a packet on a NIC (egress DMA read of `lines` lines from
-    /// `addr`), charging a small per-packet doorbell cost.
+    /// `addr`), charging a small per-packet doorbell cost. The DMA run is
+    /// routed through the NIC's own socket.
     ///
     /// # Panics
     ///
     /// Panics if `dev` is not an attached NIC.
     pub fn nic_tx(&mut self, dev: DeviceId, addr: LineAddr, lines: u64) {
         // Device ids are attach-order indices; index positionally to
-        // keep the `hier` borrow free (same guarded pattern as
+        // keep the hierarchy borrows free (same guarded pattern as
         // `nic_mut`).
+        let dev_socket = self.device_sockets.get(dev.index()).copied().unwrap_or(0);
         let nic = self
             .devices
             .get_mut(dev.index())
             .filter(|d| d.device() == dev)
             .and_then(|d| d.as_nic_mut())
             .expect("device is an attached NIC");
-        nic.tx_packet(self.hier, addr, lines);
+        let mut port = DmaRouter::new(&mut *self.socks, dev_socket, &mut *self.upi);
+        nic.tx_packet(&mut port, addr, lines);
         self.used += 30.0; // doorbell + descriptor write
         self.perf.add_instructions(10);
     }
@@ -334,14 +444,16 @@ impl<'a> CoreCtx<'a> {
 mod tests {
     use super::*;
     use a4_cache::HierarchyConfig;
+    use a4_model::SOCKET_SHIFT;
     use a4_pcie::{NicConfig, NvmeConfig};
     use rand::SeedableRng;
 
     fn fixture<'a>(
-        hier: &'a mut CacheHierarchy,
+        socks: &'a mut [CacheHierarchy],
         devices: &'a mut [DeviceModel],
         perf: &'a mut WorkloadPerf,
         rng: &'a mut SmallRng,
+        upi: &'a mut UpiLink,
     ) -> CoreCtx<'a> {
         // Lifetime gymnastics: build the ctx from the caller's borrows.
         CoreCtx {
@@ -351,8 +463,13 @@ mod tests {
             now: SimTime::from_micros(5),
             budget: 1_000.0,
             used: 0.0,
-            hier,
+            socks,
+            socket: 0,
+            core_local: CoreId(0),
             devices,
+            device_sockets: &[0, 0],
+            upi,
+            upi_cycles: 184.0, // 80 ns at 2.3 GHz
             perf,
             rng,
             lat: LatencyModel::default(),
@@ -361,13 +478,20 @@ mod tests {
         }
     }
 
+    fn socks(n: usize) -> Vec<CacheHierarchy> {
+        (0..n)
+            .map(|_| CacheHierarchy::new(HierarchyConfig::small_test()))
+            .collect()
+    }
+
     #[test]
     fn access_costs_depend_on_level() {
-        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiLink::default();
         let mut devices = [];
-        let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);
+        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
 
         let (level, cost) = ctx.read(LineAddr(1));
         assert_eq!(level, CoreAccessLevel::Memory);
@@ -379,12 +503,60 @@ mod tests {
     }
 
     #[test]
-    fn budget_runs_out() {
-        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+    fn remote_accesses_pay_the_upi_hop_and_never_mlc_hit() {
+        let mut socks = socks(2);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiLink::new(80);
         let mut devices = [];
-        let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);
+        let remote = LineAddr(1 << SOCKET_SHIFT).offset(9);
+        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
+
+        let (level, cost) = ctx.read(remote);
+        assert_eq!(level, CoreAccessLevel::Memory);
+        assert_eq!(cost, 60.0 + 184.0);
+        // The repeat still crosses the link and cannot hit an MLC: the
+        // remote socket holds no residency for this core.
+        let (level, cost) = ctx.read(remote);
+        assert_eq!(
+            level,
+            CoreAccessLevel::Memory,
+            "remote reads do not allocate"
+        );
+        assert_eq!(cost, 60.0 + 184.0);
+        let _ = ctx;
+        assert_eq!(upi.crossed_lines(), 2);
+        // The access was accounted in the *home* hierarchy's stats.
+        assert_eq!(socks[1].stats().workload(WorkloadId(0)).llc_misses, 2);
+        assert_eq!(socks[0].stats().workload(WorkloadId(0)).llc_misses, 0);
+    }
+
+    #[test]
+    fn remote_read_hits_the_home_llc_after_dma() {
+        let mut socks = socks(2);
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiLink::new(80);
+        let mut devices = [];
+        let remote = LineAddr(1 << SOCKET_SHIFT).offset(0x40);
+        // A device on socket 1 DCA-writes the line into socket 1's LLC.
+        socks[1].dma_write(DeviceId(0), remote, WorkloadId(0), true);
+        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
+        let (level, cost) = ctx.read_io(remote);
+        assert_eq!(level, CoreAccessLevel::LlcHit);
+        assert_eq!(cost, 14.0 + 184.0);
+        let _ = ctx;
+        assert_eq!(socks[1].stats().workload(WorkloadId(0)).dca_consumed, 1);
+    }
+
+    #[test]
+    fn budget_runs_out() {
+        let mut socks = socks(1);
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiLink::default();
+        let mut devices = [];
+        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
         assert!(ctx.has_budget());
         ctx.compute(999.0, 1);
         assert!(ctx.has_budget());
@@ -395,11 +567,12 @@ mod tests {
 
     #[test]
     fn now_advances_with_cycles() {
-        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiLink::default();
         let mut devices = [];
-        let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);
+        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
         let t0 = ctx.now();
         ctx.compute(100.0, 0); // 100 cycles at 0.5 ns/cycle = 50 ns
         assert_eq!((ctx.now() - t0).as_nanos(), 50);
@@ -408,9 +581,10 @@ mod tests {
 
     #[test]
     fn device_accessors() {
-        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiLink::default();
         let nic = NicModel::new(
             DeviceId(0),
             NicConfig::connectx6_100g(1, 8, 64),
@@ -419,7 +593,7 @@ mod tests {
         .unwrap();
         let ssd = NvmeModel::new(DeviceId(1), NvmeConfig::raid0_980pro_x4()).unwrap();
         let mut devices = [DeviceModel::Nic(nic), DeviceModel::Nvme(ssd)];
-        let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut rng);
+        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
         assert_eq!(ctx.nic_mut(DeviceId(0)).device(), DeviceId(0));
         assert_eq!(ctx.nvme_mut(DeviceId(1)).outstanding(), 0);
         ctx.nic_tx(DeviceId(0), LineAddr(5), 4);
@@ -428,17 +602,18 @@ mod tests {
 
     #[test]
     fn rng_is_deterministic_per_seed() {
-        let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
+        let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut devices = [];
+        let mut upi = UpiLink::default();
         let mut r1 = SmallRng::seed_from_u64(42);
         let a: Vec<u64> = {
-            let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut r1);
+            let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut r1, &mut upi);
             (0..5).map(|_| ctx.rng_range(1000)).collect()
         };
         let mut r2 = SmallRng::seed_from_u64(42);
         let b: Vec<u64> = {
-            let mut ctx = fixture(&mut hier, &mut devices, &mut perf, &mut r2);
+            let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut r2, &mut upi);
             (0..5).map(|_| ctx.rng_range(1000)).collect()
         };
         assert_eq!(a, b);

@@ -1,6 +1,6 @@
 //! Device wrapper enum used by the system.
 
-use a4_cache::CacheHierarchy;
+use a4_cache::DmaRouter;
 use a4_model::{DeviceId, SimTime, WorkloadId};
 use a4_pcie::{NicModel, NvmeModel};
 
@@ -22,18 +22,19 @@ impl DeviceModel {
         }
     }
 
-    /// Runs the device for one quantum.
+    /// Runs the device for one quantum; DMA runs are routed to the
+    /// owning socket's hierarchy by `port`.
     pub fn step(
         &mut self,
         now: SimTime,
         dt: SimTime,
-        hier: &mut CacheHierarchy,
+        port: &mut DmaRouter<'_>,
         dca_enabled: bool,
         owner: WorkloadId,
     ) {
         match self {
-            DeviceModel::Nic(nic) => nic.step(now, dt, hier, dca_enabled, owner),
-            DeviceModel::Nvme(ssd) => ssd.step(now, dt, hier, dca_enabled, owner),
+            DeviceModel::Nic(nic) => nic.step(now, dt, port, dca_enabled, owner),
+            DeviceModel::Nvme(ssd) => ssd.step(now, dt, port, dca_enabled, owner),
         }
     }
 

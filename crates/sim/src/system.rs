@@ -6,7 +6,7 @@ use crate::device::DeviceModel;
 use crate::perf::WorkloadPerf;
 use crate::sample::{DeviceSample, MonitorSample, WorkloadSample};
 use crate::workload::Workload;
-use a4_cache::{CacheHierarchy, HierarchyStats, WorkloadCounters};
+use a4_cache::{CacheHierarchy, DmaRouter, HierarchyStats, UpiLink, WorkloadCounters};
 use a4_mem::MemoryController;
 use a4_model::{
     A4Error, Bytes, ClosId, CoreId, DeviceClass, DeviceId, LineAddr, PortId, Priority, Result,
@@ -14,7 +14,7 @@ use a4_model::{
 };
 use a4_pcie::{NicConfig, NicModel, NvmeConfig, NvmeModel, PcieRoot};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::sync::Arc;
 
 #[derive(Debug)]
@@ -41,6 +41,16 @@ struct DevSnapshot {
 /// The simulated server: substrates wired together, plus the monitoring
 /// and control planes the A4 controller drives.
 ///
+/// Multi-socket systems (`SystemConfig::sockets > 1`) keep one full
+/// [`CacheHierarchy`] per socket — own MLC array, own LLC with its DCA
+/// ways, own CLOS tables — joined by a [`UpiLink`] and sharing one memory
+/// model. Core ids are global (`socket = core / cores_per_socket`);
+/// buffers are homed on the socket they were allocated on
+/// ([`System::alloc_lines_on`]); devices attach to a socket
+/// ([`System::attach_nic_on`]) and their ring/DMA traffic is routed to
+/// each buffer's home hierarchy, paying UPI when they differ. A
+/// single-socket system runs bit-identically to the pre-NUMA model.
+///
 /// # Examples
 ///
 /// ```
@@ -61,23 +71,34 @@ struct DevSnapshot {
 #[derive(Debug)]
 pub struct System {
     cfg: SystemConfig,
-    hier: CacheHierarchy,
+    // One hierarchy per socket; `socks[0]` is the only one on
+    // single-socket systems.
+    socks: Vec<CacheHierarchy>,
+    upi: UpiLink,
     mem: MemoryController,
     root: PcieRoot,
     devices: Vec<DeviceModel>,
+    // `device_sockets[i]` = socket `devices[i]` is attached to.
+    device_sockets: Vec<usize>,
     slots: Vec<Slot>,
     now: SimTime,
     quantum_count: u64,
     rng: SmallRng,
-    alloc_cursor: u64,
-    // Per-quantum memory-traffic snapshot: only the aggregate counters
-    // are needed to feed the memory model, so the snapshot is one `Copy`
-    // struct instead of a full `HierarchyStats` clone per quantum.
-    quantum_total: WorkloadCounters,
-    // Sampling-cadence snapshot and reusable delta buffer (the full
-    // per-workload tables are only diffed once per monitoring interval).
-    sample_snapshot: HierarchyStats,
-    sample_delta: HierarchyStats,
+    // One allocation cursor per socket (socket s allocates inside its own
+    // address-space region, so a line's home socket is a pure function of
+    // its address).
+    alloc_cursors: Vec<u64>,
+    // Per-quantum memory-traffic snapshots: only the aggregate counters
+    // are needed to feed the (shared) memory model, so the snapshot is
+    // one `Copy` struct per socket instead of full `HierarchyStats`
+    // clones per quantum.
+    quantum_totals: Vec<WorkloadCounters>,
+    // Sampling-cadence snapshots, per-socket delta buffers and the
+    // cross-socket merge buffer (the full per-workload tables are only
+    // diffed once per monitoring interval).
+    sample_snapshots: Vec<HierarchyStats>,
+    sample_deltas: Vec<HierarchyStats>,
+    sample_merged: HierarchyStats,
     // `device_owners[i]` = owner of `devices[i]`, rebuilt lazily when
     // workloads register or flip activity instead of rescanning all
     // slots for every device every quantum.
@@ -99,24 +120,32 @@ impl System {
     /// input, not runtime data).
     pub fn new(cfg: SystemConfig) -> Self {
         cfg.validate().expect("invalid system configuration");
-        let hier = CacheHierarchy::new(cfg.hierarchy);
+        let socks: Vec<CacheHierarchy> = (0..cfg.sockets)
+            .map(|_| CacheHierarchy::new(cfg.hierarchy))
+            .collect();
         System {
             mem: MemoryController::new(cfg.memory).expect("validated with cfg"),
             root: PcieRoot::new(cfg.pcie_ports),
+            upi: UpiLink::new(cfg.upi_ns),
             devices: Vec::new(),
+            device_sockets: Vec::new(),
             slots: Vec::new(),
             now: SimTime::ZERO,
             quantum_count: 0,
             rng: SmallRng::seed_from_u64(cfg.seed),
-            // Leave the zero page free so tests can use low addresses.
-            alloc_cursor: 1 << 20,
-            quantum_total: hier.stats().total,
-            sample_snapshot: hier.stats().clone(),
-            sample_delta: HierarchyStats::new(),
+            // Leave the zero page of each region free so tests can use
+            // low addresses.
+            alloc_cursors: (0..cfg.sockets)
+                .map(|s| LineAddr::socket_base(s).0 + (1 << 20))
+                .collect(),
+            quantum_totals: socks.iter().map(|h| h.stats().total).collect(),
+            sample_snapshots: socks.iter().map(|h| h.stats().clone()).collect(),
+            sample_deltas: (0..cfg.sockets).map(|_| HierarchyStats::new()).collect(),
+            sample_merged: HierarchyStats::new(),
             device_owners: Vec::new(),
             device_owners_stale: false,
             dev_snapshots: Vec::new(),
-            hier,
+            socks,
             interval_mem_read: Bytes::ZERO,
             interval_mem_written: Bytes::ZERO,
             interval_start: SimTime::ZERO,
@@ -137,16 +166,55 @@ impl System {
         self.now
     }
 
-    /// The cache hierarchy (read-only).
+    /// Number of sockets.
     #[inline]
-    pub fn hierarchy(&self) -> &CacheHierarchy {
-        &self.hier
+    pub fn sockets(&self) -> usize {
+        self.socks.len()
     }
 
-    /// Mutable hierarchy access (tests and ablations).
+    /// Socket 0's cache hierarchy (read-only) — the whole hierarchy on
+    /// single-socket systems. See [`System::socket_hierarchy`] for the
+    /// others.
+    #[inline]
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.socks[0]
+    }
+
+    /// Mutable socket-0 hierarchy access (tests and ablations).
     #[inline]
     pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
-        &mut self.hier
+        &mut self.socks[0]
+    }
+
+    /// One socket's cache hierarchy (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn socket_hierarchy(&self, socket: usize) -> &CacheHierarchy {
+        &self.socks[socket]
+    }
+
+    /// Mutable access to one socket's hierarchy (per-socket DCA-way
+    /// tweaks and ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn socket_hierarchy_mut(&mut self, socket: usize) -> &mut CacheHierarchy {
+        &mut self.socks[socket]
+    }
+
+    /// The UPI link (hop latency + cross-socket traffic counters).
+    #[inline]
+    pub fn upi(&self) -> &UpiLink {
+        &self.upi
+    }
+
+    /// The socket a core belongs to (`core / cores_per_socket`).
+    #[inline]
+    pub fn socket_of_core(&self, core: CoreId) -> usize {
+        core.index() / self.cfg.hierarchy.cores
     }
 
     /// The memory controller.
@@ -161,51 +229,133 @@ impl System {
         &self.root
     }
 
-    /// Allocates `lines` fresh cache lines of address space for a buffer.
+    /// A probe of the system RNG's state: the next value it would draw,
+    /// without disturbing it. Two systems whose probes agree after
+    /// identical histories share the full generator state (xoshiro256++
+    /// outputs determine the state trajectory for equal seeds).
+    pub fn rng_probe(&self) -> u64 {
+        self.rng.clone().next_u64()
+    }
+
+    /// Allocates `lines` fresh cache lines of address space for a buffer
+    /// homed on socket 0.
     pub fn alloc_lines(&mut self, lines: u64) -> LineAddr {
-        let base = self.alloc_cursor;
-        self.alloc_cursor += lines;
+        self.alloc_lines_on(0, lines)
+    }
+
+    /// Allocates `lines` fresh cache lines homed on `socket`: accesses
+    /// from other sockets (and DMA from devices attached elsewhere) pay
+    /// the UPI hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn alloc_lines_on(&mut self, socket: usize, lines: u64) -> LineAddr {
+        let cursor = &mut self.alloc_cursors[socket];
+        let base = *cursor;
+        *cursor += lines;
+        debug_assert!(
+            LineAddr(*cursor).home_socket() == socket,
+            "socket address region exhausted"
+        );
         LineAddr(base)
     }
 
-    /// Attaches a NIC to a root port; ring buffers are allocated
-    /// internally.
+    /// Attaches a NIC to a root port on socket 0; ring buffers are
+    /// allocated internally.
     ///
     /// # Errors
     ///
     /// Propagates invalid configuration and port-conflict errors.
     pub fn attach_nic(&mut self, port: PortId, config: NicConfig) -> Result<DeviceId> {
+        self.attach_nic_on(0, port, config)
+    }
+
+    /// Attaches a NIC to a root port on `socket`. Its Rx rings live in
+    /// that socket's address region, so DCA injection stays socket-local
+    /// and consumers on other sockets cross the UPI link per line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration and port-conflict errors; an
+    /// out-of-range socket is an [`A4Error::InvalidConfig`].
+    pub fn attach_nic_on(
+        &mut self,
+        socket: usize,
+        port: PortId,
+        config: NicConfig,
+    ) -> Result<DeviceId> {
+        self.check_socket(socket)?;
         config.validate()?;
         let id = DeviceId(self.devices.len() as u8);
         let span = config.rings as u64 * config.ring_entries as u64 * config.slot_lines();
-        let base = self.alloc_lines(span);
+        let base = self.alloc_lines_on(socket, span);
         let nic = NicModel::new(id, config, base)?;
         self.root.attach(port, id, DeviceClass::Nic)?;
         self.devices.push(DeviceModel::Nic(nic));
+        self.device_sockets.push(socket);
         self.dev_snapshots.push(DevSnapshot::default());
         self.device_owners.push(WorkloadId::UNATTRIBUTED);
         self.device_owners_stale = true;
         Ok(id)
     }
 
-    /// Attaches an NVMe device (or RAID-0 array) to a root port.
+    /// Attaches an NVMe device (or RAID-0 array) to a root port on
+    /// socket 0.
     ///
     /// # Errors
     ///
     /// Propagates invalid configuration and port-conflict errors.
     pub fn attach_nvme(&mut self, port: PortId, config: NvmeConfig) -> Result<DeviceId> {
+        self.attach_nvme_on(0, port, config)
+    }
+
+    /// Attaches an NVMe device to a root port on `socket`. DMA into
+    /// buffers homed on other sockets crosses the UPI link and cannot
+    /// DCA-inject (DDIO is socket-local).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration and port-conflict errors; an
+    /// out-of-range socket is an [`A4Error::InvalidConfig`].
+    pub fn attach_nvme_on(
+        &mut self,
+        socket: usize,
+        port: PortId,
+        config: NvmeConfig,
+    ) -> Result<DeviceId> {
+        self.check_socket(socket)?;
         config.validate()?;
         let id = DeviceId(self.devices.len() as u8);
         let ssd = NvmeModel::new(id, config)?;
         self.root.attach(port, id, DeviceClass::Nvme)?;
         self.devices.push(DeviceModel::Nvme(ssd));
+        self.device_sockets.push(socket);
         self.dev_snapshots.push(DevSnapshot::default());
         self.device_owners.push(WorkloadId::UNATTRIBUTED);
         self.device_owners_stale = true;
         Ok(id)
     }
 
-    /// Registers a workload pinned to `cores`.
+    fn check_socket(&self, socket: usize) -> Result<()> {
+        if socket >= self.socks.len() {
+            return Err(A4Error::InvalidConfig {
+                what: "socket index outside the configured socket count",
+            });
+        }
+        Ok(())
+    }
+
+    /// The socket a device is attached to.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown device ids.
+    pub fn device_socket(&self, dev: DeviceId) -> usize {
+        self.device_sockets[dev.index()]
+    }
+
+    /// Registers a workload pinned to `cores` (global ids).
     ///
     /// # Errors
     ///
@@ -233,10 +383,10 @@ impl System {
             });
         }
         for &c in &cores {
-            if c.index() >= self.cfg.hierarchy.cores {
+            if c.index() >= self.cfg.total_cores() {
                 return Err(A4Error::InvalidCore {
                     core: c.0,
-                    max: self.cfg.hierarchy.cores as u8,
+                    max: self.cfg.total_cores() as u8,
                 });
             }
             if self.slots.iter().any(|s| s.active && s.cores.contains(&c)) {
@@ -306,16 +456,22 @@ impl System {
 
     // ---- control plane (what A4 programs) --------------------------------
 
-    /// Programs a CLOS capacity mask.
+    /// Programs a CLOS capacity mask — mirrored to every socket's CLOS
+    /// table, matching how systems software programs identical CAT MSRs
+    /// on all sockets.
     ///
     /// # Errors
     ///
     /// Propagates CLOS-range and empty-mask errors.
     pub fn cat_set_mask(&mut self, clos: ClosId, mask: WayMask) -> Result<()> {
-        self.hier.clos_mut().set_mask(clos, mask)
+        for hier in &mut self.socks {
+            hier.clos_mut().set_mask(clos, mask)?;
+        }
+        Ok(())
     }
 
-    /// Moves every core of a workload into `clos`.
+    /// Moves every core of a workload into `clos` (each core in its own
+    /// socket's CLOS table).
     ///
     /// # Errors
     ///
@@ -328,15 +484,21 @@ impl System {
             .ok_or(A4Error::InvalidDevice { device: id.0 as u8 })?
             .cores
             .clone();
+        let cps = self.cfg.hierarchy.cores;
         for c in cores {
-            self.hier.clos_mut().assign_core(c, clos)?;
+            let socket = c.index() / cps;
+            let local = CoreId((c.index() % cps) as u8);
+            self.socks[socket].clos_mut().assign_core(local, clos)?;
         }
         Ok(())
     }
 
-    /// Resets CAT to the power-on state (the *Default* baseline).
+    /// Resets CAT to the power-on state (the *Default* baseline) on every
+    /// socket.
     pub fn cat_reset(&mut self) {
-        self.hier.clos_mut().reset();
+        for hier in &mut self.socks {
+            hier.clos_mut().reset();
+        }
     }
 
     /// Programs per-device DCA via the port's `perfctrlsts_0` (A4's F2).
@@ -408,18 +570,21 @@ impl System {
         }
 
         // 1. Devices DMA at their offered rates. Indexing keeps the
-        // borrows field-disjoint (`devices` vs `hier`), so no device is
+        // borrows field-disjoint (`devices` vs `socks`), so no device is
         // ever swapped out against a throwaway placeholder.
         for i in 0..self.devices.len() {
             let dev = self.devices[i].device();
             let dca = self.root.dca_enabled(dev);
             let owner = self.device_owners[i];
-            self.devices[i].step(now, dt, &mut self.hier, dca, owner);
+            let mut port = DmaRouter::new(&mut self.socks, self.device_sockets[i], &mut self.upi);
+            self.devices[i].step(now, dt, &mut port, dca, owner);
         }
 
         // 2. Workloads execute under their cycle budgets.
         let budget = self.cfg.cycles_per_quantum();
         let mem_factor = self.mem.latency_factor();
+        let upi_cycles = self.cfg.upi_cycles();
+        let cps = self.cfg.hierarchy.cores;
         let mut slots = std::mem::take(&mut self.slots);
         for slot in slots.iter_mut().filter(|s| s.active) {
             for (ci, &core) in slot.cores.iter().enumerate() {
@@ -430,8 +595,13 @@ impl System {
                     now,
                     budget,
                     used: 0.0,
-                    hier: &mut self.hier,
+                    socks: &mut self.socks,
+                    socket: core.index() / cps,
+                    core_local: CoreId((core.index() % cps) as u8),
                     devices: &mut self.devices,
+                    device_sockets: &self.device_sockets,
+                    upi: &mut self.upi,
+                    upi_cycles,
                     perf: &mut slot.perf,
                     rng: &mut self.rng,
                     lat: self.cfg.latency,
@@ -445,15 +615,19 @@ impl System {
         }
         self.slots = slots;
 
-        // 3. Memory interval: feed the traffic the hierarchy generated.
-        // The memory model only needs the aggregate read/write line
-        // counts, so the per-quantum snapshot is a single `Copy` of the
-        // totals — the full per-workload tables are only diffed at
-        // sampling cadence in `sample()`.
-        let total = self.hier.stats().total;
-        let r = total.mem_read_lines - self.quantum_total.mem_read_lines;
-        let w = total.mem_write_lines - self.quantum_total.mem_write_lines;
-        self.quantum_total = total;
+        // 3. Memory interval: feed the traffic every socket's hierarchy
+        // generated into the shared memory model. Only the aggregate
+        // read/write line counts are needed, so the per-quantum snapshot
+        // is one `Copy` of the totals per socket — the full per-workload
+        // tables are only diffed at sampling cadence in `sample()`.
+        let mut r = 0;
+        let mut w = 0;
+        for (hier, prev) in self.socks.iter().zip(self.quantum_totals.iter_mut()) {
+            let total = hier.stats().total;
+            r += total.mem_read_lines - prev.mem_read_lines;
+            w += total.mem_write_lines - prev.mem_write_lines;
+            *prev = total;
+        }
         self.mem.record_read_lines(r);
         self.mem.record_write_lines(w);
         let traffic = self.mem.end_interval(dt);
@@ -510,14 +684,25 @@ impl System {
             ));
         }
         // Cache-side per-workload deltas: cumulative stats minus what the
-        // previous sample consumed. `delta_into`/`copy_from` reuse the
-        // snapshot and delta buffers, so sampling allocates no stat
-        // tables.
-        self.hier
-            .stats()
-            .delta_into(&self.sample_snapshot, &mut self.sample_delta);
-        self.sample_snapshot.copy_from(self.hier.stats());
-        let delta = &self.sample_delta;
+        // previous sample consumed, per socket, then merged across
+        // sockets (a workload's remote accesses land in the remote
+        // hierarchy's tables). `delta_into`/`copy_from`/`merge` reuse the
+        // snapshot, delta and merge buffers, so sampling allocates no
+        // stat tables.
+        for ((hier, snap), delta) in self
+            .socks
+            .iter()
+            .zip(self.sample_snapshots.iter_mut())
+            .zip(self.sample_deltas.iter_mut())
+        {
+            hier.stats().delta_into(snap, delta);
+            snap.copy_from(hier.stats());
+        }
+        self.sample_merged.copy_from(&self.sample_deltas[0]);
+        for delta in &self.sample_deltas[1..] {
+            self.sample_merged.merge(delta);
+        }
+        let delta = &self.sample_merged;
 
         let workloads = workloads
             .into_iter()
@@ -644,6 +829,12 @@ mod tests {
 
     fn sys() -> System {
         System::new(SystemConfig::small_test())
+    }
+
+    fn two_socket_sys() -> System {
+        let mut cfg = SystemConfig::small_test();
+        cfg.sockets = 2;
+        System::new(cfg)
     }
 
     #[test]
@@ -834,5 +1025,113 @@ mod tests {
         s.cat_reset();
         assert_eq!(s.hierarchy().clos().mask_for_core(CoreId(3)), WayMask::ALL);
         assert!(s.cat_assign_workload(WorkloadId(99), ClosId(0)).is_err());
+    }
+
+    #[test]
+    fn sockets_partition_cores_devices_and_allocations() {
+        let mut s = two_socket_sys();
+        assert_eq!(s.sockets(), 2);
+        assert_eq!(s.config().total_cores(), 8);
+        // Socket-1 allocations live in the socket-1 address region.
+        let remote = s.alloc_lines_on(1, 64);
+        assert_eq!(remote.home_socket(), 1);
+        assert_eq!(s.alloc_lines(1).home_socket(), 0);
+        // Devices carry their socket.
+        let nic = s
+            .attach_nic_on(1, PortId(0), NicConfig::connectx6_100g(1, 8, 64))
+            .unwrap();
+        assert_eq!(s.device_socket(nic), 1);
+        // Global core ids: 4..8 are socket 1 on the 4-core test geometry.
+        assert_eq!(s.socket_of_core(CoreId(5)), 1);
+        let wl = s
+            .add_workload(
+                Box::new(Streamer {
+                    base: remote,
+                    lines: 64,
+                    cursor: 0,
+                }),
+                vec![CoreId(5)],
+                Priority::High,
+            )
+            .unwrap();
+        // Core 8 would be out of range, core 5 is valid.
+        assert!(s
+            .add_workload(
+                Box::new(Streamer {
+                    base: remote,
+                    lines: 64,
+                    cursor: 0,
+                }),
+                vec![CoreId(8)],
+                Priority::High,
+            )
+            .is_err());
+        // CAT assignment programs the *socket-local* CLOS table.
+        s.cat_set_mask(ClosId(1), WayMask::from_paper_range(7, 8).unwrap())
+            .unwrap();
+        s.cat_assign_workload(wl, ClosId(1)).unwrap();
+        assert_eq!(
+            s.socket_hierarchy(1).clos().mask_for_core(CoreId(1)),
+            WayMask::from_paper_range(7, 8).unwrap(),
+            "core 5 = local core 1 on socket 1"
+        );
+        // Out-of-range sockets are rejected.
+        assert!(s
+            .attach_nic_on(2, PortId(1), NicConfig::connectx6_100g(1, 8, 64))
+            .is_err());
+    }
+
+    #[test]
+    fn local_core_with_remote_buffer_crosses_upi() {
+        let mut s = two_socket_sys();
+        let remote = s.alloc_lines_on(1, 512);
+        s.add_workload(
+            Box::new(Streamer {
+                base: remote,
+                lines: 512,
+                cursor: 0,
+            }),
+            vec![CoreId(0)], // socket 0 core, socket 1 buffer
+            Priority::High,
+        )
+        .unwrap();
+        s.run_logical_seconds(1);
+        assert!(s.upi().crossed_lines() > 0, "every access crossed the link");
+        // The accesses are accounted in socket 1's hierarchy.
+        assert!(s.socket_hierarchy(1).stats().total.llc_misses > 0);
+        assert_eq!(s.socket_hierarchy(0).stats().total.llc_misses, 0);
+    }
+
+    #[test]
+    fn upi_hop_slows_remote_streams() {
+        let run = |remote: bool, upi_ns: u64| {
+            let mut cfg = SystemConfig::small_test();
+            cfg.sockets = 2;
+            cfg.upi_ns = upi_ns;
+            let mut s = System::new(cfg);
+            let base = s.alloc_lines_on(usize::from(remote), 4096);
+            let wl = s
+                .add_workload(
+                    Box::new(Streamer {
+                        base,
+                        lines: 4096,
+                        cursor: 0,
+                    }),
+                    vec![CoreId(0)],
+                    Priority::High,
+                )
+                .unwrap();
+            s.run_logical_seconds(2);
+            s.sample().workload(wl).unwrap().accesses
+        };
+        let local = run(false, 200);
+        let remote = run(true, 200);
+        assert!(
+            remote < local,
+            "UPI hops must cost cycles: local={local} remote={remote}"
+        );
+        // And the penalty scales with the hop latency.
+        let remote_fast = run(true, 10);
+        assert!(remote < remote_fast, "higher hop latency, fewer accesses");
     }
 }

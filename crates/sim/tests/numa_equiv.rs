@@ -1,0 +1,372 @@
+//! Single-socket ≡ local-only two-socket differential proptest — the
+//! `batched_runs.rs` pattern one level up, run against whole systems.
+//!
+//! A two-socket [`System`] with every core, device, buffer and CLOS rule
+//! pinned to socket 0 and `upi_ns = 0` must be *observationally
+//! identical* to the single-socket system: bit-identical
+//! `HierarchyStats`, bit-identical monitor samples (checked through
+//! their serialized JSON, which captures every counter and every f64's
+//! exact formatting), identical LLC victim-pick RNG state, identical
+//! system RNG state, and an untouched socket 1. This is the invariant
+//! that made growing the simulator to N sockets safe: the entire NUMA
+//! model is additive, and the pre-NUMA behaviour is the local-only
+//! special case.
+
+use a4_model::{ClosId, CoreId, LineAddr, PortId, Priority, WayMask, WorkloadId};
+use a4_pcie::{NicConfig, NvmeCommand, NvmeConfig, NvmeOp};
+use a4_sim::{CoreCtx, System, SystemConfig, Workload, WorkloadInfo};
+use proptest::prelude::*;
+
+/// One randomly parameterized workload of the mix.
+#[derive(Debug, Clone)]
+enum Wl {
+    /// Sequential batched reads over an own buffer (`read_run`).
+    Stream { lines: u64 },
+    /// Random scalar reads/writes over an own buffer (drives the system
+    /// RNG).
+    Scramble { lines: u64 },
+    /// Rx-ring consumer with payload touching (`read_io_run`, `nic_tx`).
+    NicConsumer,
+    /// Queue-depth storage reader (`submit`/`pop_completion_in`).
+    SsdReader { block: u64, qd: usize },
+}
+
+/// A whole scenario: workloads (one core each, in order), device
+/// parameters, DCA states and a CAT rule, plus a mid-run control event.
+#[derive(Debug, Clone)]
+struct Mix {
+    seed: u64,
+    wls: Vec<Wl>,
+    packet_bytes: u64,
+    nic_dca: bool,
+    ssd_dca: bool,
+    cat: Option<(u8, usize, usize)>, // (clos, first way, way count)
+    flip_nic_dca_midway: bool,
+}
+
+fn mix_strategy() -> impl Strategy<Value = Mix> {
+    let wl = prop_oneof![
+        (16u64..256).prop_map(|lines| Wl::Stream { lines }),
+        (16u64..256).prop_map(|lines| Wl::Scramble { lines }),
+        Just(Wl::NicConsumer),
+        (1u64..24, 1usize..6).prop_map(|(block, qd)| Wl::SsdReader { block, qd }),
+    ];
+    (
+        any::<u64>(),
+        prop::collection::vec(wl, 1..4),
+        prop_oneof![Just(64u64), Just(256), Just(1024)],
+        any::<bool>(),
+        any::<bool>(),
+        (any::<bool>(), 0u8..4, 0usize..9, 1usize..4),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, wls, packet_bytes, nic_dca, ssd_dca, cat, flip_nic_dca_midway)| {
+                let cat = cat.0.then_some((cat.1, cat.2, cat.3));
+                Mix {
+                    seed,
+                    wls,
+                    packet_bytes,
+                    nic_dca,
+                    ssd_dca,
+                    cat,
+                    flip_nic_dca_midway,
+                }
+            },
+        )
+}
+
+#[derive(Debug)]
+struct Streamer {
+    base: LineAddr,
+    lines: u64,
+    cursor: u64,
+}
+
+impl Workload for Streamer {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            name: "stream".into(),
+            kind: a4_model::WorkloadKind::NonIo,
+            device: None,
+        }
+    }
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+        while ctx.has_budget() {
+            let at = self.cursor % self.lines;
+            let len = (self.lines - at).min(32);
+            let done = ctx.read_run(self.base.offset(at), len, 3.0, 2, 1);
+            self.cursor += done.max(1);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Scrambler {
+    base: LineAddr,
+    lines: u64,
+}
+
+impl Workload for Scrambler {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            name: "scramble".into(),
+            kind: a4_model::WorkloadKind::NonIo,
+            device: None,
+        }
+    }
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+        while ctx.has_budget() {
+            let at = ctx.rng_range(self.lines);
+            if ctx.rng_f64() < 0.3 {
+                ctx.write(self.base.offset(at));
+            } else {
+                ctx.read(self.base.offset(at));
+            }
+            ctx.compute(4.0, 4);
+            ctx.add_ops(1);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NicConsumer {
+    dev: a4_model::DeviceId,
+    echoed: u64,
+}
+
+impl Workload for NicConsumer {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            name: "nic-consumer".into(),
+            kind: a4_model::WorkloadKind::NetworkIo,
+            device: Some(self.dev),
+        }
+    }
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+        let dev = self.dev;
+        while ctx.has_budget() {
+            let Some(pkt) = ctx.nic_mut(dev).rx_pop(0) else {
+                ctx.compute(40.0, 8);
+                continue;
+            };
+            ctx.read_io(pkt.desc);
+            let mut acc = 0.0;
+            ctx.read_io_run(pkt.payload, pkt.payload_lines, 1.5, 1, &mut acc);
+            // Echo every fourth packet back out (exercises nic_tx /
+            // egress DMA).
+            self.echoed += 1;
+            if self.echoed.is_multiple_of(4) {
+                ctx.nic_tx(dev, pkt.payload, pkt.payload_lines);
+            }
+            ctx.add_ops(1);
+            ctx.add_io_bytes(pkt.payload_lines * 64);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SsdReader {
+    dev: a4_model::DeviceId,
+    buf: LineAddr,
+    block: u64,
+    qd: usize,
+    inflight: usize,
+    slot: usize,
+}
+
+impl Workload for SsdReader {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            name: "ssd-reader".into(),
+            kind: a4_model::WorkloadKind::StorageIo,
+            device: Some(self.dev),
+        }
+    }
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) {
+        let dev = self.dev;
+        let span = self.block * self.qd as u64;
+        while ctx.has_budget() {
+            while self.inflight < self.qd {
+                let cmd = NvmeCommand {
+                    buffer: self.buf.offset((self.slot % self.qd) as u64 * self.block),
+                    lines: self.block,
+                    op: NvmeOp::Read,
+                };
+                if ctx.nvme_mut(dev).submit(cmd).is_err() {
+                    break;
+                }
+                self.slot += 1;
+                self.inflight += 1;
+                ctx.compute(100.0, 40);
+            }
+            let Some(done) = ctx
+                .nvme_mut(dev)
+                .pop_completion_in(self.buf, span, NvmeOp::Read)
+            else {
+                ctx.compute(50.0, 10);
+                continue;
+            };
+            self.inflight = self.inflight.saturating_sub(1);
+            let mut acc = 0.0;
+            ctx.read_io_run(done.cmd.buffer, done.cmd.lines, 8.0, 4, &mut acc);
+            ctx.add_ops(1);
+        }
+    }
+}
+
+/// Wires one system from the mix. `sockets` only changes the config; the
+/// registration script is identical — everything lands on socket 0.
+fn build(mix: &Mix, sockets: usize) -> System {
+    let mut cfg = SystemConfig::small_test();
+    cfg.sockets = sockets;
+    cfg.upi_ns = 0;
+    cfg.seed = mix.seed;
+    let mut sys = System::new(cfg);
+    let nic = sys
+        .attach_nic(PortId(0), NicConfig::connectx6_100g(1, 8, mix.packet_bytes))
+        .unwrap();
+    let ssd = sys
+        .attach_nvme(PortId(1), NvmeConfig::raid0_980pro_x4())
+        .unwrap();
+    sys.set_device_dca(nic, mix.nic_dca).unwrap();
+    sys.set_device_dca(ssd, mix.ssd_dca).unwrap();
+    for (core, wl) in mix.wls.iter().enumerate() {
+        let core = CoreId(core as u8);
+        let boxed: Box<dyn Workload> = match *wl {
+            Wl::Stream { lines } => {
+                let base = sys.alloc_lines(lines);
+                Box::new(Streamer {
+                    base,
+                    lines,
+                    cursor: 0,
+                })
+            }
+            Wl::Scramble { lines } => {
+                let base = sys.alloc_lines(lines);
+                Box::new(Scrambler { base, lines })
+            }
+            Wl::NicConsumer => Box::new(NicConsumer {
+                dev: nic,
+                echoed: 0,
+            }),
+            Wl::SsdReader { block, qd } => {
+                let buf = sys.alloc_lines(block * qd as u64);
+                Box::new(SsdReader {
+                    dev: ssd,
+                    buf,
+                    block,
+                    qd,
+                    inflight: 0,
+                    slot: 0,
+                })
+            }
+        };
+        let priority = if core.0.is_multiple_of(2) {
+            Priority::High
+        } else {
+            Priority::Low
+        };
+        sys.add_workload(boxed, vec![core], priority).unwrap();
+    }
+    if let Some((clos, start, len)) = mix.cat {
+        let mask = WayMask::from_range(start, (start + len).min(9).max(start + 1)).unwrap();
+        sys.cat_set_mask(ClosId(clos), mask).unwrap();
+        sys.cat_assign_workload(WorkloadId(0), ClosId(clos))
+            .unwrap();
+    }
+    sys
+}
+
+/// Drives one logical second with the mix's mid-run control event.
+fn advance(sys: &mut System, mix: &Mix, second: u64) {
+    if mix.flip_nic_dca_midway && second == 1 {
+        sys.set_device_dca(a4_model::DeviceId(0), !mix.nic_dca)
+            .unwrap();
+    }
+    sys.run_logical_seconds(1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline differential: for random workload/device/CAT mixes,
+    /// a local-only two-socket system is bit-for-bit the single-socket
+    /// system — stats, samples, RNG state — and socket 1 stays virgin.
+    #[test]
+    fn local_only_two_socket_system_is_bit_identical(mix in mix_strategy()) {
+        let mut single = build(&mix, 1);
+        let mut dual = build(&mix, 2);
+        let virgin = a4_cache::CacheHierarchy::new(
+            SystemConfig::small_test().hierarchy,
+        );
+        for second in 0..3 {
+            advance(&mut single, &mix, second);
+            advance(&mut dual, &mix, second);
+            prop_assert!(
+                single.hierarchy().stats() == dual.hierarchy().stats(),
+                "socket-0 HierarchyStats diverged at second {second}"
+            );
+            prop_assert_eq!(
+                single.hierarchy().llc().rng_state(),
+                dual.hierarchy().llc().rng_state(),
+                "LLC victim RNG diverged at second {}", second
+            );
+            prop_assert_eq!(
+                single.rng_probe(),
+                dual.rng_probe(),
+                "system RNG diverged at second {}", second
+            );
+            // Samples capture every monitored counter (and every f64's
+            // bits, through its exact JSON rendering).
+            let s1 = serde_json::to_string(&single.sample()).unwrap();
+            let s2 = serde_json::to_string(&dual.sample()).unwrap();
+            prop_assert_eq!(s1, s2, "monitor samples diverged at second {}", second);
+            // Socket 1 never saw a single access...
+            prop_assert!(
+                dual.socket_hierarchy(1).stats() == virgin.stats(),
+                "socket 1 stats must stay zero"
+            );
+            prop_assert_eq!(
+                dual.socket_hierarchy(1).llc().rng_state(),
+                virgin.llc().rng_state(),
+                "socket 1 LLC RNG must stay virgin"
+            );
+            // ...and nothing crossed the UPI link.
+            prop_assert_eq!(dual.upi().crossed_lines(), 0, "no UPI crossings");
+        }
+    }
+}
+
+/// Deterministic smoke pin of the same invariant on one fixed mix (fast
+/// failure signal without the proptest machinery).
+#[test]
+fn fixed_mix_is_bit_identical() {
+    let mix = Mix {
+        seed: 0xA4,
+        wls: vec![
+            Wl::NicConsumer,
+            Wl::SsdReader { block: 8, qd: 4 },
+            Wl::Scramble { lines: 128 },
+        ],
+        packet_bytes: 1024,
+        nic_dca: true,
+        ssd_dca: true,
+        cat: Some((1, 5, 2)),
+        flip_nic_dca_midway: true,
+    };
+    let mut single = build(&mix, 1);
+    let mut dual = build(&mix, 2);
+    for second in 0..4 {
+        advance(&mut single, &mix, second);
+        advance(&mut dual, &mix, second);
+        assert!(single.hierarchy().stats() == dual.hierarchy().stats());
+        assert_eq!(
+            serde_json::to_string(&single.sample()).unwrap(),
+            serde_json::to_string(&dual.sample()).unwrap()
+        );
+    }
+    assert_eq!(dual.upi().crossed_lines(), 0);
+    // Sanity: the mix actually did I/O (the equivalence is not vacuous).
+    assert!(single.hierarchy().stats().total_dma_write_lines() > 0);
+}

@@ -40,8 +40,13 @@ pub struct Fio {
     qd_per_core: usize,
     cores: usize,
     submitted_at: Vec<SimTime>,
+    // LIFO of buffer slots with no command in flight. Completions free
+    // exactly the slot they were submitted on, so — unlike the
+    // historical `next_slot % queue_depth` rotation, which could lap a
+    // still-in-flight slot when completions returned out of order — a
+    // slot is never reused while its previous command is outstanding.
+    free_slots: Vec<usize>,
     outstanding: usize,
-    next_slot: usize,
     name: String,
     touch_data: bool,
     blocks_done: u64,
@@ -74,8 +79,9 @@ impl Fio {
             qd_per_core,
             cores,
             submitted_at: vec![SimTime::ZERO; slots],
+            // Reversed so the first pops hand out slots 0, 1, 2, ...
+            free_slots: (0..slots).rev().collect(),
             outstanding: 0,
-            next_slot: 0,
             name: "FIO".into(),
             touch_data: true,
             blocks_done: 0,
@@ -108,6 +114,14 @@ impl Fio {
         self.blocks_done
     }
 
+    /// Commands currently believed in flight. Invariant:
+    /// `outstanding_commands() <= queue_depth()` — the regression bar for
+    /// the historical double-reap (see the reap path in
+    /// [`Workload::step`]).
+    pub fn outstanding_commands(&self) -> usize {
+        self.outstanding
+    }
+
     fn slot_addr(&self, slot: usize) -> LineAddr {
         self.buffer_base.offset(slot as u64 * self.block_lines)
     }
@@ -129,43 +143,48 @@ impl Workload for Fio {
     fn step(&mut self, ctx: &mut CoreCtx<'_>) {
         let device = self.device;
         while ctx.has_budget() {
-            // Keep the queue deep.
-            while self.outstanding < self.queue_depth() {
-                let slot = self.next_slot % self.queue_depth();
+            // Keep the queue deep: one in-flight read per free slot.
+            debug_assert_eq!(
+                self.outstanding + self.free_slots.len(),
+                self.queue_depth(),
+                "every slot is either free or carries one in-flight read"
+            );
+            while let Some(slot) = self.free_slots.pop() {
                 let cmd = NvmeCommand {
                     buffer: self.slot_addr(slot),
                     lines: self.block_lines,
                     op: NvmeOp::Read,
                 };
                 if ctx.nvme_mut(device).submit(cmd).is_err() {
+                    self.free_slots.push(slot);
                     break; // device queue full
                 }
                 self.submitted_at[slot] = ctx.now();
-                self.next_slot += 1;
                 self.outstanding += 1;
                 ctx.compute(SUBMIT_CYCLES, 60);
             }
 
-            // Reap one of *our* completions (the device may be shared
-            // with other workloads, e.g. FFSB-H + FFSB-L).
+            // Reap one of *our read* completions. The device may be
+            // shared with other workloads (FFSB-H + FFSB-L), and FFSB's
+            // periodic write-back targets a buffer *inside this range* —
+            // filtering by direction as well as range is what keeps this
+            // loop from reaping a completion it never submitted (the
+            // historical double-reap that wrapped `outstanding`).
             let base = self.buffer_base;
             let span = self.buffer_lines();
-            let Some(done) = ctx.nvme_mut(device).pop_completion_in(base, span) else {
+            let Some(done) = ctx
+                .nvme_mut(device)
+                .pop_completion_in(base, span, NvmeOp::Read)
+            else {
                 ctx.compute(POLL_CYCLES, 10);
                 continue;
             };
-            // Known seed quirk (pre-dating the perf work): under some
-            // shared-SSD colocations (fig13 lpw-heavy under A4-c/d) one
-            // more completion is reaped than this instance accounted,
-            // and `outstanding` wraps. Release builds always wrapped
-            // here — every golden table embeds that behaviour — so this
-            // stays an explicit `wrapping_sub` to keep dev/test builds
-            // (overflow checks on) running the *same* simulation instead
-            // of panicking. Root-causing the double-reap is a tracked
-            // ROADMAP item; fixing it changes tables and must regenerate
-            // the goldens and bump the result-cache CODE_SALT.
-            self.outstanding = self.outstanding.wrapping_sub(1);
+            self.outstanding = self
+                .outstanding
+                .checked_sub(1)
+                .expect("reaped a read completion that was never submitted");
             let slot = self.slot_of(done.cmd.buffer);
+            self.free_slots.push(slot);
             let read_ns = done
                 .completed_at
                 .saturating_sub(self.submitted_at[slot])

@@ -34,6 +34,14 @@ struct Golden {
 /// Captured from the seed code (pre PR) with
 /// `ScenarioSpec::microbench(RunOpts::quick())`: DPDK-T + FIO(2MB) +
 /// X-Mem 1/2/3 on the scaled Xeon, seed 0xA4, 3 s warm-up + 3 s measure.
+///
+/// Re-verified unchanged after the fio double-reap fix (CODE_SALT r2):
+/// a solo FIO instance reaps its completions in submission order, so the
+/// slot free-list hands out exactly the slots the old `next_slot`
+/// rotation would have — only the FFSB colocations (fig13 goldens)
+/// changed. Also unchanged by the 2-socket NUMA model: single-socket
+/// systems are the bit-identical local-only special case
+/// (crates/sim/tests/numa_equiv.rs proves it for random mixes).
 const GOLDEN: [Golden; 5] = [
     Golden {
         role: "dpdk",

@@ -4,7 +4,7 @@
 //! serialized experiments are durable artifacts.
 
 use a4::core::{FeatureLevel, Thresholds};
-use a4::experiments::spec::{DeviceSpec, Metric, SystemTweaks};
+use a4::experiments::spec::{DeviceSpec, Metric, SocketDca, SpecError, SystemTweaks};
 use a4::experiments::{RunOpts, ScenarioSpec, Scheme, WorkloadSpec};
 use a4::model::{Priority, WayMask};
 use proptest::prelude::*;
@@ -50,10 +50,22 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
 }
 
 fn tweaks_strategy() -> impl Strategy<Value = SystemTweaks> {
-    (0usize..3, 0usize..3, 0usize..3).prop_map(|(c, d, m)| SystemTweaks {
-        cores: [None, Some(12), Some(18)][c],
-        dca_ways: [None, Some(1), Some(4)][d],
-        mem_channels: [None, Some(2), Some(6)][m],
+    (0usize..3, 0usize..3, 0usize..3, 0usize..3, 0usize..3).prop_map(|(c, d, m, s, u)| {
+        SystemTweaks {
+            cores: [None, Some(12), Some(18)][c],
+            dca_ways: [None, Some(1), Some(4)][d],
+            mem_channels: [None, Some(2), Some(6)][m],
+            sockets: [None, Some(1), Some(2)][s],
+            upi_ns: [None, Some(0), Some(120)][u],
+            socket_dca_ways: if s == 2 {
+                vec![SocketDca {
+                    socket: 1,
+                    dca_ways: 3,
+                }]
+            } else {
+                vec![]
+            },
+        }
     })
 }
 
@@ -121,6 +133,129 @@ proptest! {
         let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back, w);
     }
+}
+
+/// Table-driven rejection cases for impossible NUMA placements: each row
+/// is (description, spec mutation, substring the friendly error must
+/// contain).
+#[test]
+fn numa_placement_rejections_are_friendly() {
+    type Mutator = fn(ScenarioSpec) -> ScenarioSpec;
+    let base = || {
+        ScenarioSpec::new("numa-reject", RunOpts::quick())
+            .with_system(SystemTweaks::two_socket(None))
+    };
+    let cases: [(&str, Mutator, &str); 7] = [
+        (
+            "device on nonexistent socket",
+            |s| s.with_ssd_on(2),
+            "attached to socket 2",
+        ),
+        (
+            "core range straddling sockets",
+            |s| {
+                // Cores 17 and 18 sit on different sockets (18/socket).
+                s.with_workload(
+                    "xmem",
+                    WorkloadSpec::XMem { instance: 1 },
+                    &[17, 18],
+                    Priority::High,
+                )
+            },
+            "straddles sockets",
+        ),
+        (
+            "core outside the system",
+            |s| {
+                s.with_workload(
+                    "xmem",
+                    WorkloadSpec::XMem { instance: 1 },
+                    &[36],
+                    Priority::High,
+                )
+            },
+            "outside the 36 cores",
+        ),
+        (
+            "remote-only DCA override",
+            |s| {
+                let mut s = s;
+                s.system.sockets = None; // back to one socket...
+                s.system.socket_dca_ways = vec![SocketDca {
+                    socket: 1, // ...but overriding DCA on socket 1
+                    dca_ways: 4,
+                }];
+                s
+            },
+            "remote-only DCA",
+        ),
+        (
+            "per-socket DCA way count out of range",
+            |s| {
+                let mut s = s;
+                s.system.socket_dca_ways = vec![SocketDca {
+                    socket: 1,
+                    dca_ways: 12,
+                }];
+                s
+            },
+            "outside the LLC's",
+        ),
+        (
+            "duplicate per-socket DCA override",
+            |s| {
+                let mut s = s;
+                s.system.socket_dca_ways = vec![
+                    SocketDca {
+                        socket: 1,
+                        dca_ways: 2,
+                    },
+                    SocketDca {
+                        socket: 1,
+                        dca_ways: 4,
+                    },
+                ];
+                s
+            },
+            "duplicate DCA way override",
+        ),
+        (
+            "more than two sockets",
+            |s| {
+                let mut s = s;
+                s.system.sockets = Some(3);
+                s
+            },
+            "NUMA model covers 1- and 2-socket",
+        ),
+    ];
+    for (what, mutate, needle) in cases {
+        let spec = mutate(base());
+        match spec.validate() {
+            Err(SpecError::Invalid(msg)) => assert!(
+                msg.contains(needle),
+                "{what}: error {msg:?} should mention {needle:?}"
+            ),
+            other => panic!("{what}: expected Invalid error, got {other:?}"),
+        }
+    }
+    // The unmutated two-socket base is fine, as is a fully remote but
+    // *consistent* placement.
+    base().validate().expect("bare two-socket spec is valid");
+    base()
+        .with_nic_on(1, 4, 1024)
+        .with_workload_on(
+            1,
+            "dpdk",
+            WorkloadSpec::Dpdk {
+                device: "nic".into(),
+                touch: true,
+            },
+            &[0, 1],
+            Priority::High,
+        )
+        .validate()
+        .expect("socket-1 NIC + socket-1 workload is a valid placement");
 }
 
 /// Non-property pin: the exact representation of the newtype scheme
