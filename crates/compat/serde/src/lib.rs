@@ -7,9 +7,11 @@
 //! architecture, both traits go through a self-describing [`Value`] tree,
 //! which is all `serde_json`'s `to_string`/`from_str` need.
 //!
-//! Only plain `#[derive(Serialize, Deserialize)]` is supported — no
-//! `#[serde(...)]` attributes — which matches every use in this
-//! workspace.
+//! Only plain `#[derive(Serialize, Deserialize)]` plus the
+//! `#[serde(default)]` field attribute are supported — the one attribute
+//! schema evolution needs (absent fields fall back to
+//! `Default::default()`); everything else matches what this workspace
+//! uses and any other `#[serde(...)]` attribute is a compile error.
 
 #![forbid(unsafe_code)]
 
@@ -52,6 +54,25 @@ impl Value {
                 .find(|(k, _)| k == name)
                 .map(|(_, v)| v)
                 .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up `name` in a [`Value::Map`], tolerating its absence.
+    ///
+    /// The `#[serde(default)]` deserialization path: an absent field is
+    /// `Ok(None)` (the caller substitutes `Default::default()`), but a
+    /// non-map value is still a shape error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a map.
+    pub fn opt_field(&self, name: &str) -> Result<Option<&Value>, Error> {
+        match self {
+            Value::Map(fields) => Ok(fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)),
             other => Err(Error::new(format!(
                 "expected map with field `{name}`, found {}",
                 other.kind()

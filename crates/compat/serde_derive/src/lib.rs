@@ -12,12 +12,23 @@
 //! * enums whose variants are unit (with optional discriminants), tuple,
 //!   or struct-like.
 //!
-//! Generics and `#[serde(...)]` attributes are intentionally rejected.
+//! Named fields may carry `#[serde(default)]`: deserialization then
+//! substitutes `Default::default()` when the key is absent, which is how
+//! the versioned `ScenarioSpec` schema stays loadable across field
+//! additions. Generics and every other `#[serde(...)]` attribute are
+//! intentionally rejected.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier plus whether `#[serde(default)]` was
+/// attached (absent keys then fall back to `Default::default()`).
+struct FieldDef {
+    name: String,
+    default: bool,
+}
+
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<FieldDef>),
     Tuple(usize),
     Unit,
 }
@@ -39,13 +50,13 @@ enum Item {
 }
 
 /// Derives `serde::Serialize` (the vendored `to_value` form).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, gen_serialize)
 }
 
 /// Derives `serde::Deserialize` (the vendored `from_value` form).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, gen_deserialize)
 }
@@ -64,7 +75,10 @@ fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs_and_vis(&tokens, &mut i);
+    let attrs = skip_attrs_and_vis(&tokens, &mut i)?;
+    if attrs.default {
+        return Err("#[serde(default)] is only supported on named struct fields".to_string());
+    }
     let kind = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
         other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
@@ -108,12 +122,24 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
+/// Serde-relevant outer attributes collected while skipping.
+#[derive(Default)]
+struct Attrs {
+    /// `#[serde(default)]` was present.
+    default: bool,
+}
+
 /// Advances `i` past any outer attributes (`#[...]`, including expanded
-/// doc comments) and a `pub` / `pub(...)` visibility qualifier.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// doc comments) and a `pub` / `pub(...)` visibility qualifier,
+/// collecting `#[serde(...)]` content along the way.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<Attrs, String> {
+    let mut attrs = Attrs::default();
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    parse_attr(g.stream(), &mut attrs)?;
+                }
                 *i += 2; // `#` + bracketed group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -123,20 +149,49 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1;
                 }
             }
-            _ => return,
+            _ => return Ok(attrs),
         }
     }
 }
 
-/// Extracts the field names of a named-fields body, skipping each type by
-/// scanning to the next top-level comma (tracking `<`/`>` nesting; parens
-/// and brackets arrive pre-grouped).
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// Interprets one outer-attribute body: `serde(default)` sets the flag,
+/// any other `serde(...)` payload is rejected (so silently-ignored
+/// attributes can't hide schema bugs), and every non-serde attribute
+/// (doc comments, `derive`, ...) is ignored.
+fn parse_attr(body: TokenStream, attrs: &mut Attrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()),
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => return Err(format!("malformed #[serde(...)] attribute: {other:?}")),
+    };
+    for t in inner {
+        match &t {
+            TokenTree::Ident(id) if id.to_string() == "default" => attrs.default = true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => {
+                return Err(format!(
+                    "unsupported #[serde({other})]: the vendored serde only knows `default`"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the fields of a named-fields body (name plus any
+/// `#[serde(default)]` marker), skipping each type by scanning to the
+/// next top-level comma (tracking `<`/`>` nesting; parens and brackets
+/// arrive pre-grouped).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<FieldDef>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let attrs = skip_attrs_and_vis(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
@@ -154,7 +209,10 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             }
         }
         skip_to_top_level_comma(&tokens, &mut i);
-        fields.push(name);
+        fields.push(FieldDef {
+            name,
+            default: attrs.default,
+        });
     }
     Ok(fields)
 }
@@ -197,7 +255,10 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let attrs = skip_attrs_and_vis(&tokens, &mut i)?;
+        if attrs.default {
+            return Err("#[serde(default)] is only supported on named struct fields".to_string());
+        }
         if i >= tokens.len() {
             break;
         }
@@ -254,7 +315,11 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let pat = fields.join(", ");
+                        let pat = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let inner = named_to_map(fields, |f| f.to_string());
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {pat} }} => ::serde::Value::Map(::std::vec![\
@@ -289,10 +354,11 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
-fn named_to_map(fields: &[String], access: impl Fn(&str) -> String) -> String {
+fn named_to_map(fields: &[FieldDef], access: impl Fn(&str) -> String) -> String {
     let entries: Vec<String> = fields
         .iter()
         .map(|f| {
+            let f = f.name.as_str();
             format!(
                 "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({}))",
                 access(f)
@@ -300,6 +366,22 @@ fn named_to_map(fields: &[String], access: impl Fn(&str) -> String) -> String {
         })
         .collect();
     format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+/// One named-field initializer of the generated `from_value` body:
+/// `#[serde(default)]` fields tolerate an absent key by substituting
+/// `Default::default()`, everything else requires the key.
+fn field_init(f: &FieldDef, src: &str) -> String {
+    let name = f.name.as_str();
+    if f.default {
+        format!(
+            "{name}: match {src}.opt_field({name:?})? {{ \
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                 ::std::option::Option::None => ::std::default::Default::default() }}"
+        )
+    } else {
+        format!("{name}: ::serde::Deserialize::from_value({src}.get_field({name:?})?)?")
+    }
 }
 
 fn tuple_to_array(n: usize, access: impl Fn(usize) -> String) -> String {
@@ -314,12 +396,7 @@ fn gen_deserialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let body = match fields {
                 Fields::Named(names) => {
-                    let inits: Vec<String> = names
-                        .iter()
-                        .map(|f| {
-                            format!("{f}: ::serde::Deserialize::from_value(v.get_field({f:?})?)?")
-                        })
-                        .collect();
+                    let inits: Vec<String> = names.iter().map(|f| field_init(f, "v")).collect();
                     format!(
                         "::std::result::Result::Ok({name} {{ {} }})",
                         inits.join(", ")
@@ -374,14 +451,8 @@ fn gen_deserialize(item: &Item) -> String {
                     let vname = &v.name;
                     let build = match &v.fields {
                         Fields::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(__content.get_field({f:?})?)?"
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init(f, "__content")).collect();
                             format!("{name}::{vname} {{ {} }}", inits.join(", "))
                         }
                         Fields::Tuple(1) => {

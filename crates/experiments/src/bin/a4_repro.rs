@@ -1,5 +1,11 @@
 //! `a4-repro` — regenerates every measured figure of the A4 paper.
 //!
+//! One client of the sweep service ([`a4_experiments::service`]): every
+//! figure run is a [`SweepJob`] executed against the shared
+//! content-addressed store, and the printed tables are a pure function
+//! of that store — which is what makes sharded, queued and resumed runs
+//! merge byte-identically.
+//!
 //! Usage:
 //!
 //! ```text
@@ -7,6 +13,9 @@
 //!          [--dump-specs DIR] [--spec FILE] [--list]
 //!          [--cache-dir DIR] [--no-cache] [--cache-gc]
 //!          [--max-age-days N] [--replicas N] [--timing]
+//!          [--shard I/N] [--merge-only]
+//!          [--enqueue | --worker | --serve] [--shards N]
+//!          [--stale-secs S]
 //!
 //! FIGURES: fig3 fig4 fig5 fig6 fig7 fig8 fig11 fig12 fig13 fig14 fig15
 //!          fig_numa (default: all)
@@ -16,146 +25,55 @@
 //! --json DIR:       additionally dump each table as DIR/<id>.json
 //! --dump-specs DIR: write each figure's cells as DIR/<fig>.specs.json
 //!                   instead of running them
-//! --spec FILE:      load a ScenarioSpec (or array of them) from JSON,
-//!                   run it, and print a per-role metric table
-//! --cache-dir DIR:  cache per-cell RunReports under DIR (default
-//!                   out/.cache); unchanged cells are loaded instead of
+//! --spec FILE:      load a ScenarioSpec (or array of them) from JSON —
+//!                   older schema versions are migrated — run it, and
+//!                   print a per-role metric table
+//! --cache-dir DIR:  the shared result store (default out/.cache);
+//!                   cells already stored are loaded instead of
 //!                   re-simulated, so edited sweeps re-run only the
 //!                   edited cells and interrupted sweeps resume. Tables
 //!                   are byte-identical either way.
-//! --no-cache:       disable the result cache entirely
-//! --cache-gc:       garbage-collect the result cache before running:
-//!                   drop entries not touched (stored or loaded) within
+//! --no-cache:       disable the result store entirely
+//! --cache-gc:       garbage-collect the store before running: drop
+//!                   entries not touched (stored or loaded) within
 //!                   --max-age-days (default 30). With no figures/specs
 //!                   requested, exits after the sweep.
 //! --replicas N:     run every cell at N derived-seed replicas and
 //!                   report mean ± stddev per metric (replicas hit the
-//!                   result cache independently); --json writes
-//!                   <id>.mean.json and <id>.stddev.json
+//!                   store independently); --json writes <id>.mean.json
+//!                   and <id>.stddev.json
+//! --shard I/N:      execute only shard I of N of each figure's work
+//!                   units into the store (run the other shards in
+//!                   other processes against the same --cache-dir);
+//!                   tables render only once every shard has landed
+//! --merge-only:     never simulate — render each figure's tables
+//!                   purely from the store (the merge pass after
+//!                   sharded or queued execution)
+//! --enqueue:        split each figure into --shards tasks on the
+//!                   store's filesystem job queue and exit
+//! --worker:         claim queued tasks (from any figure) one lease at
+//!                   a time, execute them into the store, and exit when
+//!                   none are claimable; takes no FIGURES
+//! --serve:          --enqueue, then work the queue in-process until it
+//!                   drains (stale leases are re-claimed), then merge
+//!                   and render the tables
+//! --shards N:       task count per figure for --enqueue/--serve
+//!                   (default 2)
+//! --stale-secs S:   lease age after which --worker/--serve re-claim a
+//!                   task from a crashed worker (default 300)
 //! --timing:         run the hot-loop timing harness on the fig12
 //!                   representative cell and write BENCH_hotloop.json
 //!                   (to --json DIR, or the current directory)
 //! --list:           list figures and their cell counts, then exit
 //! ```
 
-use a4_experiments::fig_numa;
-use a4_experiments::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8};
+use a4_experiments::fig11;
+use a4_experiments::service::ServiceError;
+use a4_experiments::{figures, FigureDef, JobTables, SeedPolicy, Shard, SweepJob};
+use a4_experiments::{JobQueue, Task};
 use a4_experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner, Table, TableStats};
 use std::io::Write as _;
-
-/// Which run protocol a figure uses.
-#[derive(Clone, Copy)]
-enum Protocol {
-    /// Static-CAT discovery experiments (`RunOpts::paper`).
-    Paper,
-    /// Controller-driven experiments (`RunOpts::controller`).
-    Controller,
-}
-
-struct Figure {
-    name: &'static str,
-    desc: &'static str,
-    protocol: Protocol,
-    run: fn(&RunOpts, &SweepRunner) -> Vec<Table>,
-    specs: fn(&RunOpts) -> Vec<ScenarioSpec>,
-}
-
-fn figures() -> Vec<Figure> {
-    vec![
-        Figure {
-            name: "fig3",
-            desc: "way sweep: latent contention, DMA bloat, directory contention",
-            protocol: Protocol::Paper,
-            run: |o, r| vec![fig3::run_with(o, false, r), fig3::run_with(o, true, r)],
-            specs: |o| {
-                let mut s = fig3::specs(o, false);
-                s.extend(fig3::specs(o, true));
-                s
-            },
-        },
-        Figure {
-            name: "fig4",
-            desc: "directory-contention validation: DCA on vs off",
-            protocol: Protocol::Paper,
-            run: |o, r| vec![fig4::run_with(o, r)],
-            specs: fig4::specs,
-        },
-        Figure {
-            name: "fig5",
-            desc: "storage block-size sweep: throughput and DMA leak",
-            protocol: Protocol::Paper,
-            run: |o, r| vec![fig5::run_with(o, r)],
-            specs: fig5::specs,
-        },
-        Figure {
-            name: "fig6",
-            desc: "FIO vs DPDK-T latency across block sizes",
-            protocol: Protocol::Paper,
-            run: |o, r| vec![fig6::run_with(o, r)],
-            specs: fig6::specs,
-        },
-        Figure {
-            name: "fig7",
-            desc: "overlap vs exclude allocation strategies",
-            protocol: Protocol::Paper,
-            run: |o, r| vec![fig7::run_with(o, r)],
-            specs: fig7::specs,
-        },
-        Figure {
-            name: "fig8",
-            desc: "selective DCA off + trash-way shrinking",
-            protocol: Protocol::Paper,
-            run: |o, r| vec![fig8::run_a_with(o, r), fig8::run_b_with(o, r)],
-            specs: fig8::specs,
-        },
-        Figure {
-            name: "fig11",
-            desc: "X-Mem IPC/hit rate vs packet size, 3 schemes",
-            protocol: Protocol::Controller,
-            run: |o, r| vec![fig11::run_with(o, r)],
-            specs: fig11::specs,
-        },
-        Figure {
-            name: "fig12",
-            desc: "network metrics vs storage block size, 3 schemes",
-            protocol: Protocol::Controller,
-            run: |o, r| vec![fig12::run_with(o, r)],
-            specs: fig12::specs,
-        },
-        Figure {
-            name: "fig13",
-            desc: "real-world colocations, 6 schemes",
-            protocol: Protocol::Controller,
-            run: |o, r| vec![fig13::run_with(o, true, r), fig13::run_with(o, false, r)],
-            specs: |o| {
-                let mut s = fig13::specs(o, true);
-                s.extend(fig13::specs(o, false));
-                s
-            },
-        },
-        Figure {
-            name: "fig14",
-            desc: "latency breakdowns + system-wide metrics",
-            protocol: Protocol::Controller,
-            run: |o, r| fig14::run_with(o, r),
-            specs: fig14::specs,
-        },
-        Figure {
-            name: "fig15",
-            desc: "threshold & timing sensitivity",
-            protocol: Protocol::Controller,
-            run: fig15::run_all_with,
-            specs: fig15::specs,
-        },
-        Figure {
-            name: "fig_numa",
-            desc: "2-socket NIC/SSD placement: local vs remote, 3 schemes",
-            protocol: Protocol::Controller,
-            run: |o, r| vec![fig_numa::run_with(o, r)],
-            specs: fig_numa::specs,
-        },
-    ]
-}
+use std::time::Duration;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -269,7 +187,7 @@ fn run_timing(quick: bool, json_dir: Option<&str>) {
 /// or the value slot of a value-taking flag, so `--json fig-tables/`
 /// never turns its directory into a figure filter.
 fn positional_args(args: &[String]) -> Vec<&str> {
-    const VALUE_FLAGS: [&str; 7] = [
+    const VALUE_FLAGS: [&str; 10] = [
         "--json",
         "--dump-specs",
         "--spec",
@@ -277,6 +195,9 @@ fn positional_args(args: &[String]) -> Vec<&str> {
         "--cache-dir",
         "--replicas",
         "--max-age-days",
+        "--shard",
+        "--shards",
+        "--stale-secs",
     ];
     let mut positional = Vec::new();
     let mut skip_value = false;
@@ -297,16 +218,67 @@ fn positional_args(args: &[String]) -> Vec<&str> {
     positional
 }
 
+/// Claims and executes queued tasks until none are claimable, renewing
+/// the lease after every batch of cells.
+fn drain_queue(queue: &JobQueue, runner: &SweepRunner, worker: &str, stale: Duration) -> usize {
+    let mut executed = 0;
+    loop {
+        let reclaimed = queue.reclaim_stale(stale).expect("scan leases");
+        if reclaimed > 0 {
+            eprintln!("[a4-repro] {worker}: re-claimed {reclaimed} stale lease(s)");
+        }
+        let Some(lease) = queue.claim(worker).expect("claim task") else {
+            return executed;
+        };
+        let task = lease.task.clone();
+        eprintln!(
+            "[a4-repro] {worker}: executing {} shard {} ({})",
+            task.job.figure,
+            task.shard,
+            lease.id()
+        );
+        match task
+            .job
+            .execute_shard_with(task.shard, runner, |_done, _total| {
+                let _ = lease.heartbeat();
+            }) {
+            Ok(units) => {
+                executed += units;
+                queue.complete(lease).expect("mark task done");
+            }
+            Err(e) => {
+                // Put the task back for another (or a fixed) worker
+                // before surfacing the failure.
+                queue.release(lease).expect("release lease");
+                panic!("{worker}: task failed: {e}");
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
     let timing = args.iter().any(|a| a == "--timing");
     let no_cache = args.iter().any(|a| a == "--no-cache");
+    let merge_only = args.iter().any(|a| a == "--merge-only");
+    let enqueue = args.iter().any(|a| a == "--enqueue");
+    let worker = args.iter().any(|a| a == "--worker");
+    let serve = args.iter().any(|a| a == "--serve");
     let json_dir = flag_value(&args, "--json");
     let dump_dir = flag_value(&args, "--dump-specs");
     let spec_file = flag_value(&args, "--spec");
     let cache_dir = flag_value(&args, "--cache-dir");
+    let shard = flag_value(&args, "--shard")
+        .map(|s| Shard::parse(&s).unwrap_or_else(|e| panic!("--shard: {e}")));
+    let shards: u64 = flag_value(&args, "--shards")
+        .map(|s| s.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(2);
+    assert!(shards >= 1, "--shards takes a positive integer");
+    let stale_secs: u64 = flag_value(&args, "--stale-secs")
+        .map(|s| s.parse().expect("--stale-secs takes a second count"))
+        .unwrap_or(300);
     let threads: usize = flag_value(&args, "--threads")
         .map(|t| t.parse().expect("--threads takes a positive integer"))
         .unwrap_or(1);
@@ -330,9 +302,37 @@ fn main() {
         cache_gc || flag_value(&args, "--max-age-days").is_none(),
         "--max-age-days only applies to --cache-gc"
     );
+    let service_modes = usize::from(shard.is_some())
+        + [merge_only, enqueue, worker, serve]
+            .iter()
+            .filter(|m| **m)
+            .count();
+    assert!(
+        service_modes <= 1,
+        "--shard, --merge-only, --enqueue, --worker and --serve are mutually exclusive"
+    );
+    if service_modes == 1 {
+        assert!(
+            !no_cache,
+            "sharded/queued sweeps need the shared store (drop --no-cache)"
+        );
+        assert!(
+            spec_file.is_none() && dump_dir.is_none() && !timing,
+            "--spec/--dump-specs/--timing do not combine with sweep-service modes"
+        );
+    }
+    assert!(
+        enqueue || serve || flag_value(&args, "--shards").is_none(),
+        "--shards only applies to --enqueue/--serve"
+    );
+    assert!(
+        worker || serve || flag_value(&args, "--stale-secs").is_none(),
+        "--stale-secs only applies to --worker/--serve"
+    );
+    let store_dir = cache_dir.clone().unwrap_or_else(|| "out/.cache".into());
     let mut runner = SweepRunner::with_threads(threads);
     if !no_cache {
-        runner = runner.with_cache_dir(cache_dir.as_deref().unwrap_or("out/.cache"));
+        runner = runner.with_cache_dir(&store_dir);
     }
     let wanted = positional_args(&args);
     let known: Vec<&str> = figures().iter().map(|f| f.name).collect();
@@ -342,6 +342,10 @@ fn main() {
             "unknown figure {name:?} (run --list for the vocabulary)"
         );
     }
+    assert!(
+        !worker || wanted.is_empty(),
+        "--worker takes no figure arguments: tasks on the queue already name their figure"
+    );
     let all = wanted.is_empty();
     let wants = |name: &str| all || wanted.contains(&name);
 
@@ -359,29 +363,20 @@ fn main() {
         }
     }
 
-    let opts = if quick {
-        RunOpts::quick()
-    } else {
-        RunOpts::paper()
-    };
-    let ctl_opts = if quick {
-        RunOpts {
-            warmup: 12,
-            measure: 4,
-            ..RunOpts::quick()
-        }
-    } else {
-        RunOpts::controller()
-    };
-    let opts_for = |f: &Figure| match f.protocol {
-        Protocol::Paper => opts,
-        Protocol::Controller => ctl_opts,
+    let job_for = |f: &FigureDef| {
+        SweepJob::new(
+            f.name,
+            f.protocol.opts(quick),
+            replicas as u64,
+            SeedPolicy::SpecSeed,
+        )
+        .expect("registry figures are known")
     };
 
     if list {
         println!("figure  cells  description");
         for f in figures() {
-            let cells = (f.specs)(&opts_for(&f)).len();
+            let cells = (f.specs)(&f.protocol.opts(quick)).len();
             println!("{:<7} {:>5}  {}", f.name, cells, f.desc);
         }
         return;
@@ -396,39 +391,129 @@ fn main() {
 
     let mut tables: Vec<Table> = Vec::new();
     let mut replica_tables: Vec<TableStats> = Vec::new();
-    // Runs one table-producing closure at every replica and aggregates
-    // cell-wise; replica r's runner derives seeds as replica(r).
-    let replicated = |produce: &dyn Fn(&SweepRunner) -> Vec<Table>| -> Vec<TableStats> {
-        let per_replica: Vec<Vec<Table>> = (0..replicas as u64)
-            .map(|r| produce(&runner.clone().replica(r)))
-            .collect();
-        (0..per_replica[0].len())
-            .map(|ti| {
-                let group: Vec<Table> = per_replica.iter().map(|rep| rep[ti].clone()).collect();
-                TableStats::from_replicas(&group)
-            })
-            .collect()
-    };
+    fn collect(rendered: JobTables, tables: &mut Vec<Table>, replicated: &mut Vec<TableStats>) {
+        match rendered {
+            JobTables::Single(ts) => tables.extend(ts),
+            JobTables::Replicated(stats) => replicated.extend(stats),
+        }
+    }
+
+    if enqueue || worker || serve {
+        let queue = JobQueue::open(&store_dir).expect("open job queue");
+        let stale = Duration::from_secs(stale_secs);
+        if enqueue || serve {
+            for f in figures().iter().filter(|f| wants(f.name)) {
+                let job = job_for(f);
+                for index in 0..shards {
+                    let task = Task {
+                        job: job.clone(),
+                        shard: Shard::new(index, shards),
+                    };
+                    let state = queue.enqueue(&task).expect("enqueue task");
+                    eprintln!(
+                        "[a4-repro] enqueue {} shard {}: {state:?}",
+                        f.name, task.shard
+                    );
+                }
+            }
+        }
+        let me = format!("w{}", std::process::id());
+        if worker {
+            let executed = drain_queue(&queue, &runner, &me, stale);
+            let (pending, leased, done) = queue.counts().expect("queue counts");
+            eprintln!(
+                "[a4-repro] {me}: executed {executed} unit(s); queue now \
+                 {pending} pending / {leased} leased / {done} done"
+            );
+            return;
+        }
+        if enqueue {
+            let (pending, leased, done) = queue.counts().expect("queue counts");
+            eprintln!(
+                "[a4-repro] queue {}: {pending} pending / {leased} leased / {done} done \
+                 (start workers with --worker --cache-dir {store_dir})",
+                queue.root().display()
+            );
+            return;
+        }
+        // --serve: work the queue alongside any external workers, wait
+        // for stragglers (re-claiming their leases if they go stale),
+        // then fall through to the merge below.
+        loop {
+            drain_queue(&queue, &runner, &me, stale);
+            let (pending, leased, _) = queue.counts().expect("queue counts");
+            if pending == 0 && leased == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+
+    if let Some(shard) = shard {
+        let store = runner.cache().expect("store enabled (asserted above)");
+        for f in figures().iter().filter(|f| wants(f.name)) {
+            let job = job_for(f);
+            let executed = job
+                .execute_shard(shard, &runner)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            match job.render_from_store(store) {
+                Ok(rendered) => collect(rendered, &mut tables, &mut replica_tables),
+                Err(ServiceError::MissingCells { missing, total, .. }) => eprintln!(
+                    "[a4-repro] {} shard {shard}: executed {executed} unit(s); \
+                     {}/{total} cell(s) not in the store yet — render with \
+                     --merge-only once every shard has run",
+                    f.name,
+                    missing.len()
+                ),
+                Err(e) => panic!("{}: {e}", f.name),
+            }
+        }
+    } else if merge_only || serve {
+        let store = runner.cache().expect("store enabled (asserted above)");
+        for f in figures().iter().filter(|f| wants(f.name)) {
+            let job = job_for(f);
+            let rendered = job
+                .render_from_store(store)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            collect(rendered, &mut tables, &mut replica_tables);
+        }
+    }
 
     if let Some(path) = &spec_file {
         let json = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read spec file {path}: {e}"));
-        // Accept a single spec object or an array of them.
-        let specs: Vec<ScenarioSpec> = serde_json::from_str::<Vec<ScenarioSpec>>(&json)
+        // Accept a single spec object or an array of them; migrate
+        // older schema versions to the current one.
+        let parsed: Vec<ScenarioSpec> = serde_json::from_str::<Vec<ScenarioSpec>>(&json)
             .or_else(|_| serde_json::from_str::<ScenarioSpec>(&json).map(|s| vec![s]))
             .unwrap_or_else(|e| panic!("cannot parse {path} as ScenarioSpec JSON: {e}"));
+        let specs: Vec<ScenarioSpec> = parsed
+            .into_iter()
+            .map(|s| s.migrate().unwrap_or_else(|e| panic!("{path}: {e}")))
+            .collect();
         assert!(!specs.is_empty(), "{path} contains no scenario specs");
         eprintln!(
             "[a4-repro] running {} scenario(s) from {path} on {threads} thread(s)...",
             specs.len()
         );
         if replicas > 1 {
-            replica_tables.extend(replicated(&|r| {
-                r.run_specs(&specs)
-                    .unwrap_or_else(|e| panic!("spec failed to build: {e}"))
-                    .iter()
-                    .map(spec_table)
-                    .collect()
+            // Runs the spec file at every replica and aggregates
+            // cell-wise; replica r's runner derives seeds as replica(r).
+            let per_replica: Vec<Vec<Table>> = (0..replicas as u64)
+                .map(|r| {
+                    runner
+                        .clone()
+                        .replica(r)
+                        .run_specs(&specs)
+                        .unwrap_or_else(|e| panic!("spec failed to build: {e}"))
+                        .iter()
+                        .map(spec_table)
+                        .collect()
+                })
+                .collect();
+            replica_tables.extend((0..per_replica[0].len()).map(|ti| {
+                let group: Vec<Table> = per_replica.iter().map(|rep| rep[ti].clone()).collect();
+                TableStats::from_replicas(&group)
             }));
         } else {
             let runs = runner
@@ -446,7 +531,7 @@ fn main() {
         );
         std::fs::create_dir_all(&dir).expect("create spec output dir");
         for f in figures().iter().filter(|f| wants(f.name)) {
-            let specs = (f.specs)(&opts_for(f));
+            let specs = (f.specs)(&f.protocol.opts(quick));
             let path = format!("{dir}/{}.specs.json", f.name);
             let json = serde_json::to_string_pretty(&specs).expect("specs serialize");
             std::fs::write(&path, json).expect("write specs json");
@@ -455,19 +540,18 @@ fn main() {
         if tables.is_empty() {
             return;
         }
-    } else if spec_file.is_none() || !wanted.is_empty() {
+    } else if service_modes == 0 && (spec_file.is_none() || !wanted.is_empty()) {
         for f in figures().iter().filter(|f| wants(f.name)) {
-            let o = opts_for(f);
-            let cells = (f.specs)(&o).len();
+            let job = job_for(f);
+            let cells = (f.specs)(&job.opts).len();
             eprintln!(
                 "[a4-repro] {} ({}; {cells} cells, {threads} thread(s), {replicas} replica(s))...",
                 f.name, f.desc
             );
-            if replicas > 1 {
-                replica_tables.extend(replicated(&|r| (f.run)(&o, r)));
-            } else {
-                tables.extend((f.run)(&o, &runner));
-            }
+            let rendered = job
+                .execute(&runner)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            collect(rendered, &mut tables, &mut replica_tables);
         }
     }
 

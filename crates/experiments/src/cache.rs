@@ -48,24 +48,31 @@ fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// Content hash of one experiment cell: 128 bits (two independently
-/// seeded FNV-1a streams) over the code salt and the spec's JSON form,
-/// rendered as 32 hex digits.
+/// Content key of an arbitrary serialized payload: 128 bits (two
+/// independently seeded FNV-1a streams) over the code salt and the
+/// payload, rendered as 32 hex digits. [`spec_key`] and the job queue's
+/// task ids both use this, so every on-disk artifact keys on the same
+/// *(code version, content)* pair.
+pub(crate) fn content_key(payload: &str) -> String {
+    let lo = fnv1a(fnv1a(FNV_OFFSET, CODE_SALT.as_bytes()), payload.as_bytes());
+    // Second stream: different seed, salt appended, so the two halves
+    // are not trivially correlated.
+    let hi = fnv1a(
+        fnv1a(FNV_OFFSET ^ 0x5bd1_e995_9d3a_c1f7, payload.as_bytes()),
+        CODE_SALT.as_bytes(),
+    );
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// Content hash of one experiment cell: [`content_key`] over the spec's
+/// JSON form.
 ///
 /// # Panics
 ///
 /// Panics if the spec fails to serialize (specs are plain data; this
 /// cannot happen for constructible specs).
 pub fn spec_key(spec: &ScenarioSpec) -> String {
-    let json = serde_json::to_string(spec).expect("specs serialize");
-    let lo = fnv1a(fnv1a(FNV_OFFSET, CODE_SALT.as_bytes()), json.as_bytes());
-    // Second stream: different seed, salt appended, so the two halves
-    // are not trivially correlated.
-    let hi = fnv1a(
-        fnv1a(FNV_OFFSET ^ 0x5bd1_e995_9d3a_c1f7, json.as_bytes()),
-        CODE_SALT.as_bytes(),
-    );
-    format!("{hi:016x}{lo:016x}")
+    content_key(&serde_json::to_string(spec).expect("specs serialize"))
 }
 
 /// An on-disk store of [`RunReport`]s keyed by [`spec_key`].

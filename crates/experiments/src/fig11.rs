@@ -6,7 +6,7 @@
 //! blocks) and X-Mem 1 (HPW) / X-Mem 2 (LPW) / X-Mem 3 (LPW, detected
 //! antagonist); packet size swept 64 B to 1514 B.
 
-use crate::runner::SweepRunner;
+use crate::runner::{SweepRunner, TypedAxis, TypedSweep2};
 use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 use crate::table::Table;
 use a4_model::Priority;
@@ -74,13 +74,45 @@ pub fn run_mix(opts: &RunOpts, scheme: Scheme, packet_bytes: u64, block_kib: u64
         .run()
 }
 
+/// The packet × scheme grid (packet size slowest).
+pub fn grid() -> TypedSweep2<u64, Scheme> {
+    TypedSweep2::new(
+        TypedAxis::new("packet_bytes", PACKET_BYTES.map(|p| (p, format!("{p}B")))),
+        TypedAxis::new("scheme", Scheme::main_three().map(|s| (s, s.label()))),
+    )
+}
+
 /// All cells of the figure: packet size major, scheme minor.
 pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
-    PACKET_BYTES
-        .iter()
-        .flat_map(|&pkt| Scheme::main_three().into_iter().map(move |s| (pkt, s)))
-        .map(|(pkt, scheme)| mix_spec(opts, scheme, pkt, 2048))
-        .collect()
+    grid().map(|&pkt, &scheme| mix_spec(opts, scheme, pkt, 2048))
+}
+
+/// Renders the figure from the runs of [`specs`] (same order).
+pub fn table(runs: &[ScenarioRun]) -> Table {
+    let grid = grid();
+    let mut columns = Vec::new();
+    for scheme in &grid.b.labels {
+        for xm in ["xmem1", "xmem2", "xmem3"] {
+            columns.push(format!("{scheme}_{xm}_ipc"));
+            columns.push(format!("{scheme}_{xm}_hit"));
+        }
+    }
+    let mut table = Table::new(
+        "fig11",
+        "X-Mem IPC and LLC hit rates vs packet size",
+        columns,
+    );
+    for (chunk, label) in runs.chunks_exact(grid.b.len()).zip(&grid.a.labels) {
+        let mut row = Vec::new();
+        for run in chunk {
+            for xm in ["xmem1", "xmem2", "xmem3"] {
+                row.push(run.ipc(xm));
+                row.push(run.llc_hit_rate(xm));
+            }
+        }
+        table.push(label.clone(), row);
+    }
+    table
 }
 
 /// Runs the full figure serially.
@@ -91,33 +123,8 @@ pub fn run(opts: &RunOpts) -> Table {
 /// Runs the full figure, fanning cells out over `runner`: per packet
 /// size, per scheme, IPC and LLC hit rate of each X-Mem.
 pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
-    let mut columns = Vec::new();
-    for scheme in Scheme::main_three() {
-        for xm in ["xmem1", "xmem2", "xmem3"] {
-            columns.push(format!("{}_{}_ipc", scheme.label(), xm));
-            columns.push(format!("{}_{}_hit", scheme.label(), xm));
-        }
-    }
-    let mut table = Table::new(
-        "fig11",
-        "X-Mem IPC and LLC hit rates vs packet size",
-        columns,
-    );
     let runs = runner.run_specs(&specs(opts)).expect("static fig11 layout");
-    for (chunk, pkt) in runs
-        .chunks_exact(Scheme::main_three().len())
-        .zip(PACKET_BYTES)
-    {
-        let mut row = Vec::new();
-        for run in chunk {
-            for xm in ["xmem1", "xmem2", "xmem3"] {
-                row.push(run.ipc(xm));
-                row.push(run.llc_hit_rate(xm));
-            }
-        }
-        table.push(format!("{pkt}B"), row);
-    }
-    table
+    table(&runs)
 }
 
 #[cfg(test)]

@@ -6,26 +6,49 @@
 //! ending 58 % lower latency / 5 % higher throughput at 2 MB.
 
 use crate::fig11::mix_spec;
-use crate::runner::SweepRunner;
-use crate::spec::{RunOpts, ScenarioSpec, Scheme};
+use crate::runner::{SweepRunner, TypedAxis, TypedSweep2};
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme};
 use crate::table::Table;
 use a4_sim::LatencyKind;
 
 /// The swept block sizes in KiB.
 pub const BLOCK_KIB: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
 
+/// The block × scheme grid (block size slowest).
+pub fn grid() -> TypedSweep2<u64, Scheme> {
+    TypedSweep2::new(
+        TypedAxis::new("block_kib", BLOCK_KIB.map(|k| (k, format!("{k}KB")))),
+        TypedAxis::new("scheme", Scheme::main_three().map(|s| (s, s.label()))),
+    )
+}
+
 /// All cells of the figure: block size major, scheme minor (the 10 × 3
 /// grid whose cells parallelize independently).
 pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
-    BLOCK_KIB
-        .iter()
-        .flat_map(|&kib| {
-            Scheme::main_three()
-                .into_iter()
-                .map(move |scheme| (kib, scheme))
-        })
-        .map(|(kib, scheme)| mix_spec(opts, scheme, 1514, kib))
-        .collect()
+    grid().map(|&kib, &scheme| mix_spec(opts, scheme, 1514, kib))
+}
+
+/// Renders the figure from the runs of [`specs`] (same order).
+pub fn table(runs: &[ScenarioRun]) -> Table {
+    let grid = grid();
+    let mut columns = Vec::new();
+    for scheme in &grid.b.labels {
+        columns.push(format!("{scheme}_tl_us"));
+        columns.push(format!("{scheme}_rx_gbps"));
+    }
+    let mut table = Table::new("fig12", "network metrics vs storage block size", columns);
+    for (chunk, label) in runs.chunks_exact(grid.b.len()).zip(&grid.a.labels) {
+        let mut row = Vec::new();
+        for run in chunk {
+            row.push(run.p99_latency_us("dpdk", LatencyKind::NetTotal));
+            // Paper-comparable GB/s derived from the samples' simulated
+            // interval lengths (one logical second = 1 ms on the scaled
+            // Xeon) — see RunReport::measured_secs.
+            row.push(run.io_gbps("dpdk"));
+        }
+        table.push(label.clone(), row);
+    }
+    table
 }
 
 /// Runs the full figure serially.
@@ -37,25 +60,8 @@ pub fn run(opts: &RunOpts) -> Table {
 /// size, per scheme, DPDK-T tail latency (µs) and network read
 /// throughput (GB/s).
 pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
-    let mut columns = Vec::new();
-    for scheme in Scheme::main_three() {
-        columns.push(format!("{}_tl_us", scheme.label()));
-        columns.push(format!("{}_rx_gbps", scheme.label()));
-    }
-    let mut table = Table::new("fig12", "network metrics vs storage block size", columns);
     let runs = runner.run_specs(&specs(opts)).expect("static fig12 layout");
-    for (chunk, kib) in runs.chunks_exact(Scheme::main_three().len()).zip(BLOCK_KIB) {
-        let mut row = Vec::new();
-        for run in chunk {
-            row.push(run.p99_latency_us("dpdk", LatencyKind::NetTotal));
-            // Paper-comparable GB/s derived from the samples' simulated
-            // interval lengths (one logical second = 1 ms on the scaled
-            // Xeon) — see RunReport::measured_secs.
-            row.push(run.io_gbps("dpdk"));
-        }
-        table.push(format!("{kib}KB"), row);
-    }
-    table
+    table(&runs)
 }
 
 #[cfg(test)]

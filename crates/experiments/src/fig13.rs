@@ -122,6 +122,15 @@ pub fn run(opts: &RunOpts, hpw_heavy: bool) -> Table {
 /// summary rows, columns are relative performance per scheme (normalized
 /// to Default) plus the A4-d LLC hit rate.
 pub fn run_with(opts: &RunOpts, hpw_heavy: bool, runner: &SweepRunner) -> Table {
+    let runs = runner
+        .run_specs(&specs(opts, hpw_heavy))
+        .expect("static fig13 layout");
+    table(hpw_heavy, &runs)
+}
+
+/// Renders one panel from the runs of [`specs`] (same order, one run per
+/// scheme of [`Scheme::all_six`]).
+pub fn table(hpw_heavy: bool, runs: &[ScenarioRun]) -> Table {
     let (id, title) = if hpw_heavy {
         ("fig13a", "HPW-heavy colocation (7 HPW + 4 LPW)")
     } else {
@@ -134,9 +143,6 @@ pub fn run_with(opts: &RunOpts, hpw_heavy: bool, runner: &SweepRunner) -> Table 
     columns.push("llc_hit_A4-d".into());
     let mut table = Table::new(id, title, columns);
 
-    let runs = runner
-        .run_specs(&specs(opts, hpw_heavy))
-        .expect("static fig13 layout");
     let default_run = &runs[0];
     let a4d_run = &runs[runs.len() - 1];
 

@@ -61,6 +61,13 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
 
 /// Runs all four panels, fanning the scheme cells out over `runner`.
 pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Vec<Table> {
+    let runs = runner.run_specs(&specs(opts)).expect("static fig14 layout");
+    tables(&runs)
+}
+
+/// Renders all four panels from the runs of [`specs`] (same order, one
+/// run per scheme of [`Scheme::all_six`]).
+pub fn tables(runs: &[ScenarioRun]) -> Vec<Table> {
     let mut a = Table::new(
         "fig14a",
         "Fastclick average latency breakdown (us)",
@@ -81,7 +88,6 @@ pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Vec<Table> {
         "system-wide memory bandwidth (GB/s)",
         ["mem_rd", "mem_wr"],
     );
-    let runs = runner.run_specs(&specs(opts)).expect("static fig14 layout");
     for (scheme, run) in Scheme::all_six().into_iter().zip(runs) {
         a.push(
             scheme.label(),

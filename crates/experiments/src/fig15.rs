@@ -178,8 +178,14 @@ fn run_panel(
 /// cells of [`specs`], exactly once each); returns
 /// `[fig15a, fig15b, fig15c]`.
 pub fn run_all_with(opts: &RunOpts, runner: &SweepRunner) -> Vec<Table> {
-    let (a, b, c) = (points_a(), points_b(), points_c());
     let runs = runner.run_specs(&specs(opts)).expect("static fig15 layout");
+    tables(&runs)
+}
+
+/// Renders `[fig15a, fig15b, fig15c]` from the runs of [`specs`] (same
+/// order: the shared baseline first, then the three panels' points).
+pub fn tables(runs: &[ScenarioRun]) -> Vec<Table> {
+    let (a, b, c) = (points_a(), points_b(), points_c());
     let baseline = &runs[0];
     let rest = &runs[1..];
     let (runs_a, rest) = rest.split_at(a.len());

@@ -12,8 +12,8 @@
 //! (DMA bloat) and the `[9:10]` bump (directory contention, observation
 //! O1).
 
-use crate::runner::SweepRunner;
-use crate::spec::{RunOpts, ScenarioSpec, WorkloadSpec};
+use crate::runner::{SweepRunner, TypedAxis};
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
 use a4_model::{Priority, WayMask};
 
@@ -22,6 +22,11 @@ pub fn sweep_masks() -> Vec<WayMask> {
     (0..=9)
         .map(|m| WayMask::from_paper_range(m, m + 1).expect("within 11 ways"))
         .collect()
+}
+
+/// The swept masks as a typed axis (row labels are the mask displays).
+pub fn axis() -> TypedAxis<WayMask> {
+    TypedAxis::labeled("xmem_mask", sweep_masks())
 }
 
 /// The declarative cell: DPDK (T or NT) pinned to ways `[5:6]`, X-Mem
@@ -55,10 +60,38 @@ pub fn spec(opts: &RunOpts, touch: bool, xmem_mask: WayMask) -> ScenarioSpec {
 
 /// All cells of one panel, in row order.
 pub fn specs(opts: &RunOpts, touch: bool) -> Vec<ScenarioSpec> {
-    sweep_masks()
+    axis()
+        .values
         .into_iter()
         .map(|mask| spec(opts, touch, mask))
         .collect()
+}
+
+/// Renders one panel from the runs of [`specs`] (same order). Pure:
+/// looks only at the results, never simulates.
+pub fn table(touch: bool, runs: &[ScenarioRun]) -> Table {
+    let (id, title) = if touch {
+        ("fig3b", "DPDK-T (touching) vs X-Mem way sweep")
+    } else {
+        ("fig3a", "DPDK-NT (non-touching) vs X-Mem way sweep")
+    };
+    let mut table = Table::new(
+        id,
+        title,
+        ["xmem_miss", "dpdk_miss", "mem_rd_gbps", "mem_wr_gbps"],
+    );
+    for (label, run) in axis().labels.iter().zip(runs) {
+        table.push(
+            label.clone(),
+            [
+                run.llc_miss_rate("xmem"),
+                run.llc_miss_rate("dpdk"),
+                run.report.mem_read_gbps(),
+                run.report.mem_write_gbps(),
+            ],
+        );
+    }
+    table
 }
 
 /// Runs one sweep point and returns
@@ -84,31 +117,10 @@ pub fn run(opts: &RunOpts, touch: bool) -> Table {
 
 /// Runs the full sweep, fanning cells out over `runner`.
 pub fn run_with(opts: &RunOpts, touch: bool, runner: &SweepRunner) -> Table {
-    let (id, title) = if touch {
-        ("fig3b", "DPDK-T (touching) vs X-Mem way sweep")
-    } else {
-        ("fig3a", "DPDK-NT (non-touching) vs X-Mem way sweep")
-    };
-    let mut table = Table::new(
-        id,
-        title,
-        ["xmem_miss", "dpdk_miss", "mem_rd_gbps", "mem_wr_gbps"],
-    );
     let runs = runner
         .run_specs(&specs(opts, touch))
         .expect("static fig3 layout");
-    for (mask, run) in sweep_masks().iter().zip(runs) {
-        table.push(
-            mask.to_string(),
-            [
-                run.llc_miss_rate("xmem"),
-                run.llc_miss_rate("dpdk"),
-                run.report.mem_read_gbps(),
-                run.report.mem_write_gbps(),
-            ],
-        );
-    }
-    table
+    table(touch, &runs)
 }
 
 #[cfg(test)]

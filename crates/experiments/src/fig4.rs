@@ -6,7 +6,7 @@
 //! `[0:1]`, `[3:4]`, `[5:6]`, `[9:10]`), once with DCA on and once with
 //! DCA globally off, plus an X-Mem solo reference.
 
-use crate::runner::SweepRunner;
+use crate::runner::{SweepRunner, TypedAxis, TypedSweep2};
 use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
 use a4_model::{Priority, WayMask};
@@ -74,16 +74,40 @@ pub fn solo_spec(opts: &RunOpts) -> ScenarioSpec {
         .with_cat(2, WayMask::INCLUSIVE, &["xmem"])
 }
 
+/// The dca × placement grid that follows the solo reference cell
+/// (DCA slowest: on before off).
+pub fn grid() -> TypedSweep2<bool, WayMask> {
+    TypedSweep2::new(
+        TypedAxis::new("dca", [(true, "on"), (false, "off")]),
+        TypedAxis::labeled("xmem_mask", placements()),
+    )
+}
+
 /// All cells of the figure: the solo reference followed by the
 /// dca × placement grid.
 pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
     let mut specs = vec![solo_spec(opts)];
-    for dca_on in [true, false] {
-        for mask in placements() {
-            specs.push(spec(opts, dca_on, Some(mask)));
-        }
-    }
+    specs.extend(grid().map(|&dca_on, &mask| spec(opts, dca_on, Some(mask))));
     specs
+}
+
+/// Renders the figure from the runs of [`specs`] (same order).
+pub fn table(runs: &[ScenarioRun]) -> Table {
+    let mut table = Table::new(
+        "fig4",
+        "directory contention validation: DCA on vs off",
+        ["dpdk_p99_us", "xmem_llc_miss"],
+    );
+    let solo = &runs[0];
+    table.push("solo [9:10]", [0.0, solo.llc_miss_rate("xmem")]);
+    for (cell, run) in grid().sweep().cells().iter().zip(&runs[1..]) {
+        let (p99, miss) = point_metrics(run, true);
+        table.push(
+            format!("dca={} {}", cell.labels[0], cell.labels[1]),
+            [p99, miss],
+        );
+    }
+    table
 }
 
 /// One configuration: returns `(dpdk_p99_us, xmem_llc_miss)`.
@@ -112,24 +136,8 @@ pub fn run(opts: &RunOpts) -> Table {
 
 /// Runs the full figure, fanning cells out over `runner`.
 pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
-    let mut table = Table::new(
-        "fig4",
-        "directory contention validation: DCA on vs off",
-        ["dpdk_p99_us", "xmem_llc_miss"],
-    );
     let runs = runner.run_specs(&specs(opts)).expect("static fig4 layout");
-    let mut runs = runs.into_iter();
-    let solo = runs.next().expect("solo reference cell");
-    table.push("solo [9:10]", [0.0, solo.llc_miss_rate("xmem")]);
-    for dca_on in [true, false] {
-        for mask in placements() {
-            let run = runs.next().expect("grid cell");
-            let (p99, miss) = point_metrics(&run, true);
-            let label = format!("dca={} {}", if dca_on { "on" } else { "off" }, mask);
-            table.push(label, [p99, miss]);
-        }
-    }
-    table
+    table(&runs)
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@
 //! Setup (§3.2): FIO alone, 4 threads, random read, `O_DIRECT`, QD 32
 //! total, block size swept 4 KB – 2 MB (scaled), DCA on vs off.
 
-use crate::runner::SweepRunner;
-use crate::spec::{RunOpts, ScenarioSpec, WorkloadSpec};
+use crate::runner::{SweepRunner, TypedAxis, TypedSweep2};
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
 use a4_model::Priority;
 
@@ -35,12 +35,40 @@ pub fn spec(opts: &RunOpts, block_kib: u64, dca_on: bool) -> ScenarioSpec {
     .with_device_dca("ssd", dca_on)
 }
 
+/// The block × DCA grid (block slowest, on before off).
+pub fn grid() -> TypedSweep2<u64, bool> {
+    TypedSweep2::new(
+        TypedAxis::new("block_kib", BLOCK_KIB.map(|k| (k, format!("{k}KB")))),
+        TypedAxis::new("dca", [(true, "on"), (false, "off")]),
+    )
+}
+
 /// All cells, block-major then DCA on/off.
 pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
-    BLOCK_KIB
-        .iter()
-        .flat_map(|&kib| [spec(opts, kib, true), spec(opts, kib, false)])
-        .collect()
+    grid().map(|&kib, &dca_on| spec(opts, kib, dca_on))
+}
+
+/// Renders the figure from the runs of [`specs`] (same order).
+pub fn table(runs: &[ScenarioRun]) -> Table {
+    let grid = grid();
+    let mut table = Table::new(
+        "fig5a",
+        "storage throughput and memory read bandwidth vs block size",
+        ["tp_dca_on", "mem_rd_dca_on", "tp_dca_off", "mem_rd_dca_off"],
+    );
+    for (pair, label) in runs.chunks_exact(grid.b.len()).zip(&grid.a.labels) {
+        let (on, off) = (&pair[0], &pair[1]);
+        table.push(
+            label.clone(),
+            [
+                on.io_gbps("fio"),
+                on.report.mem_read_gbps(),
+                off.io_gbps("fio"),
+                off.report.mem_read_gbps(),
+            ],
+        );
+    }
+    table
 }
 
 /// One configuration: returns `(storage_gbps, mem_read_gbps)`.
@@ -59,25 +87,8 @@ pub fn run(opts: &RunOpts) -> Table {
 
 /// Runs the full figure, fanning cells out over `runner`.
 pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
-    let mut table = Table::new(
-        "fig5a",
-        "storage throughput and memory read bandwidth vs block size",
-        ["tp_dca_on", "mem_rd_dca_on", "tp_dca_off", "mem_rd_dca_off"],
-    );
     let runs = runner.run_specs(&specs(opts)).expect("static fig5 layout");
-    for (pair, kib) in runs.chunks_exact(2).zip(BLOCK_KIB) {
-        let (on, off) = (&pair[0], &pair[1]);
-        table.push(
-            format!("{kib}KB"),
-            [
-                on.io_gbps("fio"),
-                on.report.mem_read_gbps(),
-                off.io_gbps("fio"),
-                off.report.mem_read_gbps(),
-            ],
-        );
-    }
-    table
+    table(&runs)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! Setup (§3.2): DPDK-T at ways `[4:5]` + FIO at ways `[2:3]`, block
 //! size swept, DCA on vs off; plus DPDK-T solo references.
 
-use crate::runner::SweepRunner;
+use crate::runner::{SweepRunner, TypedAxis, TypedSweep2};
 use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
 use a4_model::{Priority, WayMask};
@@ -62,14 +62,48 @@ pub fn spec(opts: &RunOpts, block_kib: Option<u64>, dca_on: bool) -> ScenarioSpe
     s
 }
 
+/// The block × DCA grid that follows the two solo reference cells.
+pub fn grid() -> TypedSweep2<u64, bool> {
+    TypedSweep2::new(
+        TypedAxis::new("block_kib", BLOCK_KIB.map(|k| (k, format!("{k}KB")))),
+        TypedAxis::new("dca", [(true, "on"), (false, "off")]),
+    )
+}
+
 /// All cells: solo on/off first, then the block × DCA grid.
 pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
     let mut specs = vec![spec(opts, None, true), spec(opts, None, false)];
-    for kib in BLOCK_KIB {
-        specs.push(spec(opts, Some(kib), true));
-        specs.push(spec(opts, Some(kib), false));
-    }
+    specs.extend(grid().map(|&kib, &dca_on| spec(opts, Some(kib), dca_on)));
     specs
+}
+
+/// Renders the figure from the runs of [`specs`] (same order).
+pub fn table(runs: &[ScenarioRun]) -> Table {
+    let grid = grid();
+    let mut table = Table::new(
+        "fig6",
+        "impact of FIO on DPDK-T latency vs storage block size",
+        [
+            "al_on_us",
+            "tl_on_us",
+            "tp_on",
+            "al_off_us",
+            "tl_off_us",
+            "tp_off",
+        ],
+    );
+    let (solo_al_on, solo_tl_on, _) = point_metrics(&runs[0], false);
+    let (solo_al_off, solo_tl_off, _) = point_metrics(&runs[1], false);
+    table.push(
+        "solo",
+        [solo_al_on, solo_tl_on, 0.0, solo_al_off, solo_tl_off, 0.0],
+    );
+    for (pair, label) in runs[2..].chunks_exact(grid.b.len()).zip(&grid.a.labels) {
+        let (al_on, tl_on, tp_on) = point_metrics(&pair[0], true);
+        let (al_off, tl_off, tp_off) = point_metrics(&pair[1], true);
+        table.push(label.clone(), [al_on, tl_on, tp_on, al_off, tl_off, tp_off]);
+    }
+    table
 }
 
 fn point_metrics(run: &ScenarioRun, with_fio: bool) -> (f64, f64, f64) {
@@ -97,34 +131,8 @@ pub fn run(opts: &RunOpts) -> Table {
 
 /// Runs the full figure, fanning cells out over `runner`.
 pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
-    let mut table = Table::new(
-        "fig6",
-        "impact of FIO on DPDK-T latency vs storage block size",
-        [
-            "al_on_us",
-            "tl_on_us",
-            "tp_on",
-            "al_off_us",
-            "tl_off_us",
-            "tp_off",
-        ],
-    );
     let runs = runner.run_specs(&specs(opts)).expect("static fig6 layout");
-    let (solo_al_on, solo_tl_on, _) = point_metrics(&runs[0], false);
-    let (solo_al_off, solo_tl_off, _) = point_metrics(&runs[1], false);
-    table.push(
-        "solo",
-        [solo_al_on, solo_tl_on, 0.0, solo_al_off, solo_tl_off, 0.0],
-    );
-    for (pair, kib) in runs[2..].chunks_exact(2).zip(BLOCK_KIB) {
-        let (al_on, tl_on, tp_on) = point_metrics(&pair[0], true);
-        let (al_off, tl_off, tp_off) = point_metrics(&pair[1], true);
-        table.push(
-            format!("{kib}KB"),
-            [al_on, tl_on, tp_on, al_off, tl_off, tp_off],
-        );
-    }
-    table
+    table(&runs)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! * `n-Exclude` — `n` ways ending at way 8 (`[9-n:8]`),
 //! * `n-Overlap` — `n` ways ending at way 10 (`[11-n:10]`).
 
-use crate::runner::SweepRunner;
+use crate::runner::{SweepRunner, TypedAxis};
 use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
 use a4_model::{Priority, WayMask};
@@ -91,9 +91,28 @@ pub fn spec(opts: &RunOpts, strategy: Strategy) -> ScenarioSpec {
         )
 }
 
+/// The strategy axis, in figure order.
+pub fn axis() -> TypedAxis<Strategy> {
+    TypedAxis::new("strategy", strategies().into_iter().map(|s| (s, s.label())))
+}
+
 /// All cells, in figure order.
 pub fn specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
-    strategies().into_iter().map(|s| spec(opts, s)).collect()
+    axis().values.into_iter().map(|s| spec(opts, s)).collect()
+}
+
+/// Renders the figure from the runs of [`specs`] (same order).
+pub fn table(runs: &[ScenarioRun]) -> Table {
+    let mut table = Table::new(
+        "fig7b",
+        "overlapping vs excluding the inclusive ways (DPDK-T)",
+        ["al_us", "tl_us", "mem_rd_gbps", "mem_wr_gbps"],
+    );
+    for (label, run) in axis().labels.iter().zip(runs) {
+        let (al, tl, rd, wr) = point_metrics(run);
+        table.push(label.clone(), [al, tl, rd, wr]);
+    }
+    table
 }
 
 fn point_metrics(run: &ScenarioRun) -> (f64, f64, f64, f64) {
@@ -121,17 +140,8 @@ pub fn run(opts: &RunOpts) -> Table {
 
 /// Runs the full figure, fanning cells out over `runner`.
 pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
-    let mut table = Table::new(
-        "fig7b",
-        "overlapping vs excluding the inclusive ways (DPDK-T)",
-        ["al_us", "tl_us", "mem_rd_gbps", "mem_wr_gbps"],
-    );
     let runs = runner.run_specs(&specs(opts)).expect("static fig7 layout");
-    for (s, run) in strategies().iter().zip(runs) {
-        let (al, tl, rd, wr) = point_metrics(&run);
-        table.push(s.label(), [al, tl, rd, wr]);
-    }
-    table
+    table(&runs)
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //!   co-running X-Mem's miss rate with flat storage throughput
 //!   (observation O5, the basis of pseudo LLC bypassing).
 
-use crate::runner::SweepRunner;
+use crate::runner::{SweepRunner, TypedAxis, TypedSweep2};
 use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, WorkloadSpec};
 use crate::table::Table;
 use a4_model::{Priority, WayMask};
@@ -95,19 +95,33 @@ pub fn spec_8b(opts: &RunOpts, fio_last_way: usize) -> ScenarioSpec {
         .with_device_dca("ssd", false)
 }
 
+/// The Fig. 8a block × SSD-DCA grid (block slowest, off before on).
+pub fn grid_a() -> TypedSweep2<u64, bool> {
+    TypedSweep2::new(
+        TypedAxis::new("block_kib", BLOCK_KIB.map(|k| (k, format!("{k}KB")))),
+        TypedAxis::new("ssd_dca", [(false, "off"), (true, "on")]),
+    )
+}
+
+/// The Fig. 8b FIO-mask axis, in figure order.
+pub fn axis_b() -> TypedAxis<usize> {
+    TypedAxis::new(
+        "fio_last_way",
+        FIO_LAST_WAYS.map(|w| (w, format!("[2:{w}]"))),
+    )
+}
+
 /// The Fig. 8a grid: off/on per block size, block-major.
 pub fn specs_a(opts: &RunOpts) -> Vec<ScenarioSpec> {
-    BLOCK_KIB
-        .iter()
-        .flat_map(|&kib| [spec_8a(opts, kib, false), spec_8a(opts, kib, true)])
-        .collect()
+    grid_a().map(|&kib, &ssd_dca| spec_8a(opts, kib, ssd_dca))
 }
 
 /// The Fig. 8b cells, in figure order.
 pub fn specs_b(opts: &RunOpts) -> Vec<ScenarioSpec> {
-    FIO_LAST_WAYS
-        .iter()
-        .map(|&last| spec_8b(opts, last))
+    axis_b()
+        .values
+        .into_iter()
+        .map(|last| spec_8b(opts, last))
         .collect()
 }
 
@@ -150,8 +164,9 @@ pub fn run_a(opts: &RunOpts) -> Table {
     run_a_with(opts, &SweepRunner::serial())
 }
 
-/// Runs Fig. 8a, fanning cells out over `runner`.
-pub fn run_a_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
+/// Renders Fig. 8a from the runs of [`specs_a`] (same order).
+pub fn table_a(runs: &[ScenarioRun]) -> Table {
+    let grid = grid_a();
     let mut table = Table::new(
         "fig8a",
         "[SSD-DCA off] vs [DCA on]: DPDK-T latency and FIO throughput",
@@ -164,18 +179,36 @@ pub fn run_a_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
             "tp_on",
         ],
     );
-    let runs = runner
-        .run_specs(&specs_a(opts))
-        .expect("static fig8a layout");
-    for (pair, kib) in runs.chunks_exact(2).zip(BLOCK_KIB) {
+    for (pair, label) in runs.chunks_exact(grid.b.len()).zip(&grid.a.labels) {
         let (al_off, tl_off, tp_off) = metrics_8a(&pair[0]);
         let (al_on, tl_on, tp_on) = metrics_8a(&pair[1]);
+        table.push(label.clone(), [al_off, tl_off, tp_off, al_on, tl_on, tp_on]);
+    }
+    table
+}
+
+/// Renders Fig. 8b from the runs of [`specs_b`] (same order).
+pub fn table_b(runs: &[ScenarioRun]) -> Table {
+    let mut table = Table::new(
+        "fig8b",
+        "shrinking FIO's trash ways: X-Mem miss rate and FIO throughput",
+        ["xmem_llc_miss", "storage_tp"],
+    );
+    for (run, label) in runs.iter().zip(&axis_b().labels) {
         table.push(
-            format!("{kib}KB"),
-            [al_off, tl_off, tp_off, al_on, tl_on, tp_on],
+            label.clone(),
+            [run.llc_miss_rate("xmem"), run.io_gbps("fio")],
         );
     }
     table
+}
+
+/// Runs Fig. 8a, fanning cells out over `runner`.
+pub fn run_a_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
+    let runs = runner
+        .run_specs(&specs_a(opts))
+        .expect("static fig8a layout");
+    table_a(&runs)
 }
 
 /// Runs Fig. 8b serially.
@@ -185,21 +218,10 @@ pub fn run_b(opts: &RunOpts) -> Table {
 
 /// Runs Fig. 8b, fanning cells out over `runner`.
 pub fn run_b_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
-    let mut table = Table::new(
-        "fig8b",
-        "shrinking FIO's trash ways: X-Mem miss rate and FIO throughput",
-        ["xmem_llc_miss", "storage_tp"],
-    );
     let runs = runner
         .run_specs(&specs_b(opts))
         .expect("static fig8b layout");
-    for (run, last) in runs.iter().zip(FIO_LAST_WAYS) {
-        table.push(
-            format!("[2:{last}]"),
-            [run.llc_miss_rate("xmem"), run.io_gbps("fio")],
-        );
-    }
-    table
+    table_b(&runs)
 }
 
 #[cfg(test)]

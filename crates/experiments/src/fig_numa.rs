@@ -22,7 +22,7 @@
 //! grid itself rather than a label-to-value re-derivation.
 
 use crate::runner::{SweepRunner, TypedAxis, TypedSweep2};
-use crate::spec::{RunOpts, ScenarioSpec, Scheme, SystemTweaks, WorkloadSpec};
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, SystemTweaks, WorkloadSpec};
 use crate::table::Table;
 use a4_model::Priority;
 use a4_sim::LatencyKind;
@@ -132,6 +132,14 @@ pub fn run(opts: &RunOpts) -> Table {
 /// per scheme, DPDK-T p99 latency (µs) and rx throughput (GB/s), FIO
 /// mean block latency (µs) and I/O throughput (GB/s).
 pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
+    let runs = runner
+        .run_specs(&specs(opts))
+        .expect("static fig_numa grid");
+    table(&runs)
+}
+
+/// Renders the figure from the runs of [`specs`] (same order).
+pub fn table(runs: &[ScenarioRun]) -> Table {
     let grid = grid();
     let mut columns = Vec::new();
     for scheme in &grid.b.values {
@@ -145,9 +153,6 @@ pub fn run_with(opts: &RunOpts, runner: &SweepRunner) -> Table {
         "I/O metrics vs NIC/SSD socket placement (2-socket, UPI 80ns)",
         columns,
     );
-    let runs = runner
-        .run_specs(&specs(opts))
-        .expect("static fig_numa grid");
     for (chunk, placement) in runs.chunks_exact(grid.b.len()).zip(&grid.a.labels) {
         let mut row = Vec::new();
         for run in chunk {

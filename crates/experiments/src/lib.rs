@@ -6,10 +6,18 @@
 //! a ready harness with `ScenarioSpec::build()`; sweeps fan their cells
 //! out over threads with a [`runner::SweepRunner`] and collect
 //! deterministically. One module per figure; each exposes `specs(opts)`
-//! (the grid as data), `run(opts)` (serial) and `run_with(opts, runner)`
-//! (parallel) returning [`Table`]s whose rows/series correspond to what
-//! the paper plots. The `a4-repro` binary prints them (and dumps/loads
-//! the specs as JSON); `a4-bench` wraps them in Criterion targets; the
+//! (the grid as data), a pure `table(runs)`/`tables(runs)` renderer,
+//! `run(opts)` (serial) and `run_with(opts, runner)` (parallel)
+//! returning [`Table`]s whose rows/series correspond to what the paper
+//! plots. The [`service`] module ties the two halves together: a
+//! [`service::SweepJob`] describes a figure sweep as serializable data
+//! that any process can execute in [`service::Shard`]s against the
+//! shared content-addressed store ([`cache::ResultCache`]), with a
+//! filesystem work [`queue`] handing shards to workers; rendering is a
+//! pure function of the store, so sharded and unsharded runs merge to
+//! byte-identical tables. The `a4-repro` binary is one client of that
+//! service (and dumps/loads the specs as JSON); `a4-bench` wraps the
+//! figures in Criterion targets; the
 //! integration tests assert the *shapes* (who wins, where the bumps are)
 //! rather than absolute numbers — see EXPERIMENTS.md.
 //!
@@ -44,12 +52,15 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig_numa;
+pub mod queue;
 pub mod runner;
-pub mod scenario;
+pub mod service;
 pub mod spec;
 mod table;
 
 pub use cache::{spec_key, ResultCache};
+pub use queue::{Enqueued, JobQueue, Task, TaskState};
 pub use runner::{Sweep, SweepRunner, TypedAxis, TypedSweep2};
+pub use service::{figures, FigureDef, JobTables, Protocol, SeedPolicy, Shard, SweepJob};
 pub use spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 pub use table::{Row, Table, TableStats};

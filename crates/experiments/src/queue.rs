@@ -1,0 +1,439 @@
+//! Filesystem job queue: sharded [`SweepJob`] tasks handed out to
+//! worker processes with atomic claim-by-rename leases.
+//!
+//! The queue lives under the shared store directory
+//! (`<store>/queue/{pending,leases,done}`) and needs nothing but POSIX
+//! rename atomicity:
+//!
+//! * a **task** is one `(job, shard)` pair, serialized as JSON and named
+//!   by its content hash (same salted double-FNV as
+//!   [`crate::cache::spec_key`]), so enqueueing is idempotent and a new
+//!   code revision never matches a stale `done` marker;
+//! * **claiming** renames `pending/<id>.task.json` to
+//!   `leases/<id>.<worker>.lease.json` — rename either succeeds for
+//!   exactly one claimant or fails for the losers, who move on;
+//! * **completing** renames the lease into `done/`; **releasing**
+//!   renames it back to `pending/`;
+//! * a worker that dies mid-task leaves its lease behind;
+//!   [`JobQueue::reclaim_stale`] bounces leases whose mtime stopped
+//!   advancing (workers [`Lease::heartbeat`] while executing) back to
+//!   `pending/`, and re-execution is harmless because every result
+//!   lands in the content-addressed store — already-stored cells load
+//!   instead of simulating.
+
+use crate::cache::content_key;
+use crate::service::{Shard, SweepJob};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// One queue entry: a shard of a sweep job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// The sweep the shard belongs to.
+    pub job: SweepJob,
+    /// Which slice of the job's work units this task executes.
+    pub shard: Shard,
+}
+
+impl Task {
+    /// The task's content-hash id: a pure function of `(code salt, job,
+    /// shard)`, so the same task enqueued twice collapses to one file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task fails to serialize (tasks are plain data).
+    pub fn id(&self) -> String {
+        content_key(&serde_json::to_string(self).expect("tasks serialize"))
+    }
+}
+
+/// What [`JobQueue::enqueue`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueued {
+    /// The task was written to `pending/`.
+    Pending,
+    /// An identical task is already waiting.
+    AlreadyPending,
+    /// An identical task is currently leased to a worker.
+    AlreadyLeased,
+    /// An identical task already completed.
+    AlreadyDone,
+}
+
+/// Where a task currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting in `pending/`.
+    Pending,
+    /// Claimed by a worker.
+    Leased,
+    /// Completed.
+    Done,
+    /// Not in the queue at all.
+    Unknown,
+}
+
+/// A claimed task: proof of ownership until completed, released, or
+/// reclaimed as stale.
+#[derive(Debug)]
+pub struct Lease {
+    id: String,
+    path: PathBuf,
+    /// The claimed task.
+    pub task: Task,
+}
+
+impl Lease {
+    /// The task's content-hash id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Marks the lease as live (bumps its mtime) so
+    /// [`JobQueue::reclaim_stale`] leaves it alone. Call between
+    /// batches of work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (a vanished lease file usually
+    /// means the lease was reclaimed).
+    pub fn heartbeat(&self) -> io::Result<()> {
+        let f = std::fs::File::options().append(true).open(&self.path)?;
+        f.set_modified(SystemTime::now())
+    }
+}
+
+/// A filesystem job queue rooted at `<store>/queue`.
+#[derive(Debug, Clone)]
+pub struct JobQueue {
+    root: PathBuf,
+}
+
+impl JobQueue {
+    /// Opens (creating if necessary) the queue under `store_dir` — the
+    /// same directory the [`crate::cache::ResultCache`] uses, so queue
+    /// and store travel together.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(store_dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = store_dir.into().join("queue");
+        for sub in ["pending", "leases", "done"] {
+            std::fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(JobQueue { root })
+    }
+
+    /// The queue's root directory (`<store>/queue`).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn pending(&self) -> PathBuf {
+        self.root.join("pending")
+    }
+
+    fn leases(&self) -> PathBuf {
+        self.root.join("leases")
+    }
+
+    fn done(&self) -> PathBuf {
+        self.root.join("done")
+    }
+
+    fn task_file(id: &str) -> String {
+        format!("{id}.task.json")
+    }
+
+    /// Whether any lease file belongs to task `id`.
+    fn leased(&self, id: &str) -> bool {
+        let prefix = format!("{id}.");
+        std::fs::read_dir(self.leases())
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .any(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Adds `task` to `pending/` unless an identical task is already
+    /// pending, leased, or done (enqueueing is idempotent by content
+    /// id). The write goes through a temp file + rename so concurrent
+    /// enqueuers never leave a torn task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn enqueue(&self, task: &Task) -> io::Result<Enqueued> {
+        let id = task.id();
+        let file = Self::task_file(&id);
+        if self.done().join(&file).exists() {
+            return Ok(Enqueued::AlreadyDone);
+        }
+        if self.leased(&id) {
+            return Ok(Enqueued::AlreadyLeased);
+        }
+        if self.pending().join(&file).exists() {
+            return Ok(Enqueued::AlreadyPending);
+        }
+        let json = serde_json::to_string(task).expect("tasks serialize");
+        let tmp = self
+            .pending()
+            .join(format!(".{id}.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, self.pending().join(&file))?;
+        Ok(Enqueued::Pending)
+    }
+
+    /// Claims one pending task for `worker` (any name without `/` or
+    /// `.`): atomically renames the task file into `leases/`, so each
+    /// task has at most one owner. Scans in name order; returns
+    /// `Ok(None)` when nothing is pending. Unparseable task files are
+    /// deleted and skipped (they could never execute).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than losing a claim race.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` contains `/` or `.` (it becomes part of the
+    /// lease filename).
+    pub fn claim(&self, worker: &str) -> io::Result<Option<Lease>> {
+        assert!(
+            !worker.contains(['/', '.']),
+            "worker name {worker:?} must not contain '/' or '.'"
+        );
+        let mut names: Vec<String> = std::fs::read_dir(self.pending())?
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".task.json"))
+            .collect();
+        names.sort();
+        for name in names {
+            let id = name.trim_end_matches(".task.json").to_string();
+            let lease_path = self.leases().join(format!("{id}.{worker}.lease.json"));
+            // The atomic claim: exactly one concurrent renamer wins.
+            if std::fs::rename(self.pending().join(&name), &lease_path).is_err() {
+                continue;
+            }
+            let json = std::fs::read_to_string(&lease_path)?;
+            match serde_json::from_str::<Task>(&json) {
+                Ok(task) => {
+                    return Ok(Some(Lease {
+                        id,
+                        path: lease_path,
+                        task,
+                    }))
+                }
+                Err(_) => {
+                    // Poison task: executing it is impossible, bouncing
+                    // it back would loop forever. Drop it.
+                    std::fs::remove_file(&lease_path)?;
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Marks a claimed task as completed (lease renamed into `done/`).
+    /// Tolerates a lease that was reclaimed and completed by another
+    /// worker in the meantime — completion is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn complete(&self, lease: Lease) -> io::Result<()> {
+        let target = self.done().join(Self::task_file(&lease.id));
+        match std::fs::rename(&lease.path, &target) {
+            Ok(()) => Ok(()),
+            // Our lease vanished (stale-reclaimed); fine if the task
+            // still reached `done/` through its other owner.
+            Err(e) if e.kind() == io::ErrorKind::NotFound && target.exists() => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Returns a claimed task to `pending/` unexecuted (a worker
+    /// shutting down gracefully).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn release(&self, lease: Lease) -> io::Result<()> {
+        std::fs::rename(&lease.path, self.pending().join(Self::task_file(&lease.id)))
+    }
+
+    /// Bounces every lease older than `max_age` (by mtime — live
+    /// workers heartbeat) back to `pending/` for another worker to
+    /// claim. Returns how many were reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan failures.
+    pub fn reclaim_stale(&self, max_age: Duration) -> io::Result<usize> {
+        let now = SystemTime::now();
+        let mut reclaimed = 0;
+        for entry in std::fs::read_dir(self.leases())?.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some((id, _)) = name.split_once('.') else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .unwrap_or_default();
+            if age >= max_age
+                && std::fs::rename(entry.path(), self.pending().join(Self::task_file(id))).is_ok()
+            {
+                reclaimed += 1;
+            }
+        }
+        Ok(reclaimed)
+    }
+
+    /// Where task `id` currently sits.
+    pub fn state(&self, id: &str) -> TaskState {
+        let file = Self::task_file(id);
+        if self.done().join(&file).exists() {
+            TaskState::Done
+        } else if self.leased(id) {
+            TaskState::Leased
+        } else if self.pending().join(&file).exists() {
+            TaskState::Pending
+        } else {
+            TaskState::Unknown
+        }
+    }
+
+    /// `(pending, leased, done)` task counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan failures.
+    pub fn counts(&self) -> io::Result<(usize, usize, usize)> {
+        let count = |dir: PathBuf, suffix: &str| -> io::Result<usize> {
+            Ok(std::fs::read_dir(dir)?
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().ends_with(suffix))
+                .count())
+        };
+        Ok((
+            count(self.pending(), ".task.json")?,
+            count(self.leases(), ".lease.json")?,
+            count(self.done(), ".task.json")?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SeedPolicy;
+    use crate::spec::RunOpts;
+
+    fn tmp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("a4-queue-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn task(shard_index: u64) -> Task {
+        Task {
+            job: SweepJob::new("fig4", RunOpts::quick(), 1, SeedPolicy::SpecSeed).unwrap(),
+            shard: Shard::new(shard_index, 2),
+        }
+    }
+
+    #[test]
+    fn lifecycle_pending_leased_done() {
+        let dir = tmp_store("lifecycle");
+        let queue = JobQueue::open(&dir).unwrap();
+        let t = task(0);
+        let id = t.id();
+
+        assert_eq!(queue.state(&id), TaskState::Unknown);
+        assert_eq!(queue.enqueue(&t).unwrap(), Enqueued::Pending);
+        assert_eq!(queue.enqueue(&t).unwrap(), Enqueued::AlreadyPending);
+        assert_eq!(queue.state(&id), TaskState::Pending);
+
+        let lease = queue.claim("w1").unwrap().expect("one pending task");
+        assert_eq!(lease.id(), id);
+        assert_eq!(lease.task, t);
+        assert_eq!(queue.state(&id), TaskState::Leased);
+        assert_eq!(queue.enqueue(&t).unwrap(), Enqueued::AlreadyLeased);
+        assert!(queue.claim("w2").unwrap().is_none(), "no double claim");
+        lease.heartbeat().unwrap();
+
+        queue.complete(lease).unwrap();
+        assert_eq!(queue.state(&id), TaskState::Done);
+        assert_eq!(queue.enqueue(&t).unwrap(), Enqueued::AlreadyDone);
+        assert_eq!(queue.counts().unwrap(), (0, 0, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distinct_shards_are_distinct_tasks() {
+        let dir = tmp_store("shards");
+        let queue = JobQueue::open(&dir).unwrap();
+        assert_ne!(task(0).id(), task(1).id());
+        queue.enqueue(&task(0)).unwrap();
+        queue.enqueue(&task(1)).unwrap();
+        assert_eq!(queue.counts().unwrap(), (2, 0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_leases_reclaim_and_release_requeues() {
+        let dir = tmp_store("stale");
+        let queue = JobQueue::open(&dir).unwrap();
+        let t = task(0);
+        let id = t.id();
+        queue.enqueue(&t).unwrap();
+
+        // Graceful release puts the task back.
+        let lease = queue.claim("w1").unwrap().unwrap();
+        queue.release(lease).unwrap();
+        assert_eq!(queue.state(&id), TaskState::Pending);
+
+        // A dead worker's lease (no heartbeats) is reclaimed...
+        let _abandoned = queue.claim("w1").unwrap().unwrap();
+        assert_eq!(queue.reclaim_stale(Duration::ZERO).unwrap(), 1);
+        assert_eq!(queue.state(&id), TaskState::Pending);
+
+        // ...and another worker finishes it; the zombie's `complete`
+        // with its vanished lease is tolerated.
+        let second = queue.claim("w2").unwrap().unwrap();
+        let zombie = Lease {
+            id: second.id.clone(),
+            path: dir.join("queue/leases").join(format!("{id}.w1.lease.json")),
+            task: second.task.clone(),
+        };
+        queue.complete(second).unwrap();
+        queue.complete(zombie).unwrap();
+        assert_eq!(queue.state(&id), TaskState::Done);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_leases_survive_reclaim() {
+        let dir = tmp_store("fresh");
+        let queue = JobQueue::open(&dir).unwrap();
+        queue.enqueue(&task(0)).unwrap();
+        let lease = queue.claim("w1").unwrap().unwrap();
+        lease.heartbeat().unwrap();
+        assert_eq!(
+            queue.reclaim_stale(Duration::from_secs(3600)).unwrap(),
+            0,
+            "heartbeating lease is not stale"
+        );
+        queue.complete(lease).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,712 @@
+//! The sweep service: figures as data.
+//!
+//! A [`SweepJob`] describes one figure sweep — figure id, run protocol,
+//! replica count and seed policy — as serde-round-trippable data, and
+//! expands to a flat list of [`WorkUnit`]s whose specs already carry
+//! their *effective* seeds. Because the unit spec is the exact spec a
+//! direct (unsharded) run would hash, any process can execute any slice
+//! of the units against the shared content-addressed store
+//! ([`crate::cache::ResultCache`]) and the results merge: rendering is a
+//! pure function of the store ([`SweepJob::render_from_store`]), so a
+//! sweep executed as one process, N `--shard i/N` processes, or a fleet
+//! of queue workers ([`crate::queue`]) produces byte-identical tables.
+//!
+//! The figure registry ([`figures`]) pairs each figure's `specs(opts)`
+//! grid with a pure `render(&[ScenarioRun]) -> Vec<Table>` function —
+//! the `a4-repro` CLI is one client of this registry, not the owner of
+//! it.
+
+use crate::cache::{spec_key, ResultCache};
+use crate::runner::{derive_seed, SweepRunner};
+use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, SpecError};
+use crate::table::{Table, TableStats};
+use crate::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8, fig_numa};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which run protocol a figure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Static-CAT discovery experiments ([`RunOpts::paper`]).
+    Paper,
+    /// Controller-driven experiments ([`RunOpts::controller`]).
+    Controller,
+}
+
+impl Protocol {
+    /// The protocol's standard [`RunOpts`]; `quick` selects the
+    /// CI-length windows (controller figures keep enough warm-up for
+    /// the controller to act).
+    pub fn opts(self, quick: bool) -> RunOpts {
+        match (self, quick) {
+            (Protocol::Paper, false) => RunOpts::paper(),
+            (Protocol::Paper, true) => RunOpts::quick(),
+            (Protocol::Controller, false) => RunOpts::controller(),
+            (Protocol::Controller, true) => RunOpts {
+                warmup: 12,
+                measure: 4,
+                ..RunOpts::quick()
+            },
+        }
+    }
+}
+
+/// One registry entry: a figure's cell grid plus its pure renderer.
+#[derive(Clone, Copy)]
+pub struct FigureDef {
+    /// Figure id ("fig3", "fig_numa", ...).
+    pub name: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+    /// Which run protocol the figure uses.
+    pub protocol: Protocol,
+    /// The figure's cells as data, in render order.
+    pub specs: fn(&RunOpts) -> Vec<ScenarioSpec>,
+    /// Renders the tables from the runs of [`FigureDef::specs`], in the
+    /// same order — a pure function of the results, shared by direct
+    /// runs and store merges.
+    pub render: fn(&[ScenarioRun]) -> Vec<Table>,
+}
+
+/// Every figure of the reproduction, in paper order.
+pub fn figures() -> Vec<FigureDef> {
+    vec![
+        FigureDef {
+            name: "fig3",
+            desc: "way sweep: latent contention, DMA bloat, directory contention",
+            protocol: Protocol::Paper,
+            specs: |o| {
+                let mut s = fig3::specs(o, false);
+                s.extend(fig3::specs(o, true));
+                s
+            },
+            render: |runs| {
+                let n = runs.len() / 2;
+                vec![
+                    fig3::table(false, &runs[..n]),
+                    fig3::table(true, &runs[n..]),
+                ]
+            },
+        },
+        FigureDef {
+            name: "fig4",
+            desc: "directory-contention validation: DCA on vs off",
+            protocol: Protocol::Paper,
+            specs: fig4::specs,
+            render: |runs| vec![fig4::table(runs)],
+        },
+        FigureDef {
+            name: "fig5",
+            desc: "storage block-size sweep: throughput and DMA leak",
+            protocol: Protocol::Paper,
+            specs: fig5::specs,
+            render: |runs| vec![fig5::table(runs)],
+        },
+        FigureDef {
+            name: "fig6",
+            desc: "FIO vs DPDK-T latency across block sizes",
+            protocol: Protocol::Paper,
+            specs: fig6::specs,
+            render: |runs| vec![fig6::table(runs)],
+        },
+        FigureDef {
+            name: "fig7",
+            desc: "overlap vs exclude allocation strategies",
+            protocol: Protocol::Paper,
+            specs: fig7::specs,
+            render: |runs| vec![fig7::table(runs)],
+        },
+        FigureDef {
+            name: "fig8",
+            desc: "selective DCA off + trash-way shrinking",
+            protocol: Protocol::Paper,
+            specs: fig8::specs,
+            render: |runs| {
+                let a = fig8::grid_a().len();
+                vec![fig8::table_a(&runs[..a]), fig8::table_b(&runs[a..])]
+            },
+        },
+        FigureDef {
+            name: "fig11",
+            desc: "X-Mem IPC/hit rate vs packet size, 3 schemes",
+            protocol: Protocol::Controller,
+            specs: fig11::specs,
+            render: |runs| vec![fig11::table(runs)],
+        },
+        FigureDef {
+            name: "fig12",
+            desc: "network metrics vs storage block size, 3 schemes",
+            protocol: Protocol::Controller,
+            specs: fig12::specs,
+            render: |runs| vec![fig12::table(runs)],
+        },
+        FigureDef {
+            name: "fig13",
+            desc: "real-world colocations, 6 schemes",
+            protocol: Protocol::Controller,
+            specs: |o| {
+                let mut s = fig13::specs(o, true);
+                s.extend(fig13::specs(o, false));
+                s
+            },
+            render: |runs| {
+                let n = runs.len() / 2;
+                vec![
+                    fig13::table(true, &runs[..n]),
+                    fig13::table(false, &runs[n..]),
+                ]
+            },
+        },
+        FigureDef {
+            name: "fig14",
+            desc: "latency breakdowns + system-wide metrics",
+            protocol: Protocol::Controller,
+            specs: fig14::specs,
+            render: fig14::tables,
+        },
+        FigureDef {
+            name: "fig15",
+            desc: "threshold & timing sensitivity",
+            protocol: Protocol::Controller,
+            specs: fig15::specs,
+            render: fig15::tables,
+        },
+        FigureDef {
+            name: "fig_numa",
+            desc: "2-socket NIC/SSD placement: local vs remote, 3 schemes",
+            protocol: Protocol::Controller,
+            specs: fig_numa::specs,
+            render: |runs| vec![fig_numa::table(runs)],
+        },
+    ]
+}
+
+/// Looks a figure up by id.
+pub fn figure(name: &str) -> Option<FigureDef> {
+    figures().into_iter().find(|f| f.name == name)
+}
+
+/// How a single-replica job seeds its cells. (Replicated jobs always
+/// double-derive per `(replica, cell)`, matching
+/// [`SweepRunner::replica`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedPolicy {
+    /// Every cell runs with its spec's own seed — the paper protocol
+    /// and the historical CLI default.
+    SpecSeed,
+    /// Cell `i` runs with [`derive_seed`]`(spec_seed, i)`, matching
+    /// [`SweepRunner::derive_seeds`].
+    PerCell,
+}
+
+/// One slice of a sharded sweep: shard `index` of `count` owns every
+/// work unit whose global index is `index (mod count)`, so shards are
+/// near-equal in size and a unit belongs to exactly one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    /// This shard's index, `0 <= index < count`.
+    pub index: u64,
+    /// Total number of shards.
+    pub count: u64,
+}
+
+impl Shard {
+    /// The whole sweep as one shard.
+    pub fn full() -> Self {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Shard `index` of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn new(index: u64, count: u64) -> Self {
+        assert!(index < count, "shard index {index} must be < count {count}");
+        Shard { index, count }
+    }
+
+    /// Parses the CLI form `"i/N"`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard {s:?} is not of the form i/N"))?;
+        let index: u64 = i
+            .parse()
+            .map_err(|_| format!("shard index {i:?} is not an integer"))?;
+        let count: u64 = n
+            .parse()
+            .map_err(|_| format!("shard count {n:?} is not an integer"))?;
+        if count == 0 || index >= count {
+            return Err(format!("shard {s:?} needs 0 <= i < N"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns global work-unit `index`.
+    pub fn owns(&self, unit: u64) -> bool {
+        unit % self.count == self.index
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The job description format version ([`SweepJob::schema`]).
+pub const JOB_SCHEMA: u32 = 1;
+
+/// A complete, serializable description of one figure sweep: any
+/// process holding this value (and the same build) expands the same
+/// [`WorkUnit`]s and can execute any [`Shard`] of them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepJob {
+    /// Job format version (see [`JOB_SCHEMA`]). Distinct from the
+    /// scenario schema: jobs are short-lived queue entries, specs are
+    /// durable dumps.
+    pub schema: u32,
+    /// The figure id (must name a [`figures`] entry).
+    pub figure: String,
+    /// Run protocol of every cell.
+    pub opts: RunOpts,
+    /// Replica count (>= 1); replicas > 1 render as mean ± stddev.
+    pub replicas: u64,
+    /// Seed policy for single-replica jobs.
+    pub seed_policy: SeedPolicy,
+}
+
+/// One executable unit of a [`SweepJob`]: a `(replica, cell)` pair with
+/// its effective, seed-baked spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkUnit {
+    /// Global unit index (replica-major), the [`Shard::owns`] input.
+    pub index: u64,
+    /// Replica this unit belongs to.
+    pub replica: u64,
+    /// Cell index within the figure's spec grid.
+    pub cell: usize,
+    /// The effective spec: seeds are already derived, so
+    /// [`spec_key`]`(&unit.spec)` is the store key that sharded and
+    /// unsharded executions share.
+    pub spec: ScenarioSpec,
+}
+
+/// What a sweep-service operation can fail with.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The job names a figure the registry does not know.
+    UnknownFigure(String),
+    /// The operation needs a shared store but the runner has no cache.
+    NoStore,
+    /// A cell failed to build or validate.
+    Spec(SpecError),
+    /// Rendering from the store found unexecuted cells (a partial
+    /// sweep): `missing` lists their spec names (truncated).
+    MissingCells {
+        /// The figure whose sweep is incomplete.
+        figure: String,
+        /// Total work units of the job.
+        total: usize,
+        /// Names of the missing cells (at most a few are listed).
+        missing: Vec<String>,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownFigure(name) => write!(f, "unknown figure {name:?}"),
+            ServiceError::NoStore => {
+                write!(f, "sharded execution needs a shared store (a cache dir)")
+            }
+            ServiceError::Spec(e) => write!(f, "{e}"),
+            ServiceError::MissingCells {
+                figure,
+                total,
+                missing,
+            } => {
+                let shown: Vec<&str> = missing.iter().take(8).map(String::as_str).collect();
+                write!(
+                    f,
+                    "{figure}: {} of {total} cell(s) not in the store yet \
+                     (run the missing shards first): {}{}",
+                    missing.len(),
+                    shown.join(", "),
+                    if missing.len() > shown.len() {
+                        ", ..."
+                    } else {
+                        ""
+                    }
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SpecError> for ServiceError {
+    fn from(e: SpecError) -> Self {
+        ServiceError::Spec(e)
+    }
+}
+
+impl SweepJob {
+    /// A job for `figure` under `opts`; `replicas` is clamped to at
+    /// least 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownFigure`] if the registry has no such
+    /// figure.
+    pub fn new(
+        figure: &str,
+        opts: RunOpts,
+        replicas: u64,
+        seed_policy: SeedPolicy,
+    ) -> Result<Self, ServiceError> {
+        let job = SweepJob {
+            schema: JOB_SCHEMA,
+            figure: figure.to_string(),
+            opts,
+            replicas: replicas.max(1),
+            seed_policy,
+        };
+        job.def()?;
+        Ok(job)
+    }
+
+    /// The registry entry this job sweeps.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownFigure`] for jobs deserialized from an
+    /// unknown figure id.
+    pub fn def(&self) -> Result<FigureDef, ServiceError> {
+        figure(&self.figure).ok_or_else(|| ServiceError::UnknownFigure(self.figure.clone()))
+    }
+
+    /// The effective spec of `(replica r, cell i)`: replicated jobs
+    /// double-derive exactly like [`SweepRunner::replica`]; otherwise
+    /// the [`SeedPolicy`] applies. Cell indices are figure-global (the
+    /// concatenated [`FigureDef::specs`] order).
+    fn bake(&self, spec: &ScenarioSpec, r: u64, i: u64) -> ScenarioSpec {
+        if self.replicas > 1 {
+            spec.clone()
+                .with_seed(derive_seed(derive_seed(spec.opts.seed, r), i))
+        } else {
+            match self.seed_policy {
+                SeedPolicy::SpecSeed => spec.clone(),
+                SeedPolicy::PerCell => spec.clone().with_seed(derive_seed(spec.opts.seed, i)),
+            }
+        }
+    }
+
+    /// Every work unit of the job, replica-major, with effective specs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownFigure`].
+    pub fn units(&self) -> Result<Vec<WorkUnit>, ServiceError> {
+        let def = self.def()?;
+        let specs = (def.specs)(&self.opts);
+        let mut units = Vec::with_capacity(specs.len() * self.replicas as usize);
+        for r in 0..self.replicas {
+            for (i, spec) in specs.iter().enumerate() {
+                units.push(WorkUnit {
+                    index: units.len() as u64,
+                    replica: r,
+                    cell: i,
+                    spec: self.bake(spec, r, i as u64),
+                });
+            }
+        }
+        Ok(units)
+    }
+
+    /// The units `shard` owns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownFigure`].
+    pub fn shard_units(&self, shard: Shard) -> Result<Vec<WorkUnit>, ServiceError> {
+        Ok(self
+            .units()?
+            .into_iter()
+            .filter(|u| shard.owns(u.index))
+            .collect())
+    }
+
+    /// Executes `shard`'s units against the runner's store and returns
+    /// how many units it owns. Units already in the store are loaded,
+    /// not re-simulated, so re-executing a shard (a restarted worker, a
+    /// re-claimed lease) is idempotent. The runner must be *plain* — no
+    /// [`SweepRunner::replica`]/[`SweepRunner::derive_seeds`] — because
+    /// unit specs already carry their effective seeds.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoStore`] without a cache dir; build failures as
+    /// [`ServiceError::Spec`].
+    pub fn execute_shard(&self, shard: Shard, runner: &SweepRunner) -> Result<usize, ServiceError> {
+        self.execute_shard_with(shard, runner, |_, _| {})
+    }
+
+    /// [`SweepJob::execute_shard`] with a progress callback invoked
+    /// after every batch of `runner.threads()` units as
+    /// `progress(done, total)` — queue workers heartbeat their lease
+    /// from it.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepJob::execute_shard`].
+    pub fn execute_shard_with(
+        &self,
+        shard: Shard,
+        runner: &SweepRunner,
+        mut progress: impl FnMut(usize, usize),
+    ) -> Result<usize, ServiceError> {
+        if runner.cache().is_none() {
+            return Err(ServiceError::NoStore);
+        }
+        let units = self.shard_units(shard)?;
+        let specs: Vec<ScenarioSpec> = units.into_iter().map(|u| u.spec).collect();
+        let total = specs.len();
+        let mut done = 0;
+        for batch in specs.chunks(runner.threads().max(1)) {
+            runner.run_specs(batch)?;
+            done += batch.len();
+            progress(done, total);
+        }
+        Ok(total)
+    }
+
+    /// Loads every unit's report from the store and rebuilds the runs,
+    /// grouped per replica in cell order — the merge-on-read of a
+    /// (possibly sharded, possibly partial) sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::MissingCells`] if any unit has no store entry.
+    pub fn load_runs(&self, store: &ResultCache) -> Result<Vec<Vec<ScenarioRun>>, ServiceError> {
+        let units = self.units()?;
+        let total = units.len();
+        let cells = total / self.replicas as usize;
+        let mut per_replica: Vec<Vec<Option<ScenarioRun>>> = (0..self.replicas)
+            .map(|_| (0..cells).map(|_| None).collect())
+            .collect();
+        let mut missing = Vec::new();
+        for unit in units {
+            match store.load(&spec_key(&unit.spec)) {
+                Some(report) => {
+                    per_replica[unit.replica as usize][unit.cell] =
+                        Some(unit.spec.run_from_report(report));
+                }
+                None => missing.push(unit.spec.name.clone()),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(ServiceError::MissingCells {
+                figure: self.figure.clone(),
+                total,
+                missing,
+            });
+        }
+        Ok(per_replica
+            .into_iter()
+            .map(|runs| {
+                runs.into_iter()
+                    .map(|r| r.expect("no cell missing"))
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Renders per-replica runs into the job's tables: one table set
+    /// for a single replica, cell-wise mean ± stddev otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownFigure`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_replica` does not hold one complete run set per
+    /// replica (as [`SweepJob::load_runs`] and [`SweepJob::execute`]
+    /// produce).
+    pub fn render(&self, per_replica: &[Vec<ScenarioRun>]) -> Result<JobTables, ServiceError> {
+        let def = self.def()?;
+        assert_eq!(
+            per_replica.len(),
+            self.replicas as usize,
+            "one run set per replica"
+        );
+        if self.replicas > 1 {
+            let reps: Vec<Vec<Table>> = per_replica.iter().map(|runs| (def.render)(runs)).collect();
+            let stats = (0..reps[0].len())
+                .map(|ti| {
+                    let group: Vec<Table> = reps.iter().map(|r| r[ti].clone()).collect();
+                    TableStats::from_replicas(&group)
+                })
+                .collect();
+            Ok(JobTables::Replicated(stats))
+        } else {
+            Ok(JobTables::Single((def.render)(&per_replica[0])))
+        }
+    }
+
+    /// Renders the job's tables purely from the store — the merge pass
+    /// after sharded execution. Never simulates.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::MissingCells`] for partial sweeps.
+    pub fn render_from_store(&self, store: &ResultCache) -> Result<JobTables, ServiceError> {
+        self.render(&self.load_runs(store)?)
+    }
+
+    /// Executes the whole job on `runner` (store-backed cells load
+    /// instead of simulating) and renders its tables — the direct,
+    /// single-process path. The runner must be plain (see
+    /// [`SweepJob::execute_shard`]).
+    ///
+    /// # Errors
+    ///
+    /// Build failures as [`ServiceError::Spec`].
+    pub fn execute(&self, runner: &SweepRunner) -> Result<JobTables, ServiceError> {
+        let units = self.units()?;
+        let cells = units.len() / self.replicas as usize;
+        let mut per_replica = Vec::with_capacity(self.replicas as usize);
+        for r in 0..self.replicas as usize {
+            let specs: Vec<ScenarioSpec> = units[r * cells..(r + 1) * cells]
+                .iter()
+                .map(|u| u.spec.clone())
+                .collect();
+            per_replica.push(runner.run_specs(&specs)?);
+        }
+        self.render(&per_replica)
+    }
+}
+
+/// A rendered job: plain tables, or mean ± stddev for replicated jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobTables {
+    /// One table set (single replica).
+    Single(Vec<Table>),
+    /// Cell-wise statistics over the replicas.
+    Replicated(Vec<TableStats>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunOpts {
+        RunOpts {
+            warmup: 1,
+            measure: 2,
+            seed: 0xA4,
+        }
+    }
+
+    #[test]
+    fn registry_matches_specs_and_render_shapes() {
+        let opts = RunOpts::quick();
+        for def in figures() {
+            let specs = (def.specs)(&opts);
+            assert!(!specs.is_empty(), "{} has cells", def.name);
+            for spec in &specs {
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{} cell invalid: {e}", def.name));
+            }
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_units() {
+        let job = SweepJob::new("fig4", quick(), 1, SeedPolicy::SpecSeed).unwrap();
+        let all = job.units().unwrap();
+        let mut seen = vec![0usize; all.len()];
+        for i in 0..3 {
+            for unit in job.shard_units(Shard::new(i, 3)).unwrap() {
+                seen[unit.index as usize] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "each unit in exactly one shard"
+        );
+        // And the effective specs are the grid specs themselves under
+        // the default policy (byte-identical store keys).
+        let direct = (job.def().unwrap().specs)(&quick());
+        for (unit, spec) in all.iter().zip(&direct) {
+            assert_eq!(spec_key(&unit.spec), spec_key(spec));
+        }
+    }
+
+    #[test]
+    fn replicated_units_derive_like_the_runner() {
+        let job = SweepJob::new("fig4", quick(), 2, SeedPolicy::PerCell).unwrap();
+        let units = job.units().unwrap();
+        let specs = (job.def().unwrap().specs)(&quick());
+        assert_eq!(units.len(), 2 * specs.len());
+        for unit in &units {
+            let expect = derive_seed(
+                derive_seed(specs[unit.cell].opts.seed, unit.replica),
+                unit.cell as u64,
+            );
+            assert_eq!(unit.spec.opts.seed, expect, "replica derivation");
+        }
+    }
+
+    #[test]
+    fn shard_parsing_round_trips_and_rejects_garbage() {
+        let s = Shard::parse("2/5").unwrap();
+        assert_eq!((s.index, s.count), (2, 5));
+        assert_eq!(s.to_string(), "2/5");
+        assert!(Shard::parse("5/5").is_err());
+        assert!(Shard::parse("x/5").is_err());
+        assert!(Shard::parse("3").is_err());
+        assert!(Shard::parse("1/0").is_err());
+        assert!(Shard::full().owns(17));
+    }
+
+    #[test]
+    fn jobs_round_trip_through_json() {
+        let job = SweepJob::new("fig12", quick(), 3, SeedPolicy::SpecSeed).unwrap();
+        let json = serde_json::to_string(&job).unwrap();
+        let back: SweepJob = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, job);
+        assert_eq!(back.schema, JOB_SCHEMA);
+    }
+
+    #[test]
+    fn unknown_figures_error() {
+        assert!(matches!(
+            SweepJob::new("fig99", quick(), 1, SeedPolicy::SpecSeed),
+            Err(ServiceError::UnknownFigure(_))
+        ));
+    }
+
+    #[test]
+    fn missing_cells_are_reported_not_simulated() {
+        let dir = std::env::temp_dir().join(format!("a4-service-missing-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let job = SweepJob::new("fig4", quick(), 1, SeedPolicy::SpecSeed).unwrap();
+        let store = ResultCache::new(&dir);
+        match job.render_from_store(&store) {
+            Err(ServiceError::MissingCells { total, missing, .. }) => {
+                assert_eq!(total, missing.len(), "cold store misses everything");
+            }
+            other => panic!("expected MissingCells, got {other:?}"),
+        }
+        assert_eq!(store.simulated(), 0, "rendering never simulates");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -36,6 +36,24 @@ pub const RING_ENTRIES: usize = 64;
 /// [`SystemTweaks::cores`] is not overridden.
 pub const DEFAULT_CORES_PER_SOCKET: usize = 18;
 
+/// Current [`ScenarioSpec::schema`] version.
+///
+/// History:
+///
+/// * **v1** — the pre-NUMA spec: no `schema` field, no
+///   [`SystemTweaks::sockets`]/[`SystemTweaks::upi_ns`]/
+///   [`SystemTweaks::socket_dca_ways`], no [`DeviceSlot::socket`].
+///   Dumps without a `schema` key deserialize as version 0 and are
+///   treated as v1.
+/// * **v2** — adds the two-socket NUMA surface. Every v1 spec means the
+///   same thing under v2 with the new fields at their defaults, so
+///   [`ScenarioSpec::migrate`] upgrades in place.
+///
+/// Bump this (and extend `migrate`) whenever a serialized field is
+/// added, removed, or changes meaning — never reuse a version for two
+/// different layouts.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Run-length options shared by all experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunOpts {
@@ -201,14 +219,17 @@ pub struct SystemTweaks {
     /// Socket count (default 1; the NUMA model covers 2). Each socket
     /// owns a full hierarchy — cores, MLCs, LLC, DCA ways, CLOS tables —
     /// and placements address cores globally
-    /// (`socket × cores + local_core`).
+    /// (`socket × cores + local_core`). Absent in v1 dumps.
+    #[serde(default)]
     pub sockets: Option<usize>,
     /// UPI hop latency override in nanoseconds (default 80). Charged per
     /// line whenever a core or device touches a buffer homed on the
-    /// other socket.
+    /// other socket. Absent in v1 dumps.
+    #[serde(default)]
     pub upi_ns: Option<u64>,
     /// Per-socket DCA way-count overrides, applied after the global
-    /// [`SystemTweaks::dca_ways`] knob.
+    /// [`SystemTweaks::dca_ways`] knob. Absent in v1 dumps.
+    #[serde(default)]
     pub socket_dca_ways: Vec<SocketDca>,
 }
 
@@ -278,7 +299,8 @@ pub struct DeviceSlot {
     /// Socket the device's root port belongs to. Ring/DMA buffers
     /// internal to the device are homed here, DCA injects into this
     /// socket's LLC, and traffic to buffers homed elsewhere crosses the
-    /// UPI link.
+    /// UPI link. Absent in v1 dumps (socket 0).
+    #[serde(default)]
     pub socket: u8,
     /// What is plugged in.
     pub device: DeviceSpec,
@@ -423,6 +445,11 @@ pub struct DcaRule {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
+    /// Spec layout version (see [`SCHEMA_VERSION`]). Deserializes as 0
+    /// when the key is absent — i.e. a pre-versioning v1 dump — which
+    /// [`ScenarioSpec::migrate`] upgrades in place.
+    #[serde(default)]
+    pub schema: u32,
     /// Display name ("fig12 512KB A4-d", ...).
     pub name: String,
     /// System/cache/memory configuration overrides.
@@ -450,6 +477,7 @@ impl ScenarioSpec {
     /// An empty scenario on the paper's testbed.
     pub fn new(name: impl Into<String>, opts: RunOpts) -> Self {
         ScenarioSpec {
+            schema: SCHEMA_VERSION,
             name: name.into(),
             system: SystemTweaks::none(),
             devices: Vec::new(),
@@ -703,6 +731,45 @@ impl ScenarioSpec {
         }
     }
 
+    /// Upgrades a deserialized spec to the current [`SCHEMA_VERSION`].
+    ///
+    /// Version 0 (a pre-versioning dump without a `schema` key) and v1
+    /// mean the same thing: the new NUMA fields were absent and their
+    /// `#[serde(default)]` values — one socket, default UPI latency,
+    /// every device on socket 0 — reproduce the v1 semantics exactly, so
+    /// the upgrade is just stamping the current version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for versions newer than
+    /// [`SCHEMA_VERSION`] (a dump from a future build of this crate).
+    pub fn migrate(mut self) -> std::result::Result<Self, SpecError> {
+        match self.schema {
+            0..=SCHEMA_VERSION => {
+                self.schema = SCHEMA_VERSION;
+                Ok(self)
+            }
+            newer => Err(SpecError::Invalid(format!(
+                "spec {:?} has schema v{newer}, but this build only knows up to \
+                 v{SCHEMA_VERSION} — re-dump it with a matching a4-repro",
+                self.name
+            ))),
+        }
+    }
+
+    /// Parses one spec from JSON and migrates it to the current schema
+    /// (the `a4-repro --spec` loader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for malformed JSON or a
+    /// future-versioned schema.
+    pub fn from_json(json: &str) -> std::result::Result<Self, SpecError> {
+        let spec: ScenarioSpec = serde_json::from_str(json)
+            .map_err(|e| SpecError::Invalid(format!("unparseable spec JSON: {e}")))?;
+        spec.migrate()
+    }
+
     /// Checks internal consistency without building the system.
     ///
     /// # Errors
@@ -711,6 +778,12 @@ impl ScenarioSpec {
     /// device references, empty core lists and out-of-vocabulary
     /// workloads.
     pub fn validate(&self) -> std::result::Result<(), SpecError> {
+        if self.schema > SCHEMA_VERSION {
+            return Err(SpecError::Invalid(format!(
+                "schema v{} is newer than this build's v{SCHEMA_VERSION}",
+                self.schema
+            )));
+        }
         if let Some(cores) = self.system.cores {
             if cores == 0 {
                 return Err(SpecError::Invalid("core count override is zero".into()));
@@ -1161,9 +1234,8 @@ impl ScenarioRun {
     }
 }
 
-/// The imperative wiring `ScenarioSpec::build` (and the deprecated
-/// `scenario` shims) delegate to. Not public API: scenarios should be
-/// described declaratively.
+/// The imperative wiring `ScenarioSpec::build` delegates to. Not public
+/// API: scenarios should be described declaratively.
 pub(crate) mod wire {
     use super::*;
 

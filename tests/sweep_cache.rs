@@ -6,7 +6,10 @@
 //!   there is no hidden re-simulation);
 //! * editing one cell's spec invalidates only that cell.
 
-use a4::experiments::{spec_key, RunOpts, ScenarioSpec, SweepRunner, WorkloadSpec};
+use a4::experiments::{
+    spec_key, ResultCache, RunOpts, ScenarioSpec, SeedPolicy, Shard, SweepJob, SweepRunner,
+    WorkloadSpec,
+};
 use a4::model::Priority;
 use std::path::PathBuf;
 
@@ -209,6 +212,47 @@ fn replicas_key_the_cache_independently() {
         .collect();
     assert_ne!(plain, rep0);
     assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 3 * specs.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_shared_store_never_simulates() {
+    // The service contract behind `--shard`/`--worker`: once every cell
+    // of a job has landed in the shared store — via any mix of shards —
+    // a fresh process over that store is a pure reader.
+    let dir = tmp_cache("service-warm");
+    let job = SweepJob::new(
+        "fig4",
+        RunOpts {
+            warmup: 1,
+            measure: 2,
+            seed: 0xA4,
+        },
+        1,
+        SeedPolicy::SpecSeed,
+    )
+    .unwrap();
+
+    // Populate the store shard by shard, each with its own runner (its
+    // own process, in the CLI).
+    for index in 0..2 {
+        let runner = SweepRunner::serial().with_cache_dir(&dir);
+        job.execute_shard(Shard::new(index, 2), &runner).unwrap();
+    }
+
+    // A fresh runner over the populated store simulates nothing...
+    let warm = SweepRunner::serial().with_cache_dir(&dir);
+    let tables = job.execute(&warm).unwrap();
+    assert_eq!(
+        warm.cache().unwrap().simulated(),
+        0,
+        "warm shared store: every cell loads"
+    );
+    // ...and the runner-less merge renders the same tables.
+    assert_eq!(
+        job.render_from_store(&ResultCache::new(&dir)).unwrap(),
+        tables
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
