@@ -36,6 +36,7 @@ impl Recency {
     }
 
     /// Marks `way` as most recently used (branch-free move-to-front).
+    // a4-lint: allow-fn(counter-safety) -- SWAR nibble tricks: the wrap-around is the textbook zero-nibble-search bit hack over a packed permutation, not counter arithmetic
     #[inline]
     pub(crate) fn touch(&mut self, way: usize, ways: usize) {
         let w = way as u64;

@@ -75,12 +75,28 @@ use a4_experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner, Table, TableSta
 use std::io::Write as _;
 use std::time::Duration;
 
+/// Prints the error and exits with status 2. The CLI front door for
+/// every fatal condition: fleet workers and scripted callers get a
+/// one-line diagnosis and a clean exit code, never a panic backtrace.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("[a4-repro] error: {msg}");
+    std::process::exit(2);
+}
+
+/// `assert!` for user input: bad arguments are usage errors (exit 2
+/// via [`fail`]), not program bugs, so they never deserve a backtrace.
+fn require(cond: bool, msg: impl std::fmt::Display) {
+    if !cond {
+        fail(msg);
+    }
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
     match args.get(i + 1) {
         Some(v) if !v.starts_with("--") => Some(v.clone()),
         // `--json --quick` must not treat the next flag as a directory.
-        _ => panic!("{flag} requires a value argument"),
+        _ => fail(format!("{flag} requires a value argument")),
     }
 }
 
@@ -129,7 +145,7 @@ fn run_timing(quick: bool, json_dir: Option<&str>) {
     // trajectory this artifact tracks.
     let probe = timing_cell(&opts, Scheme::Default)
         .build()
-        .expect("static cell");
+        .unwrap_or_else(|e| fail(format!("timing cell failed to build: {e}")));
     let quanta_per_logical_sec = u64::from(probe.harness.system().config().quanta_per_second);
     drop(probe);
     let quanta = (opts.warmup + opts.measure) * quanta_per_logical_sec;
@@ -138,7 +154,9 @@ fn run_timing(quick: bool, json_dir: Option<&str>) {
     for scheme in [Scheme::Default, Scheme::A4(a4_core::FeatureLevel::D)] {
         let mut best = f64::INFINITY;
         for _ in 0..reps {
-            let scenario = timing_cell(&opts, scheme).build().expect("static cell");
+            let scenario = timing_cell(&opts, scheme)
+                .build()
+                .unwrap_or_else(|e| fail(format!("timing cell failed to build: {e}")));
             let t0 = std::time::Instant::now();
             let run = scenario.run();
             let secs = t0.elapsed().as_secs_f64();
@@ -177,9 +195,10 @@ fn run_timing(quick: bool, json_dir: Option<&str>) {
     }
     json.push_str("  ]\n}\n");
     let dir = json_dir.unwrap_or(".");
-    std::fs::create_dir_all(dir).expect("create timing output dir");
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| fail(format!("cannot create timing output dir {dir}: {e}")));
     let path = format!("{dir}/BENCH_hotloop.json");
-    std::fs::write(&path, json).expect("write BENCH_hotloop.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
     eprintln!("[a4-repro] wrote {path}");
 }
 
@@ -219,16 +238,24 @@ fn positional_args(args: &[String]) -> Vec<&str> {
 }
 
 /// Claims and executes queued tasks until none are claimable, renewing
-/// the lease after every batch of cells.
+/// the lease after every batch of cells. Corrupt task files never get
+/// here — [`JobQueue::claim`] quarantines them under `poison/` — so
+/// every error this loop sees is a store/filesystem problem, reported
+/// once and exited cleanly (the lease is released first, so the task
+/// survives for another worker).
 fn drain_queue(queue: &JobQueue, runner: &SweepRunner, worker: &str, stale: Duration) -> usize {
     let mut executed = 0;
     loop {
-        let reclaimed = queue.reclaim_stale(stale).expect("scan leases");
+        let reclaimed = queue
+            .reclaim_stale(stale)
+            .unwrap_or_else(|e| fail(format!("{worker}: cannot scan leases: {e}")));
         if reclaimed > 0 {
             eprintln!("[a4-repro] {worker}: re-claimed {reclaimed} stale lease(s)");
         }
-        let Some(lease) = queue.claim(worker).expect("claim task") else {
-            return executed;
+        let lease = match queue.claim(worker) {
+            Ok(Some(lease)) => lease,
+            Ok(None) => return executed,
+            Err(e) => fail(format!("{worker}: cannot claim a task: {e}")),
         };
         let task = lease.task.clone();
         eprintln!(
@@ -240,17 +267,27 @@ fn drain_queue(queue: &JobQueue, runner: &SweepRunner, worker: &str, stale: Dura
         match task
             .job
             .execute_shard_with(task.shard, runner, |_done, _total| {
-                let _ = lease.heartbeat();
+                // A failed heartbeat is survivable (worst case the lease
+                // is reclaimed and the shard re-executes idempotently
+                // from the store) but must not pass silently: it is the
+                // early warning that the lease file vanished.
+                if let Err(e) = lease.heartbeat() {
+                    eprintln!("[a4-repro] {worker}: heartbeat failed ({e}); continuing");
+                }
             }) {
             Ok(units) => {
                 executed += units;
-                queue.complete(lease).expect("mark task done");
+                queue
+                    .complete(lease)
+                    .unwrap_or_else(|e| fail(format!("{worker}: cannot mark task done: {e}")));
             }
             Err(e) => {
                 // Put the task back for another (or a fixed) worker
                 // before surfacing the failure.
-                queue.release(lease).expect("release lease");
-                panic!("{worker}: task failed: {e}");
+                if let Err(rel) = queue.release(lease) {
+                    eprintln!("[a4-repro] {worker}: could not release lease: {rel}");
+                }
+                fail(format!("{worker}: task failed: {e}"));
             }
         }
     }
@@ -271,63 +308,78 @@ fn main() {
     let spec_file = flag_value(&args, "--spec");
     let cache_dir = flag_value(&args, "--cache-dir");
     let shard = flag_value(&args, "--shard")
-        .map(|s| Shard::parse(&s).unwrap_or_else(|e| panic!("--shard: {e}")));
+        .map(|s| Shard::parse(&s).unwrap_or_else(|e| fail(format!("--shard: {e}"))));
     let shards: u64 = flag_value(&args, "--shards")
-        .map(|s| s.parse().expect("--shards takes a positive integer"))
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--shards takes a positive integer"))
+        })
         .unwrap_or(2);
-    assert!(shards >= 1, "--shards takes a positive integer");
+    require(shards >= 1, "--shards takes a positive integer");
     let stale_secs: u64 = flag_value(&args, "--stale-secs")
-        .map(|s| s.parse().expect("--stale-secs takes a second count"))
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--stale-secs takes a second count"))
+        })
         .unwrap_or(300);
     let threads: usize = flag_value(&args, "--threads")
-        .map(|t| t.parse().expect("--threads takes a positive integer"))
+        .map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| fail("--threads takes a positive integer"))
+        })
         .unwrap_or(1);
     let replicas: usize = flag_value(&args, "--replicas")
-        .map(|r| r.parse().expect("--replicas takes a positive integer"))
+        .map(|r| {
+            r.parse()
+                .unwrap_or_else(|_| fail("--replicas takes a positive integer"))
+        })
         .unwrap_or(1);
-    assert!(replicas >= 1, "--replicas takes a positive integer");
+    require(replicas >= 1, "--replicas takes a positive integer");
     let cache_gc = args.iter().any(|a| a == "--cache-gc");
     let max_age_days: u64 = flag_value(&args, "--max-age-days")
-        .map(|d| d.parse().expect("--max-age-days takes a day count"))
+        .map(|d| {
+            d.parse()
+                .unwrap_or_else(|_| fail("--max-age-days takes a day count"))
+        })
         .unwrap_or(30);
-    assert!(
+    require(
         !(no_cache && cache_dir.is_some()),
-        "--no-cache and --cache-dir are mutually exclusive"
+        "--no-cache and --cache-dir are mutually exclusive",
     );
-    assert!(
+    require(
         !(no_cache && cache_gc),
-        "--cache-gc needs the cache enabled (drop --no-cache)"
+        "--cache-gc needs the cache enabled (drop --no-cache)",
     );
-    assert!(
+    require(
         cache_gc || flag_value(&args, "--max-age-days").is_none(),
-        "--max-age-days only applies to --cache-gc"
+        "--max-age-days only applies to --cache-gc",
     );
     let service_modes = usize::from(shard.is_some())
         + [merge_only, enqueue, worker, serve]
             .iter()
             .filter(|m| **m)
             .count();
-    assert!(
+    require(
         service_modes <= 1,
-        "--shard, --merge-only, --enqueue, --worker and --serve are mutually exclusive"
+        "--shard, --merge-only, --enqueue, --worker and --serve are mutually exclusive",
     );
     if service_modes == 1 {
-        assert!(
+        require(
             !no_cache,
-            "sharded/queued sweeps need the shared store (drop --no-cache)"
+            "sharded/queued sweeps need the shared store (drop --no-cache)",
         );
-        assert!(
+        require(
             spec_file.is_none() && dump_dir.is_none() && !timing,
-            "--spec/--dump-specs/--timing do not combine with sweep-service modes"
+            "--spec/--dump-specs/--timing do not combine with sweep-service modes",
         );
     }
-    assert!(
+    require(
         enqueue || serve || flag_value(&args, "--shards").is_none(),
-        "--shards only applies to --enqueue/--serve"
+        "--shards only applies to --enqueue/--serve",
     );
-    assert!(
+    require(
         worker || serve || flag_value(&args, "--stale-secs").is_none(),
-        "--stale-secs only applies to --worker/--serve"
+        "--stale-secs only applies to --worker/--serve",
     );
     let store_dir = cache_dir.clone().unwrap_or_else(|| "out/.cache".into());
     let mut runner = SweepRunner::with_threads(threads);
@@ -337,20 +389,22 @@ fn main() {
     let wanted = positional_args(&args);
     let known: Vec<&str> = figures().iter().map(|f| f.name).collect();
     for name in &wanted {
-        assert!(
+        require(
             known.contains(name),
-            "unknown figure {name:?} (run --list for the vocabulary)"
+            format!("unknown figure {name:?} (run --list for the vocabulary)"),
         );
     }
-    assert!(
+    require(
         !worker || wanted.is_empty(),
-        "--worker takes no figure arguments: tasks on the queue already name their figure"
+        "--worker takes no figure arguments: tasks on the queue already name their figure",
     );
     let all = wanted.is_empty();
     let wants = |name: &str| all || wanted.contains(&name);
 
     if cache_gc {
-        let cache = runner.cache().expect("cache enabled (asserted above)");
+        let cache = runner
+            .cache()
+            .unwrap_or_else(|| fail("cache disabled but --cache-gc requested (internal)"));
         let (removed, kept) = cache.gc(std::time::Duration::from_secs(max_age_days * 86_400));
         eprintln!(
             "[a4-repro] cache-gc {}: removed {removed} entr{} older than {max_age_days} day(s), kept {kept}",
@@ -370,7 +424,7 @@ fn main() {
             replicas as u64,
             SeedPolicy::SpecSeed,
         )
-        .expect("registry figures are known")
+        .unwrap_or_else(|e| fail(format!("figure registry inconsistent for {}: {e}", f.name)))
     };
 
     if list {
@@ -399,8 +453,23 @@ fn main() {
     }
 
     if enqueue || worker || serve {
-        let queue = JobQueue::open(&store_dir).expect("open job queue");
+        let queue = JobQueue::open(&store_dir)
+            .unwrap_or_else(|e| fail(format!("cannot open job queue: {e}")));
         let stale = Duration::from_secs(stale_secs);
+        let queue_counts = |queue: &JobQueue| {
+            queue
+                .counts()
+                .unwrap_or_else(|e| fail(format!("cannot scan queue: {e}")))
+        };
+        let report_poisoned = |queue: &JobQueue| {
+            let poisoned = queue.poisoned().unwrap_or(0);
+            if poisoned > 0 {
+                eprintln!(
+                    "[a4-repro] warning: {poisoned} unparseable task(s) quarantined in {}",
+                    queue.root().join("poison").display()
+                );
+            }
+        };
         if enqueue || serve {
             for f in figures().iter().filter(|f| wants(f.name)) {
                 let job = job_for(f);
@@ -409,7 +478,9 @@ fn main() {
                         job: job.clone(),
                         shard: Shard::new(index, shards),
                     };
-                    let state = queue.enqueue(&task).expect("enqueue task");
+                    let state = queue
+                        .enqueue(&task)
+                        .unwrap_or_else(|e| fail(format!("cannot enqueue task: {e}")));
                     eprintln!(
                         "[a4-repro] enqueue {} shard {}: {state:?}",
                         f.name, task.shard
@@ -420,15 +491,16 @@ fn main() {
         let me = format!("w{}", std::process::id());
         if worker {
             let executed = drain_queue(&queue, &runner, &me, stale);
-            let (pending, leased, done) = queue.counts().expect("queue counts");
+            let (pending, leased, done) = queue_counts(&queue);
             eprintln!(
                 "[a4-repro] {me}: executed {executed} unit(s); queue now \
                  {pending} pending / {leased} leased / {done} done"
             );
+            report_poisoned(&queue);
             return;
         }
         if enqueue {
-            let (pending, leased, done) = queue.counts().expect("queue counts");
+            let (pending, leased, done) = queue_counts(&queue);
             eprintln!(
                 "[a4-repro] queue {}: {pending} pending / {leased} leased / {done} done \
                  (start workers with --worker --cache-dir {store_dir})",
@@ -441,21 +513,24 @@ fn main() {
         // then fall through to the merge below.
         loop {
             drain_queue(&queue, &runner, &me, stale);
-            let (pending, leased, _) = queue.counts().expect("queue counts");
+            let (pending, leased, _) = queue_counts(&queue);
             if pending == 0 && leased == 0 {
                 break;
             }
             std::thread::sleep(Duration::from_millis(200));
         }
+        report_poisoned(&queue);
     }
 
     if let Some(shard) = shard {
-        let store = runner.cache().expect("store enabled (asserted above)");
+        let store = runner
+            .cache()
+            .unwrap_or_else(|| fail("store disabled in --shard mode (internal)"));
         for f in figures().iter().filter(|f| wants(f.name)) {
             let job = job_for(f);
             let executed = job
                 .execute_shard(shard, &runner)
-                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+                .unwrap_or_else(|e| fail(format!("{}: {e}", f.name)));
             match job.render_from_store(store) {
                 Ok(rendered) => collect(rendered, &mut tables, &mut replica_tables),
                 Err(ServiceError::MissingCells { missing, total, .. }) => eprintln!(
@@ -465,33 +540,38 @@ fn main() {
                     f.name,
                     missing.len()
                 ),
-                Err(e) => panic!("{}: {e}", f.name),
+                Err(e) => fail(format!("{}: {e}", f.name)),
             }
         }
     } else if merge_only || serve {
-        let store = runner.cache().expect("store enabled (asserted above)");
+        let store = runner
+            .cache()
+            .unwrap_or_else(|| fail("store disabled in a merge mode (internal)"));
         for f in figures().iter().filter(|f| wants(f.name)) {
             let job = job_for(f);
             let rendered = job
                 .render_from_store(store)
-                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+                .unwrap_or_else(|e| fail(format!("{}: {e}", f.name)));
             collect(rendered, &mut tables, &mut replica_tables);
         }
     }
 
     if let Some(path) = &spec_file {
         let json = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read spec file {path}: {e}"));
+            .unwrap_or_else(|e| fail(format!("cannot read spec file {path}: {e}")));
         // Accept a single spec object or an array of them; migrate
         // older schema versions to the current one.
         let parsed: Vec<ScenarioSpec> = serde_json::from_str::<Vec<ScenarioSpec>>(&json)
             .or_else(|_| serde_json::from_str::<ScenarioSpec>(&json).map(|s| vec![s]))
-            .unwrap_or_else(|e| panic!("cannot parse {path} as ScenarioSpec JSON: {e}"));
+            .unwrap_or_else(|e| fail(format!("cannot parse {path} as ScenarioSpec JSON: {e}")));
         let specs: Vec<ScenarioSpec> = parsed
             .into_iter()
-            .map(|s| s.migrate().unwrap_or_else(|e| panic!("{path}: {e}")))
+            .map(|s| s.migrate().unwrap_or_else(|e| fail(format!("{path}: {e}"))))
             .collect();
-        assert!(!specs.is_empty(), "{path} contains no scenario specs");
+        require(
+            !specs.is_empty(),
+            format!("{path} contains no scenario specs"),
+        );
         eprintln!(
             "[a4-repro] running {} scenario(s) from {path} on {threads} thread(s)...",
             specs.len()
@@ -505,7 +585,7 @@ fn main() {
                         .clone()
                         .replica(r)
                         .run_specs(&specs)
-                        .unwrap_or_else(|e| panic!("spec failed to build: {e}"))
+                        .unwrap_or_else(|e| fail(format!("spec failed to build: {e}")))
                         .iter()
                         .map(spec_table)
                         .collect()
@@ -518,23 +598,26 @@ fn main() {
         } else {
             let runs = runner
                 .run_specs(&specs)
-                .unwrap_or_else(|e| panic!("spec failed to build: {e}"));
+                .unwrap_or_else(|e| fail(format!("spec failed to build: {e}")));
             tables.extend(runs.iter().map(spec_table));
         }
     }
 
     if let Some(dir) = dump_dir {
-        assert!(
+        require(
             json_dir.is_none() || !tables.is_empty(),
             "--json has no tables to write in --dump-specs mode; \
-             combine --json with figure runs or --spec instead"
+             combine --json with figure runs or --spec instead",
         );
-        std::fs::create_dir_all(&dir).expect("create spec output dir");
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| fail(format!("cannot create spec output dir {dir}: {e}")));
         for f in figures().iter().filter(|f| wants(f.name)) {
             let specs = (f.specs)(&f.protocol.opts(quick));
             let path = format!("{dir}/{}.specs.json", f.name);
-            let json = serde_json::to_string_pretty(&specs).expect("specs serialize");
-            std::fs::write(&path, json).expect("write specs json");
+            let json = serde_json::to_string_pretty(&specs)
+                .unwrap_or_else(|e| fail(format!("specs failed to serialize: {e}")));
+            std::fs::write(&path, json)
+                .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
             eprintln!("[a4-repro] wrote {path} ({} cells)", specs.len());
         }
         if tables.is_empty() {
@@ -550,7 +633,7 @@ fn main() {
             );
             let rendered = job
                 .execute(&runner)
-                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+                .unwrap_or_else(|e| fail(format!("{}: {e}", f.name)));
             collect(rendered, &mut tables, &mut replica_tables);
         }
     }
@@ -572,11 +655,15 @@ fn main() {
         println!("{stats}");
     }
     if let Some(dir) = json_dir {
-        std::fs::create_dir_all(&dir).expect("create json output dir");
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| fail(format!("cannot create json output dir {dir}: {e}")));
         let write_table = |path: String, table: &Table| {
-            let mut f = std::fs::File::create(&path).expect("create json file");
-            let json = serde_json::to_string_pretty(table).expect("tables serialize");
-            f.write_all(json.as_bytes()).expect("write json");
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}")));
+            let json = serde_json::to_string_pretty(table)
+                .unwrap_or_else(|e| fail(format!("table failed to serialize: {e}")));
+            f.write_all(json.as_bytes())
+                .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
             eprintln!("[a4-repro] wrote {path}");
         };
         for table in &tables {

@@ -39,6 +39,7 @@ pub const CODE_SALT: &str = concat!("a4-sim/", env!("CARGO_PKG_VERSION"), "/r2")
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+// a4-lint: allow-fn(counter-safety) -- FNV-1a is a hash: modular wrap-around is the mixing step, not a counter
 fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = seed;
     for &b in bytes {
@@ -72,6 +73,7 @@ pub(crate) fn content_key(payload: &str) -> String {
 /// Panics if the spec fails to serialize (specs are plain data; this
 /// cannot happen for constructible specs).
 pub fn spec_key(spec: &ScenarioSpec) -> String {
+    // a4-lint: allow(panic-unwrap) -- specs are plain data (no maps, no non-string keys), so serialization is infallible for constructible specs; the infallible key signature is load-bearing across the store, queue and service
     content_key(&serde_json::to_string(spec).expect("specs serialize"))
 }
 
@@ -146,8 +148,19 @@ impl ResultCache {
         let report: Option<RunReport> = serde_json::from_str(&json).ok();
         if report.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            if let Ok(f) = std::fs::File::options().append(true).open(&path) {
-                let _ = f.set_modified(std::time::SystemTime::now());
+            // The refresh is best-effort (a read-only store still
+            // serves hits) but a failure must be *visible*: it means
+            // the next GC will age this entry from its last store, and
+            // silent mtime loss is exactly how cache corruption hides.
+            if let Err(e) = std::fs::File::options()
+                .append(true)
+                .open(&path)
+                .and_then(|f| f.set_modified(std::time::SystemTime::now()))
+            {
+                eprintln!(
+                    "[a4-cache] warning: could not refresh mtime of {}: {e}",
+                    path.display()
+                );
             }
         }
         report

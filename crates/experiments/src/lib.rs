@@ -59,7 +59,7 @@ pub mod spec;
 mod table;
 
 pub use cache::{spec_key, ResultCache};
-pub use queue::{Enqueued, JobQueue, Task, TaskState};
+pub use queue::{Enqueued, JobQueue, QueueError, Task, TaskState};
 pub use runner::{Sweep, SweepRunner, TypedAxis, TypedSweep2};
 pub use service::{figures, FigureDef, JobTables, Protocol, SeedPolicy, Shard, SweepJob};
 pub use spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};

@@ -2,8 +2,8 @@
 //! worker processes with atomic claim-by-rename leases.
 //!
 //! The queue lives under the shared store directory
-//! (`<store>/queue/{pending,leases,done}`) and needs nothing but POSIX
-//! rename atomicity:
+//! (`<store>/queue/{pending,leases,done,poison}`) and needs nothing but
+//! POSIX rename atomicity:
 //!
 //! * a **task** is one `(job, shard)` pair, serialized as JSON and named
 //!   by its content hash (same salted double-FNV as
@@ -20,13 +20,68 @@
 //!   `pending/`, and re-execution is harmless because every result
 //!   lands in the content-addressed store — already-stored cells load
 //!   instead of simulating.
+//!
+//! Every fallible operation returns a typed [`QueueError`] instead of
+//! panicking: the queue is driven by unattended `--worker` fleets, and
+//! a malformed or truncated task file must never kill a worker. A task
+//! that fails to parse on claim is quarantined under `poison/` (see
+//! [`JobQueue::poisoned`]) and the claim scan moves on.
 
 use crate::cache::content_key;
 use crate::service::{Shard, SweepJob};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
+
+/// Why a queue operation failed.
+#[derive(Debug)]
+pub enum QueueError {
+    /// A filesystem operation failed.
+    Io {
+        /// What the queue was doing (e.g. `"claim rename"`).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A task failed to serialize or deserialize.
+    Serde {
+        /// What the queue was doing (e.g. `"serialize task"`).
+        op: &'static str,
+        /// The serde error, stringified.
+        message: String,
+    },
+}
+
+impl QueueError {
+    fn io(op: &'static str, path: impl Into<PathBuf>) -> impl FnOnce(io::Error) -> QueueError {
+        let path = path.into();
+        move |source| QueueError::Io { op, path, source }
+    }
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Io { op, path, source } => {
+                write!(f, "queue {op} at {}: {source}", path.display())
+            }
+            QueueError::Serde { op, message } => write!(f, "queue {op}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueueError::Io { source, .. } => Some(source),
+            QueueError::Serde { .. } => None,
+        }
+    }
+}
 
 /// One queue entry: a shard of a sweep job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,11 +96,17 @@ impl Task {
     /// The task's content-hash id: a pure function of `(code salt, job,
     /// shard)`, so the same task enqueued twice collapses to one file.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the task fails to serialize (tasks are plain data).
-    pub fn id(&self) -> String {
-        content_key(&serde_json::to_string(self).expect("tasks serialize"))
+    /// Returns [`QueueError::Serde`] if the task fails to serialize
+    /// (tasks are plain data, so this indicates a serializer bug — but
+    /// a fleet worker must degrade gracefully, not panic).
+    pub fn id(&self) -> Result<String, QueueError> {
+        let json = serde_json::to_string(self).map_err(|e| QueueError::Serde {
+            op: "serialize task",
+            message: e.to_string(),
+        })?;
+        Ok(content_key(&json))
     }
 }
 
@@ -99,9 +160,13 @@ impl Lease {
     ///
     /// Propagates filesystem errors (a vanished lease file usually
     /// means the lease was reclaimed).
-    pub fn heartbeat(&self) -> io::Result<()> {
-        let f = std::fs::File::options().append(true).open(&self.path)?;
+    pub fn heartbeat(&self) -> Result<(), QueueError> {
+        let f = std::fs::File::options()
+            .append(true)
+            .open(&self.path)
+            .map_err(QueueError::io("heartbeat open", &self.path))?;
         f.set_modified(SystemTime::now())
+            .map_err(QueueError::io("heartbeat touch", &self.path))
     }
 }
 
@@ -119,10 +184,11 @@ impl JobQueue {
     /// # Errors
     ///
     /// Propagates directory-creation failures.
-    pub fn open(store_dir: impl Into<PathBuf>) -> io::Result<Self> {
+    pub fn open(store_dir: impl Into<PathBuf>) -> Result<Self, QueueError> {
         let root = store_dir.into().join("queue");
-        for sub in ["pending", "leases", "done"] {
-            std::fs::create_dir_all(root.join(sub))?;
+        for sub in ["pending", "leases", "done", "poison"] {
+            let dir = root.join(sub);
+            std::fs::create_dir_all(&dir).map_err(QueueError::io("create queue dir", &dir))?;
         }
         Ok(JobQueue { root })
     }
@@ -142,6 +208,10 @@ impl JobQueue {
 
     fn done(&self) -> PathBuf {
         self.root.join("done")
+    }
+
+    fn poison(&self) -> PathBuf {
+        self.root.join("poison")
     }
 
     fn task_file(id: &str) -> String {
@@ -167,9 +237,9 @@ impl JobQueue {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
-    pub fn enqueue(&self, task: &Task) -> io::Result<Enqueued> {
-        let id = task.id();
+    /// Propagates filesystem and serialization errors.
+    pub fn enqueue(&self, task: &Task) -> Result<Enqueued, QueueError> {
+        let id = task.id()?;
         let file = Self::task_file(&id);
         if self.done().join(&file).exists() {
             return Ok(Enqueued::AlreadyDone);
@@ -180,20 +250,26 @@ impl JobQueue {
         if self.pending().join(&file).exists() {
             return Ok(Enqueued::AlreadyPending);
         }
-        let json = serde_json::to_string(task).expect("tasks serialize");
+        let json = serde_json::to_string(task).map_err(|e| QueueError::Serde {
+            op: "serialize task",
+            message: e.to_string(),
+        })?;
         let tmp = self
             .pending()
             .join(format!(".{id}.{}.tmp", std::process::id()));
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, self.pending().join(&file))?;
+        std::fs::write(&tmp, json).map_err(QueueError::io("write task", &tmp))?;
+        let target = self.pending().join(&file);
+        std::fs::rename(&tmp, &target).map_err(QueueError::io("publish task", &target))?;
         Ok(Enqueued::Pending)
     }
 
     /// Claims one pending task for `worker` (any name without `/` or
     /// `.`): atomically renames the task file into `leases/`, so each
     /// task has at most one owner. Scans in name order; returns
-    /// `Ok(None)` when nothing is pending. Unparseable task files are
-    /// deleted and skipped (they could never execute).
+    /// `Ok(None)` when nothing is pending. A task file that does not
+    /// parse is quarantined under `poison/` (it could never execute,
+    /// and bouncing it back would loop forever) and the scan moves on —
+    /// corrupt input degrades one task, never the worker.
     ///
     /// # Errors
     ///
@@ -202,13 +278,15 @@ impl JobQueue {
     /// # Panics
     ///
     /// Panics if `worker` contains `/` or `.` (it becomes part of the
-    /// lease filename).
-    pub fn claim(&self, worker: &str) -> io::Result<Option<Lease>> {
+    /// lease filename; a bad worker name is a caller bug, not bad data).
+    pub fn claim(&self, worker: &str) -> Result<Option<Lease>, QueueError> {
         assert!(
             !worker.contains(['/', '.']),
             "worker name {worker:?} must not contain '/' or '.'"
         );
-        let mut names: Vec<String> = std::fs::read_dir(self.pending())?
+        let pending_dir = self.pending();
+        let mut names: Vec<String> = std::fs::read_dir(&pending_dir)
+            .map_err(QueueError::io("scan pending", &pending_dir))?
             .flatten()
             .map(|e| e.file_name().to_string_lossy().into_owned())
             .filter(|n| n.ends_with(".task.json"))
@@ -218,10 +296,11 @@ impl JobQueue {
             let id = name.trim_end_matches(".task.json").to_string();
             let lease_path = self.leases().join(format!("{id}.{worker}.lease.json"));
             // The atomic claim: exactly one concurrent renamer wins.
-            if std::fs::rename(self.pending().join(&name), &lease_path).is_err() {
+            if std::fs::rename(pending_dir.join(&name), &lease_path).is_err() {
                 continue;
             }
-            let json = std::fs::read_to_string(&lease_path)?;
+            let json = std::fs::read_to_string(&lease_path)
+                .map_err(QueueError::io("read claimed task", &lease_path))?;
             match serde_json::from_str::<Task>(&json) {
                 Ok(task) => {
                     return Ok(Some(Lease {
@@ -231,9 +310,11 @@ impl JobQueue {
                     }))
                 }
                 Err(_) => {
-                    // Poison task: executing it is impossible, bouncing
-                    // it back would loop forever. Drop it.
-                    std::fs::remove_file(&lease_path)?;
+                    // Poison task: quarantine it (keeping the evidence
+                    // for a post-mortem) and keep scanning.
+                    let grave = self.poison().join(&name);
+                    std::fs::rename(&lease_path, &grave)
+                        .map_err(QueueError::io("quarantine poison task", &grave))?;
                 }
             }
         }
@@ -247,14 +328,14 @@ impl JobQueue {
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn complete(&self, lease: Lease) -> io::Result<()> {
+    pub fn complete(&self, lease: Lease) -> Result<(), QueueError> {
         let target = self.done().join(Self::task_file(&lease.id));
         match std::fs::rename(&lease.path, &target) {
             Ok(()) => Ok(()),
             // Our lease vanished (stale-reclaimed); fine if the task
             // still reached `done/` through its other owner.
             Err(e) if e.kind() == io::ErrorKind::NotFound && target.exists() => Ok(()),
-            Err(e) => Err(e),
+            Err(e) => Err(QueueError::io("complete task", &target)(e)),
         }
     }
 
@@ -264,8 +345,9 @@ impl JobQueue {
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn release(&self, lease: Lease) -> io::Result<()> {
-        std::fs::rename(&lease.path, self.pending().join(Self::task_file(&lease.id)))
+    pub fn release(&self, lease: Lease) -> Result<(), QueueError> {
+        let target = self.pending().join(Self::task_file(&lease.id));
+        std::fs::rename(&lease.path, &target).map_err(QueueError::io("release task", &target))
     }
 
     /// Bounces every lease older than `max_age` (by mtime — live
@@ -275,10 +357,14 @@ impl JobQueue {
     /// # Errors
     ///
     /// Propagates directory-scan failures.
-    pub fn reclaim_stale(&self, max_age: Duration) -> io::Result<usize> {
+    pub fn reclaim_stale(&self, max_age: Duration) -> Result<usize, QueueError> {
         let now = SystemTime::now();
+        let leases_dir = self.leases();
         let mut reclaimed = 0;
-        for entry in std::fs::read_dir(self.leases())?.flatten() {
+        for entry in std::fs::read_dir(&leases_dir)
+            .map_err(QueueError::io("scan leases", &leases_dir))?
+            .flatten()
+        {
             let name = entry.file_name().to_string_lossy().into_owned();
             let Some((id, _)) = name.split_once('.') else {
                 continue;
@@ -317,18 +403,32 @@ impl JobQueue {
     /// # Errors
     ///
     /// Propagates directory-scan failures.
-    pub fn counts(&self) -> io::Result<(usize, usize, usize)> {
-        let count = |dir: PathBuf, suffix: &str| -> io::Result<usize> {
-            Ok(std::fs::read_dir(dir)?
-                .flatten()
-                .filter(|e| e.file_name().to_string_lossy().ends_with(suffix))
-                .count())
-        };
+    pub fn counts(&self) -> Result<(usize, usize, usize), QueueError> {
         Ok((
-            count(self.pending(), ".task.json")?,
-            count(self.leases(), ".lease.json")?,
-            count(self.done(), ".task.json")?,
+            self.count_dir(self.pending(), ".task.json")?,
+            self.count_dir(self.leases(), ".lease.json")?,
+            self.count_dir(self.done(), ".task.json")?,
         ))
+    }
+
+    /// How many unparseable tasks [`JobQueue::claim`] has quarantined.
+    /// Non-zero means someone enqueued garbage (or a task file was
+    /// torn by a non-atomic copy into the store) — worth a look, never
+    /// worth a dead worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan failures.
+    pub fn poisoned(&self) -> Result<usize, QueueError> {
+        self.count_dir(self.poison(), ".task.json")
+    }
+
+    fn count_dir(&self, dir: PathBuf, suffix: &str) -> Result<usize, QueueError> {
+        Ok(std::fs::read_dir(&dir)
+            .map_err(QueueError::io("scan queue dir", &dir))?
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(suffix))
+            .count())
     }
 }
 
@@ -356,7 +456,7 @@ mod tests {
         let dir = tmp_store("lifecycle");
         let queue = JobQueue::open(&dir).unwrap();
         let t = task(0);
-        let id = t.id();
+        let id = t.id().unwrap();
 
         assert_eq!(queue.state(&id), TaskState::Unknown);
         assert_eq!(queue.enqueue(&t).unwrap(), Enqueued::Pending);
@@ -382,7 +482,7 @@ mod tests {
     fn distinct_shards_are_distinct_tasks() {
         let dir = tmp_store("shards");
         let queue = JobQueue::open(&dir).unwrap();
-        assert_ne!(task(0).id(), task(1).id());
+        assert_ne!(task(0).id().unwrap(), task(1).id().unwrap());
         queue.enqueue(&task(0)).unwrap();
         queue.enqueue(&task(1)).unwrap();
         assert_eq!(queue.counts().unwrap(), (2, 0, 0));
@@ -394,7 +494,7 @@ mod tests {
         let dir = tmp_store("stale");
         let queue = JobQueue::open(&dir).unwrap();
         let t = task(0);
-        let id = t.id();
+        let id = t.id().unwrap();
         queue.enqueue(&t).unwrap();
 
         // Graceful release puts the task back.
@@ -434,6 +534,38 @@ mod tests {
             "heartbeating lease is not stale"
         );
         queue.complete(lease).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_tasks_are_poisoned_and_the_queue_drains() {
+        let dir = tmp_store("poison");
+        let queue = JobQueue::open(&dir).unwrap();
+        let t = task(0);
+        queue.enqueue(&t).unwrap();
+
+        // Two corrupt task files whose names sort before any hex id, so
+        // the claim scan must survive them *before* reaching the good
+        // task: one malformed, one truncated-to-empty.
+        let pending = dir.join("queue/pending");
+        std::fs::write(pending.join("!garbage.task.json"), "{ not json").unwrap();
+        std::fs::write(pending.join("!truncated.task.json"), "").unwrap();
+        assert_eq!(queue.counts().unwrap().0, 3);
+
+        // The worker drains the queue: corrupt tasks quarantined, the
+        // good one claimed and completed, no panic anywhere.
+        let lease = queue.claim("w1").unwrap().expect("good task claimable");
+        assert_eq!(lease.task, t);
+        queue.complete(lease).unwrap();
+        assert!(queue.claim("w1").unwrap().is_none(), "queue drained");
+
+        assert_eq!(queue.counts().unwrap(), (0, 0, 1));
+        assert_eq!(queue.poisoned().unwrap(), 2, "corrupt tasks quarantined");
+        assert_eq!(
+            queue.state(&t.id().unwrap()),
+            TaskState::Done,
+            "good task unaffected by poison neighbours"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

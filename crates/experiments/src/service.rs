@@ -522,6 +522,7 @@ impl SweepJob {
             .into_iter()
             .map(|runs| {
                 runs.into_iter()
+                    // a4-lint: allow(panic-unwrap) -- unreachable: `missing` is non-empty iff any cell is None, and the MissingCells early return above fired in that case
                     .map(|r| r.expect("no cell missing"))
                     .collect()
             })

@@ -1,0 +1,429 @@
+//! A minimal hand-rolled Rust lexer: just enough fidelity to tell code
+//! from comments, string literals and char literals, so the rule engine
+//! never fires on a forbidden name that only appears in prose or test
+//! fixtures embedded as strings.
+//!
+//! The lexer understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments;
+//! * string literals with escapes, byte strings, and raw (byte) strings
+//!   with any number of `#` guards;
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\''`, `'\u{7f}'`);
+//! * identifiers, numeric literals (hex, floats, exponents), and
+//!   single-char punctuation.
+//!
+//! It deliberately does **not** build an AST: the rules downstream are
+//! token patterns plus brace-depth tracking, which is all the
+//! determinism and counter-safety contracts need.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `wrapping_add`, `_`).
+    Ident,
+    /// A single punctuation character (`.`, `{`, `:`).
+    Punct,
+    /// A string or byte-string literal (escaped or raw).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text (for [`TokenKind::Punct`], the single char).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation char `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with its 1-based starting line. Doc
+/// comments are comments too — the waiver parser looks for the
+/// `a4-lint:` marker itself.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// literals simply run to end of input (the real compiler rejects such
+/// files long before the linter matters).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one char, tracking newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == Some('\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                'r' | 'b' if self.raw_or_byte() => {}
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                    self.bump();
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.i += 2;
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.i += 2;
+        let start = self.i;
+        let mut depth = 1usize;
+        let mut end = self.i;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    end = self.i;
+                    self.i += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                    end = self.i;
+                }
+                (None, _) => break,
+            }
+        }
+        let text: String = self.chars[start..end.max(start)].iter().collect();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Consumes an escaped string body after the opening quote.
+    fn string_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        self.string_body();
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `b'x'`, `br#"..."#`.
+    /// Returns false (consuming nothing) if the `r`/`b` starts a plain
+    /// identifier instead.
+    fn raw_or_byte(&mut self) -> bool {
+        let line = self.line;
+        let c = self.peek(0).unwrap_or(' ');
+        // Byte char: b'x'.
+        if c == 'b' && self.peek(1) == Some('\'') {
+            self.i += 2;
+            self.char_body();
+            self.push(TokenKind::Char, String::new(), line);
+            return true;
+        }
+        // Escaped byte string: b"...".
+        if c == 'b' && self.peek(1) == Some('"') {
+            self.i += 2;
+            self.string_body();
+            self.push(TokenKind::Str, String::new(), line);
+            return true;
+        }
+        // Raw (byte) string: r##"..."##, br#"..."#.
+        let after_prefix = match (c, self.peek(1)) {
+            ('r', _) => 1,
+            ('b', Some('r')) => 2,
+            _ => return false,
+        };
+        let mut hashes = 0usize;
+        while self.peek(after_prefix + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(after_prefix + hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..after_prefix + hashes + 1 {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hash marks.
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes + 1 {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Str, String::new(), line);
+        true
+    }
+
+    /// Consumes a char-literal body after the opening quote (escape or
+    /// single char, then the closing quote).
+    fn char_body(&mut self) {
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump();
+            // `'\u{7f}'`: consume to the closing brace.
+            while self.peek(0).is_some_and(|c| c != '\'') {
+                self.bump();
+            }
+            self.bump();
+        } else {
+            self.bump();
+            if self.peek(0) == Some('\'') {
+                self.bump();
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'a'` is a char literal; `'a` (no closing quote) a lifetime.
+        let is_char = self.peek(1) == Some('\\') || self.peek(2) == Some('\'');
+        if is_char {
+            self.bump();
+            self.char_body();
+            self.push(TokenKind::Char, String::new(), line);
+        } else {
+            self.bump();
+            let start = self.i;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.i += 1;
+            }
+            let text: String = self.chars[start..self.i].iter().collect();
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.i += 1;
+        }
+        // Fractional part (`1.5`, but not the range `1..5`).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.i += 1;
+            }
+        }
+        // Signed exponent (`1e-5`, `1.5E+3`).
+        if self.chars[self.i - 1].eq_ignore_ascii_case(&'e')
+            && matches!(self.peek(0), Some('+') | Some('-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.i += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.i += 1;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokenKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r####"
+            // wrapping_add in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "thread_rng inside a string";
+            let r = r#"SystemTime inside a raw string"#;
+            let b = b"Instant bytes";
+            real_ident();
+        "####;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for hidden in [
+            "wrapping_add",
+            "HashMap",
+            "thread_rng",
+            "SystemTime",
+            "Instant",
+        ] {
+            assert!(!ids.contains(&hidden.to_string()), "{hidden} leaked");
+        }
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' } let q = '\\''; ");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_literals() {
+        let src = "let a = \"x\ny\";\nlet marker = 1;";
+        let lexed = lex(src);
+        let marker = lexed.tokens.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn waiver_comments_are_captured_with_lines() {
+        let src = "let x = 1; // a4-lint: allow(counter-safety) -- reason\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("a4-lint"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let lexed = lex("for i in 0..16 { }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "16"]);
+    }
+}

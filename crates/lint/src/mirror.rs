@@ -1,0 +1,306 @@
+//! Struct-mirror exhaustiveness: every field of a counter struct must
+//! be named in each of its designated mirror functions.
+//!
+//! The bug this catches: add a counter to [`WorkloadCounters`-style
+//! structs], bump it in the hot path, and forget to add it to
+//! `accumulate`/`minus`/`merge` — shard aggregation then silently drops
+//! the new counter and every figure built from merged shards is wrong
+//! while all tests that use a single shard stay green. The borrow
+//! checker cannot see this; a field-name roll call can.
+//!
+//! The check is deliberately coarse: a field **appears** in a mirror
+//! function if its name occurs as an identifier anywhere in the
+//! function's body. That admits a pathological mention-without-use, but
+//! it has no false positives on idiomatic field-by-field bodies, and a
+//! missing field — the real hazard — can never hide.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{Finding, RuleId};
+
+/// One struct to audit and the functions that must mirror it.
+#[derive(Debug, Clone, Copy)]
+pub struct MirrorSpec {
+    /// The struct whose fields are the roll call.
+    pub struct_name: &'static str,
+    /// `(impl owner, fn name)` pairs: each function must name every
+    /// field. The owner disambiguates same-named functions (two `fn
+    /// minus` exist in `stats.rs`).
+    pub mirrors: &'static [(&'static str, &'static str)],
+}
+
+/// Audits `src` against `specs`. A spec that fails to resolve (struct
+/// or mirror function not found) is itself a finding — a rename must
+/// update the spec, not silently disable the pass.
+pub fn check_mirrors(file: &str, src: &str, specs: &[MirrorSpec]) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let mut findings = Vec::new();
+    let finding = |line: u32, message: String| Finding {
+        file: file.to_string(),
+        line,
+        rule: RuleId::Mirror,
+        message,
+    };
+
+    for spec in specs {
+        let Some(fields) = struct_fields(tokens, spec.struct_name) else {
+            findings.push(finding(
+                1,
+                format!(
+                    "mirror spec names struct `{}` but no such struct is declared here — \
+                     update the spec alongside the rename",
+                    spec.struct_name
+                ),
+            ));
+            continue;
+        };
+        for &(owner, fn_name) in spec.mirrors {
+            let Some((fn_line, body)) = fn_body_in_impl(tokens, owner, fn_name) else {
+                findings.push(finding(
+                    1,
+                    format!(
+                        "mirror spec names `{owner}::{fn_name}` but no such function is \
+                         declared here — update the spec alongside the rename"
+                    ),
+                ));
+                continue;
+            };
+            for field in &fields {
+                if !body.iter().any(|t| t.is_ident(field)) {
+                    findings.push(finding(
+                        fn_line,
+                        format!(
+                            "`{owner}::{fn_name}` does not mention field `{field}` of \
+                             `{}` — the counter would be silently dropped on this path",
+                            spec.struct_name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Field names of `struct <name> { .. }`, in declaration order.
+fn struct_fields(tokens: &[Token], name: &str) -> Option<Vec<String>> {
+    let mut i = 0usize;
+    let decl = loop {
+        if i + 1 >= tokens.len() {
+            return None;
+        }
+        if tokens[i].is_ident("struct") && tokens[i + 1].is_ident(name) {
+            break i;
+        }
+        i += 1;
+    };
+    let open = (decl..tokens.len()).find(|&k| tokens[k].is_punct('{'))?;
+    let close = match_brace(tokens, open);
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < close {
+        let t = &tokens[k];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                _ => {}
+            }
+        }
+        // A field name is an identifier at body depth followed by a
+        // single `:` (a `::` would mean a path segment inside a type).
+        if depth == 1
+            && t.kind == TokenKind::Ident
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(k + 2).is_some_and(|n| n.is_punct(':'))
+            && !k.checked_sub(1).is_some_and(|p| tokens[p].is_punct(':'))
+        {
+            // `pub(crate)` parens are handled by the depth guard; `pub`
+            // itself is never followed by `:`.
+            fields.push(t.text.clone());
+        }
+        k += 1;
+    }
+    Some(fields)
+}
+
+/// The body tokens (and declaration line) of `fn <fn_name>` inside an
+/// `impl` block whose implemented type is `owner` (for `impl Trait for
+/// Type`, the type; for an inherent impl, the type itself).
+fn fn_body_in_impl<'t>(
+    tokens: &'t [Token],
+    owner: &str,
+    fn_name: &str,
+) -> Option<(u32, &'t [Token])> {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let open = (i..tokens.len()).find(|&k| tokens[k].is_punct('{'))?;
+        let close = match_brace(tokens, open);
+        let implemented = tokens[i..open]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokenKind::Ident);
+        if implemented.is_some_and(|t| t.text == owner) {
+            let mut k = open + 1;
+            while k < close {
+                if tokens[k].is_ident("fn")
+                    && tokens.get(k + 1).is_some_and(|n| n.is_ident(fn_name))
+                {
+                    let body_open = (k..close).find(|&b| tokens[b].is_punct('{'))?;
+                    let body_close = match_brace(tokens, body_open);
+                    return Some((tokens[k].line, &tokens[body_open..=body_close]));
+                }
+                // Skip nested fn bodies wholesale so an inner fn's name
+                // cannot shadow the search.
+                if tokens[k].is_punct('{') {
+                    k = match_brace(tokens, k);
+                }
+                k += 1;
+            }
+        }
+        i = close + 1;
+    }
+    None
+}
+
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: MirrorSpec = MirrorSpec {
+        struct_name: "Counters",
+        mirrors: &[("Counters", "accumulate"), ("Stats", "merge")],
+    };
+
+    #[test]
+    fn complete_mirrors_are_clean() {
+        let src = "
+            pub struct Counters { pub hits: u64, pub misses: u64 }
+            impl Counters {
+                fn accumulate(&mut self, o: &Self) {
+                    self.hits += o.hits;
+                    self.misses += o.misses;
+                }
+            }
+            struct Stats { c: Counters }
+            impl Stats {
+                fn merge(&mut self, o: &Self) {
+                    self.c.hits += o.c.hits;
+                    self.c.misses += o.c.misses;
+                }
+            }
+        ";
+        assert!(check_mirrors("f.rs", src, &[SPEC]).is_empty());
+    }
+
+    #[test]
+    fn forgotten_field_is_caught_in_the_right_fn() {
+        let src = "
+            pub struct Counters { pub hits: u64, pub misses: u64 }
+            impl Counters {
+                fn accumulate(&mut self, o: &Self) {
+                    self.hits += o.hits;
+                    self.misses += o.misses;
+                }
+            }
+            struct Stats { c: Counters }
+            impl Stats {
+                fn merge(&mut self, o: &Self) {
+                    self.c.hits += o.c.hits;
+                }
+            }
+        ";
+        let f = check_mirrors("f.rs", src, &[SPEC]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`Stats::merge`"), "{}", f[0].message);
+        assert!(f[0].message.contains("`misses`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn same_named_fns_are_disambiguated_by_owner() {
+        // Both impls declare `fn minus`; only the owner named in the
+        // spec is audited.
+        let src = "
+            pub struct Counters { pub hits: u64 }
+            struct Other { x: u64 }
+            impl Other {
+                fn minus(&self) -> u64 { self.x }
+            }
+            impl Counters {
+                fn minus(&self, o: &Self) -> Self { Counters { hits: self.hits - o.hits } }
+            }
+        ";
+        let spec = MirrorSpec {
+            struct_name: "Counters",
+            mirrors: &[("Counters", "minus")],
+        };
+        assert!(check_mirrors("f.rs", src, &[spec]).is_empty());
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_type_not_the_trait() {
+        let src = "
+            pub struct Counters { pub hits: u64 }
+            impl Default for Counters {
+                fn default() -> Self { Counters { hits: 0 } }
+            }
+        ";
+        let spec = MirrorSpec {
+            struct_name: "Counters",
+            mirrors: &[("Counters", "default")],
+        };
+        assert!(check_mirrors("f.rs", src, &[spec]).is_empty());
+    }
+
+    #[test]
+    fn missing_struct_or_fn_is_itself_a_finding() {
+        let src = "fn unrelated() {}";
+        let f = check_mirrors("f.rs", src, &[SPEC]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no such struct"), "{}", f[0].message);
+
+        let src = "struct Counters { hits: u64 }";
+        let f = check_mirrors("f.rs", src, &[SPEC]);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.message.contains("no such function")));
+    }
+
+    #[test]
+    fn paths_in_field_types_are_not_fields() {
+        let src = "
+            struct Counters { hits: std::num::Wrapping<u64>, misses: u64 }
+            impl Counters {
+                fn accumulate(&mut self, o: &Self) {
+                    self.hits += o.hits;
+                    self.misses += o.misses;
+                }
+            }
+        ";
+        let spec = MirrorSpec {
+            struct_name: "Counters",
+            mirrors: &[("Counters", "accumulate")],
+        };
+        assert!(check_mirrors("f.rs", src, &[spec]).is_empty());
+    }
+}

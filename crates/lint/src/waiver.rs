@@ -1,0 +1,203 @@
+//! Inline lint waivers: `// a4-lint: allow(<rule>) -- <reason>`.
+//!
+//! A waiver must carry a reason — the whole point of the contract is
+//! that every exemption is an argued decision, not a reflex. Three
+//! scopes exist:
+//!
+//! * `allow(rule)` — waives findings on the comment's own line
+//!   (trailing comment) or, for a comment alone on its line, on the
+//!   next line that holds code;
+//! * `allow-fn(rule)` — placed directly above a `fn` item (doc
+//!   comments and attributes may sit between), waives findings in that
+//!   function's whole body — for functions *built out of* the waived
+//!   construct (hash mixers, SWAR tricks);
+//! * `allow-file(rule)` — waives the rule for the entire file; reserve
+//!   it for files whose purpose is the waived construct.
+//!
+//! A waiver that suppresses nothing is itself reported
+//! ([`crate::rules::RuleId::UnusedWaiver`]), so stale exemptions cannot
+//! quietly outlive the code they excused.
+
+use crate::lexer::{Comment, Token};
+use crate::rules::RuleId;
+
+/// How far a waiver reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// The comment's own line, or the next code line.
+    Line,
+    /// The body of the next `fn` item.
+    Fn,
+    /// The whole file.
+    File,
+}
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: RuleId,
+    /// The waiver's reach.
+    pub scope: Scope,
+    /// The mandatory justification (after `--`).
+    pub reason: String,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+}
+
+/// A malformed waiver comment (reported as a finding by the engine).
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts waivers from `comments`. Comments mentioning `a4-lint`
+/// that fail to parse — unknown rule, missing reason, mangled syntax —
+/// become [`WaiverError`]s and are **not** honored, so a typo can only
+/// make the lint stricter, never quieter.
+pub fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<WaiverError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        // Doc comments keep their extra `/`/`!` in the text; strip.
+        let text = c.text.trim_start_matches(['/', '!']).trim();
+        // A waiver is the comment's entire content: it must *start*
+        // with the marker. Prose that merely mentions a4-lint (docs,
+        // this file) is not a waiver attempt.
+        if !text.starts_with("a4-lint") {
+            continue;
+        }
+        let Some(rest) = text.strip_prefix("a4-lint:") else {
+            errors.push(WaiverError {
+                line: c.line,
+                message: "mangled waiver: expected `a4-lint: allow(<rule>) -- <reason>`"
+                    .to_string(),
+            });
+            continue;
+        };
+        match parse_directive(rest.trim()) {
+            Ok((rule, scope, reason)) => waivers.push(Waiver {
+                rule,
+                scope,
+                reason,
+                line: c.line,
+            }),
+            Err(message) => errors.push(WaiverError {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    (waivers, errors)
+}
+
+fn parse_directive(s: &str) -> Result<(RuleId, Scope, String), String> {
+    let (scope, rest) = if let Some(r) = s.strip_prefix("allow-file") {
+        (Scope::File, r)
+    } else if let Some(r) = s.strip_prefix("allow-fn") {
+        (Scope::Fn, r)
+    } else if let Some(r) = s.strip_prefix("allow") {
+        (Scope::Line, r)
+    } else {
+        return Err(format!(
+            "unknown waiver directive {s:?}: expected allow / allow-fn / allow-file"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("waiver needs a rule: `allow(<rule>) -- <reason>`".to_string());
+    };
+    let Some((rule_name, rest)) = rest.split_once(')') else {
+        return Err("unclosed `(` in waiver".to_string());
+    };
+    let rule_name = rule_name.trim();
+    let Some(rule) = RuleId::parse(rule_name) else {
+        return Err(format!(
+            "waiver names unknown rule {rule_name:?} (see `a4-lint --list-rules`)"
+        ));
+    };
+    let Some((_, reason)) = rest.split_once("--") else {
+        return Err(format!(
+            "waiver for `{rule_name}` has no reason: append ` -- <why this is sound>`"
+        ));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err(format!(
+            "waiver for `{rule_name}` has an empty reason: append ` -- <why this is sound>`"
+        ));
+    }
+    Ok((rule, scope, reason.to_string()))
+}
+
+/// The line a [`Scope::Line`] waiver protects: its own line if code
+/// shares it (trailing comment), else the first later line holding a
+/// token.
+pub fn target_line(waiver_line: u32, tokens: &[Token]) -> u32 {
+    if tokens.iter().any(|t| t.line == waiver_line) {
+        return waiver_line;
+    }
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .find(|&l| l > waiver_line)
+        .unwrap_or(waiver_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn one(src: &str) -> Result<Waiver, WaiverError> {
+        let lexed = lex(src);
+        let (mut ws, mut es) = parse_waivers(&lexed.comments);
+        match (ws.pop(), es.pop()) {
+            (Some(w), None) => Ok(w),
+            (None, Some(e)) => Err(e),
+            other => panic!("expected exactly one parse result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_all_scopes_with_reasons() {
+        let w = one("// a4-lint: allow(counter-safety) -- FNV mixing\n").unwrap();
+        assert_eq!((w.rule, w.scope), (RuleId::CounterSafety, Scope::Line));
+        assert_eq!(w.reason, "FNV mixing");
+        let w = one("// a4-lint: allow-fn(entropy) -- seeded generator\n").unwrap();
+        assert_eq!((w.rule, w.scope), (RuleId::Entropy, Scope::Fn));
+        let w = one("// a4-lint: allow-file(hash-collections) -- display only\n").unwrap();
+        assert_eq!((w.rule, w.scope), (RuleId::HashCollections, Scope::File));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let e = one("// a4-lint: allow(counter-safety)\n").unwrap_err();
+        assert!(e.message.contains("no reason"), "{}", e.message);
+        let e = one("// a4-lint: allow(counter-safety) -- \n").unwrap_err();
+        assert!(e.message.contains("empty reason"), "{}", e.message);
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let e = one("// a4-lint: allow(no-such-rule) -- because\n").unwrap_err();
+        assert!(e.message.contains("unknown rule"), "{}", e.message);
+    }
+
+    #[test]
+    fn mangled_marker_is_rejected_not_ignored() {
+        let e = one("// a4-lint allow(counter-safety) -- typo, no colon\n").unwrap_err();
+        assert!(e.message.contains("mangled"), "{}", e.message);
+    }
+
+    #[test]
+    fn target_line_trailing_vs_standalone() {
+        let lexed = lex("let x = 1; // trailing\n\nlet y = 2;\n");
+        assert_eq!(target_line(1, &lexed.tokens), 1);
+        let lexed = lex("// standalone\n\nlet y = 2;\n");
+        assert_eq!(target_line(1, &lexed.tokens), 3);
+    }
+}
