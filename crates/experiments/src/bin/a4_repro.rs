@@ -13,7 +13,7 @@
 //!          [--dump-specs DIR] [--spec FILE] [--list]
 //!          [--cache-dir DIR] [--no-cache] [--cache-gc]
 //!          [--max-age-days N] [--replicas N] [--timing]
-//!          [--shard I/N] [--merge-only]
+//!          [--shard I/N] [--merge-only] [--best-effort]
 //!          [--enqueue | --worker | --serve] [--shards N]
 //!          [--stale-secs S]
 //!
@@ -49,6 +49,9 @@
 //! --merge-only:     never simulate — render each figure's tables
 //!                   purely from the store (the merge pass after
 //!                   sharded or queued execution)
+//! --best-effort:    with --merge-only: render partial sweeps anyway,
+//!                   with explicit (missing) cells and a title suffix,
+//!                   instead of erroring on missing store entries
 //! --enqueue:        split each figure into --shards tasks on the
 //!                   store's filesystem job queue and exit
 //! --worker:         claim queued tasks (from any figure) one lease at
@@ -66,13 +69,23 @@
 //!                   (to --json DIR, or the current directory)
 //! --list:           list figures and their cell counts, then exit
 //! ```
+//!
+//! Setting `A4_FAULTS=<seed>` routes every store and queue filesystem
+//! operation through a seeded deterministic fault injector
+//! ([`a4_experiments::FaultFs`]: ENOSPC/EIO writes, refused renames,
+//! torn tmp files). Workers retry transients with bounded backoff and
+//! report a fabric-health summary — the chaos knob CI uses to prove
+//! that an injected run merges byte-identically to a fault-free one.
 
+use a4_experiments::cache::ResultCache;
 use a4_experiments::fig11;
 use a4_experiments::service::ServiceError;
+use a4_experiments::{drain_queue, fabric_health, Backoff, DrainReport, FaultFs, Fs};
 use a4_experiments::{figures, FigureDef, JobTables, SeedPolicy, Shard, SweepJob};
 use a4_experiments::{JobQueue, Task};
 use a4_experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner, Table, TableStats};
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Prints the error and exits with status 2. The CLI front door for
@@ -237,60 +250,15 @@ fn positional_args(args: &[String]) -> Vec<&str> {
     positional
 }
 
-/// Claims and executes queued tasks until none are claimable, renewing
-/// the lease after every batch of cells. Corrupt task files never get
-/// here — [`JobQueue::claim`] quarantines them under `poison/` — so
-/// every error this loop sees is a store/filesystem problem, reported
-/// once and exited cleanly (the lease is released first, so the task
-/// survives for another worker).
-fn drain_queue(queue: &JobQueue, runner: &SweepRunner, worker: &str, stale: Duration) -> usize {
-    let mut executed = 0;
-    loop {
-        let reclaimed = queue
-            .reclaim_stale(stale)
-            .unwrap_or_else(|e| fail(format!("{worker}: cannot scan leases: {e}")));
-        if reclaimed > 0 {
-            eprintln!("[a4-repro] {worker}: re-claimed {reclaimed} stale lease(s)");
-        }
-        let lease = match queue.claim(worker) {
-            Ok(Some(lease)) => lease,
-            Ok(None) => return executed,
-            Err(e) => fail(format!("{worker}: cannot claim a task: {e}")),
-        };
-        let task = lease.task.clone();
-        eprintln!(
-            "[a4-repro] {worker}: executing {} shard {} ({})",
-            task.job.figure,
-            task.shard,
-            lease.id()
-        );
-        match task
-            .job
-            .execute_shard_with(task.shard, runner, |_done, _total| {
-                // A failed heartbeat is survivable (worst case the lease
-                // is reclaimed and the shard re-executes idempotently
-                // from the store) but must not pass silently: it is the
-                // early warning that the lease file vanished.
-                if let Err(e) = lease.heartbeat() {
-                    eprintln!("[a4-repro] {worker}: heartbeat failed ({e}); continuing");
-                }
-            }) {
-            Ok(units) => {
-                executed += units;
-                queue
-                    .complete(lease)
-                    .unwrap_or_else(|e| fail(format!("{worker}: cannot mark task done: {e}")));
-            }
-            Err(e) => {
-                // Put the task back for another (or a fixed) worker
-                // before surfacing the failure.
-                if let Err(rel) = queue.release(lease) {
-                    eprintln!("[a4-repro] {worker}: could not release lease: {rel}");
-                }
-                fail(format!("{worker}: task failed: {e}"));
-            }
-        }
-    }
+/// One [`drain_queue`] pass with the CLI's retry policy and log
+/// prefix; a fatal queue/execution error exits via [`fail`] (the
+/// library released the task first, so it survives for another
+/// worker).
+fn drain(queue: &JobQueue, runner: &SweepRunner, worker: &str, stale: Duration) -> DrainReport {
+    drain_queue(queue, runner, worker, stale, &Backoff::fabric(), |line| {
+        eprintln!("[a4-repro] {worker}: {line}")
+    })
+    .unwrap_or_else(|e| fail(format!("{worker}: {e}")))
 }
 
 fn main() {
@@ -300,6 +268,7 @@ fn main() {
     let timing = args.iter().any(|a| a == "--timing");
     let no_cache = args.iter().any(|a| a == "--no-cache");
     let merge_only = args.iter().any(|a| a == "--merge-only");
+    let best_effort = args.iter().any(|a| a == "--best-effort");
     let enqueue = args.iter().any(|a| a == "--enqueue");
     let worker = args.iter().any(|a| a == "--worker");
     let serve = args.iter().any(|a| a == "--serve");
@@ -381,10 +350,26 @@ fn main() {
         worker || serve || flag_value(&args, "--stale-secs").is_none(),
         "--stale-secs only applies to --worker/--serve",
     );
+    require(
+        merge_only || !best_effort,
+        "--best-effort only applies to --merge-only",
+    );
     let store_dir = cache_dir.clone().unwrap_or_else(|| "out/.cache".into());
+    // The chaos knob: A4_FAULTS=<seed> puts the store (and the queue,
+    // below) on a deterministic fault-injecting filesystem.
+    let faults = FaultFs::from_env();
+    if faults.is_some() {
+        eprintln!("[a4-repro] A4_FAULTS set: injecting seeded store/queue faults");
+        require(!no_cache, "A4_FAULTS exercises the store; drop --no-cache");
+    }
     let mut runner = SweepRunner::with_threads(threads);
     if !no_cache {
-        runner = runner.with_cache_dir(&store_dir);
+        runner = match &faults {
+            Some(f) => {
+                runner.with_cache(ResultCache::with_fs(&store_dir, f.clone() as Arc<dyn Fs>))
+            }
+            None => runner.with_cache_dir(&store_dir),
+        };
     }
     let wanted = positional_args(&args);
     let known: Vec<&str> = figures().iter().map(|f| f.name).collect();
@@ -452,9 +437,22 @@ fn main() {
         }
     }
 
+    // The health summary folds in whatever ran: store counters, queue
+    // poison count, worker drain stats, and the injector's fault count.
+    let print_health = |queue: Option<&JobQueue>, report: Option<&DrainReport>| {
+        let mut health = fabric_health(runner.cache(), queue, report);
+        if let Some(f) = &faults {
+            health.injected_faults = f.injected();
+        }
+        eprintln!("[a4-repro] fabric {health}");
+    };
+
     if enqueue || worker || serve {
-        let queue = JobQueue::open(&store_dir)
-            .unwrap_or_else(|e| fail(format!("cannot open job queue: {e}")));
+        let queue = match &faults {
+            Some(f) => JobQueue::open_with_fs(&store_dir, f.clone() as Arc<dyn Fs>),
+            None => JobQueue::open(&store_dir),
+        }
+        .unwrap_or_else(|e| fail(format!("cannot open job queue: {e}")));
         let stale = Duration::from_secs(stale_secs);
         let queue_counts = |queue: &JobQueue| {
             queue
@@ -490,13 +488,15 @@ fn main() {
         }
         let me = format!("w{}", std::process::id());
         if worker {
-            let executed = drain_queue(&queue, &runner, &me, stale);
+            let report = drain(&queue, &runner, &me, stale);
             let (pending, leased, done) = queue_counts(&queue);
             eprintln!(
-                "[a4-repro] {me}: executed {executed} unit(s); queue now \
-                 {pending} pending / {leased} leased / {done} done"
+                "[a4-repro] {me}: executed {} unit(s); queue now \
+                 {pending} pending / {leased} leased / {done} done",
+                report.executed
             );
             report_poisoned(&queue);
+            print_health(Some(&queue), Some(&report));
             return;
         }
         if enqueue {
@@ -511,8 +511,21 @@ fn main() {
         // --serve: work the queue alongside any external workers, wait
         // for stragglers (re-claiming their leases if they go stale),
         // then fall through to the merge below.
+        let mut serve_report = DrainReport::default();
         loop {
-            drain_queue(&queue, &runner, &me, stale);
+            let report = drain(&queue, &runner, &me, stale);
+            serve_report.tasks += report.tasks;
+            serve_report.executed += report.executed;
+            serve_report.reclaimed += report.reclaimed;
+            serve_report.retries += report.retries;
+            serve_report.heartbeat_failures += report.heartbeat_failures;
+            if report.released {
+                // Our own lease heartbeats keep failing: the store dir
+                // is unhealthy, and looping would thrash it.
+                fail(format!(
+                    "{me}: lease heartbeats keep failing; task released"
+                ));
+            }
             let (pending, leased, _) = queue_counts(&queue);
             if pending == 0 && leased == 0 {
                 break;
@@ -520,6 +533,7 @@ fn main() {
             std::thread::sleep(Duration::from_millis(200));
         }
         report_poisoned(&queue);
+        print_health(Some(&queue), Some(&serve_report));
     }
 
     if let Some(shard) = shard {
@@ -549,10 +563,25 @@ fn main() {
             .unwrap_or_else(|| fail("store disabled in a merge mode (internal)"));
         for f in figures().iter().filter(|f| wants(f.name)) {
             let job = job_for(f);
-            let rendered = job
-                .render_from_store(store)
-                .unwrap_or_else(|e| fail(format!("{}: {e}", f.name)));
+            let rendered = if best_effort {
+                let (rendered, missing, total) = job
+                    .render_from_store_best_effort(store)
+                    .unwrap_or_else(|e| fail(format!("{}: {e}", f.name)));
+                if missing > 0 {
+                    eprintln!(
+                        "[a4-repro] {}: best-effort merge with {missing}/{total} cell(s) missing",
+                        f.name
+                    );
+                }
+                rendered
+            } else {
+                job.render_from_store(store)
+                    .unwrap_or_else(|e| fail(format!("{}: {e}", f.name)))
+            };
             collect(rendered, &mut tables, &mut replica_tables);
+        }
+        if merge_only {
+            print_health(None, None);
         }
     }
 

@@ -18,14 +18,36 @@
 //! The key embeds [`CODE_SALT`]; bump its revision suffix whenever a
 //! change alters simulation *behaviour* (counters, victim picks, event
 //! order). Pure-speed refactors that keep reports byte-identical may
-//! keep the salt. Stored files are written via a temp-file rename so an
-//! interrupted writer never leaves a torn entry; unreadable or corrupt
-//! entries are treated as misses and rewritten.
+//! keep the salt.
+//!
+//! # Integrity and failure model
+//!
+//! Entries are stored as a checksummed envelope
+//! `{"payload_fnv": <`[`content_key`]` of the report JSON>, "report":
+//! <report>}` and written via a temp-file rename, so an interrupted
+//! writer never leaves a torn entry. On load, three failure classes are
+//! distinguished:
+//!
+//! * **unreadable / unparseable** (torn tmp promoted by a buggy tool,
+//!   pre-envelope legacy entries) — a plain miss, re-simulated and
+//!   rewritten;
+//! * **parseable but checksum-mismatched** (a bit-flip that still reads
+//!   as JSON) — *quarantined* to `<store>/corrupt/` and counted, never
+//!   silently served as truth and never silently deleted;
+//! * **store write failures** (disk full, permissions) — retried with
+//!   [`Backoff::fabric`], then counted and warned once per process: the
+//!   sweep degrades to never-caching, visibly.
+//!
+//! All filesystem access goes through the [`Fs`] seam (enforced by the
+//! `fs-seam` lint rule), so chaos tests drive these paths with a
+//! seeded [`crate::fault::FaultFs`].
 
+use crate::fault::{Backoff, Fs, RealFs};
 use crate::spec::ScenarioSpec;
 use a4_core::RunReport;
+use serde::Deserialize;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Version salt mixed into every cache key: crate version plus a manual
@@ -53,7 +75,8 @@ fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
 /// independently seeded FNV-1a streams) over the code salt and the
 /// payload, rendered as 32 hex digits. [`spec_key`] and the job queue's
 /// task ids both use this, so every on-disk artifact keys on the same
-/// *(code version, content)* pair.
+/// *(code version, content)* pair — and the store envelope reuses it as
+/// the payload checksum.
 pub(crate) fn content_key(payload: &str) -> String {
     let lo = fnv1a(fnv1a(FNV_OFFSET, CODE_SALT.as_bytes()), payload.as_bytes());
     // Second stream: different seed, salt appended, so the two halves
@@ -77,6 +100,18 @@ pub fn spec_key(spec: &ScenarioSpec) -> String {
     content_key(&serde_json::to_string(spec).expect("specs serialize"))
 }
 
+/// The on-disk entry form: the report wrapped with its own checksum, so
+/// corrupt-but-parseable entries are detectable. Serialization is
+/// byte-stable within one build, so re-serializing the parsed report
+/// and re-hashing reproduces `payload_fnv` exactly for intact entries.
+#[derive(Debug, Deserialize)]
+struct StoredEntry {
+    /// [`content_key`] of the serialized `report` field.
+    payload_fnv: String,
+    /// The cached report itself.
+    report: RunReport,
+}
+
 /// An on-disk store of [`RunReport`]s keyed by [`spec_key`].
 ///
 /// # Examples
@@ -95,10 +130,16 @@ pub fn spec_key(spec: &ScenarioSpec) -> String {
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    fs: Arc<dyn Fs>,
     // Shared across clones (sweep threads clone the runner's cache), so
-    // a whole sweep reports one hit/simulated tally.
+    // a whole sweep reports one hit/simulated tally — and one
+    // degradation tally.
     hits: Arc<AtomicU64>,
     simulated: Arc<AtomicU64>,
+    write_failures: Arc<AtomicU64>,
+    store_retries: Arc<AtomicU64>,
+    quarantined: Arc<AtomicU64>,
+    warned: Arc<AtomicBool>,
 }
 
 /// Distinguishes concurrent `store` calls for the *same* key within one
@@ -109,10 +150,21 @@ static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
 impl ResultCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache::with_fs(dir, Arc::new(RealFs))
+    }
+
+    /// A cache rooted at `dir` whose filesystem access goes through
+    /// `fs` — the chaos-test entry point (see [`crate::fault::FaultFs`]).
+    pub fn with_fs(dir: impl Into<PathBuf>, fs: Arc<dyn Fs>) -> Self {
         ResultCache {
             dir: dir.into(),
+            fs,
             hits: Arc::new(AtomicU64::new(0)),
             simulated: Arc::new(AtomicU64::new(0)),
+            write_failures: Arc::new(AtomicU64::new(0)),
+            store_retries: Arc::new(AtomicU64::new(0)),
+            quarantined: Arc::new(AtomicU64::new(0)),
+            warned: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -131,12 +183,37 @@ impl ResultCache {
         self.simulated.load(Ordering::Relaxed)
     }
 
+    /// Entries that failed to write after retries — each one degraded
+    /// the sweep to never-caching for that cell.
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures.load(Ordering::Relaxed)
+    }
+
+    /// Transient store-write retries that were needed (and succeeded or
+    /// exhausted the budget) since construction.
+    pub fn store_retries(&self) -> u64 {
+        self.store_retries.load(Ordering::Relaxed)
+    }
+
+    /// Checksum-mismatched entries moved to `<store>/corrupt/`.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     fn path_of(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.report.json"))
     }
 
-    /// Loads the report cached under `key`, treating missing, unreadable
-    /// or corrupt entries as misses.
+    /// Where checksum-mismatched entries are quarantined.
+    pub fn corrupt_dir(&self) -> PathBuf {
+        self.dir.join("corrupt")
+    }
+
+    /// Loads the report cached under `key`. Missing, unreadable or
+    /// unparseable entries are misses; parseable entries whose payload
+    /// checksum mismatches are quarantined to `<store>/corrupt/` (kept
+    /// for a post-mortem, never served) and also miss — the cell then
+    /// re-executes idempotently.
     ///
     /// A hit refreshes the entry's modification time (best effort), so
     /// [`ResultCache::gc`]'s age cutoff measures time since the entry
@@ -144,26 +221,45 @@ impl ResultCache {
     /// last run touched always survive a GC.
     pub fn load(&self, key: &str) -> Option<RunReport> {
         let path = self.path_of(key);
-        let json = std::fs::read_to_string(&path).ok()?;
-        let report: Option<RunReport> = serde_json::from_str(&json).ok();
-        if report.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            // The refresh is best-effort (a read-only store still
-            // serves hits) but a failure must be *visible*: it means
-            // the next GC will age this entry from its last store, and
-            // silent mtime loss is exactly how cache corruption hides.
-            if let Err(e) = std::fs::File::options()
-                .append(true)
-                .open(&path)
-                .and_then(|f| f.set_modified(std::time::SystemTime::now()))
-            {
-                eprintln!(
-                    "[a4-cache] warning: could not refresh mtime of {}: {e}",
-                    path.display()
-                );
-            }
+        let json = self.fs.read_to_string(&path).ok()?;
+        let entry: StoredEntry = serde_json::from_str(&json).ok()?;
+        let payload = serde_json::to_string(&entry.report).ok()?;
+        if content_key(&payload) != entry.payload_fnv {
+            self.quarantine(key, &path);
+            return None;
         }
-        report
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        // The refresh is best-effort (a read-only store still serves
+        // hits) but a failure must be *visible*: it means the next GC
+        // will age this entry from its last store, and silent mtime
+        // loss is exactly how cache corruption hides.
+        if let Err(e) = self.fs.touch(&path) {
+            eprintln!(
+                "[a4-cache] warning: could not refresh mtime of {}: {e}",
+                path.display()
+            );
+        }
+        Some(entry.report)
+    }
+
+    /// Moves a checksum-mismatched entry to `corrupt/` and counts it.
+    fn quarantine(&self, key: &str, path: &Path) {
+        let grave = self.corrupt_dir().join(format!("{key}.report.json"));
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        match self
+            .fs
+            .create_dir_all(&self.corrupt_dir())
+            .and_then(|()| self.fs.rename(path, &grave))
+        {
+            Ok(()) => eprintln!(
+                "[a4-cache] warning: entry {key} failed its checksum; quarantined to {}",
+                grave.display()
+            ),
+            Err(e) => eprintln!(
+                "[a4-cache] warning: entry {key} failed its checksum and could not be \
+                 quarantined ({e}); treating as a miss"
+            ),
+        }
     }
 
     /// Garbage-collects the cache's own artifacts: removes every
@@ -173,31 +269,26 @@ impl ResultCache {
     /// this drops exactly the entries no recent run touched — plus any
     /// stale temp files a crashed writer left behind). Files the cache
     /// did not write are never touched, so a cache directory shared with
-    /// other outputs (e.g. `--json` tables) is safe to sweep. Returns
+    /// other outputs (e.g. `--json` tables) is safe to sweep; the
+    /// `corrupt/` quarantine is likewise left alone. Returns
     /// `(removed, kept)` over cache artifacts; a missing directory is
     /// `(0, 0)`.
     pub fn gc(&self, max_age: std::time::Duration) -> (u64, u64) {
         let now = std::time::SystemTime::now();
         let (mut removed, mut kept) = (0, 0);
-        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+        let Ok(names) = self.fs.read_dir_names(&self.dir) else {
             return (0, 0);
         };
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        for name in names {
             if !(name.ends_with(".report.json") || name.ends_with(".tmp")) {
                 continue;
             }
-            let Ok(meta) = entry.metadata() else { continue };
-            if !meta.is_file() {
+            let path = self.dir.join(&name);
+            let Ok(modified) = self.fs.modified(&path) else {
                 continue;
-            }
-            let age = meta
-                .modified()
-                .ok()
-                .and_then(|m| now.duration_since(m).ok())
-                .unwrap_or_default();
-            if age > max_age && std::fs::remove_file(entry.path()).is_ok() {
+            };
+            let age = now.duration_since(modified).unwrap_or_default();
+            if age > max_age && self.fs.remove_file(&path).is_ok() {
                 removed += 1;
             } else {
                 kept += 1;
@@ -207,28 +298,54 @@ impl ResultCache {
     }
 
     /// Stores `report` under `key` (best effort: a full disk or missing
-    /// permissions degrade to "no cache", never to a failed sweep).
+    /// permissions degrade to "no cache", never to a failed sweep — but
+    /// *counted* degradation, see [`ResultCache::write_failures`]).
     ///
     /// The write goes to a per-writer temp file first and is moved into
     /// place atomically, so concurrent sweep threads and interrupted
     /// runs can never leave a torn entry behind; a failed write cleans
-    /// its temp file up.
+    /// its temp file up. Transient failures retry with
+    /// [`Backoff::fabric`] — each filesystem step retries on its own,
+    /// so a fault budget that guarantees any *single* operation
+    /// eventually succeeds guarantees the whole store does (retrying
+    /// the write+rename compound would let alternating faults exhaust
+    /// the budget). A store that stays down is warned about once per
+    /// process.
     pub fn store(&self, key: &str, report: &RunReport) {
         self.simulated.fetch_add(1, Ordering::Relaxed);
-        if std::fs::create_dir_all(&self.dir).is_err() {
-            return;
-        }
         let json = match serde_json::to_string(report) {
             Ok(json) => json,
             Err(_) => return,
         };
+        let envelope = format!(
+            "{{\"payload_fnv\":\"{}\",\"report\":{json}}}",
+            content_key(&json)
+        );
         let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = self
             .dir
             .join(format!(".{key}.{}.{seq}.tmp", std::process::id()));
-        if std::fs::write(&tmp, json).is_err() || std::fs::rename(&tmp, self.path_of(key)).is_err()
-        {
-            std::fs::remove_file(&tmp).ok();
+        let mut retries = 0;
+        let backoff = Backoff::fabric();
+        let result = backoff
+            .retry(&mut retries, || {
+                self.fs
+                    .create_dir_all(&self.dir)
+                    .and_then(|()| self.fs.write(&tmp, envelope.as_bytes()))
+            })
+            .and_then(|()| {
+                backoff.retry(&mut retries, || self.fs.rename(&tmp, &self.path_of(key)))
+            });
+        self.store_retries.fetch_add(retries, Ordering::Relaxed);
+        if let Err(e) = result {
+            self.fs.remove_file(&tmp).ok();
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "[a4-cache] warning: store write failed ({e}); the sweep continues \
+                     without caching the affected cells (reported once per process)"
+                );
+            }
         }
     }
 }
@@ -242,6 +359,18 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("a4-cache-test-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
+    }
+
+    fn quick_report() -> RunReport {
+        ScenarioSpec::microbench(RunOpts {
+            warmup: 0,
+            measure: 1,
+            seed: 0xA4,
+        })
+        .build()
+        .unwrap()
+        .run()
+        .report
     }
 
     #[test]
@@ -273,6 +402,8 @@ mod tests {
             back.samples[0].workloads[0].accesses,
             report.samples[0].workloads[0].accesses
         );
+        assert_eq!(cache.write_failures(), 0);
+        assert_eq!(cache.quarantined(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -284,15 +415,7 @@ mod tests {
         // Missing directory: a no-op.
         assert_eq!(cache.gc(Duration::from_secs(0)), (0, 0));
 
-        let report = ScenarioSpec::microbench(RunOpts {
-            warmup: 0,
-            measure: 1,
-            seed: 0xA4,
-        })
-        .build()
-        .unwrap()
-        .run()
-        .report;
+        let report = quick_report();
         cache.store("old", &report);
         cache.store("fresh", &report);
         // Fabricate an ancient timestamp on one entry (and a stale temp
@@ -333,6 +456,55 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(cache.path_of("deadbeef"), "{not json").unwrap();
         assert!(cache.load("deadbeef").is_none());
+        // Unparseable garbage is a miss, not corruption: nothing to
+        // quarantine, the cell just re-executes.
+        assert_eq!(cache.quarantined(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_mismatches_quarantine_instead_of_serving() {
+        let dir = tmp_dir("checksum");
+        let cache = ResultCache::new(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A parseable envelope whose checksum does not cover its
+        // payload: the bit-flip-that-still-parses case.
+        let payload = serde_json::to_string(&quick_report()).unwrap();
+        let forged = format!(
+            "{{\"payload_fnv\":\"{}\",\"report\":{payload}}}",
+            "0".repeat(32)
+        );
+        std::fs::write(cache.path_of("feedface"), forged).unwrap();
+
+        assert!(cache.load("feedface").is_none(), "never served as truth");
+        assert_eq!(cache.quarantined(), 1);
+        assert!(
+            cache.corrupt_dir().join("feedface.report.json").exists(),
+            "evidence preserved under corrupt/"
+        );
+        assert!(
+            !cache.path_of("feedface").exists(),
+            "slot is free for re-execution"
+        );
+
+        // Re-executing the cell is idempotent: a fresh store and load
+        // round-trips normally.
+        cache.store("feedface", &quick_report());
+        assert!(cache.load("feedface").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_unenveloped_entries_are_misses() {
+        let dir = tmp_dir("legacy");
+        let cache = ResultCache::new(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-envelope entry (bare report JSON): parseable as JSON
+        // but not as an envelope — a miss, regenerated on next store.
+        let payload = serde_json::to_string(&quick_report()).unwrap();
+        std::fs::write(cache.path_of("cafe"), payload).unwrap();
+        assert!(cache.load("cafe").is_none());
+        assert_eq!(cache.quarantined(), 0, "legacy entries miss, not corrupt");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -114,10 +114,7 @@ pub fn tables(runs: &[ScenarioRun]) -> Vec<Table> {
                 run.device_dma_read_gbps("ssd"),
             ],
         );
-        d.push(
-            scheme.label(),
-            [run.report.mem_read_gbps(), run.report.mem_write_gbps()],
-        );
+        d.push(scheme.label(), [run.mem_read_gbps(), run.mem_write_gbps()]);
     }
     vec![a, b, c, d]
 }
@@ -154,8 +151,8 @@ mod tests {
         };
         let df = run_mix(&opts, Scheme::Default);
         let a4 = run_mix(&opts, Scheme::A4(FeatureLevel::D));
-        let tp_df = df.report.total_io_bytes(df.id("ffsb")) as f64;
-        let tp_a4 = a4.report.total_io_bytes(a4.id("ffsb")) as f64;
+        let tp_df = df.total_io_bytes("ffsb");
+        let tp_a4 = a4.total_io_bytes("ffsb");
         assert!(
             tp_a4 > tp_df * 0.7,
             "FFSB-H not notably compromised: default={tp_df:.0} a4={tp_a4:.0}"

@@ -86,8 +86,8 @@ pub fn table(touch: bool, runs: &[ScenarioRun]) -> Table {
             [
                 run.llc_miss_rate("xmem"),
                 run.llc_miss_rate("dpdk"),
-                run.report.mem_read_gbps(),
-                run.report.mem_write_gbps(),
+                run.mem_read_gbps(),
+                run.mem_write_gbps(),
             ],
         );
     }
@@ -104,8 +104,8 @@ pub fn run_point(opts: &RunOpts, touch: bool, xmem_mask: WayMask) -> (f64, f64, 
     (
         run.llc_miss_rate("xmem"),
         run.llc_miss_rate("dpdk"),
-        run.report.mem_read_gbps(),
-        run.report.mem_write_gbps(),
+        run.mem_read_gbps(),
+        run.mem_write_gbps(),
     )
 }
 

@@ -62,9 +62,9 @@ pub fn table(runs: &[ScenarioRun]) -> Table {
             label.clone(),
             [
                 on.io_gbps("fio"),
-                on.report.mem_read_gbps(),
+                on.mem_read_gbps(),
                 off.io_gbps("fio"),
-                off.report.mem_read_gbps(),
+                off.mem_read_gbps(),
             ],
         );
     }
@@ -77,7 +77,7 @@ pub fn run_point(opts: &RunOpts, block_kib: u64, dca_on: bool) -> (f64, f64) {
         .build()
         .expect("static fig5 layout")
         .run();
-    (run.io_gbps("fio"), run.report.mem_read_gbps())
+    (run.io_gbps("fio"), run.mem_read_gbps())
 }
 
 /// Runs the full figure serially.

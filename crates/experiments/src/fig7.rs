@@ -119,8 +119,8 @@ fn point_metrics(run: &ScenarioRun) -> (f64, f64, f64, f64) {
     (
         run.mean_latency_us("dpdk", LatencyKind::NetTotal),
         run.p99_latency_us("dpdk", LatencyKind::NetTotal),
-        run.report.mem_read_gbps(),
-        run.report.mem_write_gbps(),
+        run.mem_read_gbps(),
+        run.mem_write_gbps(),
     )
 }
 

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -59,8 +60,12 @@ pub mod spec;
 mod table;
 
 pub use cache::{spec_key, ResultCache};
-pub use queue::{Enqueued, JobQueue, QueueError, Task, TaskState};
+pub use fault::{Backoff, FabricHealth, FaultFs, FaultPlan, Fs, RealFs};
+pub use queue::{Enqueued, JobQueue, QueueError, Task, TaskState, MIN_STALE_AGE};
 pub use runner::{Sweep, SweepRunner, TypedAxis, TypedSweep2};
-pub use service::{figures, FigureDef, JobTables, Protocol, SeedPolicy, Shard, SweepJob};
+pub use service::{
+    drain_queue, fabric_health, figures, DrainReport, FigureDef, JobTables, Protocol, SeedPolicy,
+    Shard, SweepJob, MAX_HEARTBEAT_FAILURES,
+};
 pub use spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
 pub use table::{Row, Table, TableStats};

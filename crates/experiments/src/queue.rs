@@ -19,21 +19,40 @@
 //!   advancing (workers [`Lease::heartbeat`] while executing) back to
 //!   `pending/`, and re-execution is harmless because every result
 //!   lands in the content-addressed store — already-stored cells load
-//!   instead of simulating.
+//!   instead of simulating. The staleness cutoff is clamped to
+//!   [`MIN_STALE_AGE`] so coarse-mtime filesystems (1–2 s granularity)
+//!   cannot make a live, just-heartbeated lease look abandoned.
 //!
 //! Every fallible operation returns a typed [`QueueError`] instead of
 //! panicking: the queue is driven by unattended `--worker` fleets, and
 //! a malformed or truncated task file must never kill a worker. A task
 //! that fails to parse on claim is quarantined under `poison/` (see
 //! [`JobQueue::poisoned`]) and the claim scan moves on.
+//!
+//! All filesystem access goes through the [`Fs`] seam (enforced by the
+//! `fs-seam` lint rule), so the crash-consistency property tests
+//! drive every rename boundary with a seeded
+//! [`crate::fault::FaultFs`] — including half-applied renames at a
+//! simulated crash point — and assert that a task is always in exactly
+//! one state directory and the queue always drains after recovery.
 
 use crate::cache::content_key;
+use crate::fault::{Fs, RealFs};
 use crate::service::{Shard, SweepJob};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, SystemTime};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The smallest staleness cutoff [`JobQueue::reclaim_stale`] honours.
+/// Filesystems with coarse mtime granularity (FAT: 2 s; many network
+/// filesystems: 1 s) can report a just-heartbeated lease as seconds
+/// old; reclaiming under this threshold would bounce *live* leases and
+/// duplicate work (harmless for results — the store is idempotent —
+/// but a waste and a test-flake source).
+pub const MIN_STALE_AGE: Duration = Duration::from_secs(2);
 
 /// Why a queue operation failed.
 #[derive(Debug)]
@@ -142,6 +161,7 @@ pub enum TaskState {
 pub struct Lease {
     id: String,
     path: PathBuf,
+    fs: Arc<dyn Fs>,
     /// The claimed task.
     pub task: Task,
 }
@@ -161,11 +181,8 @@ impl Lease {
     /// Propagates filesystem errors (a vanished lease file usually
     /// means the lease was reclaimed).
     pub fn heartbeat(&self) -> Result<(), QueueError> {
-        let f = std::fs::File::options()
-            .append(true)
-            .open(&self.path)
-            .map_err(QueueError::io("heartbeat open", &self.path))?;
-        f.set_modified(SystemTime::now())
+        self.fs
+            .touch(&self.path)
             .map_err(QueueError::io("heartbeat touch", &self.path))
     }
 }
@@ -174,6 +191,7 @@ impl Lease {
 #[derive(Debug, Clone)]
 pub struct JobQueue {
     root: PathBuf,
+    fs: Arc<dyn Fs>,
 }
 
 impl JobQueue {
@@ -185,12 +203,26 @@ impl JobQueue {
     ///
     /// Propagates directory-creation failures.
     pub fn open(store_dir: impl Into<PathBuf>) -> Result<Self, QueueError> {
+        Self::open_with_fs(store_dir, Arc::new(RealFs))
+    }
+
+    /// [`JobQueue::open`] with filesystem access through `fs` — the
+    /// chaos-test entry point (see [`crate::fault::FaultFs`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_with_fs(
+        store_dir: impl Into<PathBuf>,
+        fs: Arc<dyn Fs>,
+    ) -> Result<Self, QueueError> {
         let root = store_dir.into().join("queue");
         for sub in ["pending", "leases", "done", "poison"] {
             let dir = root.join(sub);
-            std::fs::create_dir_all(&dir).map_err(QueueError::io("create queue dir", &dir))?;
+            fs.create_dir_all(&dir)
+                .map_err(QueueError::io("create queue dir", &dir))?;
         }
-        Ok(JobQueue { root })
+        Ok(JobQueue { root, fs })
     }
 
     /// The queue's root directory (`<store>/queue`).
@@ -221,12 +253,9 @@ impl JobQueue {
     /// Whether any lease file belongs to task `id`.
     fn leased(&self, id: &str) -> bool {
         let prefix = format!("{id}.");
-        std::fs::read_dir(self.leases())
-            .map(|entries| {
-                entries
-                    .flatten()
-                    .any(|e| e.file_name().to_string_lossy().starts_with(&prefix))
-            })
+        self.fs
+            .read_dir_names(&self.leases())
+            .map(|names| names.iter().any(|n| n.starts_with(&prefix)))
             .unwrap_or(false)
     }
 
@@ -241,13 +270,13 @@ impl JobQueue {
     pub fn enqueue(&self, task: &Task) -> Result<Enqueued, QueueError> {
         let id = task.id()?;
         let file = Self::task_file(&id);
-        if self.done().join(&file).exists() {
+        if self.fs.exists(&self.done().join(&file)) {
             return Ok(Enqueued::AlreadyDone);
         }
         if self.leased(&id) {
             return Ok(Enqueued::AlreadyLeased);
         }
-        if self.pending().join(&file).exists() {
+        if self.fs.exists(&self.pending().join(&file)) {
             return Ok(Enqueued::AlreadyPending);
         }
         let json = serde_json::to_string(task).map_err(|e| QueueError::Serde {
@@ -257,9 +286,13 @@ impl JobQueue {
         let tmp = self
             .pending()
             .join(format!(".{id}.{}.tmp", std::process::id()));
-        std::fs::write(&tmp, json).map_err(QueueError::io("write task", &tmp))?;
+        self.fs
+            .write(&tmp, json.as_bytes())
+            .map_err(QueueError::io("write task", &tmp))?;
         let target = self.pending().join(&file);
-        std::fs::rename(&tmp, &target).map_err(QueueError::io("publish task", &target))?;
+        self.fs
+            .rename(&tmp, &target)
+            .map_err(QueueError::io("publish task", &target))?;
         Ok(Enqueued::Pending)
     }
 
@@ -285,10 +318,11 @@ impl JobQueue {
             "worker name {worker:?} must not contain '/' or '.'"
         );
         let pending_dir = self.pending();
-        let mut names: Vec<String> = std::fs::read_dir(&pending_dir)
+        let mut names: Vec<String> = self
+            .fs
+            .read_dir_names(&pending_dir)
             .map_err(QueueError::io("scan pending", &pending_dir))?
-            .flatten()
-            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .into_iter()
             .filter(|n| n.ends_with(".task.json"))
             .collect();
         names.sort();
@@ -296,16 +330,23 @@ impl JobQueue {
             let id = name.trim_end_matches(".task.json").to_string();
             let lease_path = self.leases().join(format!("{id}.{worker}.lease.json"));
             // The atomic claim: exactly one concurrent renamer wins.
-            if std::fs::rename(pending_dir.join(&name), &lease_path).is_err() {
+            if self
+                .fs
+                .rename(&pending_dir.join(&name), &lease_path)
+                .is_err()
+            {
                 continue;
             }
-            let json = std::fs::read_to_string(&lease_path)
+            let json = self
+                .fs
+                .read_to_string(&lease_path)
                 .map_err(QueueError::io("read claimed task", &lease_path))?;
             match serde_json::from_str::<Task>(&json) {
                 Ok(task) => {
                     return Ok(Some(Lease {
                         id,
                         path: lease_path,
+                        fs: Arc::clone(&self.fs),
                         task,
                     }))
                 }
@@ -313,7 +354,8 @@ impl JobQueue {
                     // Poison task: quarantine it (keeping the evidence
                     // for a post-mortem) and keep scanning.
                     let grave = self.poison().join(&name);
-                    std::fs::rename(&lease_path, &grave)
+                    self.fs
+                        .rename(&lease_path, &grave)
                         .map_err(QueueError::io("quarantine poison task", &grave))?;
                 }
             }
@@ -329,12 +371,19 @@ impl JobQueue {
     ///
     /// Propagates filesystem errors.
     pub fn complete(&self, lease: Lease) -> Result<(), QueueError> {
+        self.try_complete(&lease)
+    }
+
+    /// [`JobQueue::complete`] without consuming the lease, so callers
+    /// with a retry budget (the worker drain loop) can re-attempt a
+    /// transiently failed completion — the rename is idempotent.
+    pub(crate) fn try_complete(&self, lease: &Lease) -> Result<(), QueueError> {
         let target = self.done().join(Self::task_file(&lease.id));
-        match std::fs::rename(&lease.path, &target) {
+        match self.fs.rename(&lease.path, &target) {
             Ok(()) => Ok(()),
             // Our lease vanished (stale-reclaimed); fine if the task
             // still reached `done/` through its other owner.
-            Err(e) if e.kind() == io::ErrorKind::NotFound && target.exists() => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound && self.fs.exists(&target) => Ok(()),
             Err(e) => Err(QueueError::io("complete task", &target)(e)),
         }
     }
@@ -346,37 +395,55 @@ impl JobQueue {
     ///
     /// Propagates filesystem errors.
     pub fn release(&self, lease: Lease) -> Result<(), QueueError> {
+        self.try_release(&lease)
+    }
+
+    /// [`JobQueue::release`] without consuming the lease (see
+    /// [`JobQueue::try_complete`]). A release that finds the task
+    /// already back in `pending/` (a racing stale-reclaim beat us to
+    /// it) is a success: the task survived, which is all release
+    /// promises.
+    pub(crate) fn try_release(&self, lease: &Lease) -> Result<(), QueueError> {
         let target = self.pending().join(Self::task_file(&lease.id));
-        std::fs::rename(&lease.path, &target).map_err(QueueError::io("release task", &target))
+        match self.fs.rename(&lease.path, &target) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound && self.fs.exists(&target) => Ok(()),
+            Err(e) => Err(QueueError::io("release task", &target)(e)),
+        }
     }
 
     /// Bounces every lease older than `max_age` (by mtime — live
     /// workers heartbeat) back to `pending/` for another worker to
-    /// claim. Returns how many were reclaimed.
+    /// claim; `max_age` is clamped to at least [`MIN_STALE_AGE`] so
+    /// coarse-mtime filesystems cannot fake staleness. Returns how many
+    /// were reclaimed.
     ///
     /// # Errors
     ///
     /// Propagates directory-scan failures.
     pub fn reclaim_stale(&self, max_age: Duration) -> Result<usize, QueueError> {
-        let now = SystemTime::now();
+        let max_age = max_age.max(MIN_STALE_AGE);
+        let now = std::time::SystemTime::now();
         let leases_dir = self.leases();
         let mut reclaimed = 0;
-        for entry in std::fs::read_dir(&leases_dir)
+        for name in self
+            .fs
+            .read_dir_names(&leases_dir)
             .map_err(QueueError::io("scan leases", &leases_dir))?
-            .flatten()
         {
-            let name = entry.file_name().to_string_lossy().into_owned();
             let Some((id, _)) = name.split_once('.') else {
                 continue;
             };
-            let Ok(meta) = entry.metadata() else { continue };
-            let age = meta
-                .modified()
-                .ok()
-                .and_then(|m| now.duration_since(m).ok())
-                .unwrap_or_default();
+            let path = leases_dir.join(&name);
+            let Ok(modified) = self.fs.modified(&path) else {
+                continue;
+            };
+            let age = now.duration_since(modified).unwrap_or_default();
             if age >= max_age
-                && std::fs::rename(entry.path(), self.pending().join(Self::task_file(id))).is_ok()
+                && self
+                    .fs
+                    .rename(&path, &self.pending().join(Self::task_file(id)))
+                    .is_ok()
             {
                 reclaimed += 1;
             }
@@ -387,11 +454,11 @@ impl JobQueue {
     /// Where task `id` currently sits.
     pub fn state(&self, id: &str) -> TaskState {
         let file = Self::task_file(id);
-        if self.done().join(&file).exists() {
+        if self.fs.exists(&self.done().join(&file)) {
             TaskState::Done
         } else if self.leased(id) {
             TaskState::Leased
-        } else if self.pending().join(&file).exists() {
+        } else if self.fs.exists(&self.pending().join(&file)) {
             TaskState::Pending
         } else {
             TaskState::Unknown
@@ -424,10 +491,12 @@ impl JobQueue {
     }
 
     fn count_dir(&self, dir: PathBuf, suffix: &str) -> Result<usize, QueueError> {
-        Ok(std::fs::read_dir(&dir)
+        Ok(self
+            .fs
+            .read_dir_names(&dir)
             .map_err(QueueError::io("scan queue dir", &dir))?
-            .flatten()
-            .filter(|e| e.file_name().to_string_lossy().ends_with(suffix))
+            .iter()
+            .filter(|n| n.ends_with(suffix))
             .count())
     }
 }
@@ -437,6 +506,7 @@ mod tests {
     use super::*;
     use crate::service::SeedPolicy;
     use crate::spec::RunOpts;
+    use std::time::SystemTime;
 
     fn tmp_store(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("a4-queue-{tag}-{}", std::process::id()));
@@ -449,6 +519,20 @@ mod tests {
             job: SweepJob::new("fig4", RunOpts::quick(), 1, SeedPolicy::SpecSeed).unwrap(),
             shard: Shard::new(shard_index, 2),
         }
+    }
+
+    /// Fakes a dead worker: rewinds the lease's mtime well past any
+    /// staleness cutoff (including the [`MIN_STALE_AGE`] clamp).
+    fn backdate_lease(store: &Path, id: &str, worker: &str) {
+        let path = store
+            .join("queue/leases")
+            .join(format!("{id}.{worker}.lease.json"));
+        std::fs::File::options()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(SystemTime::now() - Duration::from_secs(3600))
+            .unwrap();
     }
 
     #[test]
@@ -502,8 +586,10 @@ mod tests {
         queue.release(lease).unwrap();
         assert_eq!(queue.state(&id), TaskState::Pending);
 
-        // A dead worker's lease (no heartbeats) is reclaimed...
+        // A dead worker's lease (no heartbeats, mtime an hour old) is
+        // reclaimed...
         let _abandoned = queue.claim("w1").unwrap().unwrap();
+        backdate_lease(&dir, &id, "w1");
         assert_eq!(queue.reclaim_stale(Duration::ZERO).unwrap(), 1);
         assert_eq!(queue.state(&id), TaskState::Pending);
 
@@ -513,6 +599,7 @@ mod tests {
         let zombie = Lease {
             id: second.id.clone(),
             path: dir.join("queue/leases").join(format!("{id}.w1.lease.json")),
+            fs: Arc::new(RealFs),
             task: second.task.clone(),
         };
         queue.complete(second).unwrap();
@@ -532,6 +619,13 @@ mod tests {
             queue.reclaim_stale(Duration::from_secs(3600)).unwrap(),
             0,
             "heartbeating lease is not stale"
+        );
+        // The coarse-mtime guard: even a zero cutoff cannot reclaim a
+        // lease younger than MIN_STALE_AGE.
+        assert_eq!(
+            queue.reclaim_stale(Duration::ZERO).unwrap(),
+            0,
+            "zero cutoff clamps to MIN_STALE_AGE"
         );
         queue.complete(lease).unwrap();
         std::fs::remove_dir_all(&dir).ok();

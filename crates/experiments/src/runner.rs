@@ -342,6 +342,14 @@ impl SweepRunner {
         self
     }
 
+    /// Attaches an already-constructed store — the hook for a store on
+    /// a non-default filesystem ([`ResultCache::with_fs`], fault
+    /// injection).
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The result cache, if caching is enabled.
     pub fn cache(&self) -> Option<&ResultCache> {
         self.cache.as_ref()

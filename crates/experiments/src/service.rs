@@ -17,12 +17,16 @@
 //! it.
 
 use crate::cache::{spec_key, ResultCache};
+use crate::fault::{Backoff, FabricHealth};
+use crate::queue::{JobQueue, QueueError};
 use crate::runner::{derive_seed, SweepRunner};
 use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, SpecError};
 use crate::table::{Table, TableStats};
 use crate::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8, fig_numa};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::ControlFlow;
+use std::time::Duration;
 
 /// Which run protocol a figure uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -316,6 +320,17 @@ pub enum ServiceError {
         /// Names of the missing cells (at most a few are listed).
         missing: Vec<String>,
     },
+    /// A queue operation failed past its retry budget.
+    Queue(QueueError),
+    /// A shard execution was aborted by its progress callback (a worker
+    /// whose lease heartbeat keeps failing) after `done` of `total`
+    /// units.
+    Aborted {
+        /// Units finished before the abort.
+        done: usize,
+        /// Units the shard owns.
+        total: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -345,15 +360,34 @@ impl fmt::Display for ServiceError {
                     }
                 )
             }
+            ServiceError::Queue(e) => write!(f, "{e}"),
+            ServiceError::Aborted { done, total } => write!(
+                f,
+                "shard aborted after {done} of {total} unit(s): \
+                 lease heartbeat kept failing"
+            ),
         }
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Queue(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SpecError> for ServiceError {
     fn from(e: SpecError) -> Self {
         ServiceError::Spec(e)
+    }
+}
+
+impl From<QueueError> for ServiceError {
+    fn from(e: QueueError) -> Self {
+        ServiceError::Queue(e)
     }
 }
 
@@ -455,22 +489,25 @@ impl SweepJob {
     /// [`ServiceError::NoStore`] without a cache dir; build failures as
     /// [`ServiceError::Spec`].
     pub fn execute_shard(&self, shard: Shard, runner: &SweepRunner) -> Result<usize, ServiceError> {
-        self.execute_shard_with(shard, runner, |_, _| {})
+        self.execute_shard_with(shard, runner, |_, _| ControlFlow::Continue(()))
     }
 
     /// [`SweepJob::execute_shard`] with a progress callback invoked
     /// after every batch of `runner.threads()` units as
     /// `progress(done, total)` — queue workers heartbeat their lease
-    /// from it.
+    /// from it. Returning [`ControlFlow::Break`] aborts the shard
+    /// between batches (already-executed units stay in the store, so a
+    /// re-claim resumes where this attempt stopped).
     ///
     /// # Errors
     ///
-    /// As [`SweepJob::execute_shard`].
+    /// As [`SweepJob::execute_shard`], plus [`ServiceError::Aborted`]
+    /// when the callback breaks.
     pub fn execute_shard_with(
         &self,
         shard: Shard,
         runner: &SweepRunner,
-        mut progress: impl FnMut(usize, usize),
+        mut progress: impl FnMut(usize, usize) -> ControlFlow<()>,
     ) -> Result<usize, ServiceError> {
         if runner.cache().is_none() {
             return Err(ServiceError::NoStore);
@@ -482,7 +519,9 @@ impl SweepJob {
         for batch in specs.chunks(runner.threads().max(1)) {
             runner.run_specs(batch)?;
             done += batch.len();
-            progress(done, total);
+            if progress(done, total).is_break() {
+                return Err(ServiceError::Aborted { done, total });
+            }
         }
         Ok(total)
     }
@@ -495,6 +534,29 @@ impl SweepJob {
     ///
     /// [`ServiceError::MissingCells`] if any unit has no store entry.
     pub fn load_runs(&self, store: &ResultCache) -> Result<Vec<Vec<ScenarioRun>>, ServiceError> {
+        self.load_runs_inner(store, false).map(|(runs, _, _)| runs)
+    }
+
+    /// [`SweepJob::load_runs`], but missing cells become
+    /// [`ScenarioSpec::missing_run`] placeholders (every metric NaN)
+    /// instead of an error. Returns the runs plus
+    /// `(missing, total)` unit counts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownFigure`].
+    pub fn load_runs_best_effort(
+        &self,
+        store: &ResultCache,
+    ) -> Result<(Vec<Vec<ScenarioRun>>, usize, usize), ServiceError> {
+        self.load_runs_inner(store, true)
+    }
+
+    fn load_runs_inner(
+        &self,
+        store: &ResultCache,
+        best_effort: bool,
+    ) -> Result<(Vec<Vec<ScenarioRun>>, usize, usize), ServiceError> {
         let units = self.units()?;
         let total = units.len();
         let cells = total / self.replicas as usize;
@@ -503,30 +565,35 @@ impl SweepJob {
             .collect();
         let mut missing = Vec::new();
         for unit in units {
-            match store.load(&spec_key(&unit.spec)) {
-                Some(report) => {
-                    per_replica[unit.replica as usize][unit.cell] =
-                        Some(unit.spec.run_from_report(report));
+            let run = match store.load(&spec_key(&unit.spec)) {
+                Some(report) => unit.spec.run_from_report(report),
+                None => {
+                    missing.push(unit.spec.name.clone());
+                    if !best_effort {
+                        continue;
+                    }
+                    unit.spec.missing_run()
                 }
-                None => missing.push(unit.spec.name.clone()),
-            }
+            };
+            per_replica[unit.replica as usize][unit.cell] = Some(run);
         }
-        if !missing.is_empty() {
+        if !missing.is_empty() && !best_effort {
             return Err(ServiceError::MissingCells {
                 figure: self.figure.clone(),
                 total,
                 missing,
             });
         }
-        Ok(per_replica
+        let runs = per_replica
             .into_iter()
             .map(|runs| {
                 runs.into_iter()
-                    // a4-lint: allow(panic-unwrap) -- unreachable: `missing` is non-empty iff any cell is None, and the MissingCells early return above fired in that case
+                    // a4-lint: allow(panic-unwrap) -- unreachable: strict mode early-returned MissingCells on any None; best-effort filled every None with a placeholder
                     .map(|r| r.expect("no cell missing"))
                     .collect()
             })
-            .collect())
+            .collect();
+        Ok((runs, missing.len(), total))
     }
 
     /// Renders per-replica runs into the job's tables: one table set
@@ -572,6 +639,41 @@ impl SweepJob {
         self.render(&self.load_runs(store)?)
     }
 
+    /// [`SweepJob::render_from_store`] in best-effort mode: a partial
+    /// sweep renders with `(missing)` cells (NaN values) instead of
+    /// erroring, and every table title is suffixed with the shortfall.
+    /// Returns the tables plus `(missing, total)` unit counts —
+    /// `missing == 0` means the output is byte-identical to the strict
+    /// merge.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownFigure`].
+    pub fn render_from_store_best_effort(
+        &self,
+        store: &ResultCache,
+    ) -> Result<(JobTables, usize, usize), ServiceError> {
+        let (runs, missing, total) = self.load_runs_best_effort(store)?;
+        let mut tables = self.render(&runs)?;
+        if missing > 0 {
+            let suffix = format!(" [best-effort: {missing}/{total} cells missing]");
+            match &mut tables {
+                JobTables::Single(ts) => {
+                    for t in ts {
+                        t.title.push_str(&suffix);
+                    }
+                }
+                JobTables::Replicated(stats) => {
+                    for s in stats {
+                        s.mean.title.push_str(&suffix);
+                        s.stddev.title.push_str(&suffix);
+                    }
+                }
+            }
+        }
+        Ok((tables, missing, total))
+    }
+
     /// Executes the whole job on `runner` (store-backed cells load
     /// instead of simulating) and renders its tables — the direct,
     /// single-process path. The runner must be plain (see
@@ -602,6 +704,154 @@ pub enum JobTables {
     Single(Vec<Table>),
     /// Cell-wise statistics over the replicas.
     Replicated(Vec<TableStats>),
+}
+
+/// Consecutive lease-heartbeat failures a worker tolerates before it
+/// releases its task and exits rather than keep executing un-leased
+/// (a stale-reclaimer would hand the same task to a second worker).
+pub const MAX_HEARTBEAT_FAILURES: u32 = 3;
+
+/// What one [`drain_queue`] pass did — the worker-side half of a
+/// [`FabricHealth`] summary.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Tasks claimed and completed.
+    pub tasks: usize,
+    /// Work units executed (or loaded from the store) across them.
+    pub executed: usize,
+    /// Stale leases requeued before claiming.
+    pub reclaimed: usize,
+    /// Transient queue errors absorbed by retry.
+    pub retries: u64,
+    /// Lease heartbeats that failed (not necessarily fatal).
+    pub heartbeat_failures: u64,
+    /// Whether the worker released its task and stopped early because
+    /// heartbeats kept failing ([`MAX_HEARTBEAT_FAILURES`]).
+    pub released: bool,
+}
+
+/// Claims and executes tasks from `queue` until it is empty, retrying
+/// transient queue errors with `backoff` — the library form of the
+/// `--worker` loop. Stale leases older than `max_age` (clamped by
+/// [`crate::queue::MIN_STALE_AGE`]) are requeued first. A worker whose
+/// lease heartbeat fails [`MAX_HEARTBEAT_FAILURES`] times in a row
+/// releases the task and returns cleanly with
+/// [`DrainReport::released`] set, instead of racing a reclaimer for
+/// ownership. `log` receives one line per notable event.
+///
+/// # Errors
+///
+/// [`ServiceError::Queue`] once an operation exhausts its retry
+/// budget; execution failures as [`SweepJob::execute_shard`]. The
+/// failed task is released back to `pending/` on a best-effort basis
+/// first.
+pub fn drain_queue(
+    queue: &JobQueue,
+    runner: &SweepRunner,
+    worker: &str,
+    max_age: Duration,
+    backoff: &Backoff,
+    mut log: impl FnMut(&str),
+) -> Result<DrainReport, ServiceError> {
+    let mut rep = DrainReport::default();
+    rep.reclaimed = backoff.retry(&mut rep.retries, || queue.reclaim_stale(max_age))?;
+    if rep.reclaimed > 0 {
+        log(&format!("requeued {} stale lease(s)", rep.reclaimed));
+    }
+    let mut empty_checks = 0u32;
+    loop {
+        let claimed = backoff.retry(&mut rep.retries, || queue.claim(worker))?;
+        let Some(lease) = claimed else {
+            // A claim that finds nothing is ambiguous under faults: the
+            // queue may be empty, or the claiming rename may have been
+            // refused. Re-check `pending` a bounded number of times
+            // before concluding the queue is drained.
+            let (pending, _, _) = backoff.retry(&mut rep.retries, || queue.counts())?;
+            if pending == 0 || empty_checks >= backoff.attempts {
+                break;
+            }
+            empty_checks += 1;
+            std::thread::sleep(backoff.delay(empty_checks));
+            continue;
+        };
+        empty_checks = 0;
+        let task = lease.task.clone();
+        log(&format!(
+            "claimed {} ({} shard {})",
+            lease.id(),
+            task.job.figure,
+            task.shard
+        ));
+        let mut consecutive_hb = 0u32;
+        let mut hb_failures = 0u64;
+        let outcome =
+            task.job
+                .execute_shard_with(task.shard, runner, |_, _| match lease.heartbeat() {
+                    Ok(()) => {
+                        consecutive_hb = 0;
+                        ControlFlow::Continue(())
+                    }
+                    Err(_) => {
+                        hb_failures += 1;
+                        consecutive_hb += 1;
+                        if consecutive_hb >= MAX_HEARTBEAT_FAILURES {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    }
+                });
+        rep.heartbeat_failures += hb_failures;
+        match outcome {
+            Ok(units) => {
+                backoff.retry(&mut rep.retries, || queue.try_complete(&lease))?;
+                rep.tasks += 1;
+                rep.executed += units;
+                log(&format!("completed {} ({units} unit(s))", lease.id()));
+            }
+            Err(ServiceError::Aborted { done, total }) => {
+                backoff.retry(&mut rep.retries, || queue.try_release(&lease))?;
+                rep.released = true;
+                log(&format!(
+                    "heartbeat failed {consecutive_hb}x; released {} after {done}/{total} unit(s), exiting",
+                    lease.id()
+                ));
+                break;
+            }
+            Err(e) => {
+                // Give the task back so another worker can try it; the
+                // execution error is the one worth reporting.
+                let _released = backoff.retry(&mut rep.retries, || queue.try_release(&lease));
+                return Err(e);
+            }
+        }
+    }
+    Ok(rep)
+}
+
+/// Assembles the fabric-wide health summary from whichever components
+/// a mode actually used: the store's counters, the queue's poison
+/// count, and a worker's [`DrainReport`].
+pub fn fabric_health(
+    store: Option<&ResultCache>,
+    queue: Option<&JobQueue>,
+    drain: Option<&DrainReport>,
+) -> FabricHealth {
+    let mut health = FabricHealth::default();
+    if let Some(store) = store {
+        health.store_write_failures = store.write_failures();
+        health.quarantined = store.quarantined();
+        health.retries += store.store_retries();
+    }
+    if let Some(queue) = queue {
+        health.poisoned_tasks = queue.poisoned().unwrap_or(0) as u64;
+    }
+    if let Some(drain) = drain {
+        health.retries += drain.retries;
+        health.reclaimed_leases = drain.reclaimed as u64;
+        health.heartbeat_failures = drain.heartbeat_failures;
+    }
+    health
 }
 
 #[cfg(test)]

@@ -728,6 +728,26 @@ impl ScenarioSpec {
             report,
             workloads,
             devices,
+            missing: false,
+        }
+    }
+
+    /// A placeholder for a cell whose report is not in the store: the
+    /// bindings are real (renderers can still resolve roles and
+    /// devices) but every metric accessor returns NaN, which tables
+    /// print as `(missing)`. This is what `--merge-only --best-effort`
+    /// substitutes for unexecuted cells.
+    pub fn missing_run(&self) -> ScenarioRun {
+        let (workloads, devices) = self.bindings();
+        ScenarioRun {
+            name: self.name.clone(),
+            report: RunReport {
+                policy: "(missing)".into(),
+                samples: Vec::new(),
+            },
+            workloads,
+            devices,
+            missing: true,
         }
     }
 
@@ -1135,6 +1155,7 @@ impl Scenario {
             report,
             workloads: self.workloads,
             devices: self.devices,
+            missing: false,
         }
     }
 }
@@ -1151,6 +1172,9 @@ pub struct ScenarioRun {
     pub workloads: Vec<RoleBinding>,
     /// Device bindings, in attach order.
     pub devices: Vec<DeviceBinding>,
+    /// True for a [`ScenarioSpec::missing_run`] placeholder: the report
+    /// is empty and every metric accessor returns NaN.
+    pub missing: bool,
 }
 
 impl ScenarioRun {
@@ -1188,49 +1212,75 @@ impl ScenarioRun {
             .id
     }
 
+    /// NaN for a missing-cell placeholder, `v` otherwise — every
+    /// metric accessor funnels through this so best-effort merges
+    /// render `(missing)` instead of a fake 0.
+    fn tainted(&self, v: f64) -> f64 {
+        if self.missing {
+            f64::NAN
+        } else {
+            v
+        }
+    }
+
     /// The role's performance under its declared [`Metric`] (the
     /// paper's per-workload convention).
     pub fn perf(&self, role: &str) -> f64 {
         let b = self.binding(role);
-        match b.metric {
+        self.tainted(match b.metric {
             Metric::Ops => self.report.total_ops(b.id) as f64,
             Metric::Ipc => self.report.ipc(b.id),
-        }
+        })
     }
 
     /// Mean IPC of a role.
     pub fn ipc(&self, role: &str) -> f64 {
-        self.report.ipc(self.id(role))
+        self.tainted(self.report.ipc(self.id(role)))
     }
 
     /// Mean LLC hit rate of a role.
     pub fn llc_hit_rate(&self, role: &str) -> f64 {
-        self.report.llc_hit_rate(self.id(role))
+        self.tainted(self.report.llc_hit_rate(self.id(role)))
     }
 
     /// Mean LLC miss rate of a role.
     pub fn llc_miss_rate(&self, role: &str) -> f64 {
-        self.report.llc_miss_rate(self.id(role))
+        self.tainted(self.report.llc_miss_rate(self.id(role)))
     }
 
     /// Mean latency of one histogram slot, in µs.
     pub fn mean_latency_us(&self, role: &str, kind: LatencyKind) -> f64 {
-        self.report.mean_latency_ns(self.id(role), kind) / 1000.0
+        self.tainted(self.report.mean_latency_ns(self.id(role), kind) / 1000.0)
     }
 
     /// Window-max p99 latency of one histogram slot, in µs.
     pub fn p99_latency_us(&self, role: &str, kind: LatencyKind) -> f64 {
-        self.report.p99_latency_ns(self.id(role), kind) as f64 / 1000.0
+        self.tainted(self.report.p99_latency_ns(self.id(role), kind) as f64 / 1000.0)
     }
 
     /// Paper-comparable I/O throughput of a role, in GB/s.
     pub fn io_gbps(&self, role: &str) -> f64 {
-        self.report.io_gbps(self.id(role))
+        self.tainted(self.report.io_gbps(self.id(role)))
     }
 
     /// Paper-comparable DMA-read throughput of a device slot, in GB/s.
     pub fn device_dma_read_gbps(&self, name: &str) -> f64 {
-        self.report.device_dma_read_gbps(self.device_id(name))
+        self.tainted(self.report.device_dma_read_gbps(self.device_id(name)))
+    }
+
+    /// System-wide memory read bandwidth, in GB/s.
+    pub fn mem_read_gbps(&self) -> f64 {
+        self.tainted(self.report.mem_read_gbps())
+    }
+
+    /// System-wide memory write bandwidth, in GB/s.
+    pub fn mem_write_gbps(&self) -> f64 {
+        self.tainted(self.report.mem_write_gbps())
+    }
+
+    /// Total bytes a role moved over the measurement window.
+    pub fn total_io_bytes(&self, role: &str) -> f64 {
+        self.tainted(self.report.total_io_bytes(self.id(role)) as f64)
     }
 }
 

@@ -183,7 +183,11 @@ impl fmt::Display for TableStats {
         for (m, s) in self.mean.rows.iter().zip(&self.stddev.rows) {
             write!(f, "{:label_w$}", m.label)?;
             for (v, sd) in m.values.iter().zip(&s.values) {
-                let cell = if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                let cell = if v.is_nan() {
+                    // A best-effort merge's unexecuted cell, not a
+                    // number that happens to be unrepresentable.
+                    "(missing)".to_string()
+                } else if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
                     format!("{v:.3e} ±{sd:.2e}")
                 } else {
                     format!("{v:.4} ±{sd:.4}")
@@ -214,7 +218,10 @@ impl fmt::Display for Table {
         for r in &self.rows {
             write!(f, "{:label_w$}", r.label)?;
             for v in &r.values {
-                if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                if v.is_nan() {
+                    // A best-effort merge's unexecuted cell.
+                    write!(f, "  {:>14}", "(missing)")?;
+                } else if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
                     write!(f, "  {v:>14.3e}")?;
                 } else {
                     write!(f, "  {v:>14.4}")?;

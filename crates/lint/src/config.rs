@@ -1,13 +1,17 @@
 //! Which rules apply where: the per-crate tier map and the
 //! workspace-wide driver.
 //!
-//! Three tiers:
+//! Four tiers:
 //!
 //! * **sim-deterministic** — the crates whose output must replay
 //!   bit-for-bit (`cache`, `sim`, `pcie`, `workloads`, `mem`, `model`,
 //!   `core`): all determinism rules plus counter-safety;
-//! * **service** — the experiments service/queue/worker paths that run
+//! * **service** — the experiments service/fault/worker paths that run
 //!   unattended fleets: panic and silent-I/O rules plus counter-safety;
+//! * **store** — the store and queue (the crash-consistent state on
+//!   disk): the service rules plus fs-seam, because a filesystem
+//!   mutation that bypasses the `Fs` seam escapes fault injection and
+//!   the crash-consistency proptests;
 //! * **counter** — everything else we ship (remaining experiments
 //!   code, the facade, benches, this linter): counter-safety only.
 //!
@@ -36,6 +40,15 @@ pub const SIM_RULES: &[RuleId] = &[
 pub const SERVICE_RULES: &[RuleId] =
     &[RuleId::PanicUnwrap, RuleId::SilentIo, RuleId::CounterSafety];
 
+/// Rules for the store tier: the service rules plus the `Fs`-seam
+/// requirement on the files that own on-disk state.
+pub const STORE_RULES: &[RuleId] = &[
+    RuleId::PanicUnwrap,
+    RuleId::SilentIo,
+    RuleId::CounterSafety,
+    RuleId::FsSeam,
+];
+
 /// Rules for everything else that ships.
 pub const COUNTER_RULES: &[RuleId] = &[RuleId::CounterSafety];
 
@@ -43,15 +56,24 @@ pub const COUNTER_RULES: &[RuleId] = &[RuleId::CounterSafety];
 pub const TIERS: &[(&str, &[RuleId])] = &[
     ("sim", SIM_RULES),
     ("service", SERVICE_RULES),
+    ("store", STORE_RULES),
     ("counter", COUNTER_RULES),
 ];
 
 const SIM_CRATES: &[&str] = &["cache", "sim", "pcie", "workloads", "mem", "model", "core"];
 
 /// Experiments-crate files on the service tier: the sweep service, the
-/// job queue, the result cache, and every worker binary.
+/// fault-injection seam (whose `RealFs` legitimately owns the bare
+/// `std::fs` calls), and every worker binary.
 const SERVICE_FILES: &[&str] = &[
     "crates/experiments/src/service.rs",
+    "crates/experiments/src/fault.rs",
+];
+
+/// Experiments-crate files on the store tier: the result cache and the
+/// job queue, whose every filesystem mutation must go through the `Fs`
+/// seam.
+const STORE_FILES: &[&str] = &[
     "crates/experiments/src/queue.rs",
     "crates/experiments/src/cache.rs",
 ];
@@ -66,6 +88,9 @@ pub fn rules_for(rel: &str) -> &'static [RuleId] {
         if rel.starts_with(&format!("crates/{c}/src/")) {
             return SIM_RULES;
         }
+    }
+    if STORE_FILES.contains(&rel) {
+        return STORE_RULES;
     }
     if SERVICE_FILES.contains(&rel) || rel.starts_with("crates/experiments/src/bin/") {
         return SERVICE_RULES;
@@ -197,7 +222,13 @@ mod tests {
     fn tier_mapping_matches_the_contract() {
         assert_eq!(rules_for("crates/cache/src/lru.rs"), SIM_RULES);
         assert_eq!(rules_for("crates/workloads/src/fio.rs"), SIM_RULES);
-        assert_eq!(rules_for("crates/experiments/src/queue.rs"), SERVICE_RULES);
+        assert_eq!(rules_for("crates/experiments/src/queue.rs"), STORE_RULES);
+        assert_eq!(rules_for("crates/experiments/src/cache.rs"), STORE_RULES);
+        assert_eq!(rules_for("crates/experiments/src/fault.rs"), SERVICE_RULES);
+        assert_eq!(
+            rules_for("crates/experiments/src/service.rs"),
+            SERVICE_RULES
+        );
         assert_eq!(
             rules_for("crates/experiments/src/bin/a4_repro.rs"),
             SERVICE_RULES
@@ -213,5 +244,12 @@ mod tests {
         assert!(!SERVICE_RULES.contains(&RuleId::WallClock));
         assert!(SIM_RULES.contains(&RuleId::CounterSafety));
         assert!(SERVICE_RULES.contains(&RuleId::CounterSafety));
+        // The store tier is the service tier plus the seam requirement;
+        // the seam's own implementation file must NOT carry it.
+        assert!(STORE_RULES.contains(&RuleId::FsSeam));
+        assert!(!SERVICE_RULES.contains(&RuleId::FsSeam));
+        for r in SERVICE_RULES {
+            assert!(STORE_RULES.contains(r), "store tier supersets service");
+        }
     }
 }

@@ -26,7 +26,7 @@ pub mod waiver;
 
 pub use config::{
     find_workspace_root, lint_workspace, rules_for, workspace_files, workspace_mirrors,
-    COUNTER_RULES, SERVICE_RULES, SIM_RULES, TIERS,
+    COUNTER_RULES, SERVICE_RULES, SIM_RULES, STORE_RULES, TIERS,
 };
 pub use mirror::{check_mirrors, MirrorSpec};
 pub use rules::{lint_source, Finding, RuleId};

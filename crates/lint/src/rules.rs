@@ -38,6 +38,9 @@ pub enum RuleId {
     PanicUnwrap,
     /// `let _ =` discarding a fallible I/O result in service paths.
     SilentIo,
+    /// Bare `std::fs` access in store/queue paths that must route
+    /// filesystem mutations through the `Fs` seam for fault injection.
+    FsSeam,
     /// A struct's fields are not all named in its mirror functions
     /// (see [`crate::mirror`]).
     Mirror,
@@ -58,6 +61,7 @@ impl RuleId {
             RuleId::CounterSafety => "counter-safety",
             RuleId::PanicUnwrap => "panic-unwrap",
             RuleId::SilentIo => "silent-io",
+            RuleId::FsSeam => "fs-seam",
             RuleId::Mirror => "mirror",
             RuleId::WaiverSyntax => "waiver-syntax",
             RuleId::UnusedWaiver => "unused-waiver",
@@ -83,6 +87,10 @@ impl RuleId {
             }
             RuleId::PanicUnwrap => "forbids unwrap()/expect(): a panic kills a fleet worker",
             RuleId::SilentIo => "forbids `let _ =` on fallible I/O: propagate or warn",
+            RuleId::FsSeam => {
+                "forbids bare std::fs in store/queue paths: route through the Fs seam \
+                 so fault injection and crash tests cover the operation"
+            }
             RuleId::Mirror => "struct fields must appear in every designated mirror function",
             RuleId::WaiverSyntax => "waivers must name a known rule and carry a `-- <reason>`",
             RuleId::UnusedWaiver => "waivers that suppress nothing must be removed",
@@ -98,6 +106,7 @@ impl RuleId {
         RuleId::CounterSafety,
         RuleId::PanicUnwrap,
         RuleId::SilentIo,
+        RuleId::FsSeam,
         RuleId::Mirror,
     ];
 
@@ -110,6 +119,7 @@ impl RuleId {
         RuleId::CounterSafety,
         RuleId::PanicUnwrap,
         RuleId::SilentIo,
+        RuleId::FsSeam,
         RuleId::Mirror,
         RuleId::WaiverSyntax,
         RuleId::UnusedWaiver,
@@ -356,6 +366,20 @@ fn check_token(tokens: &[Token], i: usize, rules: &[RuleId], out: &mut Vec<(u32,
                  task file must never kill a worker)",
                 t.text
             ),
+        ));
+    }
+    if has(RuleId::FsSeam)
+        && t.text == "fs"
+        && next.is_some_and(|n| n.is_punct(':'))
+        && next2.is_some_and(|n| n.is_punct(':'))
+    {
+        out.push((
+            t.line,
+            RuleId::FsSeam,
+            "bare `fs::` access in a store/queue path bypasses the `Fs` seam; go \
+             through the injected filesystem handle so fault injection and crash \
+             tests cover this operation"
+                .to_string(),
         ));
     }
     if has(RuleId::SilentIo)

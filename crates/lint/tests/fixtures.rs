@@ -5,7 +5,7 @@
 
 use a4_lint::{
     check_mirrors, lint_source, lint_workspace, rules_for, workspace_files, MirrorSpec, RuleId,
-    SERVICE_RULES, SIM_RULES,
+    SERVICE_RULES, SIM_RULES, STORE_RULES,
 };
 use std::path::{Path, PathBuf};
 
@@ -94,6 +94,18 @@ fn bad_snippets_fire_at_the_expected_line() {
             SERVICE_RULES,
             &[(RuleId::SilentIo, 2)],
         ),
+        // A store-tier filesystem mutation bypassing the Fs seam.
+        (
+            "fn f() {\n    std::fs::rename(\"a\", \"b\").ok();\n}\n",
+            STORE_RULES,
+            &[(RuleId::FsSeam, 2)],
+        ),
+        // Even an import of std::fs items is a seam bypass in disguise.
+        (
+            "use std::fs::write;\nfn f() {\n    write(\"a\", \"b\").ok();\n}\n",
+            STORE_RULES,
+            &[(RuleId::FsSeam, 1)],
+        ),
     ];
     for (src, rules, expected) in cases {
         assert_eq!(&fire(src, rules), expected, "snippet:\n{src}");
@@ -144,6 +156,16 @@ fn good_snippets_are_clean() {
         (
             "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() {\n        None::<u32>.unwrap();\n    }\n}\n",
             SIM_RULES,
+        ),
+        // Going through the injected Fs handle is the seam, not a bypass.
+        (
+            "fn f(s: &Store) {\n    s.fs.rename(&a, &b).ok();\n}\n",
+            STORE_RULES,
+        ),
+        // The service tier (fault.rs, bins) may own bare std::fs calls.
+        (
+            "fn f() -> std::io::Result<()> {\n    std::fs::write(\"x\", \"y\")\n}\n",
+            SERVICE_RULES,
         ),
     ];
     for (src, rules) in cases {
