@@ -28,7 +28,7 @@ pub(crate) const NUM_CLOS: usize = 16;
 /// assert_eq!(cat.mask_for_core(CoreId(0)), WayMask::ALL);
 /// # Ok::<(), a4_model::A4Error>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClosTable {
     masks: [WayMask; NUM_CLOS],
     core_clos: Vec<ClosId>,

@@ -58,6 +58,16 @@ impl Recency {
     pub(crate) fn victim(self, ways: usize) -> usize {
         ((self.0 >> (4 * (ways as u32 - 1))) & 0xF) as usize
     }
+
+    /// The packed permutation word, for checkpointing.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds the order from a [`Recency::raw`] snapshot.
+    pub(crate) fn from_raw(v: u64) -> Self {
+        Recency(v)
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use crate::meta::LineMeta;
 use crate::walk::SetTagWalk;
 use crate::MlcGeometry;
 use a4_model::LineAddr;
+use serde::{Deserialize, Serialize};
 
 /// A line evicted from an MLC, to be offered to the LLC as a victim.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -359,6 +360,76 @@ impl Mlc {
             .for_each(|blk| blk.flags &= !0xFFFF_FFFF);
         self.live = 0;
     }
+
+    /// Snapshots the complete mutable MLC state for a checkpoint.
+    pub fn save_state(&self) -> MlcState {
+        let _rebuilt_by_constructor = (&self.geometry, &self.set_mask, &self.tag_shift);
+        MlcState {
+            sets: self
+                .sets
+                .iter()
+                .map(|blk| MlcSetBlockState {
+                    flags: blk.flags,
+                    order: blk.order.raw(),
+                    tag16: blk.tag16.to_vec(),
+                    ways: blk.ways.iter().map(|w| (w.tag, w.meta)).collect(),
+                })
+                .collect(),
+            digests_exact: self.digests_exact,
+            live: self.live,
+        }
+    }
+
+    /// Restores a [`Mlc::save_state`] snapshot into this cache.
+    ///
+    /// Returns `false` (without touching any state) if the snapshot's
+    /// shape does not match this cache's geometry.
+    pub fn restore_state(&mut self, st: &MlcState) -> bool {
+        let _rebuilt_by_constructor = (&self.geometry, &self.set_mask, &self.tag_shift);
+        if st.sets.len() != self.sets.len()
+            || st
+                .sets
+                .iter()
+                .any(|s| s.tag16.len() != 16 || s.ways.len() != 16)
+        {
+            return false;
+        }
+        for (blk, s) in self.sets.iter_mut().zip(&st.sets) {
+            blk.flags = s.flags;
+            blk.order = Recency::from_raw(s.order);
+            blk.tag16.copy_from_slice(&s.tag16);
+            for (dst, &(tag, meta)) in blk.ways.iter_mut().zip(&s.ways) {
+                *dst = MlcWayLine { tag, meta };
+            }
+        }
+        self.digests_exact = st.digests_exact;
+        self.live = st.live;
+        true
+    }
+}
+
+/// Serializable snapshot of one [`MlcSetBlock`] (see [`Mlc::save_state`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlcSetBlockState {
+    /// Valid/dirty bitmap word.
+    pub flags: u64,
+    /// Packed LRU recency permutation ([`Recency::raw`]).
+    pub order: u64,
+    /// Tag digest lanes (always 16).
+    pub tag16: Vec<u16>,
+    /// Way records as `(tag, meta)` pairs (always 16).
+    pub ways: Vec<(u64, LineMeta)>,
+}
+
+/// Serializable snapshot of the complete mutable [`Mlc`] state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlcState {
+    /// Per-set storage snapshots.
+    pub sets: Vec<MlcSetBlockState>,
+    /// True while every resident tag fits 16 bits.
+    pub digests_exact: bool,
+    /// Number of valid lines resident.
+    pub live: usize,
 }
 
 #[cfg(test)]

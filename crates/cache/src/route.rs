@@ -85,6 +85,21 @@ impl UpiLink {
     pub fn crossed_lines(&self) -> u64 {
         self.read_lines + self.write_lines
     }
+
+    /// Snapshots the link's mutable traffic counters for a checkpoint,
+    /// as `(read_lines, write_lines)`.
+    pub fn save_state(&self) -> (u64, u64) {
+        let _rebuilt_by_constructor = &self.hop_ns;
+        (self.read_lines, self.write_lines)
+    }
+
+    /// Restores a [`UpiLink::save_state`] snapshot.
+    pub fn restore_state(&mut self, st: (u64, u64)) {
+        let _rebuilt_by_constructor = &self.hop_ns;
+        let (read_lines, write_lines) = st;
+        self.read_lines = read_lines;
+        self.write_lines = write_lines;
+    }
 }
 
 /// Routes one device's DMA runs to the home hierarchy of each buffer,

@@ -138,6 +138,19 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpointing. Restoring via
+        /// [`SmallRng::from_state`] reproduces the stream exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`SmallRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;

@@ -303,12 +303,21 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole unescaped run up to the next quote
+                    // or backslash in one UTF-8 validation. Validating (or
+                    // decoding) per character would re-scan the tail of the
+                    // input for every byte, turning map-heavy documents —
+                    // one key string per field — quadratic in input size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
                 None => return Err(Error::new("unterminated string")),
             }
@@ -369,6 +378,26 @@ mod tests {
         assert_eq!(json, "[[1,2],[3]]");
         let back: Vec<Vec<u64>> = from_str(&json).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_runs_mix_escapes_and_multibyte() {
+        // The unescaped-run fast path must compose with escapes and
+        // multi-byte UTF-8 on either side of them.
+        let original = "pré\"fix\\λ\nrest—tail";
+        let json = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), original);
+        // A string-key-heavy document stays cheap to parse: this is the
+        // shape that regressed to quadratic when each key character
+        // re-validated the remaining input.
+        let doc: Vec<std::collections::BTreeMap<String, u64>> = (0..512)
+            .map(|i| [("alpha".to_string(), i), ("beta".to_string(), i * 2)].into())
+            .collect();
+        let json = to_string(&doc).unwrap();
+        assert_eq!(
+            from_str::<Vec<std::collections::BTreeMap<String, u64>>>(&json).unwrap(),
+            doc
+        );
     }
 
     #[test]

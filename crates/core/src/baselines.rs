@@ -1,6 +1,6 @@
 //! The two baseline LLC-management schemes of the paper's §6.
 
-use crate::LlcPolicy;
+use crate::{LlcPolicy, PolicyState};
 use a4_model::{ClosId, WayMask, LLC_WAYS};
 use a4_sim::{MonitorSample, System};
 
@@ -34,6 +34,22 @@ impl LlcPolicy for DefaultPolicy {
         if !self.applied {
             sys.cat_reset();
             self.applied = true;
+        }
+    }
+
+    fn save_ckpt(&self) -> PolicyState {
+        PolicyState::Applied {
+            applied: self.applied,
+        }
+    }
+
+    fn restore_ckpt(&mut self, state: &PolicyState) -> bool {
+        match state {
+            PolicyState::Applied { applied } => {
+                self.applied = *applied;
+                true
+            }
+            _ => false,
         }
     }
 }
@@ -102,6 +118,22 @@ impl LlcPolicy for IsolatePolicy {
             }
         }
         self.applied = true;
+    }
+
+    fn save_ckpt(&self) -> PolicyState {
+        PolicyState::Applied {
+            applied: self.applied,
+        }
+    }
+
+    fn restore_ckpt(&mut self, state: &PolicyState) -> bool {
+        match state {
+            PolicyState::Applied { applied } => {
+                self.applied = *applied;
+                true
+            }
+            _ => false,
+        }
     }
 }
 

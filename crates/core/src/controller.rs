@@ -22,7 +22,7 @@
 use crate::registry::{AntagonistKind, WorkloadState};
 use crate::thresholds::Thresholds;
 use crate::zones::Zones;
-use crate::LlcPolicy;
+use crate::{LlcPolicy, PolicyState};
 #[cfg(test)]
 use a4_model::Priority;
 use a4_model::{ClosId, WayMask, WorkloadId, WorkloadKind};
@@ -102,6 +102,34 @@ const CLOS_IO_HPW: ClosId = ClosId(0); // unrestricted
 const CLOS_HP: ClosId = ClosId(1);
 const CLOS_LP: ClosId = ClosId(2);
 const CLOS_TRASH: ClosId = ClosId(3);
+
+/// Serializable mutable state of an [`A4Controller`] — everything the
+/// control loop updates across ticks. The configuration and display
+/// name are structural (rebuilt by [`A4Controller::new`]) and excluded;
+/// the map-shaped fields travel as sorted `(key, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct A4State {
+    /// Phase-machine position.
+    pub phase: Phase,
+    /// Zone layout for the current mix.
+    pub zones: Zones,
+    /// Current LP Zone mask.
+    pub lp: WayMask,
+    /// Current trash mask.
+    pub trash: WayMask,
+    /// Whether the trash-shrink loop has stopped.
+    pub trash_frozen: bool,
+    /// Registry entries, sorted by workload id.
+    pub registry: Vec<(WorkloadId, WorkloadState)>,
+    /// Ticks since construction.
+    pub tick: u64,
+    /// Hit rates recorded before a revert probe, sorted by workload id.
+    pub pre_probe_hits: Vec<(WorkloadId, f64)>,
+    /// Memory-bandwidth reference for the stability gate.
+    pub last_mem_bytes: u64,
+    /// Whether CAT masks need reprogramming on the next tick.
+    pub masks_dirty: bool,
+}
 
 /// The A4 runtime controller.
 ///
@@ -551,6 +579,48 @@ impl LlcPolicy for A4Controller {
             self.apply(sys, self.lp);
         }
     }
+
+    fn save_ckpt(&self) -> PolicyState {
+        let _rebuilt_by_constructor = (&self.cfg, &self.name);
+        PolicyState::A4(Box::new(A4State {
+            phase: self.phase,
+            zones: self.zones,
+            lp: self.lp,
+            trash: self.trash,
+            trash_frozen: self.trash_frozen,
+            registry: self
+                .registry
+                .iter()
+                .map(|(id, w)| (*id, w.clone()))
+                .collect(),
+            tick: self.tick,
+            pre_probe_hits: self
+                .pre_probe_hits
+                .iter()
+                .map(|(id, hit)| (*id, *hit))
+                .collect(),
+            last_mem_bytes: self.last_mem_bytes,
+            masks_dirty: self.masks_dirty,
+        }))
+    }
+
+    fn restore_ckpt(&mut self, state: &PolicyState) -> bool {
+        let _rebuilt_by_constructor = (&self.cfg, &self.name);
+        let PolicyState::A4(st) = state else {
+            return false;
+        };
+        self.phase = st.phase;
+        self.zones = st.zones;
+        self.lp = st.lp;
+        self.trash = st.trash;
+        self.trash_frozen = st.trash_frozen;
+        self.registry = st.registry.iter().cloned().collect();
+        self.tick = st.tick;
+        self.pre_probe_hits = st.pre_probe_hits.iter().copied().collect();
+        self.last_mem_bytes = st.last_mem_bytes;
+        self.masks_dirty = st.masks_dirty;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -605,6 +675,49 @@ mod tests {
             let sample = sys.sample();
             a4.tick(sys, &sample);
         }
+    }
+
+    #[test]
+    fn ckpt_round_trip_preserves_controller_state() {
+        let mut sys = System::new(SystemConfig::small_test());
+        let base = sys.alloc_lines(8);
+        sys.add_workload(
+            Box::new(Knob::new("hp", WorkloadKind::NonIo, base, 8)),
+            vec![CoreId(0)],
+            Priority::High,
+        )
+        .unwrap();
+        let lp_base = sys.alloc_lines(2048);
+        sys.add_workload(
+            Box::new(Knob::new("stream", WorkloadKind::NonIo, lp_base, 2048)),
+            vec![CoreId(1)],
+            Priority::Low,
+        )
+        .unwrap();
+        let mut a4 = A4Controller::new(A4Config::default());
+        drive(&mut sys, &mut a4, 9);
+        let saved = a4.save_ckpt();
+        let mut fresh = A4Controller::new(A4Config::default());
+        assert_ne!(fresh.save_ckpt(), saved, "9 ticks moved the controller");
+        assert!(fresh.restore_ckpt(&saved));
+        assert_eq!(fresh.save_ckpt(), saved, "round trip is lossless");
+        assert_eq!(fresh.phase(), a4.phase());
+        assert_eq!(fresh.lp_zone(), a4.lp_zone());
+        assert_eq!(fresh.trash_mask(), a4.trash_mask());
+    }
+
+    #[test]
+    fn ckpt_kind_mismatch_is_rejected() {
+        use crate::PolicyState;
+        let mut a4 = A4Controller::new(A4Config::default());
+        let before = a4.save_ckpt();
+        assert!(!a4.restore_ckpt(&PolicyState::Stateless));
+        assert!(!a4.restore_ckpt(&PolicyState::Applied { applied: true }));
+        assert_eq!(a4.save_ckpt(), before, "rejected restores leave no trace");
+        let mut default = crate::DefaultPolicy::new();
+        assert!(!default.restore_ckpt(&before));
+        assert!(default.restore_ckpt(&PolicyState::Applied { applied: true }));
+        assert_eq!(default.save_ckpt(), PolicyState::Applied { applied: true });
     }
 
     #[test]

@@ -235,6 +235,16 @@ impl Harness {
         &self.system
     }
 
+    /// Read-only policy access (for checkpointing).
+    pub fn policy(&self) -> Option<&dyn LlcPolicy> {
+        self.policy.as_deref()
+    }
+
+    /// Mutable policy access (for checkpoint restore).
+    pub fn policy_mut(&mut self) -> Option<&mut (dyn LlcPolicy + 'static)> {
+        self.policy.as_deref_mut()
+    }
+
     /// Runs `warmup` logical seconds (policy active, samples discarded)
     /// followed by `measure` recorded seconds.
     pub fn run(&mut self, warmup: u64, measure: u64) -> RunReport {
@@ -262,6 +272,102 @@ impl Harness {
     pub fn run_secs(&mut self, seconds: u64) -> RunReport {
         self.run(0, seconds)
     }
+
+    /// The supervised variant of [`Harness::run`]: after every logical
+    /// second (sample taken, policy ticked, sample recorded) the
+    /// supervisor observes the run and may abort it.
+    ///
+    /// Resume support: `start_second` is the count of logical seconds a
+    /// previous incarnation already completed, and `samples` seeds the
+    /// report with the measurement samples it already recorded — pass
+    /// `0` and `Vec::new()` for a fresh run. The loop then covers
+    /// seconds `start_second..warmup + measure` and produces a report
+    /// bit-identical to an uninterrupted run, provided the system and
+    /// policy were restored from a checkpoint taken at `start_second`.
+    pub fn run_supervised(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        start_second: u64,
+        samples: Vec<MonitorSample>,
+        supervisor: &mut dyn RunSupervisor,
+    ) -> Result<RunReport, RunAborted> {
+        let mut samples = samples;
+        samples.reserve(measure as usize);
+        for second in start_second..warmup + measure {
+            self.system.run_logical_seconds(1);
+            let sample = self.system.sample();
+            if let Some(policy) = self.policy.as_mut() {
+                policy.tick(&mut self.system, &sample);
+            }
+            if second >= warmup {
+                samples.push(sample);
+            }
+            let ctx = SupervisorCtx {
+                second: second + 1,
+                warmup,
+                system: &self.system,
+                policy: self.policy.as_deref(),
+                samples: &samples,
+            };
+            if let Err(reason) = supervisor.after_second(ctx) {
+                return Err(RunAborted {
+                    second: second + 1,
+                    reason,
+                });
+            }
+        }
+        Ok(RunReport {
+            policy: self
+                .policy
+                .as_ref()
+                .map_or("none".into(), |p| p.name().to_string()),
+            samples,
+        })
+    }
+}
+
+/// What a [`RunSupervisor`] sees after each completed logical second.
+#[derive(Debug)]
+pub struct SupervisorCtx<'a> {
+    /// Logical seconds completed so far (1-based after the first).
+    pub second: u64,
+    /// The run's warm-up length, so supervisors can tell measurement
+    /// samples from discarded ones.
+    pub warmup: u64,
+    /// The system, for state snapshots and quantum accounting.
+    pub system: &'a System,
+    /// The attached policy, for state snapshots.
+    pub policy: Option<&'a dyn LlcPolicy>,
+    /// Measurement samples recorded so far (seeded ones included).
+    pub samples: &'a [MonitorSample],
+}
+
+/// A supervised run stopped early: carries the abort point and the
+/// supervisor's reason (e.g. a watchdog's exhausted quantum budget).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunAborted {
+    /// Logical seconds completed when the run was aborted.
+    pub second: u64,
+    /// Human-readable abort reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for RunAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run aborted after {} s: {}", self.second, self.reason)
+    }
+}
+
+impl std::error::Error for RunAborted {}
+
+/// Observes a supervised run once per logical second — the hook the
+/// sweep layer uses for periodic checkpointing and runaway-cell
+/// watchdogs.
+pub trait RunSupervisor {
+    /// Called after each logical second. Returning `Err(reason)` aborts
+    /// the run with a [`RunAborted`].
+    fn after_second(&mut self, ctx: SupervisorCtx<'_>) -> Result<(), String>;
 }
 
 #[cfg(test)]
@@ -393,6 +499,120 @@ mod tests {
         let mut h = Harness::new(sys);
         let report = h.run_secs(3);
         assert!((report.measured_secs() - 3e-5).abs() < 1e-15);
+    }
+
+    /// A deterministic small system with one busy HPW and the A4
+    /// controller, built identically on every call.
+    fn supervised_fixture() -> Harness {
+        let mut sys = System::new(SystemConfig::small_test());
+        let base = sys.alloc_lines(1);
+        sys.add_workload(Box::new(Busy(base)), vec![CoreId(0)], Priority::High)
+            .unwrap();
+        Harness::with_policy(
+            sys,
+            Box::new(crate::A4Controller::new(crate::A4Config::default())),
+        )
+    }
+
+    struct Noop;
+    impl RunSupervisor for Noop {
+        fn after_second(&mut self, _ctx: SupervisorCtx<'_>) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn supervised_run_matches_unsupervised() {
+        let mut a = supervised_fixture();
+        let ra = a.run(2, 3);
+        let mut b = supervised_fixture();
+        let rb = b.run_supervised(2, 3, 0, Vec::new(), &mut Noop).unwrap();
+        assert_eq!(
+            serde_json::to_string(&ra.samples).unwrap(),
+            serde_json::to_string(&rb.samples).unwrap(),
+            "the supervisor hook must not perturb the run"
+        );
+    }
+
+    /// Checkpoints system + policy + samples at one logical second.
+    struct CkptAt {
+        at: u64,
+        system: Option<String>,
+        policy: Option<String>,
+        samples: Vec<a4_sim::MonitorSample>,
+    }
+    impl RunSupervisor for CkptAt {
+        fn after_second(&mut self, ctx: SupervisorCtx<'_>) -> Result<(), String> {
+            if ctx.second == self.at {
+                self.system = Some(serde_json::to_string(&ctx.system.save_state()).unwrap());
+                self.policy =
+                    Some(serde_json::to_string(&ctx.policy.unwrap().save_ckpt()).unwrap());
+                self.samples = ctx.samples.to_vec();
+            }
+            Ok(())
+        }
+    }
+
+    /// The tentpole guarantee at harness level: restore a mid-run
+    /// checkpoint (system state + policy state + recorded samples) into
+    /// a freshly built harness and finish the run — the report must be
+    /// bit-identical to an uninterrupted one.
+    #[test]
+    fn resumed_run_is_bit_identical() {
+        let reference = supervised_fixture()
+            .run_supervised(2, 5, 0, Vec::new(), &mut Noop)
+            .unwrap();
+
+        // Interrupted incarnation: checkpoint after second 4 (inside the
+        // measurement window, A4 already past its first re-zones), then
+        // pretend the process died.
+        let mut ckpt = CkptAt {
+            at: 4,
+            system: None,
+            policy: None,
+            samples: Vec::new(),
+        };
+        let _ = supervised_fixture()
+            .run_supervised(2, 5, 0, Vec::new(), &mut ckpt)
+            .unwrap();
+
+        // Fresh process: rebuild, restore, resume at second 4.
+        let mut resumed = supervised_fixture();
+        let sys_state: a4_sim::SystemState = serde_json::from_str(&ckpt.system.unwrap()).unwrap();
+        assert!(resumed.system_mut().restore_state(&sys_state));
+        let pol_state: crate::PolicyState = serde_json::from_str(&ckpt.policy.unwrap()).unwrap();
+        assert!(resumed.policy_mut().unwrap().restore_ckpt(&pol_state));
+        let report = resumed
+            .run_supervised(2, 5, 4, ckpt.samples, &mut Noop)
+            .unwrap();
+
+        assert_eq!(report.samples.len(), reference.samples.len());
+        assert_eq!(
+            serde_json::to_string(&reference.samples).unwrap(),
+            serde_json::to_string(&report.samples).unwrap(),
+            "resume must be bit-identical to the uninterrupted run"
+        );
+    }
+
+    struct AbortAt(u64);
+    impl RunSupervisor for AbortAt {
+        fn after_second(&mut self, ctx: SupervisorCtx<'_>) -> Result<(), String> {
+            if ctx.second >= self.0 {
+                Err(format!("quantum budget exhausted at {}", ctx.second))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn supervisor_abort_is_a_typed_error() {
+        let err = supervised_fixture()
+            .run_supervised(1, 10, 0, Vec::new(), &mut AbortAt(3))
+            .unwrap_err();
+        assert_eq!(err.second, 3);
+        assert!(err.reason.contains("quantum budget"), "{}", err.reason);
+        assert!(err.to_string().contains("aborted after 3 s"));
     }
 
     #[test]

@@ -47,13 +47,31 @@ mod thresholds;
 mod zones;
 
 pub use baselines::{DefaultPolicy, IsolatePolicy};
-pub use controller::{A4Config, A4Controller, FeatureLevel, Phase};
-pub use harness::{Harness, RunReport};
+pub use controller::{A4Config, A4Controller, A4State, FeatureLevel, Phase};
+pub use harness::{Harness, RunAborted, RunReport, RunSupervisor, SupervisorCtx};
 pub use registry::{AntagonistKind, WorkloadState};
 pub use thresholds::Thresholds;
 pub use zones::Zones;
 
 use a4_sim::{MonitorSample, System};
+use serde::{Deserialize, Serialize};
+
+/// Serializable mutable state of an [`LlcPolicy`], one variant per
+/// policy family. Restoring into the wrong policy kind fails cleanly
+/// (`restore_ckpt` returns `false`) rather than silently coercing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyState {
+    /// The policy carries no mutable state.
+    Stateless,
+    /// A one-shot policy that remembers whether it already programmed
+    /// the hardware ([`DefaultPolicy`], [`IsolatePolicy`]).
+    Applied {
+        /// Whether the one-shot configuration ran.
+        applied: bool,
+    },
+    /// Full [`A4Controller`] state.
+    A4(Box<A4State>),
+}
 
 /// An LLC management policy driven once per monitoring interval.
 ///
@@ -66,4 +84,17 @@ pub trait LlcPolicy: std::fmt::Debug + Send {
 
     /// Reacts to one monitoring interval.
     fn tick(&mut self, sys: &mut System, sample: &MonitorSample);
+
+    /// Snapshots the policy's mutable state for a checkpoint. Stateful
+    /// policies override both this and [`LlcPolicy::restore_ckpt`].
+    fn save_ckpt(&self) -> PolicyState {
+        PolicyState::Stateless
+    }
+
+    /// Restores a snapshot taken by [`LlcPolicy::save_ckpt`] on a
+    /// freshly built policy of the same kind and configuration. Returns
+    /// `false` (leaving the policy untouched) on a kind mismatch.
+    fn restore_ckpt(&mut self, state: &PolicyState) -> bool {
+        matches!(state, PolicyState::Stateless)
+    }
 }

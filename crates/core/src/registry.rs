@@ -23,7 +23,7 @@ pub enum AntagonistKind {
 }
 
 /// Mutable controller state for one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadState {
     /// The workload.
     pub id: WorkloadId,

@@ -15,7 +15,7 @@
 //!          [--max-age-days N] [--replicas N] [--timing]
 //!          [--shard I/N] [--merge-only] [--best-effort]
 //!          [--enqueue | --worker | --serve] [--shards N]
-//!          [--stale-secs S]
+//!          [--stale-secs S] [--ckpt-every Q] [--max-attempts N]
 //!
 //! FIGURES: fig3 fig4 fig5 fig6 fig7 fig8 fig11 fig12 fig13 fig14 fig15
 //!          fig_numa (default: all)
@@ -64,6 +64,15 @@
 //!                   (default 2)
 //! --stale-secs S:   lease age after which --worker/--serve re-claim a
 //!                   task from a crashed worker (default 300)
+//! --ckpt-every Q:   checkpoint each in-flight cell's complete
+//!                   simulation state into <store>/ckpt/ every Q quanta
+//!                   (default off; 1000 quanta = 1 logical second). A
+//!                   killed worker's replacement resumes each cell from
+//!                   its latest valid checkpoint instead of quantum 0;
+//!                   results are bit-identical either way
+//! --max-attempts N: executions a task gets before --worker/--serve
+//!                   quarantine it as exhausted instead of retrying
+//!                   (default 3); distinct from parse-poison
 //! --timing:         run the hot-loop timing harness on the fig12
 //!                   representative cell and write BENCH_hotloop.json
 //!                   (to --json DIR, or the current directory)
@@ -82,6 +91,7 @@ use a4_experiments::fig11;
 use a4_experiments::service::ServiceError;
 use a4_experiments::{drain_queue, fabric_health, Backoff, DrainReport, FaultFs, Fs};
 use a4_experiments::{figures, FigureDef, JobTables, SeedPolicy, Shard, SweepJob};
+use a4_experiments::{CkptStore, MAX_ATTEMPTS};
 use a4_experiments::{JobQueue, Task};
 use a4_experiments::{RunOpts, ScenarioSpec, Scheme, SweepRunner, Table, TableStats};
 use std::io::Write as _;
@@ -219,7 +229,7 @@ fn run_timing(quick: bool, json_dir: Option<&str>) {
 /// or the value slot of a value-taking flag, so `--json fig-tables/`
 /// never turns its directory into a figure filter.
 fn positional_args(args: &[String]) -> Vec<&str> {
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 12] = [
         "--json",
         "--dump-specs",
         "--spec",
@@ -230,6 +240,8 @@ fn positional_args(args: &[String]) -> Vec<&str> {
         "--shard",
         "--shards",
         "--stale-secs",
+        "--ckpt-every",
+        "--max-attempts",
     ];
     let mut positional = Vec::new();
     let mut skip_value = false;
@@ -254,10 +266,22 @@ fn positional_args(args: &[String]) -> Vec<&str> {
 /// prefix; a fatal queue/execution error exits via [`fail`] (the
 /// library released the task first, so it survives for another
 /// worker).
-fn drain(queue: &JobQueue, runner: &SweepRunner, worker: &str, stale: Duration) -> DrainReport {
-    drain_queue(queue, runner, worker, stale, &Backoff::fabric(), |line| {
-        eprintln!("[a4-repro] {worker}: {line}")
-    })
+fn drain(
+    queue: &JobQueue,
+    runner: &SweepRunner,
+    worker: &str,
+    stale: Duration,
+    max_attempts: u64,
+) -> DrainReport {
+    drain_queue(
+        queue,
+        runner,
+        worker,
+        stale,
+        max_attempts,
+        &Backoff::fabric(),
+        |line| eprintln!("[a4-repro] {worker}: {line}"),
+    )
     .unwrap_or_else(|e| fail(format!("{worker}: {e}")))
 }
 
@@ -291,6 +315,19 @@ fn main() {
                 .unwrap_or_else(|_| fail("--stale-secs takes a second count"))
         })
         .unwrap_or(300);
+    let ckpt_every: u64 = flag_value(&args, "--ckpt-every")
+        .map(|q| {
+            q.parse()
+                .unwrap_or_else(|_| fail("--ckpt-every takes a quantum count"))
+        })
+        .unwrap_or(0);
+    let max_attempts: u64 = flag_value(&args, "--max-attempts")
+        .map(|n| {
+            n.parse()
+                .unwrap_or_else(|_| fail("--max-attempts takes a positive integer"))
+        })
+        .unwrap_or(MAX_ATTEMPTS);
+    require(max_attempts >= 1, "--max-attempts takes a positive integer");
     let threads: usize = flag_value(&args, "--threads")
         .map(|t| {
             t.parse()
@@ -351,6 +388,14 @@ fn main() {
         "--stale-secs only applies to --worker/--serve",
     );
     require(
+        worker || serve || flag_value(&args, "--max-attempts").is_none(),
+        "--max-attempts only applies to --worker/--serve",
+    );
+    require(
+        !(no_cache && ckpt_every > 0),
+        "--ckpt-every needs the shared store (drop --no-cache)",
+    );
+    require(
         merge_only || !best_effort,
         "--best-effort only applies to --merge-only",
     );
@@ -370,6 +415,14 @@ fn main() {
             }
             None => runner.with_cache_dir(&store_dir),
         };
+        if ckpt_every > 0 {
+            let ckpt_dir = std::path::Path::new(&store_dir).join("ckpt");
+            let ckpt = match &faults {
+                Some(f) => CkptStore::with_fs(&ckpt_dir, f.clone() as Arc<dyn Fs>),
+                None => CkptStore::new(&ckpt_dir),
+            };
+            runner = runner.with_ckpt(ckpt, ckpt_every);
+        }
     }
     let wanted = positional_args(&args);
     let known: Vec<&str> = figures().iter().map(|f| f.name).collect();
@@ -467,6 +520,14 @@ fn main() {
                     queue.root().join("poison").display()
                 );
             }
+            let exhausted = queue.exhausted().unwrap_or(0);
+            if exhausted > 0 {
+                eprintln!(
+                    "[a4-repro] warning: {exhausted} repeatedly-failing task(s) \
+                     quarantined as exhausted in {}",
+                    queue.root().join("poison").display()
+                );
+            }
         };
         if enqueue || serve {
             for f in figures().iter().filter(|f| wants(f.name)) {
@@ -488,7 +549,7 @@ fn main() {
         }
         let me = format!("w{}", std::process::id());
         if worker {
-            let report = drain(&queue, &runner, &me, stale);
+            let report = drain(&queue, &runner, &me, stale, max_attempts);
             let (pending, leased, done) = queue_counts(&queue);
             eprintln!(
                 "[a4-repro] {me}: executed {} unit(s); queue now \
@@ -513,10 +574,12 @@ fn main() {
         // then fall through to the merge below.
         let mut serve_report = DrainReport::default();
         loop {
-            let report = drain(&queue, &runner, &me, stale);
+            let report = drain(&queue, &runner, &me, stale, max_attempts);
             serve_report.tasks += report.tasks;
             serve_report.executed += report.executed;
             serve_report.reclaimed += report.reclaimed;
+            serve_report.exhausted += report.exhausted;
+            serve_report.cell_failures += report.cell_failures;
             serve_report.retries += report.retries;
             serve_report.heartbeat_failures += report.heartbeat_failures;
             if report.released {

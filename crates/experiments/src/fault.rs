@@ -472,6 +472,12 @@ pub struct FabricHealth {
     pub reclaimed_leases: u64,
     /// Unparseable tasks quarantined under `queue/poison/`.
     pub poisoned_tasks: u64,
+    /// Well-formed tasks quarantined after exhausting their attempt
+    /// budget (kept failing to execute) — distinct from parse-poison.
+    pub exhausted_tasks: u64,
+    /// Sweep cells that failed (panic, build error, watchdog abort)
+    /// instead of producing a result.
+    pub cell_failures: u64,
     /// Lease heartbeats that failed.
     pub heartbeat_failures: u64,
     /// Faults injected by an active [`FaultFs`] (zero in production).
@@ -490,7 +496,8 @@ impl fmt::Display for FabricHealth {
         write!(
             f,
             "{}: store-write-failures={} quarantined={} retries={} \
-             reclaimed-leases={} poisoned-tasks={} heartbeat-failures={}",
+             reclaimed-leases={} poisoned-tasks={} exhausted-tasks={} \
+             cell-failures={} heartbeat-failures={}",
             if self.healthy() {
                 "healthy"
             } else {
@@ -501,6 +508,8 @@ impl fmt::Display for FabricHealth {
             self.retries,
             self.reclaimed_leases,
             self.poisoned_tasks,
+            self.exhausted_tasks,
+            self.cell_failures,
             self.heartbeat_failures,
         )?;
         if self.injected_faults > 0 {

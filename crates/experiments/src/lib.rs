@@ -57,15 +57,19 @@ pub mod queue;
 pub mod runner;
 pub mod service;
 pub mod spec;
+pub mod supervise;
 mod table;
 
 pub use cache::{spec_key, ResultCache};
 pub use fault::{Backoff, FabricHealth, FaultFs, FaultPlan, Fs, RealFs};
 pub use queue::{Enqueued, JobQueue, QueueError, Task, TaskState, MIN_STALE_AGE};
-pub use runner::{Sweep, SweepRunner, TypedAxis, TypedSweep2};
+pub use runner::{
+    CellFailure, FailureKind, Sweep, SweepOutcome, SweepRunner, TypedAxis, TypedSweep2,
+};
 pub use service::{
     drain_queue, fabric_health, figures, DrainReport, FigureDef, JobTables, Protocol, SeedPolicy,
-    Shard, SweepJob, MAX_HEARTBEAT_FAILURES,
+    Shard, SweepJob, MAX_ATTEMPTS, MAX_HEARTBEAT_FAILURES,
 };
 pub use spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, WorkloadSpec};
+pub use supervise::{CellCkpt, CellSupervisor, CkptStore, CELL_CKPT_VERSION};
 pub use table::{Row, Table, TableStats};

@@ -2,8 +2,8 @@
 //! worker processes with atomic claim-by-rename leases.
 //!
 //! The queue lives under the shared store directory
-//! (`<store>/queue/{pending,leases,done,poison}`) and needs nothing but
-//! POSIX rename atomicity:
+//! (`<store>/queue/{pending,leases,done,poison,attempts}`) and needs
+//! nothing but POSIX rename atomicity:
 //!
 //! * a **task** is one `(job, shard)` pair, serialized as JSON and named
 //!   by its content hash (same salted double-FNV as
@@ -28,6 +28,14 @@
 //! a malformed or truncated task file must never kill a worker. A task
 //! that fails to parse on claim is quarantined under `poison/` (see
 //! [`JobQueue::poisoned`]) and the claim scan moves on.
+//!
+//! Each successful claim bumps a best-effort per-task **attempt
+//! counter** (`attempts/<id>.count`, surfaced as [`Lease::attempts`]),
+//! so the drain loop can tell a first execution from a task that keeps
+//! crashing its workers; once the count exceeds the attempt budget the
+//! task is [`JobQueue::quarantine_exhausted`] — same `poison/`
+//! directory, distinct suffix, distinct tally ([`JobQueue::exhausted`])
+//! from parse-poison.
 //!
 //! All filesystem access goes through the [`Fs`] seam (enforced by the
 //! `fs-seam` lint rule), so the crash-consistency property tests
@@ -164,6 +172,12 @@ pub struct Lease {
     fs: Arc<dyn Fs>,
     /// The claimed task.
     pub task: Task,
+    /// How many times this task has been claimed, this claim included
+    /// (best-effort sidecar counter: a lost write undercounts, which
+    /// only delays quarantine, never loses a task). The drain loop
+    /// quarantines tasks whose count exceeds its attempt budget — see
+    /// [`JobQueue::quarantine_exhausted`].
+    pub attempts: u64,
 }
 
 impl Lease {
@@ -217,7 +231,7 @@ impl JobQueue {
         fs: Arc<dyn Fs>,
     ) -> Result<Self, QueueError> {
         let root = store_dir.into().join("queue");
-        for sub in ["pending", "leases", "done", "poison"] {
+        for sub in ["pending", "leases", "done", "poison", "attempts"] {
             let dir = root.join(sub);
             fs.create_dir_all(&dir)
                 .map_err(QueueError::io("create queue dir", &dir))?;
@@ -246,8 +260,39 @@ impl JobQueue {
         self.root.join("poison")
     }
 
+    fn attempts_dir(&self) -> PathBuf {
+        self.root.join("attempts")
+    }
+
+    fn attempts_file(&self, id: &str) -> PathBuf {
+        self.attempts_dir().join(format!("{id}.count"))
+    }
+
     fn task_file(id: &str) -> String {
         format!("{id}.task.json")
+    }
+
+    /// Increments the task's sidecar attempt counter and returns the
+    /// new count (this claim included). Best effort in both directions:
+    /// an unreadable or unparseable counter reads as 0, and a failed
+    /// write merely undercounts — the task itself is never at risk.
+    fn bump_attempts(&self, id: &str) -> u64 {
+        let path = self.attempts_file(id);
+        let prior = self
+            .fs
+            .read_to_string(&path)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        let next = prior.saturating_add(1);
+        self.fs.write(&path, next.to_string().as_bytes()).ok();
+        next
+    }
+
+    /// Drops the task's attempt counter (best effort), so a later
+    /// deliberate re-enqueue starts from attempt 1.
+    fn clear_attempts(&self, id: &str) {
+        self.fs.remove_file(&self.attempts_file(id)).ok();
     }
 
     /// Whether any lease file belongs to task `id`.
@@ -343,12 +388,14 @@ impl JobQueue {
                 .map_err(QueueError::io("read claimed task", &lease_path))?;
             match serde_json::from_str::<Task>(&json) {
                 Ok(task) => {
+                    let attempts = self.bump_attempts(&id);
                     return Ok(Some(Lease {
                         id,
                         path: lease_path,
                         fs: Arc::clone(&self.fs),
                         task,
-                    }))
+                        attempts,
+                    }));
                 }
                 Err(_) => {
                     // Poison task: quarantine it (keeping the evidence
@@ -379,13 +426,17 @@ impl JobQueue {
     /// transiently failed completion — the rename is idempotent.
     pub(crate) fn try_complete(&self, lease: &Lease) -> Result<(), QueueError> {
         let target = self.done().join(Self::task_file(&lease.id));
-        match self.fs.rename(&lease.path, &target) {
+        let result = match self.fs.rename(&lease.path, &target) {
             Ok(()) => Ok(()),
             // Our lease vanished (stale-reclaimed); fine if the task
             // still reached `done/` through its other owner.
             Err(e) if e.kind() == io::ErrorKind::NotFound && self.fs.exists(&target) => Ok(()),
             Err(e) => Err(QueueError::io("complete task", &target)(e)),
+        };
+        if result.is_ok() {
+            self.clear_attempts(&lease.id);
         }
+        result
     }
 
     /// Returns a claimed task to `pending/` unexecuted (a worker
@@ -410,6 +461,40 @@ impl JobQueue {
             Err(e) if e.kind() == io::ErrorKind::NotFound && self.fs.exists(&target) => Ok(()),
             Err(e) => Err(QueueError::io("release task", &target)(e)),
         }
+    }
+
+    /// Takes a repeatedly failing task out of circulation: the lease is
+    /// renamed to `poison/<id>.task.quarantined.json` — a suffix
+    /// distinct from the `.task.json` parse-poison graves, so
+    /// [`JobQueue::poisoned`] and [`JobQueue::exhausted`] tally the two
+    /// failure classes separately — and its attempt counter is cleared,
+    /// so a deliberate later re-enqueue starts fresh from attempt 1.
+    /// Idempotent like completion: a lease that vanished while the
+    /// grave exists is a success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn quarantine_exhausted(&self, lease: Lease) -> Result<(), QueueError> {
+        self.try_quarantine_exhausted(&lease)
+    }
+
+    /// [`JobQueue::quarantine_exhausted`] without consuming the lease
+    /// (see [`JobQueue::try_complete`]), so the drain loop can retry a
+    /// transiently failed quarantine.
+    pub(crate) fn try_quarantine_exhausted(&self, lease: &Lease) -> Result<(), QueueError> {
+        let target = self
+            .poison()
+            .join(format!("{}.task.quarantined.json", lease.id));
+        let result = match self.fs.rename(&lease.path, &target) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound && self.fs.exists(&target) => Ok(()),
+            Err(e) => Err(QueueError::io("quarantine exhausted task", &target)(e)),
+        };
+        if result.is_ok() {
+            self.clear_attempts(&lease.id);
+        }
+        result
     }
 
     /// Bounces every lease older than `max_age` (by mtime — live
@@ -487,7 +572,22 @@ impl JobQueue {
     ///
     /// Propagates directory-scan failures.
     pub fn poisoned(&self) -> Result<usize, QueueError> {
+        // Parse-poison graves keep their `.task.json` name; exhausted
+        // quarantines use `.task.quarantined.json`, which this suffix
+        // match does not capture — the tallies stay disjoint.
         self.count_dir(self.poison(), ".task.json")
+    }
+
+    /// How many repeatedly failing tasks were quarantined after
+    /// exhausting their attempt budget ([`JobQueue::quarantine_exhausted`]).
+    /// Counted separately from parse-poison ([`JobQueue::poisoned`]):
+    /// these tasks were well-formed but kept failing to *execute*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan failures.
+    pub fn exhausted(&self) -> Result<usize, QueueError> {
+        self.count_dir(self.poison(), ".task.quarantined.json")
     }
 
     fn count_dir(&self, dir: PathBuf, suffix: &str) -> Result<usize, QueueError> {
@@ -601,6 +701,7 @@ mod tests {
             path: dir.join("queue/leases").join(format!("{id}.w1.lease.json")),
             fs: Arc::new(RealFs),
             task: second.task.clone(),
+            attempts: 1,
         };
         queue.complete(second).unwrap();
         queue.complete(zombie).unwrap();
@@ -628,6 +729,53 @@ mod tests {
             "zero cutoff clamps to MIN_STALE_AGE"
         );
         queue.complete(lease).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attempts_count_up_and_exhaustion_quarantines() {
+        let dir = tmp_store("attempts");
+        let queue = JobQueue::open(&dir).unwrap();
+        let t = task(0);
+        let id = t.id().unwrap();
+        queue.enqueue(&t).unwrap();
+
+        // Each claim-release cycle (a failing execution) counts.
+        let lease = queue.claim("w1").unwrap().unwrap();
+        assert_eq!(lease.attempts, 1);
+        queue.release(lease).unwrap();
+        let lease = queue.claim("w1").unwrap().unwrap();
+        assert_eq!(lease.attempts, 2);
+        queue.release(lease).unwrap();
+
+        // The third failure exhausts a budget of 2: quarantined out of
+        // circulation, tallied apart from parse-poison.
+        let lease = queue.claim("w1").unwrap().unwrap();
+        assert_eq!(lease.attempts, 3);
+        queue.quarantine_exhausted(lease).unwrap();
+        assert_eq!(queue.state(&id), TaskState::Unknown);
+        assert!(queue.claim("w1").unwrap().is_none(), "out of circulation");
+        assert_eq!(queue.exhausted().unwrap(), 1);
+        assert_eq!(queue.poisoned().unwrap(), 0, "not a parse-poison");
+        assert!(
+            dir.join("queue/poison")
+                .join(format!("{id}.task.quarantined.json"))
+                .exists(),
+            "evidence preserved"
+        );
+
+        // A deliberate re-enqueue starts from attempt 1 (counter
+        // cleared on quarantine).
+        assert_eq!(queue.enqueue(&t).unwrap(), Enqueued::Pending);
+        let lease = queue.claim("w1").unwrap().unwrap();
+        assert_eq!(lease.attempts, 1);
+        // Completion clears the counter too: a later re-run of the
+        // same content id is a fresh first attempt.
+        queue.complete(lease).unwrap();
+        assert!(!dir
+            .join("queue/attempts")
+            .join(format!("{id}.count"))
+            .exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -11,7 +11,14 @@
 //! no simulation state is shared between threads.
 
 use crate::cache::{spec_key, ResultCache};
-use crate::spec::{ScenarioRun, ScenarioSpec, SpecError};
+use crate::spec::{Scenario, ScenarioRun, ScenarioSpec, SpecError};
+use crate::supervise::{CellSupervisor, CkptStore};
+use a4_core::PolicyState;
+use a4_sim::MonitorSample;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -266,6 +273,102 @@ impl Cell {
     }
 }
 
+/// Why one sweep cell failed without producing a result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The cell's closure panicked; the payload is in
+    /// [`CellFailure::reason`].
+    Panic,
+    /// The spec failed to build into a scenario.
+    Build,
+    /// The quantum-budget watchdog aborted a runaway cell.
+    Watchdog {
+        /// Quanta the cell had consumed when aborted.
+        quanta: u64,
+        /// The configured budget it exceeded.
+        budget: u64,
+    },
+    /// The run supervisor aborted the cell for another reason.
+    Aborted,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panicked"),
+            FailureKind::Build => write!(f, "failed to build"),
+            FailureKind::Watchdog { quanta, budget } => {
+                write!(f, "watchdog ({quanta} quanta > budget {budget})")
+            }
+            FailureKind::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
+/// One failed sweep cell: which cell, how it failed, and why.
+///
+/// Carried by [`SweepOutcome::failures`] so a sweep with one bad cell
+/// still yields every other cell's result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Index of the failed cell in the spec slice.
+    pub index: usize,
+    /// The failure class.
+    pub kind: FailureKind,
+    /// Human-readable detail (panic payload, build error, abort
+    /// reason).
+    pub reason: String,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell {} {}: {}", self.index, self.kind, self.reason)
+    }
+}
+
+/// The result of a fault-tolerant sweep: per-cell results (in spec
+/// order, `None` for failed cells) plus the recorded failures.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// `runs[i]` is `Some` iff cell `i` completed.
+    pub runs: Vec<Option<ScenarioRun>>,
+    /// Failures in cell-index order; empty for a clean sweep.
+    pub failures: Vec<CellFailure>,
+}
+
+impl SweepOutcome {
+    /// Whether every cell completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The completed runs, in spec order, if the sweep was clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failures otherwise.
+    pub fn into_runs(self) -> Result<Vec<ScenarioRun>, Vec<CellFailure>> {
+        if self.failures.is_empty() {
+            // No failures means every slot is Some by construction.
+            Ok(self.runs.into_iter().map(Option::unwrap).collect())
+        } else {
+            Err(self.failures)
+        }
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces; anything else is labelled opaquely).
+fn panic_reason(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Executes experiment cells across scoped threads, collecting results
 /// deterministically by cell index.
 #[derive(Debug, Clone)]
@@ -274,6 +377,9 @@ pub struct SweepRunner {
     derive_seeds: bool,
     replica: Option<u64>,
     cache: Option<ResultCache>,
+    ckpt: Option<CkptStore>,
+    ckpt_every: u64,
+    quantum_budget: Option<u64>,
 }
 
 impl Default for SweepRunner {
@@ -287,12 +393,7 @@ impl Default for SweepRunner {
 impl SweepRunner {
     /// A serial (single-thread) runner.
     pub fn serial() -> Self {
-        SweepRunner {
-            threads: 1,
-            derive_seeds: false,
-            replica: None,
-            cache: None,
-        }
+        SweepRunner::with_threads(1)
     }
 
     /// A runner fanning cells out over `threads` OS threads (clamped to
@@ -303,6 +404,9 @@ impl SweepRunner {
             derive_seeds: false,
             replica: None,
             cache: None,
+            ckpt: None,
+            ckpt_every: 0,
+            quantum_budget: None,
         }
     }
 
@@ -355,24 +459,48 @@ impl SweepRunner {
         self.cache.as_ref()
     }
 
-    /// Maps `f` over `items` in parallel; `results[i] == f(i,
-    /// &items[i])` regardless of thread count.
-    ///
-    /// # Panics
-    ///
-    /// Propagates panics from `f`.
-    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    /// Enables periodic checkpointing through `store`: every `every`
+    /// quanta (per cell, at logical-second granularity, `0` = never)
+    /// [`SweepRunner::run_specs_robust`] snapshots the cell's complete
+    /// simulation state, and a later run of the same cell resumes from
+    /// the latest valid checkpoint bit-identically.
+    pub fn with_ckpt(mut self, store: CkptStore, every: u64) -> Self {
+        self.ckpt = Some(store);
+        self.ckpt_every = every;
+        self
+    }
+
+    /// The checkpoint store, if checkpointing is enabled.
+    pub fn ckpt_store(&self) -> Option<&CkptStore> {
+        self.ckpt.as_ref()
+    }
+
+    /// Arms the runaway-cell watchdog: a cell that consumes more than
+    /// `budget` quanta is aborted with a typed
+    /// [`FailureKind::Watchdog`] failure instead of starving the sweep.
+    pub fn with_quantum_budget(mut self, budget: u64) -> Self {
+        self.quantum_budget = Some(budget);
+        self
+    }
+
+    /// Maps `f` over `items` in parallel, catching per-item panics;
+    /// `results[i]` corresponds to `items[i]` regardless of thread
+    /// count, with a panicking item yielding `Err(payload)` while every
+    /// other item still completes.
+    fn map_caught<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, Box<dyn Any + Send>>>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        let run = |i: usize, t: &T| catch_unwind(AssertUnwindSafe(|| f(i, t)));
         let threads = self.threads.min(items.len()).max(1);
         if threads == 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items.iter().enumerate().map(|(i, t)| run(i, t)).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+        let results: Mutex<Vec<Option<Result<R, _>>>> =
+            Mutex::new((0..items.len()).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -380,8 +508,10 @@ impl SweepRunner {
                     if i >= items.len() {
                         break;
                     }
-                    let r = f(i, &items[i]);
-                    results.lock().expect("no poisoned result slots")[i] = Some(r);
+                    let r = run(i, &items[i]);
+                    // `run` caught any panic, so no worker can poison
+                    // the results mutex.
+                    results.lock().expect("workers cannot panic")[i] = Some(r);
                 });
             }
         });
@@ -391,6 +521,35 @@ impl SweepRunner {
             .into_iter()
             .map(|r| r.expect("every index visited exactly once"))
             .collect()
+    }
+
+    /// Maps `f` over `items` in parallel; `results[i] == f(i,
+    /// &items[i])` regardless of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first (by item index) panic from `f` with its
+    /// original payload, after every non-panicking item has completed.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        let mut caught = None;
+        for r in self.map_caught(items, f) {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    caught.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = caught {
+            std::panic::resume_unwind(payload);
+        }
+        out
     }
 
     /// Builds and runs every spec, in parallel, returning the runs in
@@ -425,6 +584,139 @@ impl SweepRunner {
             spec.build().map(crate::spec::Scenario::run)
         });
         runs.into_iter().collect()
+    }
+
+    /// The effective spec of cell `i` after seed derivation — the same
+    /// transformation [`SweepRunner::run_specs`] applies.
+    fn effective_spec(&self, i: usize, spec: &ScenarioSpec) -> ScenarioSpec {
+        if let Some(r) = self.replica {
+            spec.clone()
+                .with_seed(derive_seed(derive_seed(spec.opts.seed, r), i as u64))
+        } else if self.derive_seeds {
+            spec.clone()
+                .with_seed(derive_seed(spec.opts.seed, i as u64))
+        } else {
+            spec.clone()
+        }
+    }
+
+    /// Builds the cell's scenario, resuming from a valid checkpoint
+    /// when one exists: returns the scenario plus the resume point
+    /// (`start_second`, recorded samples). Any restore failure falls
+    /// back to a **freshly rebuilt** scenario from quantum 0 — a
+    /// half-restored system is never run.
+    fn resume_or_fresh(
+        &self,
+        spec: &ScenarioSpec,
+        key: &str,
+    ) -> Result<(Scenario, u64, Vec<MonitorSample>), SpecError> {
+        let mut scenario = spec.build()?;
+        let Some(store) = &self.ckpt else {
+            return Ok((scenario, 0, Vec::new()));
+        };
+        let Some(ckpt) = store.load(key) else {
+            return Ok((scenario, 0, Vec::new()));
+        };
+        let total = spec.opts.warmup + spec.opts.measure;
+        let restored = ckpt.seconds_done > 0
+            && ckpt.seconds_done < total
+            && scenario.harness.system_mut().restore_state(&ckpt.system)
+            && match scenario.harness.policy_mut() {
+                Some(policy) => policy.restore_ckpt(&ckpt.policy),
+                None => matches!(ckpt.policy, PolicyState::Stateless),
+            };
+        if restored {
+            store.note_resumed();
+            Ok((scenario, ckpt.seconds_done, ckpt.samples))
+        } else {
+            // The system restore may have succeeded while the policy
+            // restore failed (or vice versa): discard the checkpoint
+            // and rebuild from the spec so no partial state survives.
+            store.discard(key);
+            spec.build().map(|s| (s, 0, Vec::new()))
+        }
+    }
+
+    /// Runs one cell under supervision: cache lookup, checkpoint
+    /// resume, watchdog, checkpointed execution, store + cleanup.
+    fn run_one(&self, i: usize, spec: &ScenarioSpec) -> Result<ScenarioRun, CellFailure> {
+        let spec = self.effective_spec(i, spec);
+        let key = spec_key(&spec);
+        if let Some(cache) = &self.cache {
+            if let Some(report) = cache.load(&key) {
+                if let Some(store) = &self.ckpt {
+                    // A finished cell's leftover checkpoint is dead
+                    // weight; drop it.
+                    store.remove(&key);
+                }
+                return Ok(spec.run_from_report(report));
+            }
+        }
+        let (scenario, start_second, samples) =
+            self.resume_or_fresh(&spec, &key).map_err(|e| CellFailure {
+                index: i,
+                kind: FailureKind::Build,
+                reason: e.to_string(),
+            })?;
+        let start_quanta = scenario.harness.system().quantum_count();
+        let mut supervisor = CellSupervisor::new(
+            self.ckpt.as_ref(),
+            &key,
+            self.ckpt_every,
+            self.quantum_budget,
+            start_quanta,
+        );
+        match scenario.run_supervised(start_second, samples, &mut supervisor) {
+            Ok(run) => {
+                if let Some(cache) = &self.cache {
+                    cache.store(&key, &run.report);
+                }
+                if let Some(store) = &self.ckpt {
+                    store.remove(&key);
+                }
+                Ok(run)
+            }
+            Err(aborted) => Err(CellFailure {
+                index: i,
+                kind: supervisor
+                    .tripped()
+                    .map_or(FailureKind::Aborted, |(quanta, budget)| {
+                        FailureKind::Watchdog { quanta, budget }
+                    }),
+                reason: aborted.to_string(),
+            }),
+        }
+    }
+
+    /// The fault-tolerant variant of [`SweepRunner::run_specs`]: a cell
+    /// that panics, fails to build, or trips the quantum-budget
+    /// watchdog becomes a recorded [`CellFailure`] while every other
+    /// cell still completes. With a checkpoint store attached
+    /// ([`SweepRunner::with_ckpt`]) cells additionally snapshot their
+    /// state every `every` quanta and resume from the latest valid
+    /// checkpoint on re-execution.
+    pub fn run_specs_robust(&self, specs: &[ScenarioSpec]) -> SweepOutcome {
+        let results = self.map_caught(specs, |i, spec| self.run_one(i, spec));
+        let mut runs = Vec::with_capacity(specs.len());
+        let mut failures = Vec::new();
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(Ok(run)) => runs.push(Some(run)),
+                Ok(Err(failure)) => {
+                    runs.push(None);
+                    failures.push(failure);
+                }
+                Err(payload) => {
+                    runs.push(None);
+                    failures.push(CellFailure {
+                        index: i,
+                        kind: FailureKind::Panic,
+                        reason: panic_reason(payload.as_ref()),
+                    });
+                }
+            }
+        }
+        SweepOutcome { runs, failures }
     }
 }
 
@@ -519,6 +811,138 @@ mod tests {
         // bit-reproducible.
         assert_ne!(ipc(0), ipc(1));
         assert_eq!(ipc(1), ipc(1));
+    }
+
+    fn xmem_spec(instance: u8, tag: &str) -> crate::spec::ScenarioSpec {
+        crate::spec::ScenarioSpec::new(
+            format!("robust-{tag}-{instance}"),
+            RunOpts {
+                warmup: 1,
+                measure: 2,
+                seed: 0xA4,
+            },
+        )
+        .with_workload(
+            "xmem",
+            crate::spec::WorkloadSpec::XMem { instance },
+            &[0],
+            a4_model::Priority::Low,
+        )
+    }
+
+    #[test]
+    fn panicking_cell_yields_every_other_result() {
+        // The satellite regression: one deliberately panicking cell
+        // must not tear down the sweep (the old collection path died
+        // re-locking a poisoned mutex, masking the original payload) —
+        // every other cell's result survives and the failure carries
+        // the panic payload and spec index.
+        let items: Vec<u64> = (0..9).collect();
+        for threads in [1, 4] {
+            let runner = SweepRunner::with_threads(threads);
+            let results = runner.map_caught(&items, |i, &x| {
+                assert!(i != 5, "cell five detonates");
+                x * 10
+            });
+            for (i, r) in results.iter().enumerate() {
+                if i == 5 {
+                    assert!(r.is_err(), "threads={threads}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), items[i] * 10, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_propagates_the_first_panic_by_index() {
+        let items: Vec<u64> = (0..8).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            SweepRunner::with_threads(4).map(&items, |i, &x| {
+                if i >= 6 {
+                    panic!("boom at {i}");
+                }
+                x
+            });
+        }))
+        .expect_err("map re-panics");
+        assert_eq!(panic_reason(caught.as_ref()), "boom at 6");
+    }
+
+    #[test]
+    fn robust_sweep_matches_plain_path() {
+        // Supervision must be transparent: a clean robust sweep yields
+        // bit-identical reports to run_specs, serial or parallel.
+        let specs: Vec<_> = (1..=3).map(|i| xmem_spec(i, "clean")).collect();
+        let outcome = SweepRunner::with_threads(2).run_specs_robust(&specs);
+        assert!(outcome.is_clean(), "{:?}", outcome.failures);
+        assert_eq!(outcome.runs.iter().flatten().count(), 3);
+        let runs = outcome.into_runs().unwrap();
+        let plain = SweepRunner::serial().run_specs(&specs).unwrap();
+        for (r, p) in runs.iter().zip(&plain) {
+            assert_eq!(r.ipc("xmem").to_bits(), p.ipc("xmem").to_bits());
+        }
+    }
+
+    #[test]
+    fn watchdog_aborts_runaway_cells_with_typed_failure() {
+        let specs: Vec<_> = (1..=3).map(|i| xmem_spec(i, "watchdog")).collect();
+        // Budget of 1 quantum: every cell exceeds it after its first
+        // logical second.
+        let outcome = SweepRunner::serial()
+            .with_quantum_budget(1)
+            .run_specs_robust(&specs);
+        assert_eq!(outcome.failures.len(), 3);
+        for (i, failure) in outcome.failures.iter().enumerate() {
+            assert_eq!(failure.index, i);
+            assert!(
+                matches!(failure.kind, FailureKind::Watchdog { quanta, budget: 1 } if quanta > 1),
+                "{failure}"
+            );
+            assert!(failure.reason.contains("quantum budget"), "{failure}");
+        }
+        // A generous budget lets the same cells complete.
+        let outcome = SweepRunner::serial()
+            .with_quantum_budget(u64::MAX)
+            .run_specs_robust(&specs);
+        assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn checkpointed_resume_is_bit_identical() {
+        use crate::supervise::CkptStore;
+        let dir = std::env::temp_dir().join(format!("a4-runner-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let specs = vec![xmem_spec(2, "resume")];
+        let reference = SweepRunner::serial().run_specs(&specs).unwrap();
+
+        // Run under an aggressive checkpoint cadence, then abort the
+        // cell mid-run via a watchdog budget that admits the first
+        // logical second (1000 quanta) but not the second — the
+        // checkpoint survives the "crash".
+        let store = CkptStore::new(&dir);
+        let outcome = SweepRunner::serial()
+            .with_ckpt(store.clone(), 1)
+            .with_quantum_budget(1500)
+            .run_specs_robust(&specs);
+        assert!(!outcome.is_clean(), "watchdog killed the cell");
+        assert!(store.saved() > 0, "a checkpoint landed before the abort");
+
+        // A fresh runner (new process equivalent) resumes and finishes
+        // bit-identically to the uninterrupted reference.
+        let store2 = CkptStore::new(&dir);
+        let outcome = SweepRunner::serial()
+            .with_ckpt(store2.clone(), 1_000_000)
+            .run_specs_robust(&specs);
+        assert!(outcome.is_clean(), "{:?}", outcome.failures);
+        assert_eq!(store2.resumed(), 1, "resumed from the checkpoint");
+        let resumed = outcome.into_runs().unwrap();
+        assert_eq!(
+            serde_json::to_string(&resumed[0].report).unwrap(),
+            serde_json::to_string(&reference[0].report).unwrap(),
+            "resume-and-continue is bit-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

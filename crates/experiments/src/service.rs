@@ -19,7 +19,7 @@
 use crate::cache::{spec_key, ResultCache};
 use crate::fault::{Backoff, FabricHealth};
 use crate::queue::{JobQueue, QueueError};
-use crate::runner::{derive_seed, SweepRunner};
+use crate::runner::{derive_seed, CellFailure, SweepRunner};
 use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, SpecError};
 use crate::table::{Table, TableStats};
 use crate::{fig11, fig12, fig13, fig14, fig15, fig3, fig4, fig5, fig6, fig7, fig8, fig_numa};
@@ -331,6 +331,17 @@ pub enum ServiceError {
         /// Units the shard owns.
         total: usize,
     },
+    /// Some cells of a shard failed (panic, build error, watchdog
+    /// abort) while the rest completed into the store — the shard is
+    /// partial, not lost.
+    CellsFailed {
+        /// The figure whose shard degraded.
+        figure: String,
+        /// The recorded failures, by shard-local unit index.
+        failures: Vec<CellFailure>,
+        /// Units the shard owns.
+        total: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -366,6 +377,20 @@ impl fmt::Display for ServiceError {
                 "shard aborted after {done} of {total} unit(s): \
                  lease heartbeat kept failing"
             ),
+            ServiceError::CellsFailed {
+                figure,
+                failures,
+                total,
+            } => {
+                write!(f, "{figure}: {} of {total} cell(s) failed:", failures.len())?;
+                for failure in failures.iter().take(4) {
+                    write!(f, " [{failure}]")?;
+                }
+                if failures.len() > 4 {
+                    write!(f, " ...")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -499,10 +524,18 @@ impl SweepJob {
     /// between batches (already-executed units stay in the store, so a
     /// re-claim resumes where this attempt stopped).
     ///
+    /// Cells are executed through the runner's supervised path: a
+    /// panicking, build-failing, or watchdog-aborted cell is recorded
+    /// as a [`CellFailure`] while every other cell in the shard still
+    /// completes into the store. The failures surface at the end as
+    /// [`ServiceError::CellsFailed`] (with shard-local unit indices),
+    /// so a re-claim only re-simulates the cells that actually failed.
+    ///
     /// # Errors
     ///
     /// As [`SweepJob::execute_shard`], plus [`ServiceError::Aborted`]
-    /// when the callback breaks.
+    /// when the callback breaks and [`ServiceError::CellsFailed`] when
+    /// any cell degrades.
     pub fn execute_shard_with(
         &self,
         shard: Shard,
@@ -516,14 +549,29 @@ impl SweepJob {
         let specs: Vec<ScenarioSpec> = units.into_iter().map(|u| u.spec).collect();
         let total = specs.len();
         let mut done = 0;
+        let mut failures: Vec<CellFailure> = Vec::new();
         for batch in specs.chunks(runner.threads().max(1)) {
-            runner.run_specs(batch)?;
+            let outcome = runner.run_specs_robust(batch);
+            // Failure indices are batch-relative; rebase onto the
+            // shard-local unit index before accumulating.
+            failures.extend(outcome.failures.into_iter().map(|mut f| {
+                f.index += done;
+                f
+            }));
             done += batch.len();
             if progress(done, total).is_break() {
                 return Err(ServiceError::Aborted { done, total });
             }
         }
-        Ok(total)
+        if failures.is_empty() {
+            Ok(total)
+        } else {
+            Err(ServiceError::CellsFailed {
+                figure: self.figure.clone(),
+                failures,
+                total,
+            })
+        }
     }
 
     /// Loads every unit's report from the store and rebuilds the runs,
@@ -711,6 +759,13 @@ pub enum JobTables {
 /// (a stale-reclaimer would hand the same task to a second worker).
 pub const MAX_HEARTBEAT_FAILURES: u32 = 3;
 
+/// Execution attempts a task gets before [`drain_queue`] quarantines
+/// it as exhausted ([`crate::queue::JobQueue::quarantine_exhausted`])
+/// instead of claiming it again — the circuit breaker that keeps a
+/// deterministically-failing task (a cell that always panics, a
+/// runaway cell the watchdog always kills) from being retried forever.
+pub const MAX_ATTEMPTS: u64 = 3;
+
 /// What one [`drain_queue`] pass did — the worker-side half of a
 /// [`FabricHealth`] summary.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -721,6 +776,12 @@ pub struct DrainReport {
     pub executed: usize,
     /// Stale leases requeued before claiming.
     pub reclaimed: usize,
+    /// Tasks quarantined as exhausted (claimed more than the attempt
+    /// budget allows).
+    pub exhausted: usize,
+    /// Cell failures (panics, build errors, watchdog aborts) recorded
+    /// across released tasks.
+    pub cell_failures: u64,
     /// Transient queue errors absorbed by retry.
     pub retries: u64,
     /// Lease heartbeats that failed (not necessarily fatal).
@@ -739,17 +800,26 @@ pub struct DrainReport {
 /// [`DrainReport::released`] set, instead of racing a reclaimer for
 /// ownership. `log` receives one line per notable event.
 ///
+/// A task that degrades ([`ServiceError::CellsFailed`]) is released
+/// back to `pending/` and the drain continues: completed cells are
+/// already in the store, so the retry only re-simulates the failed
+/// ones. The queue counts attempts per task; a claim whose lease shows
+/// more than `max_attempts` attempts is quarantined as exhausted
+/// instead of executed, which guarantees the loop terminates even for
+/// a task that fails deterministically.
+///
 /// # Errors
 ///
 /// [`ServiceError::Queue`] once an operation exhausts its retry
-/// budget; execution failures as [`SweepJob::execute_shard`]. The
-/// failed task is released back to `pending/` on a best-effort basis
-/// first.
+/// budget; non-degradation execution failures as
+/// [`SweepJob::execute_shard`]. The failed task is released back to
+/// `pending/` on a best-effort basis first.
 pub fn drain_queue(
     queue: &JobQueue,
     runner: &SweepRunner,
     worker: &str,
     max_age: Duration,
+    max_attempts: u64,
     backoff: &Backoff,
     mut log: impl FnMut(&str),
 ) -> Result<DrainReport, ServiceError> {
@@ -775,12 +845,23 @@ pub fn drain_queue(
             continue;
         };
         empty_checks = 0;
+        if lease.attempts > max_attempts {
+            backoff.retry(&mut rep.retries, || queue.try_quarantine_exhausted(&lease))?;
+            rep.exhausted += 1;
+            log(&format!(
+                "quarantined {} as exhausted (attempt {} > budget {max_attempts})",
+                lease.id(),
+                lease.attempts
+            ));
+            continue;
+        }
         let task = lease.task.clone();
         log(&format!(
-            "claimed {} ({} shard {})",
+            "claimed {} ({} shard {}, attempt {})",
             lease.id(),
             task.job.figure,
-            task.shard
+            task.shard,
+            lease.attempts
         ));
         let mut consecutive_hb = 0u32;
         let mut hb_failures = 0u64;
@@ -818,6 +899,25 @@ pub fn drain_queue(
                 ));
                 break;
             }
+            Err(ServiceError::CellsFailed {
+                failures, total, ..
+            }) => {
+                // The task degraded but did not die: completed cells
+                // are in the store, so release it for a retry that
+                // only re-simulates the failed cells. Attempt counting
+                // bounds the retries — an always-failing task is
+                // quarantined once its claim count exceeds the budget.
+                backoff.retry(&mut rep.retries, || queue.try_release(&lease))?;
+                rep.cell_failures += failures.len() as u64;
+                log(&format!(
+                    "released {}: {} of {total} cell(s) failed ({})",
+                    lease.id(),
+                    failures.len(),
+                    failures
+                        .first()
+                        .map_or_else(String::new, ToString::to_string)
+                ));
+            }
             Err(e) => {
                 // Give the task back so another worker can try it; the
                 // execution error is the one worth reporting.
@@ -845,11 +945,13 @@ pub fn fabric_health(
     }
     if let Some(queue) = queue {
         health.poisoned_tasks = queue.poisoned().unwrap_or(0) as u64;
+        health.exhausted_tasks = queue.exhausted().unwrap_or(0) as u64;
     }
     if let Some(drain) = drain {
         health.retries += drain.retries;
         health.reclaimed_leases = drain.reclaimed as u64;
         health.heartbeat_failures = drain.heartbeat_failures;
+        health.cell_failures = drain.cell_failures;
     }
     health
 }
@@ -943,6 +1045,65 @@ mod tests {
             SweepJob::new("fig99", quick(), 1, SeedPolicy::SpecSeed),
             Err(ServiceError::UnknownFigure(_))
         ));
+    }
+
+    #[test]
+    fn failing_tasks_are_retried_then_quarantined_as_exhausted() {
+        use crate::queue::{Task, MIN_STALE_AGE};
+
+        let dir = std::env::temp_dir().join(format!("a4-service-exhaust-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let queue = JobQueue::open(&dir).unwrap();
+        let job = SweepJob::new("fig4", quick(), 1, SeedPolicy::SpecSeed).unwrap();
+        // A single-unit shard keeps the test fast: every attempt
+        // simulates one logical second before the watchdog trips.
+        let cells = job.units().unwrap().len() as u64;
+        let task = Task {
+            job,
+            shard: Shard::new(0, cells),
+        };
+        queue.enqueue(&task).unwrap();
+
+        // A 1-quantum budget makes every cell a "runaway": each
+        // execution degrades with a watchdog CellFailure, the task is
+        // released for retry, and the third claim exceeds the budget
+        // of 2 attempts and quarantines it — all in one drain pass.
+        let runner = SweepRunner::serial()
+            .with_cache(ResultCache::new(&dir))
+            .with_quantum_budget(1);
+        let mut lines = Vec::new();
+        let rep = drain_queue(
+            &queue,
+            &runner,
+            "w1",
+            MIN_STALE_AGE,
+            2,
+            &Backoff::fabric(),
+            |line| lines.push(line.to_string()),
+        )
+        .expect("a deterministically-failing task must not error the drain");
+
+        assert_eq!(rep.tasks, 0, "the task never completed");
+        assert_eq!(rep.cell_failures, 2, "one failed cell per attempt");
+        assert_eq!(rep.exhausted, 1, "quarantined on the third claim");
+        assert_eq!(queue.exhausted().unwrap(), 1);
+        assert_eq!(queue.poisoned().unwrap(), 0, "not a parse-poison");
+        let (pending, leased, done) = queue.counts().unwrap();
+        assert_eq!((pending, leased, done), (0, 0, 0), "out of circulation");
+        assert!(
+            lines.iter().any(|l| l.contains("watchdog")),
+            "failure class surfaces in the log: {lines:?}"
+        );
+
+        let health = fabric_health(runner.cache(), Some(&queue), Some(&rep));
+        assert_eq!(health.exhausted_tasks, 1);
+        assert_eq!(health.cell_failures, 2);
+        let line = health.to_string();
+        assert!(
+            line.contains("exhausted-tasks=1") && line.contains("cell-failures=2"),
+            "fabric-health line tallies execution quarantine: {line}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

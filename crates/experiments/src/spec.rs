@@ -16,14 +16,14 @@
 
 use a4_core::{
     A4Config, A4Controller, DefaultPolicy, FeatureLevel, Harness, IsolatePolicy, LlcPolicy,
-    RunReport, Thresholds,
+    RunAborted, RunReport, RunSupervisor, Thresholds,
 };
 use a4_model::{
     A4Error, Bytes, ClosId, CoreId, DeviceId, LineAddr, PortId, Priority, Result, WayMask,
     WorkloadId,
 };
 use a4_pcie::{NicConfig, NvmeConfig};
-use a4_sim::{LatencyKind, System, SystemConfig, Workload};
+use a4_sim::{LatencyKind, MonitorSample, System, SystemConfig, Workload};
 use a4_workloads::{scale, Dpdk, Fastclick, Ffsb, Fio, Redis, RedisRole, SpecCpu, XMem};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -1157,6 +1157,39 @@ impl Scenario {
             devices: self.devices,
             missing: false,
         }
+    }
+
+    /// The supervised variant of [`Scenario::run`]: covers seconds
+    /// `start_second..warmup + measure` with `samples` already recorded
+    /// (pass `0` and `Vec::new()` for a fresh run; the resume values
+    /// come from a restored [`crate::supervise::CellCkpt`]) and lets
+    /// `supervisor` checkpoint or abort the run after each logical
+    /// second. An uninterrupted supervised run is bit-identical to
+    /// [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the supervisor's [`RunAborted`] if it stops the run.
+    pub fn run_supervised(
+        mut self,
+        start_second: u64,
+        samples: Vec<MonitorSample>,
+        supervisor: &mut dyn RunSupervisor,
+    ) -> std::result::Result<ScenarioRun, RunAborted> {
+        let report = self.harness.run_supervised(
+            self.opts.warmup,
+            self.opts.measure,
+            start_second,
+            samples,
+            supervisor,
+        )?;
+        Ok(ScenarioRun {
+            name: self.name,
+            report,
+            workloads: self.workloads,
+            devices: self.devices,
+            missing: false,
+        })
     }
 }
 

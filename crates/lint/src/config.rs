@@ -100,9 +100,19 @@ pub fn rules_for(rel: &str) -> &'static [RuleId] {
 
 /// The struct-mirror audits, keyed by workspace-relative file.
 ///
-/// `stats.rs` is the one place where a struct's fields must be
-/// replicated by hand across accumulate/diff/merge paths; see
-/// [`crate::mirror`] for the bug class.
+/// Two field-roll-call families:
+///
+/// * `stats.rs` — a struct's fields must be replicated by hand across
+///   accumulate/diff/merge paths; see [`crate::mirror`] for the bug
+///   class.
+/// * checkpoint pairs — every mutable field of a checkpointed component
+///   must be named in both its `save_state` and `restore_state` (a
+///   field that is rebuilt by the constructor is named in the
+///   `_rebuilt_by_constructor` roll-call tuple instead). Adding a field
+///   to a simulated component without serializing it would make a
+///   restored run silently diverge from the uninterrupted one — the
+///   exact bug the bit-identical-resume property test exists to catch,
+///   except the lint catches it before any test runs.
 pub fn workspace_mirrors() -> &'static [(&'static str, &'static [MirrorSpec])] {
     const STATS: &[MirrorSpec] = &[
         MirrorSpec {
@@ -125,7 +135,66 @@ pub fn workspace_mirrors() -> &'static [(&'static str, &'static [MirrorSpec])] {
             ],
         },
     ];
-    &[("crates/cache/src/stats.rs", STATS)]
+    const MLC_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "Mlc",
+        mirrors: &[("Mlc", "save_state"), ("Mlc", "restore_state")],
+    }];
+    const LLC_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "Llc",
+        mirrors: &[("Llc", "save_state"), ("Llc", "restore_state")],
+    }];
+    const HIERARCHY_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "CacheHierarchy",
+        mirrors: &[
+            ("CacheHierarchy", "save_state"),
+            ("CacheHierarchy", "restore_state"),
+        ],
+    }];
+    const ROUTE_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "UpiLink",
+        mirrors: &[("UpiLink", "save_state"), ("UpiLink", "restore_state")],
+    }];
+    const NIC_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "NicModel",
+        mirrors: &[("NicModel", "save_state"), ("NicModel", "restore_state")],
+    }];
+    const NVME_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "NvmeModel",
+        mirrors: &[("NvmeModel", "save_state"), ("NvmeModel", "restore_state")],
+    }];
+    const MEM_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "MemoryController",
+        mirrors: &[
+            ("MemoryController", "save_state"),
+            ("MemoryController", "restore_state"),
+        ],
+    }];
+    // `DeviceModel` is an enum (out of the struct roll call's reach);
+    // its save/restore is exercised through `System`, whose own spec
+    // covers the `devices` field.
+    const SYSTEM_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "System",
+        mirrors: &[("System", "save_state"), ("System", "restore_state")],
+    }];
+    const CONTROLLER_CKPT: &[MirrorSpec] = &[MirrorSpec {
+        struct_name: "A4Controller",
+        mirrors: &[
+            ("A4Controller", "save_ckpt"),
+            ("A4Controller", "restore_ckpt"),
+        ],
+    }];
+    &[
+        ("crates/cache/src/stats.rs", STATS),
+        ("crates/cache/src/mlc.rs", MLC_CKPT),
+        ("crates/cache/src/llc.rs", LLC_CKPT),
+        ("crates/cache/src/hierarchy.rs", HIERARCHY_CKPT),
+        ("crates/cache/src/route.rs", ROUTE_CKPT),
+        ("crates/pcie/src/nic.rs", NIC_CKPT),
+        ("crates/pcie/src/nvme.rs", NVME_CKPT),
+        ("crates/mem/src/lib.rs", MEM_CKPT),
+        ("crates/sim/src/system.rs", SYSTEM_CKPT),
+        ("crates/core/src/controller.rs", CONTROLLER_CKPT),
+    ]
 }
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
@@ -236,6 +305,57 @@ mod tests {
         assert_eq!(rules_for("crates/experiments/src/runner.rs"), COUNTER_RULES);
         assert_eq!(rules_for("src/lib.rs"), COUNTER_RULES);
         assert!(rules_for("crates/compat/serde/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn checkpoint_mirror_specs_resolve_and_pass_on_the_real_tree() {
+        // Every registered (file, spec) pair must resolve against the
+        // actual workspace source and be clean: a rename that breaks a
+        // spec or a field that slips out of a save/restore roll call
+        // fails here, not just in the --workspace binary run.
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("lint crate lives inside the workspace");
+        for &(file, specs) in workspace_mirrors() {
+            let src = fs::read_to_string(root.join(file))
+                .unwrap_or_else(|e| panic!("mirror file {file} unreadable: {e}"));
+            let findings = check_mirrors(file, &src, specs);
+            assert!(findings.is_empty(), "{file}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn forgetting_a_field_in_a_checkpoint_pair_is_a_lint_failure() {
+        // The checkpoint idiom: constructor-rebuilt fields are named in
+        // a `_rebuilt_by_constructor` roll-call tuple, mutable fields
+        // field-by-field. Dropping `live` from restore_state must be
+        // caught — that is a restored run silently diverging.
+        let src = "
+            pub struct Mlc { geometry: u64, sets: Vec<u64>, live: u64 }
+            impl Mlc {
+                pub fn save_state(&self) -> MlcState {
+                    let _rebuilt_by_constructor = &self.geometry;
+                    MlcState { sets: self.sets.clone(), live: self.live }
+                }
+                pub fn restore_state(&mut self, st: &MlcState) -> bool {
+                    let _rebuilt_by_constructor = &self.geometry;
+                    self.sets = st.sets.clone();
+                    true
+                }
+            }
+        ";
+        let specs = workspace_mirrors()
+            .iter()
+            .find(|(file, _)| *file == "crates/cache/src/mlc.rs")
+            .map(|(_, specs)| *specs)
+            .expect("mlc checkpoint spec registered");
+        let findings = check_mirrors("crates/cache/src/mlc.rs", src, specs);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("`Mlc::restore_state`")
+                && findings[0].message.contains("`live`"),
+            "{}",
+            findings[0].message
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ const RANGES: usize = 40;
 /// assert!((960..=1024).contains(&p99), "p99 was {p99}");
 /// assert!((h.mean() - 500.5).abs() < 20.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

@@ -32,7 +32,7 @@ pub struct PortState {
 /// assert!(root.dca_enabled(DeviceId(0)), "the NIC keeps its fast path");
 /// # Ok::<(), a4_model::A4Error>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PcieRoot {
     ports: Vec<PortState>,
 }

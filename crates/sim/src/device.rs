@@ -2,7 +2,8 @@
 
 use a4_cache::DmaRouter;
 use a4_model::{DeviceId, SimTime, WorkloadId};
-use a4_pcie::{NicModel, NvmeModel};
+use a4_pcie::{NicModel, NicState, NvmeModel, NvmeState};
+use serde::{Deserialize, Serialize};
 
 /// A PCIe device attached to the system.
 #[derive(Debug, Clone)]
@@ -11,6 +12,15 @@ pub enum DeviceModel {
     Nic(NicModel),
     /// An NVMe SSD (or RAID-0 array).
     Nvme(NvmeModel),
+}
+
+/// Serializable snapshot of one [`DeviceModel`]'s mutable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeviceState {
+    /// NIC snapshot.
+    Nic(NicState),
+    /// NVMe snapshot.
+    Nvme(NvmeState),
 }
 
 impl DeviceModel {
@@ -67,6 +77,24 @@ impl DeviceModel {
         match self {
             DeviceModel::Nvme(ssd) => Some(ssd),
             DeviceModel::Nic(_) => None,
+        }
+    }
+
+    /// Snapshots the device's mutable state for a checkpoint.
+    pub fn save_state(&self) -> DeviceState {
+        match self {
+            DeviceModel::Nic(nic) => DeviceState::Nic(nic.save_state()),
+            DeviceModel::Nvme(ssd) => DeviceState::Nvme(ssd.save_state()),
+        }
+    }
+
+    /// Restores a [`DeviceModel::save_state`] snapshot. Returns `false`
+    /// if the snapshot's device class or shape does not match.
+    pub fn restore_state(&mut self, st: &DeviceState) -> bool {
+        match (self, st) {
+            (DeviceModel::Nic(nic), DeviceState::Nic(s)) => nic.restore_state(s),
+            (DeviceModel::Nvme(ssd), DeviceState::Nvme(s)) => ssd.restore_state(s),
+            _ => false,
         }
     }
 }

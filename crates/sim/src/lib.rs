@@ -48,10 +48,10 @@ mod workload;
 
 pub use config::{LatencyModel, SystemConfig};
 pub use ctx::CoreCtx;
-pub use device::DeviceModel;
+pub use device::{DeviceModel, DeviceState};
 pub use perf::{LatencyKind, WorkloadPerf};
 pub use sample::{DeviceSample, LatencyStat, MonitorSample, WorkloadSample};
-pub use system::System;
+pub use system::{SlotState, System, SystemState, SYSTEM_CKPT_VERSION};
 pub use workload::{Workload, WorkloadInfo};
 
 pub use a4_cache::CoreAccessLevel;

@@ -47,7 +47,7 @@ const KINDS: usize = 8;
 /// perf.record_latency(LatencyKind::NetTotal, 1_000);
 /// assert_eq!(perf.histogram(LatencyKind::NetTotal).count(), 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadPerf {
     instructions: u64,
     cycles: f64,

@@ -2,12 +2,14 @@
 
 use crate::config::SystemConfig;
 use crate::ctx::CoreCtx;
-use crate::device::DeviceModel;
+use crate::device::{DeviceModel, DeviceState};
 use crate::perf::WorkloadPerf;
 use crate::sample::{DeviceSample, MonitorSample, WorkloadSample};
 use crate::workload::Workload;
-use a4_cache::{CacheHierarchy, DmaRouter, HierarchyStats, UpiLink, WorkloadCounters};
-use a4_mem::MemoryController;
+use a4_cache::{
+    CacheHierarchy, CacheHierarchyState, DmaRouter, HierarchyStats, UpiLink, WorkloadCounters,
+};
+use a4_mem::{MemControllerState, MemoryController};
 use a4_model::{
     A4Error, Bytes, ClosId, CoreId, DeviceClass, DeviceId, LineAddr, PortId, Priority, Result,
     SimTime, WayMask, WorkloadId,
@@ -15,7 +17,13 @@ use a4_model::{
 use a4_pcie::{NicConfig, NicModel, NvmeConfig, NvmeModel, PcieRoot};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Version tag of the [`SystemState`] snapshot encoding. Bump whenever a
+/// checkpointed struct gains, loses, or re-encodes a field; restore
+/// rejects snapshots from any other version as stale.
+pub const SYSTEM_CKPT_VERSION: u32 = 1;
 
 #[derive(Debug)]
 struct Slot {
@@ -661,6 +669,12 @@ impl System {
         self.logical_seconds
     }
 
+    /// Count of completed quanta since construction (survives
+    /// checkpoint/restore — the watchdog's budget currency).
+    pub fn quantum_count(&self) -> u64 {
+        self.quantum_count
+    }
+
     // ---- monitoring --------------------------------------------------------
 
     /// Drains the current monitoring interval into a [`MonitorSample`] and
@@ -795,6 +809,208 @@ impl System {
         self.interval_start = self.now;
         sample
     }
+
+    // ---- checkpointing -----------------------------------------------------
+
+    /// Snapshots the complete mutable simulation state for a checkpoint.
+    ///
+    /// Restoring the snapshot into a process-equivalent system (same
+    /// [`SystemConfig`], same attach/registration history) and continuing
+    /// is bit-identical to never having stopped. Not captured, because
+    /// they are scratch or derived: `sample_deltas`/`sample_merged`
+    /// (overwritten before every use), `device_owners` (recomputed from
+    /// the slots on demand), `cfg` and `device_sockets` (structural —
+    /// reproduced by rebuilding from the same spec).
+    pub fn save_state(&self) -> SystemState {
+        let _scratch_or_structural = (
+            &self.cfg,
+            &self.device_sockets,
+            &self.sample_deltas,
+            &self.sample_merged,
+            &self.device_owners,
+            &self.device_owners_stale,
+        );
+        SystemState {
+            version: SYSTEM_CKPT_VERSION,
+            socks: self.socks.iter().map(CacheHierarchy::save_state).collect(),
+            upi: self.upi.save_state(),
+            mem: self.mem.save_state(),
+            root: self.root.clone(),
+            devices: self.devices.iter().map(DeviceModel::save_state).collect(),
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotState {
+                    wl_state: s.wl.ckpt_state(),
+                    perf: s.perf.clone(),
+                    active: s.active,
+                })
+                .collect(),
+            now: self.now,
+            quantum_count: self.quantum_count,
+            rng: self.rng.state().to_vec(),
+            alloc_cursors: self.alloc_cursors.clone(),
+            quantum_totals: self.quantum_totals.clone(),
+            sample_snapshots: self.sample_snapshots.clone(),
+            dev_snapshots: self
+                .dev_snapshots
+                .iter()
+                .map(|d| (d.delivered, d.dropped))
+                .collect(),
+            interval_mem_read: self.interval_mem_read,
+            interval_mem_written: self.interval_mem_written,
+            interval_start: self.interval_start,
+            logical_seconds: self.logical_seconds,
+        }
+    }
+
+    /// Restores a [`System::save_state`] snapshot into this system.
+    ///
+    /// The system must be process-equivalent to the one that saved the
+    /// snapshot: built from the same [`SystemConfig`] with the same
+    /// devices attached and workloads registered, in the same order.
+    /// Returns `false` — leaving this system in its pre-call state — if
+    /// the snapshot's version or shape does not match; every nested
+    /// component is dry-run against a copy before anything is committed.
+    pub fn restore_state(&mut self, st: &SystemState) -> bool {
+        let _scratch_or_structural = (
+            &self.cfg,
+            &self.device_sockets,
+            &self.sample_deltas,
+            &self.sample_merged,
+            &self.device_owners,
+            &self.device_owners_stale,
+        );
+        if st.version != SYSTEM_CKPT_VERSION
+            || st.socks.len() != self.socks.len()
+            || st.devices.len() != self.devices.len()
+            || st.slots.len() != self.slots.len()
+            || st.rng.len() != 4
+            || st.alloc_cursors.len() != self.alloc_cursors.len()
+            || st.quantum_totals.len() != self.quantum_totals.len()
+            || st.sample_snapshots.len() != self.sample_snapshots.len()
+            || st.dev_snapshots.len() != self.dev_snapshots.len()
+            || st.root.ports() != self.root.ports()
+        {
+            return false;
+        }
+        // Dry-run every nested restore against clones so a mid-restore
+        // mismatch cannot leave the system half-updated.
+        let mut socks = self.socks.clone();
+        if socks
+            .iter_mut()
+            .zip(&st.socks)
+            .any(|(hier, s)| !hier.restore_state(s))
+        {
+            return false;
+        }
+        let mut devices = self.devices.clone();
+        if devices
+            .iter_mut()
+            .zip(&st.devices)
+            .any(|(dev, s)| !dev.restore_state(s))
+        {
+            return false;
+        }
+        // Workload engines cannot be cloned (trait objects), so their
+        // encodings are validated by a parse-only restore onto the live
+        // engine — every engine's `restore_ckpt` either fully applies a
+        // recognized encoding or rejects without mutating.
+        if self
+            .slots
+            .iter_mut()
+            .zip(&st.slots)
+            .any(|(slot, s)| !slot.wl.restore_ckpt(&s.wl_state))
+        {
+            return false;
+        }
+        self.socks = socks;
+        self.devices = devices;
+        for (slot, s) in self.slots.iter_mut().zip(&st.slots) {
+            slot.perf = s.perf.clone();
+            slot.active = s.active;
+        }
+        self.upi.restore_state(st.upi);
+        self.mem.restore_state(&st.mem);
+        self.root = st.root.clone();
+        self.now = st.now;
+        self.quantum_count = st.quantum_count;
+        self.rng = SmallRng::from_state([st.rng[0], st.rng[1], st.rng[2], st.rng[3]]);
+        self.alloc_cursors = st.alloc_cursors.clone();
+        self.quantum_totals = st.quantum_totals.clone();
+        self.sample_snapshots = st.sample_snapshots.clone();
+        self.dev_snapshots = st
+            .dev_snapshots
+            .iter()
+            .map(|&(delivered, dropped)| DevSnapshot { delivered, dropped })
+            .collect();
+        self.interval_mem_read = st.interval_mem_read;
+        self.interval_mem_written = st.interval_mem_written;
+        self.interval_start = st.interval_start;
+        self.logical_seconds = st.logical_seconds;
+        // Derived state: recompute lazily from the restored slots.
+        self.device_owners_stale = true;
+        true
+    }
+}
+
+/// Serializable snapshot of one workload slot's mutable state (see
+/// [`System::save_state`]). The engine itself is rebuilt from the
+/// scenario spec; only its [`Workload::ckpt_state`] words, accumulated
+/// perf counters and activity flag travel in the checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotState {
+    /// Engine-defined state encoding ([`Workload::ckpt_state`]).
+    pub wl_state: Vec<u64>,
+    /// Accumulated performance counters.
+    pub perf: WorkloadPerf,
+    /// Whether the workload is active.
+    pub active: bool,
+}
+
+/// Serializable snapshot of the complete mutable [`System`] state.
+///
+/// Restore-and-continue from this snapshot is bit-identical to an
+/// uninterrupted run: same [`HierarchyStats`], same samples, same RNG
+/// stream, same rendered tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemState {
+    /// Snapshot encoding version ([`SYSTEM_CKPT_VERSION`]).
+    pub version: u32,
+    /// Per-socket cache hierarchy snapshots.
+    pub socks: Vec<CacheHierarchyState>,
+    /// UPI link traffic counters as `(read_lines, write_lines)`.
+    pub upi: (u64, u64),
+    /// Memory controller snapshot.
+    pub mem: MemControllerState,
+    /// PCIe root complex (port registers and attachments).
+    pub root: PcieRoot,
+    /// Per-device snapshots, in attach order.
+    pub devices: Vec<DeviceState>,
+    /// Per-workload slot snapshots, in registration order.
+    pub slots: Vec<SlotState>,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Completed quanta.
+    pub quantum_count: u64,
+    /// System RNG state (xoshiro256++, always 4 words).
+    pub rng: Vec<u64>,
+    /// Per-socket buffer allocation cursors.
+    pub alloc_cursors: Vec<u64>,
+    /// Per-socket per-quantum memory-traffic snapshots.
+    pub quantum_totals: Vec<WorkloadCounters>,
+    /// Per-socket sampling-cadence stat snapshots.
+    pub sample_snapshots: Vec<HierarchyStats>,
+    /// Per-device `(delivered, dropped)` sampling snapshots.
+    pub dev_snapshots: Vec<(u64, u64)>,
+    /// Memory bytes read in the open monitoring interval.
+    pub interval_mem_read: Bytes,
+    /// Memory bytes written in the open monitoring interval.
+    pub interval_mem_written: Bytes,
+    /// Start time of the open monitoring interval.
+    pub interval_start: SimTime,
+    /// Completed logical seconds.
+    pub logical_seconds: u64,
 }
 
 #[cfg(test)]
@@ -823,6 +1039,18 @@ mod tests {
                 ctx.read(self.base.offset(self.cursor % self.lines));
                 self.cursor += 1;
                 ctx.compute(5.0, 5);
+            }
+        }
+        fn ckpt_state(&self) -> Vec<u64> {
+            vec![self.cursor]
+        }
+        fn restore_ckpt(&mut self, state: &[u64]) -> bool {
+            match state {
+                [cursor] => {
+                    self.cursor = *cursor;
+                    true
+                }
+                _ => false,
             }
         }
     }
@@ -1079,6 +1307,89 @@ mod tests {
         assert!(s
             .attach_nic_on(2, PortId(1), NicConfig::connectx6_100g(1, 8, 64))
             .is_err());
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bit_identically() {
+        let build = || {
+            let mut s = sys();
+            let nic = s
+                .attach_nic(PortId(0), NicConfig::connectx6_100g(1, 8, 64))
+                .unwrap();
+            let _ = nic;
+            let base = s.alloc_lines(256);
+            s.add_workload(
+                Box::new(Streamer {
+                    base,
+                    lines: 256,
+                    cursor: 0,
+                }),
+                vec![CoreId(0)],
+                Priority::High,
+            )
+            .unwrap();
+            s
+        };
+        // Reference: run 5 quanta straight through.
+        let mut reference = build();
+        reference.run_quanta(5);
+        let ref_sample = reference.sample();
+        let ref_probe = reference.rng_probe();
+
+        // Checkpoint after 2 quanta and round-trip the snapshot through
+        // JSON; scramble well past the checkpoint, rewind to it, and the
+        // continuation must replay the reference run exactly.
+        let mut first = build();
+        first.run_quanta(2);
+        let st = first.save_state();
+        let json = serde_json::to_string(&st).unwrap();
+        let parsed: SystemState = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, st, "snapshot survives a JSON round-trip");
+        first.run_quanta(100); // scramble past the checkpoint...
+        assert!(first.restore_state(&parsed), "...and rewind to it");
+        first.run_quanta(3);
+        let sample = first.sample();
+        assert_eq!(
+            serde_json::to_string(&sample).unwrap(),
+            serde_json::to_string(&ref_sample).unwrap(),
+            "restore-and-continue must be bit-identical"
+        );
+        assert_eq!(first.rng_probe(), ref_probe);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes_untouched() {
+        let mut s = sys();
+        let base = s.alloc_lines(16);
+        s.add_workload(
+            Box::new(Streamer {
+                base,
+                lines: 16,
+                cursor: 0,
+            }),
+            vec![CoreId(0)],
+            Priority::High,
+        )
+        .unwrap();
+        s.run_quanta(3);
+        let good = s.save_state();
+        let probe = s.rng_probe();
+
+        let mut wrong_version = good.clone();
+        wrong_version.version = SYSTEM_CKPT_VERSION + 1;
+        assert!(!s.restore_state(&wrong_version));
+
+        let mut wrong_rng = good.clone();
+        wrong_rng.rng.pop();
+        assert!(!s.restore_state(&wrong_rng));
+
+        let mut wrong_socks = good.clone();
+        wrong_socks.socks.clear();
+        assert!(!s.restore_state(&wrong_socks));
+
+        // A failed restore never perturbed the system.
+        assert_eq!(s.rng_probe(), probe);
+        assert!(s.restore_state(&good));
     }
 
     #[test]

@@ -53,6 +53,20 @@ pub trait Workload: std::fmt::Debug + Send {
     /// Notifies the workload of a phase flip (used by phase-change
     /// experiments); default is a no-op.
     fn set_phase(&mut self, _phase: usize) {}
+
+    /// Serializes the engine's mutable state for a checkpoint, as a flat
+    /// word vector (each engine defines its own encoding). Stateless
+    /// engines return the default empty vector.
+    fn ckpt_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores a [`Workload::ckpt_state`] snapshot. Returns `false` if
+    /// the encoding is not recognized (corrupt or mismatched checkpoint).
+    /// The stateless default accepts only the empty encoding.
+    fn restore_ckpt(&mut self, state: &[u64]) -> bool {
+        state.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -109,6 +109,20 @@ impl Workload for Dpdk {
             self.packets += 1;
         }
     }
+
+    fn ckpt_state(&self) -> Vec<u64> {
+        vec![self.packets]
+    }
+
+    fn restore_ckpt(&mut self, state: &[u64]) -> bool {
+        match state {
+            [packets] => {
+                self.packets = *packets;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

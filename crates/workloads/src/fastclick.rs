@@ -88,6 +88,20 @@ impl Workload for Fastclick {
             self.forwarded += 1;
         }
     }
+
+    fn ckpt_state(&self) -> Vec<u64> {
+        vec![self.forwarded]
+    }
+
+    fn restore_ckpt(&mut self, state: &[u64]) -> bool {
+        match state {
+            [forwarded] => {
+                self.forwarded = *forwarded;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -135,6 +135,42 @@ impl Workload for Ffsb {
             );
         }
     }
+
+    /// Encoding: the read engine's words, then `[reads_since_write,
+    /// write_submits.len(), write submit nanos...]`.
+    fn ckpt_state(&self) -> Vec<u64> {
+        let mut words = self.engine.ckpt_state();
+        words.push(self.reads_since_write);
+        words.push(self.write_submits.len() as u64);
+        words.extend(self.write_submits.iter().map(|t| t.as_nanos()));
+        words
+    }
+
+    fn restore_ckpt(&mut self, state: &[u64]) -> bool {
+        // The engine prefix has a self-describing length: fixed header
+        // plus its free list and submit stamps.
+        let slots = self.engine.queue_depth();
+        let Some(&free_len) = state.get(2) else {
+            return false;
+        };
+        let engine_len = 3 + free_len as usize + slots;
+        if state.len() < engine_len + 2 {
+            return false;
+        }
+        let (engine_words, rest) = state.split_at(engine_len);
+        let [reads_since_write, write_len, stamps @ ..] = rest else {
+            return false;
+        };
+        if stamps.len() != *write_len as usize || !self.engine.restore_ckpt(engine_words) {
+            return false;
+        }
+        self.reads_since_write = *reads_since_write;
+        self.write_submits = stamps
+            .iter()
+            .map(|&ns| a4_model::SimTime::from_nanos(ns))
+            .collect();
+        true
+    }
 }
 
 #[cfg(test)]

@@ -212,6 +212,42 @@ impl Workload for Fio {
             self.blocks_done += 1;
         }
     }
+
+    /// Encoding: `[blocks_done, outstanding, free_len, free_slots...,
+    /// submitted_at nanos...]` with `submitted_at` always `queue_depth`
+    /// entries.
+    fn ckpt_state(&self) -> Vec<u64> {
+        let mut words = vec![
+            self.blocks_done,
+            self.outstanding as u64,
+            self.free_slots.len() as u64,
+        ];
+        words.extend(self.free_slots.iter().map(|&s| s as u64));
+        words.extend(self.submitted_at.iter().map(|t| t.as_nanos()));
+        words
+    }
+
+    fn restore_ckpt(&mut self, state: &[u64]) -> bool {
+        let slots = self.queue_depth();
+        let [blocks_done, outstanding, free_len, rest @ ..] = state else {
+            return false;
+        };
+        let free_len = *free_len as usize;
+        if *outstanding as usize + free_len != slots
+            || rest.len() != free_len + slots
+            || rest[..free_len].iter().any(|&s| s as usize >= slots)
+        {
+            return false;
+        }
+        self.blocks_done = *blocks_done;
+        self.outstanding = *outstanding as usize;
+        self.free_slots = rest[..free_len].iter().map(|&s| s as usize).collect();
+        self.submitted_at = rest[free_len..]
+            .iter()
+            .map(|&ns| SimTime::from_nanos(ns))
+            .collect();
+        true
+    }
 }
 
 #[cfg(test)]

@@ -238,6 +238,22 @@ impl Workload for SpecCpu {
             ctx.add_ops(1);
         }
     }
+
+    /// Encoding: `[cursor, run_left]`.
+    fn ckpt_state(&self) -> Vec<u64> {
+        vec![self.cursor, self.run_left]
+    }
+
+    fn restore_ckpt(&mut self, state: &[u64]) -> bool {
+        match state {
+            [cursor, run_left] => {
+                self.cursor = *cursor;
+                self.run_left = *run_left;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -169,6 +169,23 @@ impl Workload for XMem {
             }
         }
     }
+
+    /// Encoding: `[cursor, ws_lines]` — `ws_lines` is mutable state
+    /// because [`Workload::set_phase`] rescales it.
+    fn ckpt_state(&self) -> Vec<u64> {
+        vec![self.cursor, self.ws_lines]
+    }
+
+    fn restore_ckpt(&mut self, state: &[u64]) -> bool {
+        match state {
+            [cursor, ws_lines] if *ws_lines > 0 => {
+                self.cursor = *cursor;
+                self.ws_lines = *ws_lines;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
