@@ -69,5 +69,7 @@ pub use llc::{
 };
 pub use meta::LineMeta;
 pub use mlc::{EvictedMlcLine, Mlc, MlcSetBlockState, MlcState};
-pub use route::{DmaRouter, UpiLink};
+pub use route::{
+    DmaRouter, RemoteCache, RemoteCacheState, UpiFabric, UpiLink, UpiLinkState, UpiTopology,
+};
 pub use stats::{DeviceCounters, HierarchyStats, WorkloadCounters};

@@ -164,6 +164,47 @@ impl RunReport {
     pub fn mem_write_gbps(&self) -> f64 {
         mean(self.samples.iter().map(|s| s.mem_write_gbps()))
     }
+
+    /// Total bytes pulled across one specific UPI link (socket pair
+    /// `a`↔`b`, order-insensitive) over the window — per-link, so a
+    /// crossing is attributable to its pair rather than aliased into a
+    /// fabric-wide aggregate.
+    pub fn upi_link_read_bytes(&self, a: usize, b: usize) -> u64 {
+        self.samples
+            .iter()
+            .filter_map(|s| s.upi_link(a, b))
+            .map(|l| l.read_bytes)
+            .sum()
+    }
+
+    /// Total bytes pushed across one specific UPI link over the window.
+    pub fn upi_link_write_bytes(&self, a: usize, b: usize) -> u64 {
+        self.samples
+            .iter()
+            .filter_map(|s| s.upi_link(a, b))
+            .map(|l| l.write_bytes)
+            .sum()
+    }
+
+    /// Paper-comparable read throughput of one UPI link over the
+    /// window, GB/s.
+    pub fn upi_link_read_gbps(&self, a: usize, b: usize) -> f64 {
+        let secs = self.measured_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.upi_link_read_bytes(a, b) as f64 / secs / 1e9
+    }
+
+    /// Paper-comparable write throughput of one UPI link over the
+    /// window, GB/s.
+    pub fn upi_link_write_gbps(&self, a: usize, b: usize) -> f64 {
+        let secs = self.measured_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.upi_link_write_bytes(a, b) as f64 / secs / 1e9
+    }
 }
 
 fn mean(iter: impl Iterator<Item = f64>) -> f64 {
@@ -455,6 +496,7 @@ mod tests {
                     mem_write_bytes: 0,
                 }],
                 devices: vec![],
+                upi: vec![],
                 mem_read: a4_model::Bytes::ZERO,
                 mem_written: a4_model::Bytes::ZERO,
                 time_dilation: 1000.0,

@@ -20,6 +20,14 @@
 //! Cells are generated from a typed sweep ([`crate::runner::TypedSweep2`]):
 //! the placement and scheme axes carry their values, so `specs()` is the
 //! grid itself rather than a label-to-value re-derivation.
+//!
+//! A second panel — the **saturation ramp** ([`ramp_specs`] /
+//! [`ramp_table`]) — ramps streamer count on a four-socket system whose
+//! UPI links are capacity-limited to [`RAMP_GBPS`]: the local arm's
+//! memory throughput keeps growing with offered load while the remote
+//! arm's (0, 1)-link throughput flattens at the link's capacity. The
+//! paper has no such figure; it exists because the simulator's link
+//! model makes the saturation cliff measurable.
 
 use crate::runner::{SweepRunner, TypedAxis, TypedSweep2};
 use crate::spec::{RunOpts, ScenarioRun, ScenarioSpec, Scheme, SystemTweaks, WorkloadSpec};
@@ -166,6 +174,81 @@ pub fn table(runs: &[ScenarioRun]) -> Table {
     table
 }
 
+/// Per-direction UPI link capacity of the saturation ramp, GB/s. Small
+/// enough that a handful of streamers overruns it.
+pub const RAMP_GBPS: f64 = 1.0;
+
+/// Streamer counts of the ramp's load axis.
+pub const RAMP_STREAMERS: [usize; 4] = [1, 2, 4, 6];
+
+/// One ramp cell: `k` single-core X-Mem streamers on socket 0 of a
+/// four-socket system with [`RAMP_GBPS`] links. The local arm homes
+/// every buffer with its streamer; the remote arm homes them all on
+/// socket 1, so the whole offered load funnels through the (0, 1) link.
+pub fn ramp_spec(opts: &RunOpts, remote: bool, k: usize) -> ScenarioSpec {
+    let arm = if remote { "remote" } else { "local" };
+    let mut spec =
+        ScenarioSpec::new(format!("fig_numa ramp {arm} x{k}"), *opts).with_system(SystemTweaks {
+            sockets: Some(a4_model::MAX_SOCKETS),
+            upi_gbps: Some(RAMP_GBPS),
+            ..SystemTweaks::none()
+        });
+    for i in 0..k {
+        let role = format!("s{i}");
+        let wl = WorkloadSpec::XMem { instance: 1 };
+        let cores = [i as u8];
+        spec = if remote {
+            spec.with_workload_on_homed(0, 1, role, wl, &cores, Priority::High)
+        } else {
+            spec.with_workload_on(0, role, wl, &cores, Priority::High)
+        };
+    }
+    spec
+}
+
+/// All ramp cells: the local arm over [`RAMP_STREAMERS`], then the
+/// remote arm in the same order.
+pub fn ramp_specs(opts: &RunOpts) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for &remote in &[false, true] {
+        for &k in &RAMP_STREAMERS {
+            specs.push(ramp_spec(opts, remote, k));
+        }
+    }
+    specs
+}
+
+/// Renders the ramp from the runs of [`ramp_specs`] (same order): per
+/// streamer count, the local arm's memory read throughput and the
+/// remote arm's memory and (0, 1)-link read throughput. The remote link
+/// column flattening at [`RAMP_GBPS`] while the local column keeps
+/// growing *is* the figure.
+pub fn ramp_table(runs: &[ScenarioRun]) -> Table {
+    let n = RAMP_STREAMERS.len();
+    let mut table = Table::new(
+        "fig_numa_ramp",
+        "UPI saturation ramp (4-socket, 1 GB/s links): read GB/s vs streamers",
+        vec![
+            "local_mem_gbps".to_string(),
+            "remote_mem_gbps".to_string(),
+            "remote_link01_gbps".to_string(),
+        ],
+    );
+    for (i, k) in RAMP_STREAMERS.iter().enumerate() {
+        let local = &runs[i];
+        let remote = &runs[n + i];
+        table.push(
+            format!("x{k}"),
+            vec![
+                local.mem_read_gbps(),
+                remote.mem_read_gbps(),
+                remote.upi_link_read_gbps(0, 1),
+            ],
+        );
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +276,79 @@ mod tests {
             assert_eq!(spec.system.sockets, Some(2));
             spec.validate().expect("static fig_numa cells are valid");
         }
+    }
+
+    #[test]
+    fn ramp_specs_are_valid_and_ordered() {
+        let opts = RunOpts::quick();
+        let specs = ramp_specs(&opts);
+        assert_eq!(specs.len(), 2 * RAMP_STREAMERS.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let arm = if i < RAMP_STREAMERS.len() {
+                "local"
+            } else {
+                "remote"
+            };
+            let k = RAMP_STREAMERS[i % RAMP_STREAMERS.len()];
+            assert_eq!(spec.name, format!("fig_numa ramp {arm} x{k}"));
+            assert_eq!(spec.system.sockets, Some(a4_model::MAX_SOCKETS));
+            assert_eq!(spec.system.upi_gbps, Some(RAMP_GBPS));
+            assert_eq!(spec.workloads.len(), k);
+            for p in &spec.workloads {
+                assert_eq!(p.buffer_home, (arm == "remote").then_some(1));
+            }
+            spec.validate().expect("static ramp cells are valid");
+        }
+    }
+
+    #[test]
+    fn ramp_remote_throughput_flattens_at_link_capacity() {
+        let opts = RunOpts::quick();
+        let runs: Vec<ScenarioRun> = ramp_specs(&opts)
+            .into_iter()
+            .map(|s| s.build().unwrap().run())
+            .collect();
+        let n = RAMP_STREAMERS.len();
+        let local: Vec<f64> = runs[..n].iter().map(|r| r.mem_read_gbps()).collect();
+        let link: Vec<f64> = runs[n..]
+            .iter()
+            .map(|r| r.upi_link_read_gbps(0, 1))
+            .collect();
+
+        // Low offered load: doubling the streamers nearly doubles the
+        // link throughput.
+        assert!(
+            link[1] > link[0] * 1.3,
+            "unsaturated link must scale with load: {link:?}"
+        );
+        // High offered load: throughput flattens at the configured
+        // capacity instead of scaling — x6 gains almost nothing over x4
+        // and never exceeds the link's capacity.
+        assert!(
+            link[3] <= link[2] * 1.25,
+            "remote throughput must flatten: {link:?}"
+        );
+        assert!(
+            link[3] <= RAMP_GBPS * 1.05,
+            "remote throughput exceeded link capacity: {link:?}"
+        );
+        assert!(
+            link[3] >= RAMP_GBPS * 0.4,
+            "saturated link should run near capacity: {link:?}"
+        );
+        // The local arm sees no link and keeps scaling.
+        assert!(
+            local[3] > local[0] * 2.5,
+            "local throughput must keep growing: {local:?}"
+        );
+        assert!(
+            local[3] > link[3] * 2.0,
+            "local must beat the capacity-limited link: local={local:?} link={link:?}"
+        );
+
+        // The rendered table carries the same story.
+        let table = ramp_table(&runs);
+        assert_eq!(table.rows.len(), n);
     }
 
     #[test]

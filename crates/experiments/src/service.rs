@@ -177,10 +177,20 @@ pub fn figures() -> Vec<FigureDef> {
         },
         FigureDef {
             name: "fig_numa",
-            desc: "2-socket NIC/SSD placement: local vs remote, 3 schemes",
+            desc: "NUMA: 2-socket NIC/SSD placement + 4-socket UPI saturation ramp",
             protocol: Protocol::Controller,
-            specs: fig_numa::specs,
-            render: |runs| vec![fig_numa::table(runs)],
+            specs: |o| {
+                let mut s = fig_numa::specs(o);
+                s.extend(fig_numa::ramp_specs(o));
+                s
+            },
+            render: |runs| {
+                let n = fig_numa::grid().sweep().cells().len();
+                vec![
+                    fig_numa::table(&runs[..n]),
+                    fig_numa::ramp_table(&runs[n..]),
+                ]
+            },
         },
     ]
 }

@@ -48,11 +48,16 @@ pub const DEFAULT_CORES_PER_SOCKET: usize = 18;
 /// * **v2** — adds the two-socket NUMA surface. Every v1 spec means the
 ///   same thing under v2 with the new fields at their defaults, so
 ///   [`ScenarioSpec::migrate`] upgrades in place.
+/// * **v3** — matures the NUMA surface: up to
+///   [`a4_model::MAX_SOCKETS`] sockets, the
+///   [`SystemTweaks::upi_gbps`] link-capacity override and
+///   [`Placement::buffer_home`]. All serde-defaulted, so v1/v2 specs
+///   again mean the same thing and `migrate` just stamps the version.
 ///
 /// Bump this (and extend `migrate`) whenever a serialized field is
 /// added, removed, or changes meaning — never reuse a version for two
 /// different layouts.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Run-length options shared by all experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -216,17 +221,26 @@ pub struct SystemTweaks {
     pub dca_ways: Option<usize>,
     /// DDR channel count (default: 6).
     pub mem_channels: Option<usize>,
-    /// Socket count (default 1; the NUMA model covers 2). Each socket
-    /// owns a full hierarchy — cores, MLCs, LLC, DCA ways, CLOS tables —
-    /// and placements address cores globally
-    /// (`socket × cores + local_core`). Absent in v1 dumps.
+    /// Socket count (default 1; the NUMA model covers up to
+    /// [`a4_model::MAX_SOCKETS`]). Each socket owns a full hierarchy —
+    /// cores, MLCs, LLC, DCA ways, CLOS tables — and placements address
+    /// cores globally (`socket × cores + local_core`). Absent in v1
+    /// dumps.
     #[serde(default)]
     pub sockets: Option<usize>,
     /// UPI hop latency override in nanoseconds (default 80). Charged per
-    /// line whenever a core or device touches a buffer homed on the
-    /// other socket. Absent in v1 dumps.
+    /// line whenever a core or device touches a buffer homed on another
+    /// socket. Absent in v1 dumps.
     #[serde(default)]
     pub upi_ns: Option<u64>,
+    /// Per-direction UPI link capacity override in GB/s. `None` (the
+    /// default) keeps the simulator's unthrottled links: remote lines
+    /// cost the fixed hop latency at any offered load. Setting a
+    /// capacity adds per-line serialization and a utilization-driven
+    /// queueing factor, so remote throughput saturates at the link's
+    /// capacity. Absent in v1/v2 dumps.
+    #[serde(default)]
+    pub upi_gbps: Option<f64>,
     /// Per-socket DCA way-count overrides, applied after the global
     /// [`SystemTweaks::dca_ways`] knob. Absent in v1 dumps.
     #[serde(default)]
@@ -242,6 +256,7 @@ impl SystemTweaks {
             mem_channels: None,
             sockets: None,
             upi_ns: None,
+            upi_gbps: None,
             socket_dca_ways: Vec::new(),
         }
     }
@@ -400,6 +415,14 @@ pub struct Placement {
     pub priority: Priority,
     /// Reported performance metric.
     pub metric: Metric,
+    /// Socket the workload's host buffers are allocated on. `None` (the
+    /// default) homes them with the cores; an explicit socket makes the
+    /// workload a *remote* consumer whose every buffer line crosses UPI
+    /// — the knob the saturation experiments turn. Only meaningful for
+    /// workloads that own host buffers (X-Mem, FIO, FFSB, Redis, SPEC);
+    /// rejected for the NIC-ring-only workloads. Absent in v1/v2 dumps.
+    #[serde(default)]
+    pub buffer_home: Option<usize>,
 }
 
 /// A static CAT rule: program `clos` with `mask` and move the listed
@@ -619,6 +642,26 @@ impl ScenarioSpec {
         self.with_workload_metric(role, workload, &cores, priority, metric)
     }
 
+    /// [`ScenarioSpec::with_workload_on`] with the workload's host
+    /// buffers homed on a *different* socket — cores on `socket`, data
+    /// on `buffer_home` — so every buffer line is a remote access.
+    pub fn with_workload_on_homed(
+        mut self,
+        socket: u8,
+        buffer_home: usize,
+        role: impl Into<String>,
+        workload: WorkloadSpec,
+        local_cores: &[u8],
+        priority: Priority,
+    ) -> Self {
+        self = self.with_workload_on(socket, role, workload, local_cores, priority);
+        self.workloads
+            .last_mut()
+            .expect("placement just pushed")
+            .buffer_home = Some(buffer_home);
+        self
+    }
+
     /// Adds a workload placement with an explicit metric.
     pub fn with_workload_metric(
         mut self,
@@ -634,6 +677,7 @@ impl ScenarioSpec {
             cores: cores.to_vec(),
             priority,
             metric,
+            buffer_home: None,
         });
         self
     }
@@ -753,11 +797,12 @@ impl ScenarioSpec {
 
     /// Upgrades a deserialized spec to the current [`SCHEMA_VERSION`].
     ///
-    /// Version 0 (a pre-versioning dump without a `schema` key) and v1
-    /// mean the same thing: the new NUMA fields were absent and their
-    /// `#[serde(default)]` values — one socket, default UPI latency,
-    /// every device on socket 0 — reproduce the v1 semantics exactly, so
-    /// the upgrade is just stamping the current version.
+    /// Version 0 (a pre-versioning dump without a `schema` key), v1 and
+    /// v2 all mean the same thing: every field added since was absent
+    /// and its `#[serde(default)]` value — one socket, default UPI
+    /// latency, unthrottled links, buffers homed with their cores,
+    /// every device on socket 0 — reproduces the older semantics
+    /// exactly, so the upgrade is just stamping the current version.
     ///
     /// # Errors
     ///
@@ -824,10 +869,18 @@ impl ScenarioSpec {
         }
         let sockets = self.system.socket_count();
         let cps = self.system.cores_per_socket();
-        if !(1..=2).contains(&sockets) {
+        if !(1..=a4_model::MAX_SOCKETS).contains(&sockets) {
             return Err(SpecError::Invalid(format!(
-                "sockets override {sockets} unsupported: the NUMA model covers 1- and \
-                 2-socket systems"
+                "sockets override {sockets} unsupported: the NUMA model covers 1 to \
+                 {} sockets",
+                a4_model::MAX_SOCKETS
+            )));
+        }
+        if self.system.upi_gbps.is_some_and(|g| g <= 0.0) {
+            return Err(SpecError::Invalid(format!(
+                "upi_gbps override {:?} must be positive — use None for an \
+                 unthrottled link",
+                self.system.upi_gbps
             )));
         }
         for (i, o) in self.system.socket_dca_ways.iter().enumerate() {
@@ -913,6 +966,27 @@ impl ScenarioSpec {
                     p.role,
                     p.cores.len()
                 )));
+            }
+            if let Some(home) = p.buffer_home {
+                if home >= sockets {
+                    return Err(SpecError::Invalid(format!(
+                        "role {:?} homes its buffers on socket {home} but the system \
+                         has only {sockets} socket(s)",
+                        p.role
+                    )));
+                }
+                if matches!(
+                    p.workload,
+                    WorkloadSpec::Dpdk { .. } | WorkloadSpec::Fastclick { .. }
+                ) {
+                    // These consume device rings, which live with the
+                    // device; there is no host buffer to re-home.
+                    return Err(SpecError::Invalid(format!(
+                        "role {:?} sets buffer_home but its workload owns no host \
+                         buffer — ring placement follows the device's socket",
+                        p.role
+                    )));
+                }
             }
             if let Some(dev) = workload_device(&p.workload) {
                 if !self.devices.iter().any(|d| d.name == dev) {
@@ -1001,30 +1075,54 @@ impl ScenarioSpec {
                 }
                 WorkloadSpec::Fio { device, block_kib } => {
                     let lines = wire::block_lines(&sys, *block_kib);
-                    wire::add_fio(&mut sys, device_id(device)?, lines, &p.cores, p.priority)?
+                    wire::add_fio(
+                        &mut sys,
+                        device_id(device)?,
+                        lines,
+                        &p.cores,
+                        p.buffer_home,
+                        p.priority,
+                    )?
                 }
                 WorkloadSpec::XMem { instance } => {
-                    wire::add_xmem(&mut sys, *instance, &p.cores, p.priority)?
+                    wire::add_xmem(&mut sys, *instance, &p.cores, p.buffer_home, p.priority)?
                 }
                 WorkloadSpec::Fastclick { device } => {
                     wire::add_fastclick(&mut sys, device_id(device)?, &p.cores, p.priority)?
                 }
-                WorkloadSpec::FfsbHeavy { device } => {
-                    wire::add_ffsb_heavy(&mut sys, device_id(device)?, &p.cores, p.priority)?
-                }
-                WorkloadSpec::FfsbLight { device } => {
-                    wire::add_ffsb_light(&mut sys, device_id(device)?, p.cores[0], p.priority)?
-                }
-                WorkloadSpec::RedisServer => {
-                    wire::add_redis(&mut sys, RedisRole::Server, p.cores[0], p.priority)?
-                }
-                WorkloadSpec::RedisClient => {
-                    wire::add_redis(&mut sys, RedisRole::Client, p.cores[0], p.priority)?
-                }
+                WorkloadSpec::FfsbHeavy { device } => wire::add_ffsb_heavy(
+                    &mut sys,
+                    device_id(device)?,
+                    &p.cores,
+                    p.buffer_home,
+                    p.priority,
+                )?,
+                WorkloadSpec::FfsbLight { device } => wire::add_ffsb_light(
+                    &mut sys,
+                    device_id(device)?,
+                    p.cores[0],
+                    p.buffer_home,
+                    p.priority,
+                )?,
+                WorkloadSpec::RedisServer => wire::add_redis(
+                    &mut sys,
+                    RedisRole::Server,
+                    p.cores[0],
+                    p.buffer_home,
+                    p.priority,
+                )?,
+                WorkloadSpec::RedisClient => wire::add_redis(
+                    &mut sys,
+                    RedisRole::Client,
+                    p.cores[0],
+                    p.buffer_home,
+                    p.priority,
+                )?,
                 WorkloadSpec::SpecCpu { benchmark } => {
-                    wire::add_spec(&mut sys, benchmark, p.cores[0], p.priority).ok_or_else(
-                        || SpecError::Invalid(format!("unknown SPEC benchmark {benchmark:?}")),
-                    )??
+                    wire::add_spec(&mut sys, benchmark, p.cores[0], p.buffer_home, p.priority)
+                        .ok_or_else(|| {
+                            SpecError::Invalid(format!("unknown SPEC benchmark {benchmark:?}"))
+                        })??
                 }
             };
             workloads.push(RoleBinding {
@@ -1301,6 +1399,19 @@ impl ScenarioRun {
         self.tainted(self.report.device_dma_read_gbps(self.device_id(name)))
     }
 
+    /// Read throughput of the UPI link joining sockets `a` and `b`, in
+    /// GB/s — per-link, so crossings are attributed to a specific
+    /// socket pair.
+    pub fn upi_link_read_gbps(&self, a: usize, b: usize) -> f64 {
+        self.tainted(self.report.upi_link_read_gbps(a, b))
+    }
+
+    /// Write throughput of the UPI link joining sockets `a` and `b`, in
+    /// GB/s.
+    pub fn upi_link_write_gbps(&self, a: usize, b: usize) -> f64 {
+        self.tainted(self.report.upi_link_write_gbps(a, b))
+    }
+
     /// System-wide memory read bandwidth, in GB/s.
     pub fn mem_read_gbps(&self) -> f64 {
         self.tainted(self.report.mem_read_gbps())
@@ -1336,6 +1447,9 @@ pub(crate) mod wire {
         }
         if let Some(upi_ns) = tweaks.upi_ns {
             cfg.upi_ns = upi_ns;
+        }
+        if tweaks.upi_gbps.is_some() {
+            cfg.upi_gbps = tweaks.upi_gbps;
         }
         let mut sys = System::new(cfg);
         if let Some(ways) = tweaks.dca_ways {
@@ -1381,6 +1495,12 @@ pub(crate) mod wire {
         sys.socket_of_core(CoreId(cores[0]))
     }
 
+    /// Socket a placement's host buffers live on: the explicit
+    /// `buffer_home` override, or wherever the cores are.
+    pub(crate) fn buffer_socket(sys: &System, cores: &[u8], home: Option<usize>) -> usize {
+        home.unwrap_or_else(|| socket_of(sys, cores))
+    }
+
     pub(crate) fn block_lines(sys: &System, paper_kib: u64) -> u64 {
         scale::lines(Bytes::from_kib(paper_kib), sys.config().hierarchy.llc)
     }
@@ -1413,11 +1533,12 @@ pub(crate) mod wire {
         ssd: DeviceId,
         block_lines: u64,
         cores: &[u8],
+        home: Option<usize>,
         priority: Priority,
     ) -> Result<WorkloadId> {
         let qd_per_core = 32;
         let probe = Fio::new(ssd, LineAddr(0), block_lines, qd_per_core, cores.len());
-        let buf = sys.alloc_lines_on(socket_of(sys, cores), probe.buffer_lines());
+        let buf = sys.alloc_lines_on(buffer_socket(sys, cores, home), probe.buffer_lines());
         let fio = Fio::new(ssd, buf, block_lines, qd_per_core, cores.len());
         sys.add_workload(Box::new(fio), cores_of(cores), priority)
     }
@@ -1426,10 +1547,11 @@ pub(crate) mod wire {
         sys: &mut System,
         instance: u8,
         cores: &[u8],
+        home: Option<usize>,
         priority: Priority,
     ) -> Result<WorkloadId> {
         let geom = sys.config().hierarchy.llc;
-        let socket = socket_of(sys, cores);
+        let socket = buffer_socket(sys, cores, home);
         let wl: Box<dyn Workload> = match instance {
             1 => {
                 let ws = scale::lines(Bytes::from_mib(4), geom);
@@ -1468,11 +1590,12 @@ pub(crate) mod wire {
         sys: &mut System,
         ssd: DeviceId,
         cores: &[u8],
+        home: Option<usize>,
         priority: Priority,
     ) -> Result<WorkloadId> {
         let lines = block_lines(sys, 2048);
         let probe = Ffsb::heavy(ssd, LineAddr(0), lines, cores.len());
-        let buf = sys.alloc_lines_on(socket_of(sys, cores), probe.buffer_lines());
+        let buf = sys.alloc_lines_on(buffer_socket(sys, cores, home), probe.buffer_lines());
         let ffsb = Ffsb::heavy(ssd, buf, lines, cores.len());
         sys.add_workload(Box::new(ffsb), cores_of(cores), priority)
     }
@@ -1481,11 +1604,12 @@ pub(crate) mod wire {
         sys: &mut System,
         ssd: DeviceId,
         core: u8,
+        home: Option<usize>,
         priority: Priority,
     ) -> Result<WorkloadId> {
         let lines = block_lines(sys, 32);
         let probe = Ffsb::light(ssd, LineAddr(0), lines);
-        let buf = sys.alloc_lines_on(socket_of(sys, &[core]), probe.buffer_lines());
+        let buf = sys.alloc_lines_on(buffer_socket(sys, &[core], home), probe.buffer_lines());
         let ffsb = Ffsb::light(ssd, buf, lines);
         sys.add_workload(Box::new(ffsb), vec![CoreId(core)], priority)
     }
@@ -1494,11 +1618,12 @@ pub(crate) mod wire {
         sys: &mut System,
         role: RedisRole,
         core: u8,
+        home: Option<usize>,
         priority: Priority,
     ) -> Result<WorkloadId> {
         // YCSB-A footprint: a few MB of keyspace, scaled.
         let ws = ws_lines_mib(sys, 2).max(64);
-        let base = sys.alloc_lines_on(socket_of(sys, &[core]), ws);
+        let base = sys.alloc_lines_on(buffer_socket(sys, &[core], home), ws);
         sys.add_workload(
             Box::new(Redis::new(role, base, ws)),
             vec![CoreId(core)],
@@ -1511,11 +1636,12 @@ pub(crate) mod wire {
         sys: &mut System,
         name: &str,
         core: u8,
+        home: Option<usize>,
         priority: Priority,
     ) -> Option<Result<WorkloadId>> {
         let geom = sys.config().hierarchy.llc;
         let probe = SpecCpu::from_profile(name, LineAddr(0), geom)?;
-        let base = sys.alloc_lines_on(socket_of(sys, &[core]), probe.ws_lines());
+        let base = sys.alloc_lines_on(buffer_socket(sys, &[core], home), probe.ws_lines());
         let wl = SpecCpu::from_profile(name, base, geom).expect("name validated above");
         Some(sys.add_workload(Box::new(wl), vec![CoreId(core)], priority))
     }
@@ -1594,10 +1720,80 @@ mod tests {
                 mem_channels: Some(0),
                 ..SystemTweaks::none()
             },
+            SystemTweaks {
+                sockets: Some(0),
+                ..SystemTweaks::none()
+            },
+            SystemTweaks {
+                sockets: Some(a4_model::MAX_SOCKETS + 1),
+                ..SystemTweaks::none()
+            },
+            SystemTweaks {
+                upi_gbps: Some(0.0),
+                ..SystemTweaks::none()
+            },
+            SystemTweaks {
+                upi_gbps: Some(-10.4),
+                ..SystemTweaks::none()
+            },
         ] {
             let spec = ScenarioSpec::new("tweaks", opts).with_system(bad_tweaks.clone());
             assert!(spec.validate().is_err(), "{bad_tweaks:?} must be rejected");
         }
+        for good_tweaks in [
+            SystemTweaks {
+                sockets: Some(a4_model::MAX_SOCKETS),
+                ..SystemTweaks::none()
+            },
+            SystemTweaks {
+                sockets: Some(3),
+                upi_gbps: Some(10.4),
+                ..SystemTweaks::none()
+            },
+        ] {
+            let spec = ScenarioSpec::new("tweaks", opts).with_system(good_tweaks.clone());
+            assert!(spec.validate().is_ok(), "{good_tweaks:?} must be accepted");
+        }
+
+        // buffer_home: bounded by the socket count, and only for
+        // workloads that own host buffers.
+        let far_home = ScenarioSpec::new("home", opts)
+            .with_system(SystemTweaks::two_socket(None))
+            .with_workload_on_homed(
+                0,
+                2,
+                "x",
+                WorkloadSpec::XMem { instance: 1 },
+                &[0],
+                Priority::Low,
+            );
+        assert!(far_home.validate().is_err());
+        let ringless = ScenarioSpec::new("ring", opts)
+            .with_system(SystemTweaks::two_socket(None))
+            .with_nic(1, 64)
+            .with_workload_on_homed(
+                0,
+                1,
+                "fwd",
+                WorkloadSpec::Dpdk {
+                    device: "nic".into(),
+                    touch: false,
+                },
+                &[0],
+                Priority::High,
+            );
+        assert!(ringless.validate().is_err());
+        let homed = ScenarioSpec::new("homed", opts)
+            .with_system(SystemTweaks::two_socket(None))
+            .with_workload_on_homed(
+                0,
+                1,
+                "x",
+                WorkloadSpec::XMem { instance: 1 },
+                &[0],
+                Priority::Low,
+            );
+        assert!(homed.validate().is_ok());
 
         let unknown_spec = ScenarioSpec::new("spec", opts).with_workload(
             "s",

@@ -150,10 +150,23 @@ pub fn workspace_mirrors() -> &'static [(&'static str, &'static [MirrorSpec])] {
             ("CacheHierarchy", "restore_state"),
         ],
     }];
-    const ROUTE_CKPT: &[MirrorSpec] = &[MirrorSpec {
-        struct_name: "UpiLink",
-        mirrors: &[("UpiLink", "save_state"), ("UpiLink", "restore_state")],
-    }];
+    const ROUTE_CKPT: &[MirrorSpec] = &[
+        MirrorSpec {
+            struct_name: "UpiLink",
+            mirrors: &[("UpiLink", "save_state"), ("UpiLink", "restore_state")],
+        },
+        MirrorSpec {
+            struct_name: "UpiFabric",
+            mirrors: &[("UpiFabric", "save_state"), ("UpiFabric", "restore_state")],
+        },
+        MirrorSpec {
+            struct_name: "RemoteCache",
+            mirrors: &[
+                ("RemoteCache", "save_state"),
+                ("RemoteCache", "restore_state"),
+            ],
+        },
+    ];
     const NIC_CKPT: &[MirrorSpec] = &[MirrorSpec {
         struct_name: "NicModel",
         mirrors: &[("NicModel", "save_state"), ("NicModel", "restore_state")],

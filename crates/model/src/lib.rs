@@ -36,7 +36,7 @@ mod workload;
 pub use error::{A4Error, Result};
 pub use hist::Histogram;
 pub use ids::{ClosId, CoreId, DeviceId, PortId, WorkloadId};
-pub use line::{LineAddr, LINE_BYTES, LINE_SHIFT, SOCKET_SHIFT};
+pub use line::{LineAddr, LINE_BYTES, LINE_SHIFT, MAX_SOCKETS, SOCKET_SHIFT};
 pub use time::SimTime;
 pub use units::{Bandwidth, Bytes};
 pub use waymask::{WayMask, DCA_WAY_COUNT, INCLUSIVE_WAY_COUNT, LLC_WAYS};

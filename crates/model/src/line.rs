@@ -19,6 +19,15 @@ pub const LINE_SHIFT: u32 = 6;
 /// 64 TiB of address space per socket — far beyond any workload here.
 pub const SOCKET_SHIFT: u32 = 40;
 
+/// Largest socket count the NUMA model supports.
+///
+/// The bound is a modelling choice, not an addressing limit: the
+/// [`SOCKET_SHIFT`] regions could index far more sockets, but the UPI
+/// fabric (per-socket-pair links, ring/mesh hop counts) and its
+/// experiment surface are only exercised and validated up to four
+/// sockets — the largest Skylake-SP glueless topology.
+pub const MAX_SOCKETS: usize = 4;
+
 /// The address of one 64-byte cache line.
 ///
 /// All cache structures in the reproduction operate at line granularity;

@@ -190,12 +190,12 @@ impl RxRing {
 /// # Examples
 ///
 /// ```
-/// use a4_cache::{CacheHierarchy, DmaRouter, HierarchyConfig, UpiLink};
+/// use a4_cache::{CacheHierarchy, DmaRouter, HierarchyConfig, UpiFabric};
 /// use a4_model::{DeviceId, LineAddr, SimTime, WorkloadId};
 /// use a4_pcie::{NicConfig, NicModel};
 ///
 /// let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
-/// let mut upi = UpiLink::default();
+/// let mut upi = UpiFabric::default();
 /// let cfg = NicConfig::connectx6_100g(1, 8, 256);
 /// let mut nic = NicModel::new(DeviceId(0), cfg, LineAddr(0x10000))?;
 ///
@@ -432,7 +432,7 @@ pub struct NicState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a4_cache::{CacheHierarchy, HierarchyConfig, UpiLink};
+    use a4_cache::{CacheHierarchy, HierarchyConfig, UpiFabric};
 
     fn hier() -> CacheHierarchy {
         CacheHierarchy::new(HierarchyConfig::small_test())
@@ -465,7 +465,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_micros(100),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WorkloadId(0),
         );
@@ -486,7 +486,7 @@ mod tests {
             nic.step(
                 now,
                 SimTime::from_micros(1),
-                &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+                &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
                 true,
                 WorkloadId(0),
             );
@@ -504,7 +504,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_micros(10),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WorkloadId(0),
         );
@@ -518,7 +518,7 @@ mod tests {
         nic.step(
             SimTime::from_micros(10),
             SimTime::from_micros(1),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WorkloadId(0),
         );
@@ -532,7 +532,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_micros(5),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WorkloadId(0),
         );
@@ -554,7 +554,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_nanos(20),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WorkloadId(0),
         );
@@ -573,7 +573,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_micros(2),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WorkloadId(0),
         );
@@ -590,7 +590,7 @@ mod tests {
         nic.step(
             SimTime::ZERO,
             SimTime::from_nanos(100),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WorkloadId(0),
         );
@@ -608,7 +608,7 @@ mod tests {
         let mut h = hier();
         let mut nic = nic(1, 8, 64);
         nic.tx_packet(
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             LineAddr(0x99),
             16,
         );

@@ -124,12 +124,12 @@ struct Inflight {
 /// # Examples
 ///
 /// ```
-/// use a4_cache::{CacheHierarchy, DmaRouter, HierarchyConfig, UpiLink};
+/// use a4_cache::{CacheHierarchy, DmaRouter, HierarchyConfig, UpiFabric};
 /// use a4_model::{DeviceId, LineAddr, SimTime, WorkloadId};
 /// use a4_pcie::{NvmeCommand, NvmeConfig, NvmeModel, NvmeOp};
 ///
 /// let mut hier = CacheHierarchy::new(HierarchyConfig::small_test());
-/// let mut upi = UpiLink::default();
+/// let mut upi = UpiFabric::default();
 /// let mut ssd = NvmeModel::new(DeviceId(1), NvmeConfig::raid0_980pro_x4())?;
 /// ssd.submit(NvmeCommand { buffer: LineAddr(0x2000), lines: 64, op: NvmeOp::Read })?;
 /// let mut port = DmaRouter::local(&mut hier, &mut upi);
@@ -413,7 +413,7 @@ pub struct NvmeState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a4_cache::{CacheHierarchy, HierarchyConfig, UpiLink};
+    use a4_cache::{CacheHierarchy, HierarchyConfig, UpiFabric};
 
     fn hier() -> CacheHierarchy {
         CacheHierarchy::new(HierarchyConfig::small_test())
@@ -455,7 +455,7 @@ mod tests {
         ssd.step(
             SimTime::ZERO,
             SimTime::from_micros(10),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WL,
         );
@@ -486,7 +486,7 @@ mod tests {
             ssd.step(
                 now,
                 SimTime::from_micros(1),
-                &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+                &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
                 true,
                 WL,
             );
@@ -519,7 +519,7 @@ mod tests {
             ssd.step(
                 now,
                 SimTime::from_micros(10),
-                &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+                &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
                 true,
                 WL,
             );
@@ -573,7 +573,7 @@ mod tests {
         ssd.step(
             SimTime::ZERO,
             SimTime::from_micros(5),
-            &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+            &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
             true,
             WL,
         );
@@ -605,7 +605,7 @@ mod tests {
                 ssd.step(
                     now,
                     SimTime::from_micros(10),
-                    &mut DmaRouter::local(&mut h, &mut UpiLink::default()),
+                    &mut DmaRouter::local(&mut h, &mut UpiFabric::default()),
                     dca,
                     WL,
                 );

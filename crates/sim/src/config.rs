@@ -1,8 +1,8 @@
 //! System-level configuration.
 
-use a4_cache::HierarchyConfig;
+use a4_cache::{HierarchyConfig, UpiTopology};
 use a4_mem::MemoryConfig;
-use a4_model::{A4Error, Result, SimTime};
+use a4_model::{A4Error, Result, SimTime, MAX_SOCKETS};
 use serde::{Deserialize, Serialize};
 
 /// Cycle costs of the memory hierarchy levels, in core cycles.
@@ -59,6 +59,24 @@ pub struct SystemConfig {
     /// charged per line whenever a core touches a remotely-homed buffer.
     /// Ignored on single-socket systems.
     pub upi_ns: u64,
+    /// Per-direction UPI link capacity in GB/s. `None` (the historical
+    /// model) never throttles: remote lines cost the fixed hop latency at
+    /// any offered load. `Some(gbps)` adds a per-line serialization term
+    /// and a utilization-driven queueing factor, so offered load beyond
+    /// capacity inflates per-line latency until throughput flattens at
+    /// the link's capacity.
+    #[serde(default)]
+    pub upi_gbps: Option<f64>,
+    /// How sockets are wired: mesh (every pair one hop) or ring
+    /// (shortest-way-around hop counts). Irrelevant below three sockets.
+    #[serde(default)]
+    pub upi_topology: UpiTopology,
+    /// Capacity, in lines, of each socket's remote-requester cache — a
+    /// small direct-mapped cache of remotely-homed lines that spares hot
+    /// working sets from re-crossing UPI on every access. Zero disables
+    /// it (the historical always-re-cross model).
+    #[serde(default)]
+    pub remote_cache_lines: usize,
     /// DRAM model parameters.
     pub memory: MemoryConfig,
     /// Hierarchy level costs.
@@ -94,6 +112,12 @@ impl SystemConfig {
             // Loaded remote-read penalty of a Skylake-SP UPI hop (~1.3×
             // local DRAM latency observed as ~70-90 ns extra).
             upi_ns: 80,
+            // Unthrottled by default: figures that study saturation opt
+            // in via SystemTweaks::upi_gbps.
+            upi_gbps: None,
+            upi_topology: UpiTopology::Mesh,
+            // ~1 LLC way's worth of requester-side caching per socket.
+            remote_cache_lines: 1024,
             memory: MemoryConfig::ddr4_2666_6ch(),
             latency: LatencyModel::default(),
             cpu_freq_ghz: 2.3,
@@ -115,6 +139,9 @@ impl SystemConfig {
             hierarchy: HierarchyConfig::small_test(),
             sockets: 1,
             upi_ns: 80,
+            upi_gbps: None,
+            upi_topology: UpiTopology::Mesh,
+            remote_cache_lines: 16,
             memory: MemoryConfig::ddr4_2666_6ch(),
             latency: LatencyModel::default(),
             cpu_freq_ghz: 2.3,
@@ -161,9 +188,14 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<()> {
         self.hierarchy.validate()?;
         self.memory.validate()?;
-        if !(1..=4).contains(&self.sockets) {
+        if !(1..=MAX_SOCKETS).contains(&self.sockets) {
             return Err(A4Error::InvalidConfig {
                 what: "sockets must be in 1..=4",
+            });
+        }
+        if self.upi_gbps.is_some_and(|g| g <= 0.0) {
+            return Err(A4Error::InvalidConfig {
+                what: "upi link capacity must be positive when set",
             });
         }
         if self.cpu_freq_ghz <= 0.0 {
@@ -225,10 +257,36 @@ mod tests {
         let mut cfg = SystemConfig::small_test();
         cfg.sockets = 0;
         assert!(cfg.validate().is_err());
-        cfg.sockets = 5;
+        cfg.sockets = MAX_SOCKETS + 1;
         assert!(cfg.validate().is_err());
+        cfg.sockets = MAX_SOCKETS;
+        assert!(cfg.validate().is_ok());
         cfg.sockets = 2;
         assert!(cfg.validate().is_ok());
+        let mut cfg = SystemConfig::small_test();
+        cfg.upi_gbps = Some(0.0);
+        assert!(cfg.validate().is_err());
+        cfg.upi_gbps = Some(-1.0);
+        assert!(cfg.validate().is_err());
+        cfg.upi_gbps = Some(10.4);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn upi_defaults_reproduce_the_historical_model() {
+        // Configs serialized before the bandwidth model round-trip to an
+        // unthrottled mesh with the requester cache disabled.
+        let cfg = SystemConfig::small_test();
+        let json = serde_json::to_string(&cfg)
+            .unwrap()
+            .replace("\"upi_gbps\":null,", "")
+            .replace("\"upi_topology\":\"Mesh\",", "")
+            .replace("\"remote_cache_lines\":16,", "");
+        assert!(!json.contains("upi_gbps"), "field stripping failed: {json}");
+        let old: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(old.upi_gbps, None);
+        assert_eq!(old.upi_topology, UpiTopology::Mesh);
+        assert_eq!(old.remote_cache_lines, 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::LatencyModel;
 use crate::device::DeviceModel;
 use crate::perf::{LatencyKind, WorkloadPerf};
-use a4_cache::{CacheHierarchy, CoreAccessLevel, DmaRouter, UpiLink};
+use a4_cache::{CacheHierarchy, CoreAccessLevel, DmaRouter, RemoteCache, UpiFabric};
 use a4_model::{CoreId, DeviceId, LineAddr, SimTime, WorkloadId};
 use a4_pcie::{NicModel, NvmeModel};
 use rand::rngs::SmallRng;
@@ -21,7 +21,11 @@ use rand::Rng;
 /// its address: local accesses run exactly the single-socket path on the
 /// core's own hierarchy, while accesses to a buffer homed on another
 /// socket are served by the remote hierarchy's LLC (never this core's
-/// MLC) and pay one UPI hop of extra cycles per line.
+/// MLC) and pay the socket pair's UPI cost per line — hop count × hop
+/// latency × the pair link's current queueing factor, plus the line's
+/// serialization time on capacity-limited links. Non-I/O remote reads
+/// may instead be served by the socket's small requester-side
+/// [`RemoteCache`], which costs one local LLC hit and crosses nothing.
 pub struct CoreCtx<'a> {
     pub(crate) core: CoreId,
     pub(crate) core_slot: usize,
@@ -38,9 +42,13 @@ pub struct CoreCtx<'a> {
     pub(crate) devices: &'a mut [DeviceModel],
     /// `device_sockets[i]` = socket `devices[i]` is attached to.
     pub(crate) device_sockets: &'a [usize],
-    pub(crate) upi: &'a mut UpiLink,
-    /// One UPI hop in core cycles (precomputed from the config).
+    pub(crate) upi: &'a mut UpiFabric,
+    /// This socket's remote-requester cache.
+    pub(crate) rcache: &'a mut RemoteCache,
+    /// One unloaded UPI hop in core cycles (precomputed from the config).
     pub(crate) upi_cycles: f64,
+    /// Core frequency in GHz (converts link serialization ns to cycles).
+    pub(crate) cpu_ghz: f64,
     pub(crate) perf: &'a mut WorkloadPerf,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) lat: LatencyModel,
@@ -111,9 +119,23 @@ impl<'a> CoreCtx<'a> {
         addr.home_socket().min(self.socks.len() - 1)
     }
 
+    /// Extra cycles for one line crossing between this core's socket and
+    /// `home`, at the pair link's current load:
+    /// `hops × hop_cycles × queue_factor + serialization`. On an
+    /// unthrottled mesh this is exactly `upi_cycles` — the historical
+    /// fixed-hop cost, bit for bit.
+    #[inline]
+    fn hop_cycles(&self, home: usize, write: bool) -> f64 {
+        let link = self.upi.link(self.socket, home);
+        self.upi.hops(self.socket, home) as f64 * (self.upi_cycles * link.factor(write))
+            + link.ser_ns() * self.cpu_ghz
+    }
+
     /// One scalar access, routed to the home socket. Remote accesses pay
-    /// one UPI hop on top of the level cost and pull a line across the
-    /// link.
+    /// the socket pair's UPI cost on top of the level cost and move a
+    /// line across the pair's link — unless a non-I/O read is served by
+    /// the requester cache, which costs a local LLC hit and crosses
+    /// nothing.
     fn access(&mut self, addr: LineAddr, write: bool, io_hint: bool) -> (CoreAccessLevel, f64) {
         let home = self.home(addr);
         let (level, cost) = if home == self.socket {
@@ -126,16 +148,25 @@ impl<'a> CoreCtx<'a> {
                 hier.core_read(self.core_local, addr, self.wl)
             };
             (level, self.level_cost(level))
+        } else if !write && !io_hint && self.rcache.lookup(addr) {
+            // Requester-cache hit: the line is already on this side of
+            // the fabric. The home hierarchy never sees the access.
+            (CoreAccessLevel::LlcHit, self.lat.llc_cycles)
         } else {
-            let hier = &mut self.socks[home];
+            let hop = self.hop_cycles(home, write);
             let level = if write {
-                self.upi.record_write_lines(1);
-                hier.remote_write(addr, self.wl)
+                self.rcache.invalidate(addr);
+                self.upi.record_write_lines(self.socket, home, 1);
+                self.socks[home].remote_write(addr, self.wl)
             } else {
-                self.upi.record_read_lines(1);
-                hier.remote_read(addr, self.wl)
+                self.upi.record_read_lines(self.socket, home, 1);
+                let level = self.socks[home].remote_read(addr, self.wl);
+                if !io_hint {
+                    self.rcache.insert(addr);
+                }
+                level
             };
-            (level, self.level_cost(level) + self.upi_cycles)
+            (level, self.level_cost(level) + hop)
         };
         self.used += cost;
         self.perf.add_instructions(1);
@@ -246,7 +277,10 @@ impl<'a> CoreCtx<'a> {
 
     /// The cross-socket arm of [`CoreCtx::stream_run`]: same budget
     /// discipline, but every line is served through the home socket's
-    /// remote path (stripe-walked there) and pays one UPI hop.
+    /// remote path and pays the socket pair's UPI cost — except lines the
+    /// requester cache holds, which cost a local LLC hit and never cross.
+    /// The pair's queueing factor is resolved once per run (it only moves
+    /// at interval boundaries, never mid-quantum).
     fn remote_stream_run(
         &mut self,
         home: usize,
@@ -256,30 +290,38 @@ impl<'a> CoreCtx<'a> {
         per_line_cycles: f64,
     ) -> u64 {
         let (_, llc_c, mem_c) = self.level_costs();
-        let hier = &mut self.socks[home];
+        let hop = self.hop_cycles(home, write);
         let mut used = self.used;
         let mut done = 0;
         if write {
-            let per_line = mem_c + self.upi_cycles + per_line_cycles;
+            let per_line = mem_c + hop + per_line_cycles;
             while done < len && used < self.budget {
-                hier.remote_write(base.offset(done), self.wl);
+                let addr = base.offset(done);
+                self.rcache.invalidate(addr);
+                self.socks[home].remote_write(addr, self.wl);
                 used += per_line;
                 done += 1;
             }
-            self.upi.record_write_lines(done);
+            self.upi.record_write_lines(self.socket, home, done);
         } else {
-            let mut run = hier.begin_remote_run(base, self.wl);
+            let mut crossed = 0;
             while done < len && used < self.budget {
-                let cost = match run.next(hier) {
-                    CoreAccessLevel::MlcHit | CoreAccessLevel::LlcHit => llc_c,
-                    CoreAccessLevel::Memory => mem_c,
-                };
-                used += cost + self.upi_cycles;
+                let addr = base.offset(done);
+                if self.rcache.lookup(addr) {
+                    used += llc_c;
+                } else {
+                    let cost = match self.socks[home].remote_read(addr, self.wl) {
+                        CoreAccessLevel::MlcHit | CoreAccessLevel::LlcHit => llc_c,
+                        CoreAccessLevel::Memory => mem_c,
+                    };
+                    self.rcache.insert(addr);
+                    used += cost + hop;
+                    crossed += 1;
+                }
                 used += per_line_cycles;
                 done += 1;
             }
-            run.finish(hier);
-            self.upi.record_read_lines(done);
+            self.upi.record_read_lines(self.socket, home, crossed);
         }
         self.used = used;
         done
@@ -292,7 +334,8 @@ impl<'a> CoreCtx<'a> {
     /// compute(per_line_cycles, ..)` pair would and folds
     /// `cost + per_line_cycles` into `acc` in line order (so latency can
     /// be recorded once per run from the folded total). Remote runs add
-    /// one UPI hop per line to both the budget and `acc`.
+    /// the socket pair's per-line UPI cost to both the budget and `acc`,
+    /// and always bypass the requester cache.
     pub fn read_io_run(
         &mut self,
         base: LineAddr,
@@ -320,7 +363,11 @@ impl<'a> CoreCtx<'a> {
             run.finish(hier);
             self.used = used;
         } else {
+            // I/O-buffer reads bypass the requester cache entirely: the
+            // producing device rewrites these lines between consumptions,
+            // so a requester-side copy would be stale by construction.
             let (_, llc_c, mem_c) = self.level_costs();
+            let hop = self.hop_cycles(home, false);
             let hier = &mut self.socks[home];
             let mut run = hier.begin_remote_run(base, self.wl);
             let mut used = self.used;
@@ -328,14 +375,14 @@ impl<'a> CoreCtx<'a> {
                 let cost = match run.next(hier) {
                     CoreAccessLevel::MlcHit | CoreAccessLevel::LlcHit => llc_c,
                     CoreAccessLevel::Memory => mem_c,
-                } + self.upi_cycles;
+                } + hop;
                 used += cost;
                 *acc += cost + per_line_cycles;
                 used += per_line_cycles;
             }
             run.finish(hier);
             self.used = used;
-            self.upi.record_read_lines(len);
+            self.upi.record_read_lines(self.socket, home, len);
         }
         self.perf
             .add_instructions((1 + per_line_instructions) * len);
@@ -443,7 +490,7 @@ impl<'a> CoreCtx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a4_cache::HierarchyConfig;
+    use a4_cache::{HierarchyConfig, UpiTopology};
     use a4_model::SOCKET_SHIFT;
     use a4_pcie::{NicConfig, NvmeConfig};
     use rand::SeedableRng;
@@ -453,7 +500,8 @@ mod tests {
         devices: &'a mut [DeviceModel],
         perf: &'a mut WorkloadPerf,
         rng: &'a mut SmallRng,
-        upi: &'a mut UpiLink,
+        upi: &'a mut UpiFabric,
+        rcache: &'a mut RemoteCache,
     ) -> CoreCtx<'a> {
         // Lifetime gymnastics: build the ctx from the caller's borrows.
         CoreCtx {
@@ -469,7 +517,9 @@ mod tests {
             devices,
             device_sockets: &[0, 0],
             upi,
+            rcache,
             upi_cycles: 184.0, // 80 ns at 2.3 GHz
+            cpu_ghz: 2.0,      // matches ns_per_cycle below
             perf,
             rng,
             lat: LatencyModel::default(),
@@ -489,9 +539,17 @@ mod tests {
         let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut upi = UpiLink::default();
+        let mut upi = UpiFabric::default();
+        let mut rc = RemoteCache::new(0);
         let mut devices = [];
-        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
 
         let (level, cost) = ctx.read(LineAddr(1));
         assert_eq!(level, CoreAccessLevel::Memory);
@@ -507,10 +565,18 @@ mod tests {
         let mut socks = socks(2);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut upi = UpiLink::new(80);
+        let mut upi = UpiFabric::new(2, 80, None, UpiTopology::Mesh);
+        let mut rc = RemoteCache::new(0);
         let mut devices = [];
         let remote = LineAddr(1 << SOCKET_SHIFT).offset(9);
-        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
 
         let (level, cost) = ctx.read(remote);
         assert_eq!(level, CoreAccessLevel::Memory);
@@ -536,12 +602,20 @@ mod tests {
         let mut socks = socks(2);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut upi = UpiLink::new(80);
+        let mut upi = UpiFabric::new(2, 80, None, UpiTopology::Mesh);
+        let mut rc = RemoteCache::new(0);
         let mut devices = [];
         let remote = LineAddr(1 << SOCKET_SHIFT).offset(0x40);
         // A device on socket 1 DCA-writes the line into socket 1's LLC.
         socks[1].dma_write(DeviceId(0), remote, WorkloadId(0), true);
-        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
         let (level, cost) = ctx.read_io(remote);
         assert_eq!(level, CoreAccessLevel::LlcHit);
         assert_eq!(cost, 14.0 + 184.0);
@@ -550,13 +624,137 @@ mod tests {
     }
 
     #[test]
+    fn requester_cache_serves_repeat_remote_reads_locally() {
+        let mut socks = socks(2);
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiFabric::new(2, 80, None, UpiTopology::Mesh);
+        let mut rc = RemoteCache::new(8);
+        let mut devices = [];
+        let remote = LineAddr(1 << SOCKET_SHIFT).offset(3);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
+
+        let (level, cost) = ctx.read(remote);
+        assert_eq!(level, CoreAccessLevel::Memory);
+        assert_eq!(cost, 60.0 + 184.0);
+        // The repeat is a requester-cache hit: one local LLC hit, no
+        // crossing, and the home hierarchy never sees the access.
+        let (level, cost) = ctx.read(remote);
+        assert_eq!(level, CoreAccessLevel::LlcHit);
+        assert_eq!(cost, 14.0);
+        let _ = ctx;
+        assert_eq!(upi.crossed_lines(), 1);
+        assert_eq!(rc.hits(), 1);
+        assert_eq!(socks[1].stats().workload(WorkloadId(0)).llc_misses, 1);
+    }
+
+    #[test]
+    fn own_write_invalidates_the_requester_cache() {
+        let mut socks = socks(2);
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiFabric::new(2, 80, None, UpiTopology::Mesh);
+        let mut rc = RemoteCache::new(8);
+        let mut devices = [];
+        let remote = LineAddr(1 << SOCKET_SHIFT).offset(3);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
+
+        ctx.read(remote); // fill
+        ctx.write(remote); // must invalidate and cross
+        let (level, cost) = ctx.read(remote);
+        assert_ne!(level, CoreAccessLevel::LlcHit, "copy was invalidated");
+        assert_eq!(cost, 60.0 + 184.0);
+        let _ = ctx;
+        assert_eq!(upi.crossed_lines(), 3);
+    }
+
+    #[test]
+    fn io_reads_bypass_the_requester_cache() {
+        let mut socks = socks(2);
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiFabric::new(2, 80, None, UpiTopology::Mesh);
+        let mut rc = RemoteCache::new(8);
+        let mut devices = [];
+        let remote = LineAddr(1 << SOCKET_SHIFT).offset(7);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
+
+        // I/O reads neither hit nor fill: the producing device rewrites
+        // these lines between consumptions.
+        ctx.read_io(remote);
+        ctx.read_io(remote);
+        let mut acc = 0.0;
+        ctx.read_io_run(remote, 4, 0.0, 0, &mut acc);
+        let _ = ctx;
+        assert_eq!(upi.crossed_lines(), 6, "every I/O line crossed");
+        assert_eq!(rc.hits() + rc.misses(), 0, "cache never consulted");
+    }
+
+    #[test]
+    fn remote_stream_rereads_come_from_the_requester_cache() {
+        let mut socks = socks(2);
+        let mut perf = WorkloadPerf::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut upi = UpiFabric::new(2, 80, None, UpiTopology::Mesh);
+        let mut rc = RemoteCache::new(64);
+        let mut devices = [];
+        let remote = LineAddr(1 << SOCKET_SHIFT);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
+        ctx.budget = 1e9;
+
+        assert_eq!(ctx.read_run(remote, 16, 0.0, 0, 0), 16);
+        let before = ctx.used;
+        assert_eq!(ctx.read_run(remote, 16, 0.0, 0, 0), 16);
+        let rerun = ctx.used - before;
+        assert_eq!(rerun, 16.0 * 14.0, "second pass is all local LLC hits");
+        let _ = ctx;
+        assert_eq!(upi.crossed_lines(), 16, "only the first pass crossed");
+    }
+
+    #[test]
     fn budget_runs_out() {
         let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut upi = UpiLink::default();
+        let mut upi = UpiFabric::default();
+        let mut rc = RemoteCache::new(0);
         let mut devices = [];
-        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
         assert!(ctx.has_budget());
         ctx.compute(999.0, 1);
         assert!(ctx.has_budget());
@@ -570,9 +768,17 @@ mod tests {
         let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut upi = UpiLink::default();
+        let mut upi = UpiFabric::default();
+        let mut rc = RemoteCache::new(0);
         let mut devices = [];
-        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
         let t0 = ctx.now();
         ctx.compute(100.0, 0); // 100 cycles at 0.5 ns/cycle = 50 ns
         assert_eq!((ctx.now() - t0).as_nanos(), 50);
@@ -584,7 +790,8 @@ mod tests {
         let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut upi = UpiLink::default();
+        let mut upi = UpiFabric::default();
+        let mut rc = RemoteCache::new(0);
         let nic = NicModel::new(
             DeviceId(0),
             NicConfig::connectx6_100g(1, 8, 64),
@@ -593,7 +800,14 @@ mod tests {
         .unwrap();
         let ssd = NvmeModel::new(DeviceId(1), NvmeConfig::raid0_980pro_x4()).unwrap();
         let mut devices = [DeviceModel::Nic(nic), DeviceModel::Nvme(ssd)];
-        let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut rng, &mut upi);
+        let mut ctx = fixture(
+            &mut socks,
+            &mut devices,
+            &mut perf,
+            &mut rng,
+            &mut upi,
+            &mut rc,
+        );
         assert_eq!(ctx.nic_mut(DeviceId(0)).device(), DeviceId(0));
         assert_eq!(ctx.nvme_mut(DeviceId(1)).outstanding(), 0);
         ctx.nic_tx(DeviceId(0), LineAddr(5), 4);
@@ -605,15 +819,30 @@ mod tests {
         let mut socks = socks(1);
         let mut perf = WorkloadPerf::new();
         let mut devices = [];
-        let mut upi = UpiLink::default();
+        let mut upi = UpiFabric::default();
+        let mut rc = RemoteCache::new(0);
         let mut r1 = SmallRng::seed_from_u64(42);
         let a: Vec<u64> = {
-            let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut r1, &mut upi);
+            let mut ctx = fixture(
+                &mut socks,
+                &mut devices,
+                &mut perf,
+                &mut r1,
+                &mut upi,
+                &mut rc,
+            );
             (0..5).map(|_| ctx.rng_range(1000)).collect()
         };
         let mut r2 = SmallRng::seed_from_u64(42);
         let b: Vec<u64> = {
-            let mut ctx = fixture(&mut socks, &mut devices, &mut perf, &mut r2, &mut upi);
+            let mut ctx = fixture(
+                &mut socks,
+                &mut devices,
+                &mut perf,
+                &mut r2,
+                &mut upi,
+                &mut rc,
+            );
             (0..5).map(|_| ctx.rng_range(1000)).collect()
         };
         assert_eq!(a, b);

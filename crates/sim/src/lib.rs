@@ -50,7 +50,7 @@ pub use config::{LatencyModel, SystemConfig};
 pub use ctx::CoreCtx;
 pub use device::{DeviceModel, DeviceState};
 pub use perf::{LatencyKind, WorkloadPerf};
-pub use sample::{DeviceSample, LatencyStat, MonitorSample, WorkloadSample};
+pub use sample::{DeviceSample, LatencyStat, MonitorSample, UpiLinkSample, WorkloadSample};
 pub use system::{SlotState, System, SystemState, SYSTEM_CKPT_VERSION};
 pub use workload::{Workload, WorkloadInfo};
 

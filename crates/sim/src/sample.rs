@@ -119,6 +119,21 @@ pub struct DeviceSample {
     pub delivered_packets: u64,
 }
 
+/// One UPI link's slice of a monitoring interval: the traffic that
+/// crossed between sockets `a` and `b`, attributed to that specific
+/// pair's link (not aliased into a fabric-wide aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpiLinkSample {
+    /// Lower socket of the pair.
+    pub a: u8,
+    /// Higher socket of the pair.
+    pub b: u8,
+    /// Bytes pulled across the link toward requesters this interval.
+    pub read_bytes: u64,
+    /// Bytes pushed across the link to the remote home this interval.
+    pub write_bytes: u64,
+}
+
 /// A full monitoring interval: what A4 sees once per (logical) second.
 ///
 /// # Examples
@@ -142,6 +157,11 @@ pub struct MonitorSample {
     pub workloads: Vec<WorkloadSample>,
     /// Per-device slices.
     pub devices: Vec<DeviceSample>,
+    /// Per-UPI-link slices. Only links that moved bytes this interval
+    /// appear, so the list is empty whenever nothing crossed a socket —
+    /// including on every single-socket system.
+    #[serde(default)]
+    pub upi: Vec<UpiLinkSample>,
     /// Memory bytes read during the interval.
     pub mem_read: Bytes,
     /// Memory bytes written during the interval.
@@ -162,6 +182,24 @@ impl MonitorSample {
     /// Finds a device sample by id.
     pub fn device(&self, id: DeviceId) -> Option<&DeviceSample> {
         self.devices.iter().find(|d| d.id == id)
+    }
+
+    /// Finds a UPI link sample by socket pair (order-insensitive);
+    /// `None` when the pair moved no bytes this interval.
+    pub fn upi_link(&self, a: usize, b: usize) -> Option<&UpiLinkSample> {
+        let (lo, hi) = (a.min(b) as u8, a.max(b) as u8);
+        self.upi.iter().find(|l| l.a == lo && l.b == hi)
+    }
+
+    /// One link's read bandwidth in paper-comparable GB/s (zero for
+    /// idle or absent links).
+    pub fn upi_link_read_gbps(&self, a: usize, b: usize) -> f64 {
+        self.dilated_gbps(self.upi_link(a, b).map_or(0, |l| l.read_bytes))
+    }
+
+    /// One link's write bandwidth in paper-comparable GB/s.
+    pub fn upi_link_write_gbps(&self, a: usize, b: usize) -> f64 {
+        self.dilated_gbps(self.upi_link(a, b).map_or(0, |l| l.write_bytes))
     }
 
     /// Memory read bandwidth in paper-comparable GB/s (dilated).
@@ -214,6 +252,7 @@ mod tests {
             logical_second: 1,
             workloads: vec![],
             devices: devs,
+            upi: vec![],
             mem_read: Bytes::new(1_000_000),
             mem_written: Bytes::new(500_000),
             time_dilation: 1000.0,

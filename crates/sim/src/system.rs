@@ -4,10 +4,11 @@ use crate::config::SystemConfig;
 use crate::ctx::CoreCtx;
 use crate::device::{DeviceModel, DeviceState};
 use crate::perf::WorkloadPerf;
-use crate::sample::{DeviceSample, MonitorSample, WorkloadSample};
+use crate::sample::{DeviceSample, MonitorSample, UpiLinkSample, WorkloadSample};
 use crate::workload::Workload;
 use a4_cache::{
-    CacheHierarchy, CacheHierarchyState, DmaRouter, HierarchyStats, UpiLink, WorkloadCounters,
+    CacheHierarchy, CacheHierarchyState, DmaRouter, HierarchyStats, RemoteCache, RemoteCacheState,
+    UpiFabric, UpiLinkState, WorkloadCounters,
 };
 use a4_mem::{MemControllerState, MemoryController};
 use a4_model::{
@@ -23,7 +24,7 @@ use std::sync::Arc;
 /// Version tag of the [`SystemState`] snapshot encoding. Bump whenever a
 /// checkpointed struct gains, loses, or re-encodes a field; restore
 /// rejects snapshots from any other version as stale.
-pub const SYSTEM_CKPT_VERSION: u32 = 1;
+pub const SYSTEM_CKPT_VERSION: u32 = 2;
 
 #[derive(Debug)]
 struct Slot {
@@ -51,7 +52,8 @@ struct DevSnapshot {
 ///
 /// Multi-socket systems (`SystemConfig::sockets > 1`) keep one full
 /// [`CacheHierarchy`] per socket — own MLC array, own LLC with its DCA
-/// ways, own CLOS tables — joined by a [`UpiLink`] and sharing one memory
+/// ways, own CLOS tables, own remote-requester cache — joined by a
+/// [`UpiFabric`] (one link per socket pair) and sharing one memory
 /// model. Core ids are global (`socket = core / cores_per_socket`);
 /// buffers are homed on the socket they were allocated on
 /// ([`System::alloc_lines_on`]); devices attach to a socket
@@ -82,7 +84,10 @@ pub struct System {
     // One hierarchy per socket; `socks[0]` is the only one on
     // single-socket systems.
     socks: Vec<CacheHierarchy>,
-    upi: UpiLink,
+    upi: UpiFabric,
+    // One remote-requester cache per socket, indexed by the *requesting*
+    // socket (the cache sits on the consumer side of the fabric).
+    rcaches: Vec<RemoteCache>,
     mem: MemoryController,
     root: PcieRoot,
     devices: Vec<DeviceModel>,
@@ -113,6 +118,9 @@ pub struct System {
     device_owners: Vec<WorkloadId>,
     device_owners_stale: bool,
     dev_snapshots: Vec<DevSnapshot>,
+    // Per-link cumulative `(read_lines, write_lines)` at the last sample,
+    // in fabric link order — samples report per-link interval deltas.
+    upi_snapshots: Vec<(u64, u64)>,
     interval_mem_read: Bytes,
     interval_mem_written: Bytes,
     interval_start: SimTime,
@@ -131,10 +139,14 @@ impl System {
         let socks: Vec<CacheHierarchy> = (0..cfg.sockets)
             .map(|_| CacheHierarchy::new(cfg.hierarchy))
             .collect();
+        let links = cfg.sockets * (cfg.sockets - 1) / 2;
         System {
             mem: MemoryController::new(cfg.memory).expect("validated with cfg"),
             root: PcieRoot::new(cfg.pcie_ports),
-            upi: UpiLink::new(cfg.upi_ns),
+            upi: UpiFabric::new(cfg.sockets, cfg.upi_ns, cfg.upi_gbps, cfg.upi_topology),
+            rcaches: (0..cfg.sockets)
+                .map(|_| RemoteCache::new(cfg.remote_cache_lines))
+                .collect(),
             devices: Vec::new(),
             device_sockets: Vec::new(),
             slots: Vec::new(),
@@ -153,6 +165,7 @@ impl System {
             device_owners: Vec::new(),
             device_owners_stale: false,
             dev_snapshots: Vec::new(),
+            upi_snapshots: vec![(0, 0); links],
             socks,
             interval_mem_read: Bytes::ZERO,
             interval_mem_written: Bytes::ZERO,
@@ -213,10 +226,20 @@ impl System {
         &mut self.socks[socket]
     }
 
-    /// The UPI link (hop latency + cross-socket traffic counters).
+    /// The UPI fabric (per-socket-pair links: hop latency, queueing
+    /// state and cross-socket traffic counters).
     #[inline]
-    pub fn upi(&self) -> &UpiLink {
+    pub fn upi(&self) -> &UpiFabric {
         &self.upi
+    }
+
+    /// One socket's remote-requester cache (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn remote_cache(&self, socket: usize) -> &RemoteCache {
+        &self.rcaches[socket]
     }
 
     /// The socket a core belongs to (`core / cores_per_socket`).
@@ -402,7 +425,12 @@ impl System {
             }
         }
         let info = wl.info();
-        let id = WorkloadId(self.slots.len() as u16);
+        // The MAX_WORKLOADS guard above keeps this in range today; the
+        // checked conversion makes any future regression fail loudly
+        // instead of silently wrapping ids past u16::MAX.
+        let id = WorkloadId(
+            u16::try_from(self.slots.len()).expect("slot index exceeds WorkloadId range"),
+        );
         self.slots.push(Slot {
             wl,
             id,
@@ -592,10 +620,12 @@ impl System {
         let budget = self.cfg.cycles_per_quantum();
         let mem_factor = self.mem.latency_factor();
         let upi_cycles = self.cfg.upi_cycles();
+        let cpu_ghz = self.cfg.cpu_freq_ghz;
         let cps = self.cfg.hierarchy.cores;
         let mut slots = std::mem::take(&mut self.slots);
         for slot in slots.iter_mut().filter(|s| s.active) {
             for (ci, &core) in slot.cores.iter().enumerate() {
+                let socket = core.index() / cps;
                 let mut ctx = CoreCtx {
                     core,
                     core_slot: ci,
@@ -604,12 +634,14 @@ impl System {
                     budget,
                     used: 0.0,
                     socks: &mut self.socks,
-                    socket: core.index() / cps,
+                    socket,
                     core_local: CoreId((core.index() % cps) as u8),
                     devices: &mut self.devices,
                     device_sockets: &self.device_sockets,
                     upi: &mut self.upi,
+                    rcache: &mut self.rcaches[socket],
                     upi_cycles,
+                    cpu_ghz,
                     perf: &mut slot.perf,
                     rng: &mut self.rng,
                     lat: self.cfg.latency,
@@ -641,6 +673,10 @@ impl System {
         let traffic = self.mem.end_interval(dt);
         self.interval_mem_read += traffic.read;
         self.interval_mem_written += traffic.written;
+        // The UPI fabric closes its interval on the same cadence: this
+        // quantum's per-link offered load sets next quantum's per-line
+        // queueing factors (no-op on unthrottled links).
+        self.upi.end_interval(dt.as_secs_f64());
 
         self.now += dt;
         self.quantum_count += 1;
@@ -794,11 +830,31 @@ impl System {
             }
         }
 
+        // Per-link UPI traffic this interval. Only links that moved
+        // bytes are reported, so runs that never cross a socket emit an
+        // empty list regardless of socket count.
+        let mut upi = Vec::new();
+        for (i, ((a, b), link)) in self.upi.pairs().zip(self.upi.links()).enumerate() {
+            let snap = &mut self.upi_snapshots[i];
+            let read_lines = link.read_lines() - snap.0;
+            let write_lines = link.write_lines() - snap.1;
+            *snap = (link.read_lines(), link.write_lines());
+            if read_lines != 0 || write_lines != 0 {
+                upi.push(UpiLinkSample {
+                    a: a as u8,
+                    b: b as u8,
+                    read_bytes: read_lines * a4_model::LINE_BYTES,
+                    write_bytes: write_lines * a4_model::LINE_BYTES,
+                });
+            }
+        }
+
         let sample = MonitorSample {
             t: self.now,
             logical_second: self.logical_seconds,
             workloads,
             devices,
+            upi,
             mem_read: self.interval_mem_read,
             mem_written: self.interval_mem_written,
             time_dilation: self.cfg.time_dilation,
@@ -834,6 +890,7 @@ impl System {
             version: SYSTEM_CKPT_VERSION,
             socks: self.socks.iter().map(CacheHierarchy::save_state).collect(),
             upi: self.upi.save_state(),
+            rcaches: self.rcaches.iter().map(RemoteCache::save_state).collect(),
             mem: self.mem.save_state(),
             root: self.root.clone(),
             devices: self.devices.iter().map(DeviceModel::save_state).collect(),
@@ -857,6 +914,7 @@ impl System {
                 .iter()
                 .map(|d| (d.delivered, d.dropped))
                 .collect(),
+            upi_snapshots: self.upi_snapshots.clone(),
             interval_mem_read: self.interval_mem_read,
             interval_mem_written: self.interval_mem_written,
             interval_start: self.interval_start,
@@ -883,6 +941,8 @@ impl System {
         );
         if st.version != SYSTEM_CKPT_VERSION
             || st.socks.len() != self.socks.len()
+            || st.upi.len() != self.upi.links().len()
+            || st.rcaches.len() != self.rcaches.len()
             || st.devices.len() != self.devices.len()
             || st.slots.len() != self.slots.len()
             || st.rng.len() != 4
@@ -890,6 +950,7 @@ impl System {
             || st.quantum_totals.len() != self.quantum_totals.len()
             || st.sample_snapshots.len() != self.sample_snapshots.len()
             || st.dev_snapshots.len() != self.dev_snapshots.len()
+            || st.upi_snapshots.len() != self.upi_snapshots.len()
             || st.root.ports() != self.root.ports()
         {
             return false;
@@ -912,6 +973,14 @@ impl System {
         {
             return false;
         }
+        let mut rcaches = self.rcaches.clone();
+        if rcaches
+            .iter_mut()
+            .zip(&st.rcaches)
+            .any(|(rc, s)| !rc.restore_state(s))
+        {
+            return false;
+        }
         // Workload engines cannot be cloned (trait objects), so their
         // encodings are validated by a parse-only restore onto the live
         // engine — every engine's `restore_ckpt` either fully applies a
@@ -926,11 +995,15 @@ impl System {
         }
         self.socks = socks;
         self.devices = devices;
+        self.rcaches = rcaches;
         for (slot, s) in self.slots.iter_mut().zip(&st.slots) {
             slot.perf = s.perf.clone();
             slot.active = s.active;
         }
-        self.upi.restore_state(st.upi);
+        // Cannot fail: the link count was shape-checked above.
+        let fabric_ok = self.upi.restore_state(&st.upi);
+        debug_assert!(fabric_ok);
+        self.upi_snapshots = st.upi_snapshots.clone();
         self.mem.restore_state(&st.mem);
         self.root = st.root.clone();
         self.now = st.now;
@@ -979,8 +1052,10 @@ pub struct SystemState {
     pub version: u32,
     /// Per-socket cache hierarchy snapshots.
     pub socks: Vec<CacheHierarchyState>,
-    /// UPI link traffic counters as `(read_lines, write_lines)`.
-    pub upi: (u64, u64),
+    /// Per-link UPI fabric snapshots, in fabric link order.
+    pub upi: Vec<UpiLinkState>,
+    /// Per-socket remote-requester cache snapshots.
+    pub rcaches: Vec<RemoteCacheState>,
     /// Memory controller snapshot.
     pub mem: MemControllerState,
     /// PCIe root complex (port registers and attachments).
@@ -1003,6 +1078,9 @@ pub struct SystemState {
     pub sample_snapshots: Vec<HierarchyStats>,
     /// Per-device `(delivered, dropped)` sampling snapshots.
     pub dev_snapshots: Vec<(u64, u64)>,
+    /// Per-link `(read_lines, write_lines)` sampling snapshots, in
+    /// fabric link order.
+    pub upi_snapshots: Vec<(u64, u64)>,
     /// Memory bytes read in the open monitoring interval.
     pub interval_mem_read: Bytes,
     /// Memory bytes written in the open monitoring interval.
@@ -1411,6 +1489,117 @@ mod tests {
         // The accesses are accounted in socket 1's hierarchy.
         assert!(s.socket_hierarchy(1).stats().total.llc_misses > 0);
         assert_eq!(s.socket_hierarchy(0).stats().total.llc_misses, 0);
+    }
+
+    #[test]
+    fn four_socket_traffic_lands_on_the_pair_link() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.sockets = 4;
+        cfg.remote_cache_lines = 0; // count every crossing
+        let mut s = System::new(cfg);
+        let remote = s.alloc_lines_on(2, 512);
+        s.add_workload(
+            Box::new(Streamer {
+                base: remote,
+                lines: 512,
+                cursor: 0,
+            }),
+            vec![CoreId(0)], // socket 0 core, socket 2 buffer
+            Priority::High,
+        )
+        .unwrap();
+        s.run_logical_seconds(1);
+        let crossed = s.upi().crossed_lines();
+        assert!(crossed > 0);
+        // Every crossing is attributed to the (0, 2) link; the five
+        // other pair links stay untouched.
+        assert_eq!(
+            s.upi().link(0, 2).read_lines() + s.upi().link(0, 2).write_lines(),
+            crossed
+        );
+        for (a, b) in [(0, 1), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            let link = s.upi().link(a, b);
+            assert_eq!(link.read_lines() + link.write_lines(), 0, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn requester_cache_spares_hot_working_sets_from_recrossing() {
+        let run = |rcache_lines: usize| {
+            let mut cfg = SystemConfig::small_test();
+            cfg.sockets = 2;
+            cfg.remote_cache_lines = rcache_lines;
+            let mut s = System::new(cfg);
+            // Working set small enough to live in the requester cache.
+            let base = s.alloc_lines_on(1, 8);
+            s.add_workload(
+                Box::new(Streamer {
+                    base,
+                    lines: 8,
+                    cursor: 0,
+                }),
+                vec![CoreId(0)],
+                Priority::High,
+            )
+            .unwrap();
+            s.run_logical_seconds(1);
+            s.upi().crossed_lines()
+        };
+        let without = run(0);
+        let with = run(16);
+        assert!(
+            with * 10 < without,
+            "hot set must stop re-crossing: with={with} without={without}"
+        );
+        assert!(with >= 8, "the first pass still crossed");
+    }
+
+    #[test]
+    fn sample_reports_only_links_that_moved_bytes() {
+        // Local-only work: no upi entries at all.
+        let mut s = two_socket_sys();
+        let base = s.alloc_lines(64);
+        s.add_workload(
+            Box::new(Streamer {
+                base,
+                lines: 64,
+                cursor: 0,
+            }),
+            vec![CoreId(0)],
+            Priority::High,
+        )
+        .unwrap();
+        s.run_logical_seconds(1);
+        assert!(s.sample().upi.is_empty(), "nothing crossed");
+
+        // Remote work: exactly the (0, 1) link appears, and a second
+        // sample after an idle-link interval is empty again.
+        let mut s = two_socket_sys();
+        let remote = s.alloc_lines_on(1, 512);
+        let wl = s
+            .add_workload(
+                Box::new(Streamer {
+                    base: remote,
+                    lines: 512,
+                    cursor: 0,
+                }),
+                vec![CoreId(0)],
+                Priority::High,
+            )
+            .unwrap();
+        s.run_logical_seconds(1);
+        let sample = s.sample();
+        assert_eq!(sample.upi.len(), 1);
+        let link = sample.upi_link(1, 0).unwrap(); // order-insensitive
+        assert_eq!((link.a, link.b), (0, 1));
+        assert!(link.read_bytes > 0);
+        assert!(sample.upi_link_read_gbps(0, 1) > 0.0);
+        s.set_workload_active(wl, false).unwrap();
+        s.run_logical_seconds(1);
+        assert!(
+            s.sample().upi.is_empty(),
+            "idle links drop out of the next sample"
+        );
     }
 
     #[test]

@@ -1,16 +1,18 @@
-//! Single-socket ≡ local-only two-socket differential proptest — the
+//! Single-socket ≡ local-only N-socket differential proptest — the
 //! `batched_runs.rs` pattern one level up, run against whole systems.
 //!
-//! A two-socket [`System`] with every core, device, buffer and CLOS rule
-//! pinned to socket 0 and `upi_ns = 0` must be *observationally
-//! identical* to the single-socket system: bit-identical
-//! `HierarchyStats`, bit-identical monitor samples (checked through
-//! their serialized JSON, which captures every counter and every f64's
-//! exact formatting), identical LLC victim-pick RNG state, identical
-//! system RNG state, and an untouched socket 1. This is the invariant
-//! that made growing the simulator to N sockets safe: the entire NUMA
-//! model is additive, and the pre-NUMA behaviour is the local-only
-//! special case.
+//! An N-socket [`System`] (N swept over the model's full 2..=4 range)
+//! with every core, device, buffer and CLOS rule pinned to socket 0 and
+//! `upi_ns = 0` must be *observationally identical* to the
+//! single-socket system: bit-identical `HierarchyStats`, bit-identical
+//! monitor samples (checked through their serialized JSON, which
+//! captures every counter and every f64's exact formatting), identical
+//! LLC victim-pick RNG state, identical system RNG state, untouched
+//! remote sockets, and zero traffic on every pair link of the UPI
+//! fabric. This is the invariant that made growing the simulator to N
+//! sockets safe: the entire NUMA model — fabric, link queueing,
+//! requester caches included — is additive, and the pre-NUMA behaviour
+//! is the local-only special case.
 
 use a4_model::{ClosId, CoreId, LineAddr, PortId, Priority, WayMask, WorkloadId};
 use a4_pcie::{NicConfig, NvmeCommand, NvmeConfig, NvmeOp};
@@ -290,50 +292,68 @@ fn advance(sys: &mut System, mix: &Mix, second: u64) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// The headline differential: for random workload/device/CAT mixes,
-    /// a local-only two-socket system is bit-for-bit the single-socket
-    /// system — stats, samples, RNG state — and socket 1 stays virgin.
+    /// The headline differential: for random workload/device/CAT mixes
+    /// and any socket count the model supports, a local-only N-socket
+    /// system is bit-for-bit the single-socket system — stats, samples,
+    /// RNG state — and every remote socket stays virgin.
     #[test]
-    fn local_only_two_socket_system_is_bit_identical(mix in mix_strategy()) {
+    fn local_only_n_socket_system_is_bit_identical(
+        mix in mix_strategy(),
+        sockets in 2usize..a4_model::MAX_SOCKETS + 1,
+    ) {
         let mut single = build(&mix, 1);
-        let mut dual = build(&mix, 2);
+        let mut multi = build(&mix, sockets);
         let virgin = a4_cache::CacheHierarchy::new(
             SystemConfig::small_test().hierarchy,
         );
         for second in 0..3 {
             advance(&mut single, &mix, second);
-            advance(&mut dual, &mix, second);
+            advance(&mut multi, &mix, second);
             prop_assert!(
-                single.hierarchy().stats() == dual.hierarchy().stats(),
+                single.hierarchy().stats() == multi.hierarchy().stats(),
                 "socket-0 HierarchyStats diverged at second {second}"
             );
             prop_assert_eq!(
                 single.hierarchy().llc().rng_state(),
-                dual.hierarchy().llc().rng_state(),
+                multi.hierarchy().llc().rng_state(),
                 "LLC victim RNG diverged at second {}", second
             );
             prop_assert_eq!(
                 single.rng_probe(),
-                dual.rng_probe(),
+                multi.rng_probe(),
                 "system RNG diverged at second {}", second
             );
             // Samples capture every monitored counter (and every f64's
             // bits, through its exact JSON rendering).
             let s1 = serde_json::to_string(&single.sample()).unwrap();
-            let s2 = serde_json::to_string(&dual.sample()).unwrap();
+            let s2 = serde_json::to_string(&multi.sample()).unwrap();
             prop_assert_eq!(s1, s2, "monitor samples diverged at second {}", second);
-            // Socket 1 never saw a single access...
-            prop_assert!(
-                dual.socket_hierarchy(1).stats() == virgin.stats(),
-                "socket 1 stats must stay zero"
-            );
-            prop_assert_eq!(
-                dual.socket_hierarchy(1).llc().rng_state(),
-                virgin.llc().rng_state(),
-                "socket 1 LLC RNG must stay virgin"
-            );
-            // ...and nothing crossed the UPI link.
-            prop_assert_eq!(dual.upi().crossed_lines(), 0, "no UPI crossings");
+            // The remote sockets never saw a single access...
+            for socket in 1..sockets {
+                prop_assert!(
+                    multi.socket_hierarchy(socket).stats() == virgin.stats(),
+                    "socket {socket} stats must stay zero"
+                );
+                prop_assert_eq!(
+                    multi.socket_hierarchy(socket).llc().rng_state(),
+                    virgin.llc().rng_state(),
+                    "socket {} LLC RNG must stay virgin", socket
+                );
+                prop_assert_eq!(
+                    multi.remote_cache(socket).occupied(),
+                    0,
+                    "socket {} requester cache must stay empty", socket
+                );
+            }
+            // ...and nothing crossed any link of the fabric.
+            prop_assert_eq!(multi.upi().crossed_lines(), 0, "no UPI crossings");
+            for ((a, b), link) in multi.upi().pairs().zip(multi.upi().links()) {
+                prop_assert_eq!(
+                    link.read_lines() + link.write_lines(),
+                    0,
+                    "link ({}, {}) must stay idle", a, b
+                );
+            }
         }
     }
 }
@@ -356,17 +376,17 @@ fn fixed_mix_is_bit_identical() {
         flip_nic_dca_midway: true,
     };
     let mut single = build(&mix, 1);
-    let mut dual = build(&mix, 2);
+    let mut quad = build(&mix, a4_model::MAX_SOCKETS);
     for second in 0..4 {
         advance(&mut single, &mix, second);
-        advance(&mut dual, &mix, second);
-        assert!(single.hierarchy().stats() == dual.hierarchy().stats());
+        advance(&mut quad, &mix, second);
+        assert!(single.hierarchy().stats() == quad.hierarchy().stats());
         assert_eq!(
             serde_json::to_string(&single.sample()).unwrap(),
-            serde_json::to_string(&dual.sample()).unwrap()
+            serde_json::to_string(&quad.sample()).unwrap()
         );
     }
-    assert_eq!(dual.upi().crossed_lines(), 0);
+    assert_eq!(quad.upi().crossed_lines(), 0);
     // Sanity: the mix actually did I/O (the equivalence is not vacuous).
     assert!(single.hierarchy().stats().total_dma_write_lines() > 0);
 }

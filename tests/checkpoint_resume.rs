@@ -31,9 +31,12 @@ const TOTAL_QUANTA: u64 = 2200;
 /// colocation — DPDK on a NIC, FIO on an NVMe SSD (both with DMA in
 /// flight from the first quantum), X-Mem as the cache antagonist — once
 /// plain, once with a static CAT partition programmed at build time,
-/// and once on a two-socket NUMA topology. The full-size microbench
-/// mix exercises the same checkpoint code paths but costs several
-/// times more per quantum, which a property test has no need for.
+/// once on a two-socket NUMA topology, and once on a four-socket
+/// capacity-limited fabric with a remote-homed streamer (per-link
+/// queueing factors, interval counters and the requester cache all
+/// carry live state into the snapshot). The full-size microbench mix
+/// exercises the same checkpoint code paths but costs several times
+/// more per quantum, which a property test has no need for.
 fn spec_variant(variant: u8, seed: u64) -> ScenarioSpec {
     let opts = RunOpts {
         warmup: 1,
@@ -74,7 +77,21 @@ fn spec_variant(variant: u8, seed: u64) -> ScenarioSpec {
             WayMask::from_paper_range(0, 3).expect("static"),
             &["dpdk", "fio"],
         ),
-        _ => spec.with_system(SystemTweaks::two_socket(None)),
+        2 => spec.with_system(SystemTweaks::two_socket(None)),
+        _ => spec
+            .with_system(SystemTweaks {
+                sockets: Some(a4::model::MAX_SOCKETS),
+                upi_gbps: Some(16.0),
+                ..SystemTweaks::none()
+            })
+            .with_workload_on_homed(
+                0,
+                2,
+                "rstream",
+                WorkloadSpec::XMem { instance: 1 },
+                &[3],
+                Priority::Low,
+            ),
     }
 }
 
@@ -106,7 +123,7 @@ proptest! {
     /// bit-identical to the uninterrupted reference.
     #[test]
     fn restore_and_continue_is_bit_identical(
-        variant in 0u8..3,
+        variant in 0u8..4,
         seed in 0u64..1_000_000,
         ckpt_at in 50u64..2_000,
     ) {
@@ -163,9 +180,23 @@ proptest! {
             target.harness.system().quantum_count(),
         );
         prop_assert!(!target.harness.system_mut().restore_state(&skewed));
+        // Pre-bump snapshots (no fabric, no requester caches) must be
+        // rejected by version, not half-restored.
+        let mut stale = good.clone();
+        stale.version = SYSTEM_CKPT_VERSION - 1;
+        prop_assert!(!target.harness.system_mut().restore_state(&stale));
         // A two-socket system must reject a single-socket snapshot.
         let mut numa = spec_variant(2, seed).build().expect("spec builds");
         prop_assert!(!numa.harness.system_mut().restore_state(&good));
+        // And the four-socket fabric (6 links, 4 requester caches) must
+        // reject the two-socket snapshot (1 link, 2 caches).
+        let mut quad = spec_variant(3, seed).build().expect("spec builds");
+        let dual_state = {
+            let mut dual = spec_variant(2, seed).build().expect("spec builds");
+            dual.harness.system_mut().run_quanta(ckpt_at);
+            dual.harness.system().save_state()
+        };
+        prop_assert!(!quad.harness.system_mut().restore_state(&dual_state));
         let after = (
             target.harness.system().rng_probe(),
             target.harness.system().quantum_count(),

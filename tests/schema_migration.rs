@@ -2,10 +2,13 @@
 //!
 //! The `schema` field was introduced at v2 (when the NUMA fields —
 //! `sockets`, `upi_ns`, `socket_dca_ways`, per-device `socket` — were
-//! added). A v1 dump has none of those keys; `#[serde(default)]` fills
-//! them with the single-socket semantics v1 specs actually had, and
-//! [`ScenarioSpec::migrate`] stamps the current version. Anything newer
-//! than this build is rejected instead of silently misread.
+//! added); v3 added the link-capacity and buffer-homing fields
+//! (`SystemTweaks.upi_gbps`, `Placement.buffer_home`). Older dumps have
+//! none of those keys; `#[serde(default)]` fills them with the
+//! semantics those specs actually had (unthrottled links, buffers homed
+//! with their cores), and [`ScenarioSpec::migrate`] stamps the current
+//! version. Anything newer than this build is rejected instead of
+//! silently misread.
 
 use a4::experiments::spec::SCHEMA_VERSION;
 use a4::experiments::{spec_key, RunOpts, ScenarioSpec, WorkloadSpec};
@@ -86,8 +89,10 @@ fn v1_dump_loads_migrates_and_equals_the_current_spec() {
     // The absent NUMA fields default to the v1 semantics.
     assert_eq!(spec.system.sockets, None);
     assert_eq!(spec.system.upi_ns, None);
+    assert_eq!(spec.system.upi_gbps, None);
     assert!(spec.system.socket_dca_ways.is_empty());
     assert!(spec.devices.iter().all(|d| d.socket == 0));
+    assert!(spec.workloads.iter().all(|p| p.buffer_home.is_none()));
     spec.validate().expect("migrated spec is valid");
     // Field-for-field identical to the spec today's builder produces,
     // so it hits the same content-addressed store entries.
@@ -117,6 +122,9 @@ fn schema_versions_migrate_or_reject() {
         (V1_FIXTURE.to_string(), Some(SCHEMA_VERSION)),
         (with_schema(0), Some(SCHEMA_VERSION)),
         (with_schema(1), Some(SCHEMA_VERSION)),
+        // v2: NUMA fields present in the vocabulary but none of the v3
+        // link-capacity / buffer-homing keys.
+        (with_schema(2), Some(SCHEMA_VERSION)),
         (with_schema(SCHEMA_VERSION), Some(SCHEMA_VERSION)),
         (with_schema(SCHEMA_VERSION + 1), None),
         (with_schema(99), None),

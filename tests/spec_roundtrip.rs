@@ -50,14 +50,18 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
 }
 
 fn tweaks_strategy() -> impl Strategy<Value = SystemTweaks> {
-    (0usize..3, 0usize..3, 0usize..3, 0usize..3, 0usize..3).prop_map(|(c, d, m, s, u)| {
-        SystemTweaks {
+    (
+        (0usize..3, 0usize..3, 0usize..3),
+        (0usize..4, 0usize..3, 0usize..3),
+    )
+        .prop_map(|((c, d, m), (s, u, g))| SystemTweaks {
             cores: [None, Some(12), Some(18)][c],
             dca_ways: [None, Some(1), Some(4)][d],
             mem_channels: [None, Some(2), Some(6)][m],
-            sockets: [None, Some(1), Some(2)][s],
+            sockets: [None, Some(1), Some(2), Some(4)][s],
             upi_ns: [None, Some(0), Some(120)][u],
-            socket_dca_ways: if s == 2 {
+            upi_gbps: [None, Some(1.0), Some(41.6)][g],
+            socket_dca_ways: if s >= 2 {
                 vec![SocketDca {
                     socket: 1,
                     dca_ways: 3,
@@ -65,8 +69,7 @@ fn tweaks_strategy() -> impl Strategy<Value = SystemTweaks> {
             } else {
                 vec![]
             },
-        }
-    })
+        })
 }
 
 fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
@@ -220,13 +223,13 @@ fn numa_placement_rejections_are_friendly() {
             "duplicate DCA way override",
         ),
         (
-            "more than two sockets",
+            "more sockets than the model covers",
             |s| {
                 let mut s = s;
-                s.system.sockets = Some(3);
+                s.system.sockets = Some(a4::model::MAX_SOCKETS + 1);
                 s
             },
-            "NUMA model covers 1- and 2-socket",
+            "the NUMA model covers 1 to",
         ),
     ];
     for (what, mutate, needle) in cases {
